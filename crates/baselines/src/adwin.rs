@@ -1,0 +1,300 @@
+//! ADWIN — ADaptive WINdowing (Bifet & Gavaldà, SDM 2007).
+//!
+//! Maintains a variable-length window over a real-valued stream and drops
+//! its oldest portion whenever two adjacent sub-windows have means that
+//! differ by more than a Hoeffding-style bound `eps_cut`. The window is
+//! stored as an exponential histogram of buckets (the "ADWIN2" scheme), so
+//! memory is O(M·log(n/M)) rather than O(n) — still unbounded growth, which
+//! is the §2.2.2 argument against it on MCUs, but efficient enough for the
+//! Pi-4-class ablations here.
+
+use crate::{ErrorRateDetector, ErrorRateVerdict};
+use seqdrift_linalg::Real;
+use std::collections::VecDeque;
+
+/// One bucket of the exponential histogram: `count = 2^level` elements
+/// summarised by their sum (mean recoverable, variance bounded by the
+/// Bernoulli/bounded-input assumption ADWIN makes).
+#[derive(Debug, Clone, Copy)]
+struct Bucket {
+    sum: f64,
+    count: u64,
+}
+
+/// The ADWIN change detector over values in `[0, 1]`.
+#[derive(Debug, Clone)]
+pub struct Adwin {
+    /// Confidence parameter δ: smaller = fewer false positives, longer
+    /// detection delay.
+    delta: f64,
+    /// Max buckets per level before two merge (M in the paper; 5 is the
+    /// reference default).
+    max_buckets_per_level: usize,
+    /// Buckets ordered oldest -> newest; `levels[i]` holds buckets of
+    /// capacity `2^i`.
+    levels: Vec<VecDeque<Bucket>>,
+    total_sum: f64,
+    total_count: u64,
+    /// Only check for cuts every `check_period` insertions (reference
+    /// implementation optimisation; 1 = check always).
+    check_period: u64,
+    since_check: u64,
+}
+
+impl Default for Adwin {
+    fn default() -> Self {
+        Adwin::new(0.002)
+    }
+}
+
+impl Adwin {
+    /// Creates an ADWIN with confidence `delta` (reference default 0.002).
+    pub fn new(delta: f64) -> Self {
+        assert!(delta > 0.0 && delta < 1.0, "delta must be in (0, 1)");
+        Adwin {
+            delta,
+            max_buckets_per_level: 5,
+            levels: vec![VecDeque::new()],
+            total_sum: 0.0,
+            total_count: 0,
+            check_period: 4,
+            since_check: 0,
+        }
+    }
+
+    /// Number of elements currently represented in the window.
+    pub fn window_len(&self) -> u64 {
+        self.total_count
+    }
+
+    /// Mean of the current window.
+    pub fn mean(&self) -> Real {
+        if self.total_count == 0 {
+            0.0
+        } else {
+            (self.total_sum / self.total_count as f64) as Real
+        }
+    }
+
+    /// Adds a value in `[0, 1]`; returns `true` when the window was cut
+    /// (a change was detected at this step).
+    pub fn add(&mut self, value: Real) -> bool {
+        let v = f64::from(value).clamp(0.0, 1.0);
+        self.levels[0].push_back(Bucket { sum: v, count: 1 });
+        self.total_sum += v;
+        self.total_count += 1;
+        self.compress();
+        self.since_check += 1;
+        if self.since_check >= self.check_period {
+            self.since_check = 0;
+            self.try_cut()
+        } else {
+            false
+        }
+    }
+
+    /// Merges oldest buckets upward when a level overflows.
+    fn compress(&mut self) {
+        let mut level = 0;
+        loop {
+            if self.levels[level].len() <= self.max_buckets_per_level {
+                break;
+            }
+            let a = self.levels[level].pop_front().expect("overflowing level");
+            let b = self.levels[level].pop_front().expect("overflowing level");
+            if level + 1 == self.levels.len() {
+                self.levels.push(VecDeque::new());
+            }
+            self.levels[level + 1].push_back(Bucket {
+                sum: a.sum + b.sum,
+                count: a.count + b.count,
+            });
+            level += 1;
+        }
+    }
+
+    /// Scans all split points oldest-first, dropping head buckets while the
+    /// two-sided mean difference exceeds the Hoeffding bound.
+    fn try_cut(&mut self) -> bool {
+        let mut cut_any = false;
+        // Repeat until no further cut applies (the paper's outer loop).
+        loop {
+            if self.total_count < 2 {
+                return cut_any;
+            }
+            let n = self.total_count as f64;
+            let total_mean = self.total_sum / n;
+            // Variance estimate for the bound (bounded inputs): use the
+            // Bernoulli-style bound sigma^2 <= mu(1-mu) + small floor.
+            let variance = (total_mean * (1.0 - total_mean)).max(1e-8);
+            let delta_prime = self.delta / (n.ln().max(1.0));
+
+            let mut head_sum = 0.0;
+            let mut head_count = 0u64;
+            let mut cut_at: Option<(usize, usize)> = None;
+
+            'scan: for (li, level) in self.levels.iter().enumerate().rev() {
+                // Oldest buckets live at the *highest* level front; iterate
+                // levels from oldest (largest capacity) to newest.
+                for (bi, b) in level.iter().enumerate() {
+                    head_sum += b.sum;
+                    head_count += b.count;
+                    let tail_count = self.total_count - head_count;
+                    if head_count == 0 || tail_count == 0 {
+                        continue;
+                    }
+                    let n0 = head_count as f64;
+                    let n1 = tail_count as f64;
+                    let mu0 = head_sum / n0;
+                    let mu1 = (self.total_sum - head_sum) / n1;
+                    let m_harm = 1.0 / (1.0 / n0 + 1.0 / n1);
+                    let ln_term = (2.0 / delta_prime).ln();
+                    let eps_cut = (2.0 / m_harm * variance * ln_term).sqrt()
+                        + 2.0 / (3.0 * m_harm) * ln_term;
+                    if (mu0 - mu1).abs() > eps_cut {
+                        cut_at = Some((li, bi));
+                        break 'scan;
+                    }
+                }
+            }
+
+            match cut_at {
+                None => return cut_any,
+                Some((li, bi)) => {
+                    // Drop the oldest portion through (li, bi) inclusive.
+                    self.drop_head(li, bi);
+                    cut_any = true;
+                }
+            }
+        }
+    }
+
+    fn drop_head(&mut self, cut_level: usize, cut_index: usize) {
+        // Levels above cut_level are entirely older: drop them whole.
+        for li in ((cut_level + 1)..self.levels.len()).rev() {
+            while let Some(b) = self.levels[li].pop_front() {
+                self.total_sum -= b.sum;
+                self.total_count -= b.count;
+            }
+        }
+        // Within the cut level, drop the first cut_index + 1 buckets.
+        for _ in 0..=cut_index {
+            if let Some(b) = self.levels[cut_level].pop_front() {
+                self.total_sum -= b.sum;
+                self.total_count -= b.count;
+            }
+        }
+        if self.total_count == 0 {
+            self.total_sum = 0.0;
+        }
+    }
+}
+
+impl ErrorRateDetector for Adwin {
+    fn push(&mut self, error: bool) -> ErrorRateVerdict {
+        if self.add(if error { 1.0 } else { 0.0 }) {
+            ErrorRateVerdict::Drift
+        } else {
+            ErrorRateVerdict::Stable
+        }
+    }
+
+    fn reset(&mut self) {
+        *self = Adwin::new(self.delta);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqdrift_linalg::Rng;
+
+    #[test]
+    fn window_grows_on_stationary_stream() {
+        let mut adwin = Adwin::default();
+        let mut rng = Rng::seed_from(1);
+        let mut cuts = 0;
+        for _ in 0..3000 {
+            if adwin.add(if rng.uniform() < 0.2 { 1.0 } else { 0.0 }) {
+                cuts += 1;
+            }
+        }
+        assert!(cuts <= 2, "{cuts} spurious cuts");
+        assert!(adwin.window_len() > 2000, "window {}", adwin.window_len());
+        assert!((adwin.mean() - 0.2).abs() < 0.05);
+    }
+
+    #[test]
+    fn detects_mean_jump_and_shrinks_window() {
+        let mut adwin = Adwin::default();
+        let mut rng = Rng::seed_from(2);
+        for _ in 0..2000 {
+            adwin.add(if rng.uniform() < 0.1 { 1.0 } else { 0.0 });
+        }
+        let before = adwin.window_len();
+        let mut detected_at = None;
+        for i in 0..2000 {
+            if adwin.add(if rng.uniform() < 0.6 { 1.0 } else { 0.0 }) && detected_at.is_none() {
+                detected_at = Some(i);
+            }
+        }
+        let d = detected_at.expect("jump not detected");
+        assert!(d < 300, "detection delay {d}");
+        assert!(adwin.window_len() < before + 2000);
+        assert!((adwin.mean() - 0.6).abs() < 0.1);
+    }
+
+    #[test]
+    fn memory_is_logarithmic() {
+        let mut adwin = Adwin::default();
+        for i in 0..50_000u64 {
+            adwin.add((i % 2) as Real);
+        }
+        let buckets: usize = adwin.levels.iter().map(|l| l.len()).sum();
+        assert!(buckets < 200, "{buckets} buckets for 50k elements");
+    }
+
+    #[test]
+    fn smaller_delta_is_more_conservative() {
+        let run = |delta: f64, seed: u64| -> usize {
+            let mut adwin = Adwin::new(delta);
+            let mut rng = Rng::seed_from(seed);
+            let mut cuts = 0;
+            for i in 0..4000 {
+                let p = if i < 2000 { 0.1 } else { 0.25 };
+                if adwin.add(if rng.uniform() < p { 1.0 } else { 0.0 }) {
+                    cuts += 1;
+                }
+            }
+            cuts
+        };
+        let loose: usize = (0..5).map(|s| run(0.2, s)).sum();
+        let tight: usize = (0..5).map(|s| run(1e-4, s)).sum();
+        assert!(loose >= tight, "loose {loose} < tight {tight}");
+    }
+
+    #[test]
+    fn error_rate_detector_interface() {
+        let mut adwin = Adwin::default();
+        let mut rng = Rng::seed_from(5);
+        for _ in 0..1500 {
+            adwin.push(rng.uniform() < 0.05);
+        }
+        let mut saw_drift = false;
+        for _ in 0..1500 {
+            if adwin.push(rng.uniform() < 0.7) == ErrorRateVerdict::Drift {
+                saw_drift = true;
+                break;
+            }
+        }
+        assert!(saw_drift);
+        adwin.reset();
+        assert_eq!(adwin.window_len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "delta")]
+    fn invalid_delta_panics() {
+        Adwin::new(0.0);
+    }
+}

@@ -1,0 +1,154 @@
+//! Two-sided CUSUM (cumulative sum) change detector (Page 1954).
+//!
+//! Accumulates standardised deviations from a reference mean in both
+//! directions and flags a change when either side exceeds a threshold.
+//! O(1) state; extension baseline for watching scalar statistics such as
+//! anomaly scores or centroid distances.
+
+use seqdrift_linalg::Real;
+
+/// Which side of a two-sided CUSUM fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CusumSide {
+    /// Mean increased.
+    Up,
+    /// Mean decreased.
+    Down,
+}
+
+/// Two-sided CUSUM with a fixed reference mean.
+#[derive(Debug, Clone)]
+pub struct Cusum {
+    /// Reference (in-control) mean.
+    target: Real,
+    /// Slack per observation: deviations below `k` do not accumulate.
+    k: Real,
+    /// Decision threshold `h`.
+    h: Real,
+    up: Real,
+    down: Real,
+    n: u64,
+}
+
+impl Cusum {
+    /// Creates a CUSUM watching for shifts away from `target`; `k` is the
+    /// allowance (often half the shift you care about), `h` the decision
+    /// threshold.
+    pub fn new(target: Real, k: Real, h: Real) -> Self {
+        assert!(h > 0.0, "threshold must be positive");
+        assert!(k >= 0.0, "allowance must be non-negative");
+        Cusum {
+            target,
+            k,
+            h,
+            up: 0.0,
+            down: 0.0,
+            n: 0,
+        }
+    }
+
+    /// Observations consumed since the last reset.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Current (up, down) cumulative statistics.
+    pub fn statistics(&self) -> (Real, Real) {
+        (self.up, self.down)
+    }
+
+    /// Feeds one observation; returns which side (if any) crossed the
+    /// threshold.
+    pub fn push(&mut self, x: Real) -> Option<CusumSide> {
+        self.n += 1;
+        let dev = x - self.target;
+        self.up = (self.up + dev - self.k).max(0.0);
+        self.down = (self.down - dev - self.k).max(0.0);
+        if self.up > self.h {
+            Some(CusumSide::Up)
+        } else if self.down > self.h {
+            Some(CusumSide::Down)
+        } else {
+            None
+        }
+    }
+
+    /// Resets the accumulators (keeps the configuration).
+    pub fn reset(&mut self) {
+        self.up = 0.0;
+        self.down = 0.0;
+        self.n = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqdrift_linalg::Rng;
+
+    #[test]
+    fn stable_at_target() {
+        let mut c = Cusum::new(1.0, 0.25, 8.0);
+        let mut rng = Rng::seed_from(1);
+        for _ in 0..5000 {
+            assert_eq!(c.push(rng.normal(1.0, 0.3)), None);
+        }
+    }
+
+    #[test]
+    fn detects_upward_shift() {
+        let mut c = Cusum::new(1.0, 0.25, 8.0);
+        let mut rng = Rng::seed_from(2);
+        for _ in 0..500 {
+            c.push(rng.normal(1.0, 0.3));
+        }
+        let mut hit = None;
+        for i in 0..500 {
+            if let Some(side) = c.push(rng.normal(2.0, 0.3)) {
+                hit = Some((i, side));
+                break;
+            }
+        }
+        let (delay, side) = hit.expect("shift not detected");
+        assert_eq!(side, CusumSide::Up);
+        assert!(delay < 50, "delay {delay}");
+    }
+
+    #[test]
+    fn detects_downward_shift() {
+        let mut c = Cusum::new(1.0, 0.25, 8.0);
+        let mut rng = Rng::seed_from(3);
+        for _ in 0..500 {
+            c.push(rng.normal(1.0, 0.3));
+        }
+        let mut side = None;
+        for _ in 0..500 {
+            if let Some(s) = c.push(rng.normal(0.0, 0.3)) {
+                side = Some(s);
+                break;
+            }
+        }
+        assert_eq!(side, Some(CusumSide::Down));
+    }
+
+    #[test]
+    fn allowance_suppresses_small_shifts() {
+        // Shift of 0.1 with allowance 0.5 should not fire.
+        let mut c = Cusum::new(1.0, 0.5, 8.0);
+        let mut rng = Rng::seed_from(4);
+        for _ in 0..5000 {
+            assert_eq!(c.push(rng.normal(1.1, 0.1)), None);
+        }
+    }
+
+    #[test]
+    fn reset_clears_accumulators() {
+        let mut c = Cusum::new(0.0, 0.0, 5.0);
+        c.push(3.0);
+        c.push(3.0);
+        assert!(c.statistics().0 > 0.0);
+        c.reset();
+        assert_eq!(c.statistics(), (0.0, 0.0));
+        assert_eq!(c.count(), 0);
+    }
+}

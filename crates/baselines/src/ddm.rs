@@ -1,0 +1,246 @@
+//! DDM — Drift Detection Method (Gama, Medas, Castillo & Rodrigues, 2004).
+//!
+//! Monitors the running error rate `p_i` of a classifier over a stream of
+//! labelled outcomes. With `s_i = sqrt(p_i (1 - p_i) / i)`, the method
+//! tracks the minimum of `p + s` seen so far and raises:
+//!
+//! * **warning** when `p_i + s_i >= p_min + 2 s_min` — start collecting data
+//!   for a replacement model;
+//! * **drift** when `p_i + s_i >= p_min + 3 s_min` — replace the model and
+//!   reset all statistics.
+//!
+//! DDM needs ground-truth labels at run time, which is exactly why §2.2.2
+//! of the paper rules this family out for resource-limited edge devices;
+//! it is included here as the error-rate baseline for extension ablations.
+
+use crate::{ErrorRateDetector, ErrorRateVerdict};
+use seqdrift_linalg::Real;
+
+/// The DDM error-rate drift detector.
+#[derive(Debug, Clone)]
+pub struct Ddm {
+    n: u64,
+    errors: u64,
+    p_min: Real,
+    s_min: Real,
+    min_samples: u64,
+    warn_level: Real,
+    drift_level: Real,
+}
+
+impl Default for Ddm {
+    fn default() -> Self {
+        Ddm::new(30, 2.0, 3.0)
+    }
+}
+
+impl Ddm {
+    /// Creates a DDM.
+    ///
+    /// `min_samples` observations are required before any verdict (the
+    /// binomial approximation is unreliable earlier); `warn_level` /
+    /// `drift_level` are the sigma multipliers (canonically 2 and 3).
+    pub fn new(min_samples: u64, warn_level: Real, drift_level: Real) -> Self {
+        assert!(drift_level >= warn_level, "drift level below warning level");
+        Ddm {
+            n: 0,
+            errors: 0,
+            p_min: Real::INFINITY,
+            s_min: Real::INFINITY,
+            min_samples,
+            warn_level,
+            drift_level,
+        }
+    }
+
+    /// Current running error rate.
+    pub fn error_rate(&self) -> Real {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.errors as Real / self.n as Real
+        }
+    }
+
+    /// Observations consumed since the last reset.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+}
+
+impl ErrorRateDetector for Ddm {
+    fn push(&mut self, error: bool) -> ErrorRateVerdict {
+        self.n += 1;
+        if error {
+            self.errors += 1;
+        }
+        if self.n < self.min_samples {
+            return ErrorRateVerdict::Stable;
+        }
+        let p = self.error_rate();
+        let s = (p * (1.0 - p) / self.n as Real).sqrt();
+        // Guard p > 0: a lucky error-free opening window would otherwise
+        // pin (p_min, s_min) = (0, 0) and the very first error would fire a
+        // spurious drift.
+        if p > 0.0 && p + s < self.p_min + self.s_min {
+            self.p_min = p;
+            self.s_min = s;
+        }
+        if !self.p_min.is_finite() {
+            return ErrorRateVerdict::Stable;
+        }
+        let level = p + s;
+        if level >= self.p_min + self.drift_level * self.s_min {
+            ErrorRateVerdict::Drift
+        } else if level >= self.p_min + self.warn_level * self.s_min {
+            ErrorRateVerdict::Warning
+        } else {
+            ErrorRateVerdict::Stable
+        }
+    }
+
+    fn reset(&mut self) {
+        let (min_samples, warn, drift) = (self.min_samples, self.warn_level, self.drift_level);
+        *self = Ddm::new(min_samples, warn, drift);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqdrift_linalg::Rng;
+
+    /// Feeds Bernoulli(p) errors for `n` steps, returning the first step at
+    /// which each verdict appeared.
+    fn run(
+        ddm: &mut Ddm,
+        rng: &mut Rng,
+        p: Real,
+        n: usize,
+        start_step: usize,
+    ) -> (Option<usize>, Option<usize>) {
+        let mut first_warn = None;
+        let mut first_drift = None;
+        for i in 0..n {
+            let v = ddm.push(rng.uniform() < p);
+            let step = start_step + i;
+            if v == ErrorRateVerdict::Warning && first_warn.is_none() {
+                first_warn = Some(step);
+            }
+            if v == ErrorRateVerdict::Drift && first_drift.is_none() {
+                first_drift = Some(step);
+                break;
+            }
+        }
+        (first_warn, first_drift)
+    }
+
+    /// Time-to-first-drift on a stationary Bernoulli(p) stream (None if the
+    /// detector never fires within `horizon`).
+    fn time_to_fire(p: Real, horizon: usize, seed: u64) -> Option<usize> {
+        let mut ddm = Ddm::default();
+        let mut rng = Rng::seed_from(seed);
+        run(&mut ddm, &mut rng, p, horizon, 0).1
+    }
+
+    #[test]
+    fn detection_is_much_faster_than_false_alarms() {
+        // DDM's well-documented weakness is a nonzero false-alarm rate on
+        // long stationary streams (the running minimum keeps tightening the
+        // drift level). Its operating characteristic is therefore relative:
+        // time-to-detection after a genuine jump must be far shorter than
+        // time-to-false-alarm on in-control data. Check medians over seeds.
+        let mut fp_times = Vec::new();
+        let mut det_delays = Vec::new();
+        for seed in 0..9 {
+            fp_times.push(time_to_fire(0.05, 2000, seed).unwrap_or(2000));
+            // Jump stream: 200 in-control samples, then error rate 0.5.
+            let mut ddm = Ddm::default();
+            let mut rng = Rng::seed_from(1000 + seed);
+            let (_, pre) = run(&mut ddm, &mut rng, 0.05, 200, 0);
+            if pre.is_some() {
+                continue; // false alarm before the jump: not a detection sample
+            }
+            if let (_, Some(d)) = run(&mut ddm, &mut rng, 0.5, 1000, 200) {
+                det_delays.push(d - 200);
+            }
+        }
+        fp_times.sort_unstable();
+        det_delays.sort_unstable();
+        assert!(!det_delays.is_empty(), "jump never detected on any seed");
+        let med_fp = fp_times[fp_times.len() / 2];
+        let med_det = det_delays[det_delays.len() / 2];
+        assert!(med_det < 100, "median detection delay {med_det}");
+        assert!(
+            med_fp > 4 * med_det,
+            "false alarms (median {med_fp}) nearly as fast as detections (median {med_det})"
+        );
+    }
+
+    #[test]
+    fn detects_error_rate_jump_with_warning_first() {
+        // Find a seed with a clean pre-jump phase, then require
+        // warning <= drift ordering.
+        for seed in 0..20 {
+            let mut ddm = Ddm::default();
+            let mut rng = Rng::seed_from(seed);
+            let (_, pre) = run(&mut ddm, &mut rng, 0.05, 200, 0);
+            if pre.is_some() {
+                continue;
+            }
+            let (warn, drift) = run(&mut ddm, &mut rng, 0.5, 1000, 200);
+            let d = drift.expect("no drift after a 10x error-rate jump");
+            if let Some(w) = warn {
+                assert!(w <= d, "warning {w} after drift {d}");
+            }
+            return;
+        }
+        panic!("every seed false-alarmed in 200 in-control samples");
+    }
+
+    #[test]
+    fn warning_precedes_drift_on_gradual_increase() {
+        let mut ddm = Ddm::default();
+        let mut rng = Rng::seed_from(3);
+        let mut first_warn = None;
+        let mut first_drift = None;
+        for i in 0..4000 {
+            let p = 0.05 + 0.25 * (i as Real / 4000.0);
+            match ddm.push(rng.uniform() < p) {
+                ErrorRateVerdict::Warning if first_warn.is_none() => first_warn = Some(i),
+                ErrorRateVerdict::Drift if first_drift.is_none() => {
+                    first_drift = Some(i);
+                    break;
+                }
+                _ => {}
+            }
+        }
+        let (w, d) = (first_warn.unwrap(), first_drift.unwrap());
+        assert!(w < d, "warning {w} not before drift {d}");
+    }
+
+    #[test]
+    fn no_verdict_before_min_samples() {
+        let mut ddm = Ddm::new(50, 2.0, 3.0);
+        for _ in 0..49 {
+            assert_eq!(ddm.push(true), ErrorRateVerdict::Stable);
+        }
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let mut ddm = Ddm::default();
+        let mut rng = Rng::seed_from(4);
+        run(&mut ddm, &mut rng, 0.05, 500, 0);
+        run(&mut ddm, &mut rng, 0.6, 500, 500);
+        ddm.reset();
+        assert_eq!(ddm.count(), 0);
+        assert_eq!(ddm.error_rate(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "drift level")]
+    fn invalid_levels_panic() {
+        Ddm::new(30, 3.0, 2.0);
+    }
+}

@@ -1,0 +1,196 @@
+//! Diagonal-covariance Gaussian mixture model estimated from hard cluster
+//! assignments.
+//!
+//! SPLL (Kuncheva 2013) models the reference window as a GMM whose
+//! components share one covariance matrix, estimated from the k-means
+//! clustering of the window. With 511-dimensional fan spectra a full
+//! covariance is singular for any realistic window (235 samples), so —
+//! like the reference implementation — we restrict the shared covariance to
+//! its diagonal, which keeps the Mahalanobis distance well-defined in any
+//! dimension.
+
+use crate::kmeans::KMeans;
+use seqdrift_linalg::Real;
+
+/// Gaussian mixture with hard-assignment estimation and one shared diagonal
+/// covariance.
+#[derive(Debug, Clone)]
+pub struct DiagonalGmm {
+    /// Component means (`k x dim`).
+    pub means: Vec<Vec<Real>>,
+    /// Component weights (sum to 1).
+    pub weights: Vec<Real>,
+    /// Shared diagonal covariance (length `dim`), floored away from zero.
+    pub diag_cov: Vec<Real>,
+    inv_diag_cov: Vec<Real>,
+}
+
+/// Variance floor: dimensions with (near-)zero pooled variance would give
+/// infinite Mahalanobis weight to meaningless noise, so they are clamped.
+const VAR_FLOOR: Real = 1e-6;
+
+impl DiagonalGmm {
+    /// Estimates the mixture from a fitted k-means clustering of `data`.
+    ///
+    /// Means come from the cluster centroids, weights from cluster sizes,
+    /// and the shared covariance is the pooled within-cluster variance per
+    /// dimension.
+    pub fn from_kmeans(data: &[Vec<Real>], km: &KMeans) -> DiagonalGmm {
+        assert!(!data.is_empty(), "gmm: empty data");
+        let dim = data[0].len();
+        let k = km.k();
+        let mut weights = vec![0.0; k];
+        for &a in &km.assignments {
+            weights[a] += 1.0;
+        }
+        let n = data.len() as Real;
+        for w in &mut weights {
+            *w /= n;
+        }
+        let mut diag_cov = vec![0.0; dim];
+        for (x, &a) in data.iter().zip(km.assignments.iter()) {
+            for (d, (&xv, &cv)) in x.iter().zip(km.centroids[a].iter()).enumerate() {
+                let diff = xv - cv;
+                diag_cov[d] += diff * diff;
+            }
+        }
+        for v in &mut diag_cov {
+            *v = (*v / n).max(VAR_FLOOR);
+        }
+        let inv_diag_cov = diag_cov.iter().map(|&v| 1.0 / v).collect();
+        DiagonalGmm {
+            means: km.centroids.clone(),
+            weights,
+            diag_cov,
+            inv_diag_cov,
+        }
+    }
+
+    /// Number of components.
+    pub fn k(&self) -> usize {
+        self.means.len()
+    }
+
+    /// Dimensionality.
+    pub fn dim(&self) -> usize {
+        self.diag_cov.len()
+    }
+
+    /// Squared Mahalanobis distance from `x` to component `c` under the
+    /// shared diagonal covariance.
+    pub fn mahalanobis_sq(&self, c: usize, x: &[Real]) -> Real {
+        debug_assert_eq!(x.len(), self.dim());
+        let mut s = 0.0;
+        for ((&xv, &mv), &iv) in x
+            .iter()
+            .zip(self.means[c].iter())
+            .zip(self.inv_diag_cov.iter())
+        {
+            let d = xv - mv;
+            s += d * d * iv;
+        }
+        s
+    }
+
+    /// Minimum squared Mahalanobis distance over all components — the
+    /// per-sample statistic SPLL averages.
+    pub fn min_mahalanobis_sq(&self, x: &[Real]) -> Real {
+        (0..self.k())
+            .map(|c| self.mahalanobis_sq(c, x))
+            .fold(Real::INFINITY, Real::min)
+    }
+
+    /// Number of stored scalars (memory accounting).
+    pub fn memory_scalars(&self) -> usize {
+        self.means.iter().map(|m| m.len()).sum::<usize>()
+            + self.weights.len()
+            + self.diag_cov.len()
+            + self.inv_diag_cov.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqdrift_linalg::Rng;
+
+    fn blobs(seed: u64) -> Vec<Vec<Real>> {
+        let mut rng = Rng::seed_from(seed);
+        let mut data = Vec::new();
+        for m in [[0.0, 0.0], [4.0, 4.0]] {
+            for _ in 0..100 {
+                data.push(vec![rng.normal(m[0], 0.5), rng.normal(m[1], 0.5)]);
+            }
+        }
+        data
+    }
+
+    fn fitted(seed: u64) -> (Vec<Vec<Real>>, DiagonalGmm) {
+        let data = blobs(seed);
+        let mut rng = Rng::seed_from(seed + 1);
+        let km = KMeans::fit(&data, 2, 50, &mut rng);
+        let gmm = DiagonalGmm::from_kmeans(&data, &km);
+        (data, gmm)
+    }
+
+    #[test]
+    fn weights_sum_to_one() {
+        let (_, gmm) = fitted(1);
+        let s: Real = gmm.weights.iter().sum();
+        assert!((s - 1.0).abs() < 1e-5);
+        assert!(gmm.weights.iter().all(|&w| w > 0.3 && w < 0.7));
+    }
+
+    #[test]
+    fn pooled_variance_matches_blob_variance() {
+        let (_, gmm) = fitted(2);
+        // Blobs have σ = 0.5 per dimension => variance 0.25.
+        for &v in &gmm.diag_cov {
+            assert!((v - 0.25).abs() < 0.07, "pooled var {v}");
+        }
+    }
+
+    #[test]
+    fn mahalanobis_zero_at_mean() {
+        let (_, gmm) = fitted(3);
+        for c in 0..gmm.k() {
+            let m = gmm.means[c].clone();
+            assert!(gmm.mahalanobis_sq(c, &m) < 1e-9);
+        }
+    }
+
+    #[test]
+    fn min_mahalanobis_small_in_distribution_large_out() {
+        let (data, gmm) = fitted(4);
+        let mean_in: Real = data
+            .iter()
+            .map(|x| gmm.min_mahalanobis_sq(x))
+            .sum::<Real>()
+            / data.len() as Real;
+        // Under the model, squared Mahalanobis averages ≈ dim = 2.
+        assert!((mean_in - 2.0).abs() < 0.8, "mean in-dist {mean_in}");
+        let far = vec![10.0, -10.0];
+        assert!(gmm.min_mahalanobis_sq(&far) > 50.0);
+    }
+
+    #[test]
+    fn variance_floor_prevents_infinite_weight() {
+        // A constant dimension must not blow up the distance.
+        let data: Vec<Vec<Real>> = (0..50)
+            .map(|i| vec![i as Real * 0.1, 7.0])
+            .collect();
+        let mut rng = Rng::seed_from(5);
+        let km = KMeans::fit(&data, 2, 20, &mut rng);
+        let gmm = DiagonalGmm::from_kmeans(&data, &km);
+        let d = gmm.min_mahalanobis_sq(&[2.0, 7.0]);
+        assert!(d.is_finite());
+        assert!(gmm.diag_cov[1] >= VAR_FLOOR);
+    }
+
+    #[test]
+    fn memory_scalars_counts_buffers() {
+        let (_, gmm) = fitted(6);
+        // 2 means of 2 + 2 weights + 2 cov + 2 inv cov = 10.
+        assert_eq!(gmm.memory_scalars(), 10);
+    }
+}

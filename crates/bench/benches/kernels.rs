@@ -1,0 +1,99 @@
+//! Microbenchmarks of the hot linear-algebra kernels.
+//!
+//! These are the primitives whose costs compose every row of Tables 5–6:
+//! the matvec behind prediction, the Sherman–Morrison rank-1 update behind
+//! sequential training, and the centroid arithmetic behind the detector.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use seqdrift_bench::probe;
+use seqdrift_core::centroid::CentroidSet;
+use seqdrift_core::DistanceMetric;
+use seqdrift_linalg::sherman::{oselm_p_update, Rank1Scratch};
+use seqdrift_linalg::{vector, Matrix, Rng};
+use std::hint::black_box;
+
+fn bench_matvec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matvec");
+    for &(rows, cols) in &[(22usize, 38usize), (22, 511)] {
+        let mut rng = Rng::seed_from(1);
+        let mut m = Matrix::zeros(rows, cols);
+        for v in m.as_mut_slice() {
+            *v = rng.uniform_range(-1.0, 1.0);
+        }
+        let x = probe(cols, 2);
+        let mut out = vec![0.0; rows];
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{rows}x{cols}")),
+            &(),
+            |b, ()| {
+                b.iter(|| {
+                    m.matvec_into(black_box(&x), &mut out).unwrap();
+                    black_box(out[0])
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_sherman_morrison(c: &mut Criterion) {
+    let mut group = c.benchmark_group("oselm_p_update");
+    for &dim in &[22usize, 64] {
+        let mut p = Matrix::identity(dim);
+        let mut scratch = Rank1Scratch::new(dim);
+        let h = probe(dim, 3);
+        group.bench_with_input(BenchmarkId::from_parameter(dim), &(), |b, ()| {
+            b.iter(|| {
+                oselm_p_update(black_box(&mut p), black_box(&h), &mut scratch).unwrap();
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_centroid_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("centroid");
+    for &dim in &[38usize, 511] {
+        let mut set = CentroidSet::zeros(2, dim);
+        let trained = CentroidSet::zeros(2, dim);
+        let x = probe(dim, 4);
+        group.bench_with_input(
+            BenchmarkId::new("running_mean_update", dim),
+            &(),
+            |b, ()| {
+                b.iter(|| {
+                    set.update(0, black_box(&x)).unwrap();
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("l1_distance_sum", dim), &(), |b, ()| {
+            b.iter(|| black_box(set.distance_to(&trained, DistanceMetric::L1)))
+        });
+        group.bench_with_input(BenchmarkId::new("nearest_label", dim), &(), |b, ()| {
+            b.iter(|| black_box(set.nearest_label(black_box(&x))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_vector_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vector");
+    let a = probe(511, 5);
+    let b_ = probe(511, 6);
+    group.bench_function("dot_511", |b| {
+        b.iter(|| black_box(vector::dot(black_box(&a), black_box(&b_))))
+    });
+    group.bench_function("dist_l1_511", |b| {
+        b.iter(|| black_box(vector::dist_l1(black_box(&a), black_box(&b_))))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_matvec,
+    bench_sherman_morrison,
+    bench_centroid_ops,
+    bench_vector_primitives
+);
+criterion_main!(benches);

@@ -1,0 +1,335 @@
+//! Dependency-free argument parsing.
+//!
+//! Flags are `--name value` pairs (plus boolean `--label-last` /
+//! `--no-header`); the first positional token selects the subcommand.
+//! Hand-rolled rather than pulling a parser crate: the grammar is tiny and
+//! the workspace keeps its dependency set minimal (DESIGN.md §5).
+
+use std::path::PathBuf;
+
+/// A parsed invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cli {
+    /// The subcommand to execute.
+    pub command: Command,
+}
+
+/// Subcommands.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Calibrate a pipeline from labelled CSV and checkpoint it.
+    Train(TrainArgs),
+    /// Stream unlabelled CSV through a checkpoint.
+    Run(RunArgs),
+    /// Describe a checkpoint.
+    Info(InfoArgs),
+    /// Export a synthetic dataset to CSV.
+    Synth(SynthArgs),
+}
+
+/// Arguments of `seqdrift train`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainArgs {
+    /// Labelled training CSV.
+    pub csv: PathBuf,
+    /// Checkpoint output path.
+    pub out: PathBuf,
+    /// Whether the final CSV column is the class label.
+    pub label_last: bool,
+    /// Whether the CSV has a header row.
+    pub has_header: bool,
+    /// OS-ELM hidden width.
+    pub hidden: usize,
+    /// Detection window size `W`.
+    pub window: usize,
+    /// Weight seed.
+    pub seed: u64,
+}
+
+/// Arguments of `seqdrift run`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunArgs {
+    /// Stream CSV (features only, unless `label_last` strips a trailing
+    /// label column — e.g. when replaying a `synth` export).
+    pub csv: PathBuf,
+    /// Checkpoint to load.
+    pub model: PathBuf,
+    /// Where to write the adapted checkpoint (optional).
+    pub out: Option<PathBuf>,
+    /// Where to write a per-event CSV (optional).
+    pub events: Option<PathBuf>,
+    /// Whether the CSV has a header row.
+    pub has_header: bool,
+    /// Strip a trailing label column before streaming (ground truth is
+    /// never shown to the detector).
+    pub label_last: bool,
+}
+
+/// Arguments of `seqdrift info`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InfoArgs {
+    /// Checkpoint to describe.
+    pub model: PathBuf,
+}
+
+/// Arguments of `seqdrift synth`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SynthArgs {
+    /// Dataset name: `nslkdd`, `fan-sudden`, `fan-gradual`,
+    /// `fan-reoccurring`.
+    pub dataset: String,
+    /// Output directory (receives `train.csv` and `test.csv`).
+    pub out: PathBuf,
+    /// Generator seed override.
+    pub seed: Option<u64>,
+    /// Use the shortened quick-scale stream.
+    pub quick: bool,
+}
+
+/// Parse failures (each carries the message shown to the user).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Usage text.
+pub const USAGE: &str = "\
+seqdrift — lightweight sequential concept-drift detection
+
+USAGE:
+  seqdrift train --csv <file> --out <model.sqdm> [--label-last] [--no-header]
+                 [--hidden 22] [--window 100] [--seed 42]
+  seqdrift run   --csv <file> --model <model.sqdm> [--out <updated.sqdm>]
+                 [--events <events.csv>] [--no-header] [--label-last]
+  seqdrift info  --model <model.sqdm>
+  seqdrift synth --dataset <nslkdd|fan-sudden|fan-gradual|fan-reoccurring>
+                 --out <dir> [--seed N] [--quick]
+";
+
+fn err(msg: impl Into<String>) -> ParseError {
+    ParseError(msg.into())
+}
+
+/// Collects `--flag value` pairs and boolean flags from `argv`.
+struct Flags {
+    pairs: std::collections::HashMap<String, String>,
+    bools: std::collections::HashSet<String>,
+}
+
+const BOOL_FLAGS: [&str; 3] = ["--label-last", "--no-header", "--quick"];
+
+impl Flags {
+    fn parse(argv: &[String]) -> Result<Flags, ParseError> {
+        let mut pairs = std::collections::HashMap::new();
+        let mut bools = std::collections::HashSet::new();
+        let mut i = 0;
+        while i < argv.len() {
+            let a = &argv[i];
+            if !a.starts_with("--") {
+                return Err(err(format!("unexpected positional argument {a:?}")));
+            }
+            if BOOL_FLAGS.contains(&a.as_str()) {
+                bools.insert(a.clone());
+                i += 1;
+                continue;
+            }
+            let value = argv
+                .get(i + 1)
+                .ok_or_else(|| err(format!("flag {a} needs a value")))?;
+            if pairs.insert(a.clone(), value.clone()).is_some() {
+                return Err(err(format!("flag {a} given twice")));
+            }
+            i += 2;
+        }
+        Ok(Flags { pairs, bools })
+    }
+
+    fn take(&mut self, name: &str) -> Option<String> {
+        self.pairs.remove(name)
+    }
+
+    fn required(&mut self, name: &str) -> Result<String, ParseError> {
+        self.take(name).ok_or_else(|| err(format!("missing required flag {name}")))
+    }
+
+    fn number<T: std::str::FromStr>(&mut self, name: &str, default: T) -> Result<T, ParseError> {
+        match self.take(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| err(format!("flag {name}: cannot parse {v:?}"))),
+        }
+    }
+
+    fn boolean(&mut self, name: &str) -> bool {
+        self.bools.remove(name)
+    }
+
+    fn finish(self) -> Result<(), ParseError> {
+        if let Some(k) = self.pairs.keys().next() {
+            return Err(err(format!("unknown flag {k}")));
+        }
+        if let Some(k) = self.bools.iter().next() {
+            return Err(err(format!("flag {k} not valid for this command")));
+        }
+        Ok(())
+    }
+}
+
+impl Cli {
+    /// Parses a full argv (excluding the binary name).
+    pub fn parse(argv: &[String]) -> Result<Cli, ParseError> {
+        let (cmd, rest) = argv
+            .split_first()
+            .ok_or_else(|| err(format!("no command given\n\n{USAGE}")))?;
+        let mut flags = Flags::parse(rest)?;
+        let command = match cmd.as_str() {
+            "train" => {
+                let a = TrainArgs {
+                    csv: flags.required("--csv")?.into(),
+                    out: flags.required("--out")?.into(),
+                    label_last: flags.boolean("--label-last"),
+                    has_header: !flags.boolean("--no-header"),
+                    hidden: flags.number("--hidden", 22usize)?,
+                    window: flags.number("--window", 100usize)?,
+                    seed: flags.number("--seed", 42u64)?,
+                };
+                if a.hidden == 0 || a.window == 0 {
+                    return Err(err("--hidden and --window must be positive"));
+                }
+                Command::Train(a)
+            }
+            "run" => Command::Run(RunArgs {
+                csv: flags.required("--csv")?.into(),
+                model: flags.required("--model")?.into(),
+                out: flags.take("--out").map(Into::into),
+                events: flags.take("--events").map(Into::into),
+                has_header: !flags.boolean("--no-header"),
+                label_last: flags.boolean("--label-last"),
+            }),
+            "info" => Command::Info(InfoArgs {
+                model: flags.required("--model")?.into(),
+            }),
+            "synth" => Command::Synth(SynthArgs {
+                dataset: flags.required("--dataset")?,
+                out: flags.required("--out")?.into(),
+                seed: match flags.take("--seed") {
+                    None => None,
+                    Some(v) => Some(
+                        v.parse()
+                            .map_err(|_| err(format!("--seed: cannot parse {v:?}")))?,
+                    ),
+                },
+                quick: flags.boolean("--quick"),
+            }),
+            "--help" | "-h" | "help" => return Err(err(USAGE)),
+            other => return Err(err(format!("unknown command {other:?}\n\n{USAGE}"))),
+        };
+        flags.finish()?;
+        Ok(Cli { command })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_train_with_defaults() {
+        let cli = Cli::parse(&argv("train --csv a.csv --out m.sqdm --label-last")).unwrap();
+        match cli.command {
+            Command::Train(a) => {
+                assert_eq!(a.csv, PathBuf::from("a.csv"));
+                assert!(a.label_last);
+                assert!(a.has_header);
+                assert_eq!(a.hidden, 22);
+                assert_eq!(a.window, 100);
+                assert_eq!(a.seed, 42);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_train_overrides() {
+        let cli = Cli::parse(&argv(
+            "train --csv a.csv --out m.sqdm --hidden 8 --window 25 --seed 7 --no-header",
+        ))
+        .unwrap();
+        match cli.command {
+            Command::Train(a) => {
+                assert_eq!((a.hidden, a.window, a.seed), (8, 25, 7));
+                assert!(!a.has_header);
+                assert!(!a.label_last);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_run_and_optionals() {
+        let cli = Cli::parse(&argv("run --csv s.csv --model m.sqdm")).unwrap();
+        match cli.command {
+            Command::Run(a) => {
+                assert_eq!(a.out, None);
+                assert_eq!(a.events, None);
+                assert!(!a.label_last);
+            }
+            other => panic!("{other:?}"),
+        }
+        let cli = Cli::parse(&argv(
+            "run --csv s.csv --model m.sqdm --out u.sqdm --events e.csv",
+        ))
+        .unwrap();
+        match cli.command {
+            Command::Run(a) => {
+                assert_eq!(a.out, Some(PathBuf::from("u.sqdm")));
+                assert_eq!(a.events, Some(PathBuf::from("e.csv")));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(Cli::parse(&argv("")).is_err());
+        assert!(Cli::parse(&argv("frobnicate")).is_err());
+        assert!(Cli::parse(&argv("train --csv a.csv")).is_err()); // missing --out
+        assert!(Cli::parse(&argv("train --csv a.csv --out m --hidden zero")).is_err());
+        assert!(Cli::parse(&argv("train --csv a.csv --out m --unknown x")).is_err());
+        assert!(Cli::parse(&argv("info --model m --quick")).is_err()); // bool not valid here
+        assert!(Cli::parse(&argv("train --csv a.csv --csv b.csv --out m")).is_err());
+        assert!(Cli::parse(&argv("train --csv")).is_err()); // dangling flag
+        assert!(Cli::parse(&argv("train stray --csv a.csv --out m")).is_err());
+    }
+
+    #[test]
+    fn help_is_an_error_carrying_usage() {
+        let e = Cli::parse(&argv("--help")).unwrap_err();
+        assert!(e.0.contains("USAGE"));
+    }
+
+    #[test]
+    fn parses_synth() {
+        let cli =
+            Cli::parse(&argv("synth --dataset fan-sudden --out data --seed 9 --quick")).unwrap();
+        match cli.command {
+            Command::Synth(a) => {
+                assert_eq!(a.dataset, "fan-sudden");
+                assert_eq!(a.seed, Some(9));
+                assert!(a.quick);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,421 @@
+//! Subcommand implementations.
+
+use crate::args::{InfoArgs, RunArgs, SynthArgs, TrainArgs};
+use seqdrift_core::pipeline::PipelineEvent;
+use seqdrift_core::{DetectorConfig, DriftPipeline};
+use seqdrift_datasets::fan::{self, FanConfig, FanScenario};
+use seqdrift_datasets::nslkdd::{self, NslKddConfig};
+use seqdrift_datasets::{loader, DriftDataset, Sample};
+use seqdrift_linalg::Real;
+use seqdrift_oselm::{MultiInstanceModel, OsElmConfig};
+use std::io::Write;
+
+type Out<'a> = &'a mut dyn Write;
+
+fn fail(context: &str, e: impl std::fmt::Display) -> String {
+    format!("{context}: {e}")
+}
+
+/// `seqdrift train`: calibrate from labelled CSV, checkpoint to disk.
+pub fn train(a: &TrainArgs, out: Out<'_>) -> Result<(), String> {
+    let samples = loader::load_csv(&a.csv, a.has_header, a.label_last)
+        .map_err(|e| fail("reading training CSV", e))?;
+    let classes = samples.iter().map(|s| s.label).max().unwrap_or(0) + 1;
+    let dim = samples[0].dim();
+    writeln!(
+        out,
+        "loaded {} samples, {dim} features, {classes} classes",
+        samples.len()
+    )
+    .ok();
+
+    let mut model = MultiInstanceModel::new(
+        classes,
+        OsElmConfig::new(dim, a.hidden).with_seed(a.seed),
+    )
+    .map_err(|e| fail("building model", e))?;
+    let mut buckets: Vec<Vec<Vec<Real>>> = vec![Vec::new(); classes];
+    for s in &samples {
+        buckets[s.label].push(s.x.clone());
+    }
+    for (label, bucket) in buckets.iter().enumerate() {
+        if bucket.is_empty() {
+            return Err(format!("class {label} has no training samples"));
+        }
+        model
+            .init_train_class(label, bucket)
+            .map_err(|e| fail("initial training", e))?;
+    }
+
+    let pairs: Vec<(usize, &[Real])> =
+        samples.iter().map(|s| (s.label, s.x.as_slice())).collect();
+    let det = DetectorConfig::new(classes, dim).with_window(a.window);
+    let pipeline =
+        DriftPipeline::calibrate(model, det, &pairs).map_err(|e| fail("calibration", e))?;
+    writeln!(
+        out,
+        "calibrated: theta_drift = {:.4}, theta_error = {:.6}, window = {}",
+        pipeline.detector().config().theta_drift,
+        pipeline.detector().config().theta_error,
+        a.window
+    )
+    .ok();
+
+    let bytes = pipeline.to_bytes().map_err(|e| fail("serialising", e))?;
+    std::fs::write(&a.out, &bytes).map_err(|e| fail("writing checkpoint", e))?;
+    writeln!(out, "wrote {} bytes to {}", bytes.len(), a.out.display()).ok();
+    Ok(())
+}
+
+/// `seqdrift run`: stream an unlabelled CSV through a checkpoint.
+pub fn run_stream(a: &RunArgs, out: Out<'_>) -> Result<(), String> {
+    let blob = std::fs::read(&a.model).map_err(|e| fail("reading checkpoint", e))?;
+    let mut pipeline =
+        DriftPipeline::from_bytes(&blob).map_err(|e| fail("decoding checkpoint", e))?;
+    let samples = loader::load_csv(&a.csv, a.has_header, a.label_last)
+        .map_err(|e| fail("reading stream CSV", e))?;
+    let expected = pipeline.detector().config().dim;
+    if samples[0].dim() != expected {
+        return Err(format!(
+            "stream has {} features but the checkpoint expects {expected}",
+            samples[0].dim()
+        ));
+    }
+
+    let start_index = pipeline.samples_processed();
+    let mut detections = 0usize;
+    for s in &samples {
+        let o = pipeline
+            .process(&s.x)
+            .map_err(|e| fail("processing sample", e))?;
+        if o.drift_detected {
+            detections += 1;
+            let top: Vec<String> = pipeline
+                .detector()
+                .dimension_contributions(3)
+                .into_iter()
+                .map(|(d, v)| format!("f{d} ({v:.3})"))
+                .collect();
+            writeln!(
+                out,
+                "sample {}: DRIFT detected (distance {:.4}; top features {}); reconstructing",
+                pipeline.samples_processed() - 1,
+                o.drift_distance,
+                top.join(", ")
+            )
+            .ok();
+        }
+    }
+    writeln!(
+        out,
+        "processed {} samples (stream positions {}..{}), {detections} drift(s)",
+        samples.len(),
+        start_index,
+        pipeline.samples_processed()
+    )
+    .ok();
+
+    if let Some(events_path) = &a.events {
+        let mut csv = String::from("event,stream_index,value\n");
+        for e in pipeline.events() {
+            match e {
+                PipelineEvent::DriftDetected { index, dist } => {
+                    csv.push_str(&format!("drift,{index},{dist}\n"));
+                }
+                PipelineEvent::Reconstructed {
+                    index,
+                    new_theta_drift,
+                } => {
+                    csv.push_str(&format!("reconstructed,{index},{new_theta_drift}\n"));
+                }
+            }
+        }
+        std::fs::write(events_path, csv).map_err(|e| fail("writing events CSV", e))?;
+        writeln!(out, "events written to {}", events_path.display()).ok();
+    }
+
+    if let Some(out_path) = &a.out {
+        if pipeline.is_reconstructing() {
+            writeln!(
+                out,
+                "note: stream ended mid-reconstruction; checkpoint not written \
+                 (feed more samples and save at a quiescent point)"
+            )
+            .ok();
+        } else {
+            let bytes = pipeline.to_bytes().map_err(|e| fail("serialising", e))?;
+            std::fs::write(out_path, &bytes).map_err(|e| fail("writing checkpoint", e))?;
+            writeln!(out, "adapted checkpoint written to {}", out_path.display()).ok();
+        }
+    }
+    Ok(())
+}
+
+/// `seqdrift info`: describe a checkpoint.
+pub fn info(a: &InfoArgs, out: Out<'_>) -> Result<(), String> {
+    let blob = std::fs::read(&a.model).map_err(|e| fail("reading checkpoint", e))?;
+    let pipeline =
+        DriftPipeline::from_bytes(&blob).map_err(|e| fail("decoding checkpoint", e))?;
+    let det = pipeline.detector().config();
+    writeln!(out, "checkpoint: {} ({} bytes)", a.model.display(), blob.len()).ok();
+    writeln!(
+        out,
+        "model: {} classes x {} features, {} hidden nodes",
+        det.classes,
+        det.dim,
+        pipeline.model().instance(0).map(|i| i.network().hidden_dim()).unwrap_or(0)
+    )
+    .ok();
+    writeln!(
+        out,
+        "detector: window = {}, theta_drift = {:.4}, theta_error = {:.6}, metric = {:?}",
+        det.window, det.theta_drift, det.theta_error, det.metric
+    )
+    .ok();
+    writeln!(
+        out,
+        "history: {} samples processed, detector has seen {}",
+        pipeline.samples_processed(),
+        pipeline.detector().samples_seen()
+    )
+    .ok();
+    for c in 0..det.classes {
+        writeln!(
+            out,
+            "  class {c}: trained count {}, test count {}",
+            pipeline.detector().trained_centroids().count(c),
+            pipeline.detector().test_centroids().count(c)
+        )
+        .ok();
+    }
+    Ok(())
+}
+
+fn write_csv(path: &std::path::Path, samples: &[Sample], with_label: bool) -> Result<(), String> {
+    let mut text = String::new();
+    for s in samples {
+        let row: Vec<String> = s.x.iter().map(|v| format!("{v}")).collect();
+        text.push_str(&row.join(","));
+        if with_label {
+            text.push_str(&format!(",{}", s.label));
+        }
+        text.push('\n');
+    }
+    std::fs::write(path, text).map_err(|e| fail("writing CSV", e))
+}
+
+/// `seqdrift synth`: export a synthetic dataset to CSV.
+pub fn synth(a: &SynthArgs, out: Out<'_>) -> Result<(), String> {
+    let dataset: DriftDataset = match a.dataset.as_str() {
+        "nslkdd" => {
+            let mut cfg = if a.quick {
+                NslKddConfig {
+                    n_train: 400,
+                    n_test: 4000,
+                    drift_point: 1400,
+                    ..NslKddConfig::default()
+                }
+            } else {
+                NslKddConfig::default()
+            };
+            if let Some(seed) = a.seed {
+                cfg.seed = seed;
+            }
+            nslkdd::generate(&cfg)
+        }
+        "fan-sudden" | "fan-gradual" | "fan-reoccurring" => {
+            let scenario = match a.dataset.as_str() {
+                "fan-sudden" => FanScenario::Sudden,
+                "fan-gradual" => FanScenario::Gradual,
+                _ => FanScenario::Reoccurring,
+            };
+            let mut cfg = FanConfig::default();
+            if let Some(seed) = a.seed {
+                cfg.seed = seed;
+            }
+            fan::generate(&cfg, scenario, fan::Environment::Silent)
+        }
+        other => {
+            return Err(format!(
+                "unknown dataset {other:?}; expected nslkdd, fan-sudden, fan-gradual or \
+                 fan-reoccurring"
+            ))
+        }
+    };
+    std::fs::create_dir_all(&a.out).map_err(|e| fail("creating output dir", e))?;
+    write_csv(&a.out.join("train.csv"), &dataset.train, true)?;
+    write_csv(&a.out.join("test.csv"), &dataset.test, true)?;
+    writeln!(
+        out,
+        "{}: wrote {} train + {} test samples to {} (drift at test sample {})",
+        dataset.name,
+        dataset.train.len(),
+        dataset.test.len(),
+        a.out.display(),
+        dataset.drift_start
+    )
+    .ok();
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::{Cli, Command};
+    use seqdrift_linalg::Rng;
+
+    fn tmpdir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("seqdrift-cli-{name}"));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    /// Writes a small labelled two-blob CSV and returns its path.
+    fn labelled_csv(dir: &std::path::Path, n: usize, mean_shift: f32, seed: u64) -> std::path::PathBuf {
+        let mut rng = Rng::seed_from(seed);
+        let mut text = String::from("f0,f1,f2,f3,class\n");
+        for i in 0..n {
+            let (mean, label) = if i % 2 == 0 {
+                (0.2 + mean_shift, "normal")
+            } else {
+                (0.8 + mean_shift, "attack")
+            };
+            let mut x = vec![0.0 as Real; 4];
+            rng.fill_normal(&mut x, mean as Real, 0.05);
+            text.push_str(&format!("{},{},{},{},{label}\n", x[0], x[1], x[2], x[3]));
+        }
+        let path = dir.join(format!("data-{seed}.csv"));
+        std::fs::write(&path, text).unwrap();
+        path
+    }
+
+    /// Features-only CSV (no label column, no header).
+    fn stream_csv(dir: &std::path::Path, n: usize, shift: f32, seed: u64) -> std::path::PathBuf {
+        let mut rng = Rng::seed_from(seed);
+        let mut text = String::new();
+        for i in 0..n {
+            let mean = if i % 2 == 0 { 0.2 + shift } else { 0.8 + shift };
+            let mut x = vec![0.0 as Real; 4];
+            rng.fill_normal(&mut x, mean as Real, 0.05);
+            let row: Vec<String> = x.iter().map(|v| v.to_string()).collect();
+            text.push_str(&row.join(","));
+            text.push('\n');
+        }
+        let path = dir.join(format!("stream-{seed}.csv"));
+        std::fs::write(&path, text).unwrap();
+        path
+    }
+
+    fn exec(line: &str) -> Result<String, String> {
+        let argv: Vec<String> = line.split_whitespace().map(String::from).collect();
+        let cli = Cli::parse(&argv).map_err(|e| e.to_string())?;
+        let mut buf = Vec::new();
+        crate::run(&cli, &mut buf)?;
+        Ok(String::from_utf8(buf).unwrap())
+    }
+
+    #[test]
+    fn train_run_info_end_to_end() {
+        let dir = tmpdir("e2e");
+        let train_csv = labelled_csv(&dir, 200, 0.0, 1);
+        let model = dir.join("model.sqdm");
+
+        let out = exec(&format!(
+            "train --csv {} --out {} --label-last --hidden 6 --window 20",
+            train_csv.display(),
+            model.display()
+        ))
+        .unwrap();
+        assert!(out.contains("calibrated"), "{out}");
+        assert!(model.exists());
+
+        // Stable stream: no drift.
+        let stable = stream_csv(&dir, 150, 0.0, 2);
+        let updated = dir.join("updated.sqdm");
+        let out = exec(&format!(
+            "run --csv {} --model {} --out {} --no-header",
+            stable.display(),
+            model.display(),
+            updated.display()
+        ))
+        .unwrap();
+        assert!(out.contains("0 drift(s)"), "{out}");
+        assert!(updated.exists());
+
+        // Shifted stream through the *updated* checkpoint: drift detected.
+        let shifted = stream_csv(&dir, 900, 0.3, 3);
+        let events = dir.join("events.csv");
+        let out = exec(&format!(
+            "run --csv {} --model {} --events {} --no-header",
+            shifted.display(),
+            updated.display(),
+            events.display()
+        ))
+        .unwrap();
+        assert!(out.contains("DRIFT detected"), "{out}");
+        let events_text = std::fs::read_to_string(&events).unwrap();
+        assert!(events_text.contains("drift,"), "{events_text}");
+
+        // Info on the original checkpoint.
+        let out = exec(&format!("info --model {}", model.display())).unwrap();
+        assert!(out.contains("2 classes x 4 features"), "{out}");
+        assert!(out.contains("window = 20"), "{out}");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn run_rejects_dimension_mismatch() {
+        let dir = tmpdir("dims");
+        let train_csv = labelled_csv(&dir, 100, 0.0, 4);
+        let model = dir.join("model.sqdm");
+        exec(&format!(
+            "train --csv {} --out {} --label-last --hidden 4 --window 10",
+            train_csv.display(),
+            model.display()
+        ))
+        .unwrap();
+        // 3-column stream against a 4-feature model.
+        let bad = dir.join("bad.csv");
+        std::fs::write(&bad, "1,2,3\n4,5,6\n").unwrap();
+        let err = exec(&format!(
+            "run --csv {} --model {} --no-header",
+            bad.display(),
+            model.display()
+        ))
+        .unwrap_err();
+        assert!(err.contains("expects 4"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn synth_exports_datasets() {
+        let dir = tmpdir("synth");
+        let out = exec(&format!(
+            "synth --dataset fan-sudden --out {}",
+            dir.display()
+        ))
+        .unwrap();
+        assert!(out.contains("drift at test sample 120"), "{out}");
+        let test_csv = std::fs::read_to_string(dir.join("test.csv")).unwrap();
+        assert_eq!(test_csv.lines().count(), 700);
+        // 511 features + label column.
+        assert_eq!(test_csv.lines().next().unwrap().split(',').count(), 512);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn synth_rejects_unknown_dataset() {
+        let dir = tmpdir("synth-bad");
+        let err = exec(&format!("synth --dataset mnist --out {}", dir.display())).unwrap_err();
+        assert!(err.contains("unknown dataset"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn train_rejects_missing_file() {
+        let err = exec("train --csv /nonexistent/x.csv --out /tmp/m.sqdm --label-last")
+            .unwrap_err();
+        assert!(err.contains("reading training CSV"), "{err}");
+    }
+}

@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+
+//! # seqdrift-cli
+//!
+//! The `seqdrift` command-line tool: the adoption path for users who have
+//! data in CSV files and want drift detection without writing Rust.
+//!
+//! ```text
+//! seqdrift train --csv train.csv --label-last --window 100 --out model.sqdm
+//! seqdrift run   --csv stream.csv --model model.sqdm --out updated.sqdm
+//! seqdrift info  --model model.sqdm
+//! seqdrift synth --dataset fan-sudden --out data/
+//! ```
+//!
+//! * `train` — calibrate a full [`seqdrift_core::DriftPipeline`] from a
+//!   labelled CSV (features + final label column) and checkpoint it;
+//! * `run` — stream an unlabelled CSV through a checkpointed pipeline,
+//!   reporting drift detections and reconstructions, optionally writing
+//!   the adapted checkpoint back out;
+//! * `info` — describe a checkpoint (shapes, thresholds, counters);
+//! * `synth` — export the paper's synthetic datasets to CSV for
+//!   inspection or replay.
+//!
+//! The argument parser and command implementations live here in the
+//! library so they are unit-testable; `main.rs` is a thin shim.
+
+pub mod args;
+pub mod commands;
+
+pub use args::{Cli, Command, ParseError};
+
+/// Runs a parsed command, writing human-readable progress to `out`.
+pub fn run(cli: &Cli, out: &mut dyn std::io::Write) -> Result<(), String> {
+    match &cli.command {
+        Command::Train(a) => commands::train(a, out),
+        Command::Run(a) => commands::run_stream(a, out),
+        Command::Info(a) => commands::info(a, out),
+        Command::Synth(a) => commands::synth(a, out),
+    }
+}

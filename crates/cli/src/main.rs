@@ -1,0 +1,17 @@
+//! `seqdrift` binary entry point (thin shim over [`seqdrift_cli`]).
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match seqdrift_cli::Cli::parse(&argv) {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let mut stdout = std::io::stdout();
+    if let Err(e) = seqdrift_cli::run(&cli, &mut stdout) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

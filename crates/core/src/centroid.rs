@@ -1,0 +1,396 @@
+//! Per-label centroid sets with sequential updates.
+//!
+//! A [`CentroidSet`] holds one centroid per class label plus the per-label
+//! sample counts `num` that weight the running-mean update of Algorithm 1
+//! line 12:
+//!
+//! ```text
+//! cor[c] <- (cor[c] * num[c] + data) / (num[c] + 1)
+//! ```
+//!
+//! State is `classes x dim` scalars — independent of stream length, which is
+//! the entire memory argument of the paper.
+
+use crate::{CoreError, Result};
+use seqdrift_linalg::{vector, Real};
+
+/// How the recent centroid weights new samples (§3.2: "it is possible to
+/// assign a higher weight to a newer sample").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Recency {
+    /// Plain running mean (the paper's Algorithm 1 update).
+    RunningMean,
+    /// Exponentially-weighted mean with the given `alpha` — newer samples
+    /// weigh more; the extension variant the paper sketches.
+    Ewma(Real),
+}
+
+/// A set of per-label centroids with sample counts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CentroidSet {
+    centroids: Vec<Vec<Real>>,
+    counts: Vec<u64>,
+    dim: usize,
+}
+
+impl CentroidSet {
+    /// Creates an all-zero centroid set.
+    pub fn zeros(classes: usize, dim: usize) -> Self {
+        CentroidSet {
+            centroids: vec![vec![0.0; dim]; classes],
+            counts: vec![0; classes],
+            dim,
+        }
+    }
+
+    /// Builds centroids as per-label means of `(label, sample)` pairs.
+    ///
+    /// Labels must be `< classes`; classes that receive no samples keep a
+    /// zero centroid and zero count.
+    pub fn from_labeled(
+        classes: usize,
+        dim: usize,
+        data: &[(usize, &[Real])],
+    ) -> Result<CentroidSet> {
+        let mut set = CentroidSet::zeros(classes, dim);
+        for (label, x) in data {
+            set.update(*label, x)?;
+        }
+        Ok(set)
+    }
+
+    /// Number of labels.
+    pub fn classes(&self) -> usize {
+        self.centroids.len()
+    }
+
+    /// Feature dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Centroid of `label`.
+    pub fn centroid(&self, label: usize) -> Result<&[Real]> {
+        self.centroids
+            .get(label)
+            .map(|c| c.as_slice())
+            .ok_or(CoreError::BadLabel {
+                classes: self.centroids.len(),
+                label,
+            })
+    }
+
+    /// Sample count of `label`.
+    pub fn count(&self, label: usize) -> u64 {
+        self.counts.get(label).copied().unwrap_or(0)
+    }
+
+    /// All counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Sequential running-mean update of `label`'s centroid with `x`
+    /// (Algorithm 1 line 12 / Algorithm 4 line 3).
+    pub fn update(&mut self, label: usize, x: &[Real]) -> Result<()> {
+        self.check(label, x)?;
+        vector::running_mean_update(&mut self.centroids[label], self.counts[label], x);
+        self.counts[label] += 1;
+        Ok(())
+    }
+
+    /// Recency-weighted update (see [`Recency`]).
+    pub fn update_with(&mut self, label: usize, x: &[Real], recency: Recency) -> Result<()> {
+        match recency {
+            Recency::RunningMean => self.update(label, x),
+            Recency::Ewma(alpha) => {
+                self.check(label, x)?;
+                if self.counts[label] == 0 {
+                    self.centroids[label].copy_from_slice(x);
+                } else {
+                    vector::ewma_update(&mut self.centroids[label], alpha, x);
+                }
+                self.counts[label] += 1;
+                Ok(())
+            }
+        }
+    }
+
+    /// Overwrites `label`'s centroid (Algorithm 3 line 13).
+    pub fn set_centroid(&mut self, label: usize, x: &[Real]) -> Result<()> {
+        self.check(label, x)?;
+        self.centroids[label].copy_from_slice(x);
+        Ok(())
+    }
+
+    /// Overwrites `label`'s count.
+    pub fn set_count(&mut self, label: usize, n: u64) {
+        self.counts[label] = n;
+    }
+
+    /// Label whose centroid is nearest to `x` in L1
+    /// (`argmin_c |cor[c] - data|`, Algorithms 2–4).
+    pub fn nearest_label(&self, x: &[Real]) -> usize {
+        let mut best = 0;
+        let mut best_d = Real::INFINITY;
+        for (c, cent) in self.centroids.iter().enumerate() {
+            let d = vector::dist_l1(cent, x);
+            if d < best_d {
+                best_d = d;
+                best = c;
+            }
+        }
+        best
+    }
+
+    /// Sum over all label pairs of pairwise centroid L1 distances
+    /// (Algorithm 3 lines 3 and 7).
+    pub fn pairwise_distance_sum(&self) -> Real {
+        let mut sum = 0.0;
+        for j in 0..self.centroids.len() {
+            for k in (j + 1)..self.centroids.len() {
+                sum += vector::dist_l1(&self.centroids[j], &self.centroids[k]);
+            }
+        }
+        sum
+    }
+
+    /// Minimum pairwise centroid L1 distance (`+inf` with fewer than two
+    /// labels) — the maximin dispersion objective of coordinate search.
+    pub fn min_pairwise_distance(&self) -> Real {
+        let mut min = Real::INFINITY;
+        for j in 0..self.centroids.len() {
+            for k in (j + 1)..self.centroids.len() {
+                min = min.min(vector::dist_l1(&self.centroids[j], &self.centroids[k]));
+            }
+        }
+        min
+    }
+
+    /// `Σ_labels metric(self[c], other[c])` — the drift distance of
+    /// Algorithm 1 line 14 when `metric` is L1.
+    pub fn distance_to(&self, other: &CentroidSet, metric: crate::DistanceMetric) -> Real {
+        debug_assert_eq!(self.classes(), other.classes());
+        self.centroids
+            .iter()
+            .zip(other.centroids.iter())
+            .map(|(a, b)| metric.eval(a, b))
+            .sum()
+    }
+
+    /// Number of resident scalars (memory accounting): centroid values plus
+    /// one count per class.
+    pub fn memory_scalars(&self) -> usize {
+        self.centroids.len() * self.dim + self.counts.len()
+    }
+
+    /// Reorders labels: row `i` moves to index `mapping[i]` (counts move
+    /// with their centroids). `mapping` must be a permutation.
+    pub fn permuted(&self, mapping: &[usize]) -> Result<CentroidSet> {
+        let c = self.centroids.len();
+        if mapping.len() != c {
+            return Err(CoreError::InvalidConfig("permutation length mismatch"));
+        }
+        let mut seen = vec![false; c];
+        for &m in mapping {
+            if m >= c || seen[m] {
+                return Err(CoreError::InvalidConfig("mapping is not a permutation"));
+            }
+            seen[m] = true;
+        }
+        let mut out = CentroidSet::zeros(c, self.dim);
+        for (i, &target) in mapping.iter().enumerate() {
+            out.centroids[target] = self.centroids[i].clone();
+            out.counts[target] = self.counts[i];
+        }
+        Ok(out)
+    }
+
+    /// Minimum-total-L1-cost assignment of this set's labels onto
+    /// `reference`'s labels: returns `mapping` with `mapping[i]` = the
+    /// reference label that row `i` should take. Exact (permutation search)
+    /// for up to 8 classes, greedy nearest-unclaimed beyond.
+    pub fn match_to(&self, reference: &CentroidSet) -> Vec<usize> {
+        let c = self.centroids.len();
+        debug_assert_eq!(c, reference.classes());
+        if c <= 8 {
+            let mut best: Option<(Real, Vec<usize>)> = None;
+            let mut perm: Vec<usize> = (0..c).collect();
+            permute_visit(&mut perm, 0, &mut |p| {
+                let cost: Real = p
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &target)| {
+                        vector::dist_l1(&self.centroids[i], &reference.centroids[target])
+                    })
+                    .sum();
+                if best.as_ref().is_none_or(|(bc, _)| cost < *bc) {
+                    best = Some((cost, p.to_vec()));
+                }
+            });
+            best.expect("non-empty permutation set").1
+        } else {
+            let mut mapping = vec![usize::MAX; c];
+            let mut taken = vec![false; c];
+            for (i, cent) in self.centroids.iter().enumerate() {
+                let mut best_t = None;
+                let mut best_d = Real::INFINITY;
+                for (t, rc) in reference.centroids.iter().enumerate() {
+                    if taken[t] {
+                        continue;
+                    }
+                    let d = vector::dist_l1(cent, rc);
+                    if d < best_d {
+                        best_d = d;
+                        best_t = Some(t);
+                    }
+                }
+                let t = best_t.expect("reference labels remain");
+                mapping[i] = t;
+                taken[t] = true;
+            }
+            mapping
+        }
+    }
+}
+
+fn permute_visit(items: &mut Vec<usize>, k: usize, visit: &mut impl FnMut(&[usize])) {
+    if k == items.len() {
+        visit(items);
+        return;
+    }
+    for i in k..items.len() {
+        items.swap(k, i);
+        permute_visit(items, k + 1, visit);
+        items.swap(k, i);
+    }
+}
+
+impl CentroidSet {
+    fn check(&self, label: usize, x: &[Real]) -> Result<()> {
+        if label >= self.centroids.len() {
+            return Err(CoreError::BadLabel {
+                classes: self.centroids.len(),
+                label,
+            });
+        }
+        if x.len() != self.dim {
+            return Err(CoreError::DimensionMismatch {
+                expected: self.dim,
+                got: x.len(),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DistanceMetric;
+
+    #[test]
+    fn running_mean_matches_batch_mean() {
+        let mut s = CentroidSet::zeros(2, 2);
+        s.update(0, &[1.0, 2.0]).unwrap();
+        s.update(0, &[3.0, 4.0]).unwrap();
+        s.update(1, &[10.0, 10.0]).unwrap();
+        assert_eq!(s.centroid(0).unwrap(), &[2.0, 3.0]);
+        assert_eq!(s.centroid(1).unwrap(), &[10.0, 10.0]);
+        assert_eq!(s.count(0), 2);
+        assert_eq!(s.count(1), 1);
+    }
+
+    #[test]
+    fn from_labeled_builds_means() {
+        let data: Vec<(usize, &[Real])> = vec![
+            (0, &[0.0, 0.0][..]),
+            (0, &[2.0, 2.0][..]),
+            (1, &[4.0, 6.0][..]),
+        ];
+        let s = CentroidSet::from_labeled(2, 2, &data).unwrap();
+        assert_eq!(s.centroid(0).unwrap(), &[1.0, 1.0]);
+        assert_eq!(s.centroid(1).unwrap(), &[4.0, 6.0]);
+    }
+
+    #[test]
+    fn bad_label_and_dim_rejected() {
+        let mut s = CentroidSet::zeros(2, 3);
+        assert!(matches!(
+            s.update(5, &[0.0; 3]),
+            Err(CoreError::BadLabel { .. })
+        ));
+        assert!(matches!(
+            s.update(0, &[0.0; 2]),
+            Err(CoreError::DimensionMismatch { .. })
+        ));
+        assert!(matches!(s.centroid(9), Err(CoreError::BadLabel { .. })));
+    }
+
+    #[test]
+    fn ewma_first_sample_snaps_then_smooths() {
+        let mut s = CentroidSet::zeros(1, 1);
+        s.update_with(0, &[10.0], Recency::Ewma(0.5)).unwrap();
+        assert_eq!(s.centroid(0).unwrap(), &[10.0]);
+        s.update_with(0, &[0.0], Recency::Ewma(0.5)).unwrap();
+        assert_eq!(s.centroid(0).unwrap(), &[5.0]);
+    }
+
+    #[test]
+    fn ewma_tracks_recent_faster_than_running_mean() {
+        let mut rm = CentroidSet::zeros(1, 1);
+        let mut ew = CentroidSet::zeros(1, 1);
+        // 100 samples at 0, then 20 samples at 1.
+        for _ in 0..100 {
+            rm.update(0, &[0.0]).unwrap();
+            ew.update_with(0, &[0.0], Recency::Ewma(0.2)).unwrap();
+        }
+        for _ in 0..20 {
+            rm.update(0, &[1.0]).unwrap();
+            ew.update_with(0, &[1.0], Recency::Ewma(0.2)).unwrap();
+        }
+        assert!(ew.centroid(0).unwrap()[0] > 3.0 * rm.centroid(0).unwrap()[0]);
+    }
+
+    #[test]
+    fn nearest_label_is_l1_argmin() {
+        let mut s = CentroidSet::zeros(3, 2);
+        s.set_centroid(0, &[0.0, 0.0]).unwrap();
+        s.set_centroid(1, &[5.0, 5.0]).unwrap();
+        s.set_centroid(2, &[0.0, 5.0]).unwrap();
+        assert_eq!(s.nearest_label(&[1.0, 0.5]), 0);
+        assert_eq!(s.nearest_label(&[4.0, 4.0]), 1);
+        assert_eq!(s.nearest_label(&[0.5, 4.5]), 2);
+    }
+
+    #[test]
+    fn pairwise_distance_sum_known() {
+        let mut s = CentroidSet::zeros(3, 1);
+        s.set_centroid(0, &[0.0]).unwrap();
+        s.set_centroid(1, &[1.0]).unwrap();
+        s.set_centroid(2, &[3.0]).unwrap();
+        // |0-1| + |0-3| + |1-3| = 6.
+        assert_eq!(s.pairwise_distance_sum(), 6.0);
+    }
+
+    #[test]
+    fn distance_to_sums_over_labels() {
+        let mut a = CentroidSet::zeros(2, 2);
+        let b = CentroidSet::zeros(2, 2);
+        a.set_centroid(0, &[1.0, 0.0]).unwrap();
+        a.set_centroid(1, &[0.0, 2.0]).unwrap();
+        assert_eq!(a.distance_to(&b, DistanceMetric::L1), 3.0);
+        assert!((a.distance_to(&b, DistanceMetric::L2) - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn memory_is_constant_in_stream_length() {
+        let mut s = CentroidSet::zeros(2, 10);
+        let before = s.memory_scalars();
+        for i in 0..10_000 {
+            s.update(i % 2, &[0.5; 10]).unwrap();
+        }
+        assert_eq!(s.memory_scalars(), before);
+        assert_eq!(before, 2 * 10 + 2);
+    }
+}

@@ -1,0 +1,217 @@
+//! Multi-window detector ensemble — the extension the paper names as
+//! future work ("using multiple detection models with different window
+//! sizes ... to address more complicated drift behaviors").
+//!
+//! Table 3 shows the window-size dilemma: small windows react fast to
+//! sudden drifts but chatter on gradual ones and fire on transient
+//! reoccurring blips; large windows are stable but slow. An ensemble runs
+//! several [`CentroidDetector`]s over the same sample stream and combines
+//! their window verdicts under a configurable vote.
+
+use crate::centroid::CentroidSet;
+use crate::detector::{CentroidDetector, DetectorConfig, DetectorOutcome};
+use crate::{CoreError, Result};
+use seqdrift_linalg::Real;
+
+/// How member verdicts combine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VotePolicy {
+    /// Drift as soon as any member flags (fast, more false positives).
+    Any,
+    /// Drift when a strict majority of members currently flag.
+    Majority,
+    /// Drift only when every member flags (slow, conservative).
+    All,
+}
+
+/// Ensemble of centroid detectors with different window sizes.
+#[derive(Debug, Clone)]
+pub struct EnsembleDetector {
+    members: Vec<CentroidDetector>,
+    /// Sticky per-member "has flagged since last reset" bits; windows of
+    /// different sizes close at different samples, so votes latch.
+    flagged: Vec<bool>,
+    policy: VotePolicy,
+}
+
+impl EnsembleDetector {
+    /// Builds one member per window size, sharing `base` config (thresholds,
+    /// metric) and the trained centroids.
+    pub fn new(
+        base: DetectorConfig,
+        windows: &[usize],
+        trained: &CentroidSet,
+        policy: VotePolicy,
+    ) -> Result<Self> {
+        if windows.is_empty() {
+            return Err(CoreError::InvalidConfig("ensemble needs >= 1 window"));
+        }
+        let mut members = Vec::with_capacity(windows.len());
+        for &w in windows {
+            let cfg = base.clone().with_window(w);
+            members.push(CentroidDetector::new(cfg, trained.clone())?);
+        }
+        Ok(EnsembleDetector {
+            flagged: vec![false; members.len()],
+            members,
+            policy,
+        })
+    }
+
+    /// Member count.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True when the ensemble has no members (never, post-construction).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Immutable member access (diagnostics).
+    pub fn member(&self, i: usize) -> &CentroidDetector {
+        &self.members[i]
+    }
+
+    /// Current latched votes.
+    pub fn votes(&self) -> &[bool] {
+        &self.flagged
+    }
+
+    /// Feeds one sample to every member; returns `true` when the vote
+    /// policy is satisfied *at this sample*.
+    pub fn observe(&mut self, label: usize, x: &[Real], error: Real) -> Result<bool> {
+        for (member, flag) in self.members.iter_mut().zip(self.flagged.iter_mut()) {
+            if let DetectorOutcome::Checked { drift: true, .. } = member.observe(label, x, error)? {
+                *flag = true;
+            }
+        }
+        let yes = self.flagged.iter().filter(|&&f| f).count();
+        let fired = match self.policy {
+            VotePolicy::Any => yes >= 1,
+            VotePolicy::Majority => 2 * yes > self.members.len(),
+            VotePolicy::All => yes == self.members.len(),
+        };
+        Ok(fired)
+    }
+
+    /// Rebases every member after a reconstruction and clears the latched
+    /// votes.
+    pub fn rebase(&mut self, trained: CentroidSet, theta_drift: Real) -> Result<()> {
+        for member in &mut self.members {
+            member.rebase(trained.clone(), theta_drift)?;
+        }
+        self.flagged.fill(false);
+        Ok(())
+    }
+
+    /// Total resident scalars across members (memory accounting: the
+    /// ensemble multiplies the detector's footprint by its member count).
+    pub fn memory_scalars(&self) -> usize {
+        self.members.iter().map(|m| m.memory_scalars()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trained() -> CentroidSet {
+        let mut s = CentroidSet::zeros(1, 2);
+        s.set_centroid(0, &[0.0, 0.0]).unwrap();
+        s.set_count(0, 50);
+        s
+    }
+
+    fn base() -> DetectorConfig {
+        DetectorConfig::new(1, 2)
+            .with_theta_drift(0.5)
+            .with_theta_error(0.0)
+    }
+
+    #[test]
+    fn empty_windows_rejected() {
+        assert!(EnsembleDetector::new(base(), &[], &trained(), VotePolicy::Any).is_err());
+    }
+
+    #[test]
+    fn any_fires_with_first_member() {
+        let mut e =
+            EnsembleDetector::new(base(), &[5, 50], &trained(), VotePolicy::Any).unwrap();
+        let mut fired_at = None;
+        for i in 0..50 {
+            if e.observe(0, &[4.0, 4.0], 1.0).unwrap() && fired_at.is_none() {
+                fired_at = Some(i);
+            }
+        }
+        // The 5-window member checks at sample 5 (index 4).
+        assert_eq!(fired_at, Some(4));
+    }
+
+    #[test]
+    fn all_waits_for_slowest_member() {
+        let mut e =
+            EnsembleDetector::new(base(), &[5, 20], &trained(), VotePolicy::All).unwrap();
+        let mut fired_at = None;
+        for i in 0..40 {
+            if e.observe(0, &[4.0, 4.0], 1.0).unwrap() && fired_at.is_none() {
+                fired_at = Some(i);
+            }
+        }
+        assert_eq!(fired_at, Some(19));
+    }
+
+    #[test]
+    fn majority_needs_more_than_half() {
+        let mut e =
+            EnsembleDetector::new(base(), &[5, 10, 40], &trained(), VotePolicy::Majority)
+                .unwrap();
+        let mut fired_at = None;
+        for i in 0..60 {
+            if e.observe(0, &[4.0, 4.0], 1.0).unwrap() && fired_at.is_none() {
+                fired_at = Some(i);
+            }
+        }
+        // Members flag at their first window close (samples 5, 10, 40);
+        // majority (2 of 3) at index 9.
+        assert_eq!(fired_at, Some(9));
+    }
+
+    #[test]
+    fn stationary_stream_never_fires() {
+        let mut e =
+            EnsembleDetector::new(base(), &[5, 20], &trained(), VotePolicy::Any).unwrap();
+        let mut rng = seqdrift_linalg::Rng::seed_from(1);
+        for _ in 0..200 {
+            let x = [rng.normal(0.0, 0.02), rng.normal(0.0, 0.02)];
+            assert!(!e.observe(0, &x, 1.0).unwrap());
+        }
+    }
+
+    #[test]
+    fn rebase_clears_latched_votes() {
+        let mut e =
+            EnsembleDetector::new(base(), &[5], &trained(), VotePolicy::Any).unwrap();
+        for _ in 0..5 {
+            e.observe(0, &[4.0, 4.0], 1.0).unwrap();
+        }
+        assert_eq!(e.votes(), &[true]);
+        let mut new_set = CentroidSet::zeros(1, 2);
+        new_set.set_centroid(0, &[4.0, 4.0]).unwrap();
+        new_set.set_count(0, 10);
+        e.rebase(new_set, 0.5).unwrap();
+        assert_eq!(e.votes(), &[false]);
+        // Now stable at the new location.
+        for _ in 0..10 {
+            assert!(!e.observe(0, &[4.0, 4.0], 1.0).unwrap());
+        }
+    }
+
+    #[test]
+    fn memory_scales_with_member_count() {
+        let one = EnsembleDetector::new(base(), &[5], &trained(), VotePolicy::Any).unwrap();
+        let three =
+            EnsembleDetector::new(base(), &[5, 10, 20], &trained(), VotePolicy::Any).unwrap();
+        assert_eq!(3 * one.memory_scalars(), three.memory_scalars());
+    }
+}

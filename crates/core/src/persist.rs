@@ -1,0 +1,290 @@
+//! Pipeline persistence: checkpoint the full detection state for device
+//! reboot recovery.
+//!
+//! An edge device loses power; on restart it should resume with its
+//! *adapted* model and centroids, not refit from scratch (the training
+//! data is long gone). [`DriftPipeline::to_bytes`] captures the model, the
+//! detector's trained/test centroid sets, all thresholds, and the
+//! reconstruction schedule. Mid-reconstruction checkpoints are refused —
+//! the half-retrained model is not a state worth resuming into; callers
+//! checkpoint at quiescent points (e.g. after each `Reconstructed` event).
+
+use crate::centroid::{CentroidSet, Recency};
+use crate::detector::{CentroidDetector, DetectorConfig, DistanceMetric};
+use crate::pipeline::{DriftPipeline, PipelineConfig};
+use crate::reconstruct::{ReconstructConfig, Reconstructor};
+use crate::{CoreError, Result};
+use seqdrift_linalg::wire::{Reader, WireError, Writer};
+use seqdrift_oselm::persist::{read_multi_instance_body, write_multi_instance_body};
+
+/// Payload kind of a serialised pipeline.
+const KIND_PIPELINE: u16 = 16;
+
+fn wire_err(e: WireError) -> CoreError {
+    CoreError::InvalidConfig(match e {
+        WireError::BadMagic => "persist: bad magic",
+        WireError::UnsupportedVersion(_) => "persist: unsupported version",
+        WireError::WrongKind { .. } => "persist: wrong payload kind",
+        WireError::Truncated => "persist: truncated blob",
+        WireError::Invalid(w) => w,
+    })
+}
+
+fn write_centroid_set(w: &mut Writer, s: &CentroidSet) {
+    w.u64(s.classes() as u64);
+    w.u64(s.dim() as u64);
+    for c in 0..s.classes() {
+        w.reals(s.centroid(c).expect("class in range"));
+    }
+    w.u64s(s.counts());
+}
+
+fn read_centroid_set(r: &mut Reader<'_>) -> Result<CentroidSet> {
+    let classes = r.u64().map_err(wire_err)? as usize;
+    let dim = r.u64().map_err(wire_err)? as usize;
+    if classes == 0 || classes > 65_536 || dim == 0 || dim > 16_777_216 {
+        return Err(CoreError::InvalidConfig("persist: centroid set shape"));
+    }
+    let mut set = CentroidSet::zeros(classes, dim);
+    for c in 0..classes {
+        let row = r.reals().map_err(wire_err)?;
+        if row.len() != dim {
+            return Err(CoreError::InvalidConfig("persist: centroid row length"));
+        }
+        set.set_centroid(c, &row)?;
+    }
+    let counts = r.u64s().map_err(wire_err)?;
+    if counts.len() != classes {
+        return Err(CoreError::InvalidConfig("persist: counts length"));
+    }
+    for (c, &n) in counts.iter().enumerate() {
+        set.set_count(c, n);
+    }
+    Ok(set)
+}
+
+fn write_detector_config(w: &mut Writer, cfg: &DetectorConfig) {
+    w.u64(cfg.classes as u64);
+    w.u64(cfg.dim as u64);
+    w.u64(cfg.window as u64);
+    w.real(cfg.theta_error);
+    w.real(cfg.theta_drift);
+    w.u8(match cfg.metric {
+        DistanceMetric::L1 => 0,
+        DistanceMetric::L2 => 1,
+    });
+    match cfg.recency {
+        Recency::RunningMean => w.u8(0),
+        Recency::Ewma(a) => {
+            w.u8(1);
+            w.real(a);
+        }
+    }
+}
+
+fn read_detector_config(r: &mut Reader<'_>) -> Result<DetectorConfig> {
+    let classes = r.u64().map_err(wire_err)? as usize;
+    let dim = r.u64().map_err(wire_err)? as usize;
+    let window = r.u64().map_err(wire_err)? as usize;
+    let theta_error = r.real().map_err(wire_err)?;
+    let theta_drift = r.real().map_err(wire_err)?;
+    let metric = match r.u8().map_err(wire_err)? {
+        0 => DistanceMetric::L1,
+        1 => DistanceMetric::L2,
+        _ => return Err(CoreError::InvalidConfig("persist: metric tag")),
+    };
+    let recency = match r.u8().map_err(wire_err)? {
+        0 => Recency::RunningMean,
+        1 => Recency::Ewma(r.real().map_err(wire_err)?),
+        _ => return Err(CoreError::InvalidConfig("persist: recency tag")),
+    };
+    Ok(DetectorConfig {
+        classes,
+        dim,
+        window,
+        theta_error,
+        theta_drift,
+        metric,
+        recency,
+    })
+}
+
+impl DriftPipeline {
+    /// Serialises the pipeline's quiescent state: model, detector (config +
+    /// trained/test centroid sets + window state), pipeline and
+    /// reconstruction configs, and the processed-sample counter. The event
+    /// log is diagnostic and not persisted.
+    ///
+    /// Errors while a reconstruction is in progress.
+    pub fn to_bytes(&self) -> Result<Vec<u8>> {
+        if self.is_reconstructing() {
+            return Err(CoreError::InvalidConfig(
+                "cannot checkpoint mid-reconstruction; wait for the Reconstructed event",
+            ));
+        }
+        let cfg = self.config();
+        let det = self.detector();
+        let mut w = Writer::new(KIND_PIPELINE);
+        // Pipeline-level config.
+        write_detector_config(&mut w, det.config());
+        w.u64(cfg.reconstruct.n_search as u64);
+        w.u64(cfg.reconstruct.n_update as u64);
+        w.u64(cfg.reconstruct.n_total as u64);
+        w.real(cfg.reconstruct.z);
+        w.u8(u8::from(cfg.reconstruct.align_labels));
+        w.real(cfg.error_quantile);
+        w.real(cfg.error_margin);
+        w.real(cfg.z);
+        w.u8(u8::from(cfg.train_on_stable));
+        // Detector state.
+        write_centroid_set(&mut w, det.trained_centroids());
+        write_centroid_set(&mut w, det.test_centroids());
+        w.u64(det.samples_seen());
+        w.u64(self.samples_processed());
+        // Model.
+        write_multi_instance_body(&mut w, self.model());
+        Ok(w.into_bytes())
+    }
+
+    /// Restores a pipeline written by [`DriftPipeline::to_bytes`].
+    pub fn from_bytes(data: &[u8]) -> Result<DriftPipeline> {
+        let mut r = Reader::new(data, KIND_PIPELINE).map_err(wire_err)?;
+        let det_cfg = read_detector_config(&mut r)?;
+        let n_search = r.u64().map_err(wire_err)? as usize;
+        let n_update = r.u64().map_err(wire_err)? as usize;
+        let n_total = r.u64().map_err(wire_err)? as usize;
+        let recon_z = r.real().map_err(wire_err)?;
+        let align_labels = r.u8().map_err(wire_err)? != 0;
+        let error_quantile = r.real().map_err(wire_err)?;
+        let error_margin = r.real().map_err(wire_err)?;
+        let z = r.real().map_err(wire_err)?;
+        let train_on_stable = r.u8().map_err(wire_err)? != 0;
+        let trained = read_centroid_set(&mut r)?;
+        let test = read_centroid_set(&mut r)?;
+        let det_samples = r.u64().map_err(wire_err)?;
+        let samples_processed = r.u64().map_err(wire_err)?;
+        let model = read_multi_instance_body(&mut r)?;
+        r.finish().map_err(wire_err)?;
+
+        let mut recon_cfg = ReconstructConfig::new(n_total)
+            .with_search(n_search)
+            .with_update(n_update)
+            .with_z(recon_z);
+        if !align_labels {
+            recon_cfg = recon_cfg.without_label_alignment();
+        }
+        let mut cfg = PipelineConfig::new(det_cfg.clone())
+            .with_reconstruct(recon_cfg)
+            .with_error_quantile(error_quantile)
+            .with_train_on_stable(train_on_stable);
+        cfg.error_margin = error_margin;
+        cfg.z = z;
+
+        let detector =
+            CentroidDetector::restore(det_cfg.clone(), trained, test, det_samples)?;
+        let reconstructor = Reconstructor::new(recon_cfg, det_cfg.classes, det_cfg.dim)?;
+        DriftPipeline::from_restored_parts(
+            model,
+            detector,
+            reconstructor,
+            cfg,
+            samples_processed,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqdrift_linalg::{Real, Rng};
+    use seqdrift_oselm::{MultiInstanceModel, OsElmConfig};
+
+    fn blob(rng: &mut Rng, dim: usize, mean: Real) -> Vec<Real> {
+        let mut x = vec![0.0; dim];
+        rng.fill_normal(&mut x, mean, 0.05);
+        x
+    }
+
+    fn build_pipeline(rng: &mut Rng) -> DriftPipeline {
+        let dim = 5;
+        let class0: Vec<Vec<Real>> = (0..80).map(|_| blob(rng, dim, 0.2)).collect();
+        let class1: Vec<Vec<Real>> = (0..80).map(|_| blob(rng, dim, 0.8)).collect();
+        let mut model =
+            MultiInstanceModel::new(2, OsElmConfig::new(dim, 4).with_seed(3)).unwrap();
+        model.init_train_class(0, &class0).unwrap();
+        model.init_train_class(1, &class1).unwrap();
+        let pairs: Vec<(usize, &[Real])> = class0
+            .iter()
+            .map(|x| (0usize, x.as_slice()))
+            .chain(class1.iter().map(|x| (1usize, x.as_slice())))
+            .collect();
+        let det = DetectorConfig::new(2, dim).with_window(20);
+        DriftPipeline::calibrate(model, det, &pairs).unwrap()
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_resumes_identically() {
+        let mut rng = Rng::seed_from(1);
+        let mut p = build_pipeline(&mut rng);
+        // Warm it up so detector state is non-trivial.
+        for i in 0..150 {
+            let mean = if i % 2 == 0 { 0.2 } else { 0.8 };
+            p.process(&blob(&mut rng, 5, mean)).unwrap();
+        }
+        let bytes = p.to_bytes().unwrap();
+        let mut restored = DriftPipeline::from_bytes(&bytes).unwrap();
+        assert_eq!(restored.samples_processed(), p.samples_processed());
+        assert_eq!(
+            restored.detector().config().theta_drift,
+            p.detector().config().theta_drift
+        );
+        assert_eq!(
+            restored.detector().test_centroids(),
+            p.detector().test_centroids()
+        );
+        // Both continue in lockstep over the same future stream.
+        let mut rng_a = Rng::seed_from(2);
+        let mut rng_b = Rng::seed_from(2);
+        for i in 0..300 {
+            let mean = if i % 2 == 0 { 0.5 } else { 1.1 };
+            let a = p.process(&blob(&mut rng_a, 5, mean)).unwrap();
+            let b = restored.process(&blob(&mut rng_b, 5, mean)).unwrap();
+            assert_eq!(a.predicted_label, b.predicted_label, "diverged at {i}");
+            assert_eq!(a.drift_detected, b.drift_detected, "diverged at {i}");
+        }
+    }
+
+    #[test]
+    fn mid_reconstruction_checkpoint_is_refused() {
+        let mut rng = Rng::seed_from(5);
+        let mut p = build_pipeline(&mut rng);
+        // Force a drift and stop inside the reconstruction.
+        let mut drifted = false;
+        for _ in 0..500 {
+            let out = p.process(&blob(&mut rng, 5, 1.4)).unwrap();
+            if out.drift_detected {
+                drifted = true;
+                break;
+            }
+        }
+        assert!(drifted, "no drift triggered");
+        // One more sample puts us mid-reconstruction.
+        p.process(&blob(&mut rng, 5, 1.4)).unwrap();
+        assert!(p.is_reconstructing());
+        assert!(p.to_bytes().is_err());
+    }
+
+    #[test]
+    fn corrupted_pipeline_blob_rejected() {
+        let mut rng = Rng::seed_from(9);
+        let p = build_pipeline(&mut rng);
+        let bytes = p.to_bytes().unwrap();
+        assert!(DriftPipeline::from_bytes(&bytes[..bytes.len() - 5]).is_err());
+        let mut bad = bytes.clone();
+        bad[0] = b'Q';
+        assert!(DriftPipeline::from_bytes(&bad).is_err());
+        let mut long = bytes;
+        long.push(1);
+        assert!(DriftPipeline::from_bytes(&long).is_err());
+    }
+}

@@ -1,0 +1,398 @@
+//! The four concept-drift types of Figure 1 as composable stream schedules.
+//!
+//! A [`DriftSchedule`] maps a test-stream index to a *mixing state*: which
+//! concept (old/new) a sample should come from, or — for incremental drift —
+//! how far the concept has morphed. Generators use it to build test streams
+//! with exactly the paper's drift semantics:
+//!
+//! * **Sudden** — old before `start`, new from `start` on; the old
+//!   distribution never reappears.
+//! * **Gradual** — between `start` and `end`, each sample is drawn from the
+//!   new concept with linearly increasing probability; both distributions
+//!   appear during the transition.
+//! * **Incremental** — the distribution itself morphs continuously from old
+//!   to new between `start` and `end`.
+//! * **Reoccurring** — new in `[start, end)`, then the old concept returns.
+
+use serde::{Deserialize, Serialize};
+use seqdrift_linalg::{Real, Rng};
+
+/// Drift type selector (Figure 1).
+#[derive(Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DriftType {
+    /// Instant switch at `start`.
+    Sudden,
+    /// Probabilistic mixture ramping over `[start, end)`.
+    Gradual,
+    /// Continuous morphing over `[start, end)`.
+    Incremental,
+    /// New concept only within `[start, end)`, old returns afterwards.
+    Reoccurring,
+}
+
+/// What a schedule says about one stream position.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MixState {
+    /// Draw from the old concept.
+    Old,
+    /// Draw from the new concept.
+    New,
+    /// Draw from the old concept with probability `1 - p`, new with `p`
+    /// (gradual drift interior).
+    Mixture(Real),
+    /// Draw from a concept morphed `t` of the way from old to new
+    /// (incremental drift interior).
+    Morph(Real),
+}
+
+/// A drift schedule over a test stream.
+#[derive(Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
+pub struct DriftSchedule {
+    /// Drift type.
+    pub kind: DriftType,
+    /// First affected sample index.
+    pub start: usize,
+    /// End of the transition (exclusive). Ignored for `Sudden`; for
+    /// `Reoccurring` this is where the old concept returns.
+    pub end: usize,
+}
+
+impl DriftSchedule {
+    /// Sudden drift at `start`.
+    pub fn sudden(start: usize) -> Self {
+        DriftSchedule {
+            kind: DriftType::Sudden,
+            start,
+            end: start,
+        }
+    }
+
+    /// Gradual drift over `[start, end)`.
+    pub fn gradual(start: usize, end: usize) -> Self {
+        assert!(end > start, "gradual drift needs end > start");
+        DriftSchedule {
+            kind: DriftType::Gradual,
+            start,
+            end,
+        }
+    }
+
+    /// Incremental drift over `[start, end)`.
+    pub fn incremental(start: usize, end: usize) -> Self {
+        assert!(end > start, "incremental drift needs end > start");
+        DriftSchedule {
+            kind: DriftType::Incremental,
+            start,
+            end,
+        }
+    }
+
+    /// Reoccurring drift: new concept in `[start, end)`.
+    pub fn reoccurring(start: usize, end: usize) -> Self {
+        assert!(end > start, "reoccurring drift needs end > start");
+        DriftSchedule {
+            kind: DriftType::Reoccurring,
+            start,
+            end,
+        }
+    }
+
+    /// Mixing state at stream index `t`.
+    pub fn state_at(&self, t: usize) -> MixState {
+        match self.kind {
+            DriftType::Sudden => {
+                if t < self.start {
+                    MixState::Old
+                } else {
+                    MixState::New
+                }
+            }
+            DriftType::Gradual => {
+                if t < self.start {
+                    MixState::Old
+                } else if t >= self.end {
+                    MixState::New
+                } else {
+                    let p = (t - self.start) as Real / (self.end - self.start) as Real;
+                    MixState::Mixture(p)
+                }
+            }
+            DriftType::Incremental => {
+                if t < self.start {
+                    MixState::Old
+                } else if t >= self.end {
+                    MixState::New
+                } else {
+                    let p = (t - self.start) as Real / (self.end - self.start) as Real;
+                    MixState::Morph(p)
+                }
+            }
+            DriftType::Reoccurring => {
+                if t >= self.start && t < self.end {
+                    MixState::New
+                } else {
+                    MixState::Old
+                }
+            }
+        }
+    }
+
+    /// Resolves the state at `t` to a concrete draw decision:
+    /// `(use_new, morph_t)` where `morph_t` is `Some` only for incremental
+    /// interiors.
+    pub fn resolve(&self, t: usize, rng: &mut Rng) -> (bool, Option<Real>) {
+        match self.state_at(t) {
+            MixState::Old => (false, None),
+            MixState::New => (true, None),
+            MixState::Mixture(p) => (rng.uniform() < p, None),
+            MixState::Morph(p) => (false, Some(p)),
+        }
+    }
+
+    /// Ground-truth "is the stream currently in the new concept" indicator
+    /// used by delay metrics: the first index at which new-concept data can
+    /// appear.
+    pub fn onset(&self) -> usize {
+        self.start
+    }
+}
+
+/// Composes a single-class drift dataset from two concepts and a schedule:
+/// training data comes from `old`; the test stream follows the schedule
+/// (mixing for gradual, morphing for incremental). This is the generic
+/// builder behind the Figure 1 streams and the incremental-drift ablation.
+pub fn compose_single_class(
+    old: &crate::synth::ClassConcept,
+    new: &crate::synth::ClassConcept,
+    schedule: DriftSchedule,
+    n_train: usize,
+    n_test: usize,
+    seed: u64,
+) -> crate::stream::DriftDataset {
+    assert_eq!(old.dim(), new.dim(), "concept dimensionality mismatch");
+    let mut rng = Rng::seed_from(seed);
+    let train = (0..n_train)
+        .map(|_| crate::stream::Sample::new(old.sample(&mut rng), 0))
+        .collect();
+    let mut test = Vec::with_capacity(n_test);
+    for t in 0..n_test {
+        let (use_new, morph) = schedule.resolve(t, &mut rng);
+        let x = match morph {
+            Some(m) => crate::synth::ClassConcept::lerp(old, new, m).sample(&mut rng),
+            None if use_new => new.sample(&mut rng),
+            None => old.sample(&mut rng),
+        };
+        test.push(crate::stream::Sample::new(x, 0));
+    }
+    crate::stream::DriftDataset {
+        name: format!("composed-{:?}", schedule.kind).to_lowercase(),
+        train,
+        test,
+        drift_start: schedule.start,
+        drift_end: if schedule.end > schedule.start {
+            Some(schedule.end)
+        } else {
+            None
+        },
+        classes: 1,
+    }
+}
+
+/// Composes a *labelled multi-class* drift dataset: one (old, new) concept
+/// pair per class, a shared schedule, and a per-class mixing ratio.
+/// Training data is drawn from the old concepts; each test sample first
+/// draws its class (uniform over `concepts.len()`), then follows the
+/// schedule within that class. Used by multi-class integration tests and
+/// available to downstream users building custom scenarios.
+pub fn compose_labeled(
+    concepts: &[(crate::synth::ClassConcept, crate::synth::ClassConcept)],
+    schedule: DriftSchedule,
+    n_train_per_class: usize,
+    n_test: usize,
+    seed: u64,
+) -> crate::stream::DriftDataset {
+    assert!(!concepts.is_empty(), "need at least one class");
+    let dim = concepts[0].0.dim();
+    for (old, new) in concepts {
+        assert_eq!(old.dim(), dim, "concept dimensionality mismatch");
+        assert_eq!(new.dim(), dim, "concept dimensionality mismatch");
+    }
+    let mut rng = Rng::seed_from(seed);
+    let mut train = Vec::with_capacity(n_train_per_class * concepts.len());
+    for (label, (old, _)) in concepts.iter().enumerate() {
+        for _ in 0..n_train_per_class {
+            train.push(crate::stream::Sample::new(old.sample(&mut rng), label));
+        }
+    }
+    let mut test = Vec::with_capacity(n_test);
+    for t in 0..n_test {
+        let label = rng.below(concepts.len() as u64) as usize;
+        let (old, new) = &concepts[label];
+        let (use_new, morph) = schedule.resolve(t, &mut rng);
+        let x = match morph {
+            Some(m) => crate::synth::ClassConcept::lerp(old, new, m).sample(&mut rng),
+            None if use_new => new.sample(&mut rng),
+            None => old.sample(&mut rng),
+        };
+        test.push(crate::stream::Sample::new(x, label));
+    }
+    crate::stream::DriftDataset {
+        name: format!("composed-{}c-{:?}", concepts.len(), schedule.kind).to_lowercase(),
+        train,
+        test,
+        drift_start: schedule.start,
+        drift_end: if schedule.end > schedule.start {
+            Some(schedule.end)
+        } else {
+            None
+        },
+        classes: concepts.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::ClassConcept;
+
+    #[test]
+    fn sudden_switches_once_and_stays() {
+        let s = DriftSchedule::sudden(100);
+        assert_eq!(s.state_at(99), MixState::Old);
+        assert_eq!(s.state_at(100), MixState::New);
+        assert_eq!(s.state_at(10_000), MixState::New);
+    }
+
+    #[test]
+    fn gradual_ramps_probability() {
+        let s = DriftSchedule::gradual(100, 200);
+        assert_eq!(s.state_at(99), MixState::Old);
+        assert_eq!(s.state_at(200), MixState::New);
+        match s.state_at(150) {
+            MixState::Mixture(p) => assert!((p - 0.5).abs() < 1e-6),
+            other => panic!("expected mixture, got {other:?}"),
+        }
+        match s.state_at(100) {
+            MixState::Mixture(p) => assert_eq!(p, 0.0),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn incremental_morphs() {
+        let s = DriftSchedule::incremental(0, 10);
+        match s.state_at(5) {
+            MixState::Morph(t) => assert!((t - 0.5).abs() < 1e-6),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(s.state_at(10), MixState::New);
+    }
+
+    #[test]
+    fn reoccurring_returns_to_old() {
+        let s = DriftSchedule::reoccurring(120, 170);
+        assert_eq!(s.state_at(119), MixState::Old);
+        assert_eq!(s.state_at(120), MixState::New);
+        assert_eq!(s.state_at(169), MixState::New);
+        assert_eq!(s.state_at(170), MixState::Old);
+        assert_eq!(s.state_at(500), MixState::Old);
+    }
+
+    #[test]
+    fn gradual_mixture_frequencies_follow_ramp() {
+        let s = DriftSchedule::gradual(0, 1000);
+        let mut rng = Rng::seed_from(1);
+        // In the last decile the new concept should dominate; in the first,
+        // the old one.
+        let count_new = |range: std::ops::Range<usize>, rng: &mut Rng| {
+            range.filter(|&t| s.resolve(t, rng).0).count()
+        };
+        let early = count_new(0..100, &mut rng);
+        let late = count_new(900..1000, &mut rng);
+        assert!(early < 20, "early new-count {early}");
+        assert!(late > 80, "late new-count {late}");
+    }
+
+    #[test]
+    #[should_panic(expected = "end > start")]
+    fn gradual_rejects_empty_window() {
+        DriftSchedule::gradual(10, 10);
+    }
+
+    #[test]
+    fn compose_single_class_shapes() {
+        let old = ClassConcept::isotropic(vec![0.0; 3], 0.05);
+        let new = ClassConcept::isotropic(vec![1.0; 3], 0.05);
+        let d = compose_single_class(&old, &new, DriftSchedule::sudden(50), 30, 200, 1);
+        d.validate().unwrap();
+        assert_eq!(d.train.len(), 30);
+        assert_eq!(d.test.len(), 200);
+        assert_eq!(d.drift_start, 50);
+        assert_eq!(d.classes, 1);
+        // Post-drift samples come from the new concept.
+        assert!(d.test[100].x[0] > 0.5);
+        assert!(d.test[10].x[0] < 0.5);
+    }
+
+    #[test]
+    fn compose_incremental_morphs_through_midpoint() {
+        let old = ClassConcept::isotropic(vec![0.0], 0.01);
+        let new = ClassConcept::isotropic(vec![1.0], 0.01);
+        let d = compose_single_class(
+            &old,
+            &new,
+            DriftSchedule::incremental(0, 100),
+            10,
+            100,
+            2,
+        );
+        // Sample 50 sits near the morph midpoint.
+        assert!((d.test[50].x[0] - 0.5).abs() < 0.15, "x = {}", d.test[50].x[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality")]
+    fn compose_rejects_dim_mismatch() {
+        let old = ClassConcept::isotropic(vec![0.0; 2], 0.05);
+        let new = ClassConcept::isotropic(vec![1.0; 3], 0.05);
+        compose_single_class(&old, &new, DriftSchedule::sudden(5), 5, 10, 3);
+    }
+
+    #[test]
+    fn compose_labeled_builds_multiclass_dataset() {
+        let concepts = vec![
+            (
+                ClassConcept::isotropic(vec![0.0; 2], 0.02),
+                ClassConcept::isotropic(vec![0.3; 2], 0.02),
+            ),
+            (
+                ClassConcept::isotropic(vec![1.0; 2], 0.02),
+                ClassConcept::isotropic(vec![1.3; 2], 0.02),
+            ),
+            (
+                ClassConcept::isotropic(vec![2.0; 2], 0.02),
+                ClassConcept::isotropic(vec![2.3; 2], 0.02),
+            ),
+        ];
+        let d = compose_labeled(&concepts, DriftSchedule::sudden(100), 40, 400, 9);
+        d.validate().unwrap();
+        assert_eq!(d.classes, 3);
+        assert_eq!(d.train.len(), 120);
+        // Every class appears in both eras.
+        for label in 0..3 {
+            assert!(d.test[..100].iter().any(|s| s.label == label));
+            assert!(d.test[100..].iter().any(|s| s.label == label));
+        }
+        // Post-drift class-0 samples sit near the new concept (0.3).
+        let post0 = d.test[100..].iter().find(|s| s.label == 0).unwrap();
+        assert!((post0.x[0] - 0.3).abs() < 0.15, "x = {}", post0.x[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one class")]
+    fn compose_labeled_rejects_empty() {
+        compose_labeled(&[], DriftSchedule::sudden(5), 5, 10, 3);
+    }
+}

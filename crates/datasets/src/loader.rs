@@ -1,0 +1,208 @@
+//! CSV loading for real datasets.
+//!
+//! Lets users drop in the actual NSL-KDD export or cooling-fan spectra in
+//! place of the synthetic equivalents: numeric CSV, one sample per row,
+//! optional final label column (mapped to dense `usize` labels in order of
+//! first appearance).
+
+use crate::stream::Sample;
+use seqdrift_linalg::Real;
+use std::collections::HashMap;
+use std::io::BufRead;
+use std::path::Path;
+
+/// Errors produced while loading.
+#[derive(Debug)]
+pub enum LoadError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A cell failed to parse as a number (row, column, content).
+    Parse {
+        /// 0-based row.
+        row: usize,
+        /// 0-based column.
+        col: usize,
+        /// Offending cell text.
+        cell: String,
+    },
+    /// Rows have inconsistent widths.
+    Ragged {
+        /// 0-based row.
+        row: usize,
+        /// Width found.
+        got: usize,
+        /// Width expected.
+        expected: usize,
+    },
+    /// The file contained no data rows.
+    Empty,
+}
+
+impl From<std::io::Error> for LoadError {
+    fn from(e: std::io::Error) -> Self {
+        LoadError::Io(e)
+    }
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::Io(e) => write!(f, "io error: {e}"),
+            LoadError::Parse { row, col, cell } => {
+                write!(f, "row {row} col {col}: cannot parse {cell:?}")
+            }
+            LoadError::Ragged { row, got, expected } => {
+                write!(f, "row {row}: {got} columns, expected {expected}")
+            }
+            LoadError::Empty => write!(f, "no data rows"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+/// Parses CSV text into labelled samples.
+///
+/// * `has_header` skips the first line;
+/// * `label_last_column` treats the final column as a class label (any
+///   string; mapped densely by first appearance) — otherwise every column
+///   is a feature and all labels are 0.
+pub fn parse_csv(
+    text: &str,
+    has_header: bool,
+    label_last_column: bool,
+) -> Result<Vec<Sample>, LoadError> {
+    let mut samples = Vec::new();
+    let mut label_map: HashMap<String, usize> = HashMap::new();
+    let mut expected_width: Option<usize> = None;
+
+    for (row, line) in text.lines().enumerate() {
+        if row == 0 && has_header {
+            continue;
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let cells: Vec<&str> = line.split(',').map(str::trim).collect();
+        if let Some(w) = expected_width {
+            if cells.len() != w {
+                return Err(LoadError::Ragged {
+                    row,
+                    got: cells.len(),
+                    expected: w,
+                });
+            }
+        } else {
+            expected_width = Some(cells.len());
+        }
+        let (feature_cells, label) = if label_last_column {
+            let (feats, lab) = cells.split_at(cells.len() - 1);
+            let next = label_map.len();
+            let id = *label_map.entry(lab[0].to_string()).or_insert(next);
+            (feats, id)
+        } else {
+            (&cells[..], 0)
+        };
+        let mut x = Vec::with_capacity(feature_cells.len());
+        for (col, cell) in feature_cells.iter().enumerate() {
+            let v: f64 = cell.parse().map_err(|_| LoadError::Parse {
+                row,
+                col,
+                cell: (*cell).to_string(),
+            })?;
+            x.push(v as Real);
+        }
+        samples.push(Sample::new(x, label));
+    }
+    if samples.is_empty() {
+        return Err(LoadError::Empty);
+    }
+    Ok(samples)
+}
+
+/// Loads a CSV file from disk (see [`parse_csv`]).
+pub fn load_csv(
+    path: &Path,
+    has_header: bool,
+    label_last_column: bool,
+) -> Result<Vec<Sample>, LoadError> {
+    let file = std::fs::File::open(path)?;
+    let mut text = String::new();
+    let mut reader = std::io::BufReader::new(file);
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        text.push_str(&line);
+    }
+    parse_csv(&text, has_header, label_last_column)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_plain_numeric_csv() {
+        let s = parse_csv("1.0,2.0\n3.0,4.0\n", false, false).unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0].x, vec![1.0, 2.0]);
+        assert_eq!(s[0].label, 0);
+    }
+
+    #[test]
+    fn parses_labelled_csv_with_header() {
+        let text = "a,b,class\n1,2,normal\n3,4,neptune\n5,6,normal\n";
+        let s = parse_csv(text, true, true).unwrap();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s[0].label, 0);
+        assert_eq!(s[1].label, 1);
+        assert_eq!(s[2].label, 0);
+        assert_eq!(s[1].x, vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn skips_blank_lines() {
+        let s = parse_csv("1,2\n\n3,4\n\n", false, false).unwrap();
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn rejects_ragged_rows() {
+        assert!(matches!(
+            parse_csv("1,2\n3\n", false, false),
+            Err(LoadError::Ragged { row: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_non_numeric_feature() {
+        assert!(matches!(
+            parse_csv("1,abc\n", false, false),
+            Err(LoadError::Parse { col: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_empty_input() {
+        assert!(matches!(parse_csv("", false, false), Err(LoadError::Empty)));
+        assert!(matches!(
+            parse_csv("h1,h2\n", true, false),
+            Err(LoadError::Empty)
+        ));
+    }
+
+    #[test]
+    fn loads_from_disk() {
+        let dir = std::env::temp_dir().join("seqdrift-loader-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tiny.csv");
+        std::fs::write(&path, "0.5,1.5,x\n2.5,3.5,y\n").unwrap();
+        let s = load_csv(&path, false, true).unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[1].label, 1);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,159 @@
+//! Core dataset/stream types shared by every generator and the eval harness.
+
+use seqdrift_linalg::Real;
+
+/// One labelled observation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Feature vector.
+    pub x: Vec<Real>,
+    /// Ground-truth class label (used for *evaluation only* — the methods
+    /// under test never see test labels).
+    pub label: usize,
+}
+
+impl Sample {
+    /// Convenience constructor.
+    pub fn new(x: Vec<Real>, label: usize) -> Self {
+        Sample { x, label }
+    }
+
+    /// Feature dimensionality.
+    pub fn dim(&self) -> usize {
+        self.x.len()
+    }
+}
+
+/// A complete experiment dataset: initial training data plus a test stream
+/// with known drift ground truth.
+#[derive(Debug, Clone)]
+pub struct DriftDataset {
+    /// Human-readable name ("nsl-kdd-synth", "fan-sudden", ...).
+    pub name: String,
+    /// Initial training samples (labelled).
+    pub train: Vec<Sample>,
+    /// Test stream in arrival order.
+    pub test: Vec<Sample>,
+    /// Index in `test` where the concept drift begins.
+    pub drift_start: usize,
+    /// Index where the drift transition completes (`None` for sudden drifts,
+    /// where start == end; for reoccurring drifts, the index where the old
+    /// concept returns).
+    pub drift_end: Option<usize>,
+    /// Number of class labels.
+    pub classes: usize,
+}
+
+impl DriftDataset {
+    /// Feature dimensionality (from the first training sample).
+    pub fn dim(&self) -> usize {
+        self.train[0].dim()
+    }
+
+    /// Training samples grouped per class label.
+    pub fn train_by_class(&self) -> Vec<Vec<Vec<Real>>> {
+        let mut buckets = vec![Vec::new(); self.classes];
+        for s in &self.train {
+            buckets[s.label].push(s.x.clone());
+        }
+        buckets
+    }
+
+    /// Training data as `(label, features)` pairs.
+    pub fn train_pairs(&self) -> Vec<(usize, Vec<Real>)> {
+        self.train.iter().map(|s| (s.label, s.x.clone())).collect()
+    }
+
+    /// Basic integrity check used by tests and the harness: non-empty
+    /// splits, consistent dimensionality, labels in range, drift index in
+    /// range.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.train.is_empty() || self.test.is_empty() {
+            return Err("empty train or test split".into());
+        }
+        let dim = self.dim();
+        for (i, s) in self.train.iter().chain(self.test.iter()).enumerate() {
+            if s.dim() != dim {
+                return Err(format!("sample {i} has dim {} != {dim}", s.dim()));
+            }
+            if s.label >= self.classes {
+                return Err(format!("sample {i} label {} out of range", s.label));
+            }
+        }
+        if self.drift_start >= self.test.len() {
+            return Err(format!(
+                "drift_start {} outside test stream of len {}",
+                self.drift_start,
+                self.test.len()
+            ));
+        }
+        if let Some(end) = self.drift_end {
+            if end <= self.drift_start || end > self.test.len() {
+                return Err(format!("bad drift_end {end}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> DriftDataset {
+        DriftDataset {
+            name: "tiny".into(),
+            train: vec![Sample::new(vec![0.0, 1.0], 0), Sample::new(vec![1.0, 0.0], 1)],
+            test: vec![Sample::new(vec![0.5, 0.5], 0); 10],
+            drift_start: 5,
+            drift_end: None,
+            classes: 2,
+        }
+    }
+
+    #[test]
+    fn validate_accepts_wellformed() {
+        assert!(tiny().validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_dim_mismatch() {
+        let mut d = tiny();
+        d.test.push(Sample::new(vec![1.0], 0));
+        assert!(d.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_bad_label() {
+        let mut d = tiny();
+        d.train[0].label = 7;
+        assert!(d.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_drift() {
+        let mut d = tiny();
+        d.drift_start = 100;
+        assert!(d.validate().is_err());
+        let mut d2 = tiny();
+        d2.drift_end = Some(3); // before drift_start
+        assert!(d2.validate().is_err());
+    }
+
+    #[test]
+    fn train_by_class_partitions() {
+        let d = tiny();
+        let buckets = d.train_by_class();
+        assert_eq!(buckets.len(), 2);
+        assert_eq!(buckets[0].len(), 1);
+        assert_eq!(buckets[1].len(), 1);
+    }
+
+    #[test]
+    fn train_pairs_preserves_labels() {
+        let d = tiny();
+        let pairs = d.train_pairs();
+        assert_eq!(pairs[0].0, 0);
+        assert_eq!(pairs[1].0, 1);
+    }
+}

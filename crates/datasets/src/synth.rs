@@ -1,0 +1,140 @@
+//! Gaussian class-pattern generators underlying the synthetic datasets.
+//!
+//! Each class is a Gaussian blob around a *pattern vector*; concept drift is
+//! expressed as a change of pattern. Pattern vectors are themselves drawn
+//! reproducibly so every dataset is a pure function of its seed.
+
+use seqdrift_linalg::{Real, Rng};
+
+/// A Gaussian generator for one class concept.
+#[derive(Debug, Clone)]
+pub struct ClassConcept {
+    /// Mean pattern vector.
+    pub mean: Vec<Real>,
+    /// Per-dimension standard deviation.
+    pub std: Vec<Real>,
+}
+
+impl ClassConcept {
+    /// Concept with a shared isotropic std.
+    pub fn isotropic(mean: Vec<Real>, std: Real) -> Self {
+        let std = vec![std; mean.len()];
+        ClassConcept { mean, std }
+    }
+
+    /// Draws a reproducible random pattern: each dimension uniform in
+    /// `[lo, hi]`, isotropic noise `std`.
+    pub fn random_pattern(dim: usize, lo: Real, hi: Real, std: Real, rng: &mut Rng) -> Self {
+        let mut mean = vec![0.0; dim];
+        rng.fill_uniform(&mut mean, lo, hi);
+        ClassConcept::isotropic(mean, std)
+    }
+
+    /// Dimensionality.
+    pub fn dim(&self) -> usize {
+        self.mean.len()
+    }
+
+    /// Samples one observation into `out`.
+    pub fn sample_into(&self, rng: &mut Rng, out: &mut [Real]) {
+        debug_assert_eq!(out.len(), self.dim());
+        for ((o, &m), &s) in out.iter_mut().zip(self.mean.iter()).zip(self.std.iter()) {
+            *o = rng.normal(m, s);
+        }
+    }
+
+    /// Samples one observation, allocating.
+    pub fn sample(&self, rng: &mut Rng) -> Vec<Real> {
+        let mut out = vec![0.0; self.dim()];
+        self.sample_into(rng, &mut out);
+        out
+    }
+
+    /// Returns a concept shifted by `delta` in every dimension of `dims`
+    /// (used to build post-drift variants of a class).
+    pub fn shifted(&self, dims: &[usize], delta: Real) -> ClassConcept {
+        let mut mean = self.mean.clone();
+        for &d in dims {
+            mean[d] += delta;
+        }
+        ClassConcept {
+            mean,
+            std: self.std.clone(),
+        }
+    }
+
+    /// Linear interpolation between two concepts (incremental drift).
+    pub fn lerp(a: &ClassConcept, b: &ClassConcept, t: Real) -> ClassConcept {
+        debug_assert_eq!(a.dim(), b.dim());
+        let mean = a
+            .mean
+            .iter()
+            .zip(b.mean.iter())
+            .map(|(&x, &y)| x + (y - x) * t)
+            .collect();
+        let std = a
+            .std
+            .iter()
+            .zip(b.std.iter())
+            .map(|(&x, &y)| x + (y - x) * t)
+            .collect();
+        ClassConcept { mean, std }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_concentrate_around_mean() {
+        let c = ClassConcept::isotropic(vec![1.0, -2.0, 3.0], 0.1);
+        let mut rng = Rng::seed_from(1);
+        let mut acc = vec![0.0f64; 3];
+        let n = 5000;
+        for _ in 0..n {
+            let s = c.sample(&mut rng);
+            for (a, v) in acc.iter_mut().zip(s.iter()) {
+                *a += *v as f64;
+            }
+        }
+        for (a, &m) in acc.iter().zip(c.mean.iter()) {
+            assert!((a / n as f64 - m as f64).abs() < 0.02);
+        }
+    }
+
+    #[test]
+    fn random_pattern_in_bounds() {
+        let mut rng = Rng::seed_from(2);
+        let c = ClassConcept::random_pattern(20, 0.2, 0.8, 0.05, &mut rng);
+        assert!(c.mean.iter().all(|&m| (0.2..0.8).contains(&m)));
+        assert_eq!(c.dim(), 20);
+    }
+
+    #[test]
+    fn shifted_moves_only_selected_dims() {
+        let c = ClassConcept::isotropic(vec![0.0; 5], 0.1);
+        let s = c.shifted(&[1, 3], 2.0);
+        assert_eq!(s.mean, vec![0.0, 2.0, 0.0, 2.0, 0.0]);
+        assert_eq!(s.std, c.std);
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = ClassConcept::isotropic(vec![0.0, 0.0], 0.1);
+        let b = ClassConcept::isotropic(vec![2.0, 4.0], 0.3);
+        assert_eq!(ClassConcept::lerp(&a, &b, 0.0).mean, a.mean);
+        assert_eq!(ClassConcept::lerp(&a, &b, 1.0).mean, b.mean);
+        let mid = ClassConcept::lerp(&a, &b, 0.5);
+        assert_eq!(mid.mean, vec![1.0, 2.0]);
+        assert!((mid.std[0] - 0.2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let c = ClassConcept::isotropic(vec![0.5; 4], 0.2);
+        let a = c.sample(&mut Rng::seed_from(7));
+        let b = c.sample(&mut Rng::seed_from(7));
+        assert_eq!(a, b);
+    }
+}

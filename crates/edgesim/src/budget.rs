@@ -1,0 +1,78 @@
+//! RAM-budget checks: can a method run on a given device at all?
+//!
+//! This regenerates the paper's §5.3 claim that "the batch-based Quant Tree
+//! and SPLL methods cannot operate on Raspberry Pi Pico" while the proposed
+//! method (and its model) fit in 264 kB.
+
+use crate::device::DeviceSpec;
+use crate::memory::MemoryReport;
+
+/// Fraction of device RAM usable by the workload (stack, runtime, and
+/// buffers claim the rest; MCU practice leaves ~25% headroom).
+pub const USABLE_RAM_FRACTION: f64 = 0.75;
+
+/// Whether `bytes` of workload state fit on `device` with headroom.
+pub fn fits_in_ram(bytes: usize, device: &DeviceSpec) -> bool {
+    (bytes as f64) <= device.ram_bytes as f64 * USABLE_RAM_FRACTION
+}
+
+/// A per-method feasibility verdict.
+#[derive(Debug, Clone)]
+pub struct BudgetReport {
+    /// Method name.
+    pub label: String,
+    /// Total resident bytes (detector + model).
+    pub total_bytes: usize,
+    /// Whether it fits on the device.
+    pub fits: bool,
+}
+
+/// Evaluates a set of memory reports against a device.
+pub fn check_budget(reports: &[MemoryReport], device: &DeviceSpec) -> Vec<BudgetReport> {
+    reports
+        .iter()
+        .map(|r| BudgetReport {
+            label: r.label.clone(),
+            total_bytes: r.total_bytes(),
+            fits: fits_in_ram(r.total_bytes(), device),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::{PI4, PICO};
+
+    #[test]
+    fn small_state_fits_everywhere() {
+        assert!(fits_in_ram(64 * 1024, &PICO));
+        assert!(fits_in_ram(64 * 1024, &PI4));
+    }
+
+    #[test]
+    fn megabyte_state_fails_pico_fits_pi4() {
+        let mb = 1024 * 1024;
+        assert!(!fits_in_ram(mb, &PICO));
+        assert!(fits_in_ram(mb, &PI4));
+    }
+
+    #[test]
+    fn headroom_is_applied() {
+        // 264 kB exactly does NOT fit: headroom reserves 25%.
+        assert!(!fits_in_ram(264 * 1024, &PICO));
+        assert!(fits_in_ram((264.0 * 1024.0 * 0.75) as usize, &PICO));
+    }
+
+    #[test]
+    fn check_budget_maps_reports() {
+        let reports = vec![
+            MemoryReport::new("small", 10 * 1024, 90 * 1024),
+            MemoryReport::new("huge", 1900 * 1024, 90 * 1024),
+        ];
+        let verdicts = check_budget(&reports, &PICO);
+        assert!(verdicts[0].fits);
+        assert!(!verdicts[1].fits);
+        assert_eq!(verdicts[1].total_bytes, 1990 * 1024);
+    }
+}

@@ -1,0 +1,84 @@
+//! Device specifications (Table 1 of the paper).
+
+/// A target edge device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceSpec {
+    /// Marketing name.
+    pub name: &'static str,
+    /// CPU description.
+    pub cpu: &'static str,
+    /// Clock frequency in Hz.
+    pub clock_hz: u64,
+    /// RAM in bytes.
+    pub ram_bytes: u64,
+    /// Whether the core has hardware floating point.
+    pub has_fpu: bool,
+    /// Operating system ("-" for bare metal).
+    pub os: &'static str,
+    /// Estimated wall-clock slowdown of numeric code relative to the x86
+    /// development host this reproduction measures on. Combines clock
+    /// ratio, issue width, and (for the Pico) software floating point.
+    /// Used only for *projections*; relative method comparisons never
+    /// depend on it.
+    pub host_slowdown: f64,
+}
+
+impl DeviceSpec {
+    /// RAM in kilobytes (the paper quotes 264 kB for the Pico).
+    pub fn ram_kb(&self) -> f64 {
+        self.ram_bytes as f64 / 1024.0
+    }
+}
+
+/// Raspberry Pi 4 Model B: quad Cortex-A72 @ 1.5 GHz, 4 GB, Raspberry Pi OS.
+pub const PI4: DeviceSpec = DeviceSpec {
+    name: "Raspberry Pi 4 Model B",
+    cpu: "ARM Cortex-A72, 1.5GHz",
+    clock_hz: 1_500_000_000,
+    ram_bytes: 4 * 1024 * 1024 * 1024,
+    has_fpu: true,
+    os: "Raspberry Pi OS",
+    // ~2-3x slower per clock than a modern x86 core on dense f32 kernels,
+    // plus the clock gap to a ~3 GHz host.
+    host_slowdown: 5.0,
+};
+
+/// Raspberry Pi Pico: Cortex-M0+ @ 133 MHz, 264 kB SRAM, bare metal.
+pub const PICO: DeviceSpec = DeviceSpec {
+    name: "Raspberry Pi Pico",
+    cpu: "ARM Cortex-M0+, 133MHz",
+    clock_hz: 133_000_000,
+    ram_bytes: 264 * 1024,
+    has_fpu: false,
+    os: "-",
+    // ~22x clock gap to a 3 GHz host x ~30-60x for software floating
+    // point and the 2-stage in-order pipeline. The paper's own Table 6
+    // (148 ms for one 511-dim prediction) implies a factor of this order.
+    host_slowdown: 900.0,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_values() {
+        assert_eq!(PI4.clock_hz, 1_500_000_000);
+        assert_eq!(PICO.clock_hz, 133_000_000);
+        assert_eq!(PICO.ram_bytes, 264 * 1024);
+        assert_eq!(PICO.os, "-");
+        assert!(PI4.has_fpu);
+        assert!(!PICO.has_fpu);
+    }
+
+    #[test]
+    fn pico_ram_kb_matches_paper() {
+        assert_eq!(PICO.ram_kb(), 264.0);
+    }
+
+    #[test]
+    fn pico_is_much_slower_than_pi4() {
+        assert!(PICO.host_slowdown > 50.0 * PI4.host_slowdown / 5.0);
+        assert!(PI4.host_slowdown < PICO.host_slowdown);
+    }
+}

@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+
+//! # seqdrift-edgesim
+//!
+//! Edge-device models standing in for the paper's hardware (Table 1):
+//! Raspberry Pi 4 Model B and Raspberry Pi Pico.
+//!
+//! The reproduction does not run on the physical boards, so this crate
+//! provides the two things the paper's evaluation needs from them:
+//!
+//! * **memory accounting** ([`memory`]) — analytic byte counts of every
+//!   method's resident state, computed from the live Rust structures with
+//!   the same arithmetic the paper's C firmware implies (4-byte `f32`
+//!   scalars). This regenerates Table 4 and the "Quant Tree / SPLL cannot
+//!   run on the Pico" claim (Table 1's 264 kB budget);
+//! * **timing projection** ([`timing`]) — host-measured execution times
+//!   scaled by a per-device slowdown factor (clock ratio x ISA/FPU
+//!   penalty). Absolute values are approximate by construction; the
+//!   *relative* comparisons of Tables 5–6 (who is faster, by what factor)
+//!   are preserved because every method scales by the same constant.
+
+pub mod budget;
+pub mod flops;
+pub mod device;
+pub mod memory;
+pub mod timing;
+
+pub use budget::{check_budget, fits_in_ram, BudgetReport};
+pub use flops::{project_op, CycleModel, Table6Op, TABLE6_OPS};
+pub use device::{DeviceSpec, PI4, PICO};
+pub use memory::{bytes_of_scalars, MemoryFootprint, MemoryReport};
+pub use timing::{project_duration, TimingProjection};

@@ -1,0 +1,105 @@
+//! Analytic memory accounting (Table 4).
+//!
+//! Every method's resident state is counted in `Real` scalars by the
+//! implementing crates ([`seqdrift_baselines::BatchDriftDetector::memory_scalars`],
+//! `CentroidDetector::memory_scalars`, OS-ELM `param_counts`); this module
+//! converts scalar counts to bytes and assembles per-method reports. The
+//! counts are *analytic* — derived from the data structures, not from a
+//! heap profiler — which matches how an MCU firmware engineer budgets SRAM
+//! and makes the numbers platform-independent.
+
+use seqdrift_linalg::Real;
+use seqdrift_oselm::MultiInstanceModel;
+
+/// Bytes occupied by `n` scalars of the active [`Real`] type.
+pub fn bytes_of_scalars(n: usize) -> usize {
+    n * core::mem::size_of::<Real>()
+}
+
+/// Anything that can report its resident scalar count.
+pub trait MemoryFootprint {
+    /// Number of resident `Real` scalars.
+    fn memory_scalars(&self) -> usize;
+
+    /// Resident bytes.
+    fn memory_bytes(&self) -> usize {
+        bytes_of_scalars(self.memory_scalars())
+    }
+}
+
+impl MemoryFootprint for MultiInstanceModel {
+    fn memory_scalars(&self) -> usize {
+        self.total_param_scalars()
+    }
+}
+
+/// A labelled memory measurement for report tables.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemoryReport {
+    /// Method name.
+    pub label: String,
+    /// Detector-state bytes (the Table 4 quantity).
+    pub detector_bytes: usize,
+    /// Discriminative-model bytes (same for every method; reported
+    /// separately, as the paper compares only the detectors).
+    pub model_bytes: usize,
+}
+
+impl MemoryReport {
+    /// Builds a report entry.
+    pub fn new(label: impl Into<String>, detector_bytes: usize, model_bytes: usize) -> Self {
+        MemoryReport {
+            label: label.into(),
+            detector_bytes,
+            model_bytes,
+        }
+    }
+
+    /// Detector bytes in kB (Table 4's unit).
+    pub fn detector_kb(&self) -> f64 {
+        self.detector_bytes as f64 / 1024.0
+    }
+
+    /// Total resident bytes.
+    pub fn total_bytes(&self) -> usize {
+        self.detector_bytes + self.model_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqdrift_oselm::OsElmConfig;
+
+    #[test]
+    fn scalar_byte_conversion() {
+        assert_eq!(bytes_of_scalars(0), 0);
+        assert_eq!(bytes_of_scalars(256), 256 * core::mem::size_of::<Real>());
+    }
+
+    #[test]
+    fn model_footprint_matches_param_counts() {
+        let m = MultiInstanceModel::new(2, OsElmConfig::new(38, 22)).unwrap();
+        let per_instance = 22 * 38 * 2 + 22 + 22 * 22;
+        assert_eq!(m.memory_scalars(), 2 * per_instance);
+        assert_eq!(m.memory_bytes(), bytes_of_scalars(2 * per_instance));
+    }
+
+    #[test]
+    fn fan_config_model_fits_pico_class_budget() {
+        // The paper runs the 511-22-511 two-instance... actually the fan
+        // model is single-class: 511 x 22 weights twice + P + b per
+        // instance ≈ 90 kB, comfortably under 264 kB.
+        let m = MultiInstanceModel::new(1, OsElmConfig::new(511, 22)).unwrap();
+        let kb = m.memory_bytes() as f64 / 1024.0;
+        assert!(kb < 264.0, "model {kb} kB exceeds Pico RAM");
+        assert!(kb > 50.0, "model {kb} kB suspiciously small");
+    }
+
+    #[test]
+    fn report_units() {
+        let r = MemoryReport::new("x", 2048, 1024);
+        assert_eq!(r.detector_kb(), 2.0);
+        assert_eq!(r.total_bytes(), 3072);
+    }
+}

@@ -1,0 +1,83 @@
+//! Host-to-device timing projection (Tables 5 and 6).
+//!
+//! Execution times are measured on the host (std::time / Criterion) and
+//! projected to a device by multiplying with its `host_slowdown`. This is a
+//! deliberately simple linear model: it cannot capture cache differences or
+//! the Pico's lack of an FPU per-operation, but every method is scaled by
+//! the same constant, so the paper's actual claims — orderings and ratios
+//! between methods — survive the projection unchanged. EXPERIMENTS.md
+//! reports both raw host numbers and projections.
+
+use crate::device::DeviceSpec;
+use std::time::Duration;
+
+/// Projects a host-measured duration onto a device.
+pub fn project_duration(host: Duration, device: &DeviceSpec) -> Duration {
+    host.mul_f64(device.host_slowdown)
+}
+
+/// A labelled host measurement with device projections.
+#[derive(Debug, Clone)]
+pub struct TimingProjection {
+    /// Operation name.
+    pub label: String,
+    /// Measured host duration.
+    pub host: Duration,
+}
+
+impl TimingProjection {
+    /// Builds a projection entry.
+    pub fn new(label: impl Into<String>, host: Duration) -> Self {
+        TimingProjection {
+            label: label.into(),
+            host,
+        }
+    }
+
+    /// Projection onto a device.
+    pub fn on(&self, device: &DeviceSpec) -> Duration {
+        project_duration(self.host, device)
+    }
+
+    /// Projection in milliseconds (Table 6's unit).
+    pub fn on_ms(&self, device: &DeviceSpec) -> f64 {
+        self.on(device).as_secs_f64() * 1e3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::{PI4, PICO};
+
+    #[test]
+    fn projection_scales_linearly() {
+        let host = Duration::from_micros(100);
+        let pi4 = project_duration(host, &PI4);
+        let pico = project_duration(host, &PICO);
+        assert_eq!(pi4, host.mul_f64(PI4.host_slowdown));
+        assert!(pico > pi4);
+        // Ratio between devices equals the ratio of slowdowns.
+        let ratio = pico.as_secs_f64() / pi4.as_secs_f64();
+        assert!((ratio - PICO.host_slowdown / PI4.host_slowdown).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ordering_is_preserved() {
+        // If method A is 3x slower than B on the host, it stays 3x slower
+        // on any device under this model.
+        let a = TimingProjection::new("a", Duration::from_micros(300));
+        let b = TimingProjection::new("b", Duration::from_micros(100));
+        for dev in [&PI4, &PICO] {
+            let ra = a.on(dev).as_secs_f64();
+            let rb = b.on(dev).as_secs_f64();
+            assert!((ra / rb - 3.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn milliseconds_unit() {
+        let t = TimingProjection::new("x", Duration::from_millis(2));
+        assert!((t.on_ms(&PI4) - 2.0 * PI4.host_slowdown).abs() < 1e-9);
+    }
+}

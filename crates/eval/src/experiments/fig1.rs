@@ -1,0 +1,128 @@
+//! Figure 1 — the four concept-drift types.
+//!
+//! The paper's Figure 1 sketches data-distribution-vs-time for sudden,
+//! gradual, incremental and reoccurring drifts. This regenerates it as
+//! data: a 1-D stream switches between an "old" concept at 0 and a "new"
+//! concept at 1 under each schedule; the table reports the bucketed mean,
+//! which traces exactly the four shapes.
+
+use crate::report::Table;
+use seqdrift_datasets::drift::DriftSchedule;
+use seqdrift_datasets::synth::ClassConcept;
+use seqdrift_linalg::{Real, Rng};
+
+/// Stream length of each trace.
+pub const STREAM_LEN: usize = 1000;
+/// Bucket width of the reported series.
+pub const BUCKET: usize = 50;
+
+/// One drift-type trace: bucketed means of the 1-D stream.
+pub fn trace(schedule: &DriftSchedule, seed: u64) -> Vec<Real> {
+    let old = ClassConcept::isotropic(vec![0.0], 0.05);
+    let new = ClassConcept::isotropic(vec![1.0], 0.05);
+    let mut rng = Rng::seed_from(seed);
+    let mut means = Vec::with_capacity(STREAM_LEN / BUCKET);
+    let mut acc = 0.0;
+    let mut n = 0usize;
+    for t in 0..STREAM_LEN {
+        let (use_new, morph) = schedule.resolve(t, &mut rng);
+        let x = match morph {
+            Some(m) => ClassConcept::lerp(&old, &new, m).sample(&mut rng)[0],
+            None => {
+                if use_new {
+                    new.sample(&mut rng)[0]
+                } else {
+                    old.sample(&mut rng)[0]
+                }
+            }
+        };
+        acc += x;
+        n += 1;
+        if n == BUCKET {
+            means.push(acc / n as Real);
+            acc = 0.0;
+            n = 0;
+        }
+    }
+    means
+}
+
+/// Builds the Figure 1 table: one column per drift type, one row per
+/// bucket.
+pub fn run() -> Vec<Table> {
+    let schedules = [
+        ("sudden", DriftSchedule::sudden(400)),
+        ("gradual", DriftSchedule::gradual(300, 700)),
+        ("incremental", DriftSchedule::incremental(300, 700)),
+        ("reoccurring", DriftSchedule::reoccurring(400, 600)),
+    ];
+    let traces: Vec<(&str, Vec<Real>)> = schedules
+        .iter()
+        .map(|(name, s)| (*name, trace(s, 0xF161)))
+        .collect();
+
+    let mut t = Table::new(
+        "Figure 1: data distribution over time for the four drift types (bucketed stream mean)",
+        &["samples", "sudden", "gradual", "incremental", "reoccurring"],
+    );
+    for b in 0..(STREAM_LEN / BUCKET) {
+        let mut row = vec![format!("{}", (b + 1) * BUCKET)];
+        for (_, tr) in &traces {
+            row.push(format!("{:.3}", tr[b]));
+        }
+        t.push_row(row);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tr(s: DriftSchedule) -> Vec<Real> {
+        trace(&s, 7)
+    }
+
+    #[test]
+    fn sudden_trace_steps_once() {
+        let m = tr(DriftSchedule::sudden(400));
+        // Buckets 0..8 (samples < 400) near 0; buckets 8.. near 1.
+        assert!(m[..8].iter().all(|&v| v.abs() < 0.1));
+        assert!(m[8..].iter().all(|&v| (v - 1.0).abs() < 0.1));
+    }
+
+    #[test]
+    fn gradual_trace_ramps() {
+        let m = tr(DriftSchedule::gradual(300, 700));
+        assert!(m[2] < 0.1);
+        assert!(m[19] > 0.9);
+        // Middle of the transition sits in between.
+        let mid = m[9];
+        assert!(mid > 0.2 && mid < 0.8, "mid bucket {mid}");
+    }
+
+    #[test]
+    fn incremental_trace_is_monotone_through_transition() {
+        let m = tr(DriftSchedule::incremental(300, 700));
+        // From bucket 6 (samples 300) to bucket 14 (samples 700) the means
+        // must be non-decreasing within noise.
+        for pair in m[6..14].windows(2) {
+            assert!(pair[1] > pair[0] - 0.05, "not monotone: {m:?}");
+        }
+    }
+
+    #[test]
+    fn reoccurring_trace_returns() {
+        let m = tr(DriftSchedule::reoccurring(400, 600));
+        assert!(m[7] < 0.1); // before
+        assert!(m[9] > 0.9); // during (samples 450..500)
+        assert!(m[13] < 0.1); // after
+    }
+
+    #[test]
+    fn table_dimensions() {
+        let tables = run();
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].len(), STREAM_LEN / BUCKET);
+    }
+}

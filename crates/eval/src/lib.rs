@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+
+//! # seqdrift-eval
+//!
+//! The evaluation harness that regenerates every table and figure of the
+//! paper (and the extension ablations). See DESIGN.md §4 for the
+//! experiment index.
+//!
+//! * [`methods`] — the five method combinations of §4.2 behind one
+//!   [`methods::OnlineMethod`] interface: proposed pipeline, no-detection
+//!   baseline, Quant Tree + OS-ELM, SPLL + OS-ELM, and ONLAD;
+//! * [`runner`] — drives a method over a [`seqdrift_datasets::DriftDataset`]
+//!   and collects accuracy series, detections, delays and wall time;
+//! * [`metrics`] — windowed/overall accuracy (with label-permutation
+//!   tolerance after unsupervised reconstruction), detection delay, false
+//!   positives;
+//! * [`sweep`] — rayon-parallel parameter sweeps (windows x scenarios x
+//!   seeds);
+//! * [`report`] — markdown / CSV rendering of result tables;
+//! * [`experiments`] — one module per paper artefact (fig1, fig4,
+//!   table2–table6, ablations), each runnable via the `repro` binary:
+//!   `cargo run --release -p seqdrift-eval --bin repro -- table2`.
+
+pub mod experiments;
+pub mod methods;
+pub mod metrics;
+pub mod report;
+pub mod runner;
+pub mod sweep;
+
+pub use methods::{MethodSpec, OnlineMethod, StepOutput};
+pub use runner::{run_method, RunOptions, RunResult};

@@ -1,0 +1,597 @@
+//! The five evaluated method combinations (§4.2) behind one interface.
+//!
+//! | # | Detector        | Discriminative model        | Approach |
+//! |---|-----------------|-----------------------------|----------|
+//! | 1 | proposed        | OS-ELM multi-instance       | active   |
+//! | 2 | none            | OS-ELM multi-instance       | baseline |
+//! | 3 | Quant Tree      | OS-ELM multi-instance       | active   |
+//! | 4 | SPLL            | OS-ELM multi-instance       | active   |
+//! | 5 | none            | ONLAD (OS-ELM + forgetting) | passive  |
+//!
+//! The batch detectors (3, 4) retrain on detection from the batch they have
+//! buffered anyway: the batch is clustered with k-means (k = classes),
+//! clusters are matched to the previous per-label centroids so label
+//! identity survives, each instance re-initialises on its cluster, and the
+//! detector refits on the same batch. This is the natural batch counterpart
+//! of the proposed method's sequential reconstruction — both are
+//! label-free.
+
+use serde::{Deserialize, Serialize};
+use seqdrift_baselines::kmeans::KMeans;
+use seqdrift_baselines::quanttree::{QuantTree, QuantTreeConfig};
+use seqdrift_baselines::spll::{Spll, SpllConfig};
+use seqdrift_baselines::{BatchDriftDetector, BatchVerdict};
+use seqdrift_core::pipeline::{DriftPipeline, PipelineConfig};
+use seqdrift_core::reconstruct::ReconstructConfig;
+use seqdrift_core::DetectorConfig;
+use seqdrift_datasets::DriftDataset;
+use seqdrift_linalg::{vector, Real, Rng};
+use seqdrift_oselm::{MultiInstanceModel, Onlad, OsElmConfig};
+
+/// Per-sample output of any method.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepOutput {
+    /// Predicted class label.
+    pub predicted_label: usize,
+    /// True on the sample where a drift was flagged.
+    pub drift_detected: bool,
+}
+
+/// Uniform interface over the five methods.
+pub trait OnlineMethod {
+    /// Display name (matches the paper's tables).
+    fn name(&self) -> &str;
+
+    /// Processes one test sample.
+    fn process(&mut self, x: &[Real]) -> StepOutput;
+
+    /// Detector-state scalars (Table 4; excludes the discriminative model,
+    /// which is identical across methods).
+    fn detector_memory_scalars(&self) -> usize;
+
+    /// Indices (relative to the processed stream) where this method
+    /// completed a model retraining, if any. Used by the accuracy metric to
+    /// re-anchor label permutation per epoch.
+    fn retraining_points(&self) -> &[usize];
+}
+
+/// Declarative method selector used by experiments and sweeps.
+#[derive(Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+pub enum MethodSpec {
+    /// Proposed sequential detector with the given window size.
+    Proposed {
+        /// Window size `W`.
+        window: usize,
+    },
+    /// OS-ELM with no drift handling at all.
+    BaselineNoDetect,
+    /// Quant Tree with the given batch size and bin count.
+    QuantTree {
+        /// Batch size `ν`.
+        batch: usize,
+        /// Histogram bin count `K`.
+        bins: usize,
+    },
+    /// SPLL with the given batch size.
+    Spll {
+        /// Batch size `ν`.
+        batch: usize,
+    },
+    /// ONLAD with the given forgetting rate.
+    Onlad {
+        /// Forgetting factor `α`.
+        forgetting: Real,
+    },
+}
+
+impl MethodSpec {
+    /// Display name matching the paper's tables.
+    pub fn name(&self) -> String {
+        match self {
+            MethodSpec::Proposed { window } => format!("Proposed method (Window size = {window})"),
+            MethodSpec::BaselineNoDetect => "Baseline (no concept drift detection)".into(),
+            MethodSpec::QuantTree { .. } => "Quant Tree".into(),
+            MethodSpec::Spll { .. } => "SPLL".into(),
+            MethodSpec::Onlad { .. } => "ONLAD".into(),
+        }
+    }
+
+    /// Instantiates the method on a dataset: trains the discriminative
+    /// model on the dataset's initial training split and calibrates the
+    /// detector. `hidden` is the OS-ELM hidden width (paper: 22);
+    /// `seed` controls weight init and detector randomness.
+    pub fn build(
+        &self,
+        dataset: &DriftDataset,
+        hidden: usize,
+        seed: u64,
+    ) -> Box<dyn OnlineMethod> {
+        let dim = dataset.dim();
+        let classes = dataset.classes;
+        let cfg = OsElmConfig::new(dim, hidden).with_seed(seed);
+        let by_class = dataset.train_by_class();
+
+        let make_model = |cfg: &OsElmConfig| -> MultiInstanceModel {
+            let mut model =
+                MultiInstanceModel::new(classes, cfg.clone()).expect("valid model config");
+            for (label, bucket) in by_class.iter().enumerate() {
+                model
+                    .init_train_class(label, bucket)
+                    .expect("initial training");
+            }
+            model
+        };
+        let train_rows: Vec<Vec<Real>> =
+            dataset.train.iter().map(|s| s.x.clone()).collect();
+
+        match self {
+            MethodSpec::Proposed { window } => {
+                let model = make_model(&cfg);
+                let train_pairs: Vec<(usize, &[Real])> = dataset
+                    .train
+                    .iter()
+                    .map(|s| (s.label, s.x.as_slice()))
+                    .collect();
+                let det = DetectorConfig::new(classes, dim).with_window(*window);
+                // Reconstruction budget scales with how much data a concept
+                // needs at this dimensionality; 200 samples suffices for
+                // both of the paper's configurations.
+                let pipe_cfg = PipelineConfig::new(det.clone())
+                    .with_reconstruct(ReconstructConfig::new(200).with_search(20).with_update(50));
+                let pipeline =
+                    DriftPipeline::calibrate_with(model, det, &train_pairs, Some(pipe_cfg))
+                        .expect("pipeline calibration");
+                Box::new(ProposedMethod {
+                    name: self.name(),
+                    pipeline,
+                    retraining_points: Vec::new(),
+                    index: 0,
+                })
+            }
+            MethodSpec::BaselineNoDetect => Box::new(BaselineMethod {
+                name: self.name(),
+                model: make_model(&cfg),
+            }),
+            MethodSpec::QuantTree { batch, bins } => {
+                let qt_cfg = QuantTreeConfig {
+                    bins: *bins,
+                    batch_size: *batch,
+                    alpha: 0.005,
+                    mc_reps: 1500,
+                    seed,
+                };
+                let qt = QuantTree::fit(&train_rows, &qt_cfg);
+                Box::new(BatchMethod {
+                    name: self.name(),
+                    model: make_model(&cfg),
+                    detector: BatchDetectorKind::QuantTree(qt),
+                    buffer: Vec::with_capacity(*batch),
+                    batch: *batch,
+                    trained_centroids: class_centroids(dataset),
+                    retraining_points: Vec::new(),
+                    index: 0,
+                    rng: Rng::seed_from(seed ^ 0xBA7C4),
+                })
+            }
+            MethodSpec::Spll { batch } => {
+                let spll_cfg = SpllConfig {
+                    clusters: (classes + 1).max(3),
+                    batch_size: *batch,
+                    z: 4.0,
+                    max_kmeans_iter: 100,
+                    seed,
+                };
+                let spll = Spll::fit(&train_rows, &spll_cfg);
+                Box::new(BatchMethod {
+                    name: self.name(),
+                    model: make_model(&cfg),
+                    detector: BatchDetectorKind::Spll(spll),
+                    buffer: Vec::with_capacity(*batch),
+                    batch: *batch,
+                    trained_centroids: class_centroids(dataset),
+                    retraining_points: Vec::new(),
+                    index: 0,
+                    rng: Rng::seed_from(seed ^ 0x5B11),
+                })
+            }
+            MethodSpec::Onlad { forgetting } => {
+                let mut onlad =
+                    Onlad::new(classes, cfg, *forgetting).expect("valid onlad config");
+                for (label, bucket) in by_class.iter().enumerate() {
+                    onlad
+                        .init_train_class(label, bucket)
+                        .expect("initial training");
+                }
+                Box::new(OnladMethod {
+                    name: self.name(),
+                    onlad,
+                })
+            }
+        }
+    }
+}
+
+/// Per-label training centroids (used for cluster-to-label matching on
+/// batch retraining).
+fn class_centroids(dataset: &DriftDataset) -> Vec<Vec<Real>> {
+    let dim = dataset.dim();
+    let mut sums = vec![vec![0.0; dim]; dataset.classes];
+    let mut counts = vec![0usize; dataset.classes];
+    for s in &dataset.train {
+        vector::axpy(1.0, &s.x, &mut sums[s.label]);
+        counts[s.label] += 1;
+    }
+    for (sum, &n) in sums.iter_mut().zip(counts.iter()) {
+        if n > 0 {
+            vector::scale(1.0 / n as Real, sum);
+        }
+    }
+    sums
+}
+
+// ---------------------------------------------------------------------------
+// Method 1: proposed.
+
+struct ProposedMethod {
+    name: String,
+    pipeline: DriftPipeline,
+    retraining_points: Vec<usize>,
+    index: usize,
+}
+
+impl OnlineMethod for ProposedMethod {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn process(&mut self, x: &[Real]) -> StepOutput {
+        let was_reconstructing = self.pipeline.is_reconstructing();
+        let out = self.pipeline.process(x).expect("pipeline step");
+        if was_reconstructing && !self.pipeline.is_reconstructing() {
+            self.retraining_points.push(self.index);
+        }
+        self.index += 1;
+        StepOutput {
+            predicted_label: out.predicted_label.expect("pipeline always predicts"),
+            drift_detected: out.drift_detected,
+        }
+    }
+
+    fn detector_memory_scalars(&self) -> usize {
+        self.pipeline.detector_memory_scalars()
+    }
+
+    fn retraining_points(&self) -> &[usize] {
+        &self.retraining_points
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Method 2: baseline without detection.
+
+struct BaselineMethod {
+    name: String,
+    model: MultiInstanceModel,
+}
+
+impl OnlineMethod for BaselineMethod {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn process(&mut self, x: &[Real]) -> StepOutput {
+        let p = self.model.predict(x).expect("prediction");
+        StepOutput {
+            predicted_label: p.label,
+            drift_detected: false,
+        }
+    }
+
+    fn detector_memory_scalars(&self) -> usize {
+        0
+    }
+
+    fn retraining_points(&self) -> &[usize] {
+        &[]
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Methods 3 and 4: batch detectors + OS-ELM.
+
+enum BatchDetectorKind {
+    QuantTree(QuantTree),
+    Spll(Spll),
+}
+
+impl BatchDetectorKind {
+    fn push(&mut self, x: &[Real]) -> BatchVerdict {
+        match self {
+            BatchDetectorKind::QuantTree(qt) => qt.push(x),
+            BatchDetectorKind::Spll(s) => s.push(x),
+        }
+    }
+
+    fn memory_scalars(&self) -> usize {
+        match self {
+            BatchDetectorKind::QuantTree(qt) => qt.memory_scalars(),
+            BatchDetectorKind::Spll(s) => s.memory_scalars(),
+        }
+    }
+
+    fn refit(&mut self, batch: &[Vec<Real>]) {
+        match self {
+            // Partition rebuild only; the threshold was precomputed at fit
+            // time (distribution-free lookup-table style).
+            BatchDetectorKind::QuantTree(qt) => qt.refit_partition(batch),
+            // SPLL slides its reference window onto every completed batch
+            // inside `push` — on a drift verdict it has already adapted.
+            BatchDetectorKind::Spll(..) => {}
+        }
+    }
+}
+
+struct BatchMethod {
+    name: String,
+    model: MultiInstanceModel,
+    detector: BatchDetectorKind,
+    /// Sliding copy of the current batch (the data the detector itself has
+    /// buffered; kept here so retraining can reuse it).
+    buffer: Vec<Vec<Real>>,
+    batch: usize,
+    trained_centroids: Vec<Vec<Real>>,
+    retraining_points: Vec<usize>,
+    index: usize,
+    rng: Rng,
+}
+
+impl BatchMethod {
+    /// Batch retraining on detection: cluster the buffered batch, match
+    /// clusters to the previous label centroids (minimum total L2 over
+    /// permutations for small C, greedy otherwise), re-initialise each
+    /// instance, refit the detector.
+    fn retrain(&mut self) {
+        let classes = self.model.classes();
+        let km = KMeans::fit(&self.buffer, classes, 100, &mut self.rng);
+        let mapping = match_clusters(&km.centroids, &self.trained_centroids);
+        // Group batch samples per mapped label.
+        let mut buckets: Vec<Vec<Vec<Real>>> = vec![Vec::new(); classes];
+        for (x, &cluster) in self.buffer.iter().zip(km.assignments.iter()) {
+            buckets[mapping[cluster]].push(x.clone());
+        }
+        for (label, bucket) in buckets.iter().enumerate() {
+            if bucket.len() >= 4 {
+                self.model
+                    .init_train_class(label, bucket)
+                    .expect("batch retraining");
+                self.trained_centroids[label] = mean_of(bucket);
+            }
+            // A label whose cluster collapsed keeps its old instance — the
+            // old concept may simply be absent from this batch.
+        }
+        self.detector.refit(&self.buffer);
+        self.retraining_points.push(self.index);
+    }
+}
+
+impl OnlineMethod for BatchMethod {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn process(&mut self, x: &[Real]) -> StepOutput {
+        let p = self.model.predict(x).expect("prediction");
+        self.buffer.push(x.to_vec());
+        if self.buffer.len() > self.batch {
+            self.buffer.remove(0);
+        }
+        let verdict = self.detector.push(x);
+        let drift = verdict == BatchVerdict::Drift;
+        if drift {
+            self.retrain();
+            self.buffer.clear();
+        }
+        self.index += 1;
+        StepOutput {
+            predicted_label: p.label,
+            drift_detected: drift,
+        }
+    }
+
+    fn detector_memory_scalars(&self) -> usize {
+        self.detector.memory_scalars()
+    }
+
+    fn retraining_points(&self) -> &[usize] {
+        &self.retraining_points
+    }
+}
+
+fn mean_of(rows: &[Vec<Real>]) -> Vec<Real> {
+    let mut m = vec![0.0; rows[0].len()];
+    for r in rows {
+        vector::axpy(1.0, r, &mut m);
+    }
+    vector::scale(1.0 / rows.len() as Real, &mut m);
+    m
+}
+
+/// Maps cluster index -> label index. For C <= 4 an exact minimum-cost
+/// permutation; greedy nearest otherwise.
+fn match_clusters(clusters: &[Vec<Real>], labels: &[Vec<Real>]) -> Vec<usize> {
+    let c = clusters.len();
+    debug_assert_eq!(c, labels.len());
+    if c <= 4 {
+        let mut best: Option<(Real, Vec<usize>)> = None;
+        let mut perm: Vec<usize> = (0..c).collect();
+        permute(&mut perm, 0, &mut |p| {
+            let cost: Real = p
+                .iter()
+                .enumerate()
+                .map(|(cluster, &label)| vector::dist_l2_sq(&clusters[cluster], &labels[label]))
+                .sum();
+            if best.as_ref().is_none_or(|(bc, _)| cost < *bc) {
+                best = Some((cost, p.to_vec()));
+            }
+        });
+        best.expect("at least one permutation").1
+    } else {
+        // Greedy: clusters claim their nearest unclaimed label.
+        let mut mapping = vec![usize::MAX; c];
+        let mut taken = vec![false; c];
+        for (cluster, cc) in clusters.iter().enumerate() {
+            let mut best = None;
+            let mut best_d = Real::INFINITY;
+            for (label, lc) in labels.iter().enumerate() {
+                if taken[label] {
+                    continue;
+                }
+                let d = vector::dist_l2_sq(cc, lc);
+                if d < best_d {
+                    best_d = d;
+                    best = Some(label);
+                }
+            }
+            let label = best.expect("labels remain");
+            mapping[cluster] = label;
+            taken[label] = true;
+        }
+        mapping
+    }
+}
+
+fn permute(items: &mut Vec<usize>, k: usize, visit: &mut impl FnMut(&[usize])) {
+    if k == items.len() {
+        visit(items);
+        return;
+    }
+    for i in k..items.len() {
+        items.swap(k, i);
+        permute(items, k + 1, visit);
+        items.swap(k, i);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Method 5: ONLAD (passive).
+
+struct OnladMethod {
+    name: String,
+    onlad: Onlad,
+}
+
+impl OnlineMethod for OnladMethod {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn process(&mut self, x: &[Real]) -> StepOutput {
+        let p = self.onlad.process(x).expect("onlad step");
+        StepOutput {
+            predicted_label: p.label,
+            drift_detected: false,
+        }
+    }
+
+    fn detector_memory_scalars(&self) -> usize {
+        0
+    }
+
+    fn retraining_points(&self) -> &[usize] {
+        &[]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqdrift_datasets::nslkdd::{self, NslKddConfig};
+
+    fn tiny_dataset() -> DriftDataset {
+        nslkdd::generate(&NslKddConfig {
+            n_train: 200,
+            n_test: 600,
+            drift_point: 300,
+            ..NslKddConfig::default()
+        })
+    }
+
+    #[test]
+    fn match_clusters_identity_and_swap() {
+        let a = vec![vec![0.0, 0.0], vec![1.0, 1.0]];
+        let b_same = vec![vec![0.1, 0.0], vec![0.9, 1.0]];
+        assert_eq!(match_clusters(&a, &b_same), vec![0, 1]);
+        let b_swapped = vec![vec![0.9, 1.0], vec![0.1, 0.0]];
+        assert_eq!(match_clusters(&a, &b_swapped), vec![1, 0]);
+    }
+
+    #[test]
+    fn match_clusters_greedy_path() {
+        // 5 clusters exercises the greedy branch; identical layouts map to
+        // the identity.
+        let pts: Vec<Vec<Real>> = (0..5).map(|i| vec![i as Real * 2.0]).collect();
+        assert_eq!(match_clusters(&pts, &pts), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn all_specs_build_and_step() {
+        let d = tiny_dataset();
+        let specs = [
+            MethodSpec::Proposed { window: 50 },
+            MethodSpec::BaselineNoDetect,
+            MethodSpec::QuantTree { batch: 60, bins: 8 },
+            MethodSpec::Spll { batch: 60 },
+            MethodSpec::Onlad { forgetting: 0.97 },
+        ];
+        for spec in &specs {
+            let mut m = spec.build(&d, 10, 42);
+            for s in d.test.iter().take(70) {
+                let out = m.process(&s.x);
+                assert!(out.predicted_label < d.classes, "{}", m.name());
+            }
+        }
+    }
+
+    #[test]
+    fn baseline_and_onlad_report_zero_detector_memory() {
+        let d = tiny_dataset();
+        assert_eq!(
+            MethodSpec::BaselineNoDetect
+                .build(&d, 8, 1)
+                .detector_memory_scalars(),
+            0
+        );
+        assert_eq!(
+            MethodSpec::Onlad { forgetting: 0.97 }
+                .build(&d, 8, 1)
+                .detector_memory_scalars(),
+            0
+        );
+    }
+
+    #[test]
+    fn batch_methods_memory_dominated_by_batch() {
+        let d = tiny_dataset();
+        let qt = MethodSpec::QuantTree { batch: 60, bins: 8 }.build(&d, 8, 1);
+        let spll = MethodSpec::Spll { batch: 60 }.build(&d, 8, 1);
+        let proposed = MethodSpec::Proposed { window: 50 }.build(&d, 8, 1);
+        assert!(qt.detector_memory_scalars() >= 60 * 38);
+        assert!(spll.detector_memory_scalars() >= 2 * 60 * 38);
+        // The proposed detector keeps only centroid sets (O(classes x dim));
+        // at this toy batch size (60) the gap is ~10x, at the paper's 235+
+        // it is the 88.9-96.4% of Table 4.
+        assert!(proposed.detector_memory_scalars() < qt.detector_memory_scalars() / 5);
+    }
+
+    #[test]
+    fn names_match_paper_tables() {
+        assert_eq!(
+            MethodSpec::Proposed { window: 100 }.name(),
+            "Proposed method (Window size = 100)"
+        );
+        assert_eq!(MethodSpec::QuantTree { batch: 1, bins: 2 }.name(), "Quant Tree");
+        assert_eq!(MethodSpec::Spll { batch: 1 }.name(), "SPLL");
+        assert_eq!(MethodSpec::Onlad { forgetting: 0.9 }.name(), "ONLAD");
+    }
+}

@@ -1,0 +1,682 @@
+//! Heap-backed, row-major dense matrix.
+//!
+//! Every hot kernel has an `*_into` variant writing into a caller-provided
+//! output so that per-sample loops (OS-ELM sequential updates, detector
+//! centroid updates) can run allocation-free after setup, as the session's
+//! performance guidance and the paper's MCU target both demand.
+
+use crate::{LinalgError, Real, Result};
+
+/// Dense row-major matrix of [`Real`] scalars.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<Real>,
+}
+
+impl Matrix {
+    /// Creates a `rows x cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a `rows x cols` matrix filled with `value`.
+    pub fn filled(rows: usize, cols: usize, value: Real) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
+    }
+
+    /// Creates the `n x n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m.data[i * n + i] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from a flat row-major vector.
+    ///
+    /// Returns an error if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<Real>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(LinalgError::InvalidArgument(
+                "data length does not match rows * cols",
+            ));
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Builds a matrix from row slices. All rows must have equal length.
+    pub fn from_rows(rows: &[&[Real]]) -> Result<Self> {
+        if rows.is_empty() {
+            return Err(LinalgError::InvalidArgument("from_rows: no rows"));
+        }
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            if r.len() != cols {
+                return Err(LinalgError::InvalidArgument("from_rows: ragged rows"));
+            }
+            data.extend_from_slice(r);
+        }
+        Ok(Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        })
+    }
+
+    /// Builds a 1 x n row matrix borrowing semantics from a slice copy.
+    pub fn row_vector(v: &[Real]) -> Self {
+        Matrix {
+            rows: 1,
+            cols: v.len(),
+            data: v.to_vec(),
+        }
+    }
+
+    /// Builds an n x 1 column matrix from a slice copy.
+    pub fn col_vector(v: &[Real]) -> Self {
+        Matrix {
+            rows: v.len(),
+            cols: 1,
+            data: v.to_vec(),
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Whether the matrix is square.
+    #[inline]
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Immutable view of the backing row-major storage.
+    #[inline]
+    pub fn as_slice(&self) -> &[Real] {
+        &self.data
+    }
+
+    /// Mutable view of the backing row-major storage.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [Real] {
+        &mut self.data
+    }
+
+    /// Element accessor. Panics on out-of-bounds in debug builds only.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> Real {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Element setter. Panics on out-of-bounds in debug builds only.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: Real) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Immutable view of row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[Real] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable view of row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [Real] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Copies column `c` into `out` (which must have `rows` elements).
+    pub fn col_into(&self, c: usize, out: &mut [Real]) {
+        debug_assert_eq!(out.len(), self.rows);
+        for (r, slot) in out.iter_mut().enumerate() {
+            *slot = self.data[r * self.cols + c];
+        }
+    }
+
+    /// Returns column `c` as a fresh vector.
+    pub fn col(&self, c: usize) -> Vec<Real> {
+        let mut out = vec![0.0; self.rows];
+        self.col_into(c, &mut out);
+        out
+    }
+
+    /// Fills the matrix with zeros without changing its shape.
+    pub fn fill_zero(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// Overwrites `self` with the identity; requires a square matrix.
+    pub fn set_identity(&mut self) -> Result<()> {
+        if !self.is_square() {
+            return Err(LinalgError::InvalidArgument("set_identity: not square"));
+        }
+        self.data.fill(0.0);
+        for i in 0..self.rows {
+            self.data[i * self.cols + i] = 1.0;
+        }
+        Ok(())
+    }
+
+    /// Copies `src` into `self`; shapes must match.
+    pub fn copy_from(&mut self, src: &Matrix) -> Result<()> {
+        if self.shape() != src.shape() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "copy_from",
+                lhs: self.shape(),
+                rhs: src.shape(),
+            });
+        }
+        self.data.copy_from_slice(&src.data);
+        Ok(())
+    }
+
+    /// Returns the transpose as a new matrix.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        self.transpose_into(&mut out)
+            .expect("transpose_into with exact shape cannot fail");
+        out
+    }
+
+    /// Writes the transpose of `self` into `out` (shape `cols x rows`).
+    pub fn transpose_into(&self, out: &mut Matrix) -> Result<()> {
+        if out.rows != self.cols || out.cols != self.rows {
+            return Err(LinalgError::ShapeMismatch {
+                op: "transpose_into",
+                lhs: (self.cols, self.rows),
+                rhs: out.shape(),
+            });
+        }
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * out.cols + r] = self.data[r * self.cols + c];
+            }
+        }
+        Ok(())
+    }
+
+    /// `self * rhs` as a new matrix.
+    pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix> {
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        self.matmul_into(rhs, &mut out)?;
+        Ok(out)
+    }
+
+    /// Writes `self * rhs` into `out`.
+    ///
+    /// Uses the cache-friendly i-k-j loop order so the inner loop walks both
+    /// `rhs` and `out` rows contiguously.
+    pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) -> Result<()> {
+        if self.cols != rhs.rows {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matmul",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        if out.rows != self.rows || out.cols != rhs.cols {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matmul_into (out)",
+                lhs: (self.rows, rhs.cols),
+                rhs: out.shape(),
+            });
+        }
+        out.data.fill(0.0);
+        let n = rhs.cols;
+        for i in 0..self.rows {
+            let arow = &self.data[i * self.cols..(i + 1) * self.cols];
+            let orow = &mut out.data[i * n..(i + 1) * n];
+            for (k, &a) in arow.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let brow = &rhs.data[k * n..(k + 1) * n];
+                for (o, &b) in orow.iter_mut().zip(brow.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Writes `selfᵀ * rhs` into `out` without materialising the transpose.
+    pub fn tr_matmul_into(&self, rhs: &Matrix, out: &mut Matrix) -> Result<()> {
+        if self.rows != rhs.rows {
+            return Err(LinalgError::ShapeMismatch {
+                op: "tr_matmul",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        if out.rows != self.cols || out.cols != rhs.cols {
+            return Err(LinalgError::ShapeMismatch {
+                op: "tr_matmul_into (out)",
+                lhs: (self.cols, rhs.cols),
+                rhs: out.shape(),
+            });
+        }
+        out.data.fill(0.0);
+        let n = rhs.cols;
+        for k in 0..self.rows {
+            let arow = &self.data[k * self.cols..(k + 1) * self.cols];
+            let brow = &rhs.data[k * n..(k + 1) * n];
+            for (i, &a) in arow.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = &mut out.data[i * n..(i + 1) * n];
+                for (o, &b) in orow.iter_mut().zip(brow.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Writes `self * v` (matrix-vector product) into `out`.
+    pub fn matvec_into(&self, v: &[Real], out: &mut [Real]) -> Result<()> {
+        if v.len() != self.cols {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matvec",
+                lhs: self.shape(),
+                rhs: (v.len(), 1),
+            });
+        }
+        if out.len() != self.rows {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matvec (out)",
+                lhs: (self.rows, 1),
+                rhs: (out.len(), 1),
+            });
+        }
+        for (r, slot) in out.iter_mut().enumerate() {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            *slot = crate::vector::dot(row, v);
+        }
+        Ok(())
+    }
+
+    /// Returns `self * v` as a fresh vector.
+    pub fn matvec(&self, v: &[Real]) -> Result<Vec<Real>> {
+        let mut out = vec![0.0; self.rows];
+        self.matvec_into(v, &mut out)?;
+        Ok(out)
+    }
+
+    /// Writes `selfᵀ * v` into `out` without materialising the transpose.
+    pub fn tr_matvec_into(&self, v: &[Real], out: &mut [Real]) -> Result<()> {
+        if v.len() != self.rows {
+            return Err(LinalgError::ShapeMismatch {
+                op: "tr_matvec",
+                lhs: self.shape(),
+                rhs: (v.len(), 1),
+            });
+        }
+        if out.len() != self.cols {
+            return Err(LinalgError::ShapeMismatch {
+                op: "tr_matvec (out)",
+                lhs: (self.cols, 1),
+                rhs: (out.len(), 1),
+            });
+        }
+        out.fill(0.0);
+        for (r, &vr) in v.iter().enumerate() {
+            if vr == 0.0 {
+                continue;
+            }
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            for (o, &a) in out.iter_mut().zip(row.iter()) {
+                *o += vr * a;
+            }
+        }
+        Ok(())
+    }
+
+    /// In-place element-wise addition: `self += rhs`.
+    pub fn add_assign(&mut self, rhs: &Matrix) -> Result<()> {
+        if self.shape() != rhs.shape() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "add_assign",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        for (a, &b) in self.data.iter_mut().zip(rhs.data.iter()) {
+            *a += b;
+        }
+        Ok(())
+    }
+
+    /// In-place element-wise subtraction: `self -= rhs`.
+    pub fn sub_assign(&mut self, rhs: &Matrix) -> Result<()> {
+        if self.shape() != rhs.shape() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "sub_assign",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        for (a, &b) in self.data.iter_mut().zip(rhs.data.iter()) {
+            *a -= b;
+        }
+        Ok(())
+    }
+
+    /// In-place scalar multiplication: `self *= s`.
+    pub fn scale(&mut self, s: Real) {
+        for a in &mut self.data {
+            *a *= s;
+        }
+    }
+
+    /// Adds `s * rhs` to `self` in place.
+    pub fn add_scaled(&mut self, s: Real, rhs: &Matrix) -> Result<()> {
+        if self.shape() != rhs.shape() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "add_scaled",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        for (a, &b) in self.data.iter_mut().zip(rhs.data.iter()) {
+            *a += s * b;
+        }
+        Ok(())
+    }
+
+    /// Rank-1 update `self += s * u * vᵀ` performed in place.
+    pub fn add_outer(&mut self, s: Real, u: &[Real], v: &[Real]) -> Result<()> {
+        if u.len() != self.rows || v.len() != self.cols {
+            return Err(LinalgError::ShapeMismatch {
+                op: "add_outer",
+                lhs: self.shape(),
+                rhs: (u.len(), v.len()),
+            });
+        }
+        for (r, &ur) in u.iter().enumerate() {
+            if ur == 0.0 {
+                continue;
+            }
+            let row = &mut self.data[r * self.cols..(r + 1) * self.cols];
+            let su = s * ur;
+            for (a, &b) in row.iter_mut().zip(v.iter()) {
+                *a += su * b;
+            }
+        }
+        Ok(())
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> Real {
+        self.data.iter().map(|&x| x * x).sum::<Real>().sqrt()
+    }
+
+    /// Maximum absolute element value.
+    pub fn max_abs(&self) -> Real {
+        self.data.iter().fold(0.0, |m, &x| m.max(x.abs()))
+    }
+
+    /// True when every element of `self` is within `tol` of `other`.
+    pub fn approx_eq(&self, other: &Matrix, tol: Real) -> bool {
+        self.shape() == other.shape()
+            && self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .all(|(&a, &b)| (a - b).abs() <= tol)
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace<F: FnMut(Real) -> Real>(&mut self, mut f: F) {
+        for a in &mut self.data {
+            *a = f(*a);
+        }
+    }
+
+    /// Appends a copy of `row` as the last row of the matrix.
+    pub fn push_row(&mut self, row: &[Real]) -> Result<()> {
+        if self.rows > 0 && row.len() != self.cols {
+            return Err(LinalgError::InvalidArgument("push_row: width mismatch"));
+        }
+        if self.rows == 0 {
+            self.cols = row.len();
+        }
+        self.data.extend_from_slice(row);
+        self.rows += 1;
+        Ok(())
+    }
+
+    /// Total number of scalar elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the matrix holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+impl core::fmt::Display for Matrix {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows.min(8) {
+            write!(f, "  ")?;
+            for c in 0..self.cols.min(8) {
+                write!(f, "{:>10.4} ", self.get(r, c))?;
+            }
+            if self.cols > 8 {
+                write!(f, "...")?;
+            }
+            writeln!(f)?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  ...")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(rows: usize, cols: usize, v: &[Real]) -> Matrix {
+        Matrix::from_vec(rows, cols, v.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn zeros_has_correct_shape_and_content() {
+        let z = Matrix::zeros(3, 4);
+        assert_eq!(z.shape(), (3, 4));
+        assert!(z.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn identity_is_diagonal_ones() {
+        let i = Matrix::identity(4);
+        for r in 0..4 {
+            for c in 0..4 {
+                assert_eq!(i.get(r, c), if r == c { 1.0 } else { 0.0 });
+            }
+        }
+    }
+
+    #[test]
+    fn from_vec_rejects_bad_length() {
+        assert!(Matrix::from_vec(2, 2, vec![1.0; 3]).is_err());
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged() {
+        assert!(Matrix::from_rows(&[&[1.0, 2.0], &[3.0]]).is_err());
+        assert!(Matrix::from_rows(&[]).is_err());
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = m(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let t = a.transpose();
+        assert_eq!(t.shape(), (3, 2));
+        assert_eq!(t.get(0, 1), 4.0);
+        assert_eq!(t.transpose(), a);
+    }
+
+    #[test]
+    fn matmul_known_result() {
+        let a = m(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = m(3, 2, &[7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = m(3, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0]);
+        let i = Matrix::identity(3);
+        assert_eq!(a.matmul(&i).unwrap(), a);
+        assert_eq!(i.matmul(&a).unwrap(), a);
+    }
+
+    #[test]
+    fn matmul_shape_mismatch_errors() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        assert!(matches!(
+            a.matmul(&b),
+            Err(LinalgError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn tr_matmul_matches_explicit_transpose() {
+        let a = m(3, 2, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = m(3, 2, &[1.0, 0.0, 0.0, 1.0, 1.0, 1.0]);
+        let mut out = Matrix::zeros(2, 2);
+        a.tr_matmul_into(&b, &mut out).unwrap();
+        let expect = a.transpose().matmul(&b).unwrap();
+        assert!(out.approx_eq(&expect, 1e-6));
+    }
+
+    #[test]
+    fn matvec_known_result() {
+        let a = m(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(a.matvec(&[1.0, 1.0, 1.0]).unwrap(), vec![6.0, 15.0]);
+    }
+
+    #[test]
+    fn tr_matvec_matches_transpose_matvec() {
+        let a = m(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let mut out = vec![0.0; 3];
+        a.tr_matvec_into(&[1.0, 2.0], &mut out).unwrap();
+        assert_eq!(out, a.transpose().matvec(&[1.0, 2.0]).unwrap());
+    }
+
+    #[test]
+    fn add_sub_scale_roundtrip() {
+        let mut a = m(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let b = a.clone();
+        a.add_assign(&b).unwrap();
+        a.scale(0.5);
+        a.sub_assign(&b).unwrap();
+        assert!(a.max_abs() < 1e-6);
+    }
+
+    #[test]
+    fn add_outer_matches_matmul() {
+        let mut a = Matrix::zeros(2, 3);
+        a.add_outer(2.0, &[1.0, 2.0], &[3.0, 4.0, 5.0]).unwrap();
+        let u = Matrix::col_vector(&[1.0, 2.0]);
+        let v = Matrix::row_vector(&[3.0, 4.0, 5.0]);
+        let mut expect = u.matmul(&v).unwrap();
+        expect.scale(2.0);
+        assert!(a.approx_eq(&expect, 1e-6));
+    }
+
+    #[test]
+    fn add_scaled_combines() {
+        let mut a = m(1, 2, &[1.0, 1.0]);
+        let b = m(1, 2, &[2.0, 4.0]);
+        a.add_scaled(0.5, &b).unwrap();
+        assert_eq!(a.as_slice(), &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn col_extraction() {
+        let a = m(3, 2, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(a.col(1), vec![2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn push_row_grows_matrix() {
+        let mut a = Matrix::zeros(0, 0);
+        a.push_row(&[1.0, 2.0]).unwrap();
+        a.push_row(&[3.0, 4.0]).unwrap();
+        assert_eq!(a.shape(), (2, 2));
+        assert!(a.push_row(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn set_identity_requires_square() {
+        let mut a = Matrix::zeros(2, 3);
+        assert!(a.set_identity().is_err());
+        let mut b = Matrix::zeros(3, 3);
+        b.set_identity().unwrap();
+        assert_eq!(b, Matrix::identity(3));
+    }
+
+    #[test]
+    fn frobenius_norm_known() {
+        let a = m(1, 2, &[3.0, 4.0]);
+        assert!((a.frobenius_norm() - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn map_inplace_applies() {
+        let mut a = m(1, 3, &[1.0, -2.0, 3.0]);
+        a.map_inplace(|x| x.abs());
+        assert_eq!(a.as_slice(), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn copy_from_checks_shape() {
+        let mut a = Matrix::zeros(2, 2);
+        let b = m(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        a.copy_from(&b).unwrap();
+        assert_eq!(a, b);
+        let c = Matrix::zeros(3, 2);
+        assert!(a.copy_from(&c).is_err());
+    }
+}

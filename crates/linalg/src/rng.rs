@@ -1,0 +1,292 @@
+//! Dependency-free, reproducible pseudo-random number generation.
+//!
+//! OS-ELM's input weights are random and *never trained*; reproducing the
+//! paper's experiments therefore requires a generator that is deterministic
+//! for a given seed on every platform — including a Cortex-M0+ with no OS
+//! entropy source. This is xoshiro256++ seeded through SplitMix64 (the
+//! reference seeding procedure), with uniform, normal, and shuffling helpers.
+//!
+//! The heavier `rand` crate is used only by the *dataset* generators on the
+//! host; everything that would ship to the device uses this module.
+
+use crate::Real;
+
+/// xoshiro256++ PRNG.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    s: [u64; 4],
+    /// Cached second Box–Muller variate.
+    spare_normal: Option<Real>,
+}
+
+impl Rng {
+    /// Creates a generator from a 64-bit seed via SplitMix64 expansion.
+    pub fn seed_from(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        };
+        let s = [next(), next(), next(), next()];
+        Rng {
+            s,
+            spare_normal: None,
+        }
+    }
+
+    /// Next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform in `[0, 1)`.
+    #[inline]
+    pub fn uniform(&mut self) -> Real {
+        // 53 high bits -> f64 mantissa precision, then narrow.
+        ((self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)) as Real
+    }
+
+    /// Uniform in `[lo, hi)`.
+    #[inline]
+    pub fn uniform_range(&mut self, lo: Real, hi: Real) -> Real {
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// Uniform integer in `[0, n)`. Panics when `n == 0`.
+    ///
+    /// Uses Lemire's multiply-shift rejection method for unbiased output.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "Rng::below called with n = 0");
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (n as u128);
+            let low = m as u64;
+            if low >= n {
+                return (m >> 64) as u64;
+            }
+            // Rejection branch: only taken for low with probability < n/2^64.
+            let threshold = n.wrapping_neg() % n;
+            if low >= threshold {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Standard normal variate (Box–Muller, with caching of the pair).
+    pub fn standard_normal(&mut self) -> Real {
+        if let Some(z) = self.spare_normal.take() {
+            return z;
+        }
+        // Polar Box-Muller: rejection-samples a point in the unit disc.
+        loop {
+            let u = 2.0 * self.uniform() - 1.0;
+            let v = 2.0 * self.uniform() - 1.0;
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                let f = ((-2.0 * (s as f64).ln() / s as f64) as Real).sqrt();
+                self.spare_normal = Some(v * f);
+                return u * f;
+            }
+        }
+    }
+
+    /// Normal variate with the given mean and standard deviation.
+    #[inline]
+    pub fn normal(&mut self, mean: Real, std: Real) -> Real {
+        mean + std * self.standard_normal()
+    }
+
+    /// Fills `out` with uniform values in `[lo, hi)`.
+    pub fn fill_uniform(&mut self, out: &mut [Real], lo: Real, hi: Real) {
+        for x in out {
+            *x = self.uniform_range(lo, hi);
+        }
+    }
+
+    /// Fills `out` with N(mean, std²) values.
+    pub fn fill_normal(&mut self, out: &mut [Real], mean: Real, std: Real) {
+        for x in out {
+            *x = self.normal(mean, std);
+        }
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.below((i + 1) as u64) as usize;
+            items.swap(i, j);
+        }
+    }
+
+    /// Samples an index from a discrete distribution given by `weights`
+    /// (need not be normalised). Returns `None` when all weights are zero
+    /// or the slice is empty.
+    pub fn weighted_index(&mut self, weights: &[Real]) -> Option<usize> {
+        let total: Real = weights.iter().filter(|w| w.is_finite() && **w > 0.0).sum();
+        if total <= 0.0 {
+            return None;
+        }
+        let mut target = self.uniform() * total;
+        for (i, &w) in weights.iter().enumerate() {
+            if w.is_finite() && w > 0.0 {
+                target -= w;
+                if target <= 0.0 {
+                    return Some(i);
+                }
+            }
+        }
+        // Floating-point slack: fall back to the last positive weight.
+        weights
+            .iter()
+            .rposition(|w| w.is_finite() && *w > 0.0)
+    }
+
+    /// Derives an independent generator (jump-free stream splitting by
+    /// reseeding through SplitMix64 of fresh output).
+    pub fn split(&mut self) -> Rng {
+        Rng::seed_from(self.next_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = Rng::seed_from(7);
+        let mut b = Rng::seed_from(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Rng::seed_from(1);
+        let mut b = Rng::seed_from(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn uniform_in_unit_interval() {
+        let mut rng = Rng::seed_from(3);
+        for _ in 0..10_000 {
+            let u = rng.uniform();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn uniform_mean_near_half() {
+        let mut rng = Rng::seed_from(11);
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| rng.uniform() as f64).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean = {mean}");
+    }
+
+    #[test]
+    fn below_respects_bound_and_covers_range() {
+        let mut rng = Rng::seed_from(5);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = rng.below(10) as usize;
+            assert!(v < 10);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    #[should_panic(expected = "n = 0")]
+    fn below_zero_panics() {
+        Rng::seed_from(1).below(0);
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = Rng::seed_from(13);
+        let n = 50_000;
+        let xs: Vec<f64> = (0..n).map(|_| rng.standard_normal() as f64).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean = {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var = {var}");
+    }
+
+    #[test]
+    fn normal_with_params() {
+        let mut rng = Rng::seed_from(17);
+        let n = 50_000;
+        let xs: Vec<f64> = (0..n).map(|_| rng.normal(5.0, 2.0) as f64).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.05, "mean = {mean}");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = Rng::seed_from(19);
+        let mut v: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>()); // astronomically unlikely
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut rng = Rng::seed_from(23);
+        let weights = [0.0, 1.0, 3.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..20_000 {
+            counts[rng.weighted_index(&weights).unwrap()] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        let ratio = counts[2] as f64 / counts[1] as f64;
+        assert!((ratio - 3.0).abs() < 0.3, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn weighted_index_degenerate_cases() {
+        let mut rng = Rng::seed_from(29);
+        assert_eq!(rng.weighted_index(&[]), None);
+        assert_eq!(rng.weighted_index(&[0.0, 0.0]), None);
+        assert_eq!(rng.weighted_index(&[0.0, 2.0]), Some(1));
+    }
+
+    #[test]
+    fn split_streams_are_independent() {
+        let mut parent = Rng::seed_from(31);
+        let mut a = parent.split();
+        let mut b = parent.split();
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn fill_helpers_fill_everything() {
+        let mut rng = Rng::seed_from(37);
+        let mut buf = vec![0.0; 64];
+        rng.fill_uniform(&mut buf, 1.0, 2.0);
+        assert!(buf.iter().all(|&x| (1.0..2.0).contains(&x)));
+        rng.fill_normal(&mut buf, 0.0, 1.0);
+        assert!(buf.iter().any(|&x| x != 0.0));
+    }
+}

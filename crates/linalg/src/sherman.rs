@@ -1,0 +1,182 @@
+//! Sherman–Morrison rank-1 inverse updates.
+//!
+//! The whole point of the paper's "fully sequential" regime is that with a
+//! training batch size of one, OS-ELM's covariance update
+//!
+//! ```text
+//! P <- P - (P hᵀ)(h P) / (1 + h P hᵀ)
+//! ```
+//!
+//! needs no matrix inversion at all — only two matrix-vector products and a
+//! rank-1 update, all O(H²). This module provides that kernel (with caller
+//! scratch buffers so the per-sample loop allocates nothing) plus the general
+//! Sherman–Morrison update used by tests to cross-check against direct
+//! inversion.
+
+use crate::{vector, LinalgError, Matrix, Real, Result};
+
+/// Scratch buffers for [`oselm_p_update`]; allocate once, reuse per sample.
+#[derive(Debug, Clone)]
+pub struct Rank1Scratch {
+    /// Holds `P hᵀ` (length = hidden dimension).
+    pub ph: Vec<Real>,
+    /// Holds `h P` (length = hidden dimension).
+    pub hp: Vec<Real>,
+}
+
+impl Rank1Scratch {
+    /// Creates scratch for a `dim x dim` matrix.
+    pub fn new(dim: usize) -> Self {
+        Rank1Scratch {
+            ph: vec![0.0; dim],
+            hp: vec![0.0; dim],
+        }
+    }
+}
+
+/// One OS-ELM covariance update step:
+/// `P <- P - (P hᵀ)(h P) / (1 + h P hᵀ)`, in place.
+///
+/// `h` is the hidden-layer activation row vector for the current sample.
+/// Returns the scalar gain denominator `1 + h P hᵀ` so callers can detect
+/// numerical trouble (it must stay positive for P to remain SPD).
+pub fn oselm_p_update(p: &mut Matrix, h: &[Real], scratch: &mut Rank1Scratch) -> Result<Real> {
+    let n = p.rows();
+    if !p.is_square() || h.len() != n || scratch.ph.len() != n || scratch.hp.len() != n {
+        return Err(LinalgError::ShapeMismatch {
+            op: "oselm_p_update",
+            lhs: p.shape(),
+            rhs: (h.len(), 1),
+        });
+    }
+    // ph = P hᵀ ; hp = h P (= Pᵀ hᵀ, but P is symmetric in exact arithmetic —
+    // we still compute both sides so f32 asymmetry does not accumulate).
+    p.matvec_into(h, &mut scratch.ph)?;
+    p.tr_matvec_into(h, &mut scratch.hp)?;
+    let denom = 1.0 + vector::dot(h, &scratch.ph);
+    if denom <= 0.0 || !denom.is_finite() {
+        return Err(LinalgError::NotPositiveDefinite);
+    }
+    let ph = std::mem::take(&mut scratch.ph);
+    let hp = std::mem::take(&mut scratch.hp);
+    p.add_outer(-1.0 / denom, &ph, &hp)?;
+    scratch.ph = ph;
+    scratch.hp = hp;
+    Ok(denom)
+}
+
+/// General Sherman–Morrison update:
+/// given `P = A⁻¹`, transforms `P` into `(A + u vᵀ)⁻¹` in place.
+///
+/// Returns an error when `1 + vᵀ P u` is (numerically) zero, i.e. the updated
+/// matrix is singular.
+pub fn sherman_morrison(p: &mut Matrix, u: &[Real], v: &[Real]) -> Result<()> {
+    let n = p.rows();
+    if !p.is_square() || u.len() != n || v.len() != n {
+        return Err(LinalgError::ShapeMismatch {
+            op: "sherman_morrison",
+            lhs: p.shape(),
+            rhs: (u.len(), v.len()),
+        });
+    }
+    let pu = p.matvec(u)?;
+    let mut vp = vec![0.0; n];
+    p.tr_matvec_into(v, &mut vp)?;
+    let denom = 1.0 + vector::dot(v, &pu);
+    if denom.abs() < 1e-12 || !denom.is_finite() {
+        return Err(LinalgError::Singular);
+    }
+    p.add_outer(-1.0 / denom, &pu, &vp)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solve;
+
+    #[test]
+    fn sherman_morrison_matches_direct_inverse() {
+        let a = Matrix::from_vec(3, 3, vec![4.0, 1.0, 0.0, 1.0, 3.0, 1.0, 0.0, 1.0, 2.0]).unwrap();
+        let u = [0.5, -1.0, 0.25];
+        let v = [1.0, 0.5, -0.5];
+        let mut p = solve::inverse(&a).unwrap();
+        sherman_morrison(&mut p, &u, &v).unwrap();
+
+        let mut a2 = a.clone();
+        a2.add_outer(1.0, &u, &v).unwrap();
+        let direct = solve::inverse(&a2).unwrap();
+        assert!(p.approx_eq(&direct, 1e-3));
+    }
+
+    #[test]
+    fn oselm_update_matches_recomputed_inverse() {
+        // A = I (lambda = 1 regularised start), add h hᵀ and compare.
+        let n = 4;
+        let h = [0.3, -0.7, 0.2, 0.9];
+        let mut p = Matrix::identity(n);
+        let mut scratch = Rank1Scratch::new(n);
+        let denom = oselm_p_update(&mut p, &h, &mut scratch).unwrap();
+        assert!(denom > 1.0);
+
+        let mut a = Matrix::identity(n);
+        a.add_outer(1.0, &h, &h).unwrap();
+        let direct = solve::inverse(&a).unwrap();
+        assert!(p.approx_eq(&direct, 1e-4));
+    }
+
+    #[test]
+    fn repeated_updates_stay_consistent_with_gram_inverse() {
+        // After k rank-1 updates, P must equal (I + Σ h hᵀ)⁻¹.
+        let n = 3;
+        let samples: [[Real; 3]; 5] = [
+            [1.0, 0.0, 0.5],
+            [0.2, 0.8, -0.3],
+            [-0.5, 0.4, 0.9],
+            [0.7, -0.2, 0.1],
+            [0.3, 0.3, 0.3],
+        ];
+        let mut p = Matrix::identity(n);
+        let mut a = Matrix::identity(n);
+        let mut scratch = Rank1Scratch::new(n);
+        for h in &samples {
+            oselm_p_update(&mut p, h, &mut scratch).unwrap();
+            a.add_outer(1.0, h, h).unwrap();
+        }
+        let direct = solve::inverse(&a).unwrap();
+        assert!(p.approx_eq(&direct, 1e-3));
+    }
+
+    #[test]
+    fn p_stays_symmetric_under_updates() {
+        let n = 5;
+        let mut p = Matrix::identity(n);
+        let mut scratch = Rank1Scratch::new(n);
+        let mut rng = crate::rng::Rng::seed_from(42);
+        let mut h = vec![0.0; n];
+        for _ in 0..100 {
+            for x in &mut h {
+                *x = rng.standard_normal();
+            }
+            oselm_p_update(&mut p, &h, &mut scratch).unwrap();
+        }
+        let pt = p.transpose();
+        assert!(p.approx_eq(&pt, 1e-3));
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let mut p = Matrix::identity(3);
+        let mut scratch = Rank1Scratch::new(3);
+        assert!(oselm_p_update(&mut p, &[1.0, 2.0], &mut scratch).is_err());
+        assert!(sherman_morrison(&mut p, &[1.0], &[1.0, 2.0, 3.0]).is_err());
+    }
+
+    #[test]
+    fn singular_update_rejected() {
+        // (I + u vᵀ) with vᵀu = -1 is singular: u = e1, v = -e1.
+        let mut p = Matrix::identity(2);
+        let res = sherman_morrison(&mut p, &[1.0, 0.0], &[-1.0, 0.0]);
+        assert_eq!(res.unwrap_err(), LinalgError::Singular);
+    }
+}

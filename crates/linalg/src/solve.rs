@@ -1,0 +1,279 @@
+//! LU factorisation with partial pivoting: linear solves, inverses and
+//! determinants.
+//!
+//! Used once per model (re)initialisation by OS-ELM to form
+//! `P0 = (H0ᵀ H0 + λI)⁻¹`; the per-sample path never calls into this module
+//! (it uses [`crate::sherman`] instead).
+
+
+// Triangular solves index into the evolving solution vector by row;
+// iterator rewrites obscure the dependence structure of the recurrences.
+#![allow(clippy::needless_range_loop)]
+
+use crate::{LinalgError, Matrix, Real, Result};
+
+/// LU factorisation of a square matrix with partial (row) pivoting.
+///
+/// Stores the combined L (unit lower) / U (upper) factors in a single matrix
+/// plus the pivot permutation, so repeated solves against the same matrix
+/// reuse the factorisation.
+#[derive(Debug, Clone)]
+pub struct Lu {
+    lu: Matrix,
+    pivots: Vec<usize>,
+    /// Number of row swaps performed (determines the determinant's sign).
+    swaps: usize,
+}
+
+impl Lu {
+    /// Factorises `a`. Returns [`LinalgError::Singular`] when a pivot
+    /// underflows the numerical tolerance.
+    pub fn factor(a: &Matrix) -> Result<Lu> {
+        if !a.is_square() {
+            return Err(LinalgError::InvalidArgument("lu: matrix not square"));
+        }
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut pivots: Vec<usize> = (0..n).collect();
+        let mut swaps = 0usize;
+
+        for k in 0..n {
+            // Find pivot row.
+            let mut p = k;
+            let mut max = lu.get(k, k).abs();
+            for r in (k + 1)..n {
+                let v = lu.get(r, k).abs();
+                if v > max {
+                    max = v;
+                    p = r;
+                }
+            }
+            if max <= pivot_tolerance() {
+                return Err(LinalgError::Singular);
+            }
+            if p != k {
+                swap_rows(&mut lu, p, k);
+                pivots.swap(p, k);
+                swaps += 1;
+            }
+            let pivot = lu.get(k, k);
+            for r in (k + 1)..n {
+                let factor = lu.get(r, k) / pivot;
+                lu.set(r, k, factor);
+                if factor == 0.0 {
+                    continue;
+                }
+                for c in (k + 1)..n {
+                    let v = lu.get(r, c) - factor * lu.get(k, c);
+                    lu.set(r, c, v);
+                }
+            }
+        }
+        Ok(Lu { lu, pivots, swaps })
+    }
+
+    /// Dimension of the factorised matrix.
+    pub fn dim(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Solves `A x = b` for a single right-hand side, writing into `x`.
+    pub fn solve_into(&self, b: &[Real], x: &mut [Real]) -> Result<()> {
+        let n = self.dim();
+        if b.len() != n || x.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "lu solve",
+                lhs: (n, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        // Apply permutation.
+        for (i, &pi) in self.pivots.iter().enumerate() {
+            x[i] = b[pi];
+        }
+        // Forward substitution with unit-diagonal L.
+        for i in 0..n {
+            let mut s = x[i];
+            for k in 0..i {
+                s -= self.lu.get(i, k) * x[k];
+            }
+            x[i] = s;
+        }
+        // Back substitution with U.
+        for i in (0..n).rev() {
+            let mut s = x[i];
+            for k in (i + 1)..n {
+                s -= self.lu.get(i, k) * x[k];
+            }
+            x[i] = s / self.lu.get(i, i);
+        }
+        Ok(())
+    }
+
+    /// Solves `A X = B` column-by-column.
+    pub fn solve_matrix(&self, b: &Matrix) -> Result<Matrix> {
+        let n = self.dim();
+        if b.rows() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "lu solve_matrix",
+                lhs: (n, n),
+                rhs: b.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(n, b.cols());
+        let mut col = vec![0.0; n];
+        let mut sol = vec![0.0; n];
+        for c in 0..b.cols() {
+            b.col_into(c, &mut col);
+            self.solve_into(&col, &mut sol)?;
+            for r in 0..n {
+                out.set(r, c, sol[r]);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Inverse of the factorised matrix.
+    pub fn inverse(&self) -> Result<Matrix> {
+        self.solve_matrix(&Matrix::identity(self.dim()))
+    }
+
+    /// Determinant of the factorised matrix.
+    pub fn determinant(&self) -> Real {
+        let mut det: Real = if self.swaps.is_multiple_of(2) { 1.0 } else { -1.0 };
+        for i in 0..self.dim() {
+            det *= self.lu.get(i, i);
+        }
+        det
+    }
+}
+
+/// Convenience wrapper: inverse of `a` via LU with partial pivoting.
+pub fn inverse(a: &Matrix) -> Result<Matrix> {
+    Lu::factor(a)?.inverse()
+}
+
+/// Convenience wrapper: solves `A x = b`.
+pub fn solve(a: &Matrix, b: &[Real]) -> Result<Vec<Real>> {
+    let lu = Lu::factor(a)?;
+    let mut x = vec![0.0; b.len()];
+    lu.solve_into(b, &mut x)?;
+    Ok(x)
+}
+
+/// Convenience wrapper: determinant of `a` (0 when singular).
+pub fn determinant(a: &Matrix) -> Result<Real> {
+    match Lu::factor(a) {
+        Ok(lu) => Ok(lu.determinant()),
+        Err(LinalgError::Singular) => Ok(0.0),
+        Err(e) => Err(e),
+    }
+}
+
+fn swap_rows(m: &mut Matrix, a: usize, b: usize) {
+    if a == b {
+        return;
+    }
+    let cols = m.cols();
+    let data = m.as_mut_slice();
+    let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+    let (head, tail) = data.split_at_mut(hi * cols);
+    head[lo * cols..(lo + 1) * cols].swap_with_slice(&mut tail[..cols]);
+}
+
+#[inline]
+fn pivot_tolerance() -> Real {
+    // Pivots this small in f32 make the solve meaningless; treat the matrix
+    // as singular rather than amplifying noise by ~1/pivot.
+    if core::mem::size_of::<Real>() == 4 {
+        1e-12
+    } else {
+        1e-300
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(rows: usize, cols: usize, v: &[Real]) -> Matrix {
+        Matrix::from_vec(rows, cols, v.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn solve_known_system() {
+        // 2x + y = 5 ; x + 3y = 10  => x = 1, y = 3
+        let a = m(2, 2, &[2.0, 1.0, 1.0, 3.0]);
+        let x = solve(&a, &[5.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-5);
+        assert!((x[1] - 3.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn inverse_times_original_is_identity() {
+        let a = m(3, 3, &[4.0, 2.0, 1.0, 2.0, 5.0, 3.0, 1.0, 3.0, 6.0]);
+        let inv = inverse(&a).unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        assert!(prod.approx_eq(&Matrix::identity(3), 1e-4));
+    }
+
+    #[test]
+    fn singular_matrix_is_rejected() {
+        let a = m(2, 2, &[1.0, 2.0, 2.0, 4.0]);
+        assert_eq!(inverse(&a).unwrap_err(), LinalgError::Singular);
+    }
+
+    #[test]
+    fn determinant_known_values() {
+        let a = m(2, 2, &[3.0, 8.0, 4.0, 6.0]);
+        assert!((determinant(&a).unwrap() - (-14.0)).abs() < 1e-4);
+        let singular = m(2, 2, &[1.0, 2.0, 2.0, 4.0]);
+        assert_eq!(determinant(&singular).unwrap(), 0.0);
+        assert!((determinant(&Matrix::identity(5)).unwrap() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn determinant_sign_tracks_row_swaps() {
+        // Permutation matrix swapping two rows has determinant -1.
+        let a = m(2, 2, &[0.0, 1.0, 1.0, 0.0]);
+        assert!((determinant(&a).unwrap() + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        let a = Matrix::zeros(2, 3);
+        assert!(Lu::factor(&a).is_err());
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = m(2, 2, &[0.0, 1.0, 1.0, 0.0]);
+        let x = solve(&a, &[2.0, 3.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-6);
+        assert!((x[1] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn solve_matrix_multi_rhs() {
+        let a = m(2, 2, &[2.0, 0.0, 0.0, 4.0]);
+        let b = m(2, 2, &[2.0, 4.0, 8.0, 12.0]);
+        let lu = Lu::factor(&a).unwrap();
+        let x = lu.solve_matrix(&b).unwrap();
+        assert!(x.approx_eq(&m(2, 2, &[1.0, 2.0, 2.0, 3.0]), 1e-6));
+    }
+
+    #[test]
+    fn hilbert_like_small_matrix_inverse_accurate() {
+        // Mildly ill-conditioned 4x4; checks the factorisation stays stable.
+        let n = 4;
+        let mut a = Matrix::zeros(n, n);
+        for r in 0..n {
+            for c in 0..n {
+                a.set(r, c, 1.0 / ((r + c + 1) as Real));
+            }
+        }
+        let inv = inverse(&a).unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        assert!(prod.approx_eq(&Matrix::identity(n), 2e-2));
+    }
+}

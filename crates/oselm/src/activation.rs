@@ -1,0 +1,122 @@
+//! Hidden-layer activation functions.
+
+use seqdrift_linalg::Real;
+
+/// Activation applied to the hidden layer of an OS-ELM.
+///
+/// ELM theory only requires the activation to be infinitely differentiable
+/// (sigmoid family) or piecewise linear; the output layer is always linear
+/// so the least-squares solve for `β` stays exact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Activation {
+    /// Logistic sigmoid `1 / (1 + e^-x)` — the choice used by ONLAD and the
+    /// paper's firmware, and the default here.
+    #[default]
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Rectified linear unit.
+    Relu,
+    /// Identity (degenerates OS-ELM to recursive linear least squares;
+    /// mostly useful in tests where exactness is provable).
+    Identity,
+}
+
+impl Activation {
+    /// Applies the activation to a single scalar.
+    #[inline]
+    pub fn apply(self, x: Real) -> Real {
+        match self {
+            Activation::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+            Activation::Tanh => x.tanh(),
+            Activation::Relu => x.max(0.0),
+            Activation::Identity => x,
+        }
+    }
+
+    /// Applies the activation element-wise in place.
+    #[inline]
+    pub fn apply_slice(self, xs: &mut [Real]) {
+        match self {
+            // Match once, not per element.
+            Activation::Sigmoid => {
+                for x in xs {
+                    *x = 1.0 / (1.0 + (-*x).exp());
+                }
+            }
+            Activation::Tanh => {
+                for x in xs {
+                    *x = x.tanh();
+                }
+            }
+            Activation::Relu => {
+                for x in xs {
+                    *x = x.max(0.0);
+                }
+            }
+            Activation::Identity => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigmoid_known_points() {
+        assert!((Activation::Sigmoid.apply(0.0) - 0.5).abs() < 1e-6);
+        assert!(Activation::Sigmoid.apply(10.0) > 0.999);
+        assert!(Activation::Sigmoid.apply(-10.0) < 0.001);
+    }
+
+    #[test]
+    fn sigmoid_is_monotone_and_bounded() {
+        let mut prev = -1.0;
+        for i in -50..=50 {
+            let y = Activation::Sigmoid.apply(i as Real * 0.2);
+            assert!(y > prev);
+            assert!((0.0..=1.0).contains(&y));
+            prev = y;
+        }
+    }
+
+    #[test]
+    fn relu_clamps_negatives() {
+        assert_eq!(Activation::Relu.apply(-3.0), 0.0);
+        assert_eq!(Activation::Relu.apply(3.0), 3.0);
+    }
+
+    #[test]
+    fn tanh_is_odd() {
+        let a = Activation::Tanh;
+        assert!((a.apply(1.3) + a.apply(-1.3)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn identity_is_noop() {
+        assert_eq!(Activation::Identity.apply(2.5), 2.5);
+    }
+
+    #[test]
+    fn apply_slice_matches_scalar() {
+        for act in [
+            Activation::Sigmoid,
+            Activation::Tanh,
+            Activation::Relu,
+            Activation::Identity,
+        ] {
+            let xs = [-2.0, -0.5, 0.0, 0.5, 2.0];
+            let mut ys = xs;
+            act.apply_slice(&mut ys);
+            for (x, y) in xs.iter().zip(ys.iter()) {
+                assert_eq!(act.apply(*x), *y);
+            }
+        }
+    }
+
+    #[test]
+    fn default_is_sigmoid() {
+        assert_eq!(Activation::default(), Activation::Sigmoid);
+    }
+}

@@ -1,0 +1,889 @@
+//! Core OS-ELM implementation.
+//!
+//! An ELM is a single-hidden-layer network `x -> g(W x + b) -> β` where
+//! `W, b` are random and frozen; training fits only `β` by least squares.
+//! OS-ELM (Liang et al. 2006) maintains the regularised normal-equation
+//! inverse `P = (Hᵀ H + λI)⁻¹` recursively so new samples update `β`
+//! without revisiting old data:
+//!
+//! ```text
+//! P    <- P - (P hᵀ)(h P) / (1 + h P hᵀ)          (batch size 1)
+//! β    <- β + (P hᵀ)(t - h β)
+//! ```
+//!
+//! With the ONLAD forgetting factor `α ∈ (0, 1]` the update becomes
+//!
+//! ```text
+//! P    <- (1/α) · [ P - (P hᵀ)(h P) / (α + h P hᵀ) ]
+//! β    <- β + (P hᵀ)(t - h β)
+//! ```
+//!
+//! which geometrically down-weights old samples (α = 1 recovers plain
+//! OS-ELM). Both paths are allocation-free per sample: all scratch lives in
+//! the struct.
+
+use crate::{Activation, ModelError, Result};
+use seqdrift_linalg::{vector, Matrix, Real};
+
+/// Configuration for an [`OsElm`] network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OsElmConfig {
+    /// Input dimensionality (number of input-layer nodes).
+    pub input_dim: usize,
+    /// Hidden-layer width.
+    pub hidden_dim: usize,
+    /// Output dimensionality. Defaults to `input_dim` (autoencoder shape,
+    /// which is how the paper uses OS-ELM throughout).
+    pub output_dim: usize,
+    /// Hidden activation.
+    pub activation: Activation,
+    /// Seed for the random (frozen) input weights.
+    pub seed: u64,
+    /// Tikhonov regularisation added to the initial Gram matrix. Keeps the
+    /// initial solve well-posed even when the initial batch is small, at the
+    /// cost of a tiny bias; the MCU firmware needs this because it cannot
+    /// afford a large initial batch.
+    pub lambda: Real,
+    /// ONLAD forgetting factor `α ∈ (0, 1]`; `None` means plain OS-ELM.
+    pub forgetting: Option<Real>,
+    /// Input weights and biases are drawn uniformly from
+    /// `[-weight_scale, weight_scale]`.
+    pub weight_scale: Real,
+}
+
+impl OsElmConfig {
+    /// Autoencoder-shaped config: `output_dim == input_dim`.
+    pub fn new(input_dim: usize, hidden_dim: usize) -> Self {
+        OsElmConfig {
+            input_dim,
+            hidden_dim,
+            output_dim: input_dim,
+            activation: Activation::Sigmoid,
+            seed: 0xE1A0_5EED,
+            lambda: 0.05,
+            forgetting: None,
+            weight_scale: 1.0,
+        }
+    }
+
+    /// Overrides the output dimensionality (non-autoencoder use).
+    pub fn with_output_dim(mut self, output_dim: usize) -> Self {
+        self.output_dim = output_dim;
+        self
+    }
+
+    /// Overrides the hidden activation.
+    pub fn with_activation(mut self, activation: Activation) -> Self {
+        self.activation = activation;
+        self
+    }
+
+    /// Overrides the weight seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the regularisation strength.
+    pub fn with_lambda(mut self, lambda: Real) -> Self {
+        self.lambda = lambda;
+        self
+    }
+
+    /// Enables the ONLAD forgetting mechanism with factor `alpha`.
+    pub fn with_forgetting(mut self, alpha: Real) -> Self {
+        self.forgetting = Some(alpha);
+        self
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.input_dim == 0 || self.hidden_dim == 0 || self.output_dim == 0 {
+            return Err(ModelError::InvalidConfig("zero layer dimension"));
+        }
+        if self.lambda.is_nan() || self.lambda < 0.0 {
+            return Err(ModelError::InvalidConfig("lambda must be >= 0"));
+        }
+        if let Some(a) = self.forgetting {
+            if a.is_nan() || a <= 0.0 || a > 1.0 {
+                return Err(ModelError::InvalidConfig("forgetting factor must be in (0, 1]"));
+            }
+        }
+        if self.weight_scale.is_nan() || self.weight_scale <= 0.0 {
+            return Err(ModelError::InvalidConfig("weight_scale must be > 0"));
+        }
+        Ok(())
+    }
+}
+
+/// An OS-ELM network with frozen random input weights.
+#[derive(Debug, Clone)]
+pub struct OsElm {
+    cfg: OsElmConfig,
+    /// Input weights, `hidden_dim x input_dim`.
+    w: Matrix,
+    /// Hidden biases, length `hidden_dim`.
+    b: Vec<Real>,
+    /// Recursive inverse Gram matrix `P`, `hidden_dim x hidden_dim`.
+    p: Matrix,
+    /// Output weights `β`, `hidden_dim x output_dim`.
+    beta: Matrix,
+    initialized: bool,
+    samples_seen: u64,
+    // Per-sample scratch (never reallocated after construction).
+    scratch_h: Vec<Real>,
+    scratch_ph: Vec<Real>,
+    scratch_hp: Vec<Real>,
+    scratch_err: Vec<Real>,
+    scratch_out: Vec<Real>,
+}
+
+impl OsElm {
+    /// Builds a network with freshly drawn random input weights.
+    pub fn new(cfg: OsElmConfig) -> Result<Self> {
+        cfg.validate()?;
+        let mut rng = seqdrift_linalg::Rng::seed_from(cfg.seed);
+        let mut w = Matrix::zeros(cfg.hidden_dim, cfg.input_dim);
+        let s = cfg.weight_scale;
+        for v in w.as_mut_slice() {
+            *v = rng.uniform_range(-s, s);
+        }
+        let mut b = vec![0.0; cfg.hidden_dim];
+        rng.fill_uniform(&mut b, -s, s);
+        Ok(OsElm {
+            p: Matrix::zeros(cfg.hidden_dim, cfg.hidden_dim),
+            beta: Matrix::zeros(cfg.hidden_dim, cfg.output_dim),
+            w,
+            b,
+            initialized: false,
+            samples_seen: 0,
+            scratch_h: vec![0.0; cfg.hidden_dim],
+            scratch_ph: vec![0.0; cfg.hidden_dim],
+            scratch_hp: vec![0.0; cfg.hidden_dim],
+            scratch_err: vec![0.0; cfg.output_dim],
+            scratch_out: vec![0.0; cfg.output_dim],
+            cfg,
+        })
+    }
+
+    /// The configuration this network was built with.
+    pub fn config(&self) -> &OsElmConfig {
+        &self.cfg
+    }
+
+    /// Input dimensionality.
+    pub fn input_dim(&self) -> usize {
+        self.cfg.input_dim
+    }
+
+    /// Output dimensionality.
+    pub fn output_dim(&self) -> usize {
+        self.cfg.output_dim
+    }
+
+    /// Hidden-layer width.
+    pub fn hidden_dim(&self) -> usize {
+        self.cfg.hidden_dim
+    }
+
+    /// Whether [`OsElm::init_train`] has run.
+    pub fn is_initialized(&self) -> bool {
+        self.initialized
+    }
+
+    /// Total samples consumed (initial + sequential).
+    pub fn samples_seen(&self) -> u64 {
+        self.samples_seen
+    }
+
+    /// Computes the hidden activation `h = g(W x + b)` into `out`.
+    pub fn hidden_into(&self, x: &[Real], out: &mut [Real]) -> Result<()> {
+        if x.len() != self.cfg.input_dim {
+            return Err(ModelError::DimensionMismatch {
+                expected: self.cfg.input_dim,
+                got: x.len(),
+            });
+        }
+        self.w.matvec_into(x, out)?;
+        for (h, &bi) in out.iter_mut().zip(self.b.iter()) {
+            *h += bi;
+        }
+        self.cfg.activation.apply_slice(out);
+        Ok(())
+    }
+
+    /// Initial (batch) training on `xs` with targets `ts`.
+    ///
+    /// Solves `β = (H₀ᵀH₀ + λI)⁻¹ H₀ᵀ T₀` once via Cholesky and stores the
+    /// inverse `P` for subsequent sequential updates. Replaces any previous
+    /// training state (this is exactly what the paper's model
+    /// *reconstruction* relies on — see `seqdrift-core`).
+    pub fn init_train(&mut self, xs: &[Vec<Real>], ts: &[Vec<Real>]) -> Result<()> {
+        if xs.is_empty() || xs.len() != ts.len() {
+            return Err(ModelError::InvalidConfig(
+                "init_train: empty input or mismatched target count",
+            ));
+        }
+        let need = if self.cfg.lambda > 0.0 {
+            1
+        } else {
+            self.cfg.hidden_dim
+        };
+        if xs.len() < need {
+            return Err(ModelError::TooFewSamples {
+                got: xs.len(),
+                need,
+            });
+        }
+        let n = xs.len();
+        let hdim = self.cfg.hidden_dim;
+        // H: n x hidden.
+        let mut h = Matrix::zeros(n, hdim);
+        for (i, x) in xs.iter().enumerate() {
+            let row = h.row_mut(i);
+            // Cannot call self.hidden_into while h is mutably borrowed from
+            // self-owned scratch, so inline the same computation.
+            if x.len() != self.cfg.input_dim {
+                return Err(ModelError::DimensionMismatch {
+                    expected: self.cfg.input_dim,
+                    got: x.len(),
+                });
+            }
+            self.w.matvec_into(x, row)?;
+            for (hv, &bi) in row.iter_mut().zip(self.b.iter()) {
+                *hv += bi;
+            }
+            self.cfg.activation.apply_slice(row);
+        }
+        // T: n x output.
+        let mut t = Matrix::zeros(n, self.cfg.output_dim);
+        for (i, ti) in ts.iter().enumerate() {
+            if ti.len() != self.cfg.output_dim {
+                return Err(ModelError::DimensionMismatch {
+                    expected: self.cfg.output_dim,
+                    got: ti.len(),
+                });
+            }
+            t.row_mut(i).copy_from_slice(ti);
+        }
+        // Gram = HᵀH + λI.
+        let mut gram = Matrix::zeros(hdim, hdim);
+        h.tr_matmul_into(&h, &mut gram)?;
+        for i in 0..hdim {
+            gram.set(i, i, gram.get(i, i) + self.cfg.lambda);
+        }
+        // P = Gram⁻¹ (Cholesky; LU fallback for the λ=0 edge where rounding
+        // can nudge an eigenvalue below zero).
+        self.p = match seqdrift_linalg::cholesky::spd_inverse(&gram) {
+            Ok(p) => p,
+            Err(_) => seqdrift_linalg::solve::inverse(&gram)?,
+        };
+        // β = P Hᵀ T.
+        let mut ht_t = Matrix::zeros(hdim, self.cfg.output_dim);
+        h.tr_matmul_into(&t, &mut ht_t)?;
+        self.p.matmul_into(&ht_t, &mut self.beta)?;
+        self.initialized = true;
+        self.samples_seen = n as u64;
+        Ok(())
+    }
+
+    /// One sequential training step on `(x, t)` with batch size 1.
+    ///
+    /// Allocation-free; errors if the model has not been initially trained.
+    pub fn seq_train(&mut self, x: &[Real], t: &[Real]) -> Result<()> {
+        if !self.initialized {
+            return Err(ModelError::NotInitialized);
+        }
+        if t.len() != self.cfg.output_dim {
+            return Err(ModelError::DimensionMismatch {
+                expected: self.cfg.output_dim,
+                got: t.len(),
+            });
+        }
+        // Split scratch out of self so we can borrow immutably alongside.
+        let mut h = std::mem::take(&mut self.scratch_h);
+        let mut ph = std::mem::take(&mut self.scratch_ph);
+        let mut hp = std::mem::take(&mut self.scratch_hp);
+        let mut err = std::mem::take(&mut self.scratch_err);
+
+        let result = (|| -> Result<()> {
+            self.hidden_into(x, &mut h)?;
+            // err = t - h β   (computed with the *old* β).
+            self.beta.tr_matvec_into(&h, &mut err)?;
+            for (e, &ti) in err.iter_mut().zip(t.iter()) {
+                *e = ti - *e;
+            }
+            // P update (plain or forgetting).
+            self.p.matvec_into(&h, &mut ph)?;
+            self.p.tr_matvec_into(&h, &mut hp)?;
+            match self.cfg.forgetting {
+                None => {
+                    let denom = 1.0 + vector::dot(&h, &ph);
+                    if denom <= 0.0 || !denom.is_finite() {
+                        return Err(ModelError::Linalg(
+                            seqdrift_linalg::LinalgError::NotPositiveDefinite,
+                        ));
+                    }
+                    self.p.add_outer(-1.0 / denom, &ph, &hp)?;
+                }
+                Some(alpha) => {
+                    let denom = alpha + vector::dot(&h, &ph);
+                    if denom <= 0.0 || !denom.is_finite() {
+                        return Err(ModelError::Linalg(
+                            seqdrift_linalg::LinalgError::NotPositiveDefinite,
+                        ));
+                    }
+                    self.p.add_outer(-1.0 / denom, &ph, &hp)?;
+                    self.p.scale(1.0 / alpha);
+                }
+            }
+            // β += (P_new hᵀ) ⊗ err.
+            self.p.matvec_into(&h, &mut ph)?;
+            self.beta.add_outer(1.0, &ph, &err)?;
+            self.samples_seen += 1;
+            Ok(())
+        })();
+
+        self.scratch_h = h;
+        self.scratch_ph = ph;
+        self.scratch_hp = hp;
+        self.scratch_err = err;
+        result
+    }
+
+    /// Sequential training on a *chunk* of `k` samples (Liang et al.'s
+    /// general update; the paper's firmware fixes `k = 1` to avoid the
+    /// `k x k` inversion, but host-side calibration benefits from chunks):
+    ///
+    /// ```text
+    /// P <- P - P Hᵀ (I + H P Hᵀ)⁻¹ H P
+    /// β <- β + P Hᵀ (T - H β)
+    /// ```
+    ///
+    /// Equivalent to `k` successive [`OsElm::seq_train`] calls in exact
+    /// arithmetic. Allocates O(k² + k·H) temporaries — host-side use only.
+    pub fn seq_train_chunk(&mut self, xs: &[Vec<Real>], ts: &[Vec<Real>]) -> Result<()> {
+        if !self.initialized {
+            return Err(ModelError::NotInitialized);
+        }
+        if xs.is_empty() || xs.len() != ts.len() {
+            return Err(ModelError::InvalidConfig(
+                "seq_train_chunk: empty chunk or mismatched target count",
+            ));
+        }
+        if self.cfg.forgetting.is_some() {
+            // The forgetting recursion discounts *per sample*; a chunk
+            // update would apply one discount to k samples and silently
+            // change the model. Keep the semantics honest instead.
+            return Err(ModelError::InvalidConfig(
+                "seq_train_chunk does not support forgetting; use seq_train",
+            ));
+        }
+        let k = xs.len();
+        let hdim = self.cfg.hidden_dim;
+        // H: k x hidden.
+        let mut h = Matrix::zeros(k, hdim);
+        for (i, x) in xs.iter().enumerate() {
+            let row = h.row_mut(i);
+            if x.len() != self.cfg.input_dim {
+                return Err(ModelError::DimensionMismatch {
+                    expected: self.cfg.input_dim,
+                    got: x.len(),
+                });
+            }
+            self.w.matvec_into(x, row)?;
+            for (hv, &bi) in row.iter_mut().zip(self.b.iter()) {
+                *hv += bi;
+            }
+            self.cfg.activation.apply_slice(row);
+        }
+        // T - H β  (k x output).
+        let mut resid = Matrix::zeros(k, self.cfg.output_dim);
+        h.matmul_into(&self.beta, &mut resid)?;
+        for (i, t) in ts.iter().enumerate() {
+            if t.len() != self.cfg.output_dim {
+                return Err(ModelError::DimensionMismatch {
+                    expected: self.cfg.output_dim,
+                    got: t.len(),
+                });
+            }
+            for (r, &tv) in resid.row_mut(i).iter_mut().zip(t.iter()) {
+                *r = tv - *r;
+            }
+        }
+        // G = I + H P Hᵀ  (k x k), via PHt = P Hᵀ (hidden x k).
+        let ht = h.transpose();
+        let mut pht = Matrix::zeros(hdim, k);
+        self.p.matmul_into(&ht, &mut pht)?;
+        let mut g = Matrix::zeros(k, k);
+        h.matmul_into(&pht, &mut g)?;
+        for i in 0..k {
+            g.set(i, i, g.get(i, i) + 1.0);
+        }
+        let g_inv = seqdrift_linalg::solve::inverse(&g)?;
+        // Gain = P Hᵀ G⁻¹  (hidden x k).
+        let mut gain = Matrix::zeros(hdim, k);
+        pht.matmul_into(&g_inv, &mut gain)?;
+        // P <- P - Gain (H P). H P = (P Hᵀ)ᵀ because P is symmetric.
+        let mut hp = Matrix::zeros(k, hdim);
+        pht.transpose_into(&mut hp)?;
+        let mut delta_p = Matrix::zeros(hdim, hdim);
+        gain.matmul_into(&hp, &mut delta_p)?;
+        self.p.sub_assign(&delta_p)?;
+        // β <- β + P_new Hᵀ resid. Recompute P Hᵀ with the updated P.
+        self.p.matmul_into(&ht, &mut pht)?;
+        let mut delta_beta = Matrix::zeros(hdim, self.cfg.output_dim);
+        pht.matmul_into(&resid, &mut delta_beta)?;
+        self.beta.add_assign(&delta_beta)?;
+        self.samples_seen += k as u64;
+        Ok(())
+    }
+
+    /// Predicts the output for `x` into `out` (allocation-free).
+    pub fn predict_into(&mut self, x: &[Real], out: &mut [Real]) -> Result<()> {
+        if !self.initialized {
+            return Err(ModelError::NotInitialized);
+        }
+        if out.len() != self.cfg.output_dim {
+            return Err(ModelError::DimensionMismatch {
+                expected: self.cfg.output_dim,
+                got: out.len(),
+            });
+        }
+        let mut h = std::mem::take(&mut self.scratch_h);
+        let result = self
+            .hidden_into(x, &mut h)
+            .and_then(|()| self.beta.tr_matvec_into(&h, out).map_err(Into::into));
+        self.scratch_h = h;
+        result
+    }
+
+    /// Predicts the output for `x`, allocating the result.
+    pub fn predict(&mut self, x: &[Real]) -> Result<Vec<Real>> {
+        let mut out = vec![0.0; self.cfg.output_dim];
+        self.predict_into(x, &mut out)?;
+        Ok(out)
+    }
+
+    /// Mean-squared error between the prediction for `x` and target `t`.
+    pub fn prediction_error(&mut self, x: &[Real], t: &[Real]) -> Result<Real> {
+        if t.len() != self.cfg.output_dim {
+            return Err(ModelError::DimensionMismatch {
+                expected: self.cfg.output_dim,
+                got: t.len(),
+            });
+        }
+        let mut out = std::mem::take(&mut self.scratch_out);
+        let result = self.predict_into(x, &mut out).map(|()| {
+            vector::dist_l2_sq(&out, t) / t.len() as Real
+        });
+        self.scratch_out = out;
+        result
+    }
+
+    /// Restores training plasticity without touching the learned weights:
+    /// `P` is reset to its regularised fresh state `(1/λ)·I` while `β`
+    /// stays as a warm start.
+    ///
+    /// After thousands of sequential updates `P` contracts toward zero and
+    /// the per-sample gain `P hᵀ` becomes negligible — the model is
+    /// effectively frozen. Model *reconstruction* (Algorithm 2 of the
+    /// paper) needs the instance to re-learn a new concept sequentially, so
+    /// the pipeline calls this when reconstruction starts.
+    pub fn reset_plasticity(&mut self) -> Result<()> {
+        if !self.initialized {
+            return Err(ModelError::NotInitialized);
+        }
+        let lambda = if self.cfg.lambda > 0.0 {
+            self.cfg.lambda
+        } else {
+            1.0
+        };
+        self.p.fill_zero();
+        for i in 0..self.cfg.hidden_dim {
+            self.p.set(i, i, 1.0 / lambda);
+        }
+        Ok(())
+    }
+
+    /// Number of trainable/stored scalar parameters, broken down by buffer.
+    /// Used by `seqdrift-edgesim` for the Table 4 memory accounting.
+    pub fn param_counts(&self) -> OsElmParamCounts {
+        OsElmParamCounts {
+            w: self.w.len(),
+            b: self.b.len(),
+            p: self.p.len(),
+            beta: self.beta.len(),
+        }
+    }
+
+    /// Direct read access to `β` (testing / serialisation).
+    pub fn beta(&self) -> &Matrix {
+        &self.beta
+    }
+
+    /// Direct read access to `P` (testing / serialisation).
+    pub fn p(&self) -> &Matrix {
+        &self.p
+    }
+
+    /// Direct read access to the frozen input weights (serialisation).
+    pub fn weights(&self) -> &Matrix {
+        &self.w
+    }
+
+    /// Direct read access to the hidden biases (serialisation).
+    pub fn biases(&self) -> &[Real] {
+        &self.b
+    }
+
+    /// Reassembles a model from raw state (deserialisation). Every buffer
+    /// length is validated against the config before construction.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_parts(
+        cfg: OsElmConfig,
+        w: Vec<Real>,
+        b: Vec<Real>,
+        p: Vec<Real>,
+        beta: Vec<Real>,
+        initialized: bool,
+        samples_seen: u64,
+    ) -> Result<OsElm> {
+        cfg.validate()?;
+        let (hd, id, od) = (cfg.hidden_dim, cfg.input_dim, cfg.output_dim);
+        if w.len() != hd * id || b.len() != hd || p.len() != hd * hd || beta.len() != hd * od {
+            return Err(ModelError::InvalidConfig(
+                "from_parts: buffer length does not match config",
+            ));
+        }
+        let w = Matrix::from_vec(hd, id, w).expect("length checked");
+        let p = Matrix::from_vec(hd, hd, p).expect("length checked");
+        let beta = Matrix::from_vec(hd, od, beta).expect("length checked");
+        Ok(OsElm {
+            w,
+            b,
+            p,
+            beta,
+            initialized,
+            samples_seen,
+            scratch_h: vec![0.0; hd],
+            scratch_ph: vec![0.0; hd],
+            scratch_hp: vec![0.0; hd],
+            scratch_err: vec![0.0; od],
+            scratch_out: vec![0.0; od],
+            cfg,
+        })
+    }
+}
+
+/// Scalar-count breakdown of an OS-ELM's buffers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OsElmParamCounts {
+    /// Input weight count (`hidden x input`).
+    pub w: usize,
+    /// Bias count (`hidden`).
+    pub b: usize,
+    /// Inverse-Gram count (`hidden x hidden`).
+    pub p: usize,
+    /// Output weight count (`hidden x output`).
+    pub beta: usize,
+}
+
+impl OsElmParamCounts {
+    /// Total scalars.
+    pub fn total(&self) -> usize {
+        self.w + self.b + self.p + self.beta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqdrift_linalg::Rng;
+
+    fn toy_data(n: usize, dim: usize, seed: u64) -> Vec<Vec<Real>> {
+        let mut rng = Rng::seed_from(seed);
+        (0..n)
+            .map(|_| {
+                let mut x = vec![0.0; dim];
+                rng.fill_uniform(&mut x, 0.0, 1.0);
+                x
+            })
+            .collect()
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(OsElm::new(OsElmConfig::new(0, 4)).is_err());
+        assert!(OsElm::new(OsElmConfig::new(4, 0)).is_err());
+        assert!(OsElm::new(OsElmConfig::new(4, 2).with_forgetting(0.0)).is_err());
+        assert!(OsElm::new(OsElmConfig::new(4, 2).with_forgetting(1.5)).is_err());
+        assert!(OsElm::new(OsElmConfig::new(4, 2).with_forgetting(1.0)).is_ok());
+        assert!(OsElm::new(OsElmConfig::new(4, 2).with_lambda(-1.0)).is_err());
+    }
+
+    #[test]
+    fn untrained_model_rejects_use() {
+        let mut m = OsElm::new(OsElmConfig::new(3, 2)).unwrap();
+        assert!(!m.is_initialized());
+        assert_eq!(m.predict(&[0.0; 3]).unwrap_err(), ModelError::NotInitialized);
+        assert_eq!(
+            m.seq_train(&[0.0; 3], &[0.0; 3]).unwrap_err(),
+            ModelError::NotInitialized
+        );
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let mut m = OsElm::new(OsElmConfig::new(3, 2)).unwrap();
+        let xs = toy_data(10, 3, 1);
+        m.init_train(&xs, &xs).unwrap();
+        assert!(matches!(
+            m.predict(&[0.0; 4]),
+            Err(ModelError::DimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            m.seq_train(&[0.0; 3], &[0.0; 4]),
+            Err(ModelError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn same_seed_same_weights() {
+        let a = OsElm::new(OsElmConfig::new(5, 3).with_seed(9)).unwrap();
+        let b = OsElm::new(OsElmConfig::new(5, 3).with_seed(9)).unwrap();
+        assert_eq!(a.w, b.w);
+        assert_eq!(a.b, b.b);
+        let c = OsElm::new(OsElmConfig::new(5, 3).with_seed(10)).unwrap();
+        assert_ne!(a.w, c.w);
+    }
+
+    #[test]
+    fn init_train_fits_training_data() {
+        // An autoencoder with ample hidden capacity should reconstruct its
+        // own (few) training points well.
+        let xs = toy_data(8, 4, 2);
+        let mut m = OsElm::new(OsElmConfig::new(4, 16).with_lambda(1e-4)).unwrap();
+        m.init_train(&xs, &xs).unwrap();
+        for x in &xs {
+            let err = m.prediction_error(x, x).unwrap();
+            assert!(err < 1e-3, "reconstruction error {err}");
+        }
+    }
+
+    #[test]
+    fn sequential_equals_batch_training() {
+        // Core OS-ELM theorem: init on A then seq over B gives the same β as
+        // init on A ∪ B (identical λ). Verified to f32 tolerance.
+        let all = toy_data(60, 5, 3);
+        let (a, b) = all.split_at(30);
+
+        let cfg = OsElmConfig::new(5, 8).with_seed(11).with_lambda(0.1);
+        let mut seq = OsElm::new(cfg.clone()).unwrap();
+        seq.init_train(&a.to_vec(), &a.to_vec()).unwrap();
+        for x in b {
+            seq.seq_train(x, x).unwrap();
+        }
+
+        let mut batch = OsElm::new(cfg).unwrap();
+        batch.init_train(&all, &all).unwrap();
+
+        assert!(
+            seq.beta().approx_eq(batch.beta(), 5e-2),
+            "max diff {}",
+            {
+                let mut d = seq.beta().clone();
+                d.sub_assign(batch.beta()).unwrap();
+                d.max_abs()
+            }
+        );
+    }
+
+    #[test]
+    fn seq_training_reduces_error_on_new_concept() {
+        // Train on one blob, then stream a different blob: error on the new
+        // blob must drop as the model adapts.
+        let old = toy_data(40, 4, 4);
+        let mut m = OsElm::new(OsElmConfig::new(4, 10).with_seed(5)).unwrap();
+        m.init_train(&old, &old).unwrap();
+
+        let mut rng = Rng::seed_from(99);
+        let make_new = |rng: &mut Rng| {
+            let mut x = vec![0.0; 4];
+            rng.fill_normal(&mut x, 3.0, 0.1);
+            x
+        };
+        let probe = make_new(&mut rng);
+        let before = m.prediction_error(&probe, &probe).unwrap();
+        for _ in 0..200 {
+            let x = make_new(&mut rng);
+            m.seq_train(&x, &x).unwrap();
+        }
+        let after = m.prediction_error(&probe, &probe).unwrap();
+        assert!(
+            after < before * 0.5,
+            "error did not drop: before {before}, after {after}"
+        );
+    }
+
+    #[test]
+    fn forgetting_adapts_faster_than_plain() {
+        // After a concept switch, α < 1 should reach low error on the new
+        // concept in fewer updates than plain OS-ELM trained identically.
+        let old = toy_data(50, 3, 6);
+        let cfg = OsElmConfig::new(3, 8).with_seed(21);
+        let mut plain = OsElm::new(cfg.clone()).unwrap();
+        let mut forget = OsElm::new(cfg.with_forgetting(0.9)).unwrap();
+        plain.init_train(&old, &old).unwrap();
+        forget.init_train(&old, &old).unwrap();
+
+        let mut rng = Rng::seed_from(7);
+        let mut probe_sum_plain = 0.0;
+        let mut probe_sum_forget = 0.0;
+        for _ in 0..60 {
+            let mut x = vec![0.0; 3];
+            rng.fill_normal(&mut x, 2.0, 0.05);
+            plain.seq_train(&x, &x).unwrap();
+            forget.seq_train(&x, &x).unwrap();
+            probe_sum_plain += plain.prediction_error(&x, &x).unwrap();
+            probe_sum_forget += forget.prediction_error(&x, &x).unwrap();
+        }
+        assert!(
+            probe_sum_forget < probe_sum_plain,
+            "forgetting {probe_sum_forget} vs plain {probe_sum_plain}"
+        );
+    }
+
+    #[test]
+    fn forgetting_alpha_one_matches_plain_oselm() {
+        let data = toy_data(30, 4, 8);
+        let (a, b) = data.split_at(15);
+        let cfg = OsElmConfig::new(4, 6).with_seed(13);
+        let mut plain = OsElm::new(cfg.clone()).unwrap();
+        let mut alpha1 = OsElm::new(cfg.with_forgetting(1.0)).unwrap();
+        plain.init_train(&a.to_vec(), &a.to_vec()).unwrap();
+        alpha1.init_train(&a.to_vec(), &a.to_vec()).unwrap();
+        for x in b {
+            plain.seq_train(x, x).unwrap();
+            alpha1.seq_train(x, x).unwrap();
+        }
+        assert!(plain.beta().approx_eq(alpha1.beta(), 1e-4));
+    }
+
+    #[test]
+    fn init_train_resets_previous_state() {
+        let xs1 = toy_data(20, 3, 10);
+        let xs2 = toy_data(20, 3, 20);
+        let cfg = OsElmConfig::new(3, 5).with_seed(1);
+        let mut twice = OsElm::new(cfg.clone()).unwrap();
+        twice.init_train(&xs1, &xs1).unwrap();
+        twice.init_train(&xs2, &xs2).unwrap();
+        let mut once = OsElm::new(cfg).unwrap();
+        once.init_train(&xs2, &xs2).unwrap();
+        assert!(twice.beta().approx_eq(once.beta(), 1e-5));
+        assert_eq!(twice.samples_seen(), 20);
+    }
+
+    #[test]
+    fn param_counts_match_shapes() {
+        let m = OsElm::new(OsElmConfig::new(38, 22)).unwrap();
+        let pc = m.param_counts();
+        assert_eq!(pc.w, 22 * 38);
+        assert_eq!(pc.b, 22);
+        assert_eq!(pc.p, 22 * 22);
+        assert_eq!(pc.beta, 22 * 38);
+        assert_eq!(pc.total(), 22 * 38 * 2 + 22 + 484);
+    }
+
+    #[test]
+    fn identity_activation_solves_linear_regression() {
+        // With identity activation OS-ELM is recursive ridge regression on
+        // the random feature z = Wx + b; fitting a linear target must give
+        // near-zero residual once hidden_dim >= input_dim.
+        let xs = toy_data(50, 3, 30);
+        let ts: Vec<Vec<Real>> = xs
+            .iter()
+            .map(|x| vec![2.0 * x[0] - x[1] + 0.5 * x[2]])
+            .collect();
+        let cfg = OsElmConfig::new(3, 6)
+            .with_output_dim(1)
+            .with_activation(Activation::Identity)
+            .with_lambda(1e-5)
+            .with_seed(77);
+        let mut m = OsElm::new(cfg).unwrap();
+        m.init_train(&xs, &ts).unwrap();
+        for (x, t) in xs.iter().zip(ts.iter()) {
+            let err = m.prediction_error(x, t).unwrap();
+            // f32 Cholesky on a near-collinear random-feature Gram matrix
+            // leaves a small residual; exactness holds only in f64.
+            assert!(err < 0.05, "residual {err}");
+        }
+    }
+
+    #[test]
+    fn chunk_training_matches_per_sample_training() {
+        let all = toy_data(60, 4, 60);
+        let (init, rest) = all.split_at(30);
+        let cfg = OsElmConfig::new(4, 6).with_seed(3).with_lambda(0.1);
+
+        let mut per_sample = OsElm::new(cfg.clone()).unwrap();
+        per_sample.init_train(&init.to_vec(), &init.to_vec()).unwrap();
+        for x in rest {
+            per_sample.seq_train(x, x).unwrap();
+        }
+
+        let mut chunked = OsElm::new(cfg).unwrap();
+        chunked.init_train(&init.to_vec(), &init.to_vec()).unwrap();
+        // Two chunks of 15.
+        chunked
+            .seq_train_chunk(&rest[..15].to_vec(), &rest[..15].to_vec())
+            .unwrap();
+        chunked
+            .seq_train_chunk(&rest[15..].to_vec(), &rest[15..].to_vec())
+            .unwrap();
+
+        assert!(
+            per_sample.beta().approx_eq(chunked.beta(), 5e-2),
+            "chunk vs per-sample beta diverged"
+        );
+        assert_eq!(per_sample.samples_seen(), chunked.samples_seen());
+    }
+
+    #[test]
+    fn chunk_training_rejects_forgetting_and_bad_input() {
+        let xs = toy_data(20, 3, 61);
+        let mut forget = OsElm::new(OsElmConfig::new(3, 4).with_forgetting(0.95)).unwrap();
+        forget.init_train(&xs, &xs).unwrap();
+        assert!(forget.seq_train_chunk(&xs, &xs).is_err());
+
+        let mut plain = OsElm::new(OsElmConfig::new(3, 4)).unwrap();
+        plain.init_train(&xs, &xs).unwrap();
+        assert!(plain.seq_train_chunk(&[], &[]).is_err());
+        assert!(plain
+            .seq_train_chunk(&xs[..2].to_vec(), &xs[..1].to_vec())
+            .is_err());
+        let wrong_dim = vec![vec![0.0; 4]];
+        assert!(plain.seq_train_chunk(&wrong_dim, &wrong_dim).is_err());
+    }
+
+    #[test]
+    fn too_few_samples_without_regularisation() {
+        let xs = toy_data(3, 4, 40);
+        let mut m = OsElm::new(OsElmConfig::new(4, 8).with_lambda(0.0)).unwrap();
+        assert!(matches!(
+            m.init_train(&xs, &xs),
+            Err(ModelError::TooFewSamples { .. })
+        ));
+    }
+
+    #[test]
+    fn predict_into_is_allocation_free_shape_checked() {
+        let xs = toy_data(10, 3, 50);
+        let mut m = OsElm::new(OsElmConfig::new(3, 4)).unwrap();
+        m.init_train(&xs, &xs).unwrap();
+        let mut out = vec![0.0; 2];
+        assert!(matches!(
+            m.predict_into(&xs[0], &mut out),
+            Err(ModelError::DimensionMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,61 @@
+//! Model persistence: train and calibrate on the host, serialise to the
+//! dependency-free binary format, and restore — the train-anywhere /
+//! run-on-device workflow of an edge deployment.
+//!
+//! ```text
+//! cargo run --release --example persist_model
+//! ```
+
+use seqdrift::prelude::*;
+
+fn main() {
+    let dim = 8;
+    let mut rng = Rng::seed_from(99);
+    let blob = |rng: &mut Rng, mean: Real| -> Vec<Real> {
+        let mut x = vec![0.0; dim];
+        rng.fill_normal(&mut x, mean, 0.05);
+        x
+    };
+
+    // Host side: train the per-class instances.
+    let class0: Vec<Vec<Real>> = (0..120).map(|_| blob(&mut rng, 0.25)).collect();
+    let class1: Vec<Vec<Real>> = (0..120).map(|_| blob(&mut rng, 0.75)).collect();
+    let mut model = MultiInstanceModel::new(2, OsElmConfig::new(dim, 5).with_seed(3)).unwrap();
+    model.init_train_class(0, &class0).unwrap();
+    model.init_train_class(1, &class1).unwrap();
+
+    // Serialise: a versioned little-endian blob an MCU-side C decoder can
+    // read (magic "SQDM", u16 version, u16 kind, config, raw f32 runs).
+    let blob_bytes = model.to_bytes();
+    println!(
+        "serialised 2-instance model ({dim}-5-{dim} each): {} bytes",
+        blob_bytes.len()
+    );
+
+    // Ship `blob_bytes` to the device; restore and keep learning there.
+    let mut restored = MultiInstanceModel::from_bytes(&blob_bytes).unwrap();
+    let probe = blob(&mut rng, 0.25);
+    let original_prediction = model.predict(&probe).unwrap();
+    let restored_prediction = restored.predict(&probe).unwrap();
+    assert_eq!(original_prediction, restored_prediction);
+    println!(
+        "restored model predicts identically: label {} (score {:.6})",
+        restored_prediction.label, restored_prediction.score
+    );
+
+    // Sequential training continues seamlessly on the restored model.
+    for _ in 0..50 {
+        let x = blob(&mut rng, 0.25);
+        restored.seq_train_closest(&x).unwrap();
+    }
+    println!(
+        "after 50 on-device sequential updates: instance 0 has seen {} samples",
+        restored.instance(0).unwrap().samples_seen()
+    );
+
+    // Corruption is detected, not silently accepted.
+    let mut tampered = blob_bytes.clone();
+    tampered[0] = b'X';
+    assert!(MultiInstanceModel::from_bytes(&tampered).is_err());
+    println!("tampered blob rejected (bad magic)");
+}

@@ -1,0 +1,83 @@
+//! Quickstart: train a 2-class OS-ELM discriminative model, calibrate the
+//! sequential drift detector, stream data through the pipeline, and watch
+//! it detect a concept drift and rebuild the model on the fly.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use seqdrift::prelude::*;
+use seqdrift_core::pipeline::PipelineEvent;
+
+fn blob(rng: &mut Rng, dim: usize, mean: Real) -> Vec<Real> {
+    let mut x = vec![0.0; dim];
+    rng.fill_normal(&mut x, mean, 0.05);
+    x
+}
+
+fn main() {
+    let dim = 8;
+    let mut rng = Rng::seed_from(2024);
+
+    // 1. Initial training data: two well-separated concepts.
+    let class0: Vec<Vec<Real>> = (0..150).map(|_| blob(&mut rng, dim, 0.2)).collect();
+    let class1: Vec<Vec<Real>> = (0..150).map(|_| blob(&mut rng, dim, 0.8)).collect();
+
+    // 2. One OS-ELM autoencoder instance per class.
+    let cfg = OsElmConfig::new(dim, 5).with_seed(7);
+    let mut model = MultiInstanceModel::new(2, cfg).expect("model config");
+    model.init_train_class(0, &class0).expect("train class 0");
+    model.init_train_class(1, &class1).expect("train class 1");
+
+    // 3. Calibrate the detector (θ_drift via Eq. 1, θ_error from training
+    //    scores) and wire the full pipeline.
+    let train: Vec<(usize, &[Real])> = class0
+        .iter()
+        .map(|x| (0usize, x.as_slice()))
+        .chain(class1.iter().map(|x| (1usize, x.as_slice())))
+        .collect();
+    let det_cfg = DetectorConfig::new(2, dim).with_window(25);
+    let mut pipeline = DriftPipeline::calibrate(model, det_cfg, &train).expect("calibration");
+    println!(
+        "calibrated: theta_drift = {:.3}, theta_error = {:.5}, window = 25",
+        pipeline.detector().config().theta_drift,
+        pipeline.detector().config().theta_error,
+    );
+
+    // 4. Stream: 300 stable samples, then the concepts move.
+    let mut correct = 0;
+    let mut total = 0;
+    for i in 0..1200 {
+        let drifted = i >= 300;
+        let (label, mean) = match (i % 2, drifted) {
+            (0, false) => (0, 0.2),
+            (1, false) => (1, 0.8),
+            (0, true) => (0, 0.45),
+            _ => (1, 1.15),
+        };
+        let x = blob(&mut rng, dim, mean);
+        let out = pipeline.process(&x).expect("pipeline step");
+        if out.drift_detected {
+            println!("sample {i}: DRIFT detected (distance {:.3})", out.drift_distance);
+        }
+        if out.predicted_label == Some(label) {
+            correct += 1;
+        }
+        total += 1;
+    }
+
+    println!("overall accuracy: {:.1}%", 100.0 * correct as f64 / total as f64);
+    for event in pipeline.events() {
+        match event {
+            PipelineEvent::DriftDetected { index, dist } => {
+                println!("event: drift at sample {index} (dist {dist:.3})")
+            }
+            PipelineEvent::Reconstructed {
+                index,
+                new_theta_drift,
+            } => println!(
+                "event: model reconstructed at sample {index} (new theta_drift {new_theta_drift:.3})"
+            ),
+        }
+    }
+}

@@ -1,0 +1,85 @@
+#![warn(missing_docs)]
+
+//! # seqdrift
+//!
+//! A lightweight, fully-sequential concept-drift detection library for
+//! on-device learning, reproducing *"A Lightweight Concept Drift Detection
+//! Method for On-Device Learning on Resource-Limited Edge Devices"*
+//! (Yamada & Matsutani, 2023).
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! * [`core`] — the proposed detector (Algorithm 1), model reconstruction
+//!   (Algorithms 2–4), threshold calibration (Eq. 1), the coupled online
+//!   pipeline, and the multi-window ensemble extension;
+//! * [`oselm`] — OS-ELM autoencoders, the per-label multi-instance
+//!   discriminative model, and the ONLAD forgetting mechanism;
+//! * [`baselines`] — Quant Tree, SPLL, DDM, ADWIN, Page–Hinkley, CUSUM and
+//!   the k-means / GMM substrates;
+//! * [`datasets`] — synthetic NSL-KDD-like and cooling-fan streams plus
+//!   generic drift-type composition;
+//! * [`edgesim`] — Raspberry Pi 4 / Pico device models, memory accounting
+//!   and timing scaling;
+//! * [`eval`] — the experiment harness regenerating every table and figure
+//!   of the paper;
+//! * [`linalg`] — the shared dense/stack linear-algebra substrate.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use seqdrift::prelude::*;
+//!
+//! // 1. Build a tiny 2-class training set (two Gaussian blobs in 4-D).
+//! let mut rng = Rng::seed_from(42);
+//! let mut class0 = Vec::new();
+//! let mut class1 = Vec::new();
+//! for _ in 0..120 {
+//!     let mut a = vec![0.0; 4];
+//!     let mut b = vec![0.0; 4];
+//!     rng.fill_normal(&mut a, 0.2, 0.05);
+//!     rng.fill_normal(&mut b, 0.8, 0.05);
+//!     class0.push(a);
+//!     class1.push(b);
+//! }
+//!
+//! // 2. Train one OS-ELM autoencoder instance per class.
+//! let cfg = OsElmConfig::new(4, 3).with_seed(7);
+//! let mut model = MultiInstanceModel::new(2, cfg).unwrap();
+//! model.init_train_class(0, &class0).unwrap();
+//! model.init_train_class(1, &class1).unwrap();
+//!
+//! // 3. Calibrate the drift detector on the training data and stream.
+//! let train: Vec<(usize, &[f32])> = class0.iter().map(|x| (0usize, x.as_slice()))
+//!     .chain(class1.iter().map(|x| (1usize, x.as_slice()))).collect();
+//! let det_cfg = DetectorConfig::new(2, 4).with_window(16);
+//! let mut pipeline = DriftPipeline::calibrate(model, det_cfg, &train).unwrap();
+//!
+//! // 4. Feed test samples; the pipeline predicts labels and watches for drift.
+//! let mut x = vec![0.0; 4];
+//! rng.fill_normal(&mut x, 0.2, 0.05);
+//! let out = pipeline.process(&x).unwrap();
+//! assert_eq!(out.predicted_label, Some(0));
+//! ```
+
+pub use seqdrift_baselines as baselines;
+pub use seqdrift_core as core;
+pub use seqdrift_datasets as datasets;
+pub use seqdrift_edgesim as edgesim;
+pub use seqdrift_eval as eval;
+pub use seqdrift_linalg as linalg;
+pub use seqdrift_oselm as oselm;
+
+/// Convenient single-import surface for examples and quickstarts.
+pub mod prelude {
+    pub use seqdrift_core::{
+        detector::{CentroidDetector, DetectorConfig},
+        pipeline::{DriftPipeline, PipelineOutput},
+        threshold::calibrate_drift_threshold,
+    };
+    pub use seqdrift_linalg::{Matrix, Real, Rng};
+    pub use seqdrift_oselm::{
+        autoencoder::Autoencoder,
+        multi_instance::MultiInstanceModel,
+        oselm::{OsElm, OsElmConfig},
+    };
+}

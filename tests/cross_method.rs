@@ -1,0 +1,97 @@
+//! Cross-method integration: the five §4.2 combinations side by side,
+//! checking the relative claims of the paper's evaluation hold end to end.
+
+use seqdrift::datasets::nslkdd::{self, NslKddConfig};
+use seqdrift::eval::methods::MethodSpec;
+use seqdrift::eval::runner::{run_method, RunOptions, RunResult};
+
+fn dataset() -> seqdrift::datasets::DriftDataset {
+    nslkdd::generate(&NslKddConfig {
+        n_train: 400,
+        n_test: 4000,
+        drift_point: 1400,
+        ..NslKddConfig::default()
+    })
+}
+
+fn run_all() -> Vec<RunResult> {
+    let d = dataset();
+    let opts = RunOptions {
+        hidden: 22,
+        seed: 42,
+        accuracy_window: 500,
+    };
+    [
+        MethodSpec::Proposed { window: 100 },
+        MethodSpec::BaselineNoDetect,
+        MethodSpec::QuantTree { batch: 160, bins: 32 },
+        MethodSpec::Spll { batch: 160 },
+        MethodSpec::Onlad { forgetting: 0.97 },
+    ]
+    .iter()
+    .map(|s| run_method(s, &d, &opts))
+    .collect()
+}
+
+fn find<'a>(rs: &'a [RunResult], needle: &str) -> &'a RunResult {
+    rs.iter()
+        .find(|r| r.method.contains(needle))
+        .unwrap_or_else(|| panic!("{needle} missing"))
+}
+
+#[test]
+fn active_methods_beat_the_frozen_baseline() {
+    let rs = run_all();
+    let baseline = find(&rs, "Baseline").accuracy;
+    for needle in ["Proposed", "Quant Tree", "SPLL"] {
+        let acc = find(&rs, needle).accuracy;
+        assert!(
+            acc > baseline + 0.02,
+            "{needle} {acc:.3} vs baseline {baseline:.3}"
+        );
+    }
+}
+
+#[test]
+fn batch_methods_detect_faster_than_proposed() {
+    // Table 2's delay ordering: batch detectors flag at the first post-
+    // drift batch boundary; the proposed method needs the centroid to
+    // accumulate displacement.
+    let rs = run_all();
+    let qt = find(&rs, "Quant Tree").delay.expect("QT detects");
+    let spll = find(&rs, "SPLL").delay.expect("SPLL detects");
+    let proposed = find(&rs, "Proposed").delay.expect("proposed detects");
+    assert!(qt < proposed, "qt {qt} >= proposed {proposed}");
+    assert!(spll < proposed, "spll {spll} >= proposed {proposed}");
+}
+
+#[test]
+fn proposed_stays_within_a_few_points_of_batch_methods() {
+    // The headline trade-off: 3.8-4.3% accuracy loss for a ~10x memory
+    // reduction. Allow a slightly wider band on the shortened stream.
+    let rs = run_all();
+    let qt = find(&rs, "Quant Tree").accuracy;
+    let proposed = find(&rs, "Proposed").accuracy;
+    assert!(
+        qt - proposed < 0.12,
+        "gap {:.3} too wide (qt {qt:.3}, proposed {proposed:.3})",
+        qt - proposed
+    );
+}
+
+#[test]
+fn proposed_memory_is_far_below_batch_methods() {
+    let rs = run_all();
+    let qt = find(&rs, "Quant Tree").detector_memory_scalars;
+    let spll = find(&rs, "SPLL").detector_memory_scalars;
+    let proposed = find(&rs, "Proposed").detector_memory_scalars;
+    assert!(proposed * 10 < qt, "proposed {proposed} vs qt {qt}");
+    assert!(proposed * 20 < spll, "proposed {proposed} vs spll {spll}");
+}
+
+#[test]
+fn passive_and_baseline_never_flag_drift() {
+    let rs = run_all();
+    assert!(find(&rs, "Baseline").detections.is_empty());
+    assert!(find(&rs, "ONLAD").detections.is_empty());
+}

@@ -1,0 +1,128 @@
+//! End-to-end integration: the full drift pipeline over the synthetic
+//! NSL-KDD stream, spanning datasets -> oselm -> core -> eval.
+
+use seqdrift::core::pipeline::PipelineEvent;
+use seqdrift::datasets::nslkdd::{self, NslKddConfig};
+use seqdrift::eval::methods::MethodSpec;
+use seqdrift::eval::runner::{run_method, RunOptions};
+use seqdrift::prelude::*;
+
+fn dataset() -> seqdrift::datasets::DriftDataset {
+    nslkdd::generate(&NslKddConfig {
+        n_train: 400,
+        n_test: 4000,
+        drift_point: 1400,
+        ..NslKddConfig::default()
+    })
+}
+
+fn opts() -> RunOptions {
+    RunOptions {
+        hidden: 22,
+        seed: 42,
+        accuracy_window: 500,
+    }
+}
+
+#[test]
+fn proposed_full_lifecycle() {
+    let d = dataset();
+    let r = run_method(&MethodSpec::Proposed { window: 100 }, &d, &opts());
+    // Lifecycle claims: no false positives before the drift, detection
+    // after it, and strong overall accuracy thanks to the recovery.
+    assert_eq!(r.false_positives, 0, "false positives: {:?}", r.detections);
+    let delay = r.delay.expect("drift must be detected");
+    assert!(delay < 1500, "delay {delay}");
+    assert!(r.accuracy > 0.85, "accuracy {:.3}", r.accuracy);
+}
+
+#[test]
+fn pipeline_is_deterministic() {
+    let d = dataset();
+    let a = run_method(&MethodSpec::Proposed { window: 100 }, &d, &opts());
+    let b = run_method(&MethodSpec::Proposed { window: 100 }, &d, &opts());
+    assert_eq!(a.accuracy, b.accuracy);
+    assert_eq!(a.detections, b.detections);
+    assert_eq!(a.detector_memory_scalars, b.detector_memory_scalars);
+}
+
+#[test]
+fn different_seeds_are_similar_but_not_identical() {
+    let d = dataset();
+    let mut accs = Vec::new();
+    for seed in [1u64, 2, 3] {
+        let r = run_method(
+            &MethodSpec::Proposed { window: 100 },
+            &d,
+            &RunOptions {
+                seed,
+                ..opts()
+            },
+        );
+        assert!(r.delay.is_some(), "seed {seed} missed the drift");
+        accs.push(r.accuracy);
+    }
+    let min = accs.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = accs.iter().cloned().fold(0.0, f64::max);
+    assert!(max - min < 0.1, "seed variance too high: {accs:?}");
+}
+
+#[test]
+fn events_tell_a_consistent_story() {
+    // Drive the pipeline manually and check the event log matches the
+    // outputs sample by sample.
+    let d = dataset();
+    let dim = d.dim();
+    let mut model = MultiInstanceModel::new(2, OsElmConfig::new(dim, 22).with_seed(9)).unwrap();
+    for (label, bucket) in d.train_by_class().iter().enumerate() {
+        model.init_train_class(label, bucket).unwrap();
+    }
+    let pairs: Vec<(usize, &[Real])> =
+        d.train.iter().map(|s| (s.label, s.x.as_slice())).collect();
+    let det = DetectorConfig::new(2, dim).with_window(100);
+    let mut pipe = DriftPipeline::calibrate(model, det, &pairs).unwrap();
+
+    let mut flagged_indices = Vec::new();
+    for (i, s) in d.test.iter().enumerate() {
+        let out = pipe.process(&s.x).unwrap();
+        if out.drift_detected {
+            flagged_indices.push(i as u64);
+        }
+    }
+    let logged: Vec<u64> = pipe
+        .events()
+        .iter()
+        .filter_map(|e| match e {
+            PipelineEvent::DriftDetected { index, .. } => Some(*index),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(flagged_indices, logged);
+    // Every detection is followed by exactly one reconstruction (the
+    // stream is long enough to finish the schedule).
+    let reconstructions = pipe
+        .events()
+        .iter()
+        .filter(|e| matches!(e, PipelineEvent::Reconstructed { .. }))
+        .count();
+    assert_eq!(reconstructions, flagged_indices.len());
+    assert_eq!(pipe.samples_processed(), d.test.len() as u64);
+}
+
+#[test]
+fn window_size_trades_delay_for_stability() {
+    // Table 2's window sweep on the quick stream: delays are weakly
+    // increasing in window size.
+    let d = dataset();
+    let mut delays = Vec::new();
+    for w in [50usize, 100, 400] {
+        let r = run_method(&MethodSpec::Proposed { window: w }, &d, &opts());
+        delays.push(r.delay.unwrap_or(usize::MAX));
+    }
+    assert!(
+        delays[0] <= delays[2],
+        "W=50 delay {} > W=400 delay {}",
+        delays[0],
+        delays[2]
+    );
+}

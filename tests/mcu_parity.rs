@@ -1,0 +1,71 @@
+//! Firmware-parity integration: the stack-allocated (`no-heap`) math path
+//! must agree with the heap path the host pipeline uses, because the MCU
+//! port of the paper runs exactly these kernels with static buffers.
+
+use seqdrift::linalg::fixed::{SMat, SVec};
+use seqdrift::linalg::sherman::{oselm_p_update, Rank1Scratch};
+use seqdrift::linalg::{vector, Matrix, Real, Rng};
+
+const H: usize = 22;
+
+#[test]
+fn covariance_update_parity_over_long_streams() {
+    let mut rng = Rng::seed_from(123);
+    let mut p_heap = Matrix::identity(H);
+    let mut p_stack = SMat::<H, H>::identity();
+    let mut scratch = Rank1Scratch::new(H);
+    for step in 0..500 {
+        let mut h = [0.0 as Real; H];
+        for v in &mut h {
+            *v = rng.normal(0.0, 0.4);
+        }
+        let d_heap = oselm_p_update(&mut p_heap, &h, &mut scratch).unwrap();
+        let d_stack = p_stack.oselm_p_update(&SVec::from_array(h)).unwrap();
+        assert!(
+            (d_heap - d_stack).abs() < 1e-4 * d_heap.abs().max(1.0),
+            "step {step}: gain denominators diverged ({d_heap} vs {d_stack})"
+        );
+    }
+    // Final matrices agree element-wise.
+    let mut max_diff: Real = 0.0;
+    for r in 0..H {
+        for c in 0..H {
+            max_diff = max_diff.max((p_heap.get(r, c) - p_stack.data[r][c]).abs());
+        }
+    }
+    assert!(max_diff < 1e-3, "P diverged by {max_diff}");
+}
+
+#[test]
+fn centroid_update_parity() {
+    let mut rng = Rng::seed_from(321);
+    let mut heap = vec![0.0 as Real; 16];
+    let mut stack = SVec::<16>::zeros();
+    for n in 0..1000u64 {
+        let mut x = [0.0 as Real; 16];
+        for v in &mut x {
+            *v = rng.uniform_range(-1.0, 1.0);
+        }
+        vector::running_mean_update(&mut heap, n, &x);
+        stack.running_mean_update(n, &SVec::from_array(x));
+    }
+    for (a, b) in heap.iter().zip(stack.as_slice()) {
+        assert!((a - b).abs() < 1e-6);
+    }
+}
+
+#[test]
+fn stack_state_fits_pico_budget() {
+    // The full per-instance model state of the fan configuration as static
+    // arrays: W (22x511) + b (22) + P (22x22) + beta (22x511) in f32.
+    let scalars = 22 * 511 + 22 + 22 * 22 + 22 * 511;
+    let bytes = scalars * core::mem::size_of::<Real>();
+    let pico_usable = (264.0 * 1024.0 * 0.75) as usize;
+    assert!(
+        bytes < pico_usable,
+        "model state {bytes} B exceeds usable Pico RAM {pico_usable} B"
+    );
+    // And the detector adds only centroid sets.
+    let detector_bytes = (2 * (511 + 1) * 2 + 4) * core::mem::size_of::<Real>();
+    assert!(bytes + detector_bytes < pico_usable);
+}

@@ -1,0 +1,77 @@
+//! Integration of the real-data substitution path: CSV in, normalisation,
+//! pipeline out. This is the route a user takes to run the actual NSL-KDD
+//! or cooling-fan exports instead of the synthetic equivalents.
+
+use seqdrift::datasets::loader;
+use seqdrift::datasets::normalize::MinMaxNormalizer;
+use seqdrift::prelude::*;
+
+/// Builds a small labelled CSV in memory (two drifting concepts).
+fn csv_fixture() -> String {
+    let mut rng = Rng::seed_from(77);
+    let mut out = String::from("f0,f1,f2,f3,class\n");
+    for i in 0..400 {
+        let (mean, label) = if i % 2 == 0 { (10.0, "normal") } else { (40.0, "attack") };
+        let mut x = vec![0.0; 4];
+        rng.fill_normal(&mut x, mean, 2.0);
+        out.push_str(&format!(
+            "{},{},{},{},{label}\n",
+            x[0], x[1], x[2], x[3]
+        ));
+    }
+    out
+}
+
+#[test]
+fn csv_to_pipeline_roundtrip() {
+    let samples = loader::parse_csv(&csv_fixture(), true, true).unwrap();
+    assert_eq!(samples.len(), 400);
+    let classes = 2;
+
+    // Split, normalise on train only.
+    let (train, test) = samples.split_at(200);
+    let train_rows: Vec<Vec<Real>> = train.iter().map(|s| s.x.clone()).collect();
+    let norm = MinMaxNormalizer::fit(&train_rows);
+
+    // Train per-class instances on normalised data.
+    let mut model = MultiInstanceModel::new(classes, OsElmConfig::new(4, 3).with_seed(5)).unwrap();
+    let mut buckets = vec![Vec::new(); classes];
+    for s in train {
+        buckets[s.label].push(norm.apply(&s.x));
+    }
+    for (label, bucket) in buckets.iter().enumerate() {
+        model.init_train_class(label, bucket).unwrap();
+    }
+
+    // Calibrate + stream.
+    let normalised_train: Vec<(usize, Vec<Real>)> = train
+        .iter()
+        .map(|s| (s.label, norm.apply(&s.x)))
+        .collect();
+    let pairs: Vec<(usize, &[Real])> = normalised_train
+        .iter()
+        .map(|(l, x)| (*l, x.as_slice()))
+        .collect();
+    let det = DetectorConfig::new(classes, 4).with_window(20);
+    let mut pipe = DriftPipeline::calibrate(model, det, &pairs).unwrap();
+
+    let mut correct = 0;
+    for s in test {
+        let x = norm.apply(&s.x);
+        let out = pipe.process(&x).unwrap();
+        if out.predicted_label == Some(s.label) {
+            correct += 1;
+        }
+    }
+    assert!(
+        correct > test.len() * 9 / 10,
+        "accuracy {correct}/{}",
+        test.len()
+    );
+}
+
+#[test]
+fn loader_rejects_malformed_real_data() {
+    assert!(loader::parse_csv("a,b\n1,2\n3\n", true, false).is_err());
+    assert!(loader::parse_csv("", false, false).is_err());
+}

@@ -1,0 +1,121 @@
+//! Soak test: a long stream with *multiple* successive concept drifts.
+//!
+//! The paper evaluates one drift per stream; a deployed device lives
+//! through many. This exercises the full detect → reconstruct → rebase →
+//! detect-again cycle repeatedly and checks the system neither wedges
+//! (stops detecting) nor chatters (floods false positives), and that
+//! memory stays flat.
+
+use seqdrift::core::pipeline::PipelineEvent;
+use seqdrift::prelude::*;
+
+/// Concept positions for each era of the stream (class0, class1). Each
+/// era shifts both classes by 0.25 — less than half the inter-class gap,
+/// so every new concept stays nearest its own previous centroid and label
+/// identity is preserved through reconstruction; eras 2/3 reoccur.
+const ERAS: [(f32, f32); 4] = [(0.2, 0.9), (0.45, 1.15), (0.2, 0.9), (0.45, 1.15)];
+const ERA_LEN: usize = 1500;
+
+fn build_pipeline(rng: &mut Rng) -> DriftPipeline {
+    let dim = 6;
+    let blob = |rng: &mut Rng, mean: Real| -> Vec<Real> {
+        let mut x = vec![0.0; dim];
+        rng.fill_normal(&mut x, mean, 0.05);
+        x
+    };
+    let class0: Vec<Vec<Real>> = (0..150).map(|_| blob(rng, ERAS[0].0)).collect();
+    let class1: Vec<Vec<Real>> = (0..150).map(|_| blob(rng, ERAS[0].1)).collect();
+    let mut model = MultiInstanceModel::new(2, OsElmConfig::new(dim, 4).with_seed(7)).unwrap();
+    model.init_train_class(0, &class0).unwrap();
+    model.init_train_class(1, &class1).unwrap();
+    let train: Vec<(usize, &[Real])> = class0
+        .iter()
+        .map(|x| (0usize, x.as_slice()))
+        .chain(class1.iter().map(|x| (1usize, x.as_slice())))
+        .collect();
+    let det = DetectorConfig::new(2, dim).with_window(25);
+    DriftPipeline::calibrate(model, det, &train).unwrap()
+}
+
+#[test]
+fn survives_four_eras_of_drift() {
+    let mut rng = Rng::seed_from(0x50A1);
+    let mut pipeline = build_pipeline(&mut rng);
+    let mem_before = pipeline.detector_memory_scalars();
+
+    let mut per_era_detections = vec![0usize; ERAS.len()];
+    for (era, &(m0, m1)) in ERAS.iter().enumerate() {
+        for i in 0..ERA_LEN {
+            let (mean, _label) = if i % 2 == 0 { (m0, 0) } else { (m1, 1) };
+            let mut x = vec![0.0; 6];
+            rng.fill_normal(&mut x, mean as Real, 0.05);
+            let out = pipeline.process(&x).unwrap();
+            if out.drift_detected {
+                per_era_detections[era] += 1;
+            }
+        }
+    }
+
+    // Era 0 continues the training concept: no detection expected.
+    assert_eq!(
+        per_era_detections[0], 0,
+        "false positives in the training era: {per_era_detections:?}"
+    );
+    // Every later era's concept switch must be caught (exactly once per
+    // era: detect, reconstruct, stay quiet).
+    for era in 1..ERAS.len() {
+        assert_eq!(
+            per_era_detections[era], 1,
+            "era {era}: detections {per_era_detections:?}"
+        );
+    }
+
+    // Each detection was followed by a completed reconstruction.
+    let detections = pipeline
+        .events()
+        .iter()
+        .filter(|e| matches!(e, PipelineEvent::DriftDetected { .. }))
+        .count();
+    let reconstructions = pipeline
+        .events()
+        .iter()
+        .filter(|e| matches!(e, PipelineEvent::Reconstructed { .. }))
+        .count();
+    assert_eq!(detections, 3);
+    assert_eq!(reconstructions, 3);
+
+    // Memory is flat across 6000 samples and 3 reconstructions.
+    assert_eq!(pipeline.detector_memory_scalars(), mem_before);
+}
+
+#[test]
+fn post_era_accuracy_recovers_every_time() {
+    let mut rng = Rng::seed_from(0xACC2);
+    let mut pipeline = build_pipeline(&mut rng);
+
+    for &(m0, m1) in ERAS.iter() {
+        let mut correct_tail = 0;
+        let tail_start = ERA_LEN - 300;
+        for i in 0..ERA_LEN {
+            let (mean, label) = if i % 2 == 0 { (m0, 0) } else { (m1, 1) };
+            let mut x = vec![0.0; 6];
+            rng.fill_normal(&mut x, mean as Real, 0.05);
+            let out = pipeline.process(&x).unwrap();
+            if i >= tail_start {
+                // Permutation-tolerant: count agreement with either parity.
+                let p = out.predicted_label.unwrap();
+                if p == label {
+                    correct_tail += 1;
+                }
+            }
+        }
+        // The tail of each era must be classified consistently: either
+        // direct or fully swapped labels (reconstruction may permute).
+        let swapped = 300 - correct_tail;
+        let best = correct_tail.max(swapped);
+        assert!(
+            best > 270,
+            "era tail accuracy only {best}/300 (direct {correct_tail})"
+        );
+    }
+}

@@ -1,0 +1,103 @@
+//! Three-class integration: the paper's Figure 3 illustrates the method
+//! with three labels; everything in the pipeline (argmin prediction,
+//! per-label centroids, Algorithm 3's pairwise spread, cluster matching)
+//! must work beyond the two-class evaluation datasets.
+
+use seqdrift::core::pipeline::PipelineEvent;
+use seqdrift::prelude::*;
+
+const DIM: usize = 8;
+/// Pre-drift class means.
+const MEANS0: [Real; 3] = [0.15, 0.5, 0.85];
+/// Post-drift class means (each within 0.1 of its own old position, far
+/// from the others, so label identity is preserved).
+const MEANS1: [Real; 3] = [0.25, 0.6, 0.95];
+
+fn blob(rng: &mut Rng, mean: Real) -> Vec<Real> {
+    let mut x = vec![0.0; DIM];
+    rng.fill_normal(&mut x, mean, 0.03);
+    x
+}
+
+fn build() -> (DriftPipeline, Rng) {
+    let mut rng = Rng::seed_from(0x3C1A);
+    let mut model = MultiInstanceModel::new(3, OsElmConfig::new(DIM, 5).with_seed(11)).unwrap();
+    let mut train_pairs: Vec<(usize, Vec<Real>)> = Vec::new();
+    for (label, &mean) in MEANS0.iter().enumerate() {
+        let blobs: Vec<Vec<Real>> = (0..120).map(|_| blob(&mut rng, mean)).collect();
+        model.init_train_class(label, &blobs).unwrap();
+        train_pairs.extend(blobs.into_iter().map(|x| (label, x)));
+    }
+    let pairs: Vec<(usize, &[Real])> = train_pairs
+        .iter()
+        .map(|(l, x)| (*l, x.as_slice()))
+        .collect();
+    let det = DetectorConfig::new(3, DIM).with_window(30);
+    let pipeline = DriftPipeline::calibrate(model, det, &pairs).unwrap();
+    (pipeline, rng)
+}
+
+#[test]
+fn three_class_prediction_is_accurate() {
+    let (mut p, mut rng) = build();
+    let mut correct = 0;
+    for i in 0..300 {
+        let label = i % 3;
+        let x = blob(&mut rng, MEANS0[label]);
+        if p.process(&x).unwrap().predicted_label == Some(label) {
+            correct += 1;
+        }
+    }
+    assert!(correct > 290, "accuracy {correct}/300");
+    assert!(p.events().is_empty(), "false positives: {:?}", p.events());
+}
+
+#[test]
+fn three_class_drift_detected_and_recovered() {
+    let (mut p, mut rng) = build();
+    // Stable phase.
+    for i in 0..200 {
+        let x = blob(&mut rng, MEANS0[i % 3]);
+        p.process(&x).unwrap();
+    }
+    // All three classes shift.
+    let mut detected = false;
+    let mut tail_correct = 0;
+    let n = 2500;
+    for i in 0..n {
+        let label = i % 3;
+        let x = blob(&mut rng, MEANS1[label]);
+        let out = p.process(&x).unwrap();
+        detected |= out.drift_detected;
+        if i >= n - 300 && out.predicted_label == Some(label) {
+            tail_correct += 1;
+        }
+    }
+    assert!(detected, "three-class drift never detected");
+    assert!(
+        p.events()
+            .iter()
+            .any(|e| matches!(e, PipelineEvent::Reconstructed { .. })),
+        "no reconstruction completed"
+    );
+    // Because each new concept stays nearest its own old coordinate, the
+    // reconstruction should preserve label identity directly (no
+    // permutation needed).
+    assert!(
+        tail_correct > 270,
+        "post-recovery tail accuracy {tail_correct}/300"
+    );
+}
+
+#[test]
+fn three_class_memory_is_constant() {
+    let (mut p, mut rng) = build();
+    let before = p.detector_memory_scalars();
+    for i in 0..1000 {
+        let x = blob(&mut rng, MEANS0[i % 3]);
+        p.process(&x).unwrap();
+    }
+    assert_eq!(p.detector_memory_scalars(), before);
+    // 3 centroid sets x (3 classes x 8 dims + 3 counts) + bookkeeping.
+    assert!(before < 150, "unexpectedly large detector state: {before}");
+}
