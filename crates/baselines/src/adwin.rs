@@ -149,8 +149,8 @@ impl Adwin {
                     let mu1 = (self.total_sum - head_sum) / n1;
                     let m_harm = 1.0 / (1.0 / n0 + 1.0 / n1);
                     let ln_term = (2.0 / delta_prime).ln();
-                    let eps_cut = (2.0 / m_harm * variance * ln_term).sqrt()
-                        + 2.0 / (3.0 * m_harm) * ln_term;
+                    let eps_cut =
+                        (2.0 / m_harm * variance * ln_term).sqrt() + 2.0 / (3.0 * m_harm) * ln_term;
                     if (mu0 - mu1).abs() > eps_cut {
                         cut_at = Some((li, bi));
                         break 'scan;

@@ -162,11 +162,8 @@ mod tests {
     #[test]
     fn min_mahalanobis_small_in_distribution_large_out() {
         let (data, gmm) = fitted(4);
-        let mean_in: Real = data
-            .iter()
-            .map(|x| gmm.min_mahalanobis_sq(x))
-            .sum::<Real>()
-            / data.len() as Real;
+        let mean_in: Real =
+            data.iter().map(|x| gmm.min_mahalanobis_sq(x)).sum::<Real>() / data.len() as Real;
         // Under the model, squared Mahalanobis averages ≈ dim = 2.
         assert!((mean_in - 2.0).abs() < 0.8, "mean in-dist {mean_in}");
         let far = vec![10.0, -10.0];
@@ -176,9 +173,7 @@ mod tests {
     #[test]
     fn variance_floor_prevents_infinite_weight() {
         // A constant dimension must not blow up the distance.
-        let data: Vec<Vec<Real>> = (0..50)
-            .map(|i| vec![i as Real * 0.1, 7.0])
-            .collect();
+        let data: Vec<Vec<Real>> = (0..50).map(|i| vec![i as Real * 0.1, 7.0]).collect();
         let mut rng = Rng::seed_from(5);
         let km = KMeans::fit(&data, 2, 20, &mut rng);
         let gmm = DiagonalGmm::from_kmeans(&data, &km);

@@ -243,7 +243,12 @@ mod tests {
         let mut rng = Rng::seed_from(4);
         let k1 = KMeans::fit(&data, 1, 30, &mut rng);
         let k3 = KMeans::fit(&data, 3, 30, &mut rng);
-        assert!(k3.inertia < k1.inertia * 0.2, "{} vs {}", k3.inertia, k1.inertia);
+        assert!(
+            k3.inertia < k1.inertia * 0.2,
+            "{} vs {}",
+            k3.inertia,
+            k1.inertia
+        );
     }
 
     #[test]
@@ -273,11 +278,7 @@ mod tests {
         // All three seeds should land in distinct blobs with overwhelming
         // probability given blob separation >> blob radius.
         let mut blob_of = |x: &Vec<Real>| -> usize {
-            nearest(
-                &[vec![0.0, 0.0], vec![5.0, 5.0], vec![0.0, 5.0]],
-                x,
-            )
-            .0
+            nearest(&[vec![0.0, 0.0], vec![5.0, 5.0], vec![0.0, 5.0]], x).0
         };
         let blobs: Vec<usize> = seeds.iter().map(&mut blob_of).collect();
         let mut uniq = blobs.clone();

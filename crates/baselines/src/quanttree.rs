@@ -15,8 +15,8 @@
 //! threshold.
 
 use crate::{BatchDriftDetector, BatchVerdict};
-use rayon::prelude::*;
 use seqdrift_linalg::{stats, Real, Rng};
+use std::num::NonZeroUsize;
 
 /// One axis-aligned cut in the Quant Tree partition.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -128,7 +128,9 @@ impl Partition {
 /// Simulates `n_mc` independent (train, batch) pairs of *uniform univariate*
 /// data — valid for any distribution/dimension thanks to Quant Tree's
 /// distribution-free property — and returns the `1 - alpha` quantile of the
-/// resulting statistics. Replications run in parallel (rayon).
+/// resulting statistics. Replications run in parallel across std threads;
+/// each replication derives its own seed, so the result is independent of
+/// the thread count.
 pub fn monte_carlo_threshold(
     n_train: usize,
     k: usize,
@@ -137,21 +139,44 @@ pub fn monte_carlo_threshold(
     n_mc: usize,
     seed: u64,
 ) -> Real {
-    let mut stats_out: Vec<Real> = (0..n_mc)
-        .into_par_iter()
-        .map(|rep| {
-            let mut rng = Rng::seed_from(seed ^ (rep as u64).wrapping_mul(0x9E37_79B9));
-            let train: Vec<Vec<Real>> = (0..n_train).map(|_| vec![rng.uniform()]).collect();
-            let partition = Partition::build(&train, k, &mut rng);
-            let mut counts = vec![0u64; k];
-            for _ in 0..batch_size {
-                counts[partition.bin_of(&[rng.uniform()])] += 1;
-            }
-            stats::pearson_chi2(&counts, partition.probs())
-        })
-        .collect();
+    let one_rep = |rep: usize| {
+        let mut rng = Rng::seed_from(seed ^ (rep as u64).wrapping_mul(0x9E37_79B9));
+        let train: Vec<Vec<Real>> = (0..n_train).map(|_| vec![rng.uniform()]).collect();
+        let partition = Partition::build(&train, k, &mut rng);
+        let mut counts = vec![0u64; k];
+        for _ in 0..batch_size {
+            counts[partition.bin_of(&[rng.uniform()])] += 1;
+        }
+        stats::pearson_chi2(&counts, partition.probs())
+    };
+    let workers = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(n_mc.max(1));
+    let mut stats_out = vec![0.0 as Real; n_mc];
+    let one_rep = &one_rep;
+    std::thread::scope(|s| {
+        // Strided assignment: worker w owns replications w, w+workers, ...
+        for part in split_strided(&mut stats_out, workers) {
+            s.spawn(move || {
+                for (i, slot) in part {
+                    *slot = one_rep(i);
+                }
+            });
+        }
+    });
     stats_out.sort_by(|a, b| a.partial_cmp(b).unwrap());
     stats::quantile_sorted(&stats_out, 1.0 - alpha)
+}
+
+/// Splits `out` into `workers` strided index/slot lists so scoped threads
+/// can fill disjoint subsets without locking.
+fn split_strided(out: &mut [Real], workers: usize) -> Vec<Vec<(usize, &mut Real)>> {
+    let mut parts: Vec<Vec<(usize, &mut Real)>> = (0..workers).map(|_| Vec::new()).collect();
+    for (i, slot) in out.iter_mut().enumerate() {
+        parts[i % workers].push((i, slot));
+    }
+    parts
 }
 
 /// Configuration for the [`QuantTree`] detector.

@@ -209,7 +209,11 @@ mod tests {
         let spll = Spll::fit(&train, &cfg(60));
         // Per-sample min-Mahalanobis over a 5-dim diagonal model averages
         // below dim (the min over 3 components pulls it down).
-        assert!(spll.mu0() > 0.0 && spll.mu0() < 10.0, "mu0 = {}", spll.mu0());
+        assert!(
+            spll.mu0() > 0.0 && spll.mu0() < 10.0,
+            "mu0 = {}",
+            spll.mu0()
+        );
         let (lo, hi) = spll.acceptance_interval();
         assert!(lo < spll.mu0() && spll.mu0() < hi);
     }
@@ -251,7 +255,11 @@ mod tests {
         }
         assert_eq!(verdicts[0], BatchVerdict::Drift);
         assert!(spll.last_statistic().is_some());
-        assert_eq!(verdicts[2], BatchVerdict::NoDrift, "reference did not slide");
+        assert_eq!(
+            verdicts[2],
+            BatchVerdict::NoDrift,
+            "reference did not slide"
+        );
     }
 
     #[test]

@@ -6,10 +6,10 @@
 //! per-push cost and (via the batch detectors' throughput entries) the cost
 //! including their end-of-batch evaluations.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use seqdrift_baselines::quanttree::{QuantTree, QuantTreeConfig};
 use seqdrift_baselines::spll::{Spll, SpllConfig};
 use seqdrift_baselines::{Adwin, BatchDriftDetector, Ddm, ErrorRateDetector};
+use seqdrift_bench::harness::{bench, section};
 use seqdrift_core::centroid::CentroidSet;
 use seqdrift_core::{CentroidDetector, DetectorConfig};
 use seqdrift_linalg::{Real, Rng};
@@ -29,7 +29,7 @@ fn training_rows(n: usize, seed: u64) -> Vec<Vec<Real>> {
         .collect()
 }
 
-fn bench_proposed_observe(c: &mut Criterion) {
+fn bench_proposed_observe() {
     let train = training_rows(60, 1);
     let pairs: Vec<(usize, &[Real])> = train.iter().map(|x| (0usize, x.as_slice())).collect();
     let trained = CentroidSet::from_labeled(1, DIM, &pairs).unwrap();
@@ -39,15 +39,15 @@ fn bench_proposed_observe(c: &mut Criterion) {
         .with_theta_error(0.0);
     let mut det = CentroidDetector::new(cfg, trained).unwrap();
     let x = train[0].clone();
-    c.bench_function("proposed_observe_511", |b| {
-        b.iter(|| black_box(det.observe(0, black_box(&x), 1.0).unwrap()))
+    bench("proposed_observe_511", None, || {
+        black_box(det.observe(0, black_box(&x), 1.0).unwrap());
     });
 }
 
-fn bench_batch_push(c: &mut Criterion) {
+fn bench_batch_push() {
+    section("batch_detectors");
     let train = training_rows(300, 2);
-    let mut group = c.benchmark_group("batch_detectors");
-    group.throughput(Throughput::Elements(BATCH as u64));
+    let stream = training_rows(BATCH, 4);
 
     let qt_cfg = QuantTreeConfig {
         bins: 16,
@@ -57,14 +57,15 @@ fn bench_batch_push(c: &mut Criterion) {
         seed: 3,
     };
     let mut qt = QuantTree::fit(&train, &qt_cfg);
-    let stream = training_rows(BATCH, 4);
-    group.bench_with_input(BenchmarkId::new("quanttree_batch", BATCH), &(), |b, ()| {
-        b.iter(|| {
+    bench(
+        &format!("quanttree_batch/{BATCH}"),
+        Some(BATCH as u64),
+        || {
             for x in &stream {
                 black_box(qt.push(black_box(x)));
             }
-        })
-    });
+        },
+    );
 
     let spll_cfg = SpllConfig {
         clusters: 3,
@@ -74,46 +75,36 @@ fn bench_batch_push(c: &mut Criterion) {
         seed: 5,
     };
     let mut spll = Spll::fit(&train, &spll_cfg);
-    group.bench_with_input(BenchmarkId::new("spll_batch", BATCH), &(), |b, ()| {
-        b.iter(|| {
-            for x in &stream {
-                black_box(spll.push(black_box(x)));
-            }
-        })
+    bench(&format!("spll_batch/{BATCH}"), Some(BATCH as u64), || {
+        for x in &stream {
+            black_box(spll.push(black_box(x)));
+        }
     });
-    group.finish();
 }
 
-fn bench_error_rate_family(c: &mut Criterion) {
-    let mut group = c.benchmark_group("error_rate_detectors");
+fn bench_error_rate_family() {
+    section("error_rate_detectors");
     let mut rng = Rng::seed_from(6);
     let errors: Vec<bool> = (0..1000).map(|_| rng.uniform() < 0.1).collect();
-    group.throughput(Throughput::Elements(errors.len() as u64));
+    let n = errors.len() as u64;
 
     let mut ddm = Ddm::default();
-    group.bench_function("ddm_1000", |b| {
-        b.iter(|| {
-            for &e in &errors {
-                black_box(ddm.push(black_box(e)));
-            }
-        })
+    bench("ddm_1000", Some(n), || {
+        for &e in &errors {
+            black_box(ddm.push(black_box(e)));
+        }
     });
 
     let mut adwin = Adwin::default();
-    group.bench_function("adwin_1000", |b| {
-        b.iter(|| {
-            for &e in &errors {
-                black_box(adwin.push(black_box(e)));
-            }
-        })
+    bench("adwin_1000", Some(n), || {
+        for &e in &errors {
+            black_box(adwin.push(black_box(e)));
+        }
     });
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_proposed_observe,
-    bench_batch_push,
-    bench_error_rate_family
-);
-criterion_main!(benches);
+fn main() {
+    bench_proposed_observe();
+    bench_batch_push();
+    bench_error_rate_family();
+}

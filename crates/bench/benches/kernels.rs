@@ -4,7 +4,7 @@
 //! the matvec behind prediction, the Sherman–Morrison rank-1 update behind
 //! sequential training, and the centroid arithmetic behind the detector.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use seqdrift_bench::harness::{bench, section};
 use seqdrift_bench::probe;
 use seqdrift_core::centroid::CentroidSet;
 use seqdrift_core::DistanceMetric;
@@ -12,8 +12,8 @@ use seqdrift_linalg::sherman::{oselm_p_update, Rank1Scratch};
 use seqdrift_linalg::{vector, Matrix, Rng};
 use std::hint::black_box;
 
-fn bench_matvec(c: &mut Criterion) {
-    let mut group = c.benchmark_group("matvec");
+fn bench_matvec() {
+    section("matvec");
     for &(rows, cols) in &[(22usize, 38usize), (22, 511)] {
         let mut rng = Rng::seed_from(1);
         let mut m = Matrix::zeros(rows, cols);
@@ -22,78 +22,58 @@ fn bench_matvec(c: &mut Criterion) {
         }
         let x = probe(cols, 2);
         let mut out = vec![0.0; rows];
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{rows}x{cols}")),
-            &(),
-            |b, ()| {
-                b.iter(|| {
-                    m.matvec_into(black_box(&x), &mut out).unwrap();
-                    black_box(out[0])
-                })
-            },
-        );
+        bench(&format!("matvec/{rows}x{cols}"), None, || {
+            m.matvec_into(black_box(&x), &mut out).unwrap();
+            black_box(out[0]);
+        });
     }
-    group.finish();
 }
 
-fn bench_sherman_morrison(c: &mut Criterion) {
-    let mut group = c.benchmark_group("oselm_p_update");
+fn bench_sherman_morrison() {
+    section("oselm_p_update");
     for &dim in &[22usize, 64] {
         let mut p = Matrix::identity(dim);
         let mut scratch = Rank1Scratch::new(dim);
         let h = probe(dim, 3);
-        group.bench_with_input(BenchmarkId::from_parameter(dim), &(), |b, ()| {
-            b.iter(|| {
-                oselm_p_update(black_box(&mut p), black_box(&h), &mut scratch).unwrap();
-            })
+        bench(&format!("oselm_p_update/{dim}"), None, || {
+            oselm_p_update(black_box(&mut p), black_box(&h), &mut scratch).unwrap();
         });
     }
-    group.finish();
 }
 
-fn bench_centroid_ops(c: &mut Criterion) {
-    let mut group = c.benchmark_group("centroid");
+fn bench_centroid_ops() {
+    section("centroid");
     for &dim in &[38usize, 511] {
         let mut set = CentroidSet::zeros(2, dim);
         let trained = CentroidSet::zeros(2, dim);
         let x = probe(dim, 4);
-        group.bench_with_input(
-            BenchmarkId::new("running_mean_update", dim),
-            &(),
-            |b, ()| {
-                b.iter(|| {
-                    set.update(0, black_box(&x)).unwrap();
-                })
-            },
-        );
-        group.bench_with_input(BenchmarkId::new("l1_distance_sum", dim), &(), |b, ()| {
-            b.iter(|| black_box(set.distance_to(&trained, DistanceMetric::L1)))
+        bench(&format!("centroid/running_mean_update/{dim}"), None, || {
+            set.update(0, black_box(&x)).unwrap();
         });
-        group.bench_with_input(BenchmarkId::new("nearest_label", dim), &(), |b, ()| {
-            b.iter(|| black_box(set.nearest_label(black_box(&x))))
+        bench(&format!("centroid/l1_distance_sum/{dim}"), None, || {
+            black_box(set.distance_to(&trained, DistanceMetric::L1));
+        });
+        bench(&format!("centroid/nearest_label/{dim}"), None, || {
+            black_box(set.nearest_label(black_box(&x)));
         });
     }
-    group.finish();
 }
 
-fn bench_vector_primitives(c: &mut Criterion) {
-    let mut group = c.benchmark_group("vector");
+fn bench_vector_primitives() {
+    section("vector");
     let a = probe(511, 5);
-    let b_ = probe(511, 6);
-    group.bench_function("dot_511", |b| {
-        b.iter(|| black_box(vector::dot(black_box(&a), black_box(&b_))))
+    let b = probe(511, 6);
+    bench("vector/dot_511", None, || {
+        black_box(vector::dot(black_box(&a), black_box(&b)));
     });
-    group.bench_function("dist_l1_511", |b| {
-        b.iter(|| black_box(vector::dist_l1(black_box(&a), black_box(&b_))))
+    bench("vector/dist_l1_511", None, || {
+        black_box(vector::dist_l1(black_box(&a), black_box(&b)));
     });
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_matvec,
-    bench_sherman_morrison,
-    bench_centroid_ops,
-    bench_vector_primitives
-);
-criterion_main!(benches);
+fn main() {
+    bench_matvec();
+    bench_sherman_morrison();
+    bench_centroid_ops();
+    bench_vector_primitives();
+}

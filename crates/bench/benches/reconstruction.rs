@@ -5,7 +5,7 @@
 //! Table 6: how long is the model "offline" (re-learning) after a drift,
 //! and what does each reconstruction phase cost per sample?
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use seqdrift_bench::harness::bench_batched;
 use seqdrift_bench::{probe, trained_model};
 use seqdrift_core::centroid::CentroidSet;
 use seqdrift_core::reconstruct::{ReconstructConfig, Reconstructor};
@@ -36,34 +36,28 @@ fn previous_centroids() -> CentroidSet {
     set
 }
 
-fn bench_full_reconstruction(c: &mut Criterion) {
+fn main() {
     let samples = recon_samples();
-    let mut group = c.benchmark_group("reconstruction");
-    group.sample_size(10);
-    group.throughput(Throughput::Elements(N_TOTAL as u64));
-    group.bench_function("full_200_samples_511d", |b| {
-        b.iter_batched(
-            || {
-                let model = trained_model(DIM, 22, 5);
-                let rec = Reconstructor::new(
-                    ReconstructConfig::new(N_TOTAL).with_search(20).with_update(50),
-                    2,
-                    DIM,
-                )
-                .unwrap();
-                (model, rec)
-            },
-            |(mut model, mut rec)| {
-                rec.start(&previous_centroids(), &mut model).unwrap();
-                for x in &samples {
-                    black_box(rec.step(&mut model, x).unwrap());
-                }
-            },
-            BatchSize::LargeInput,
-        )
-    });
-    group.finish();
+    bench_batched(
+        "reconstruction/full_200_samples_511d",
+        Some(N_TOTAL as u64),
+        || {
+            let model = trained_model(DIM, 22, 5);
+            let rec = Reconstructor::new(
+                ReconstructConfig::new(N_TOTAL)
+                    .with_search(20)
+                    .with_update(50),
+                2,
+                DIM,
+            )
+            .unwrap();
+            (model, rec)
+        },
+        |(mut model, mut rec)| {
+            rec.start(&previous_centroids(), &mut model).unwrap();
+            for x in &samples {
+                black_box(rec.step(&mut model, x).unwrap());
+            }
+        },
+    );
 }
-
-criterion_group!(benches, bench_full_reconstruction);
-criterion_main!(benches);

@@ -1,42 +1,41 @@
 //! Table 5 — execution time for 700 fan samples, per method.
 //!
-//! Each bench iteration streams the full 700-sample fan test split through
-//! a pre-built method, mirroring the paper's measurement (the paper also
+//! Each sample streams the full 700-sample fan test split through a
+//! pre-built method, mirroring the paper's measurement (the paper also
 //! excludes initial training from its Table 5 numbers). Absolute values are
 //! host-speed; the paper's claims are the *ratios* between rows, which are
 //! hardware-independent (see `seqdrift_edgesim::timing`).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use seqdrift_bench::fan_fixture;
+use seqdrift_bench::harness::{bench_batched, section};
 use seqdrift_eval::methods::MethodSpec;
 use std::hint::black_box;
 
-fn bench_table5(c: &mut Criterion) {
+fn main() {
+    section("table5_700_samples");
     let dataset = fan_fixture();
     let specs = [
-        ("quanttree", MethodSpec::QuantTree { batch: 235, bins: 16 }),
+        (
+            "quanttree",
+            MethodSpec::QuantTree {
+                batch: 235,
+                bins: 16,
+            },
+        ),
         ("spll", MethodSpec::Spll { batch: 235 }),
         ("baseline", MethodSpec::BaselineNoDetect),
         ("proposed", MethodSpec::Proposed { window: 50 }),
     ];
-    let mut group = c.benchmark_group("table5_700_samples");
-    group.sample_size(10);
-    group.throughput(Throughput::Elements(dataset.test.len() as u64));
     for (name, spec) in specs {
-        group.bench_function(name, |b| {
-            b.iter_batched(
-                || spec.build(&dataset, 22, 42),
-                |mut method| {
-                    for s in &dataset.test {
-                        black_box(method.process(&s.x));
-                    }
-                },
-                BatchSize::LargeInput,
-            )
-        });
+        bench_batched(
+            &format!("table5/{name}"),
+            Some(dataset.test.len() as u64),
+            || spec.build(&dataset, 22, 42),
+            |mut method| {
+                for s in &dataset.test {
+                    black_box(method.process(&s.x));
+                }
+            },
+        );
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_table5);
-criterion_main!(benches);

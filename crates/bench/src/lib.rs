@@ -1,7 +1,8 @@
 //! # seqdrift-bench
 //!
-//! Criterion benchmarks regenerating the paper's execution-time artefacts
-//! and profiling the hot kernels:
+//! Benchmarks regenerating the paper's execution-time artefacts and
+//! profiling the hot kernels, built on the in-repo [`harness`] (the
+//! workspace builds offline, so there is no criterion):
 //!
 //! * `table5_pipeline` — end-to-end per-method streaming cost on the
 //!   700-sample fan dataset (Table 5);
@@ -10,11 +11,15 @@
 //! * `detectors` — per-sample `push` cost of the proposed detector vs
 //!   Quant Tree vs SPLL vs DDM/ADWIN;
 //! * `kernels` — linalg primitives (matvec, Sherman–Morrison update,
-//!   centroid update, Quant Tree binning).
+//!   centroid update, Quant Tree binning);
+//! * `fleet` — multi-session throughput of `seqdrift-fleet` (sessions ×
+//!   samples/sec vs worker count).
 //!
-//! Run with `cargo bench -p seqdrift-bench`; summaries land in
-//! `target/criterion/`. Shared fixtures live here in the library so every
+//! Run with `cargo bench -p seqdrift-bench`; each bench prints one line per
+//! measurement to stdout. Shared fixtures live here in the library so every
 //! bench constructs identical workloads.
+
+pub mod harness;
 
 use seqdrift_datasets::fan::{self, Environment, FanConfig, FanScenario};
 use seqdrift_datasets::DriftDataset;

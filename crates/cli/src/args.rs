@@ -25,6 +25,8 @@ pub enum Command {
     Info(InfoArgs),
     /// Export a synthetic dataset to CSV.
     Synth(SynthArgs),
+    /// Replay one CSV across many simulated devices through a fleet engine.
+    Fleet(FleetArgs),
 }
 
 /// Arguments of `seqdrift train`.
@@ -86,6 +88,33 @@ pub struct SynthArgs {
     pub quick: bool,
 }
 
+/// Arguments of `seqdrift fleet`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetArgs {
+    /// Stream CSV replayed to every simulated device.
+    pub csv: PathBuf,
+    /// Checkpoint cloned into every session.
+    pub model: PathBuf,
+    /// Number of simulated devices (sessions).
+    pub sessions: usize,
+    /// Worker threads (shards).
+    pub workers: usize,
+    /// Per-shard ingress queue capacity.
+    pub queue: usize,
+    /// Stream index at which device 0's injected drift begins (omit for a
+    /// clean replay with no injected drift).
+    pub drift_at: Option<usize>,
+    /// Per-device stagger added to the drift onset (device `d` drifts at
+    /// `drift_at + d * drift_step`).
+    pub drift_step: usize,
+    /// Additive feature shift applied once a device has drifted.
+    pub drift_shift: f32,
+    /// Whether the CSV has a header row.
+    pub has_header: bool,
+    /// Strip a trailing label column before streaming.
+    pub label_last: bool,
+}
+
 /// Parse failures (each carries the message shown to the user).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseError(pub String);
@@ -110,6 +139,9 @@ USAGE:
   seqdrift info  --model <model.sqdm>
   seqdrift synth --dataset <nslkdd|fan-sudden|fan-gradual|fan-reoccurring>
                  --out <dir> [--seed N] [--quick]
+  seqdrift fleet --csv <file> --model <model.sqdm> [--sessions 8] [--workers 4]
+                 [--queue 256] [--drift-at N] [--drift-step 25]
+                 [--drift-shift 0.3] [--no-header] [--label-last]
 ";
 
 fn err(msg: impl Into<String>) -> ParseError {
@@ -155,7 +187,8 @@ impl Flags {
     }
 
     fn required(&mut self, name: &str) -> Result<String, ParseError> {
-        self.take(name).ok_or_else(|| err(format!("missing required flag {name}")))
+        self.take(name)
+            .ok_or_else(|| err(format!("missing required flag {name}")))
     }
 
     fn number<T: std::str::FromStr>(&mut self, name: &str, default: T) -> Result<T, ParseError> {
@@ -213,6 +246,30 @@ impl Cli {
                 has_header: !flags.boolean("--no-header"),
                 label_last: flags.boolean("--label-last"),
             }),
+            "fleet" => {
+                let a = FleetArgs {
+                    csv: flags.required("--csv")?.into(),
+                    model: flags.required("--model")?.into(),
+                    sessions: flags.number("--sessions", 8usize)?,
+                    workers: flags.number("--workers", 4usize)?,
+                    queue: flags.number("--queue", 256usize)?,
+                    drift_at: match flags.take("--drift-at") {
+                        None => None,
+                        Some(v) => Some(
+                            v.parse()
+                                .map_err(|_| err(format!("--drift-at: cannot parse {v:?}")))?,
+                        ),
+                    },
+                    drift_step: flags.number("--drift-step", 25usize)?,
+                    drift_shift: flags.number("--drift-shift", 0.3f32)?,
+                    has_header: !flags.boolean("--no-header"),
+                    label_last: flags.boolean("--label-last"),
+                };
+                if a.sessions == 0 || a.workers == 0 || a.queue == 0 {
+                    return Err(err("--sessions, --workers and --queue must be positive"));
+                }
+                Command::Fleet(a)
+            }
             "info" => Command::Info(InfoArgs {
                 model: flags.required("--model")?.into(),
             }),
@@ -320,9 +377,40 @@ mod tests {
     }
 
     #[test]
+    fn parses_fleet() {
+        let cli = Cli::parse(&argv("fleet --csv s.csv --model m.sqdm")).unwrap();
+        match cli.command {
+            Command::Fleet(a) => {
+                assert_eq!((a.sessions, a.workers, a.queue), (8, 4, 256));
+                assert_eq!(a.drift_at, None);
+                assert_eq!(a.drift_step, 25);
+                assert!(a.has_header);
+            }
+            other => panic!("{other:?}"),
+        }
+        let cli = Cli::parse(&argv(
+            "fleet --csv s.csv --model m.sqdm --sessions 32 --workers 2 --queue 16 \
+             --drift-at 100 --drift-step 10 --drift-shift 0.5 --no-header",
+        ))
+        .unwrap();
+        match cli.command {
+            Command::Fleet(a) => {
+                assert_eq!((a.sessions, a.workers, a.queue), (32, 2, 16));
+                assert_eq!(a.drift_at, Some(100));
+                assert_eq!((a.drift_step, a.drift_shift), (10, 0.5));
+                assert!(!a.has_header);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(Cli::parse(&argv("fleet --csv s.csv --model m --workers 0")).is_err());
+    }
+
+    #[test]
     fn parses_synth() {
-        let cli =
-            Cli::parse(&argv("synth --dataset fan-sudden --out data --seed 9 --quick")).unwrap();
+        let cli = Cli::parse(&argv(
+            "synth --dataset fan-sudden --out data --seed 9 --quick",
+        ))
+        .unwrap();
         match cli.command {
             Command::Synth(a) => {
                 assert_eq!(a.dataset, "fan-sudden");

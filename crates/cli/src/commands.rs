@@ -1,12 +1,14 @@
 //! Subcommand implementations.
 
-use crate::args::{InfoArgs, RunArgs, SynthArgs, TrainArgs};
+use crate::args::{FleetArgs, InfoArgs, RunArgs, SynthArgs, TrainArgs};
 use seqdrift_core::pipeline::PipelineEvent;
 use seqdrift_core::{DetectorConfig, DriftPipeline};
+use seqdrift_datasets::drift::DriftSchedule;
 use seqdrift_datasets::fan::{self, FanConfig, FanScenario};
 use seqdrift_datasets::nslkdd::{self, NslKddConfig};
 use seqdrift_datasets::{loader, DriftDataset, Sample};
-use seqdrift_linalg::Real;
+use seqdrift_fleet::{FleetConfig, FleetEngine, SessionId};
+use seqdrift_linalg::{Real, Rng};
 use seqdrift_oselm::{MultiInstanceModel, OsElmConfig};
 use std::io::Write;
 
@@ -29,11 +31,9 @@ pub fn train(a: &TrainArgs, out: Out<'_>) -> Result<(), String> {
     )
     .ok();
 
-    let mut model = MultiInstanceModel::new(
-        classes,
-        OsElmConfig::new(dim, a.hidden).with_seed(a.seed),
-    )
-    .map_err(|e| fail("building model", e))?;
+    let mut model =
+        MultiInstanceModel::new(classes, OsElmConfig::new(dim, a.hidden).with_seed(a.seed))
+            .map_err(|e| fail("building model", e))?;
     let mut buckets: Vec<Vec<Vec<Real>>> = vec![Vec::new(); classes];
     for s in &samples {
         buckets[s.label].push(s.x.clone());
@@ -47,8 +47,7 @@ pub fn train(a: &TrainArgs, out: Out<'_>) -> Result<(), String> {
             .map_err(|e| fail("initial training", e))?;
     }
 
-    let pairs: Vec<(usize, &[Real])> =
-        samples.iter().map(|s| (s.label, s.x.as_slice())).collect();
+    let pairs: Vec<(usize, &[Real])> = samples.iter().map(|s| (s.label, s.x.as_slice())).collect();
     let det = DetectorConfig::new(classes, dim).with_window(a.window);
     let pipeline =
         DriftPipeline::calibrate(model, det, &pairs).map_err(|e| fail("calibration", e))?;
@@ -154,16 +153,25 @@ pub fn run_stream(a: &RunArgs, out: Out<'_>) -> Result<(), String> {
 /// `seqdrift info`: describe a checkpoint.
 pub fn info(a: &InfoArgs, out: Out<'_>) -> Result<(), String> {
     let blob = std::fs::read(&a.model).map_err(|e| fail("reading checkpoint", e))?;
-    let pipeline =
-        DriftPipeline::from_bytes(&blob).map_err(|e| fail("decoding checkpoint", e))?;
+    let pipeline = DriftPipeline::from_bytes(&blob).map_err(|e| fail("decoding checkpoint", e))?;
     let det = pipeline.detector().config();
-    writeln!(out, "checkpoint: {} ({} bytes)", a.model.display(), blob.len()).ok();
+    writeln!(
+        out,
+        "checkpoint: {} ({} bytes)",
+        a.model.display(),
+        blob.len()
+    )
+    .ok();
     writeln!(
         out,
         "model: {} classes x {} features, {} hidden nodes",
         det.classes,
         det.dim,
-        pipeline.model().instance(0).map(|i| i.network().hidden_dim()).unwrap_or(0)
+        pipeline
+            .model()
+            .instance(0)
+            .map(|i| i.network().hidden_dim())
+            .unwrap_or(0)
     )
     .ok();
     writeln!(
@@ -188,6 +196,106 @@ pub fn info(a: &InfoArgs, out: Out<'_>) -> Result<(), String> {
         )
         .ok();
     }
+    Ok(())
+}
+
+/// `seqdrift fleet`: replay one CSV across S simulated devices, each a
+/// session restored from the same checkpoint, with per-device staggered
+/// drift injection so devices flag drift at different stream positions.
+pub fn fleet(a: &FleetArgs, out: Out<'_>) -> Result<(), String> {
+    let blob = std::fs::read(&a.model).map_err(|e| fail("reading checkpoint", e))?;
+    let reference = DriftPipeline::from_bytes(&blob).map_err(|e| fail("decoding checkpoint", e))?;
+    let expected = reference.detector().config().dim;
+    let samples = loader::load_csv(&a.csv, a.has_header, a.label_last)
+        .map_err(|e| fail("reading stream CSV", e))?;
+    if samples[0].dim() != expected {
+        return Err(format!(
+            "stream has {} features but the checkpoint expects {expected}",
+            samples[0].dim()
+        ));
+    }
+
+    let engine = FleetEngine::new(FleetConfig::new(a.workers).with_queue_capacity(a.queue))
+        .map_err(|e| fail("starting fleet", e))?;
+    for d in 0..a.sessions {
+        engine
+            .create_from_bytes(SessionId(d as u64), &blob)
+            .map_err(|e| fail("creating session", e))?;
+    }
+    writeln!(
+        out,
+        "fleet: {} sessions over {} workers (queue capacity {})",
+        a.sessions, a.workers, a.queue
+    )
+    .ok();
+
+    // Device d's injected drift starts drift_step samples after device d-1's,
+    // so detections should stagger the same way across the fleet.
+    let schedules: Vec<Option<DriftSchedule>> = (0..a.sessions)
+        .map(|d| {
+            a.drift_at
+                .map(|at| DriftSchedule::sudden(at + d * a.drift_step))
+        })
+        .collect();
+    let mut rng = Rng::seed_from(0xF1EE7);
+    let mut shifted = vec![0.0 as Real; expected];
+    for (t, s) in samples.iter().enumerate() {
+        for (d, schedule) in schedules.iter().enumerate() {
+            let use_new = schedule
+                .as_ref()
+                .map(|sch| sch.resolve(t, &mut rng).0)
+                .unwrap_or(false);
+            let x: &[Real] = if use_new {
+                for (o, &v) in shifted.iter_mut().zip(s.x.iter()) {
+                    *o = v + a.drift_shift as Real;
+                }
+                &shifted
+            } else {
+                &s.x
+            };
+            engine
+                .feed_blocking(SessionId(d as u64), x)
+                .map_err(|e| fail("feeding sample", e))?;
+        }
+    }
+
+    let report = engine.shutdown();
+    for (id, event) in &report.events {
+        match event {
+            PipelineEvent::DriftDetected { index, dist } => {
+                writeln!(
+                    out,
+                    "device {}: DRIFT at its sample {index} (distance {dist:.4})",
+                    id.0
+                )
+                .ok();
+            }
+            PipelineEvent::Reconstructed {
+                index,
+                new_theta_drift,
+            } => {
+                writeln!(
+                    out,
+                    "device {}: reconstructed at its sample {index} \
+                     (new theta_drift {new_theta_drift:.4})",
+                    id.0
+                )
+                .ok();
+            }
+        }
+    }
+    let m = &report.metrics;
+    writeln!(
+        out,
+        "fleet done: {} sessions, {} samples processed, {} drift(s), \
+         {} reconstruction(s), {} busy rejection(s)",
+        report.sessions.len(),
+        m.samples_processed,
+        m.drifts_flagged,
+        m.reconstructions_completed,
+        m.busy_rejections
+    )
+    .ok();
     Ok(())
 }
 
@@ -261,8 +369,7 @@ pub fn synth(a: &SynthArgs, out: Out<'_>) -> Result<(), String> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::args::{Cli, Command};
-    use seqdrift_linalg::Rng;
+    use crate::args::Cli;
 
     fn tmpdir(name: &str) -> std::path::PathBuf {
         let dir = std::env::temp_dir().join(format!("seqdrift-cli-{name}"));
@@ -271,7 +378,12 @@ mod tests {
     }
 
     /// Writes a small labelled two-blob CSV and returns its path.
-    fn labelled_csv(dir: &std::path::Path, n: usize, mean_shift: f32, seed: u64) -> std::path::PathBuf {
+    fn labelled_csv(
+        dir: &std::path::Path,
+        n: usize,
+        mean_shift: f32,
+        seed: u64,
+    ) -> std::path::PathBuf {
         let mut rng = Rng::seed_from(seed);
         let mut text = String::from("f0,f1,f2,f3,class\n");
         for i in 0..n {
@@ -365,6 +477,46 @@ mod tests {
     }
 
     #[test]
+    fn fleet_staggers_drift_across_devices() {
+        let dir = tmpdir("fleet");
+        let train_csv = labelled_csv(&dir, 200, 0.0, 11);
+        let model = dir.join("model.sqdm");
+        exec(&format!(
+            "train --csv {} --out {} --label-last --hidden 6 --window 20",
+            train_csv.display(),
+            model.display()
+        ))
+        .unwrap();
+
+        // Clean replay: no injected drift, no detections.
+        let stream = stream_csv(&dir, 120, 0.0, 12);
+        let out = exec(&format!(
+            "fleet --csv {} --model {} --sessions 6 --workers 2 --no-header",
+            stream.display(),
+            model.display()
+        ))
+        .unwrap();
+        assert!(out.contains("6 sessions over 2 workers"), "{out}");
+        assert!(out.contains("0 drift(s)"), "{out}");
+        assert!(out.contains("720 samples processed"), "{out}");
+
+        // Injected drift: every device detects, onsets staggered.
+        let long = stream_csv(&dir, 600, 0.0, 13);
+        let out = exec(&format!(
+            "fleet --csv {} --model {} --sessions 4 --workers 2 \
+             --drift-at 100 --drift-step 50 --drift-shift 0.4 --no-header",
+            long.display(),
+            model.display()
+        ))
+        .unwrap();
+        assert!(out.contains("4 drift(s)"), "{out}");
+        for d in 0..4 {
+            assert!(out.contains(&format!("device {d}: DRIFT")), "{out}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn run_rejects_dimension_mismatch() {
         let dir = tmpdir("dims");
         let train_csv = labelled_csv(&dir, 100, 0.0, 4);
@@ -414,8 +566,8 @@ mod tests {
 
     #[test]
     fn train_rejects_missing_file() {
-        let err = exec("train --csv /nonexistent/x.csv --out /tmp/m.sqdm --label-last")
-            .unwrap_err();
+        let err =
+            exec("train --csv /nonexistent/x.csv --out /tmp/m.sqdm --label-last").unwrap_err();
         assert!(err.contains("reading training CSV"), "{err}");
     }
 }

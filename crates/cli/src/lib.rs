@@ -10,6 +10,7 @@
 //! seqdrift run   --csv stream.csv --model model.sqdm --out updated.sqdm
 //! seqdrift info  --model model.sqdm
 //! seqdrift synth --dataset fan-sudden --out data/
+//! seqdrift fleet --csv stream.csv --model model.sqdm --sessions 32 --drift-at 100
 //! ```
 //!
 //! * `train` — calibrate a full [`seqdrift_core::DriftPipeline`] from a
@@ -19,7 +20,10 @@
 //!   the adapted checkpoint back out;
 //! * `info` — describe a checkpoint (shapes, thresholds, counters);
 //! * `synth` — export the paper's synthetic datasets to CSV for
-//!   inspection or replay.
+//!   inspection or replay;
+//! * `fleet` — replay one CSV across many simulated devices, each an
+//!   independent [`seqdrift_fleet::FleetEngine`] session restored from the
+//!   same checkpoint, with per-device staggered drift injection.
 //!
 //! The argument parser and command implementations live here in the
 //! library so they are unit-testable; `main.rs` is a thin shim.
@@ -36,5 +40,6 @@ pub fn run(cli: &Cli, out: &mut dyn std::io::Write) -> Result<(), String> {
         Command::Run(a) => commands::run_stream(a, out),
         Command::Info(a) => commands::info(a, out),
         Command::Synth(a) => commands::synth(a, out),
+        Command::Fleet(a) => commands::fleet(a, out),
     }
 }

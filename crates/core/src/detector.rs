@@ -368,11 +368,10 @@ mod tests {
         assert!(
             CentroidDetector::new(DetectorConfig::new(2, 2).with_window(0), t.clone()).is_err()
         );
-        assert!(CentroidDetector::new(
-            DetectorConfig::new(2, 2).with_theta_drift(-1.0),
-            t.clone()
-        )
-        .is_err());
+        assert!(
+            CentroidDetector::new(DetectorConfig::new(2, 2).with_theta_drift(-1.0), t.clone())
+                .is_err()
+        );
         // Shape mismatch.
         assert!(CentroidDetector::new(DetectorConfig::new(3, 2).with_theta_drift(1.0), t).is_err());
     }
@@ -506,8 +505,7 @@ mod tests {
         // Post-rebase, samples near the new centroid do not re-trigger.
         let mut drifted = false;
         for _ in 0..5 {
-            if let DetectorOutcome::Checked { drift, .. } =
-                d.observe(1, &[5.0, 5.0], 1.0).unwrap()
+            if let DetectorOutcome::Checked { drift, .. } = d.observe(1, &[5.0, 5.0], 1.0).unwrap()
             {
                 drifted = drift;
             }
@@ -564,8 +562,7 @@ mod tests {
         let mut d = CentroidDetector::new(cfg, trained_set()).unwrap();
         let mut drifted = false;
         for _ in 0..10 {
-            if let DetectorOutcome::Checked { drift, .. } =
-                d.observe(1, &[5.0, 5.0], 1.0).unwrap()
+            if let DetectorOutcome::Checked { drift, .. } = d.observe(1, &[5.0, 5.0], 1.0).unwrap()
             {
                 drifted = drift;
             }

@@ -136,8 +136,7 @@ mod tests {
 
     #[test]
     fn any_fires_with_first_member() {
-        let mut e =
-            EnsembleDetector::new(base(), &[5, 50], &trained(), VotePolicy::Any).unwrap();
+        let mut e = EnsembleDetector::new(base(), &[5, 50], &trained(), VotePolicy::Any).unwrap();
         let mut fired_at = None;
         for i in 0..50 {
             if e.observe(0, &[4.0, 4.0], 1.0).unwrap() && fired_at.is_none() {
@@ -150,8 +149,7 @@ mod tests {
 
     #[test]
     fn all_waits_for_slowest_member() {
-        let mut e =
-            EnsembleDetector::new(base(), &[5, 20], &trained(), VotePolicy::All).unwrap();
+        let mut e = EnsembleDetector::new(base(), &[5, 20], &trained(), VotePolicy::All).unwrap();
         let mut fired_at = None;
         for i in 0..40 {
             if e.observe(0, &[4.0, 4.0], 1.0).unwrap() && fired_at.is_none() {
@@ -164,8 +162,7 @@ mod tests {
     #[test]
     fn majority_needs_more_than_half() {
         let mut e =
-            EnsembleDetector::new(base(), &[5, 10, 40], &trained(), VotePolicy::Majority)
-                .unwrap();
+            EnsembleDetector::new(base(), &[5, 10, 40], &trained(), VotePolicy::Majority).unwrap();
         let mut fired_at = None;
         for i in 0..60 {
             if e.observe(0, &[4.0, 4.0], 1.0).unwrap() && fired_at.is_none() {
@@ -179,8 +176,7 @@ mod tests {
 
     #[test]
     fn stationary_stream_never_fires() {
-        let mut e =
-            EnsembleDetector::new(base(), &[5, 20], &trained(), VotePolicy::Any).unwrap();
+        let mut e = EnsembleDetector::new(base(), &[5, 20], &trained(), VotePolicy::Any).unwrap();
         let mut rng = seqdrift_linalg::Rng::seed_from(1);
         for _ in 0..200 {
             let x = [rng.normal(0.0, 0.02), rng.normal(0.0, 0.02)];
@@ -190,8 +186,7 @@ mod tests {
 
     #[test]
     fn rebase_clears_latched_votes() {
-        let mut e =
-            EnsembleDetector::new(base(), &[5], &trained(), VotePolicy::Any).unwrap();
+        let mut e = EnsembleDetector::new(base(), &[5], &trained(), VotePolicy::Any).unwrap();
         for _ in 0..5 {
             e.observe(0, &[4.0, 4.0], 1.0).unwrap();
         }

@@ -173,23 +173,16 @@ impl DriftPipeline {
         if !align_labels {
             recon_cfg = recon_cfg.without_label_alignment();
         }
-        let mut cfg = PipelineConfig::new(det_cfg.clone())
+        let cfg = PipelineConfig::new(det_cfg.clone())
             .with_reconstruct(recon_cfg)
             .with_error_quantile(error_quantile)
+            .with_error_margin(error_margin)
+            .with_z(z)
             .with_train_on_stable(train_on_stable);
-        cfg.error_margin = error_margin;
-        cfg.z = z;
 
-        let detector =
-            CentroidDetector::restore(det_cfg.clone(), trained, test, det_samples)?;
+        let detector = CentroidDetector::restore(det_cfg.clone(), trained, test, det_samples)?;
         let reconstructor = Reconstructor::new(recon_cfg, det_cfg.classes, det_cfg.dim)?;
-        DriftPipeline::from_restored_parts(
-            model,
-            detector,
-            reconstructor,
-            cfg,
-            samples_processed,
-        )
+        DriftPipeline::from_restored_parts(model, detector, reconstructor, cfg, samples_processed)
     }
 }
 
@@ -209,8 +202,7 @@ mod tests {
         let dim = 5;
         let class0: Vec<Vec<Real>> = (0..80).map(|_| blob(rng, dim, 0.2)).collect();
         let class1: Vec<Vec<Real>> = (0..80).map(|_| blob(rng, dim, 0.8)).collect();
-        let mut model =
-            MultiInstanceModel::new(2, OsElmConfig::new(dim, 4).with_seed(3)).unwrap();
+        let mut model = MultiInstanceModel::new(2, OsElmConfig::new(dim, 4).with_seed(3)).unwrap();
         model.init_train_class(0, &class0).unwrap();
         model.init_train_class(1, &class1).unwrap();
         let pairs: Vec<(usize, &[Real])> = class0

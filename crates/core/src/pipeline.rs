@@ -74,6 +74,18 @@ impl PipelineConfig {
         self
     }
 
+    /// Overrides the multiplier applied on top of the `θ_error` quantile.
+    pub fn with_error_margin(mut self, margin: Real) -> Self {
+        self.error_margin = margin;
+        self
+    }
+
+    /// Overrides Eq. 1's `z` for the initial `θ_drift` calibration.
+    pub fn with_z(mut self, z: Real) -> Self {
+        self.z = z;
+        self
+    }
+
     /// Enables continuous training of the closest instance on stable
     /// samples.
     pub fn with_train_on_stable(mut self, yes: bool) -> Self {
@@ -251,6 +263,14 @@ impl DriftPipeline {
         &self.events
     }
 
+    /// Removes and returns all events logged since the last drain (or since
+    /// construction). Long-running hosts — the fleet engine in particular —
+    /// use this to forward events without letting the internal log grow
+    /// unboundedly.
+    pub fn drain_events(&mut self) -> Vec<PipelineEvent> {
+        std::mem::take(&mut self.events)
+    }
+
     /// Samples processed so far.
     pub fn samples_processed(&self) -> u64 {
         self.samples_processed
@@ -307,7 +327,8 @@ impl DriftPipeline {
         let mut drift_detected = false;
         if let DetectorOutcome::Checked { dist, drift: true } = outcome {
             drift_detected = true;
-            self.events.push(PipelineEvent::DriftDetected { index, dist });
+            self.events
+                .push(PipelineEvent::DriftDetected { index, dist });
             self.reconstructor
                 .start(self.detector.trained_centroids(), &mut self.model)?;
         } else if self.cfg.train_on_stable && outcome == DetectorOutcome::Idle {
@@ -363,8 +384,11 @@ mod tests {
             .chain(class1.iter().map(|x| (1usize, x.as_slice())))
             .collect();
         let det = DetectorConfig::new(2, dim).with_window(window);
-        let cfg = PipelineConfig::new(det.clone())
-            .with_reconstruct(crate::ReconstructConfig::new(80).with_search(8).with_update(20));
+        let cfg = PipelineConfig::new(det.clone()).with_reconstruct(
+            crate::ReconstructConfig::new(80)
+                .with_search(8)
+                .with_update(20),
+        );
         let p = DriftPipeline::calibrate_with(model, det, &train, Some(cfg)).unwrap();
         (p, class0, class1)
     }
@@ -460,14 +484,8 @@ mod tests {
         // Post-recovery accuracy over the last 200 samples, allowing label
         // permutation (reconstruction relabels clusters arbitrarily).
         let tail = &results[700..];
-        let direct = tail
-            .iter()
-            .filter(|(l, p)| Some(*l) == *p)
-            .count();
-        let swapped = tail
-            .iter()
-            .filter(|(l, p)| Some(1 - *l) == *p)
-            .count();
+        let direct = tail.iter().filter(|(l, p)| Some(*l) == *p).count();
+        let swapped = tail.iter().filter(|(l, p)| Some(1 - *l) == *p).count();
         let best = direct.max(swapped);
         assert!(best > 160, "post-recovery accuracy {best}/200");
     }
@@ -560,11 +578,9 @@ mod tests {
     fn train_on_stable_keeps_adapting() {
         let dim = 4;
         let class0 = blob(100, dim, 0.3, 10);
-        let mut model =
-            MultiInstanceModel::new(1, OsElmConfig::new(dim, 3).with_seed(11)).unwrap();
+        let mut model = MultiInstanceModel::new(1, OsElmConfig::new(dim, 3).with_seed(11)).unwrap();
         model.init_train_class(0, &class0).unwrap();
-        let train: Vec<(usize, &[Real])> =
-            class0.iter().map(|x| (0usize, x.as_slice())).collect();
+        let train: Vec<(usize, &[Real])> = class0.iter().map(|x| (0usize, x.as_slice())).collect();
         let det = DetectorConfig::new(1, dim).with_window(50);
         let cfg = PipelineConfig::new(det.clone()).with_train_on_stable(true);
         let mut p = DriftPipeline::calibrate_with(model, det, &train, Some(cfg)).unwrap();

@@ -99,9 +99,7 @@ impl ReconstructConfig {
             return Err(CoreError::InvalidConfig("n_total must be >= 4"));
         }
         if self.n_search == 0 || self.n_search > self.n_update {
-            return Err(CoreError::InvalidConfig(
-                "need 0 < n_search <= n_update",
-            ));
+            return Err(CoreError::InvalidConfig("need 0 < n_search <= n_update"));
         }
         if self.n_update > self.n_total / 2 {
             return Err(CoreError::InvalidConfig(
@@ -206,9 +204,7 @@ impl Reconstructor {
     /// label-alignment reference.
     pub fn start(&mut self, previous: &CentroidSet, model: &mut MultiInstanceModel) -> Result<()> {
         if previous.classes() != self.cor.classes() || previous.dim() != self.cor.dim() {
-            return Err(CoreError::InvalidConfig(
-                "previous centroid shape mismatch",
-            ));
+            return Err(CoreError::InvalidConfig("previous centroid shape mismatch"));
         }
         self.previous = previous.clone();
         self.cor = CentroidSet::zeros(self.cor.classes(), self.cor.dim());
@@ -272,10 +268,7 @@ impl Reconstructor {
 
         if count >= self.cfg.n_total {
             self.active = false;
-            let theta_drift = self
-                .calibrator
-                .threshold(self.cfg.z)?
-                .max(Real::EPSILON);
+            let theta_drift = self.calibrator.threshold(self.cfg.z)?.max(Real::EPSILON);
             return Ok(ReconOutcome::Done {
                 new_trained: self.cor.clone(),
                 theta_drift,
@@ -430,9 +423,7 @@ mod tests {
         }
         // Samples 1..=10 coordinates, 11..=20 distance-labelled, 21..=39
         // prediction-labelled (40th returns Done).
-        assert!(phases[..10]
-            .iter()
-            .all(|&p| p == ReconPhase::Coordinates));
+        assert!(phases[..10].iter().all(|&p| p == ReconPhase::Coordinates));
         assert!(phases[10..20]
             .iter()
             .all(|&p| p == ReconPhase::DistanceLabelled));

@@ -1,0 +1,107 @@
+//! Checkpoint/restore equivalence: interrupting a stream with
+//! `to_bytes`/`from_bytes` must be invisible to the pipeline's outputs.
+//!
+//! A calibrated pipeline processes N samples, is serialised and restored,
+//! and then both the restored copy and the uninterrupted original process
+//! the same M further samples. Every `PipelineOutput` field must be
+//! bit-identical — the wire format stores exact f32 state, so there is no
+//! tolerance here.
+
+use seqdrift_core::{DetectorConfig, DriftPipeline};
+use seqdrift_linalg::{Real, Rng};
+use seqdrift_oselm::{MultiInstanceModel, OsElmConfig};
+
+const DIM: usize = 5;
+const N_BEFORE: usize = 180;
+const M_AFTER: usize = 220;
+
+fn sample(rng: &mut Rng, mean: Real) -> Vec<Real> {
+    let mut x = vec![0.0; DIM];
+    rng.fill_normal(&mut x, mean, 0.05);
+    x
+}
+
+fn calibrated() -> DriftPipeline {
+    let mut rng = Rng::seed_from(5);
+    let c0: Vec<Vec<Real>> = (0..80).map(|_| sample(&mut rng, 0.25)).collect();
+    let c1: Vec<Vec<Real>> = (0..80).map(|_| sample(&mut rng, 0.75)).collect();
+    let mut model = MultiInstanceModel::new(2, OsElmConfig::new(DIM, 4).with_seed(2)).unwrap();
+    model.init_train_class(0, &c0).unwrap();
+    model.init_train_class(1, &c1).unwrap();
+    let pairs: Vec<(usize, &[Real])> = c0
+        .iter()
+        .map(|x| (0usize, x.as_slice()))
+        .chain(c1.iter().map(|x| (1usize, x.as_slice())))
+        .collect();
+    DriftPipeline::calibrate(model, DetectorConfig::new(2, DIM).with_window(25), &pairs).unwrap()
+}
+
+/// The stream alternates the two stable classes, then shifts mid-way
+/// through the post-restore segment so the comparison also covers drift
+/// detection and reconstruction, not just the steady state.
+fn stream(n: usize, seed: u64, shift_from: usize, shift: Real) -> Vec<Vec<Real>> {
+    let mut rng = Rng::seed_from(seed);
+    (0..n)
+        .map(|i| {
+            let base = if i % 2 == 0 { 0.25 } else { 0.75 };
+            let mean = if i >= shift_from { base + shift } else { base };
+            sample(&mut rng, mean)
+        })
+        .collect()
+}
+
+#[test]
+fn restore_is_bit_identical_to_uninterrupted_run() {
+    let mut original = calibrated();
+
+    let before = stream(N_BEFORE, 31, usize::MAX, 0.0);
+    for x in &before {
+        original.process(x).unwrap();
+    }
+
+    let blob = original.to_bytes().unwrap();
+    let mut restored = DriftPipeline::from_bytes(&blob).unwrap();
+    assert_eq!(restored.samples_processed(), original.samples_processed());
+
+    // The post-restore stream drifts at sample 100 to exercise detection
+    // and reconstruction in lockstep on both copies.
+    let after = stream(M_AFTER, 37, 100, 0.4);
+    let mut saw_drift = false;
+    let mut saw_reconstruction = false;
+    for x in &after {
+        let a = original.process(x).unwrap();
+        let b = restored.process(x).unwrap();
+        assert_eq!(a, b, "outputs diverged after restore");
+        saw_drift |= a.drift_detected;
+        saw_reconstruction |= a.reconstructing;
+    }
+    assert!(saw_drift, "the comparison stream never triggered a drift");
+    assert!(saw_reconstruction);
+    assert_eq!(original.events(), restored.events());
+}
+
+#[test]
+fn restore_refuses_then_succeeds_around_reconstruction() {
+    let mut pipeline = calibrated();
+    for x in &stream(N_BEFORE, 41, usize::MAX, 0.0) {
+        pipeline.process(x).unwrap();
+    }
+    // Push shifted samples until the pipeline starts reconstructing, then
+    // verify the mid-reconstruction refusal and that a quiescent point
+    // serialises again.
+    let shifted = stream(600, 43, 0, 0.4);
+    let mut refused = false;
+    for x in &shifted {
+        pipeline.process(x).unwrap();
+        if pipeline.is_reconstructing() {
+            assert!(pipeline.to_bytes().is_err(), "mid-reconstruction snapshot");
+            refused = true;
+        } else if refused {
+            break;
+        }
+    }
+    assert!(refused, "stream never entered reconstruction");
+    assert!(!pipeline.is_reconstructing());
+    let blob = pipeline.to_bytes().unwrap();
+    assert!(DriftPipeline::from_bytes(&blob).is_ok());
+}

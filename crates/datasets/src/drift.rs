@@ -14,11 +14,9 @@
 //!   to new between `start` and `end`.
 //! * **Reoccurring** — new in `[start, end)`, then the old concept returns.
 
-use serde::{Deserialize, Serialize};
 use seqdrift_linalg::{Real, Rng};
 
 /// Drift type selector (Figure 1).
-#[derive(Serialize, Deserialize)]
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DriftType {
     /// Instant switch at `start`.
@@ -47,7 +45,6 @@ pub enum MixState {
 }
 
 /// A drift schedule over a test stream.
-#[derive(Serialize, Deserialize)]
 #[derive(Debug, Clone, Copy)]
 pub struct DriftSchedule {
     /// Drift type.
@@ -340,16 +337,13 @@ mod tests {
     fn compose_incremental_morphs_through_midpoint() {
         let old = ClassConcept::isotropic(vec![0.0], 0.01);
         let new = ClassConcept::isotropic(vec![1.0], 0.01);
-        let d = compose_single_class(
-            &old,
-            &new,
-            DriftSchedule::incremental(0, 100),
-            10,
-            100,
-            2,
-        );
+        let d = compose_single_class(&old, &new, DriftSchedule::incremental(0, 100), 10, 100, 2);
         // Sample 50 sits near the morph midpoint.
-        assert!((d.test[50].x[0] - 0.5).abs() < 0.15, "x = {}", d.test[50].x[0]);
+        assert!(
+            (d.test[50].x[0] - 0.5).abs() < 0.15,
+            "x = {}",
+            d.test[50].x[0]
+        );
     }
 
     #[test]

@@ -21,7 +21,6 @@
 //! pattern), so every sample is labelled 0 and ground truth lives in the
 //! drift indices.
 
-use serde::{Deserialize, Serialize};
 use crate::drift::DriftSchedule;
 use crate::stream::{DriftDataset, Sample};
 use seqdrift_linalg::{Real, Rng};
@@ -30,7 +29,6 @@ use seqdrift_linalg::{Real, Rng};
 pub const SPECTRUM_BINS: usize = 511;
 
 /// Mechanical condition of the fan.
-#[derive(Serialize, Deserialize)]
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FanCondition {
     /// Healthy fan.
@@ -42,7 +40,6 @@ pub enum FanCondition {
 }
 
 /// Acoustic environment of the measurement.
-#[derive(Serialize, Deserialize)]
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Environment {
     /// Silent room.
@@ -52,7 +49,6 @@ pub enum Environment {
 }
 
 /// Configuration for the fan-spectrum generator.
-#[derive(Serialize, Deserialize)]
 #[derive(Debug, Clone)]
 pub struct FanConfig {
     /// Rotation fundamental in Hz (= bin index).
@@ -184,7 +180,6 @@ fn add_peak(s: &mut [Real], freq: Real, amp: Real, width: Real) {
 }
 
 /// Which of the paper's three fan test scenarios to build.
-#[derive(Serialize, Deserialize)]
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FanScenario {
     /// Hole damage appears suddenly at sample 120 (silent environment).
@@ -235,8 +230,15 @@ pub fn generate(cfg: &FanConfig, scenario: FanScenario, environment: Environment
     for t in 0..FAN_TEST_LEN {
         let (use_new, morph) = schedule.resolve(t, &mut rng);
         debug_assert!(morph.is_none(), "fan scenarios never morph");
-        let condition = if use_new { damaged } else { FanCondition::Normal };
-        test.push(Sample::new(spectrum(cfg, condition, environment, &mut rng), 0));
+        let condition = if use_new {
+            damaged
+        } else {
+            FanCondition::Normal
+        };
+        test.push(Sample::new(
+            spectrum(cfg, condition, environment, &mut rng),
+            0,
+        ));
     }
 
     let name = match scenario {
@@ -386,7 +388,10 @@ mod tests {
         let during = avg_f0(120..170);
         let after = avg_f0(200..700);
         assert!(during > before + 0.1, "during {during} vs before {before}");
-        assert!((after - before).abs() < 0.1, "after {after} vs before {before}");
+        assert!(
+            (after - before).abs() < 0.1,
+            "after {after} vs before {before}"
+        );
     }
 
     #[test]

@@ -103,7 +103,11 @@ impl OnlineNormalizer {
                 w.push(*v);
             }
             let std = w.std();
-            *v = if std > 1e-12 { (*v - w.mean()) / std } else { 0.0 };
+            *v = if std > 1e-12 {
+                (*v - w.mean()) / std
+            } else {
+                0.0
+            };
         }
     }
 }

@@ -18,13 +18,11 @@
 //!
 //! Real NSL-KDD CSVs can be substituted via [`crate::loader`].
 
-use serde::{Deserialize, Serialize};
 use crate::stream::{DriftDataset, Sample};
 use crate::synth::ClassConcept;
 use seqdrift_linalg::{Real, Rng};
 
 /// Configuration for the synthetic NSL-KDD-like dataset.
-#[derive(Serialize, Deserialize)]
 #[derive(Debug, Clone)]
 pub struct NslKddConfig {
     /// Feature dimensionality (paper: 38).
@@ -123,7 +121,12 @@ pub fn generate(cfg: &NslKddConfig) -> DriftDataset {
 
     let mut train = Vec::with_capacity(cfg.n_train);
     for i in 0..cfg.n_train {
-        train.push(draw((&normal0, &neptune0, &neptune0b), i, &mut rng, &mut label_rng));
+        train.push(draw(
+            (&normal0, &neptune0, &neptune0b),
+            i,
+            &mut rng,
+            &mut label_rng,
+        ));
     }
     // Guarantee both classes appear in training (tiny configs in tests).
     if !train.iter().any(|s| s.label == LABEL_NEPTUNE) {
@@ -213,10 +216,7 @@ mod tests {
     fn pre_drift_test_matches_training_distribution() {
         let d = generate(&small());
         let train_norm: Vec<&Sample> = d.train.iter().filter(|s| s.label == 0).collect();
-        let pre_norm: Vec<&Sample> = d.test[..800]
-            .iter()
-            .filter(|s| s.label == 0)
-            .collect();
+        let pre_norm: Vec<&Sample> = d.test[..800].iter().filter(|s| s.label == 0).collect();
         let dist = vector::dist_l2(&class_mean(&train_norm), &class_mean(&pre_norm));
         assert!(dist < 0.1, "pre-drift normal mean moved by {dist}");
     }

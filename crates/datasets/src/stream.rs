@@ -103,7 +103,10 @@ mod tests {
     fn tiny() -> DriftDataset {
         DriftDataset {
             name: "tiny".into(),
-            train: vec![Sample::new(vec![0.0, 1.0], 0), Sample::new(vec![1.0, 0.0], 1)],
+            train: vec![
+                Sample::new(vec![0.0, 1.0], 0),
+                Sample::new(vec![1.0, 0.0], 1),
+            ],
             test: vec![Sample::new(vec![0.5, 0.5], 0); 10],
             drift_start: 5,
             drift_end: None,

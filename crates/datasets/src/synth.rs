@@ -90,7 +90,7 @@ mod tests {
     fn samples_concentrate_around_mean() {
         let c = ClassConcept::isotropic(vec![1.0, -2.0, 3.0], 0.1);
         let mut rng = Rng::seed_from(1);
-        let mut acc = vec![0.0f64; 3];
+        let mut acc = [0.0f64; 3];
         let n = 5000;
         for _ in 0..n {
             let s = c.sample(&mut rng);

@@ -134,7 +134,9 @@ pub fn project_op(
     hidden: u64,
     device: &DeviceSpec,
 ) -> Duration {
-    device.cycle_model().duration(op.flops(classes, dim, hidden))
+    device
+        .cycle_model()
+        .duration(op.flops(classes, dim, hidden))
 }
 
 #[cfg(test)]
@@ -184,8 +186,7 @@ mod tests {
             "Pico label prediction projected at {ms:.1} ms"
         );
         // Distance computation: paper 10.58 ms.
-        let dist_ms =
-            project_op(Table6Op::DistanceComputation, C, D, H, &PICO).as_secs_f64() * 1e3;
+        let dist_ms = project_op(Table6Op::DistanceComputation, C, D, H, &PICO).as_secs_f64() * 1e3;
         assert!(
             (0.5..50.0).contains(&dist_ms),
             "distance computation projected at {dist_ms:.2} ms"

@@ -20,13 +20,13 @@
 //!   are preserved because every method scales by the same constant.
 
 pub mod budget;
-pub mod flops;
 pub mod device;
+pub mod flops;
 pub mod memory;
 pub mod timing;
 
 pub use budget::{check_budget, fits_in_ram, BudgetReport};
-pub use flops::{project_op, CycleModel, Table6Op, TABLE6_OPS};
 pub use device::{DeviceSpec, PI4, PICO};
+pub use flops::{project_op, CycleModel, Table6Op, TABLE6_OPS};
 pub use memory::{bytes_of_scalars, MemoryFootprint, MemoryReport};
 pub use timing::{project_duration, TimingProjection};

@@ -32,15 +32,12 @@ fn main() {
         let pairs: Vec<(usize, &[Real])> =
             d.train.iter().map(|s| (s.label, s.x.as_slice())).collect();
         let trained = CentroidSet::from_labeled(d.classes, d.dim(), &pairs).unwrap();
-        let theta =
-            calibrate_drift_threshold(&trained, &pairs, DistanceMetric::L1, 1.0).unwrap();
+        let theta = calibrate_drift_threshold(&trained, &pairs, DistanceMetric::L1, 1.0).unwrap();
         // Damaged-segment centroid distance from trained.
         let seg: Vec<&[Real]> = match scenario {
             FanScenario::Sudden => d.test[200..600].iter().map(|s| s.x.as_slice()).collect(),
             FanScenario::Gradual => d.test[600..].iter().map(|s| s.x.as_slice()).collect(),
-            FanScenario::Reoccurring => {
-                d.test[120..170].iter().map(|s| s.x.as_slice()).collect()
-            }
+            FanScenario::Reoccurring => d.test[120..170].iter().map(|s| s.x.as_slice()).collect(),
         };
         let seg_centroid = centroid_of(&seg);
         let diff = vector::dist_l1(&seg_centroid, trained.centroid(0).unwrap());
@@ -68,8 +65,7 @@ fn main() {
 
     // ---- nsl-kdd ----
     let d = nslkdd_dataset(Scale::Quick);
-    let pairs: Vec<(usize, &[Real])> =
-        d.train.iter().map(|s| (s.label, s.x.as_slice())).collect();
+    let pairs: Vec<(usize, &[Real])> = d.train.iter().map(|s| (s.label, s.x.as_slice())).collect();
     let trained = CentroidSet::from_labeled(d.classes, d.dim(), &pairs).unwrap();
     let theta = calibrate_drift_threshold(&trained, &pairs, DistanceMetric::L1, 1.0).unwrap();
     let post: Vec<&[Real]> = d.test[d.drift_start..]
@@ -83,7 +79,10 @@ fn main() {
     for spec in [
         MethodSpec::Proposed { window: 100 },
         MethodSpec::BaselineNoDetect,
-        MethodSpec::QuantTree { batch: 160, bins: 32 },
+        MethodSpec::QuantTree {
+            batch: 160,
+            bins: 32,
+        },
         MethodSpec::Spll { batch: 160 },
         MethodSpec::Onlad { forgetting: 0.97 },
     ] {

@@ -80,10 +80,7 @@ fn main() {
         }
     };
 
-    println!(
-        "# seqdrift reproduction ({:?} scale)\n",
-        scale
-    );
+    println!("# seqdrift reproduction ({:?} scale)\n", scale);
     for name in targets {
         eprintln!(">>> running {name} ...");
         let started = std::time::Instant::now();

@@ -12,7 +12,6 @@ use crate::methods::MethodSpec;
 use crate::metrics;
 use crate::report::{fmt_delay, Table};
 use crate::runner::{run_method, RunOptions};
-use rayon::prelude::*;
 use seqdrift_core::centroid::CentroidSet;
 use seqdrift_core::ensemble::{EnsembleDetector, VotePolicy};
 use seqdrift_core::threshold::calibrate_drift_threshold;
@@ -80,7 +79,11 @@ pub fn ensemble(scale: Scale) -> Vec<Table> {
         ("single W=10", vec![10], None),
         ("single W=50", vec![50], None),
         ("single W=150", vec![150], None),
-        ("ensemble any {10,50,150}", vec![10, 50, 150], Some(VotePolicy::Any)),
+        (
+            "ensemble any {10,50,150}",
+            vec![10, 50, 150],
+            Some(VotePolicy::Any),
+        ),
         (
             "ensemble majority {10,50,150}",
             vec![10, 50, 150],
@@ -88,19 +91,15 @@ pub fn ensemble(scale: Scale) -> Vec<Table> {
         ),
     ];
 
-    let results: Vec<Vec<Option<usize>>> = rows
-        .par_iter()
-        .map(|(_, windows, policy)| {
-            datasets
-                .iter()
-                .map(|d| {
-                    let pol = policy.unwrap_or(VotePolicy::Any);
-                    ensemble_first_fire(d, windows, pol, 42)
-                        .map(|i| i.saturating_sub(d.drift_start))
-                })
-                .collect()
-        })
-        .collect();
+    let results: Vec<Vec<Option<usize>>> = crate::par::par_map(&rows, |(_, windows, policy)| {
+        datasets
+            .iter()
+            .map(|d| {
+                let pol = policy.unwrap_or(VotePolicy::Any);
+                ensemble_first_fire(d, windows, pol, 42).map(|i| i.saturating_sub(d.drift_start))
+            })
+            .collect()
+    });
 
     let mut t = Table::new(
         "Ablation: multi-window ensemble vs single windows — detection delay (fan)",
@@ -135,12 +134,10 @@ pub fn threshold(scale: Scale) -> Vec<Table> {
         "Ablation: θ_error gating and Eq. 1 z on NSL-KDD (proposed, W=100)",
         &["variant", "accuracy (%)", "delay", "false positives"],
     );
-    let variants: Vec<(String, MethodSpec)> = vec![
-        (
-            "margin-gated (3x max), z=1 [default]".into(),
-            MethodSpec::Proposed { window: 100 },
-        ),
-    ];
+    let variants: Vec<(String, MethodSpec)> = vec![(
+        "margin-gated (3x max), z=1 [default]".into(),
+        MethodSpec::Proposed { window: 100 },
+    )];
     for (name, spec) in &variants {
         let r = run_method(spec, &dataset, &opts);
         t.push_row(vec![
@@ -209,8 +206,7 @@ fn run_threshold_variant(
         .with_reconstruct(ReconstructConfig::new(200).with_search(20).with_update(50));
     cfg.error_margin = error_margin.max(Real::MIN_POSITIVE);
     cfg.z = z;
-    let mut pipe =
-        DriftPipeline::calibrate_with(model, det, &pairs, Some(cfg)).expect("pipeline");
+    let mut pipe = DriftPipeline::calibrate_with(model, det, &pairs, Some(cfg)).expect("pipeline");
 
     let mut truth = Vec::new();
     let mut pred = Vec::new();
@@ -250,7 +246,10 @@ pub fn distance(scale: Scale) -> Vec<Table> {
         "Ablation: drift distance metric (proposed, W=100, NSL-KDD)",
         &["metric", "accuracy (%)", "delay", "false positives"],
     );
-    for (name, metric) in [("L1 [paper]", DistanceMetric::L1), ("L2", DistanceMetric::L2)] {
+    for (name, metric) in [
+        ("L1 [paper]", DistanceMetric::L1),
+        ("L2", DistanceMetric::L2),
+    ] {
         let r = run_metric_variant(&dataset, metric);
         t.push_row(vec![
             name.into(),
@@ -286,8 +285,7 @@ fn run_metric_variant(
         .with_metric(metric);
     let cfg = PipelineConfig::new(det.clone())
         .with_reconstruct(ReconstructConfig::new(200).with_search(20).with_update(50));
-    let mut pipe =
-        DriftPipeline::calibrate_with(model, det, &pairs, Some(cfg)).expect("pipeline");
+    let mut pipe = DriftPipeline::calibrate_with(model, det, &pairs, Some(cfg)).expect("pipeline");
     let mut truth = Vec::new();
     let mut pred = Vec::new();
     let mut detections = Vec::new();
@@ -328,16 +326,18 @@ pub fn forgetting(scale: Scale) -> Vec<Table> {
         accuracy_window: 500,
     };
     let rates: Vec<Real> = vec![0.90, 0.95, 0.97, 0.99, 1.0];
-    let results: Vec<_> = rates
-        .par_iter()
-        .map(|&forgetting| run_method(&MethodSpec::Onlad { forgetting }, &dataset, &opts))
-        .collect();
+    let results: Vec<_> = crate::par::par_map(&rates, |&forgetting| {
+        run_method(&MethodSpec::Onlad { forgetting }, &dataset, &opts)
+    });
     let mut t = Table::new(
         "Ablation: ONLAD forgetting rate on NSL-KDD (paper: tuning is difficult)",
         &["forgetting rate", "accuracy (%)"],
     );
     for (rate, r) in rates.iter().zip(results.iter()) {
-        t.push_row(vec![format!("{rate:.2}"), format!("{:.1}", r.accuracy_pct())]);
+        t.push_row(vec![
+            format!("{rate:.2}"),
+            format!("{:.1}", r.accuracy_pct()),
+        ]);
     }
     vec![t]
 }
@@ -360,21 +360,35 @@ pub fn noisy_env(_scale: Scale) -> Vec<Table> {
     };
 
     let rows: Vec<(&str, Environment, FanScenario)> = vec![
-        ("silent deploy, sudden damage @120", Environment::Silent, FanScenario::Sudden),
-        ("noisy deploy, sudden damage @120", Environment::Noisy, FanScenario::Sudden),
-        ("noisy deploy, gradual damage 120-600", Environment::Noisy, FanScenario::Gradual),
+        (
+            "silent deploy, sudden damage @120",
+            Environment::Silent,
+            FanScenario::Sudden,
+        ),
+        (
+            "noisy deploy, sudden damage @120",
+            Environment::Noisy,
+            FanScenario::Sudden,
+        ),
+        (
+            "noisy deploy, gradual damage 120-600",
+            Environment::Noisy,
+            FanScenario::Gradual,
+        ),
     ];
-    let results: Vec<_> = rows
-        .par_iter()
-        .map(|(_, env, scenario)| {
-            let d = fan::generate(&cfg, *scenario, *env);
-            run_method(&MethodSpec::Proposed { window: 50 }, &d, &opts)
-        })
-        .collect();
+    let results: Vec<_> = crate::par::par_map(&rows, |(_, env, scenario)| {
+        let d = fan::generate(&cfg, *scenario, *env);
+        run_method(&MethodSpec::Proposed { window: 50 }, &d, &opts)
+    });
 
     let mut t = Table::new(
         "Ablation: noisy deployment environment (fan, trained silent, W=50)",
-        &["scenario", "first detection", "delay vs damage onset", "detections"],
+        &[
+            "scenario",
+            "first detection",
+            "delay vs damage onset",
+            "detections",
+        ],
     );
     for ((name, _, _), r) in rows.iter().zip(results.iter()) {
         let first = r
@@ -411,15 +425,12 @@ pub fn recency(scale: Scale) -> Vec<Table> {
         ("EWMA alpha=0.20".into(), Recency::Ewma(0.20)),
     ];
 
-    let rows: Vec<(String, f64, Option<usize>, usize)> = variants
-        .par_iter()
-        .map(|(name, recency)| {
+    let rows: Vec<(String, f64, Option<usize>, usize)> =
+        crate::par::par_map(&variants, |(name, recency)| {
             let dim = dataset.dim();
-            let mut model = MultiInstanceModel::new(
-                dataset.classes,
-                OsElmConfig::new(dim, 22).with_seed(42),
-            )
-            .expect("model");
+            let mut model =
+                MultiInstanceModel::new(dataset.classes, OsElmConfig::new(dim, 22).with_seed(42))
+                    .expect("model");
             for (label, bucket) in dataset.train_by_class().iter().enumerate() {
                 model.init_train_class(label, bucket).expect("train");
             }
@@ -462,8 +473,7 @@ pub fn recency(scale: Scale) -> Vec<Table> {
                 metrics::detection_delay(&detections, dataset.drift_start),
                 metrics::false_positives(&detections, dataset.drift_start),
             )
-        })
-        .collect();
+        });
 
     let mut t = Table::new(
         "Ablation: test-centroid recency weighting (proposed, W=100, NSL-KDD)",
@@ -506,19 +516,15 @@ pub fn incremental(_scale: Scale) -> Vec<Table> {
         accuracy_window: 100,
     };
 
-    let rows: Vec<(String, Vec<Option<usize>>)> = schedules
-        .par_iter()
-        .map(|(name, schedule)| {
+    let rows: Vec<(String, Vec<Option<usize>>)> =
+        crate::par::par_map(&schedules, |(name, schedule)| {
             let d = compose_single_class(&old, &new, *schedule, 120, 1000, 7);
             let delays = windows
                 .iter()
-                .map(|&w| {
-                    run_method(&MethodSpec::Proposed { window: w }, &d, &opts).delay
-                })
+                .map(|&w| run_method(&MethodSpec::Proposed { window: w }, &d, &opts).delay)
                 .collect();
             (name.to_string(), delays)
-        })
-        .collect();
+        });
 
     let mut t = Table::new(
         "Ablation: incremental drift (Figure 1's fourth type) vs sudden/gradual — detection delay",

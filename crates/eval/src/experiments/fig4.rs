@@ -9,7 +9,6 @@ use super::{nslkdd_dataset, nslkdd_params as p, scaled_batch, Scale};
 use crate::methods::MethodSpec;
 use crate::report::Table;
 use crate::runner::{run_method, RunOptions, RunResult};
-use rayon::prelude::*;
 
 /// The five method specs of §4.2 with the paper's NSL-KDD parameters.
 pub fn method_specs(scale: Scale) -> Vec<MethodSpec> {
@@ -40,10 +39,9 @@ pub fn run_all(scale: Scale, seed: u64) -> Vec<RunResult> {
             Scale::Quick => 250,
         },
     };
-    method_specs(scale)
-        .par_iter()
-        .map(|spec| run_method(spec, &dataset, &opts))
-        .collect()
+    crate::par::par_map(&method_specs(scale), |spec| {
+        run_method(spec, &dataset, &opts)
+    })
 }
 
 /// Builds the Figure 4 series table plus a summary.
@@ -71,7 +69,12 @@ pub fn run(scale: Scale) -> Vec<Table> {
 
     let mut summary = Table::new(
         "Figure 4 summary: overall accuracy and first detection",
-        &["method", "accuracy (%)", "first detection", "false positives"],
+        &[
+            "method",
+            "accuracy (%)",
+            "first detection",
+            "false positives",
+        ],
     );
     for r in &results {
         let first = r

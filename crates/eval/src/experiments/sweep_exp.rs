@@ -54,7 +54,10 @@ pub fn run(scale: Scale) -> Vec<Table> {
         let acc_mean = mean_f64(&accs);
         let acc_std =
             (accs.iter().map(|a| (a - acc_mean).powi(2)).sum::<f64>() / accs.len() as f64).sqrt();
-        let delays: Vec<f64> = rows.iter().filter_map(|r| r.delay.map(|d| d as f64)).collect();
+        let delays: Vec<f64> = rows
+            .iter()
+            .filter_map(|r| r.delay.map(|d| d as f64))
+            .collect();
         let detected = delays.len();
         let delay_mean = mean_f64(&delays);
         let delay_std = if delays.is_empty() {

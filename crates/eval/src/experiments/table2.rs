@@ -7,7 +7,6 @@ use super::{nslkdd_dataset, nslkdd_params as p, scaled_batch, Scale};
 use crate::methods::MethodSpec;
 use crate::report::{fmt_delay, Table};
 use crate::runner::{run_method, RunOptions, RunResult};
-use rayon::prelude::*;
 
 /// Method rows in the paper's order.
 pub fn method_specs(scale: Scale) -> Vec<MethodSpec> {
@@ -40,10 +39,9 @@ pub fn run_all(scale: Scale, seed: u64) -> Vec<RunResult> {
         seed,
         accuracy_window: 500,
     };
-    method_specs(scale)
-        .par_iter()
-        .map(|spec| run_method(spec, &dataset, &opts))
-        .collect()
+    crate::par::par_map(&method_specs(scale), |spec| {
+        run_method(spec, &dataset, &opts)
+    })
 }
 
 /// Builds Table 2.

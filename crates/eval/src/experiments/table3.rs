@@ -12,7 +12,6 @@ use super::{fan_dataset, fan_params as p, Scale};
 use crate::methods::MethodSpec;
 use crate::report::{fmt_delay, Table};
 use crate::runner::{run_method, RunOptions, RunResult};
-use rayon::prelude::*;
 use seqdrift_datasets::fan::FanScenario;
 
 /// Window sizes of the paper's Table 3.
@@ -28,24 +27,18 @@ pub const SCENARIOS: [FanScenario; 3] = [
 /// Runs the full window x scenario grid; result\[w\]\[s\] is the run for
 /// `WINDOWS[w]` on `SCENARIOS[s]`.
 pub fn run_grid(scale: Scale, seed: u64) -> Vec<Vec<RunResult>> {
-    let datasets: Vec<_> = SCENARIOS
-        .iter()
-        .map(|&s| fan_dataset(s, scale))
-        .collect();
+    let datasets: Vec<_> = SCENARIOS.iter().map(|&s| fan_dataset(s, scale)).collect();
     let opts = RunOptions {
         hidden: p::HIDDEN,
         seed,
         accuracy_window: 100,
     };
-    WINDOWS
-        .par_iter()
-        .map(|&w| {
-            datasets
-                .iter()
-                .map(|d| run_method(&MethodSpec::Proposed { window: w }, d, &opts))
-                .collect()
-        })
-        .collect()
+    crate::par::par_map(&WINDOWS, |&w| {
+        datasets
+            .iter()
+            .map(|d| run_method(&MethodSpec::Proposed { window: w }, d, &opts))
+            .collect()
+    })
 }
 
 /// Builds Table 3.

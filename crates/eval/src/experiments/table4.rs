@@ -16,11 +16,9 @@ use seqdrift_oselm::{MultiInstanceModel, OsElmConfig};
 pub fn memory_reports(scale: Scale) -> Vec<MemoryReport> {
     let dataset = fan_dataset(FanScenario::Sudden, scale);
     let model = {
-        let mut m = MultiInstanceModel::new(
-            dataset.classes,
-            OsElmConfig::new(dataset.dim(), p::HIDDEN),
-        )
-        .expect("model");
+        let mut m =
+            MultiInstanceModel::new(dataset.classes, OsElmConfig::new(dataset.dim(), p::HIDDEN))
+                .expect("model");
         for (label, bucket) in dataset.train_by_class().iter().enumerate() {
             m.init_train_class(label, bucket).expect("train");
         }
@@ -33,7 +31,9 @@ pub fn memory_reports(scale: Scale) -> Vec<MemoryReport> {
             batch: p::QT_BATCH,
             bins: p::QT_BINS,
         },
-        MethodSpec::Spll { batch: p::SPLL_BATCH },
+        MethodSpec::Spll {
+            batch: p::SPLL_BATCH,
+        },
         MethodSpec::Proposed { window: 50 },
     ];
     specs
@@ -106,7 +106,11 @@ mod tests {
         // Headline claims: proposed reduces memory by ~88.9% vs QT and
         // ~96.4% vs SPLL; with the same batch sizes the reductions land in
         // the same bands.
-        assert!(1.0 - proposed / qt > 0.8, "qt reduction {}", 1.0 - proposed / qt);
+        assert!(
+            1.0 - proposed / qt > 0.8,
+            "qt reduction {}",
+            1.0 - proposed / qt
+        );
         assert!(
             1.0 - proposed / spll > 0.9,
             "spll reduction {}",

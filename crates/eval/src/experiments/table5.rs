@@ -23,7 +23,12 @@ pub fn method_specs() -> Vec<(&'static str, MethodSpec)> {
                 bins: p::QT_BINS,
             },
         ),
-        ("SPLL", MethodSpec::Spll { batch: p::SPLL_BATCH }),
+        (
+            "SPLL",
+            MethodSpec::Spll {
+                batch: p::SPLL_BATCH,
+            },
+        ),
         (
             "Baseline (no concept drift detection)",
             MethodSpec::BaselineNoDetect,
@@ -99,10 +104,7 @@ mod tests {
         let proposed_ratio = proposed_over_baseline[1];
         // SPLL pays per-sample Mahalanobis against k clusters plus k-means
         // refits; it must be clearly slower than the bare baseline.
-        assert!(
-            spll_ratio > 1.2,
-            "SPLL only {spll_ratio:.2}x over baseline"
-        );
+        assert!(spll_ratio > 1.2, "SPLL only {spll_ratio:.2}x over baseline");
         // The proposed detection adds bounded overhead (paper: +42.9%
         // over baseline; allow slack for host noise).
         assert!(

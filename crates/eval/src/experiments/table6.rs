@@ -161,15 +161,10 @@ pub fn run(_scale: super::Scale) -> Vec<Table> {
     );
     for (m, op) in measurements.iter().zip(TABLE6_OPS.iter()) {
         debug_assert_eq!(m.label, op.label());
-        let flop_ms = seqdrift_edgesim::project_op(
-            *op,
-            CLASSES as u64,
-            DIM as u64,
-            HIDDEN as u64,
-            &PICO,
-        )
-        .as_secs_f64()
-            * 1e3;
+        let flop_ms =
+            seqdrift_edgesim::project_op(*op, CLASSES as u64, DIM as u64, HIDDEN as u64, &PICO)
+                .as_secs_f64()
+                * 1e3;
         t.push_row(vec![
             m.label.clone(),
             format!("{:.1}", m.host.as_secs_f64() * 1e6),
@@ -243,9 +238,7 @@ mod tests {
                     .host
                     .as_secs_f64()
             };
-            ratios.push(
-                get("with label prediction") / get("without label prediction"),
-            );
+            ratios.push(get("with label prediction") / get("without label prediction"));
         }
         ratios.sort_by(|a, b| a.partial_cmp(b).unwrap());
         assert!(

@@ -14,7 +14,7 @@
 //! * [`metrics`] — windowed/overall accuracy (with label-permutation
 //!   tolerance after unsupervised reconstruction), detection delay, false
 //!   positives;
-//! * [`sweep`] — rayon-parallel parameter sweeps (windows x scenarios x
+//! * [`sweep`] — thread-parallel parameter sweeps (windows x scenarios x
 //!   seeds);
 //! * [`report`] — markdown / CSV rendering of result tables;
 //! * [`experiments`] — one module per paper artefact (fig1, fig4,
@@ -24,6 +24,7 @@
 pub mod experiments;
 pub mod methods;
 pub mod metrics;
+pub mod par;
 pub mod report;
 pub mod runner;
 pub mod sweep;

@@ -16,7 +16,6 @@
 //! of the proposed method's sequential reconstruction — both are
 //! label-free.
 
-use serde::{Deserialize, Serialize};
 use seqdrift_baselines::kmeans::KMeans;
 use seqdrift_baselines::quanttree::{QuantTree, QuantTreeConfig};
 use seqdrift_baselines::spll::{Spll, SpllConfig};
@@ -56,7 +55,6 @@ pub trait OnlineMethod {
 }
 
 /// Declarative method selector used by experiments and sweeps.
-#[derive(Serialize, Deserialize)]
 #[derive(Debug, Clone, PartialEq)]
 pub enum MethodSpec {
     /// Proposed sequential detector with the given window size.
@@ -101,12 +99,7 @@ impl MethodSpec {
     /// model on the dataset's initial training split and calibrates the
     /// detector. `hidden` is the OS-ELM hidden width (paper: 22);
     /// `seed` controls weight init and detector randomness.
-    pub fn build(
-        &self,
-        dataset: &DriftDataset,
-        hidden: usize,
-        seed: u64,
-    ) -> Box<dyn OnlineMethod> {
+    pub fn build(&self, dataset: &DriftDataset, hidden: usize, seed: u64) -> Box<dyn OnlineMethod> {
         let dim = dataset.dim();
         let classes = dataset.classes;
         let cfg = OsElmConfig::new(dim, hidden).with_seed(seed);
@@ -122,8 +115,7 @@ impl MethodSpec {
             }
             model
         };
-        let train_rows: Vec<Vec<Real>> =
-            dataset.train.iter().map(|s| s.x.clone()).collect();
+        let train_rows: Vec<Vec<Real>> = dataset.train.iter().map(|s| s.x.clone()).collect();
 
         match self {
             MethodSpec::Proposed { window } => {
@@ -196,8 +188,7 @@ impl MethodSpec {
                 })
             }
             MethodSpec::Onlad { forgetting } => {
-                let mut onlad =
-                    Onlad::new(classes, cfg, *forgetting).expect("valid onlad config");
+                let mut onlad = Onlad::new(classes, cfg, *forgetting).expect("valid onlad config");
                 for (label, bucket) in by_class.iter().enumerate() {
                     onlad
                         .init_train_class(label, bucket)
@@ -590,7 +581,10 @@ mod tests {
             MethodSpec::Proposed { window: 100 }.name(),
             "Proposed method (Window size = 100)"
         );
-        assert_eq!(MethodSpec::QuantTree { batch: 1, bins: 2 }.name(), "Quant Tree");
+        assert_eq!(
+            MethodSpec::QuantTree { batch: 1, bins: 2 }.name(),
+            "Quant Tree"
+        );
         assert_eq!(MethodSpec::Spll { batch: 1 }.name(), "SPLL");
         assert_eq!(MethodSpec::Onlad { forgetting: 0.9 }.name(), "ONLAD");
     }

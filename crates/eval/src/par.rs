@@ -1,0 +1,66 @@
+//! Minimal scoped-thread parallel map.
+//!
+//! The workspace builds offline with no external crates, so the experiment
+//! grid parallelism that used to come from rayon is provided by this one
+//! function: each worker takes a contiguous block of the input and fills
+//! disjoint output slots, so results come back in input order without any
+//! locking and independent of the worker count.
+
+/// Applies `f` to every item across scoped threads; results are returned in
+/// input order. Falls back to a single worker when the host reports no
+/// parallelism.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(items.len().max(1));
+    let mut out: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    let f = &f;
+    std::thread::scope(|s| {
+        let mut rest: &mut [Option<R>] = &mut out;
+        let mut offset = 0;
+        for w in 0..workers {
+            // Contiguous block per worker; sizes differ by at most one.
+            let len = (items.len() - offset) / (workers - w);
+            let (block, tail) = rest.split_at_mut(len);
+            rest = tail;
+            let start = offset;
+            offset += len;
+            s.spawn(move || {
+                for (i, slot) in block.iter_mut().enumerate() {
+                    *slot = Some(f(&items[start + i]));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|r| r.expect("worker filled slot"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order_and_covers_all() {
+        let xs: Vec<usize> = (0..103).collect();
+        let ys = par_map(&xs, |&x| x * 2);
+        assert_eq!(ys.len(), xs.len());
+        for (i, y) in ys.iter().enumerate() {
+            assert_eq!(*y, i * 2);
+        }
+    }
+
+    #[test]
+    fn handles_empty_and_single() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(&empty, |&x| x).is_empty());
+        assert_eq!(par_map(&[7u32], |&x| x + 1), vec![8]);
+    }
+}

@@ -1,14 +1,12 @@
 //! Drives one method over one dataset and collects everything the paper's
 //! tables report.
 
-use serde::{Deserialize, Serialize};
 use crate::methods::{MethodSpec, OnlineMethod};
 use crate::metrics;
 use seqdrift_datasets::DriftDataset;
 use std::time::{Duration, Instant};
 
 /// Options for a run.
-#[derive(Serialize, Deserialize)]
 #[derive(Debug, Clone)]
 pub struct RunOptions {
     /// OS-ELM hidden width (paper: 22).
@@ -30,7 +28,6 @@ impl Default for RunOptions {
 }
 
 /// Everything measured in one run.
-#[derive(Serialize, Deserialize)]
 #[derive(Debug, Clone)]
 pub struct RunResult {
     /// Method display name.

@@ -1,13 +1,13 @@
-//! Rayon-parallel parameter sweeps.
+//! Thread-parallel parameter sweeps.
 //!
-//! Every (method-spec, dataset, seed) run is independent, so sweeps map
-//! onto `par_iter` directly — the hpc-parallel idiom for this workspace.
-//! The algorithms under test stay strictly sequential inside each run; only
-//! the *experiment grid* parallelises.
+//! Every (method-spec, dataset, seed) run is independent, so sweeps fan
+//! out over scoped std threads via [`crate::par::par_map`]. The algorithms
+//! under test stay strictly sequential inside each run; only the
+//! *experiment grid* parallelises.
 
 use crate::methods::MethodSpec;
+use crate::par::par_map;
 use crate::runner::{run_method, RunOptions, RunResult};
-use rayon::prelude::*;
 use seqdrift_datasets::DriftDataset;
 
 /// One sweep cell: a method on a dataset with a seed.
@@ -27,16 +27,13 @@ pub fn run_sweep(
     datasets: &[DriftDataset],
     base_opts: &RunOptions,
 ) -> Vec<RunResult> {
-    cells
-        .par_iter()
-        .map(|cell| {
-            let opts = RunOptions {
-                seed: cell.seed,
-                ..base_opts.clone()
-            };
-            run_method(&cell.spec, &datasets[cell.dataset_idx], &opts)
-        })
-        .collect()
+    par_map(cells, |cell| {
+        let opts = RunOptions {
+            seed: cell.seed,
+            ..base_opts.clone()
+        };
+        run_method(&cell.spec, &datasets[cell.dataset_idx], &opts)
+    })
 }
 
 /// Convenience grid builder: every spec x every dataset x every seed.
@@ -63,7 +60,10 @@ mod tests {
 
     #[test]
     fn grid_enumerates_cross_product() {
-        let specs = vec![MethodSpec::BaselineNoDetect, MethodSpec::Proposed { window: 10 }];
+        let specs = vec![
+            MethodSpec::BaselineNoDetect,
+            MethodSpec::Proposed { window: 10 },
+        ];
         let cells = grid(&specs, 3, &[1, 2]);
         assert_eq!(cells.len(), 2 * 3 * 2);
         assert_eq!(cells[0].dataset_idx, 0);

@@ -1,0 +1,683 @@
+//! The fleet engine: sharded worker threads, bounded ingress queues,
+//! session routing, and deterministic shutdown.
+//!
+//! Every session is pinned to shard `session_id % workers`; a shard's queue
+//! is FIFO, so each session sees its samples in exactly the order they were
+//! fed no matter how many shards the engine runs — per-session behaviour is
+//! reproducible across 1, 2 or 8 workers. Control operations (create,
+//! snapshot, evict) travel through the same queue as samples, so a snapshot
+//! observes every sample fed before it.
+
+use crate::metrics::{FleetMetrics, MetricsSnapshot, QueueDepth};
+use seqdrift_core::pipeline::PipelineEvent;
+use seqdrift_core::{CoreError, DriftPipeline};
+use seqdrift_linalg::Real;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+
+/// Identifies one device stream inside the fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SessionId(pub u64);
+
+impl std::fmt::Display for SessionId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "session-{}", self.0)
+    }
+}
+
+/// Fleet-level failures.
+#[derive(Debug)]
+pub enum FleetError {
+    /// The session id is not registered with the engine.
+    UnknownSession(SessionId),
+    /// A session with this id already exists.
+    DuplicateSession(SessionId),
+    /// Bad engine configuration.
+    InvalidConfig(&'static str),
+    /// An error bubbled up from the pipeline (e.g. a mid-reconstruction
+    /// snapshot refusal, or a corrupt restore blob).
+    Core(CoreError),
+    /// The engine's workers are gone (shutdown raced the call).
+    Disconnected,
+}
+
+impl std::fmt::Display for FleetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FleetError::UnknownSession(id) => write!(f, "unknown {id}"),
+            FleetError::DuplicateSession(id) => write!(f, "{id} already exists"),
+            FleetError::InvalidConfig(msg) => write!(f, "invalid fleet config: {msg}"),
+            FleetError::Core(e) => write!(f, "pipeline error: {e}"),
+            FleetError::Disconnected => write!(f, "fleet workers disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {}
+
+impl From<CoreError> for FleetError {
+    fn from(e: CoreError) -> Self {
+        FleetError::Core(e)
+    }
+}
+
+/// Reply of a non-blocking [`FleetEngine::feed`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FeedReply {
+    /// The sample was queued on the session's shard.
+    Enqueued,
+    /// The shard's bounded queue is full; the sample was NOT queued. The
+    /// caller decides whether to retry, drop, or shed the device.
+    Busy,
+    /// No such session; the sample was NOT queued.
+    UnknownSession,
+}
+
+/// Engine construction parameters.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Worker threads (= shards). Each session is pinned to
+    /// `session_id % workers`.
+    pub workers: usize,
+    /// Bound of each shard's ingress queue, in messages. When a shard's
+    /// queue is full, `feed` returns [`FeedReply::Busy`].
+    pub queue_capacity: usize,
+}
+
+impl FleetConfig {
+    /// A config with the given worker count and the default queue bound
+    /// (256 messages per shard).
+    pub fn new(workers: usize) -> Self {
+        FleetConfig {
+            workers,
+            queue_capacity: 256,
+        }
+    }
+
+    /// Overrides the per-shard queue bound.
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity;
+        self
+    }
+}
+
+/// What a worker can be asked to do. Control messages carry a reply channel
+/// so callers observe completion; samples are fire-and-forget.
+enum ShardMsg {
+    Create {
+        id: u64,
+        pipeline: Box<DriftPipeline>,
+        reply: Sender<Result<(), FleetError>>,
+    },
+    Feed {
+        id: u64,
+        sample: Vec<Real>,
+    },
+    Snapshot {
+        id: u64,
+        reply: Sender<Result<Vec<u8>, FleetError>>,
+    },
+    Evict {
+        id: u64,
+        reply: Sender<Result<Box<DriftPipeline>, FleetError>>,
+    },
+}
+
+struct Shard {
+    /// `None` once shutdown has begun; dropping the sender is what tells
+    /// the worker to drain and exit.
+    tx: Option<SyncSender<ShardMsg>>,
+    depth: Arc<QueueDepth>,
+    handle: Option<JoinHandle<Vec<(SessionId, DriftPipeline)>>>,
+}
+
+/// Everything the engine hands back on [`FleetEngine::shutdown`].
+#[derive(Debug)]
+pub struct ShutdownReport {
+    /// Final state of every session, sorted by id.
+    pub sessions: Vec<(SessionId, DriftPipeline)>,
+    /// Events that had not been drained before shutdown.
+    pub events: Vec<(SessionId, PipelineEvent)>,
+    /// Final aggregate counters.
+    pub metrics: MetricsSnapshot,
+}
+
+/// The multi-tenant fleet engine. See the crate docs for the contract.
+pub struct FleetEngine {
+    shards: Vec<Shard>,
+    /// Routing cache of live session ids; the per-shard session maps are
+    /// authoritative. Updated only after a worker acknowledges.
+    registry: RwLock<HashSet<u64>>,
+    metrics: Arc<FleetMetrics>,
+    events: Arc<Mutex<Vec<(SessionId, PipelineEvent)>>>,
+}
+
+impl FleetEngine {
+    /// Spawns the worker pool.
+    pub fn new(cfg: FleetConfig) -> Result<FleetEngine, FleetError> {
+        if cfg.workers == 0 {
+            return Err(FleetError::InvalidConfig("workers must be positive"));
+        }
+        if cfg.queue_capacity == 0 {
+            return Err(FleetError::InvalidConfig("queue_capacity must be positive"));
+        }
+        let metrics = Arc::new(FleetMetrics::default());
+        let events = Arc::new(Mutex::new(Vec::new()));
+        let mut shards = Vec::with_capacity(cfg.workers);
+        for _ in 0..cfg.workers {
+            let (tx, rx) = sync_channel(cfg.queue_capacity);
+            let depth = Arc::new(QueueDepth::default());
+            let handle = {
+                let depth = Arc::clone(&depth);
+                let metrics = Arc::clone(&metrics);
+                let events = Arc::clone(&events);
+                std::thread::spawn(move || worker_loop(rx, depth, metrics, events))
+            };
+            shards.push(Shard {
+                tx: Some(tx),
+                depth,
+                handle: Some(handle),
+            });
+        }
+        Ok(FleetEngine {
+            shards,
+            registry: RwLock::new(HashSet::new()),
+            metrics,
+            events,
+        })
+    }
+
+    /// Number of shards / worker threads.
+    pub fn workers(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Current number of live sessions.
+    pub fn session_count(&self) -> usize {
+        self.registry.read().expect("registry lock").len()
+    }
+
+    fn shard_of(&self, id: SessionId) -> &Shard {
+        &self.shards[(id.0 % self.shards.len() as u64) as usize]
+    }
+
+    /// Sends a control message, blocking if the shard queue is full (control
+    /// operations are rare and must not be droppable).
+    fn control_send(&self, id: SessionId, msg: ShardMsg) -> Result<(), FleetError> {
+        let shard = self.shard_of(id);
+        let tx = shard.tx.as_ref().ok_or(FleetError::Disconnected)?;
+        shard.depth.inc();
+        tx.send(msg).map_err(|_| {
+            shard.depth.dec();
+            FleetError::Disconnected
+        })
+    }
+
+    /// Installs a calibrated pipeline as a new session. Blocks until the
+    /// owning worker acknowledges, so a `feed` issued after `create`
+    /// returns is guaranteed to find the session. Any events still queued
+    /// inside the pipeline are discarded: the fleet log covers a session's
+    /// life *inside* the fleet, and the caller had full access to
+    /// `events()` before handing the pipeline over.
+    pub fn create(&self, id: SessionId, pipeline: DriftPipeline) -> Result<(), FleetError> {
+        if self.registry.read().expect("registry lock").contains(&id.0) {
+            return Err(FleetError::DuplicateSession(id));
+        }
+        let (reply, rx) = channel();
+        self.control_send(
+            id,
+            ShardMsg::Create {
+                id: id.0,
+                pipeline: Box::new(pipeline),
+                reply,
+            },
+        )?;
+        rx.recv().map_err(|_| FleetError::Disconnected)??;
+        self.registry.write().expect("registry lock").insert(id.0);
+        Ok(())
+    }
+
+    /// Restores a session from a `seqdrift_core::persist` checkpoint blob —
+    /// the reboot-recovery path, fleet edition.
+    pub fn create_from_bytes(&self, id: SessionId, blob: &[u8]) -> Result<(), FleetError> {
+        let pipeline = DriftPipeline::from_bytes(blob)?;
+        self.create(id, pipeline)
+    }
+
+    fn try_feed(&self, id: SessionId, sample: &[Real], count_busy: bool) -> FeedReply {
+        if !self.registry.read().expect("registry lock").contains(&id.0) {
+            return FeedReply::UnknownSession;
+        }
+        let shard = self.shard_of(id);
+        let Some(tx) = shard.tx.as_ref() else {
+            return FeedReply::Busy;
+        };
+        shard.depth.inc();
+        match tx.try_send(ShardMsg::Feed {
+            id: id.0,
+            sample: sample.to_vec(),
+        }) {
+            Ok(()) => FeedReply::Enqueued,
+            Err(TrySendError::Full(_)) => {
+                shard.depth.dec();
+                if count_busy {
+                    self.metrics.busy_rejections.fetch_add(1, Ordering::Relaxed);
+                }
+                FeedReply::Busy
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                shard.depth.dec();
+                FeedReply::Busy
+            }
+        }
+    }
+
+    /// Queues one sample for a session without blocking. A full shard queue
+    /// returns [`FeedReply::Busy`] — the engine never buffers unboundedly;
+    /// slow consumers surface as explicit backpressure.
+    pub fn feed(&self, id: SessionId, sample: &[Real]) -> FeedReply {
+        self.try_feed(id, sample, true)
+    }
+
+    /// Cooperative blocking feed: retries a `Busy` shard (yielding between
+    /// attempts) until the sample is queued. Used by replay-style callers
+    /// that prefer throttling over dropping; live ingest paths should call
+    /// [`FleetEngine::feed`] and shed load instead. `Busy` spins here are
+    /// not counted in `busy_rejections`.
+    pub fn feed_blocking(&self, id: SessionId, sample: &[Real]) -> Result<(), FleetError> {
+        loop {
+            match self.try_feed(id, sample, false) {
+                FeedReply::Enqueued => return Ok(()),
+                FeedReply::Busy => std::thread::yield_now(),
+                FeedReply::UnknownSession => return Err(FleetError::UnknownSession(id)),
+            }
+        }
+    }
+
+    /// Checkpoints a session through the `seqdrift_core::persist` wire
+    /// format. The request travels the same FIFO as samples, so the blob
+    /// reflects every sample fed before this call. Mid-reconstruction
+    /// sessions refuse to checkpoint (the persist contract); the error
+    /// comes back as [`FleetError::Core`].
+    pub fn snapshot(&self, id: SessionId) -> Result<Vec<u8>, FleetError> {
+        if !self.registry.read().expect("registry lock").contains(&id.0) {
+            return Err(FleetError::UnknownSession(id));
+        }
+        let (reply, rx) = channel();
+        self.control_send(id, ShardMsg::Snapshot { id: id.0, reply })?;
+        rx.recv().map_err(|_| FleetError::Disconnected)?
+    }
+
+    /// Removes a session and returns its live pipeline (with any samples
+    /// fed before the call already applied).
+    pub fn evict(&self, id: SessionId) -> Result<DriftPipeline, FleetError> {
+        if !self.registry.read().expect("registry lock").contains(&id.0) {
+            return Err(FleetError::UnknownSession(id));
+        }
+        let (reply, rx) = channel();
+        self.control_send(id, ShardMsg::Evict { id: id.0, reply })?;
+        let pipeline = rx.recv().map_err(|_| FleetError::Disconnected)??;
+        self.registry.write().expect("registry lock").remove(&id.0);
+        Ok(*pipeline)
+    }
+
+    /// Point-in-time aggregate counters plus per-shard queue depths.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let depths = self.shards.iter().map(|s| s.depth.get()).collect();
+        self.metrics.snapshot(depths)
+    }
+
+    /// Removes and returns the `(session, event)` log accumulated since the
+    /// last drain. The global interleaving across sessions follows worker
+    /// completion order; each session's own subsequence is in stream order.
+    pub fn drain_events(&self) -> Vec<(SessionId, PipelineEvent)> {
+        std::mem::take(&mut *self.events.lock().expect("events lock"))
+    }
+
+    /// Drains every queue, joins the workers, and returns each session's
+    /// final state (sorted by id), the undrained events, and the final
+    /// counters. All samples fed before this call are applied before the
+    /// report is built.
+    pub fn shutdown(mut self) -> ShutdownReport {
+        let mut shards = std::mem::take(&mut self.shards);
+        // Drop every sender first so all workers drain concurrently...
+        for shard in &mut shards {
+            shard.tx = None;
+        }
+        // ...then join and merge their final session maps.
+        let mut sessions = Vec::new();
+        for shard in &mut shards {
+            if let Some(handle) = shard.handle.take() {
+                sessions.extend(handle.join().expect("fleet worker panicked"));
+            }
+        }
+        sessions.sort_by_key(|(id, _)| *id);
+        let events = std::mem::take(&mut *self.events.lock().expect("events lock"));
+        let metrics = self
+            .metrics
+            .snapshot(shards.iter().map(|s| s.depth.get()).collect());
+        ShutdownReport {
+            sessions,
+            events,
+            metrics,
+        }
+    }
+}
+
+impl Drop for FleetEngine {
+    /// Dropping without [`FleetEngine::shutdown`] still drains and joins the
+    /// workers (final states are discarded).
+    fn drop(&mut self) {
+        for shard in &mut self.shards {
+            shard.tx = None;
+        }
+        for shard in &mut self.shards {
+            if let Some(handle) = shard.handle.take() {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+/// One shard's event loop. Exits (after draining the queue) when the engine
+/// drops the sending side.
+fn worker_loop(
+    rx: Receiver<ShardMsg>,
+    depth: Arc<QueueDepth>,
+    metrics: Arc<FleetMetrics>,
+    events: Arc<Mutex<Vec<(SessionId, PipelineEvent)>>>,
+) -> Vec<(SessionId, DriftPipeline)> {
+    let mut sessions: HashMap<u64, DriftPipeline> = HashMap::new();
+    while let Ok(msg) = rx.recv() {
+        depth.dec();
+        match msg {
+            ShardMsg::Create {
+                id,
+                mut pipeline,
+                reply,
+            } => {
+                let result =
+                    if let std::collections::hash_map::Entry::Vacant(e) = sessions.entry(id) {
+                        pipeline.drain_events();
+                        e.insert(*pipeline);
+                        metrics.sessions.fetch_add(1, Ordering::Relaxed);
+                        Ok(())
+                    } else {
+                        Err(FleetError::DuplicateSession(SessionId(id)))
+                    };
+                let _ = reply.send(result);
+            }
+            ShardMsg::Feed { id, sample } => {
+                let Some(pipeline) = sessions.get_mut(&id) else {
+                    metrics.samples_dropped.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                };
+                match pipeline.process(&sample) {
+                    Ok(_) => {
+                        metrics.samples_processed.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(_) => {
+                        // A bad sample (e.g. NaN from a faulty sensor) drops;
+                        // the session itself stays healthy.
+                        metrics.samples_dropped.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                let fresh = pipeline.drain_events();
+                if !fresh.is_empty() {
+                    for e in &fresh {
+                        match e {
+                            PipelineEvent::DriftDetected { .. } => {
+                                metrics.drifts_flagged.fetch_add(1, Ordering::Relaxed);
+                            }
+                            PipelineEvent::Reconstructed { .. } => {
+                                metrics
+                                    .reconstructions_completed
+                                    .fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                    let mut log = events.lock().expect("events lock");
+                    log.extend(fresh.into_iter().map(|e| (SessionId(id), e)));
+                }
+            }
+            ShardMsg::Snapshot { id, reply } => {
+                let result = match sessions.get(&id) {
+                    Some(pipeline) => pipeline.to_bytes().map_err(FleetError::Core),
+                    None => Err(FleetError::UnknownSession(SessionId(id))),
+                };
+                let _ = reply.send(result);
+            }
+            ShardMsg::Evict { id, reply } => {
+                let result = match sessions.remove(&id) {
+                    Some(pipeline) => {
+                        metrics.sessions.fetch_sub(1, Ordering::Relaxed);
+                        Ok(Box::new(pipeline))
+                    }
+                    None => Err(FleetError::UnknownSession(SessionId(id))),
+                };
+                let _ = reply.send(result);
+            }
+        }
+    }
+    let mut out: Vec<(SessionId, DriftPipeline)> = sessions
+        .into_iter()
+        .map(|(id, p)| (SessionId(id), p))
+        .collect();
+    out.sort_by_key(|(id, _)| *id);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqdrift_core::DetectorConfig;
+    use seqdrift_linalg::Rng;
+    use seqdrift_oselm::{MultiInstanceModel, OsElmConfig};
+
+    const DIM: usize = 4;
+
+    fn calibrated_pipeline(seed: u64) -> DriftPipeline {
+        let mut rng = Rng::seed_from(seed);
+        let class0: Vec<Vec<Real>> = (0..80)
+            .map(|_| {
+                let mut x = vec![0.0; DIM];
+                rng.fill_normal(&mut x, 0.2, 0.05);
+                x
+            })
+            .collect();
+        let class1: Vec<Vec<Real>> = (0..80)
+            .map(|_| {
+                let mut x = vec![0.0; DIM];
+                rng.fill_normal(&mut x, 0.8, 0.05);
+                x
+            })
+            .collect();
+        let mut model =
+            MultiInstanceModel::new(2, OsElmConfig::new(DIM, 3).with_seed(seed)).unwrap();
+        model.init_train_class(0, &class0).unwrap();
+        model.init_train_class(1, &class1).unwrap();
+        let train: Vec<(usize, &[Real])> = class0
+            .iter()
+            .map(|x| (0usize, x.as_slice()))
+            .chain(class1.iter().map(|x| (1usize, x.as_slice())))
+            .collect();
+        DriftPipeline::calibrate(model, DetectorConfig::new(2, DIM).with_window(16), &train)
+            .unwrap()
+    }
+
+    fn sample(rng: &mut Rng, mean: Real) -> Vec<Real> {
+        let mut x = vec![0.0; DIM];
+        rng.fill_normal(&mut x, mean, 0.05);
+        x
+    }
+
+    #[test]
+    fn lifecycle_create_feed_snapshot_evict() {
+        let fleet = FleetEngine::new(FleetConfig::new(2)).unwrap();
+        fleet.create(SessionId(1), calibrated_pipeline(1)).unwrap();
+        assert_eq!(fleet.session_count(), 1);
+
+        let mut rng = Rng::seed_from(9);
+        for _ in 0..25 {
+            fleet
+                .feed_blocking(SessionId(1), &sample(&mut rng, 0.2))
+                .unwrap();
+        }
+        let blob = fleet.snapshot(SessionId(1)).unwrap();
+        let restored = DriftPipeline::from_bytes(&blob).unwrap();
+        assert_eq!(restored.samples_processed(), 25);
+
+        let evicted = fleet.evict(SessionId(1)).unwrap();
+        assert_eq!(evicted.samples_processed(), 25);
+        assert_eq!(fleet.session_count(), 0);
+        assert!(matches!(
+            fleet.evict(SessionId(1)),
+            Err(FleetError::UnknownSession(_))
+        ));
+    }
+
+    #[test]
+    fn snapshot_roundtrips_into_new_session() {
+        let fleet = FleetEngine::new(FleetConfig::new(2)).unwrap();
+        fleet.create(SessionId(0), calibrated_pipeline(2)).unwrap();
+        let mut rng = Rng::seed_from(3);
+        for _ in 0..10 {
+            fleet
+                .feed_blocking(SessionId(0), &sample(&mut rng, 0.2))
+                .unwrap();
+        }
+        let blob = fleet.snapshot(SessionId(0)).unwrap();
+        fleet.create_from_bytes(SessionId(7), &blob).unwrap();
+        assert_eq!(fleet.session_count(), 2);
+        let report = fleet.shutdown();
+        assert_eq!(report.sessions.len(), 2);
+        // The clone resumed from the original's counter.
+        assert_eq!(report.sessions[0].1.samples_processed(), 10);
+        assert_eq!(report.sessions[1].1.samples_processed(), 10);
+    }
+
+    #[test]
+    fn duplicate_and_unknown_sessions_are_rejected() {
+        let fleet = FleetEngine::new(FleetConfig::new(1)).unwrap();
+        fleet.create(SessionId(4), calibrated_pipeline(4)).unwrap();
+        assert!(matches!(
+            fleet.create(SessionId(4), calibrated_pipeline(5)),
+            Err(FleetError::DuplicateSession(_))
+        ));
+        assert_eq!(
+            fleet.feed(SessionId(99), &[0.0; DIM]),
+            FeedReply::UnknownSession
+        );
+        assert!(matches!(
+            fleet.snapshot(SessionId(99)),
+            Err(FleetError::UnknownSession(_))
+        ));
+    }
+
+    #[test]
+    fn full_queue_returns_busy_not_unbounded_growth() {
+        // Capacity 2 on a single shard; the worker is kept busy by stuffing
+        // the queue faster than it drains. We must observe at least one
+        // Busy, and the queue depth must never exceed the bound.
+        let fleet = FleetEngine::new(FleetConfig::new(1).with_queue_capacity(2)).unwrap();
+        fleet.create(SessionId(0), calibrated_pipeline(6)).unwrap();
+        let mut rng = Rng::seed_from(11);
+        let mut busy = 0;
+        let mut enqueued = 0;
+        for _ in 0..5_000 {
+            match fleet.feed(SessionId(0), &sample(&mut rng, 0.2)) {
+                FeedReply::Enqueued => enqueued += 1,
+                FeedReply::Busy => busy += 1,
+                FeedReply::UnknownSession => unreachable!(),
+            }
+            assert!(fleet.metrics().queue_depths[0] <= 2);
+        }
+        assert!(busy > 0, "never saw backpressure ({enqueued} enqueued)");
+        let m = fleet.metrics();
+        assert_eq!(m.busy_rejections, busy as u64);
+        let report = fleet.shutdown();
+        assert_eq!(report.metrics.samples_processed, enqueued as u64);
+    }
+
+    #[test]
+    fn metrics_and_events_track_drift() {
+        let fleet = FleetEngine::new(FleetConfig::new(2)).unwrap();
+        for dev in 0..4u64 {
+            fleet
+                .create(SessionId(dev), calibrated_pipeline(7))
+                .unwrap();
+        }
+        let mut rng = Rng::seed_from(13);
+        // Stable for everyone, then device 2 drifts hard.
+        for _ in 0..60 {
+            for dev in 0..4u64 {
+                let x = sample(&mut rng, if dev % 2 == 0 { 0.2 } else { 0.8 });
+                fleet.feed_blocking(SessionId(dev), &x).unwrap();
+            }
+        }
+        for _ in 0..600 {
+            fleet
+                .feed_blocking(SessionId(2), &sample(&mut rng, 1.6))
+                .unwrap();
+        }
+        let report = fleet.shutdown();
+        assert!(report.metrics.drifts_flagged >= 1, "{:?}", report.metrics);
+        assert!(
+            report
+                .events
+                .iter()
+                .any(|(id, e)| *id == SessionId(2)
+                    && matches!(e, PipelineEvent::DriftDetected { .. })),
+            "drift not attributed to the drifting device"
+        );
+        // Devices that stayed stable flagged nothing.
+        assert!(report.events.iter().all(|(id, _)| *id == SessionId(2)));
+        assert_eq!(report.metrics.samples_processed, 4 * 60 + 600);
+    }
+
+    #[test]
+    fn shutdown_drains_pending_samples() {
+        let fleet = FleetEngine::new(FleetConfig::new(1).with_queue_capacity(512)).unwrap();
+        fleet.create(SessionId(0), calibrated_pipeline(8)).unwrap();
+        let mut rng = Rng::seed_from(17);
+        let mut fed = 0u64;
+        for _ in 0..200 {
+            if fleet.feed(SessionId(0), &sample(&mut rng, 0.2)) == FeedReply::Enqueued {
+                fed += 1;
+            }
+        }
+        // Shut down immediately: everything queued must still be applied.
+        let report = fleet.shutdown();
+        assert_eq!(report.metrics.samples_processed, fed);
+        assert_eq!(report.sessions[0].1.samples_processed(), fed);
+    }
+
+    #[test]
+    fn rejects_degenerate_configs() {
+        assert!(FleetEngine::new(FleetConfig::new(0)).is_err());
+        assert!(FleetEngine::new(FleetConfig::new(1).with_queue_capacity(0)).is_err());
+    }
+
+    #[test]
+    fn bad_samples_drop_without_killing_the_session() {
+        let fleet = FleetEngine::new(FleetConfig::new(1)).unwrap();
+        fleet.create(SessionId(0), calibrated_pipeline(9)).unwrap();
+        let mut rng = Rng::seed_from(19);
+        fleet
+            .feed_blocking(SessionId(0), &sample(&mut rng, 0.2))
+            .unwrap();
+        fleet
+            .feed_blocking(SessionId(0), &[Real::NAN, 0.0, 0.0, 0.0])
+            .unwrap();
+        fleet
+            .feed_blocking(SessionId(0), &sample(&mut rng, 0.2))
+            .unwrap();
+        let report = fleet.shutdown();
+        assert_eq!(report.metrics.samples_processed, 2);
+        assert_eq!(report.metrics.samples_dropped, 1);
+        assert_eq!(report.sessions[0].1.samples_processed(), 2);
+    }
+}

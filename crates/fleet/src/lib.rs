@@ -1,0 +1,74 @@
+#![warn(missing_docs)]
+
+//! # seqdrift-fleet
+//!
+//! The concurrent-session layer above [`seqdrift_core::DriftPipeline`]: one
+//! gateway-class host multiplexing many independent device streams.
+//!
+//! The paper's detector is O(1)-memory and strictly sequential per stream —
+//! exactly the property that makes it cheap to run *thousands* of streams
+//! side by side. A [`FleetEngine`] owns a fixed pool of worker threads
+//! ("shards"); every session is pinned to the shard `session_id % workers`
+//! and processed in feed order, so per-session behaviour is deterministic
+//! regardless of how many workers the host runs.
+//!
+//! Built strictly on `std` (`std::thread` + bounded `std::sync::mpsc`
+//! channels): the workspace builds offline with no external crates.
+//!
+//! ## Contract
+//!
+//! * **Lifecycle** — [`FleetEngine::create`] installs a calibrated pipeline
+//!   (or [`FleetEngine::create_from_bytes`] restores one from the
+//!   `seqdrift_core::persist` wire format), [`FleetEngine::feed`] streams
+//!   samples, [`FleetEngine::snapshot`] checkpoints at quiescent points
+//!   (mid-reconstruction refusal propagates from `persist`), and
+//!   [`FleetEngine::evict`] hands the live pipeline back.
+//! * **Backpressure** — every shard has a bounded ingress queue.
+//!   [`FleetEngine::feed`] never blocks: a full queue returns
+//!   [`FeedReply::Busy`] so the caller can degrade gracefully (drop, retry,
+//!   shed load) instead of growing memory without bound.
+//! * **Observability** — [`FleetEngine::metrics`] reads lock-free aggregate
+//!   counters; [`FleetEngine::drain_events`] returns the `(session,
+//!   PipelineEvent)` log so callers can see *which* device drifted.
+//! * **Shutdown** — [`FleetEngine::shutdown`] drains every queue, joins the
+//!   workers, and returns each session's final pipeline.
+//!
+//! ## Example
+//!
+//! ```
+//! use seqdrift_fleet::{FeedReply, FleetConfig, FleetEngine, SessionId};
+//! use seqdrift_core::{DetectorConfig, DriftPipeline};
+//! use seqdrift_linalg::{Real, Rng};
+//! use seqdrift_oselm::{MultiInstanceModel, OsElmConfig};
+//!
+//! // Calibrate one pipeline and replicate it across 8 simulated devices.
+//! let mut rng = Rng::seed_from(7);
+//! let blob: Vec<Vec<Real>> = (0..80).map(|_| {
+//!     let mut x = vec![0.0; 4];
+//!     rng.fill_normal(&mut x, 0.3, 0.05);
+//!     x
+//! }).collect();
+//! let mut model = MultiInstanceModel::new(1, OsElmConfig::new(4, 3).with_seed(1)).unwrap();
+//! model.init_train_class(0, &blob).unwrap();
+//! let train: Vec<(usize, &[Real])> = blob.iter().map(|x| (0, x.as_slice())).collect();
+//! let pipeline = DriftPipeline::calibrate(
+//!     model, DetectorConfig::new(1, 4).with_window(16), &train).unwrap();
+//! let bytes = pipeline.to_bytes().unwrap();
+//!
+//! let fleet = FleetEngine::new(FleetConfig::new(2)).unwrap();
+//! for dev in 0..8 {
+//!     fleet.create_from_bytes(SessionId(dev), &bytes).unwrap();
+//! }
+//! let mut x = vec![0.0; 4];
+//! rng.fill_normal(&mut x, 0.3, 0.05);
+//! assert_eq!(fleet.feed(SessionId(3), &x), FeedReply::Enqueued);
+//! let report = fleet.shutdown();
+//! assert_eq!(report.sessions.len(), 8);
+//! assert_eq!(report.metrics.samples_processed, 1);
+//! ```
+
+mod engine;
+mod metrics;
+
+pub use engine::{FeedReply, FleetConfig, FleetEngine, FleetError, SessionId, ShutdownReport};
+pub use metrics::MetricsSnapshot;

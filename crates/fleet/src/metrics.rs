@@ -1,0 +1,78 @@
+//! Lock-light fleet-wide aggregation.
+//!
+//! Workers bump plain atomic counters on their hot path; readers take a
+//! consistent-enough snapshot without stopping the world. Only the event
+//! log (rare: drifts and reconstruction completions) takes a mutex.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Shared atomic counters. Internal; read through [`MetricsSnapshot`].
+#[derive(Debug, Default)]
+pub(crate) struct FleetMetrics {
+    /// Samples fully processed by workers (not merely enqueued).
+    pub samples_processed: AtomicU64,
+    /// Drift detections flagged across all sessions.
+    pub drifts_flagged: AtomicU64,
+    /// Reconstructions completed across all sessions.
+    pub reconstructions_completed: AtomicU64,
+    /// Feeds rejected with `Busy` (queue full at the time of the call).
+    pub busy_rejections: AtomicU64,
+    /// Samples dropped by workers: fed to a session that no longer (or
+    /// never) existed on the shard, or rejected by the pipeline (e.g.
+    /// non-finite input).
+    pub samples_dropped: AtomicU64,
+    /// Live session count.
+    pub sessions: AtomicU64,
+}
+
+/// Per-shard ingress-queue depth, incremented on enqueue and decremented
+/// when the worker pops a message.
+#[derive(Debug, Default)]
+pub(crate) struct QueueDepth(AtomicUsize);
+
+impl QueueDepth {
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn dec(&self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> usize {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A point-in-time copy of the fleet's aggregate counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Samples fully processed by workers.
+    pub samples_processed: u64,
+    /// Drift detections flagged across all sessions.
+    pub drifts_flagged: u64,
+    /// Reconstructions completed across all sessions.
+    pub reconstructions_completed: u64,
+    /// Feeds rejected with `Busy`.
+    pub busy_rejections: u64,
+    /// Samples dropped (unknown session or pipeline rejection).
+    pub samples_dropped: u64,
+    /// Live session count.
+    pub sessions: u64,
+    /// Ingress-queue depth per shard at snapshot time.
+    pub queue_depths: Vec<usize>,
+}
+
+impl FleetMetrics {
+    pub fn snapshot(&self, queue_depths: Vec<usize>) -> MetricsSnapshot {
+        MetricsSnapshot {
+            samples_processed: self.samples_processed.load(Ordering::Relaxed),
+            drifts_flagged: self.drifts_flagged.load(Ordering::Relaxed),
+            reconstructions_completed: self.reconstructions_completed.load(Ordering::Relaxed),
+            busy_rejections: self.busy_rejections.load(Ordering::Relaxed),
+            samples_dropped: self.samples_dropped.load(Ordering::Relaxed),
+            sessions: self.sessions.load(Ordering::Relaxed),
+            queue_depths,
+        }
+    }
+}

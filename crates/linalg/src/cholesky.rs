@@ -6,7 +6,6 @@
 //! to LU only when regularisation is disabled and the Gram matrix loses
 //! definiteness to f32 rounding.
 
-
 // Triangular solves index into the evolving solution vector by row;
 // iterator rewrites obscure the dependence structure of the recurrences.
 #![allow(clippy::needless_range_loop)]

@@ -151,9 +151,7 @@ impl Rng {
             }
         }
         // Floating-point slack: fall back to the last positive weight.
-        weights
-            .iter()
-            .rposition(|w| w.is_finite() && *w > 0.0)
+        weights.iter().rposition(|w| w.is_finite() && *w > 0.0)
     }
 
     /// Derives an independent generator (jump-free stream splitting by

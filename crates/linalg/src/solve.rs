@@ -5,7 +5,6 @@
 //! `P0 = (H0ᵀ H0 + λI)⁻¹`; the per-sample path never calls into this module
 //! (it uses [`crate::sherman`] instead).
 
-
 // Triangular solves index into the evolving solution vector by row;
 // iterator rewrites obscure the dependence structure of the recurrences.
 #![allow(clippy::needless_range_loop)]
@@ -140,7 +139,11 @@ impl Lu {
 
     /// Determinant of the factorised matrix.
     pub fn determinant(&self) -> Real {
-        let mut det: Real = if self.swaps.is_multiple_of(2) { 1.0 } else { -1.0 };
+        let mut det: Real = if self.swaps.is_multiple_of(2) {
+            1.0
+        } else {
+            -1.0
+        };
         for i in 0..self.dim() {
             det *= self.lu.get(i, i);
         }

@@ -232,7 +232,10 @@ mod tests {
         let blob = Writer::new(1).into_bytes();
         assert!(matches!(
             Reader::new(&blob, 2),
-            Err(WireError::WrongKind { expected: 2, got: 1 })
+            Err(WireError::WrongKind {
+                expected: 2,
+                got: 1
+            })
         ));
         let mut bad = blob.clone();
         bad[0] = b'Z';

@@ -3,113 +3,145 @@
 //! These check algebraic identities over randomly generated inputs rather
 //! than hand-picked cases: associativity/compatibility of the kernels,
 //! inverse correctness, Sherman–Morrison vs direct inversion, and
-//! statistical accumulator invariants.
+//! statistical accumulator invariants. Cases are driven by the in-repo
+//! seeded [`Rng`] (the workspace builds offline, so there is no proptest);
+//! every failure reproduces from the printed case seed.
 
-use proptest::prelude::*;
 use seqdrift_linalg::{
     sherman::{oselm_p_update, Rank1Scratch},
-    solve, stats, vector, Matrix, Real,
+    solve, stats, vector, Matrix, Real, Rng,
 };
 
-/// Strategy: a well-scaled vector of the given length.
-fn vec_of(len: usize) -> impl Strategy<Value = Vec<Real>> {
-    proptest::collection::vec(-10.0f32..10.0, len).prop_map(|v| v.into_iter().map(|x| x as Real).collect())
-}
+const CASES: u64 = 64;
 
-/// Strategy: (rows, cols, data) for a small matrix.
-fn small_matrix() -> impl Strategy<Value = Matrix> {
-    (1usize..6, 1usize..6).prop_flat_map(|(r, c)| {
-        vec_of(r * c).prop_map(move |data| Matrix::from_vec(r, c, data).unwrap())
-    })
-}
-
-/// Strategy: a diagonally dominant (hence invertible) square matrix.
-fn invertible_matrix() -> impl Strategy<Value = Matrix> {
-    (2usize..6).prop_flat_map(|n| {
-        vec_of(n * n).prop_map(move |data| {
-            let mut m = Matrix::from_vec(n, n, data).unwrap();
-            for i in 0..n {
-                let row_sum: Real = m.row(i).iter().map(|x| x.abs()).sum();
-                m.set(i, i, row_sum + 1.0);
-            }
-            m
-        })
-    })
-}
-
-proptest! {
-    #[test]
-    fn transpose_is_involution(a in small_matrix()) {
-        prop_assert_eq!(a.transpose().transpose(), a);
+/// Run `f` once per case with a distinct, reproducible RNG.
+fn for_cases(f: impl Fn(&mut Rng)) {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from(0x11AA ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        f(&mut rng);
     }
+}
 
-    #[test]
-    fn matmul_identity_left_right(a in small_matrix()) {
+/// A well-scaled random vector of the given length.
+fn rand_vec(rng: &mut Rng, len: usize) -> Vec<Real> {
+    let mut v = vec![0.0; len];
+    rng.fill_uniform(&mut v, -10.0, 10.0);
+    v
+}
+
+/// A small random matrix (1..6 x 1..6).
+fn small_matrix(rng: &mut Rng) -> Matrix {
+    let r = 1 + rng.below(5) as usize;
+    let c = 1 + rng.below(5) as usize;
+    Matrix::from_vec(r, c, rand_vec(rng, r * c)).unwrap()
+}
+
+/// A diagonally dominant (hence invertible) square matrix.
+fn invertible_matrix(rng: &mut Rng) -> Matrix {
+    let n = 2 + rng.below(4) as usize;
+    let mut m = Matrix::from_vec(n, n, rand_vec(rng, n * n)).unwrap();
+    for i in 0..n {
+        let row_sum: Real = m.row(i).iter().map(|x| x.abs()).sum();
+        m.set(i, i, row_sum + 1.0);
+    }
+    m
+}
+
+#[test]
+fn transpose_is_involution() {
+    for_cases(|rng| {
+        let a = small_matrix(rng);
+        assert_eq!(a.transpose().transpose(), a);
+    });
+}
+
+#[test]
+fn matmul_identity_left_right() {
+    for_cases(|rng| {
+        let a = small_matrix(rng);
         let il = Matrix::identity(a.rows());
         let ir = Matrix::identity(a.cols());
-        prop_assert!(il.matmul(&a).unwrap().approx_eq(&a, 1e-4));
-        prop_assert!(a.matmul(&ir).unwrap().approx_eq(&a, 1e-4));
-    }
+        assert!(il.matmul(&a).unwrap().approx_eq(&a, 1e-4));
+        assert!(a.matmul(&ir).unwrap().approx_eq(&a, 1e-4));
+    });
+}
 
-    #[test]
-    fn matmul_transpose_identity(a in small_matrix(), seed in 0u64..1000) {
-        // (A B)ᵀ = Bᵀ Aᵀ for a random compatible B.
-        let mut rng = seqdrift_linalg::Rng::seed_from(seed);
+#[test]
+fn matmul_transpose_identity() {
+    // (A B)ᵀ = Bᵀ Aᵀ for a random compatible B.
+    for_cases(|rng| {
+        let a = small_matrix(rng);
         let mut b = Matrix::zeros(a.cols(), 3);
-        for i in 0..b.rows() { for j in 0..b.cols() { b.set(i, j, rng.uniform_range(-5.0, 5.0)); } }
+        for i in 0..b.rows() {
+            for j in 0..b.cols() {
+                b.set(i, j, rng.uniform_range(-5.0, 5.0));
+            }
+        }
         let ab_t = a.matmul(&b).unwrap().transpose();
         let bt_at = b.transpose().matmul(&a.transpose()).unwrap();
-        prop_assert!(ab_t.approx_eq(&bt_at, 1e-3));
-    }
+        assert!(ab_t.approx_eq(&bt_at, 1e-3));
+    });
+}
 
-    #[test]
-    fn tr_matmul_matches_explicit(a in small_matrix(), seed in 0u64..1000) {
-        let mut rng = seqdrift_linalg::Rng::seed_from(seed);
+#[test]
+fn tr_matmul_matches_explicit() {
+    for_cases(|rng| {
+        let a = small_matrix(rng);
         let mut b = Matrix::zeros(a.rows(), 4);
-        for i in 0..b.rows() { for j in 0..b.cols() { b.set(i, j, rng.uniform_range(-5.0, 5.0)); } }
+        for i in 0..b.rows() {
+            for j in 0..b.cols() {
+                b.set(i, j, rng.uniform_range(-5.0, 5.0));
+            }
+        }
         let mut out = Matrix::zeros(a.cols(), 4);
         a.tr_matmul_into(&b, &mut out).unwrap();
         let expect = a.transpose().matmul(&b).unwrap();
-        prop_assert!(out.approx_eq(&expect, 1e-3));
-    }
+        assert!(out.approx_eq(&expect, 1e-3));
+    });
+}
 
-    #[test]
-    fn matvec_is_matmul_column(a in small_matrix(), seed in 0u64..1000) {
-        let mut rng = seqdrift_linalg::Rng::seed_from(seed);
+#[test]
+fn matvec_is_matmul_column() {
+    for_cases(|rng| {
+        let a = small_matrix(rng);
         let mut v = vec![0.0; a.cols()];
         rng.fill_uniform(&mut v, -5.0, 5.0);
         let got = a.matvec(&v).unwrap();
         let expect = a.matmul(&Matrix::col_vector(&v)).unwrap();
         for (i, &g) in got.iter().enumerate() {
-            prop_assert!((g - expect.get(i, 0)).abs() < 1e-3);
+            assert!((g - expect.get(i, 0)).abs() < 1e-3);
         }
-    }
+    });
+}
 
-    #[test]
-    fn inverse_roundtrip(a in invertible_matrix()) {
+#[test]
+fn inverse_roundtrip() {
+    for_cases(|rng| {
+        let a = invertible_matrix(rng);
         let inv = solve::inverse(&a).unwrap();
         let prod = a.matmul(&inv).unwrap();
-        prop_assert!(prod.approx_eq(&Matrix::identity(a.rows()), 1e-2));
-    }
+        assert!(prod.approx_eq(&Matrix::identity(a.rows()), 1e-2));
+    });
+}
 
-    #[test]
-    fn solve_satisfies_system(a in invertible_matrix(), seed in 0u64..1000) {
-        let mut rng = seqdrift_linalg::Rng::seed_from(seed);
+#[test]
+fn solve_satisfies_system() {
+    for_cases(|rng| {
+        let a = invertible_matrix(rng);
         let mut b = vec![0.0; a.rows()];
         rng.fill_uniform(&mut b, -5.0, 5.0);
         let x = solve::solve(&a, &b).unwrap();
         let ax = a.matvec(&x).unwrap();
         for (got, want) in ax.iter().zip(b.iter()) {
-            prop_assert!((got - want).abs() < 1e-2, "Ax = {got}, b = {want}");
+            assert!((got - want).abs() < 1e-2, "Ax = {got}, b = {want}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn sherman_morrison_tracks_direct_inverse(
-        a in invertible_matrix(), seed in 0u64..1000
-    ) {
-        let n = a.rows();
-        let mut rng = seqdrift_linalg::Rng::seed_from(seed);
+#[test]
+fn sherman_morrison_tracks_direct_inverse() {
+    for_cases(|rng| {
+        let n = 2 + rng.below(4) as usize;
         let mut h = vec![0.0; n];
         rng.fill_uniform(&mut h, -1.0, 1.0);
 
@@ -122,72 +154,121 @@ proptest! {
         let mut gram = Matrix::identity(n);
         gram.add_outer(1.0, &h, &h).unwrap();
         let direct = solve::inverse(&gram).unwrap();
-        prop_assert!(p.approx_eq(&direct, 1e-3));
-    }
+        assert!(p.approx_eq(&direct, 1e-3));
+    });
+}
 
-    #[test]
-    fn dot_commutative_and_linear(x in vec_of(8), y in vec_of(8), s in -3.0f32..3.0) {
-        let s = s as Real;
-        prop_assert!((vector::dot(&x, &y) - vector::dot(&y, &x)).abs() < 1e-3);
+#[test]
+fn dot_commutative_and_linear() {
+    for_cases(|rng| {
+        let x = rand_vec(rng, 8);
+        let y = rand_vec(rng, 8);
+        let s = rng.uniform_range(-3.0, 3.0);
+        assert!((vector::dot(&x, &y) - vector::dot(&y, &x)).abs() < 1e-3);
         let sx: Vec<Real> = x.iter().map(|&v| v * s).collect();
-        prop_assert!((vector::dot(&sx, &y) - s * vector::dot(&x, &y)).abs() < 2e-2);
-    }
+        assert!((vector::dot(&sx, &y) - s * vector::dot(&x, &y)).abs() < 2e-2);
+    });
+}
 
-    #[test]
-    fn triangle_inequality_l1_l2(x in vec_of(6), y in vec_of(6), z in vec_of(6)) {
-        prop_assert!(vector::dist_l1(&x, &z) <= vector::dist_l1(&x, &y) + vector::dist_l1(&y, &z) + 1e-3);
-        prop_assert!(vector::dist_l2(&x, &z) <= vector::dist_l2(&x, &y) + vector::dist_l2(&y, &z) + 1e-3);
-    }
+#[test]
+fn triangle_inequality_l1_l2() {
+    for_cases(|rng| {
+        let x = rand_vec(rng, 6);
+        let y = rand_vec(rng, 6);
+        let z = rand_vec(rng, 6);
+        assert!(
+            vector::dist_l1(&x, &z) <= vector::dist_l1(&x, &y) + vector::dist_l1(&y, &z) + 1e-3
+        );
+        assert!(
+            vector::dist_l2(&x, &z) <= vector::dist_l2(&x, &y) + vector::dist_l2(&y, &z) + 1e-3
+        );
+    });
+}
 
-    #[test]
-    fn distances_are_symmetric_and_zero_on_self(x in vec_of(6), y in vec_of(6)) {
-        prop_assert!((vector::dist_l1(&x, &y) - vector::dist_l1(&y, &x)).abs() < 1e-4);
-        prop_assert_eq!(vector::dist_l1(&x, &x), 0.0);
-        prop_assert_eq!(vector::dist_l2_sq(&x, &x), 0.0);
-    }
+#[test]
+fn distances_are_symmetric_and_zero_on_self() {
+    for_cases(|rng| {
+        let x = rand_vec(rng, 6);
+        let y = rand_vec(rng, 6);
+        assert!((vector::dist_l1(&x, &y) - vector::dist_l1(&y, &x)).abs() < 1e-4);
+        assert_eq!(vector::dist_l1(&x, &x), 0.0);
+        assert_eq!(vector::dist_l2_sq(&x, &x), 0.0);
+    });
+}
 
-    #[test]
-    fn running_mean_equals_batch_mean(rows in proptest::collection::vec(vec_of(3), 1..40)) {
+#[test]
+fn running_mean_equals_batch_mean() {
+    for_cases(|rng| {
+        let n = 1 + rng.below(39) as usize;
+        let rows: Vec<Vec<Real>> = (0..n).map(|_| rand_vec(rng, 3)).collect();
         let mut c = vec![0.0; 3];
-        for (n, x) in rows.iter().enumerate() {
-            vector::running_mean_update(&mut c, n as u64, x);
+        for (i, x) in rows.iter().enumerate() {
+            vector::running_mean_update(&mut c, i as u64, x);
         }
         for d in 0..3 {
             let batch: Real = rows.iter().map(|r| r[d]).sum::<Real>() / rows.len() as Real;
-            prop_assert!((c[d] - batch).abs() < 1e-2, "dim {d}: seq {} vs batch {}", c[d], batch);
+            assert!(
+                (c[d] - batch).abs() < 1e-2,
+                "dim {d}: seq {} vs batch {}",
+                c[d],
+                batch
+            );
         }
-    }
+    });
+}
 
-    #[test]
-    fn welford_matches_two_pass(xs in proptest::collection::vec(-100.0f32..100.0, 2..200)) {
+#[test]
+fn welford_matches_two_pass() {
+    for_cases(|rng| {
+        let n = 2 + rng.below(198) as usize;
+        let mut xs = vec![0.0; n];
+        rng.fill_uniform(&mut xs, -100.0, 100.0);
         let mut w = stats::Welford::new();
-        for &x in &xs { w.push(x as Real); }
+        for &x in &xs {
+            w.push(x);
+        }
         let n = xs.len() as f64;
         let mean: f64 = xs.iter().map(|&x| x as f64).sum::<f64>() / n;
         let var: f64 = xs.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / n;
-        prop_assert!((w.mean() as f64 - mean).abs() < 1e-2);
-        prop_assert!((w.variance() as f64 - var).abs() / (var + 1.0) < 1e-2);
-    }
+        assert!((w.mean() as f64 - mean).abs() < 1e-2);
+        assert!((w.variance() as f64 - var).abs() / (var + 1.0) < 1e-2);
+    });
+}
 
-    #[test]
-    fn quantile_is_monotone(xs in proptest::collection::vec(-100.0f32..100.0, 1..60), q1 in 0.0f32..1.0, q2 in 0.0f32..1.0) {
-        let xs: Vec<Real> = xs.into_iter().map(|x| x as Real).collect();
+#[test]
+fn quantile_is_monotone() {
+    for_cases(|rng| {
+        let n = 1 + rng.below(59) as usize;
+        let mut xs = vec![0.0; n];
+        rng.fill_uniform(&mut xs, -100.0, 100.0);
+        let q1 = rng.uniform();
+        let q2 = rng.uniform();
         let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
-        prop_assert!(stats::quantile(&xs, lo as Real) <= stats::quantile(&xs, hi as Real) + 1e-4);
-    }
+        assert!(stats::quantile(&xs, lo) <= stats::quantile(&xs, hi) + 1e-4);
+    });
+}
 
-    #[test]
-    fn argmin_returns_minimum(xs in proptest::collection::vec(-100.0f32..100.0, 1..50)) {
-        let xs: Vec<Real> = xs.into_iter().map(|x| x as Real).collect();
+#[test]
+fn argmin_returns_minimum() {
+    for_cases(|rng| {
+        let n = 1 + rng.below(49) as usize;
+        let mut xs = vec![0.0; n];
+        rng.fill_uniform(&mut xs, -100.0, 100.0);
         let i = vector::argmin(&xs).unwrap();
-        for &x in &xs { prop_assert!(xs[i] <= x); }
-    }
-
-    #[test]
-    fn rng_below_is_in_range(seed in any::<u64>(), n in 1u64..1000) {
-        let mut rng = seqdrift_linalg::Rng::seed_from(seed);
-        for _ in 0..50 {
-            prop_assert!(rng.below(n) < n);
+        for &x in &xs {
+            assert!(xs[i] <= x);
         }
-    }
+    });
+}
+
+#[test]
+fn rng_below_is_in_range() {
+    for_cases(|rng| {
+        let seed = rng.below(u64::MAX);
+        let n = 1 + rng.below(999);
+        let mut inner = Rng::seed_from(seed);
+        for _ in 0..50 {
+            assert!(inner.below(n) < n);
+        }
+    });
 }

@@ -160,14 +160,9 @@ mod tests {
 
         let in_dist = blob(20, 8, 0.3, 2);
         let out_dist = blob(20, 8, 0.9, 3);
-        let mean_in: Real =
-            in_dist.iter().map(|x| ae.score(x).unwrap()).sum::<Real>() / 20.0;
-        let mean_out: Real =
-            out_dist.iter().map(|x| ae.score(x).unwrap()).sum::<Real>() / 20.0;
-        assert!(
-            mean_out > mean_in * 2.0,
-            "in {mean_in} vs out {mean_out}"
-        );
+        let mean_in: Real = in_dist.iter().map(|x| ae.score(x).unwrap()).sum::<Real>() / 20.0;
+        let mean_out: Real = out_dist.iter().map(|x| ae.score(x).unwrap()).sum::<Real>() / 20.0;
+        assert!(mean_out > mean_in * 2.0, "in {mean_in} vs out {mean_out}");
     }
 
     #[test]
@@ -205,7 +200,10 @@ mod tests {
     #[test]
     fn untrained_autoencoder_rejects_scoring() {
         let mut ae = Autoencoder::new(OsElmConfig::new(4, 2)).unwrap();
-        assert!(matches!(ae.score(&[0.0; 4]), Err(ModelError::NotInitialized)));
+        assert!(matches!(
+            ae.score(&[0.0; 4]),
+            Err(ModelError::NotInitialized)
+        ));
     }
 
     #[test]

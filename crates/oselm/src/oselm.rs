@@ -105,7 +105,9 @@ impl OsElmConfig {
         }
         if let Some(a) = self.forgetting {
             if a.is_nan() || a <= 0.0 || a > 1.0 {
-                return Err(ModelError::InvalidConfig("forgetting factor must be in (0, 1]"));
+                return Err(ModelError::InvalidConfig(
+                    "forgetting factor must be in (0, 1]",
+                ));
             }
         }
         if self.weight_scale.is_nan() || self.weight_scale <= 0.0 {
@@ -473,9 +475,9 @@ impl OsElm {
             });
         }
         let mut out = std::mem::take(&mut self.scratch_out);
-        let result = self.predict_into(x, &mut out).map(|()| {
-            vector::dist_l2_sq(&out, t) / t.len() as Real
-        });
+        let result = self
+            .predict_into(x, &mut out)
+            .map(|()| vector::dist_l2_sq(&out, t) / t.len() as Real);
         self.scratch_out = out;
         result
     }
@@ -625,7 +627,10 @@ mod tests {
     fn untrained_model_rejects_use() {
         let mut m = OsElm::new(OsElmConfig::new(3, 2)).unwrap();
         assert!(!m.is_initialized());
-        assert_eq!(m.predict(&[0.0; 3]).unwrap_err(), ModelError::NotInitialized);
+        assert_eq!(
+            m.predict(&[0.0; 3]).unwrap_err(),
+            ModelError::NotInitialized
+        );
         assert_eq!(
             m.seq_train(&[0.0; 3], &[0.0; 3]).unwrap_err(),
             ModelError::NotInitialized
@@ -679,7 +684,7 @@ mod tests {
 
         let cfg = OsElmConfig::new(5, 8).with_seed(11).with_lambda(0.1);
         let mut seq = OsElm::new(cfg.clone()).unwrap();
-        seq.init_train(&a.to_vec(), &a.to_vec()).unwrap();
+        seq.init_train(a, a).unwrap();
         for x in b {
             seq.seq_train(x, x).unwrap();
         }
@@ -687,15 +692,11 @@ mod tests {
         let mut batch = OsElm::new(cfg).unwrap();
         batch.init_train(&all, &all).unwrap();
 
-        assert!(
-            seq.beta().approx_eq(batch.beta(), 5e-2),
-            "max diff {}",
-            {
-                let mut d = seq.beta().clone();
-                d.sub_assign(batch.beta()).unwrap();
-                d.max_abs()
-            }
-        );
+        assert!(seq.beta().approx_eq(batch.beta(), 5e-2), "max diff {}", {
+            let mut d = seq.beta().clone();
+            d.sub_assign(batch.beta()).unwrap();
+            d.max_abs()
+        });
     }
 
     #[test]
@@ -760,8 +761,8 @@ mod tests {
         let cfg = OsElmConfig::new(4, 6).with_seed(13);
         let mut plain = OsElm::new(cfg.clone()).unwrap();
         let mut alpha1 = OsElm::new(cfg.with_forgetting(1.0)).unwrap();
-        plain.init_train(&a.to_vec(), &a.to_vec()).unwrap();
-        alpha1.init_train(&a.to_vec(), &a.to_vec()).unwrap();
+        plain.init_train(a, a).unwrap();
+        alpha1.init_train(a, a).unwrap();
         for x in b {
             plain.seq_train(x, x).unwrap();
             alpha1.seq_train(x, x).unwrap();
@@ -826,20 +827,16 @@ mod tests {
         let cfg = OsElmConfig::new(4, 6).with_seed(3).with_lambda(0.1);
 
         let mut per_sample = OsElm::new(cfg.clone()).unwrap();
-        per_sample.init_train(&init.to_vec(), &init.to_vec()).unwrap();
+        per_sample.init_train(init, init).unwrap();
         for x in rest {
             per_sample.seq_train(x, x).unwrap();
         }
 
         let mut chunked = OsElm::new(cfg).unwrap();
-        chunked.init_train(&init.to_vec(), &init.to_vec()).unwrap();
+        chunked.init_train(init, init).unwrap();
         // Two chunks of 15.
-        chunked
-            .seq_train_chunk(&rest[..15].to_vec(), &rest[..15].to_vec())
-            .unwrap();
-        chunked
-            .seq_train_chunk(&rest[15..].to_vec(), &rest[15..].to_vec())
-            .unwrap();
+        chunked.seq_train_chunk(&rest[..15], &rest[..15]).unwrap();
+        chunked.seq_train_chunk(&rest[15..], &rest[15..]).unwrap();
 
         assert!(
             per_sample.beta().approx_eq(chunked.beta(), 5e-2),
@@ -858,9 +855,7 @@ mod tests {
         let mut plain = OsElm::new(OsElmConfig::new(3, 4)).unwrap();
         plain.init_train(&xs, &xs).unwrap();
         assert!(plain.seq_train_chunk(&[], &[]).is_err());
-        assert!(plain
-            .seq_train_chunk(&xs[..2].to_vec(), &xs[..1].to_vec())
-            .is_err());
+        assert!(plain.seq_train_chunk(&xs[..2], &xs[..1]).is_err());
         let wrong_dim = vec![vec![0.0; 4]];
         assert!(plain.seq_train_chunk(&wrong_dim, &wrong_dim).is_err());
     }

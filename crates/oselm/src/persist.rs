@@ -279,7 +279,10 @@ mod tests {
         let mut restored = MultiInstanceModel::from_bytes(&m.to_bytes()).unwrap();
         assert_eq!(restored.classes(), 3);
         let probe = data(1, 4, 99).remove(0);
-        assert_eq!(m.predict(&probe).unwrap(), restored.predict(&probe).unwrap());
+        assert_eq!(
+            m.predict(&probe).unwrap(),
+            restored.predict(&probe).unwrap()
+        );
     }
 
     #[test]

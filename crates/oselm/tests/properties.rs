@@ -1,8 +1,17 @@
-//! Property-based tests for OS-ELM invariants.
+//! Property-based tests for OS-ELM invariants, driven by seeded RNG loops
+//! (the workspace builds offline; no proptest).
 
-use proptest::prelude::*;
 use seqdrift_linalg::{Real, Rng};
 use seqdrift_oselm::{Activation, Autoencoder, MultiInstanceModel, OsElm, OsElmConfig};
+
+const CASES: u64 = 32;
+
+fn for_cases(f: impl Fn(&mut Rng)) {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from(0x33CC ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        f(&mut rng);
+    }
+}
 
 fn dataset(n: usize, dim: usize, seed: u64) -> Vec<Vec<Real>> {
     let mut rng = Rng::seed_from(seed);
@@ -15,123 +24,147 @@ fn dataset(n: usize, dim: usize, seed: u64) -> Vec<Vec<Real>> {
         .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// The OS-ELM theorem: sequential training after an initial batch gives
-    /// the same β as one batch solve over all data (up to f32 rounding),
-    /// regardless of the split point, dimensions, or data.
-    #[test]
-    fn sequential_equals_batch_anywhere(
-        seed in 0u64..5000,
-        dim in 2usize..7,
-        hidden in 2usize..9,
-        n_init in 10usize..25,
-        n_seq in 1usize..25,
-    ) {
+/// The OS-ELM theorem: sequential training after an initial batch gives the
+/// same β as one batch solve over all data (up to f32 rounding), regardless
+/// of the split point, dimensions, or data.
+#[test]
+fn sequential_equals_batch_anywhere() {
+    for_cases(|rng| {
+        let seed = rng.below(5000);
+        let dim = 2 + rng.below(5) as usize;
+        let hidden = 2 + rng.below(7) as usize;
+        let n_init = 10 + rng.below(15) as usize;
+        let n_seq = 1 + rng.below(24) as usize;
         let all = dataset(n_init + n_seq, dim, seed);
-        let cfg = OsElmConfig::new(dim, hidden).with_seed(seed ^ 0xABCD).with_lambda(0.1);
+        let cfg = OsElmConfig::new(dim, hidden)
+            .with_seed(seed ^ 0xABCD)
+            .with_lambda(0.1);
 
         let mut seq = OsElm::new(cfg.clone()).unwrap();
-        seq.init_train(&all[..n_init].to_vec(), &all[..n_init].to_vec()).unwrap();
+        seq.init_train(&all[..n_init], &all[..n_init]).unwrap();
         for x in &all[n_init..] {
             seq.seq_train(x, x).unwrap();
         }
         let mut batch = OsElm::new(cfg).unwrap();
         batch.init_train(&all, &all).unwrap();
 
-        prop_assert!(seq.beta().approx_eq(batch.beta(), 0.08));
-    }
+        assert!(seq.beta().approx_eq(batch.beta(), 0.08));
+    });
+}
 
-    /// Prediction is a pure function: same input, same output, and training
-    /// other samples does not corrupt scratch state.
-    #[test]
-    fn predict_is_deterministic(seed in 0u64..5000, dim in 2usize..6) {
+/// Prediction is a pure function: same input, same output, and training
+/// other samples does not corrupt scratch state.
+#[test]
+fn predict_is_deterministic() {
+    for_cases(|rng| {
+        let seed = rng.below(5000);
+        let dim = 2 + rng.below(4) as usize;
         let xs = dataset(20, dim, seed);
         let mut m = OsElm::new(OsElmConfig::new(dim, 4).with_seed(seed)).unwrap();
         m.init_train(&xs, &xs).unwrap();
         let a = m.predict(&xs[0]).unwrap();
         let _ = m.predict(&xs[1]).unwrap();
         let b = m.predict(&xs[0]).unwrap();
-        prop_assert_eq!(a, b);
-    }
+        assert_eq!(a, b);
+    });
+}
 
-    /// Autoencoder scores are non-negative for any input and any metric.
-    #[test]
-    fn autoencoder_scores_nonnegative(seed in 0u64..5000, probe in proptest::collection::vec(-5.0f32..5.0, 4)) {
+/// Autoencoder scores are non-negative for any input and any metric.
+#[test]
+fn autoencoder_scores_nonnegative() {
+    for_cases(|rng| {
+        let seed = rng.below(5000);
+        let mut probe = vec![0.0; 4];
+        rng.fill_uniform(&mut probe, -5.0, 5.0);
         let xs = dataset(20, 4, seed);
         let mut ae = Autoencoder::new(OsElmConfig::new(4, 3).with_seed(seed)).unwrap();
         ae.init_train(&xs).unwrap();
-        let probe: Vec<Real> = probe.into_iter().map(|x| x as Real).collect();
-        prop_assert!(ae.score(&probe).unwrap() >= 0.0);
-    }
+        assert!(ae.score(&probe).unwrap() >= 0.0);
+    });
+}
 
-    /// The multi-instance argmin prediction always returns a valid label
-    /// whose score is the minimum across instances.
-    #[test]
-    fn multi_instance_argmin_invariant(seed in 0u64..5000, classes in 2usize..5) {
-        let mut m = MultiInstanceModel::new(classes, OsElmConfig::new(4, 3).with_seed(seed)).unwrap();
+/// The multi-instance argmin prediction always returns a valid label whose
+/// score is the minimum across instances.
+#[test]
+fn multi_instance_argmin_invariant() {
+    for_cases(|rng| {
+        let seed = rng.below(5000);
+        let classes = 2 + rng.below(3) as usize;
+        let mut m =
+            MultiInstanceModel::new(classes, OsElmConfig::new(4, 3).with_seed(seed)).unwrap();
         for c in 0..classes {
-            m.init_train_class(c, &dataset(15, 4, seed + c as u64)).unwrap();
+            m.init_train_class(c, &dataset(15, 4, seed + c as u64))
+                .unwrap();
         }
         let probe = dataset(1, 4, seed ^ 77).remove(0);
         let mut scores = vec![0.0; classes];
         m.scores_into(&probe, &mut scores).unwrap();
         let p = m.predict(&probe).unwrap();
-        prop_assert!(p.label < classes);
+        assert!(p.label < classes);
         for &s in &scores {
-            prop_assert!(p.score <= s + 1e-6);
+            assert!(p.score <= s + 1e-6);
         }
-    }
+    });
+}
 
-    /// Persistence is lossless: serialise -> restore -> identical
-    /// predictions and identical continued training, for any shape and
-    /// training history.
-    #[test]
-    fn persist_roundtrip_is_lossless(
-        seed in 0u64..5000,
-        dim in 1usize..6,
-        hidden in 1usize..6,
-        n_train in 4usize..30,
-    ) {
+/// Persistence is lossless: serialise -> restore -> identical predictions
+/// and identical continued training, for any shape and training history.
+#[test]
+fn persist_roundtrip_is_lossless() {
+    for_cases(|rng| {
+        let seed = rng.below(5000);
+        let dim = 1 + rng.below(5) as usize;
+        let hidden = 1 + rng.below(5) as usize;
+        let n_train = 4 + rng.below(26) as usize;
         let xs = dataset(n_train, dim, seed);
         let mut m = OsElm::new(OsElmConfig::new(dim, hidden).with_seed(seed ^ 0xBEEF)).unwrap();
         m.init_train(&xs, &xs).unwrap();
         let mut restored = OsElm::from_bytes(&m.to_bytes()).unwrap();
         let probe = dataset(1, dim, seed ^ 7).remove(0);
-        prop_assert_eq!(m.predict(&probe).unwrap(), restored.predict(&probe).unwrap());
+        assert_eq!(
+            m.predict(&probe).unwrap(),
+            restored.predict(&probe).unwrap()
+        );
         // Continued training stays in lockstep.
         m.seq_train(&probe, &probe).unwrap();
         restored.seq_train(&probe, &probe).unwrap();
-        prop_assert!(m.beta().approx_eq(restored.beta(), 0.0));
-        prop_assert!(m.p().approx_eq(restored.p(), 0.0));
-    }
+        assert!(m.beta().approx_eq(restored.beta(), 0.0));
+        assert!(m.p().approx_eq(restored.p(), 0.0));
+    });
+}
 
-    /// Truncating a serialised blob at any point is rejected, never
-    /// misinterpreted.
-    #[test]
-    fn persist_rejects_any_truncation(seed in 0u64..1000, cut in 0usize..200) {
+/// Truncating a serialised blob at any point is rejected, never
+/// misinterpreted.
+#[test]
+fn persist_rejects_any_truncation() {
+    for_cases(|rng| {
+        let seed = rng.below(1000);
         let xs = dataset(8, 3, seed);
         let mut m = OsElm::new(OsElmConfig::new(3, 2).with_seed(seed)).unwrap();
         m.init_train(&xs, &xs).unwrap();
         let blob = m.to_bytes();
-        let cut = cut.min(blob.len().saturating_sub(1));
-        prop_assert!(OsElm::from_bytes(&blob[..cut]).is_err());
-    }
+        let cut = (rng.below(200) as usize).min(blob.len().saturating_sub(1));
+        assert!(OsElm::from_bytes(&blob[..cut]).is_err());
+    });
+}
 
-    /// Forgetting with α = 1 is exactly plain OS-ELM for any stream.
-    #[test]
-    fn alpha_one_equals_plain(seed in 0u64..5000) {
+/// Forgetting with α = 1 is exactly plain OS-ELM for any stream.
+#[test]
+fn alpha_one_equals_plain() {
+    for_cases(|rng| {
+        let seed = rng.below(5000);
         let all = dataset(30, 3, seed);
-        let cfg = OsElmConfig::new(3, 4).with_seed(seed).with_activation(Activation::Tanh);
+        let cfg = OsElmConfig::new(3, 4)
+            .with_seed(seed)
+            .with_activation(Activation::Tanh);
         let mut plain = OsElm::new(cfg.clone()).unwrap();
         let mut f1 = OsElm::new(cfg.with_forgetting(1.0)).unwrap();
-        plain.init_train(&all[..15].to_vec(), &all[..15].to_vec()).unwrap();
-        f1.init_train(&all[..15].to_vec(), &all[..15].to_vec()).unwrap();
+        plain.init_train(&all[..15], &all[..15]).unwrap();
+        f1.init_train(&all[..15], &all[..15]).unwrap();
         for x in &all[15..] {
             plain.seq_train(x, x).unwrap();
             f1.seq_train(x, x).unwrap();
         }
-        prop_assert!(plain.beta().approx_eq(f1.beta(), 1e-4));
-    }
+        assert!(plain.beta().approx_eq(f1.beta(), 1e-4));
+    });
 }

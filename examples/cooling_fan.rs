@@ -28,7 +28,10 @@ fn main() {
     };
 
     println!("detection delay by window size (Table 3 of the paper):\n");
-    println!("{:<32} {:>6} {:>6} {:>6}", "scenario", "W=10", "W=50", "W=150");
+    println!(
+        "{:<32} {:>6} {:>6} {:>6}",
+        "scenario", "W=10", "W=50", "W=150"
+    );
     for (name, scenario) in scenarios {
         let dataset = fan_dataset(scenario, Scale::Full);
         let mut cells = Vec::new();

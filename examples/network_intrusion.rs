@@ -45,9 +45,7 @@ fn main() {
         .iter()
         .zip(baseline.accuracy_series.iter())
     {
-        let marker = if p.0 > dataset.drift_start
-            && p.0 - 500 <= dataset.drift_start
-        {
+        let marker = if p.0 > dataset.drift_start && p.0 - 500 <= dataset.drift_start {
             "  <- drift"
         } else {
             ""
@@ -67,5 +65,8 @@ fn main() {
         ),
         None => println!("proposed never detected the drift"),
     }
-    println!("false positives before the drift: {}", proposed.false_positives);
+    println!(
+        "false positives before the drift: {}",
+        proposed.false_positives
+    );
 }

@@ -58,7 +58,10 @@ fn main() {
         let x = blob(&mut rng, dim, mean);
         let out = pipeline.process(&x).expect("pipeline step");
         if out.drift_detected {
-            println!("sample {i}: DRIFT detected (distance {:.3})", out.drift_distance);
+            println!(
+                "sample {i}: DRIFT detected (distance {:.3})",
+                out.drift_distance
+            );
         }
         if out.predicted_label == Some(label) {
             correct += 1;
@@ -66,7 +69,10 @@ fn main() {
         total += 1;
     }
 
-    println!("overall accuracy: {:.1}%", 100.0 * correct as f64 / total as f64);
+    println!(
+        "overall accuracy: {:.1}%",
+        100.0 * correct as f64 / total as f64
+    );
     for event in pipeline.events() {
         match event {
             PipelineEvent::DriftDetected { index, dist } => {

@@ -22,6 +22,8 @@
 //!   and timing scaling;
 //! * [`eval`] — the experiment harness regenerating every table and figure
 //!   of the paper;
+//! * [`fleet`] — the multi-tenant serving layer multiplexing many
+//!   independent pipeline sessions across a fixed worker pool;
 //! * [`linalg`] — the shared dense/stack linear-algebra substrate.
 //!
 //! ## Quickstart
@@ -66,6 +68,7 @@ pub use seqdrift_core as core;
 pub use seqdrift_datasets as datasets;
 pub use seqdrift_edgesim as edgesim;
 pub use seqdrift_eval as eval;
+pub use seqdrift_fleet as fleet;
 pub use seqdrift_linalg as linalg;
 pub use seqdrift_oselm as oselm;
 
@@ -76,6 +79,7 @@ pub mod prelude {
         pipeline::{DriftPipeline, PipelineOutput},
         threshold::calibrate_drift_threshold,
     };
+    pub use seqdrift_fleet::{FeedReply, FleetConfig, FleetEngine, SessionId};
     pub use seqdrift_linalg::{Matrix, Real, Rng};
     pub use seqdrift_oselm::{
         autoencoder::Autoencoder,

@@ -24,7 +24,10 @@ fn run_all() -> Vec<RunResult> {
     [
         MethodSpec::Proposed { window: 100 },
         MethodSpec::BaselineNoDetect,
-        MethodSpec::QuantTree { batch: 160, bins: 32 },
+        MethodSpec::QuantTree {
+            batch: 160,
+            bins: 32,
+        },
         MethodSpec::Spll { batch: 160 },
         MethodSpec::Onlad { forgetting: 0.97 },
     ]

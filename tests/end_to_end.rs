@@ -54,10 +54,7 @@ fn different_seeds_are_similar_but_not_identical() {
         let r = run_method(
             &MethodSpec::Proposed { window: 100 },
             &d,
-            &RunOptions {
-                seed,
-                ..opts()
-            },
+            &RunOptions { seed, ..opts() },
         );
         assert!(r.delay.is_some(), "seed {seed} missed the drift");
         accs.push(r.accuracy);
@@ -77,8 +74,7 @@ fn events_tell_a_consistent_story() {
     for (label, bucket) in d.train_by_class().iter().enumerate() {
         model.init_train_class(label, bucket).unwrap();
     }
-    let pairs: Vec<(usize, &[Real])> =
-        d.train.iter().map(|s| (s.label, s.x.as_slice())).collect();
+    let pairs: Vec<(usize, &[Real])> = d.train.iter().map(|s| (s.label, s.x.as_slice())).collect();
     let det = DetectorConfig::new(2, dim).with_window(100);
     let mut pipe = DriftPipeline::calibrate(model, det, &pairs).unwrap();
 

@@ -1,0 +1,121 @@
+//! End-to-end fleet integration: one calibrated checkpoint multiplexed
+//! across simulated devices through the facade crate, spanning
+//! oselm -> core -> persist -> fleet.
+
+use seqdrift::core::pipeline::PipelineEvent;
+use seqdrift::core::{DetectorConfig, DriftPipeline};
+use seqdrift::prelude::*;
+
+const DIM: usize = 6;
+const DEVICES: u64 = 10;
+
+fn sample(rng: &mut Rng, mean: Real) -> Vec<Real> {
+    let mut x = vec![0.0; DIM];
+    rng.fill_normal(&mut x, mean, 0.05);
+    x
+}
+
+/// Calibrate a single-class pipeline on a stable blob and serialise it.
+fn checkpoint() -> Vec<u8> {
+    let mut rng = Rng::seed_from(99);
+    let train: Vec<Vec<Real>> = (0..120).map(|_| sample(&mut rng, 0.3)).collect();
+    let mut model = MultiInstanceModel::new(1, OsElmConfig::new(DIM, 4).with_seed(3)).unwrap();
+    model.init_train_class(0, &train).unwrap();
+    let pairs: Vec<(usize, &[Real])> = train.iter().map(|x| (0, x.as_slice())).collect();
+    let cfg = DetectorConfig::new(1, DIM).with_window(20);
+    DriftPipeline::calibrate(model, cfg, &pairs)
+        .unwrap()
+        .to_bytes()
+        .unwrap()
+}
+
+/// Odd-numbered devices receive a shifted stream after sample 100; even
+/// devices stay stable. Only the odd ones may flag drift, and every
+/// session must come back intact at shutdown.
+#[test]
+fn fleet_isolates_drift_to_the_drifting_devices() {
+    let blob = checkpoint();
+    let fleet = FleetEngine::new(FleetConfig::new(3)).unwrap();
+    for dev in 0..DEVICES {
+        fleet.create_from_bytes(SessionId(dev), &blob).unwrap();
+    }
+
+    let mut rng = Rng::seed_from(17);
+    for t in 0..400 {
+        for dev in 0..DEVICES {
+            let drifted = dev % 2 == 1 && t >= 100;
+            let mean = if drifted { 0.75 } else { 0.3 };
+            let x = sample(&mut rng, mean);
+            fleet.feed_blocking(SessionId(dev), &x).unwrap();
+        }
+    }
+
+    let report = fleet.shutdown();
+    assert_eq!(report.sessions.len(), DEVICES as usize);
+    assert_eq!(report.metrics.samples_processed, 400 * DEVICES);
+
+    let drifted_devices: std::collections::BTreeSet<u64> = report
+        .events
+        .iter()
+        .filter(|(_, e)| matches!(e, PipelineEvent::DriftDetected { .. }))
+        .map(|(id, _)| id.0)
+        .collect();
+    for dev in drifted_devices.iter() {
+        assert_eq!(dev % 2, 1, "stable device {dev} flagged drift");
+    }
+    assert!(
+        drifted_devices.len() >= 4,
+        "only {drifted_devices:?} of the 5 drifting devices detected"
+    );
+
+    // Every returned session processed exactly its share of the stream.
+    for (id, pipeline) in &report.sessions {
+        assert_eq!(
+            pipeline.samples_processed(),
+            400,
+            "session {id} sample count"
+        );
+    }
+}
+
+/// Snapshot mid-stream, restore into a second fleet, and check the restored
+/// sessions continue bit-identically to an uninterrupted reference.
+#[test]
+fn fleet_snapshot_restore_continues_identically() {
+    let blob = checkpoint();
+    let mut reference = DriftPipeline::from_bytes(&blob).unwrap();
+
+    let fleet = FleetEngine::new(FleetConfig::new(2)).unwrap();
+    fleet.create_from_bytes(SessionId(0), &blob).unwrap();
+
+    let mut rng = Rng::seed_from(23);
+    let warmup: Vec<Vec<Real>> = (0..150).map(|_| sample(&mut rng, 0.3)).collect();
+    let tail: Vec<Vec<Real>> = (0..150).map(|_| sample(&mut rng, 0.3)).collect();
+
+    for x in &warmup {
+        fleet.feed_blocking(SessionId(0), x).unwrap();
+        reference.process(x).unwrap();
+    }
+    let snap = fleet.snapshot(SessionId(0)).unwrap();
+    fleet.shutdown();
+
+    let resumed = FleetEngine::new(FleetConfig::new(2)).unwrap();
+    resumed.create_from_bytes(SessionId(7), &snap).unwrap();
+    for x in &tail {
+        resumed.feed_blocking(SessionId(7), x).unwrap();
+    }
+    let report = resumed.shutdown();
+    let (_, mut restored) = report.sessions.into_iter().next().unwrap();
+    assert_eq!(restored.samples_processed(), 300);
+
+    // Both copies have seen the same 300 samples; their next outputs agree
+    // exactly.
+    for x in &tail {
+        reference.process(x).unwrap();
+    }
+    let probe = sample(&mut rng, 0.3);
+    assert_eq!(
+        reference.process(&probe).unwrap(),
+        restored.process(&probe).unwrap()
+    );
+}

@@ -11,13 +11,14 @@ fn csv_fixture() -> String {
     let mut rng = Rng::seed_from(77);
     let mut out = String::from("f0,f1,f2,f3,class\n");
     for i in 0..400 {
-        let (mean, label) = if i % 2 == 0 { (10.0, "normal") } else { (40.0, "attack") };
+        let (mean, label) = if i % 2 == 0 {
+            (10.0, "normal")
+        } else {
+            (40.0, "attack")
+        };
         let mut x = vec![0.0; 4];
         rng.fill_normal(&mut x, mean, 2.0);
-        out.push_str(&format!(
-            "{},{},{},{},{label}\n",
-            x[0], x[1], x[2], x[3]
-        ));
+        out.push_str(&format!("{},{},{},{},{label}\n", x[0], x[1], x[2], x[3]));
     }
     out
 }
@@ -44,10 +45,8 @@ fn csv_to_pipeline_roundtrip() {
     }
 
     // Calibrate + stream.
-    let normalised_train: Vec<(usize, Vec<Real>)> = train
-        .iter()
-        .map(|s| (s.label, norm.apply(&s.x)))
-        .collect();
+    let normalised_train: Vec<(usize, Vec<Real>)> =
+        train.iter().map(|s| (s.label, norm.apply(&s.x))).collect();
     let pairs: Vec<(usize, &[Real])> = normalised_train
         .iter()
         .map(|(l, x)| (*l, x.as_slice()))
