@@ -113,6 +113,10 @@ pub struct FleetArgs {
     pub has_header: bool,
     /// Strip a trailing label column before streaming.
     pub label_last: bool,
+    /// Seed for a deterministic fault-injection plan (panic, NaN burst,
+    /// corrupt checkpoint, slow session spread over the sessions); omit
+    /// for a fault-free run.
+    pub inject_faults: Option<u64>,
 }
 
 /// Parse failures (each carries the message shown to the user).
@@ -141,7 +145,8 @@ USAGE:
                  --out <dir> [--seed N] [--quick]
   seqdrift fleet --csv <file> --model <model.sqdm> [--sessions 8] [--workers 4]
                  [--queue 256] [--drift-at N] [--drift-step 25]
-                 [--drift-shift 0.3] [--no-header] [--label-last]
+                 [--drift-shift 0.3] [--inject-faults SEED]
+                 [--no-header] [--label-last]
 ";
 
 fn err(msg: impl Into<String>) -> ParseError {
@@ -264,6 +269,13 @@ impl Cli {
                     drift_shift: flags.number("--drift-shift", 0.3f32)?,
                     has_header: !flags.boolean("--no-header"),
                     label_last: flags.boolean("--label-last"),
+                    inject_faults: match flags.take("--inject-faults") {
+                        None => None,
+                        Some(v) => Some(
+                            v.parse()
+                                .map_err(|_| err(format!("--inject-faults: cannot parse {v:?}")))?,
+                        ),
+                    },
                 };
                 if a.sessions == 0 || a.workers == 0 || a.queue == 0 {
                     return Err(err("--sessions, --workers and --queue must be positive"));
@@ -385,12 +397,13 @@ mod tests {
                 assert_eq!(a.drift_at, None);
                 assert_eq!(a.drift_step, 25);
                 assert!(a.has_header);
+                assert_eq!(a.inject_faults, None);
             }
             other => panic!("{other:?}"),
         }
         let cli = Cli::parse(&argv(
             "fleet --csv s.csv --model m.sqdm --sessions 32 --workers 2 --queue 16 \
-             --drift-at 100 --drift-step 10 --drift-shift 0.5 --no-header",
+             --drift-at 100 --drift-step 10 --drift-shift 0.5 --inject-faults 99 --no-header",
         ))
         .unwrap();
         match cli.command {
@@ -399,10 +412,12 @@ mod tests {
                 assert_eq!(a.drift_at, Some(100));
                 assert_eq!((a.drift_step, a.drift_shift), (10, 0.5));
                 assert!(!a.has_header);
+                assert_eq!(a.inject_faults, Some(99));
             }
             other => panic!("{other:?}"),
         }
         assert!(Cli::parse(&argv("fleet --csv s.csv --model m --workers 0")).is_err());
+        assert!(Cli::parse(&argv("fleet --csv s.csv --model m --inject-faults x")).is_err());
     }
 
     #[test]

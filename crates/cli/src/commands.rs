@@ -7,7 +7,7 @@ use seqdrift_datasets::drift::DriftSchedule;
 use seqdrift_datasets::fan::{self, FanConfig, FanScenario};
 use seqdrift_datasets::nslkdd::{self, NslKddConfig};
 use seqdrift_datasets::{loader, DriftDataset, Sample};
-use seqdrift_fleet::{FleetConfig, FleetEngine, SessionId};
+use seqdrift_fleet::{FaultInjector, FleetConfig, FleetEngine, FleetError, FleetEvent, SessionId};
 use seqdrift_linalg::{Real, Rng};
 use seqdrift_oselm::{MultiInstanceModel, OsElmConfig};
 use std::io::Write;
@@ -215,8 +215,16 @@ pub fn fleet(a: &FleetArgs, out: Out<'_>) -> Result<(), String> {
         ));
     }
 
-    let engine = FleetEngine::new(FleetConfig::new(a.workers).with_queue_capacity(a.queue))
-        .map_err(|e| fail("starting fleet", e))?;
+    let mut cfg = FleetConfig::new(a.workers).with_queue_capacity(a.queue);
+    if let Some(seed) = a.inject_faults {
+        let injector = FaultInjector::from_seed(seed, a.sessions as u64);
+        writeln!(out, "fault plan (seed {seed}):").ok();
+        for line in injector.describe().lines() {
+            writeln!(out, "  {line}").ok();
+        }
+        cfg = cfg.with_fault_injector(injector);
+    }
+    let engine = FleetEngine::new(cfg).map_err(|e| fail("starting fleet", e))?;
     for d in 0..a.sessions {
         engine
             .create_from_bytes(SessionId(d as u64), &blob)
@@ -253,16 +261,22 @@ pub fn fleet(a: &FleetArgs, out: Out<'_>) -> Result<(), String> {
             } else {
                 &s.x
             };
-            engine
-                .feed_blocking(SessionId(d as u64), x)
-                .map_err(|e| fail("feeding sample", e))?;
+            // A quarantined device stays quarantined for the rest of the
+            // replay; the fleet keeps serving every other device.
+            match engine.feed_blocking(SessionId(d as u64), x) {
+                Ok(()) | Err(FleetError::SessionQuarantined(_)) => {}
+                Err(e) => return Err(fail("feeding sample", e)),
+            }
         }
     }
 
     let report = engine.shutdown();
-    for (id, event) in &report.events {
+    for event in &report.events {
         match event {
-            PipelineEvent::DriftDetected { index, dist } => {
+            FleetEvent::Pipeline {
+                id,
+                event: PipelineEvent::DriftDetected { index, dist },
+            } => {
                 writeln!(
                     out,
                     "device {}: DRIFT at its sample {index} (distance {dist:.4})",
@@ -270,15 +284,54 @@ pub fn fleet(a: &FleetArgs, out: Out<'_>) -> Result<(), String> {
                 )
                 .ok();
             }
-            PipelineEvent::Reconstructed {
-                index,
-                new_theta_drift,
+            FleetEvent::Pipeline {
+                id,
+                event:
+                    PipelineEvent::Reconstructed {
+                        index,
+                        new_theta_drift,
+                    },
             } => {
                 writeln!(
                     out,
                     "device {}: reconstructed at its sample {index} \
                      (new theta_drift {new_theta_drift:.4})",
                     id.0
+                )
+                .ok();
+            }
+            FleetEvent::SessionPanicked { id, at_delivery } => {
+                writeln!(
+                    out,
+                    "device {}: PANIC at delivery {at_delivery} (caught)",
+                    id.0
+                )
+                .ok();
+            }
+            FleetEvent::SessionRestored {
+                id,
+                resumed_at_sample,
+                restarts_in_window,
+            } => {
+                writeln!(
+                    out,
+                    "device {}: restored from checkpoint at sample {resumed_at_sample} \
+                     (restart {restarts_in_window} in window)",
+                    id.0
+                )
+                .ok();
+            }
+            FleetEvent::SessionQuarantined { id, reason } => {
+                writeln!(out, "device {}: QUARANTINED ({reason})", id.0).ok();
+            }
+            FleetEvent::WorkerRespawned {
+                shard,
+                recovered,
+                lost,
+            } => {
+                writeln!(
+                    out,
+                    "worker {shard}: respawned ({recovered} session(s) recovered, {lost} lost)"
                 )
                 .ok();
             }
@@ -296,6 +349,20 @@ pub fn fleet(a: &FleetArgs, out: Out<'_>) -> Result<(), String> {
         m.busy_rejections
     )
     .ok();
+    if a.inject_faults.is_some() || m.panics_caught > 0 {
+        writeln!(
+            out,
+            "fault tolerance: {} panic(s) caught, {} restore(s), {} quarantined, \
+             {} worker respawn(s)",
+            m.panics_caught, m.sessions_restored, m.sessions_quarantined, m.workers_respawned
+        )
+        .ok();
+    }
+    if !report.quarantined.is_empty() {
+        for (id, reason) in &report.quarantined {
+            writeln!(out, "quarantined at shutdown: device {} ({reason})", id.0).ok();
+        }
+    }
     Ok(())
 }
 

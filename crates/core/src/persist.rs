@@ -45,6 +45,17 @@ fn read_centroid_set(r: &mut Reader<'_>) -> Result<CentroidSet> {
     if classes == 0 || classes > 65_536 || dim == 0 || dim > 16_777_216 {
         return Err(CoreError::InvalidConfig("persist: centroid set shape"));
     }
+    // Bound the allocation by the bytes actually present: a length-lying
+    // blob could otherwise pass the sanity caps above (up to ~10^12
+    // scalars) and make `zeros` reserve gigabytes before any row read
+    // fails. Each of `classes` rows needs a length prefix plus `dim`
+    // scalars, so a legitimate blob has at least this many bytes left.
+    let min_bytes = (classes as u64)
+        .checked_mul(8 + (dim as u64) * core::mem::size_of::<seqdrift_linalg::Real>() as u64)
+        .ok_or(CoreError::InvalidConfig("persist: centroid set shape"))?;
+    if min_bytes > r.remaining() as u64 {
+        return Err(CoreError::InvalidConfig("persist: truncated blob"));
+    }
     let mut set = CentroidSet::zeros(classes, dim);
     for c in 0..classes {
         let row = r.reals().map_err(wire_err)?;

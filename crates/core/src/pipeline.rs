@@ -141,6 +141,15 @@ pub struct DriftPipeline {
     events: Vec<PipelineEvent>,
 }
 
+// The pipeline holds plain owned data with no interior mutability, so a
+// caught panic cannot leave observable shared state behind — supervisors
+// (e.g. the fleet's per-session `catch_unwind` wrapper) discard the
+// possibly-half-mutated value and restore from a checkpoint. These impls
+// state that policy explicitly instead of scattering `AssertUnwindSafe`
+// at every call site.
+impl std::panic::UnwindSafe for DriftPipeline {}
+impl std::panic::RefUnwindSafe for DriftPipeline {}
+
 impl DriftPipeline {
     /// Builds a pipeline from an initially-trained model and labelled
     /// training data, calibrating whatever thresholds the caller left

@@ -1,0 +1,143 @@
+//! Hostile-input hardening for `DriftPipeline::from_bytes`: truncated,
+//! bit-flipped and length-lying blobs must all return `Err` — never panic,
+//! never allocate unboundedly. Exercised over *real* snapshot blobs so the
+//! corruption lands on every section of the wire format (configs, centroid
+//! sets, model weights).
+
+use seqdrift_core::{DetectorConfig, DriftPipeline};
+use seqdrift_linalg::{Real, Rng};
+use seqdrift_oselm::{MultiInstanceModel, OsElmConfig};
+
+const DIM: usize = 5;
+
+fn sample(rng: &mut Rng, mean: Real) -> Vec<Real> {
+    let mut x = vec![0.0; DIM];
+    rng.fill_normal(&mut x, mean, 0.05);
+    x
+}
+
+/// A realistic warmed-up snapshot: calibrated two-class pipeline with 150
+/// streamed samples of detector state.
+fn snapshot_blob() -> Vec<u8> {
+    let mut rng = Rng::seed_from(404);
+    let class0: Vec<Vec<Real>> = (0..80).map(|_| sample(&mut rng, 0.2)).collect();
+    let class1: Vec<Vec<Real>> = (0..80).map(|_| sample(&mut rng, 0.8)).collect();
+    let mut model = MultiInstanceModel::new(2, OsElmConfig::new(DIM, 4).with_seed(11)).unwrap();
+    model.init_train_class(0, &class0).unwrap();
+    model.init_train_class(1, &class1).unwrap();
+    let pairs: Vec<(usize, &[Real])> = class0
+        .iter()
+        .map(|x| (0usize, x.as_slice()))
+        .chain(class1.iter().map(|x| (1usize, x.as_slice())))
+        .collect();
+    let mut p =
+        DriftPipeline::calibrate(model, DetectorConfig::new(2, DIM).with_window(20), &pairs)
+            .unwrap();
+    for i in 0..150 {
+        let mean = if i % 2 == 0 { 0.2 } else { 0.8 };
+        p.process(&sample(&mut rng, mean)).unwrap();
+    }
+    p.to_bytes().unwrap()
+}
+
+/// Decoding must return a `Result`, not unwind. Wrap in catch_unwind so a
+/// panicking decoder fails the test with a precise message instead of
+/// aborting the harness.
+fn decode_must_err(blob: &[u8], what: &str) {
+    let outcome = std::panic::catch_unwind(|| DriftPipeline::from_bytes(blob).is_err());
+    match outcome {
+        Ok(true) => {}
+        Ok(false) => panic!("{what}: corrupted blob decoded successfully"),
+        Err(_) => panic!("{what}: decoder panicked instead of returning Err"),
+    }
+}
+
+#[test]
+fn every_truncation_point_errors_cleanly() {
+    let blob = snapshot_blob();
+    // Every prefix, stepping fine near the start (header/config region)
+    // and coarser through the bulky weight section.
+    let mut cut = 0usize;
+    while cut < blob.len() {
+        decode_must_err(&blob[..cut], &format!("truncated at {cut}"));
+        cut += if cut < 256 { 1 } else { 37 };
+    }
+}
+
+#[test]
+fn seeded_bit_flips_never_panic_or_succeed_silently() {
+    let blob = snapshot_blob();
+    let reference = DriftPipeline::from_bytes(&blob).unwrap();
+    let mut rng = Rng::seed_from(0xBADC0DE);
+    for _ in 0..400 {
+        let pos = rng.below(blob.len() as u64) as usize;
+        let bit = 1u8 << rng.below(8);
+        let mut bad = blob.clone();
+        bad[pos] ^= bit;
+        // A flip may land in a don't-care bit (e.g. float mantissa) and
+        // still decode; that is fine. What is never fine is a panic.
+        let outcome = std::panic::catch_unwind(|| {
+            DriftPipeline::from_bytes(&bad).map(|p| p.samples_processed())
+        });
+        match outcome {
+            Ok(Ok(n)) => {
+                // If it decoded, it must be internally consistent enough
+                // to report its counter (flips in scalar payloads).
+                let _ = n;
+            }
+            Ok(Err(_)) => {}
+            Err(_) => panic!("decoder panicked on bit flip at byte {pos} bit {bit:08b}"),
+        }
+    }
+    // Sanity: the uncorrupted blob still decodes to the same state.
+    assert_eq!(
+        DriftPipeline::from_bytes(&blob)
+            .unwrap()
+            .samples_processed(),
+        reference.samples_processed()
+    );
+}
+
+#[test]
+fn length_lying_fields_error_without_huge_allocation() {
+    let blob = snapshot_blob();
+    let mut rng = Rng::seed_from(0x11E5);
+    // Overwrite seeded 8-byte windows with absurd little-endian lengths.
+    // Wherever they land (length prefix, dim field, count), the decoder
+    // must reject by comparing against remaining bytes / dim caps before
+    // allocating — if it tried to honour them, the test would OOM or take
+    // forever rather than merely fail.
+    for &lie in &[u64::MAX, u64::MAX / 2, 1 << 40, 1 << 33] {
+        for _ in 0..60 {
+            let pos = rng.below((blob.len() - 8) as u64) as usize;
+            let mut bad = blob.clone();
+            bad[pos..pos + 8].copy_from_slice(&lie.to_le_bytes());
+            let outcome = std::panic::catch_unwind(|| DriftPipeline::from_bytes(&bad).is_err());
+            match outcome {
+                // Landing mid-scalar-run can leave the blob decodable or
+                // not; both fine as long as nothing panicked or ballooned.
+                Ok(_) => {}
+                Err(_) => panic!("decoder panicked on length lie at byte {pos}"),
+            }
+        }
+    }
+    // The canonical attack: a centroid-set header claiming ~10^12 scalars
+    // (classes=65536 x dim=16777216 passes the old per-field caps). The
+    // detector-config section starts right after the 8-byte header with
+    // classes/dim as the first two u64 fields; the trained centroid set
+    // follows the pipeline scalars. Target it precisely by scanning for
+    // the first occurrence of the legitimate classes/dim pair.
+    let classes_bytes = 2u64.to_le_bytes();
+    let dim_bytes = (DIM as u64).to_le_bytes();
+    let mut hit = false;
+    for pos in 8..blob.len().saturating_sub(16) {
+        if blob[pos..pos + 8] == classes_bytes && blob[pos + 8..pos + 16] == dim_bytes {
+            let mut bad = blob.clone();
+            bad[pos..pos + 8].copy_from_slice(&65_536u64.to_le_bytes());
+            bad[pos + 8..pos + 16].copy_from_slice(&16_777_216u64.to_le_bytes());
+            decode_must_err(&bad, &format!("giant shape claim at {pos}"));
+            hit = true;
+        }
+    }
+    assert!(hit, "never found a classes/dim pair to corrupt");
+}

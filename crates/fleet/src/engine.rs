@@ -1,5 +1,5 @@
 //! The fleet engine: sharded worker threads, bounded ingress queues,
-//! session routing, and deterministic shutdown.
+//! session routing, supervised recovery, and deterministic shutdown.
 //!
 //! Every session is pinned to shard `session_id % workers`; a shard's queue
 //! is FIFO, so each session sees its samples in exactly the order they were
@@ -7,16 +7,27 @@
 //! reproducible across 1, 2 or 8 workers. Control operations (create,
 //! snapshot, evict) travel through the same queue as samples, so a snapshot
 //! observes every sample fed before it.
+//!
+//! Fault tolerance (see [`crate::supervisor`]): a panicking session is
+//! caught, restored from its rolling checkpoint within a bounded restart
+//! budget, or permanently quarantined; a dead worker thread is respawned
+//! and its shard re-homed; `shutdown` never panics.
 
+use crate::fault::FaultInjector;
 use crate::metrics::{FleetMetrics, MetricsSnapshot, QueueDepth};
-use seqdrift_core::pipeline::PipelineEvent;
+use crate::supervisor::{
+    decide_recovery, mutex_lock, quarantine, read_lock, worker_loop, write_lock, CheckpointStore,
+    FleetEvent, LostSession, QuarantineReason, Recovery, SessionSlot, SessionStatus,
+    SupervisionPolicy, WorkerCtx,
+};
 use seqdrift_core::{CoreError, DriftPipeline};
 use seqdrift_linalg::Real;
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 use std::sync::atomic::Ordering;
-use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender, TrySendError};
+use std::sync::mpsc::{channel, sync_channel, Sender, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// Identifies one device stream inside the fleet.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -33,8 +44,14 @@ impl std::fmt::Display for SessionId {
 pub enum FleetError {
     /// The session id is not registered with the engine.
     UnknownSession(SessionId),
-    /// A session with this id already exists.
+    /// A session with this id already exists (and is not quarantined).
     DuplicateSession(SessionId),
+    /// The session is permanently quarantined; it accepts no operations
+    /// until it is replaced via [`FleetEngine::create`].
+    SessionQuarantined(SessionId),
+    /// A blocking feed gave up after `FleetConfig::feed_timeout` of
+    /// sustained backpressure.
+    Timeout(SessionId),
     /// Bad engine configuration.
     InvalidConfig(&'static str),
     /// An error bubbled up from the pipeline (e.g. a mid-reconstruction
@@ -49,6 +66,8 @@ impl std::fmt::Display for FleetError {
         match self {
             FleetError::UnknownSession(id) => write!(f, "unknown {id}"),
             FleetError::DuplicateSession(id) => write!(f, "{id} already exists"),
+            FleetError::SessionQuarantined(id) => write!(f, "{id} is quarantined"),
+            FleetError::Timeout(id) => write!(f, "feed to {id} timed out under backpressure"),
             FleetError::InvalidConfig(msg) => write!(f, "invalid fleet config: {msg}"),
             FleetError::Core(e) => write!(f, "pipeline error: {e}"),
             FleetError::Disconnected => write!(f, "fleet workers disconnected"),
@@ -74,6 +93,8 @@ pub enum FeedReply {
     Busy,
     /// No such session; the sample was NOT queued.
     UnknownSession,
+    /// The session is permanently quarantined; the sample was NOT queued.
+    Quarantined,
 }
 
 /// Engine construction parameters.
@@ -85,15 +106,36 @@ pub struct FleetConfig {
     /// Bound of each shard's ingress queue, in messages. When a shard's
     /// queue is full, `feed` returns [`FeedReply::Busy`].
     pub queue_capacity: usize,
+    /// Rolling-checkpoint cadence: serialise each session's state every
+    /// this many processed samples (plus once at create). A restored
+    /// session loses at most this many samples.
+    pub checkpoint_interval: u64,
+    /// Restarts allowed per session inside one sliding window before it
+    /// is permanently quarantined.
+    pub max_restarts: u32,
+    /// Width of the restart sliding window, in delivered samples.
+    pub restart_window: u64,
+    /// How long [`FleetEngine::feed_blocking`] tolerates sustained
+    /// backpressure before returning [`FleetError::Timeout`].
+    pub feed_timeout: Duration,
+    /// Deterministic fault plan applied by the workers (tests and the
+    /// CLI's `--inject-faults`); `None` in production.
+    pub fault_injector: Option<Arc<FaultInjector>>,
 }
 
 impl FleetConfig {
-    /// A config with the given worker count and the default queue bound
-    /// (256 messages per shard).
+    /// A config with the given worker count and the defaults: 256-message
+    /// queues, checkpoint every 64 samples, 3 restarts per 1024-sample
+    /// window, 10-second blocking-feed timeout, no fault injection.
     pub fn new(workers: usize) -> Self {
         FleetConfig {
             workers,
             queue_capacity: 256,
+            checkpoint_interval: 64,
+            max_restarts: 3,
+            restart_window: 1024,
+            feed_timeout: Duration::from_secs(10),
+            fault_injector: None,
         }
     }
 
@@ -102,11 +144,37 @@ impl FleetConfig {
         self.queue_capacity = capacity;
         self
     }
+
+    /// Overrides the rolling-checkpoint cadence (in processed samples).
+    pub fn with_checkpoint_interval(mut self, samples: u64) -> Self {
+        self.checkpoint_interval = samples;
+        self
+    }
+
+    /// Overrides the restart budget: at most `max_restarts` restores per
+    /// `window` delivered samples, then permanent quarantine.
+    pub fn with_restart_budget(mut self, max_restarts: u32, window: u64) -> Self {
+        self.max_restarts = max_restarts;
+        self.restart_window = window;
+        self
+    }
+
+    /// Overrides the blocking-feed timeout.
+    pub fn with_feed_timeout(mut self, timeout: Duration) -> Self {
+        self.feed_timeout = timeout;
+        self
+    }
+
+    /// Installs a deterministic fault plan (shared by every shard).
+    pub fn with_fault_injector(mut self, injector: FaultInjector) -> Self {
+        self.fault_injector = Some(Arc::new(injector));
+        self
+    }
 }
 
 /// What a worker can be asked to do. Control messages carry a reply channel
 /// so callers observe completion; samples are fire-and-forget.
-enum ShardMsg {
+pub(crate) enum ShardMsg {
     Create {
         id: u64,
         pipeline: Box<DriftPipeline>,
@@ -126,21 +194,34 @@ enum ShardMsg {
     },
 }
 
-struct Shard {
+/// A shard's mutable link to its worker thread. Behind an `RwLock` so a
+/// dead worker can be replaced while the engine is shared (`&self`).
+struct ShardLink {
     /// `None` once shutdown has begun; dropping the sender is what tells
     /// the worker to drain and exit.
     tx: Option<SyncSender<ShardMsg>>,
-    depth: Arc<QueueDepth>,
     handle: Option<JoinHandle<Vec<(SessionId, DriftPipeline)>>>,
+}
+
+struct Shard {
+    link: RwLock<ShardLink>,
+    depth: Arc<QueueDepth>,
+    /// Serialises respawn attempts racing from multiple caller threads.
+    respawn: Mutex<()>,
 }
 
 /// Everything the engine hands back on [`FleetEngine::shutdown`].
 #[derive(Debug)]
 pub struct ShutdownReport {
-    /// Final state of every session, sorted by id.
+    /// Final state of every surviving session, sorted by id.
     pub sessions: Vec<(SessionId, DriftPipeline)>,
+    /// Sessions permanently quarantined during the run, sorted by id.
+    pub quarantined: Vec<(SessionId, QuarantineReason)>,
+    /// Sessions lost with a worker that died before shutdown could drain
+    /// it, each with its last rolling checkpoint (restorable elsewhere).
+    pub lost: Vec<LostSession>,
     /// Events that had not been drained before shutdown.
-    pub events: Vec<(SessionId, PipelineEvent)>,
+    pub events: Vec<FleetEvent>,
     /// Final aggregate counters.
     pub metrics: MetricsSnapshot,
 }
@@ -148,11 +229,15 @@ pub struct ShutdownReport {
 /// The multi-tenant fleet engine. See the crate docs for the contract.
 pub struct FleetEngine {
     shards: Vec<Shard>,
-    /// Routing cache of live session ids; the per-shard session maps are
-    /// authoritative. Updated only after a worker acknowledges.
-    registry: RwLock<HashSet<u64>>,
+    /// Routing cache of registered sessions and their status; the
+    /// per-shard session maps are authoritative for live pipeline state.
+    /// Workers flip entries to `Quarantined`; the engine adds/removes.
+    registry: Arc<RwLock<HashMap<u64, SessionStatus>>>,
+    /// Rolling checkpoints + restart history (survives worker death).
+    store: Arc<CheckpointStore>,
     metrics: Arc<FleetMetrics>,
-    events: Arc<Mutex<Vec<(SessionId, PipelineEvent)>>>,
+    events: Arc<Mutex<Vec<FleetEvent>>>,
+    cfg: FleetConfig,
 }
 
 impl FleetEngine {
@@ -164,30 +249,70 @@ impl FleetEngine {
         if cfg.queue_capacity == 0 {
             return Err(FleetError::InvalidConfig("queue_capacity must be positive"));
         }
-        let metrics = Arc::new(FleetMetrics::default());
-        let events = Arc::new(Mutex::new(Vec::new()));
-        let mut shards = Vec::with_capacity(cfg.workers);
-        for _ in 0..cfg.workers {
-            let (tx, rx) = sync_channel(cfg.queue_capacity);
+        if cfg.checkpoint_interval == 0 {
+            return Err(FleetError::InvalidConfig(
+                "checkpoint_interval must be positive",
+            ));
+        }
+        if cfg.restart_window == 0 {
+            return Err(FleetError::InvalidConfig("restart_window must be positive"));
+        }
+        if cfg.feed_timeout.is_zero() {
+            return Err(FleetError::InvalidConfig("feed_timeout must be positive"));
+        }
+        let mut engine = FleetEngine {
+            shards: Vec::new(),
+            registry: Arc::new(RwLock::new(HashMap::new())),
+            store: Arc::new(CheckpointStore::default()),
+            metrics: Arc::new(FleetMetrics::default()),
+            events: Arc::new(Mutex::new(Vec::new())),
+            cfg,
+        };
+        for _ in 0..engine.cfg.workers {
             let depth = Arc::new(QueueDepth::default());
-            let handle = {
-                let depth = Arc::clone(&depth);
-                let metrics = Arc::clone(&metrics);
-                let events = Arc::clone(&events);
-                std::thread::spawn(move || worker_loop(rx, depth, metrics, events))
-            };
-            shards.push(Shard {
-                tx: Some(tx),
+            let (tx, handle) = engine.spawn_worker(Arc::clone(&depth), Vec::new());
+            engine.shards.push(Shard {
+                link: RwLock::new(ShardLink {
+                    tx: Some(tx),
+                    handle: Some(handle),
+                }),
                 depth,
-                handle: Some(handle),
+                respawn: Mutex::new(()),
             });
         }
-        Ok(FleetEngine {
-            shards,
-            registry: RwLock::new(HashSet::new()),
-            metrics,
-            events,
-        })
+        Ok(engine)
+    }
+
+    /// Builds the shared context a worker thread needs.
+    fn worker_ctx(&self, depth: Arc<QueueDepth>) -> WorkerCtx {
+        WorkerCtx {
+            depth,
+            metrics: Arc::clone(&self.metrics),
+            events: Arc::clone(&self.events),
+            registry: Arc::clone(&self.registry),
+            store: Arc::clone(&self.store),
+            injector: self.cfg.fault_injector.clone(),
+            policy: SupervisionPolicy {
+                checkpoint_interval: self.cfg.checkpoint_interval,
+                max_restarts: self.cfg.max_restarts,
+                restart_window: self.cfg.restart_window,
+            },
+        }
+    }
+
+    /// Spawns one worker thread seeded with `initial` sessions.
+    fn spawn_worker(
+        &self,
+        depth: Arc<QueueDepth>,
+        initial: Vec<(u64, SessionSlot)>,
+    ) -> (
+        SyncSender<ShardMsg>,
+        JoinHandle<Vec<(SessionId, DriftPipeline)>>,
+    ) {
+        let (tx, rx) = sync_channel(self.cfg.queue_capacity);
+        let ctx = self.worker_ctx(depth);
+        let handle = std::thread::spawn(move || worker_loop(rx, initial, ctx));
+        (tx, handle)
     }
 
     /// Number of shards / worker threads.
@@ -195,25 +320,173 @@ impl FleetEngine {
         self.shards.len()
     }
 
-    /// Current number of live sessions.
+    /// Current number of live (non-quarantined) sessions.
     pub fn session_count(&self) -> usize {
-        self.registry.read().expect("registry lock").len()
+        read_lock(&self.registry)
+            .values()
+            .filter(|s| matches!(s, SessionStatus::Active))
+            .count()
     }
 
-    fn shard_of(&self, id: SessionId) -> &Shard {
-        &self.shards[(id.0 % self.shards.len() as u64) as usize]
+    /// Sessions permanently quarantined so far, sorted by id.
+    pub fn quarantined_sessions(&self) -> Vec<(SessionId, QuarantineReason)> {
+        let mut out: Vec<(SessionId, QuarantineReason)> = read_lock(&self.registry)
+            .iter()
+            .filter_map(|(&id, status)| match status {
+                SessionStatus::Quarantined(reason) => Some((SessionId(id), *reason)),
+                SessionStatus::Active => None,
+            })
+            .collect();
+        out.sort_by_key(|(id, _)| *id);
+        out
     }
 
-    /// Sends a control message, blocking if the shard queue is full (control
-    /// operations are rare and must not be droppable).
+    /// The session's last rolling checkpoint, if one was taken. Available
+    /// for quarantined sessions too — the graceful-degradation hand-off
+    /// for callers that want to resurrect the stream elsewhere.
+    pub fn last_checkpoint(&self, id: SessionId) -> Option<Vec<u8>> {
+        self.store.blob_of(id.0)
+    }
+
+    fn shard_index(&self, id: SessionId) -> usize {
+        (id.0 % self.shards.len() as u64) as usize
+    }
+
+    /// Detects and replaces any dead worker threads, re-homing their
+    /// shards from the checkpoint store. Returns how many workers were
+    /// respawned. `feed`/`create` call this lazily on a disconnected
+    /// shard; long-running hosts may also call it periodically.
+    pub fn supervise(&self) -> usize {
+        (0..self.shards.len())
+            .filter(|&idx| self.respawn_shard(idx))
+            .count()
+    }
+
+    /// Replaces shard `idx`'s worker if (and only if) it is dead: joins
+    /// the corpse, restores every Active session of the shard from its
+    /// rolling checkpoint (counting against its restart budget), spawns a
+    /// fresh worker seeded with the recovered sessions, and logs a
+    /// [`FleetEvent::WorkerRespawned`]. Samples queued on the dead
+    /// channel are lost (counted as dropped). Returns whether a respawn
+    /// happened.
+    fn respawn_shard(&self, idx: usize) -> bool {
+        let shard = &self.shards[idx];
+        let _serial = mutex_lock(&shard.respawn);
+        let mut link = write_lock(&shard.link);
+        // Respawn only applies to a worker that died while its sender is
+        // still installed; `shutdown` takes both before joining.
+        let dead = link.tx.is_some() && link.handle.as_ref().is_some_and(|h| h.is_finished());
+        if !dead {
+            return false;
+        }
+        let survivors = match link.handle.take() {
+            Some(handle) => handle.join().unwrap_or_default(),
+            None => Vec::new(),
+        };
+        // Whatever was still queued on the dead channel is gone.
+        let lost_in_queue = shard.depth.reset();
+        self.metrics
+            .samples_dropped
+            .fetch_add(lost_in_queue as u64, Ordering::Relaxed);
+
+        let ctx = self.worker_ctx(Arc::clone(&shard.depth));
+        let mut initial: Vec<(u64, SessionSlot)> = Vec::new();
+        let mut recovered = 0u32;
+        let mut lost = 0u32;
+        // A clean exit (only possible in pathological shutdown races)
+        // hands back live pipelines; reuse them directly.
+        for (id, pipeline) in survivors {
+            initial.push((
+                id.0,
+                SessionSlot {
+                    pipeline,
+                    delivered: 0,
+                    since_checkpoint: 0,
+                },
+            ));
+        }
+        let assigned: Vec<u64> = read_lock(&self.registry)
+            .iter()
+            .filter(|(&id, status)| {
+                matches!(status, SessionStatus::Active)
+                    && (id % self.shards.len() as u64) as usize == idx
+                    && !initial.iter().any(|(s, _)| *s == id)
+            })
+            .map(|(&id, _)| id)
+            .collect();
+        for id in assigned {
+            let delivered = self.store.lock().get(&id).map_or(0, |e| e.delivered);
+            match decide_recovery(&ctx, id, delivered) {
+                Recovery::Restore {
+                    pipeline,
+                    resumed_at_sample,
+                    restarts_in_window,
+                } => {
+                    initial.push((
+                        id,
+                        SessionSlot {
+                            pipeline: *pipeline,
+                            delivered,
+                            since_checkpoint: 0,
+                        },
+                    ));
+                    self.metrics
+                        .sessions_restored
+                        .fetch_add(1, Ordering::Relaxed);
+                    mutex_lock(&self.events).push(FleetEvent::SessionRestored {
+                        id: SessionId(id),
+                        resumed_at_sample,
+                        restarts_in_window,
+                    });
+                    recovered += 1;
+                }
+                Recovery::Quarantine(reason) => {
+                    quarantine(&ctx, id, reason);
+                    lost += 1;
+                }
+            }
+        }
+        let (tx, handle) = self.spawn_worker(Arc::clone(&shard.depth), initial);
+        link.tx = Some(tx);
+        link.handle = Some(handle);
+        self.metrics
+            .workers_respawned
+            .fetch_add(1, Ordering::Relaxed);
+        mutex_lock(&self.events).push(FleetEvent::WorkerRespawned {
+            shard: idx,
+            recovered,
+            lost,
+        });
+        true
+    }
+
+    /// Sends a control message, blocking if the shard queue is full
+    /// (control operations are rare and must not be droppable). A dead
+    /// worker triggers one respawn-and-retry before giving up.
     fn control_send(&self, id: SessionId, msg: ShardMsg) -> Result<(), FleetError> {
-        let shard = self.shard_of(id);
-        let tx = shard.tx.as_ref().ok_or(FleetError::Disconnected)?;
-        shard.depth.inc();
-        tx.send(msg).map_err(|_| {
-            shard.depth.dec();
-            FleetError::Disconnected
-        })
+        let idx = self.shard_index(id);
+        let shard = &self.shards[idx];
+        let mut msg = msg;
+        for attempt in 0..2 {
+            {
+                let link = read_lock(&shard.link);
+                let Some(tx) = link.tx.as_ref() else {
+                    return Err(FleetError::Disconnected);
+                };
+                shard.depth.inc();
+                match tx.send(msg) {
+                    Ok(()) => return Ok(()),
+                    Err(std::sync::mpsc::SendError(m)) => {
+                        shard.depth.dec();
+                        msg = m;
+                    }
+                }
+            }
+            if attempt == 0 && !self.respawn_shard(idx) {
+                return Err(FleetError::Disconnected);
+            }
+        }
+        Err(FleetError::Disconnected)
     }
 
     /// Installs a calibrated pipeline as a new session. Blocks until the
@@ -222,9 +495,20 @@ impl FleetEngine {
     /// inside the pipeline are discarded: the fleet log covers a session's
     /// life *inside* the fleet, and the caller had full access to
     /// `events()` before handing the pipeline over.
+    ///
+    /// A quarantined id may be re-created: the replacement starts fresh
+    /// (new checkpoint lineage, new restart budget).
     pub fn create(&self, id: SessionId, pipeline: DriftPipeline) -> Result<(), FleetError> {
-        if self.registry.read().expect("registry lock").contains(&id.0) {
-            return Err(FleetError::DuplicateSession(id));
+        {
+            let mut registry = write_lock(&self.registry);
+            match registry.get(&id.0) {
+                Some(SessionStatus::Active) => return Err(FleetError::DuplicateSession(id)),
+                Some(SessionStatus::Quarantined(_)) => {
+                    registry.remove(&id.0);
+                    self.store.remove(id.0);
+                }
+                None => {}
+            }
         }
         let (reply, rx) = channel();
         self.control_send(
@@ -236,7 +520,7 @@ impl FleetEngine {
             },
         )?;
         rx.recv().map_err(|_| FleetError::Disconnected)??;
-        self.registry.write().expect("registry lock").insert(id.0);
+        write_lock(&self.registry).insert(id.0, SessionStatus::Active);
         Ok(())
     }
 
@@ -248,31 +532,45 @@ impl FleetEngine {
     }
 
     fn try_feed(&self, id: SessionId, sample: &[Real], count_busy: bool) -> FeedReply {
-        if !self.registry.read().expect("registry lock").contains(&id.0) {
-            return FeedReply::UnknownSession;
+        match read_lock(&self.registry).get(&id.0) {
+            None => return FeedReply::UnknownSession,
+            Some(SessionStatus::Quarantined(_)) => return FeedReply::Quarantined,
+            Some(SessionStatus::Active) => {}
         }
-        let shard = self.shard_of(id);
-        let Some(tx) = shard.tx.as_ref() else {
-            return FeedReply::Busy;
-        };
-        shard.depth.inc();
-        match tx.try_send(ShardMsg::Feed {
+        let idx = self.shard_index(id);
+        let shard = &self.shards[idx];
+        let mut msg = ShardMsg::Feed {
             id: id.0,
             sample: sample.to_vec(),
-        }) {
-            Ok(()) => FeedReply::Enqueued,
-            Err(TrySendError::Full(_)) => {
-                shard.depth.dec();
-                if count_busy {
-                    self.metrics.busy_rejections.fetch_add(1, Ordering::Relaxed);
+        };
+        for attempt in 0..2 {
+            {
+                let link = read_lock(&shard.link);
+                let Some(tx) = link.tx.as_ref() else {
+                    return FeedReply::Busy;
+                };
+                shard.depth.inc();
+                match tx.try_send(msg) {
+                    Ok(()) => return FeedReply::Enqueued,
+                    Err(TrySendError::Full(_)) => {
+                        shard.depth.dec();
+                        if count_busy {
+                            self.metrics.busy_rejections.fetch_add(1, Ordering::Relaxed);
+                        }
+                        return FeedReply::Busy;
+                    }
+                    Err(TrySendError::Disconnected(m)) => {
+                        shard.depth.dec();
+                        msg = m;
+                    }
                 }
-                FeedReply::Busy
             }
-            Err(TrySendError::Disconnected(_)) => {
-                shard.depth.dec();
-                FeedReply::Busy
+            // The worker died: respawn it and retry the send once.
+            if attempt == 0 && !self.respawn_shard(idx) {
+                return FeedReply::Busy;
             }
         }
+        FeedReply::Busy
     }
 
     /// Queues one sample for a session without blocking. A full shard queue
@@ -282,18 +580,47 @@ impl FleetEngine {
         self.try_feed(id, sample, true)
     }
 
-    /// Cooperative blocking feed: retries a `Busy` shard (yielding between
-    /// attempts) until the sample is queued. Used by replay-style callers
-    /// that prefer throttling over dropping; live ingest paths should call
-    /// [`FleetEngine::feed`] and shed load instead. `Busy` spins here are
-    /// not counted in `busy_rejections`.
+    /// Cooperative blocking feed: retries a `Busy` shard with exponential
+    /// backoff (a few yields, then sleeps doubling up to ~1 ms) until the
+    /// sample is queued or `FleetConfig::feed_timeout` elapses, at which
+    /// point it returns [`FleetError::Timeout`]. Used by replay-style
+    /// callers that prefer throttling over dropping; live ingest paths
+    /// should call [`FleetEngine::feed`] and shed load instead. `Busy`
+    /// spins here are not counted in `busy_rejections`.
     pub fn feed_blocking(&self, id: SessionId, sample: &[Real]) -> Result<(), FleetError> {
+        let mut deadline: Option<Instant> = None;
+        let mut spins: u32 = 0;
         loop {
             match self.try_feed(id, sample, false) {
                 FeedReply::Enqueued => return Ok(()),
-                FeedReply::Busy => std::thread::yield_now(),
                 FeedReply::UnknownSession => return Err(FleetError::UnknownSession(id)),
+                FeedReply::Quarantined => return Err(FleetError::SessionQuarantined(id)),
+                FeedReply::Busy => {
+                    let now = Instant::now();
+                    let at = *deadline.get_or_insert(now + self.cfg.feed_timeout);
+                    if now >= at {
+                        self.metrics.feed_timeouts.fetch_add(1, Ordering::Relaxed);
+                        return Err(FleetError::Timeout(id));
+                    }
+                    if spins < 8 {
+                        std::thread::yield_now();
+                    } else {
+                        // 1 µs doubling to a 1.024 ms ceiling.
+                        let exp = (spins - 8).min(10);
+                        std::thread::sleep(Duration::from_micros(1 << exp));
+                    }
+                    spins = spins.saturating_add(1);
+                }
             }
+        }
+    }
+
+    /// Re-checks the registry after a worker reported the session missing:
+    /// the session may have been quarantined while the request was queued.
+    fn refine_missing(&self, id: SessionId) -> FleetError {
+        match read_lock(&self.registry).get(&id.0) {
+            Some(SessionStatus::Quarantined(_)) => FleetError::SessionQuarantined(id),
+            _ => FleetError::UnknownSession(id),
         }
     }
 
@@ -303,24 +630,35 @@ impl FleetEngine {
     /// sessions refuse to checkpoint (the persist contract); the error
     /// comes back as [`FleetError::Core`].
     pub fn snapshot(&self, id: SessionId) -> Result<Vec<u8>, FleetError> {
-        if !self.registry.read().expect("registry lock").contains(&id.0) {
-            return Err(FleetError::UnknownSession(id));
+        match read_lock(&self.registry).get(&id.0) {
+            None => return Err(FleetError::UnknownSession(id)),
+            Some(SessionStatus::Quarantined(_)) => return Err(FleetError::SessionQuarantined(id)),
+            Some(SessionStatus::Active) => {}
         }
         let (reply, rx) = channel();
         self.control_send(id, ShardMsg::Snapshot { id: id.0, reply })?;
-        rx.recv().map_err(|_| FleetError::Disconnected)?
+        match rx.recv().map_err(|_| FleetError::Disconnected)? {
+            Err(FleetError::UnknownSession(_)) => Err(self.refine_missing(id)),
+            other => other,
+        }
     }
 
     /// Removes a session and returns its live pipeline (with any samples
     /// fed before the call already applied).
     pub fn evict(&self, id: SessionId) -> Result<DriftPipeline, FleetError> {
-        if !self.registry.read().expect("registry lock").contains(&id.0) {
-            return Err(FleetError::UnknownSession(id));
+        match read_lock(&self.registry).get(&id.0) {
+            None => return Err(FleetError::UnknownSession(id)),
+            Some(SessionStatus::Quarantined(_)) => return Err(FleetError::SessionQuarantined(id)),
+            Some(SessionStatus::Active) => {}
         }
         let (reply, rx) = channel();
         self.control_send(id, ShardMsg::Evict { id: id.0, reply })?;
-        let pipeline = rx.recv().map_err(|_| FleetError::Disconnected)??;
-        self.registry.write().expect("registry lock").remove(&id.0);
+        let pipeline = match rx.recv().map_err(|_| FleetError::Disconnected)? {
+            Err(FleetError::UnknownSession(_)) => return Err(self.refine_missing(id)),
+            other => other?,
+        };
+        write_lock(&self.registry).remove(&id.0);
+        self.store.remove(id.0);
         Ok(*pipeline)
     }
 
@@ -330,37 +668,64 @@ impl FleetEngine {
         self.metrics.snapshot(depths)
     }
 
-    /// Removes and returns the `(session, event)` log accumulated since the
-    /// last drain. The global interleaving across sessions follows worker
-    /// completion order; each session's own subsequence is in stream order.
-    pub fn drain_events(&self) -> Vec<(SessionId, PipelineEvent)> {
-        std::mem::take(&mut *self.events.lock().expect("events lock"))
+    /// Removes and returns the event log accumulated since the last drain.
+    /// The global interleaving across sessions follows worker completion
+    /// order; each session's own subsequence is in stream order.
+    pub fn drain_events(&self) -> Vec<FleetEvent> {
+        std::mem::take(&mut *mutex_lock(&self.events))
     }
 
-    /// Drains every queue, joins the workers, and returns each session's
-    /// final state (sorted by id), the undrained events, and the final
-    /// counters. All samples fed before this call are applied before the
-    /// report is built.
-    pub fn shutdown(mut self) -> ShutdownReport {
-        let mut shards = std::mem::take(&mut self.shards);
+    /// Drains every queue, joins the workers, and returns each surviving
+    /// session's final state (sorted by id), the quarantined and lost
+    /// sessions, the undrained events, and the final counters. All samples
+    /// fed before this call are applied before the report is built.
+    ///
+    /// Never panics: a worker that died with its sessions is joined
+    /// defensively and its Active sessions are reported in
+    /// [`ShutdownReport::lost`] with their last checkpoints.
+    pub fn shutdown(self) -> ShutdownReport {
         // Drop every sender first so all workers drain concurrently...
-        for shard in &mut shards {
-            shard.tx = None;
+        for shard in &self.shards {
+            write_lock(&shard.link).tx = None;
         }
-        // ...then join and merge their final session maps.
+        // ...then join and merge their final session maps. A panicked
+        // worker (join error) loses its sessions; report, don't unwind.
         let mut sessions = Vec::new();
-        for shard in &mut shards {
-            if let Some(handle) = shard.handle.take() {
-                sessions.extend(handle.join().expect("fleet worker panicked"));
+        let mut lost: Vec<LostSession> = Vec::new();
+        for (idx, shard) in self.shards.iter().enumerate() {
+            let handle = write_lock(&shard.link).handle.take();
+            let Some(handle) = handle else { continue };
+            match handle.join() {
+                Ok(survivors) => sessions.extend(survivors),
+                Err(_) => {
+                    let assigned: Vec<u64> = read_lock(&self.registry)
+                        .iter()
+                        .filter(|(&id, status)| {
+                            matches!(status, SessionStatus::Active)
+                                && (id % self.shards.len() as u64) as usize == idx
+                        })
+                        .map(|(&id, _)| id)
+                        .collect();
+                    for id in assigned {
+                        lost.push(LostSession {
+                            id: SessionId(id),
+                            checkpoint: self.store.blob_of(id),
+                        });
+                    }
+                }
             }
         }
         sessions.sort_by_key(|(id, _)| *id);
-        let events = std::mem::take(&mut *self.events.lock().expect("events lock"));
+        lost.sort_by_key(|s| s.id);
+        let quarantined = self.quarantined_sessions();
+        let events = std::mem::take(&mut *mutex_lock(&self.events));
         let metrics = self
             .metrics
-            .snapshot(shards.iter().map(|s| s.depth.get()).collect());
+            .snapshot(self.shards.iter().map(|s| s.depth.get()).collect());
         ShutdownReport {
             sessions,
+            quarantined,
+            lost,
             events,
             metrics,
         }
@@ -369,110 +734,25 @@ impl FleetEngine {
 
 impl Drop for FleetEngine {
     /// Dropping without [`FleetEngine::shutdown`] still drains and joins the
-    /// workers (final states are discarded).
+    /// workers (final states are discarded; join errors are swallowed).
     fn drop(&mut self) {
-        for shard in &mut self.shards {
-            shard.tx = None;
+        for shard in &self.shards {
+            write_lock(&shard.link).tx = None;
         }
-        for shard in &mut self.shards {
-            if let Some(handle) = shard.handle.take() {
+        for shard in &self.shards {
+            let handle = write_lock(&shard.link).handle.take();
+            if let Some(handle) = handle {
                 let _ = handle.join();
             }
         }
     }
 }
 
-/// One shard's event loop. Exits (after draining the queue) when the engine
-/// drops the sending side.
-fn worker_loop(
-    rx: Receiver<ShardMsg>,
-    depth: Arc<QueueDepth>,
-    metrics: Arc<FleetMetrics>,
-    events: Arc<Mutex<Vec<(SessionId, PipelineEvent)>>>,
-) -> Vec<(SessionId, DriftPipeline)> {
-    let mut sessions: HashMap<u64, DriftPipeline> = HashMap::new();
-    while let Ok(msg) = rx.recv() {
-        depth.dec();
-        match msg {
-            ShardMsg::Create {
-                id,
-                mut pipeline,
-                reply,
-            } => {
-                let result =
-                    if let std::collections::hash_map::Entry::Vacant(e) = sessions.entry(id) {
-                        pipeline.drain_events();
-                        e.insert(*pipeline);
-                        metrics.sessions.fetch_add(1, Ordering::Relaxed);
-                        Ok(())
-                    } else {
-                        Err(FleetError::DuplicateSession(SessionId(id)))
-                    };
-                let _ = reply.send(result);
-            }
-            ShardMsg::Feed { id, sample } => {
-                let Some(pipeline) = sessions.get_mut(&id) else {
-                    metrics.samples_dropped.fetch_add(1, Ordering::Relaxed);
-                    continue;
-                };
-                match pipeline.process(&sample) {
-                    Ok(_) => {
-                        metrics.samples_processed.fetch_add(1, Ordering::Relaxed);
-                    }
-                    Err(_) => {
-                        // A bad sample (e.g. NaN from a faulty sensor) drops;
-                        // the session itself stays healthy.
-                        metrics.samples_dropped.fetch_add(1, Ordering::Relaxed);
-                    }
-                }
-                let fresh = pipeline.drain_events();
-                if !fresh.is_empty() {
-                    for e in &fresh {
-                        match e {
-                            PipelineEvent::DriftDetected { .. } => {
-                                metrics.drifts_flagged.fetch_add(1, Ordering::Relaxed);
-                            }
-                            PipelineEvent::Reconstructed { .. } => {
-                                metrics
-                                    .reconstructions_completed
-                                    .fetch_add(1, Ordering::Relaxed);
-                            }
-                        }
-                    }
-                    let mut log = events.lock().expect("events lock");
-                    log.extend(fresh.into_iter().map(|e| (SessionId(id), e)));
-                }
-            }
-            ShardMsg::Snapshot { id, reply } => {
-                let result = match sessions.get(&id) {
-                    Some(pipeline) => pipeline.to_bytes().map_err(FleetError::Core),
-                    None => Err(FleetError::UnknownSession(SessionId(id))),
-                };
-                let _ = reply.send(result);
-            }
-            ShardMsg::Evict { id, reply } => {
-                let result = match sessions.remove(&id) {
-                    Some(pipeline) => {
-                        metrics.sessions.fetch_sub(1, Ordering::Relaxed);
-                        Ok(Box::new(pipeline))
-                    }
-                    None => Err(FleetError::UnknownSession(SessionId(id))),
-                };
-                let _ = reply.send(result);
-            }
-        }
-    }
-    let mut out: Vec<(SessionId, DriftPipeline)> = sessions
-        .into_iter()
-        .map(|(id, p)| (SessionId(id), p))
-        .collect();
-    out.sort_by_key(|(id, _)| *id);
-    out
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::Fault;
+    use seqdrift_core::pipeline::PipelineEvent;
     use seqdrift_core::DetectorConfig;
     use seqdrift_linalg::Rng;
     use seqdrift_oselm::{MultiInstanceModel, OsElmConfig};
@@ -591,7 +871,7 @@ mod tests {
             match fleet.feed(SessionId(0), &sample(&mut rng, 0.2)) {
                 FeedReply::Enqueued => enqueued += 1,
                 FeedReply::Busy => busy += 1,
-                FeedReply::UnknownSession => unreachable!(),
+                FeedReply::UnknownSession | FeedReply::Quarantined => unreachable!(),
             }
             assert!(fleet.metrics().queue_depths[0] <= 2);
         }
@@ -626,15 +906,23 @@ mod tests {
         let report = fleet.shutdown();
         assert!(report.metrics.drifts_flagged >= 1, "{:?}", report.metrics);
         assert!(
-            report
-                .events
-                .iter()
-                .any(|(id, e)| *id == SessionId(2)
-                    && matches!(e, PipelineEvent::DriftDetected { .. })),
+            report.events.iter().any(|e| matches!(
+                e,
+                FleetEvent::Pipeline {
+                    id: SessionId(2),
+                    event: PipelineEvent::DriftDetected { .. }
+                }
+            )),
             "drift not attributed to the drifting device"
         );
         // Devices that stayed stable flagged nothing.
-        assert!(report.events.iter().all(|(id, _)| *id == SessionId(2)));
+        assert!(report.events.iter().all(|e| matches!(
+            e,
+            FleetEvent::Pipeline {
+                id: SessionId(2),
+                ..
+            }
+        )));
         assert_eq!(report.metrics.samples_processed, 4 * 60 + 600);
     }
 
@@ -659,6 +947,9 @@ mod tests {
     fn rejects_degenerate_configs() {
         assert!(FleetEngine::new(FleetConfig::new(0)).is_err());
         assert!(FleetEngine::new(FleetConfig::new(1).with_queue_capacity(0)).is_err());
+        assert!(FleetEngine::new(FleetConfig::new(1).with_checkpoint_interval(0)).is_err());
+        assert!(FleetEngine::new(FleetConfig::new(1).with_restart_budget(3, 0)).is_err());
+        assert!(FleetEngine::new(FleetConfig::new(1).with_feed_timeout(Duration::ZERO)).is_err());
     }
 
     #[test]
@@ -679,5 +970,94 @@ mod tests {
         assert_eq!(report.metrics.samples_processed, 2);
         assert_eq!(report.metrics.samples_dropped, 1);
         assert_eq!(report.sessions[0].1.samples_processed(), 2);
+    }
+
+    #[test]
+    fn feed_blocking_times_out_under_sustained_backpressure() {
+        // A 100 ms stall per sample against a 30 ms budget: once the
+        // 1-deep queue fills behind the stalled worker, the deadline must
+        // fire instead of spinning forever.
+        let injector = FaultInjector::new(vec![Fault::SlowSession {
+            session: 0,
+            every: 1,
+            micros: 100_000,
+        }]);
+        let fleet = FleetEngine::new(
+            FleetConfig::new(1)
+                .with_queue_capacity(1)
+                .with_feed_timeout(Duration::from_millis(30))
+                .with_fault_injector(injector),
+        )
+        .unwrap();
+        fleet.create(SessionId(0), calibrated_pipeline(10)).unwrap();
+        let mut rng = Rng::seed_from(21);
+        let started = Instant::now();
+        let mut timed_out = false;
+        for _ in 0..100 {
+            match fleet.feed_blocking(SessionId(0), &sample(&mut rng, 0.2)) {
+                Ok(()) => {}
+                Err(FleetError::Timeout(id)) => {
+                    assert_eq!(id, SessionId(0));
+                    timed_out = true;
+                    break;
+                }
+                Err(other) => panic!("unexpected error: {other}"),
+            }
+            if started.elapsed() > Duration::from_secs(20) {
+                break;
+            }
+        }
+        assert!(timed_out, "never hit the blocking-feed timeout");
+        assert!(fleet.metrics().feed_timeouts >= 1);
+    }
+
+    #[test]
+    fn quarantined_id_can_be_recreated() {
+        // Panic before any post-create sample: budget allows a restore,
+        // so force exhaustion with a zero-restart budget instead.
+        let injector = FaultInjector::new(vec![Fault::PanicOnSample { session: 0, nth: 5 }]);
+        let fleet = FleetEngine::new(
+            FleetConfig::new(1)
+                .with_restart_budget(0, 1024)
+                .with_fault_injector(injector),
+        )
+        .unwrap();
+        fleet.create(SessionId(0), calibrated_pipeline(11)).unwrap();
+        let mut rng = Rng::seed_from(23);
+        for _ in 0..10 {
+            let x = sample(&mut rng, 0.2);
+            match fleet.feed_blocking(SessionId(0), &x) {
+                Ok(()) | Err(FleetError::SessionQuarantined(_)) => {}
+                Err(other) => panic!("unexpected error: {other}"),
+            }
+        }
+        // Wait for the worker to drain and quarantine.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while fleet.quarantined_sessions().is_empty() && Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        assert_eq!(
+            fleet.quarantined_sessions(),
+            vec![(SessionId(0), QuarantineReason::RestartBudgetExhausted)]
+        );
+        assert_eq!(
+            fleet.feed(SessionId(0), &[0.2; DIM]),
+            FeedReply::Quarantined
+        );
+        assert!(matches!(
+            fleet.snapshot(SessionId(0)),
+            Err(FleetError::SessionQuarantined(_))
+        ));
+        // The last checkpoint stays retrievable for graceful degradation.
+        assert!(fleet.last_checkpoint(SessionId(0)).is_some());
+        // And the id can be replaced with a fresh session.
+        fleet.create(SessionId(0), calibrated_pipeline(12)).unwrap();
+        assert_eq!(fleet.session_count(), 1);
+        fleet
+            .feed_blocking(SessionId(0), &sample(&mut rng, 0.2))
+            .unwrap();
+        let report = fleet.shutdown();
+        assert_eq!(report.sessions.len(), 1);
+        assert_eq!(report.sessions[0].1.samples_processed(), 1);
     }
 }

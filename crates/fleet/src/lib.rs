@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 //! # seqdrift-fleet
 //!
@@ -27,11 +28,21 @@
 //!   [`FleetEngine::feed`] never blocks: a full queue returns
 //!   [`FeedReply::Busy`] so the caller can degrade gracefully (drop, retry,
 //!   shed load) instead of growing memory without bound.
+//!   [`FleetEngine::feed_blocking`] retries with exponential backoff but
+//!   gives up with [`FleetError::Timeout`] after a configurable deadline.
+//! * **Fault tolerance** — a panicking session is caught by the shard's
+//!   supervision wrapper (the `supervisor` module): it is restored from its
+//!   rolling checkpoint within a bounded restart budget, or permanently
+//!   quarantined ([`FeedReply::Quarantined`]) — its co-sharded neighbours
+//!   never notice. Dead worker threads are detected, respawned and their
+//!   shards re-homed. Every recovery path is reproducibly exercisable via
+//!   the seeded [`FaultInjector`]. [`FleetEngine::shutdown`] never panics.
 //! * **Observability** — [`FleetEngine::metrics`] reads lock-free aggregate
-//!   counters; [`FleetEngine::drain_events`] returns the `(session,
-//!   PipelineEvent)` log so callers can see *which* device drifted.
+//!   counters; [`FleetEngine::drain_events`] returns the [`FleetEvent`] log
+//!   so callers can see *which* device drifted, panicked, or recovered.
 //! * **Shutdown** — [`FleetEngine::shutdown`] drains every queue, joins the
-//!   workers, and returns each session's final pipeline.
+//!   workers, and returns each surviving session's final pipeline plus the
+//!   quarantined and lost ones.
 //!
 //! ## Example
 //!
@@ -68,7 +79,11 @@
 //! ```
 
 mod engine;
+mod fault;
 mod metrics;
+mod supervisor;
 
 pub use engine::{FeedReply, FleetConfig, FleetEngine, FleetError, SessionId, ShutdownReport};
+pub use fault::{Fault, FaultInjector};
 pub use metrics::MetricsSnapshot;
+pub use supervisor::{FleetEvent, LostSession, QuarantineReason, SessionStatus};

@@ -2,7 +2,8 @@
 //!
 //! Workers bump plain atomic counters on their hot path; readers take a
 //! consistent-enough snapshot without stopping the world. Only the event
-//! log (rare: drifts and reconstruction completions) takes a mutex.
+//! log (rare: drifts, reconstructions, supervision lifecycle) takes a
+//! mutex.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
@@ -18,11 +19,24 @@ pub(crate) struct FleetMetrics {
     /// Feeds rejected with `Busy` (queue full at the time of the call).
     pub busy_rejections: AtomicU64,
     /// Samples dropped by workers: fed to a session that no longer (or
-    /// never) existed on the shard, or rejected by the pipeline (e.g.
-    /// non-finite input).
+    /// never) existed on the shard, rejected by the pipeline (e.g.
+    /// non-finite input), or stranded on a dead worker's queue.
     pub samples_dropped: AtomicU64,
     /// Live session count.
     pub sessions: AtomicU64,
+    /// Session pipeline-step panics caught by the supervision wrapper.
+    pub panics_caught: AtomicU64,
+    /// Sessions restored from a rolling checkpoint after a panic or a
+    /// worker death.
+    pub sessions_restored: AtomicU64,
+    /// Sessions permanently quarantined.
+    pub sessions_quarantined: AtomicU64,
+    /// Dead worker threads detected and replaced.
+    pub workers_respawned: AtomicU64,
+    /// Checkpoint blobs deliberately damaged by the fault injector.
+    pub checkpoints_corrupted: AtomicU64,
+    /// Blocking feeds that gave up after `FleetConfig::feed_timeout`.
+    pub feed_timeouts: AtomicU64,
 }
 
 /// Per-shard ingress-queue depth, incremented on enqueue and decremented
@@ -42,6 +56,12 @@ impl QueueDepth {
     pub fn get(&self) -> usize {
         self.0.load(Ordering::Relaxed)
     }
+
+    /// Zeroes the depth (the queue's messages died with its worker) and
+    /// returns how many messages were stranded.
+    pub fn reset(&self) -> usize {
+        self.0.swap(0, Ordering::Relaxed)
+    }
 }
 
 /// A point-in-time copy of the fleet's aggregate counters.
@@ -55,10 +75,23 @@ pub struct MetricsSnapshot {
     pub reconstructions_completed: u64,
     /// Feeds rejected with `Busy`.
     pub busy_rejections: u64,
-    /// Samples dropped (unknown session or pipeline rejection).
+    /// Samples dropped (unknown session, pipeline rejection, or stranded
+    /// on a dead worker's queue).
     pub samples_dropped: u64,
     /// Live session count.
     pub sessions: u64,
+    /// Session panics caught by the supervision wrapper.
+    pub panics_caught: u64,
+    /// Sessions restored from a rolling checkpoint.
+    pub sessions_restored: u64,
+    /// Sessions permanently quarantined.
+    pub sessions_quarantined: u64,
+    /// Dead worker threads detected and replaced.
+    pub workers_respawned: u64,
+    /// Checkpoint blobs damaged by the fault injector.
+    pub checkpoints_corrupted: u64,
+    /// Blocking feeds that timed out under sustained backpressure.
+    pub feed_timeouts: u64,
     /// Ingress-queue depth per shard at snapshot time.
     pub queue_depths: Vec<usize>,
 }
@@ -72,6 +105,12 @@ impl FleetMetrics {
             busy_rejections: self.busy_rejections.load(Ordering::Relaxed),
             samples_dropped: self.samples_dropped.load(Ordering::Relaxed),
             sessions: self.sessions.load(Ordering::Relaxed),
+            panics_caught: self.panics_caught.load(Ordering::Relaxed),
+            sessions_restored: self.sessions_restored.load(Ordering::Relaxed),
+            sessions_quarantined: self.sessions_quarantined.load(Ordering::Relaxed),
+            workers_respawned: self.workers_respawned.load(Ordering::Relaxed),
+            checkpoints_corrupted: self.checkpoints_corrupted.load(Ordering::Relaxed),
+            feed_timeouts: self.feed_timeouts.load(Ordering::Relaxed),
             queue_depths,
         }
     }

@@ -5,7 +5,7 @@
 
 use seqdrift_core::pipeline::PipelineEvent;
 use seqdrift_core::{DetectorConfig, DriftPipeline};
-use seqdrift_fleet::{FleetConfig, FleetEngine, SessionId};
+use seqdrift_fleet::{FleetConfig, FleetEngine, FleetEvent, SessionId};
 use seqdrift_linalg::{Real, Rng};
 use seqdrift_oselm::{MultiInstanceModel, OsElmConfig};
 use std::collections::BTreeMap;
@@ -75,8 +75,10 @@ fn run_with_workers(
     for (id, pipeline) in &report.sessions {
         out.insert(id.0, (Vec::new(), pipeline.to_bytes().unwrap()));
     }
-    for (id, event) in &report.events {
-        out.get_mut(&id.0).unwrap().0.push(*event);
+    for fleet_event in &report.events {
+        if let FleetEvent::Pipeline { id, event } = fleet_event {
+            out.get_mut(&id.0).unwrap().0.push(*event);
+        }
     }
     out
 }

@@ -133,12 +133,19 @@ impl<'a> Reader<'a> {
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
-        if self.pos + n > self.data.len() {
+        if n > self.remaining() {
             return Err(WireError::Truncated);
         }
         let s = &self.data[self.pos..self.pos + n];
         self.pos += n;
         Ok(s)
+    }
+
+    /// Bytes not yet consumed. Decoders use this to bound allocations
+    /// *before* trusting a length field: a blob can never legitimately
+    /// describe more payload than it has bytes left.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
     }
 
     /// Reads one byte.
@@ -167,13 +174,16 @@ impl<'a> Reader<'a> {
         Ok(Real::from_le_bytes(arr))
     }
 
-    /// Reads a length-prefixed scalar run.
+    /// Reads a length-prefixed scalar run. The length field is checked
+    /// against the bytes actually remaining before any allocation, so a
+    /// length-lying blob fails with `Truncated` instead of reserving
+    /// gigabytes.
     pub fn reals(&mut self) -> Result<Vec<Real>, WireError> {
-        let n = self.u64()? as usize;
-        if n > self.data.len() {
-            // A blob cannot legitimately claim more scalars than bytes.
+        let n = self.u64()?;
+        if n > (self.remaining() / core::mem::size_of::<Real>()) as u64 {
             return Err(WireError::Truncated);
         }
+        let n = n as usize;
         let mut out = Vec::with_capacity(n);
         for _ in 0..n {
             out.push(self.real()?);
@@ -181,12 +191,14 @@ impl<'a> Reader<'a> {
         Ok(out)
     }
 
-    /// Reads a length-prefixed u64 run.
+    /// Reads a length-prefixed u64 run (length checked against remaining
+    /// bytes before allocating, as in [`Reader::reals`]).
     pub fn u64s(&mut self) -> Result<Vec<u64>, WireError> {
-        let n = self.u64()? as usize;
-        if n > self.data.len() {
+        let n = self.u64()?;
+        if n > (self.remaining() / 8) as u64 {
             return Err(WireError::Truncated);
         }
+        let n = n as usize;
         let mut out = Vec::with_capacity(n);
         for _ in 0..n {
             out.push(self.u64()?);
@@ -278,5 +290,38 @@ mod tests {
         let blob = w.into_bytes();
         let mut r = Reader::new(&blob, 1).unwrap();
         assert!(r.reals().is_err());
+    }
+
+    #[test]
+    fn length_lying_prefix_rejected_before_allocation() {
+        // Claim barely more scalars than the remaining bytes can hold:
+        // the old scalar-count-vs-byte-count guard let this through and
+        // over-allocated by sizeof(Real).
+        let mut w = Writer::new(1);
+        w.reals(&[1.0, 2.0, 3.0]);
+        let mut blob = w.into_bytes();
+        let lie = (4u64).to_le_bytes(); // 3 scalars present, claim 4
+        blob[8..16].copy_from_slice(&lie);
+        let mut r = Reader::new(&blob, 1).unwrap();
+        assert_eq!(r.reals(), Err(WireError::Truncated));
+
+        // Same for u64 runs.
+        let mut w = Writer::new(1);
+        w.u64s(&[7, 8]);
+        let mut blob = w.into_bytes();
+        blob[8..16].copy_from_slice(&(3u64).to_le_bytes());
+        let mut r = Reader::new(&blob, 1).unwrap();
+        assert_eq!(r.u64s(), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn remaining_tracks_cursor() {
+        let mut w = Writer::new(2);
+        w.u64(5);
+        let blob = w.into_bytes();
+        let mut r = Reader::new(&blob, 2).unwrap();
+        assert_eq!(r.remaining(), 8);
+        r.u64().unwrap();
+        assert_eq!(r.remaining(), 0);
     }
 }

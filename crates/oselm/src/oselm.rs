@@ -552,7 +552,16 @@ impl OsElm {
     ) -> Result<OsElm> {
         cfg.validate()?;
         let (hd, id, od) = (cfg.hidden_dim, cfg.input_dim, cfg.output_dim);
-        if w.len() != hd * id || b.len() != hd || p.len() != hd * hd || beta.len() != hd * od {
+        // Checked arithmetic: dims may come from an untrusted blob, and a
+        // wrapping product could make a mismatched buffer look right.
+        let (Some(w_len), Some(p_len), Some(beta_len)) =
+            (hd.checked_mul(id), hd.checked_mul(hd), hd.checked_mul(od))
+        else {
+            return Err(ModelError::InvalidConfig(
+                "from_parts: dimension product overflows",
+            ));
+        };
+        if w.len() != w_len || b.len() != hd || p.len() != p_len || beta.len() != beta_len {
             return Err(ModelError::InvalidConfig(
                 "from_parts: buffer length does not match config",
             ));

@@ -99,6 +99,13 @@ pub fn read_oselm_body(r: &mut Reader<'_>) -> Result<OsElm> {
     let input_dim = r.u64().map_err(wire_err)? as usize;
     let hidden_dim = r.u64().map_err(wire_err)? as usize;
     let output_dim = r.u64().map_err(wire_err)? as usize;
+    // Cap the shape before building any buffers: a hostile blob must not
+    // be able to describe a terabyte-scale network (16M-wide layers are
+    // already far beyond anything this workspace trains).
+    const MAX_DIM: usize = 16_777_216;
+    if input_dim > MAX_DIM || hidden_dim > MAX_DIM || output_dim > MAX_DIM {
+        return Err(ModelError::InvalidConfig("persist: dimension too large"));
+    }
     let activation = activation_from(r.u8().map_err(wire_err)?)?;
     let seed = r.u64().map_err(wire_err)?;
     let lambda = r.real().map_err(wire_err)?;

@@ -23,7 +23,8 @@
 //! * [`eval`] — the experiment harness regenerating every table and figure
 //!   of the paper;
 //! * [`fleet`] — the multi-tenant serving layer multiplexing many
-//!   independent pipeline sessions across a fixed worker pool;
+//!   independent pipeline sessions across a supervised worker pool with
+//!   panic isolation, checkpoint-based recovery and fault injection;
 //! * [`linalg`] — the shared dense/stack linear-algebra substrate.
 //!
 //! ## Quickstart
@@ -79,7 +80,10 @@ pub mod prelude {
         pipeline::{DriftPipeline, PipelineOutput},
         threshold::calibrate_drift_threshold,
     };
-    pub use seqdrift_fleet::{FeedReply, FleetConfig, FleetEngine, SessionId};
+    pub use seqdrift_fleet::{
+        Fault, FaultInjector, FeedReply, FleetConfig, FleetEngine, FleetError, FleetEvent,
+        QuarantineReason, SessionId, SessionStatus,
+    };
     pub use seqdrift_linalg::{Matrix, Real, Rng};
     pub use seqdrift_oselm::{
         autoencoder::Autoencoder,

@@ -57,8 +57,13 @@ fn fleet_isolates_drift_to_the_drifting_devices() {
     let drifted_devices: std::collections::BTreeSet<u64> = report
         .events
         .iter()
-        .filter(|(_, e)| matches!(e, PipelineEvent::DriftDetected { .. }))
-        .map(|(id, _)| id.0)
+        .filter_map(|e| match e {
+            FleetEvent::Pipeline {
+                id,
+                event: PipelineEvent::DriftDetected { .. },
+            } => Some(id.0),
+            _ => None,
+        })
         .collect();
     for dev in drifted_devices.iter() {
         assert_eq!(dev % 2, 1, "stable device {dev} flagged drift");
