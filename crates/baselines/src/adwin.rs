@@ -78,7 +78,14 @@ impl Adwin {
 
     /// Adds a value in `[0, 1]`; returns `true` when the window was cut
     /// (a change was detected at this step).
+    ///
+    /// Non-finite values are ignored: `clamp` propagates NaN, and a single
+    /// NaN folded into `total_sum` would poison every later mean and
+    /// Hoeffding bound permanently.
     pub fn add(&mut self, value: Real) -> bool {
+        if !value.is_finite() {
+            return false;
+        }
         let v = f64::from(value).clamp(0.0, 1.0);
         self.levels[0].push_back(Bucket { sum: v, count: 1 });
         self.total_sum += v;
@@ -296,5 +303,27 @@ mod tests {
     #[should_panic(expected = "delta")]
     fn invalid_delta_panics() {
         Adwin::new(0.0);
+    }
+
+    #[test]
+    fn non_finite_values_are_ignored_and_detection_survives() {
+        let mut adwin = Adwin::default();
+        let mut rng = Rng::seed_from(6);
+        for _ in 0..1500 {
+            adwin.add(if rng.uniform() < 0.1 { 1.0 } else { 0.0 });
+        }
+        let (len, mean) = (adwin.window_len(), adwin.mean());
+        for bad in [Real::NAN, Real::INFINITY, Real::NEG_INFINITY] {
+            assert!(!adwin.add(bad));
+        }
+        // A poisoned sum would make the mean NaN; the guard keeps state
+        // untouched instead.
+        assert_eq!(adwin.window_len(), len);
+        assert_eq!(adwin.mean(), mean);
+        let mut saw_cut = false;
+        for _ in 0..1500 {
+            saw_cut |= adwin.add(if rng.uniform() < 0.7 { 1.0 } else { 0.0 });
+        }
+        assert!(saw_cut, "jump after NaN burst never detected");
     }
 }

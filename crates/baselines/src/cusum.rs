@@ -59,7 +59,14 @@ impl Cusum {
 
     /// Feeds one observation; returns which side (if any) crossed the
     /// threshold.
+    ///
+    /// Non-finite observations are ignored: `NaN.max(0.0)` evaluates to
+    /// `0.0`, so a single NaN would silently *reset* both accumulators and
+    /// mask an in-progress shift.
     pub fn push(&mut self, x: Real) -> Option<CusumSide> {
+        if !x.is_finite() {
+            return None;
+        }
         self.n += 1;
         let dev = x - self.target;
         self.up = (self.up + dev - self.k).max(0.0);
@@ -139,6 +146,26 @@ mod tests {
         for _ in 0..5000 {
             assert_eq!(c.push(rng.normal(1.1, 0.1)), None);
         }
+    }
+
+    #[test]
+    fn non_finite_values_do_not_reset_accumulators() {
+        let mut c = Cusum::new(0.0, 0.0, 100.0);
+        c.push(3.0);
+        c.push(3.0);
+        let stats = c.statistics();
+        assert!(stats.0 > 0.0);
+        for bad in [Real::NAN, Real::INFINITY, Real::NEG_INFINITY] {
+            assert_eq!(c.push(bad), None);
+        }
+        // An unguarded NaN zeroes both sides via `max(0.0)`, silently
+        // masking the in-progress shift; state must be untouched instead.
+        assert_eq!(c.statistics(), stats);
+        assert_eq!(c.count(), 2);
+        for _ in 0..40 {
+            c.push(3.0);
+        }
+        assert_eq!(c.push(3.0), Some(CusumSide::Up));
     }
 
     #[test]

@@ -69,6 +69,9 @@ impl Ddm {
 }
 
 impl ErrorRateDetector for Ddm {
+    // Input is a bool, so DDM is immune to the NaN/Inf poisoning the
+    // scalar-stream baselines guard against; all internal statistics are
+    // ratios of counters and stay finite by construction.
     fn push(&mut self, error: bool) -> ErrorRateVerdict {
         self.n += 1;
         if error {

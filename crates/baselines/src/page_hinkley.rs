@@ -56,7 +56,14 @@ impl PageHinkley {
     }
 
     /// Feeds one observation; returns `true` when a change is detected.
+    ///
+    /// Non-finite observations are ignored: the running mean is an
+    /// exponential average, so a single NaN would poison it (and every
+    /// later statistic) permanently.
     pub fn push(&mut self, x: Real) -> bool {
+        if !x.is_finite() {
+            return false;
+        }
         self.n += 1;
         // Running (optionally fading) mean.
         self.mean += (x - self.mean) / (self.n as Real).min(1.0 / (1.0 - self.alpha + 1e-12));
@@ -132,6 +139,27 @@ mod tests {
             5000
         };
         assert!(delay(10.0) < delay(100.0));
+    }
+
+    #[test]
+    fn non_finite_values_do_not_poison_the_mean() {
+        let mut ph = PageHinkley::new(0.1, 30.0);
+        let mut rng = Rng::seed_from(6);
+        for _ in 0..1000 {
+            assert!(!ph.push(rng.normal(1.0, 0.2)));
+        }
+        let (n, stat) = (ph.count(), ph.statistic());
+        for bad in [Real::NAN, Real::INFINITY, Real::NEG_INFINITY] {
+            assert!(!ph.push(bad));
+        }
+        assert_eq!(ph.count(), n);
+        assert_eq!(ph.statistic(), stat);
+        assert!(ph.statistic().is_finite());
+        let mut detected = false;
+        for _ in 0..1000 {
+            detected |= ph.push(rng.normal(2.0, 0.2));
+        }
+        assert!(detected, "increase after NaN burst never detected");
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! Hand-rolled rather than pulling a parser crate: the grammar is tiny and
 //! the workspace keeps its dependency set minimal (DESIGN.md §5).
 
+use seqdrift_core::GuardPolicy;
 use std::path::PathBuf;
 
 /// A parsed invocation.
@@ -46,6 +47,11 @@ pub struct TrainArgs {
     pub window: usize,
     /// Weight seed.
     pub seed: u64,
+    /// Input-guard policy baked into the checkpoint (`reject` | `clamp` |
+    /// `impute`); omit for the default (`reject`).
+    pub guard_policy: Option<GuardPolicy>,
+    /// Stuck-sensor run threshold baked into the checkpoint (0 disables).
+    pub stuck_threshold: Option<u64>,
 }
 
 /// Arguments of `seqdrift run`.
@@ -65,6 +71,10 @@ pub struct RunArgs {
     /// Strip a trailing label column before streaming (ground truth is
     /// never shown to the detector).
     pub label_last: bool,
+    /// Override the checkpoint's guard policy for this run.
+    pub guard_policy: Option<GuardPolicy>,
+    /// Override the checkpoint's stuck-sensor threshold for this run.
+    pub stuck_threshold: Option<u64>,
 }
 
 /// Arguments of `seqdrift info`.
@@ -117,6 +127,10 @@ pub struct FleetArgs {
     /// corrupt checkpoint, slow session spread over the sessions); omit
     /// for a fault-free run.
     pub inject_faults: Option<u64>,
+    /// Override every session's guard policy for this run.
+    pub guard_policy: Option<GuardPolicy>,
+    /// Override every session's stuck-sensor threshold for this run.
+    pub stuck_threshold: Option<u64>,
 }
 
 /// Parse failures (each carries the message shown to the user).
@@ -138,14 +152,17 @@ seqdrift — lightweight sequential concept-drift detection
 USAGE:
   seqdrift train --csv <file> --out <model.sqdm> [--label-last] [--no-header]
                  [--hidden 22] [--window 100] [--seed 42]
+                 [--guard-policy reject|clamp|impute] [--stuck-threshold K]
   seqdrift run   --csv <file> --model <model.sqdm> [--out <updated.sqdm>]
                  [--events <events.csv>] [--no-header] [--label-last]
+                 [--guard-policy reject|clamp|impute] [--stuck-threshold K]
   seqdrift info  --model <model.sqdm>
   seqdrift synth --dataset <nslkdd|fan-sudden|fan-gradual|fan-reoccurring>
                  --out <dir> [--seed N] [--quick]
   seqdrift fleet --csv <file> --model <model.sqdm> [--sessions 8] [--workers 4]
                  [--queue 256] [--drift-at N] [--drift-step 25]
                  [--drift-shift 0.3] [--inject-faults SEED]
+                 [--guard-policy reject|clamp|impute] [--stuck-threshold K]
                  [--no-header] [--label-last]
 ";
 
@@ -209,6 +226,16 @@ impl Flags {
         self.bools.remove(name)
     }
 
+    fn optional<T: std::str::FromStr>(&mut self, name: &str) -> Result<Option<T>, ParseError>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.take(name) {
+            None => Ok(None),
+            Some(v) => v.parse().map(Some).map_err(|e| err(format!("{name}: {e}"))),
+        }
+    }
+
     fn finish(self) -> Result<(), ParseError> {
         if let Some(k) = self.pairs.keys().next() {
             return Err(err(format!("unknown flag {k}")));
@@ -237,6 +264,8 @@ impl Cli {
                     hidden: flags.number("--hidden", 22usize)?,
                     window: flags.number("--window", 100usize)?,
                     seed: flags.number("--seed", 42u64)?,
+                    guard_policy: flags.optional("--guard-policy")?,
+                    stuck_threshold: flags.optional("--stuck-threshold")?,
                 };
                 if a.hidden == 0 || a.window == 0 {
                     return Err(err("--hidden and --window must be positive"));
@@ -250,6 +279,8 @@ impl Cli {
                 events: flags.take("--events").map(Into::into),
                 has_header: !flags.boolean("--no-header"),
                 label_last: flags.boolean("--label-last"),
+                guard_policy: flags.optional("--guard-policy")?,
+                stuck_threshold: flags.optional("--stuck-threshold")?,
             }),
             "fleet" => {
                 let a = FleetArgs {
@@ -276,6 +307,8 @@ impl Cli {
                                 .map_err(|_| err(format!("--inject-faults: cannot parse {v:?}")))?,
                         ),
                     },
+                    guard_policy: flags.optional("--guard-policy")?,
+                    stuck_threshold: flags.optional("--stuck-threshold")?,
                 };
                 if a.sessions == 0 || a.workers == 0 || a.queue == 0 {
                     return Err(err("--sessions, --workers and --queue must be positive"));
@@ -324,6 +357,8 @@ mod tests {
                 assert_eq!(a.hidden, 22);
                 assert_eq!(a.window, 100);
                 assert_eq!(a.seed, 42);
+                assert_eq!(a.guard_policy, None);
+                assert_eq!(a.stuck_threshold, None);
             }
             other => panic!("{other:?}"),
         }
@@ -332,7 +367,8 @@ mod tests {
     #[test]
     fn parses_train_overrides() {
         let cli = Cli::parse(&argv(
-            "train --csv a.csv --out m.sqdm --hidden 8 --window 25 --seed 7 --no-header",
+            "train --csv a.csv --out m.sqdm --hidden 8 --window 25 --seed 7 --no-header \
+             --guard-policy clamp --stuck-threshold 5",
         ))
         .unwrap();
         match cli.command {
@@ -340,6 +376,8 @@ mod tests {
                 assert_eq!((a.hidden, a.window, a.seed), (8, 25, 7));
                 assert!(!a.has_header);
                 assert!(!a.label_last);
+                assert_eq!(a.guard_policy, Some(GuardPolicy::Clamp));
+                assert_eq!(a.stuck_threshold, Some(5));
             }
             other => panic!("{other:?}"),
         }
@@ -357,13 +395,16 @@ mod tests {
             other => panic!("{other:?}"),
         }
         let cli = Cli::parse(&argv(
-            "run --csv s.csv --model m.sqdm --out u.sqdm --events e.csv",
+            "run --csv s.csv --model m.sqdm --out u.sqdm --events e.csv \
+             --guard-policy impute --stuck-threshold 3",
         ))
         .unwrap();
         match cli.command {
             Command::Run(a) => {
                 assert_eq!(a.out, Some(PathBuf::from("u.sqdm")));
                 assert_eq!(a.events, Some(PathBuf::from("e.csv")));
+                assert_eq!(a.guard_policy, Some(GuardPolicy::ImputeLast));
+                assert_eq!(a.stuck_threshold, Some(3));
             }
             other => panic!("{other:?}"),
         }
@@ -380,6 +421,9 @@ mod tests {
         assert!(Cli::parse(&argv("train --csv a.csv --csv b.csv --out m")).is_err());
         assert!(Cli::parse(&argv("train --csv")).is_err()); // dangling flag
         assert!(Cli::parse(&argv("train stray --csv a.csv --out m")).is_err());
+        let e = Cli::parse(&argv("run --csv s --model m --guard-policy drop")).unwrap_err();
+        assert!(e.0.contains("reject, clamp, impute"), "{e}");
+        assert!(Cli::parse(&argv("run --csv s --model m --stuck-threshold -1")).is_err());
     }
 
     #[test]
@@ -398,12 +442,15 @@ mod tests {
                 assert_eq!(a.drift_step, 25);
                 assert!(a.has_header);
                 assert_eq!(a.inject_faults, None);
+                assert_eq!(a.guard_policy, None);
+                assert_eq!(a.stuck_threshold, None);
             }
             other => panic!("{other:?}"),
         }
         let cli = Cli::parse(&argv(
             "fleet --csv s.csv --model m.sqdm --sessions 32 --workers 2 --queue 16 \
-             --drift-at 100 --drift-step 10 --drift-shift 0.5 --inject-faults 99 --no-header",
+             --drift-at 100 --drift-step 10 --drift-shift 0.5 --inject-faults 99 --no-header \
+             --guard-policy reject --stuck-threshold 8",
         ))
         .unwrap();
         match cli.command {
@@ -413,6 +460,8 @@ mod tests {
                 assert_eq!((a.drift_step, a.drift_shift), (10, 0.5));
                 assert!(!a.has_header);
                 assert_eq!(a.inject_faults, Some(99));
+                assert_eq!(a.guard_policy, Some(GuardPolicy::Reject));
+                assert_eq!(a.stuck_threshold, Some(8));
             }
             other => panic!("{other:?}"),
         }

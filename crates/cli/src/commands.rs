@@ -2,7 +2,9 @@
 
 use crate::args::{FleetArgs, InfoArgs, RunArgs, SynthArgs, TrainArgs};
 use seqdrift_core::pipeline::PipelineEvent;
-use seqdrift_core::{DetectorConfig, DriftPipeline};
+use seqdrift_core::{
+    CoreError, DetectorConfig, DriftPipeline, GuardConfig, GuardPolicy, PipelineConfig,
+};
 use seqdrift_datasets::drift::DriftSchedule;
 use seqdrift_datasets::fan::{self, FanConfig, FanScenario};
 use seqdrift_datasets::nslkdd::{self, NslKddConfig};
@@ -16,6 +18,26 @@ type Out<'a> = &'a mut dyn Write;
 
 fn fail(context: &str, e: impl std::fmt::Display) -> String {
     format!("{context}: {e}")
+}
+
+/// Merges the `--guard-policy` / `--stuck-threshold` flags into `base`;
+/// `None` when neither flag was given (keep whatever the checkpoint says).
+fn guard_override(
+    base: GuardConfig,
+    policy: Option<GuardPolicy>,
+    stuck: Option<u64>,
+) -> Option<GuardConfig> {
+    if policy.is_none() && stuck.is_none() {
+        return None;
+    }
+    let mut g = base;
+    if let Some(p) = policy {
+        g.policy = p;
+    }
+    if let Some(k) = stuck {
+        g.stuck_threshold = k;
+    }
+    Some(g)
 }
 
 /// `seqdrift train`: calibrate from labelled CSV, checkpoint to disk.
@@ -49,8 +71,17 @@ pub fn train(a: &TrainArgs, out: Out<'_>) -> Result<(), String> {
 
     let pairs: Vec<(usize, &[Real])> = samples.iter().map(|s| (s.label, s.x.as_slice())).collect();
     let det = DetectorConfig::new(classes, dim).with_window(a.window);
-    let pipeline =
-        DriftPipeline::calibrate(model, det, &pairs).map_err(|e| fail("calibration", e))?;
+    let pipeline_cfg = guard_override(GuardConfig::new(), a.guard_policy, a.stuck_threshold)
+        .map(|g| PipelineConfig::new(det.clone()).with_guard(g));
+    let pipeline = DriftPipeline::calibrate_with(model, det, &pairs, pipeline_cfg)
+        .map_err(|e| fail("calibration", e))?;
+    let g = pipeline.guard_config();
+    writeln!(
+        out,
+        "guard: policy {}, stuck threshold {}",
+        g.policy, g.stuck_threshold
+    )
+    .ok();
     writeln!(
         out,
         "calibrated: theta_drift = {:.4}, theta_error = {:.6}, window = {}",
@@ -81,12 +112,45 @@ pub fn run_stream(a: &RunArgs, out: Out<'_>) -> Result<(), String> {
         ));
     }
 
+    if let Some(g) = guard_override(*pipeline.guard_config(), a.guard_policy, a.stuck_threshold) {
+        pipeline
+            .set_guard_config(g)
+            .map_err(|e| fail("applying guard override", e))?;
+        writeln!(
+            out,
+            "guard override: policy {}, stuck threshold {}",
+            g.policy, g.stuck_threshold
+        )
+        .ok();
+    }
+
     let start_index = pipeline.samples_processed();
+    let counters_before = pipeline.guard_counters();
     let mut detections = 0usize;
+    let mut guard_rejected = 0u64;
     for s in &samples {
-        let o = pipeline
-            .process(&s.x)
-            .map_err(|e| fail("processing sample", e))?;
+        // A guard rejection drops the sample and keeps streaming; anything
+        // else (I/O-level corruption, invalid state) still aborts the run.
+        let o = match pipeline.process(&s.x) {
+            Ok(o) => o,
+            Err(
+                e @ (CoreError::NonFiniteInput { .. }
+                | CoreError::OversizedInput { .. }
+                | CoreError::StuckSensor { .. }),
+            ) => {
+                guard_rejected += 1;
+                if guard_rejected <= 10 {
+                    writeln!(
+                        out,
+                        "stream position {}: sample rejected by guard ({e})",
+                        pipeline.samples_processed()
+                    )
+                    .ok();
+                }
+                continue;
+            }
+            Err(e) => return Err(fail("processing sample", e)),
+        };
         if o.drift_detected {
             detections += 1;
             let top: Vec<String> = pipeline
@@ -105,14 +169,31 @@ pub fn run_stream(a: &RunArgs, out: Out<'_>) -> Result<(), String> {
             .ok();
         }
     }
+    if guard_rejected > 10 {
+        writeln!(
+            out,
+            "({} further guard rejection(s) not shown)",
+            guard_rejected - 10
+        )
+        .ok();
+    }
     writeln!(
         out,
         "processed {} samples (stream positions {}..{}), {detections} drift(s)",
-        samples.len(),
+        pipeline.samples_processed() - start_index,
         start_index,
         pipeline.samples_processed()
     )
     .ok();
+    let sanitized = pipeline.guard_counters().sanitized - counters_before.sanitized;
+    if guard_rejected > 0 || sanitized > 0 {
+        writeln!(
+            out,
+            "guard: {guard_rejected} sample(s) rejected, {sanitized} repaired (health {:?})",
+            pipeline.health()
+        )
+        .ok();
+    }
 
     if let Some(events_path) = &a.events {
         let mut csv = String::from("event,stream_index,value\n");
@@ -126,6 +207,12 @@ pub fn run_stream(a: &RunArgs, out: Out<'_>) -> Result<(), String> {
                     new_theta_drift,
                 } => {
                     csv.push_str(&format!("reconstructed,{index},{new_theta_drift}\n"));
+                }
+                PipelineEvent::Degraded { index, reason } => {
+                    csv.push_str(&format!("degraded,{index},{reason}\n"));
+                }
+                PipelineEvent::Recovered { index } => {
+                    csv.push_str(&format!("recovered,{index},\n"));
                 }
             }
         }
@@ -203,8 +290,9 @@ pub fn info(a: &InfoArgs, out: Out<'_>) -> Result<(), String> {
 /// session restored from the same checkpoint, with per-device staggered
 /// drift injection so devices flag drift at different stream positions.
 pub fn fleet(a: &FleetArgs, out: Out<'_>) -> Result<(), String> {
-    let blob = std::fs::read(&a.model).map_err(|e| fail("reading checkpoint", e))?;
-    let reference = DriftPipeline::from_bytes(&blob).map_err(|e| fail("decoding checkpoint", e))?;
+    let mut blob = std::fs::read(&a.model).map_err(|e| fail("reading checkpoint", e))?;
+    let mut reference =
+        DriftPipeline::from_bytes(&blob).map_err(|e| fail("decoding checkpoint", e))?;
     let expected = reference.detector().config().dim;
     let samples = loader::load_csv(&a.csv, a.has_header, a.label_last)
         .map_err(|e| fail("reading stream CSV", e))?;
@@ -213,6 +301,20 @@ pub fn fleet(a: &FleetArgs, out: Out<'_>) -> Result<(), String> {
             "stream has {} features but the checkpoint expects {expected}",
             samples[0].dim()
         ));
+    }
+    // A guard override is applied to the decoded checkpoint and re-encoded
+    // so every session clones the overridden configuration.
+    if let Some(g) = guard_override(*reference.guard_config(), a.guard_policy, a.stuck_threshold) {
+        reference
+            .set_guard_config(g)
+            .map_err(|e| fail("applying guard override", e))?;
+        blob = reference.to_bytes().map_err(|e| fail("serialising", e))?;
+        writeln!(
+            out,
+            "guard override: policy {}, stuck threshold {}",
+            g.policy, g.stuck_threshold
+        )
+        .ok();
     }
 
     let mut cfg = FleetConfig::new(a.workers).with_queue_capacity(a.queue);
@@ -300,6 +402,23 @@ pub fn fleet(a: &FleetArgs, out: Out<'_>) -> Result<(), String> {
                 )
                 .ok();
             }
+            FleetEvent::Pipeline {
+                id,
+                event: PipelineEvent::Degraded { index, reason },
+            } => {
+                writeln!(
+                    out,
+                    "device {}: DEGRADED at its sample {index} ({reason})",
+                    id.0
+                )
+                .ok();
+            }
+            FleetEvent::Pipeline {
+                id,
+                event: PipelineEvent::Recovered { index },
+            } => {
+                writeln!(out, "device {}: recovered at its sample {index}", id.0).ok();
+            }
             FleetEvent::SessionPanicked { id, at_delivery } => {
                 writeln!(
                     out,
@@ -355,6 +474,15 @@ pub fn fleet(a: &FleetArgs, out: Out<'_>) -> Result<(), String> {
             "fault tolerance: {} panic(s) caught, {} restore(s), {} quarantined, \
              {} worker respawn(s)",
             m.panics_caught, m.sessions_restored, m.sessions_quarantined, m.workers_respawned
+        )
+        .ok();
+    }
+    if m.sessions_degraded > 0 || m.samples_sanitized > 0 {
+        writeln!(
+            out,
+            "guard: {} degraded episode(s), {} recovery(ies), {} sample(s) repaired, \
+             {} sample(s) dropped",
+            m.sessions_degraded, m.sessions_recovered, m.samples_sanitized, m.samples_dropped
         )
         .ok();
     }
@@ -580,6 +708,80 @@ mod tests {
         for d in 0..4 {
             assert!(out.contains(&format!("device {d}: DRIFT")), "{out}");
         }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn guard_flags_reject_and_repair_hostile_streams() {
+        let dir = tmpdir("guard");
+        let train_csv = labelled_csv(&dir, 200, 0.0, 21);
+        let model = dir.join("model.sqdm");
+        let out = exec(&format!(
+            "train --csv {} --out {} --label-last --hidden 6 --window 20 --stuck-threshold 4",
+            train_csv.display(),
+            model.display()
+        ))
+        .unwrap();
+        assert!(
+            out.contains("guard: policy reject, stuck threshold 4"),
+            "{out}"
+        );
+
+        // Hostile stream the CSV loader admits (all finite): oversized rows
+        // plus a stuck-sensor run longer than the threshold.
+        let clean = |i: usize| {
+            if i.is_multiple_of(2) {
+                "0.2,0.21,0.19,0.2\n"
+            } else {
+                "0.8,0.79,0.81,0.8\n"
+            }
+        };
+        let mut text = String::new();
+        for i in 0..40 {
+            text.push_str(clean(i));
+        }
+        text.push_str("1e30,1e30,1e30,1e30\n2e30,2e30,2e30,2e30\n3e30,3e30,3e30,3e30\n");
+        for _ in 0..6 {
+            text.push_str("9,9,9,9\n");
+        }
+        for i in 0..20 {
+            text.push_str(clean(i));
+        }
+        let hostile = dir.join("hostile.csv");
+        std::fs::write(&hostile, &text).unwrap();
+
+        // Default policy (reject): 3 oversized + 2 over-threshold stuck rows
+        // are dropped, the stream keeps going, and the run still succeeds.
+        let events = dir.join("events.csv");
+        let out = exec(&format!(
+            "run --csv {} --model {} --events {} --no-header",
+            hostile.display(),
+            model.display(),
+            events.display()
+        ))
+        .unwrap();
+        assert!(out.contains("rejected by guard"), "{out}");
+        assert!(
+            out.contains("guard: 5 sample(s) rejected, 0 repaired"),
+            "{out}"
+        );
+        let events_text = std::fs::read_to_string(&events).unwrap();
+        assert!(events_text.contains("degraded,"), "{events_text}");
+        assert!(events_text.contains("recovered,"), "{events_text}");
+
+        // Clamp override: oversized rows are repaired in place; only the
+        // stuck run is still dropped.
+        let out = exec(&format!(
+            "run --csv {} --model {} --guard-policy clamp --no-header",
+            hostile.display(),
+            model.display()
+        ))
+        .unwrap();
+        assert!(out.contains("guard override: policy clamp"), "{out}");
+        assert!(
+            out.contains("guard: 2 sample(s) rejected, 3 repaired"),
+            "{out}"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -80,6 +80,7 @@
 pub mod centroid;
 pub mod detector;
 pub mod ensemble;
+pub mod guard;
 pub mod persist;
 pub mod pipeline;
 pub mod reconstruct;
@@ -88,7 +89,8 @@ pub mod threshold;
 pub use centroid::CentroidSet;
 pub use detector::{CentroidDetector, DetectorConfig, DetectorOutcome, DistanceMetric};
 pub use ensemble::{EnsembleDetector, VotePolicy};
-pub use pipeline::{DriftPipeline, PipelineConfig, PipelineOutput};
+pub use guard::{GuardConfig, GuardCounters, GuardPolicy};
+pub use pipeline::{DegradeReason, DriftPipeline, PipelineConfig, PipelineHealth, PipelineOutput};
 pub use reconstruct::{ReconstructConfig, Reconstructor};
 
 use seqdrift_oselm::ModelError;
@@ -123,6 +125,21 @@ pub enum CoreError {
         /// Index of the offending feature.
         feature: usize,
     },
+    /// An input feature is finite but exceeds the guard's magnitude limit.
+    /// Squaring such a value (reconstruction error, Welford variance)
+    /// overflows `f32` to infinity, so the guard treats it like a
+    /// non-finite reading.
+    OversizedInput {
+        /// Index of the offending feature.
+        feature: usize,
+    },
+    /// The same raw sample arrived more than `stuck_threshold` times in a
+    /// row — the signature of a stuck sensor. Feeding the repeats onward
+    /// would silently bias the running centroids toward the frozen value.
+    StuckSensor {
+        /// Length of the identical-sample run, including this sample.
+        run: u64,
+    },
 }
 
 impl From<ModelError> for CoreError {
@@ -144,6 +161,15 @@ impl core::fmt::Display for CoreError {
             }
             CoreError::NonFiniteInput { feature } => {
                 write!(f, "input feature {feature} is NaN or infinite")
+            }
+            CoreError::OversizedInput { feature } => {
+                write!(
+                    f,
+                    "input feature {feature} exceeds the guard magnitude limit"
+                )
+            }
+            CoreError::StuckSensor { run } => {
+                write!(f, "stuck sensor: {run} identical consecutive samples")
             }
         }
     }

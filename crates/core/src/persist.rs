@@ -11,7 +11,8 @@
 
 use crate::centroid::{CentroidSet, Recency};
 use crate::detector::{CentroidDetector, DetectorConfig, DistanceMetric};
-use crate::pipeline::{DriftPipeline, PipelineConfig};
+use crate::guard::{GuardConfig, GuardCounters, GuardPolicy, SampleGuard};
+use crate::pipeline::{DegradeReason, DriftPipeline, PipelineConfig, PipelineHealth};
 use crate::reconstruct::{ReconstructConfig, Reconstructor};
 use crate::{CoreError, Result};
 use seqdrift_linalg::wire::{Reader, WireError, Writer};
@@ -147,6 +148,31 @@ impl DriftPipeline {
         w.real(cfg.error_margin);
         w.real(cfg.z);
         w.u8(u8::from(cfg.train_on_stable));
+        // Guard config + state and the health machine.
+        w.u8(match cfg.guard.policy {
+            GuardPolicy::Reject => 0,
+            GuardPolicy::Clamp => 1,
+            GuardPolicy::ImputeLast => 2,
+        });
+        w.real(cfg.guard.magnitude_limit);
+        w.u64(cfg.guard.stuck_threshold);
+        w.u64(cfg.guard.recover_after);
+        w.u8(match self.health() {
+            PipelineHealth::Healthy => 0,
+            PipelineHealth::Degraded(DegradeReason::InputFault) => 1,
+            PipelineHealth::Degraded(DegradeReason::NumericalFault) => 2,
+        });
+        w.u64(self.clean_streak());
+        let gc = self.guard_counters();
+        w.u64(gc.non_finite);
+        w.u64(gc.oversized);
+        w.u64(gc.dim_mismatch);
+        w.u64(gc.stuck);
+        w.u64(gc.sanitized);
+        w.u64(gc.rejected);
+        w.reals(self.guard_last_good());
+        w.reals(self.guard_last_raw());
+        w.u64(self.guard_run_len());
         // Detector state.
         write_centroid_set(&mut w, det.trained_centroids());
         write_centroid_set(&mut w, det.test_centroids());
@@ -170,6 +196,33 @@ impl DriftPipeline {
         let error_margin = r.real().map_err(wire_err)?;
         let z = r.real().map_err(wire_err)?;
         let train_on_stable = r.u8().map_err(wire_err)? != 0;
+        let guard_policy = match r.u8().map_err(wire_err)? {
+            0 => GuardPolicy::Reject,
+            1 => GuardPolicy::Clamp,
+            2 => GuardPolicy::ImputeLast,
+            _ => return Err(CoreError::InvalidConfig("persist: guard policy tag")),
+        };
+        let magnitude_limit = r.real().map_err(wire_err)?;
+        let stuck_threshold = r.u64().map_err(wire_err)?;
+        let recover_after = r.u64().map_err(wire_err)?;
+        let health = match r.u8().map_err(wire_err)? {
+            0 => PipelineHealth::Healthy,
+            1 => PipelineHealth::Degraded(DegradeReason::InputFault),
+            2 => PipelineHealth::Degraded(DegradeReason::NumericalFault),
+            _ => return Err(CoreError::InvalidConfig("persist: health tag")),
+        };
+        let clean_streak = r.u64().map_err(wire_err)?;
+        let guard_counters = GuardCounters {
+            non_finite: r.u64().map_err(wire_err)?,
+            oversized: r.u64().map_err(wire_err)?,
+            dim_mismatch: r.u64().map_err(wire_err)?,
+            stuck: r.u64().map_err(wire_err)?,
+            sanitized: r.u64().map_err(wire_err)?,
+            rejected: r.u64().map_err(wire_err)?,
+        };
+        let guard_last_good = r.reals().map_err(wire_err)?;
+        let guard_last_raw = r.reals().map_err(wire_err)?;
+        let guard_run_len = r.u64().map_err(wire_err)?;
         let trained = read_centroid_set(&mut r)?;
         let test = read_centroid_set(&mut r)?;
         let det_samples = r.u64().map_err(wire_err)?;
@@ -184,16 +237,40 @@ impl DriftPipeline {
         if !align_labels {
             recon_cfg = recon_cfg.without_label_alignment();
         }
+        let guard_cfg = GuardConfig {
+            policy: guard_policy,
+            magnitude_limit,
+            stuck_threshold,
+            recover_after,
+        };
         let cfg = PipelineConfig::new(det_cfg.clone())
             .with_reconstruct(recon_cfg)
             .with_error_quantile(error_quantile)
             .with_error_margin(error_margin)
             .with_z(z)
-            .with_train_on_stable(train_on_stable);
+            .with_train_on_stable(train_on_stable)
+            .with_guard(guard_cfg);
 
         let detector = CentroidDetector::restore(det_cfg.clone(), trained, test, det_samples)?;
         let reconstructor = Reconstructor::new(recon_cfg, det_cfg.classes, det_cfg.dim)?;
-        DriftPipeline::from_restored_parts(model, detector, reconstructor, cfg, samples_processed)
+        let guard = SampleGuard::from_parts(
+            guard_cfg,
+            det_cfg.dim,
+            guard_counters,
+            guard_last_good,
+            guard_last_raw,
+            guard_run_len,
+        )?;
+        DriftPipeline::from_restored_parts(
+            model,
+            detector,
+            reconstructor,
+            cfg,
+            samples_processed,
+            guard,
+            health,
+            clean_streak,
+        )
     }
 }
 
@@ -275,6 +352,44 @@ mod tests {
         p.process(&blob(&mut rng, 5, 1.4)).unwrap();
         assert!(p.is_reconstructing());
         assert!(p.to_bytes().is_err());
+    }
+
+    #[test]
+    fn guard_state_and_health_roundtrip() {
+        let mut rng = Rng::seed_from(21);
+        let mut p = build_pipeline(&mut rng);
+        p.set_guard_config(
+            crate::GuardConfig::new()
+                .with_policy(crate::GuardPolicy::ImputeLast)
+                .with_stuck_threshold(6)
+                .with_recover_after(4),
+        )
+        .unwrap();
+        // Accumulate guard state: a clean sample, then a repaired one.
+        let good = blob(&mut rng, 5, 0.2);
+        p.process(&good).unwrap();
+        let mut bad = good.clone();
+        bad[2] = Real::NAN;
+        let out = p.process(&bad).unwrap();
+        assert!(out.sanitized);
+        assert_eq!(
+            p.health(),
+            crate::PipelineHealth::Degraded(crate::pipeline::DegradeReason::InputFault)
+        );
+
+        let restored = DriftPipeline::from_bytes(&p.to_bytes().unwrap()).unwrap();
+        assert_eq!(restored.health(), p.health());
+        assert_eq!(restored.guard_counters(), p.guard_counters());
+        assert_eq!(restored.guard_config(), p.guard_config());
+        assert_eq!(restored.guard_last_good(), p.guard_last_good());
+        // last_raw holds the NaN-laced sample; compare bit patterns (NaN
+        // never compares equal to itself).
+        let bits = |xs: &[Real]| xs.iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(restored.guard_last_raw()), bits(p.guard_last_raw()));
+        assert_eq!(restored.guard_run_len(), p.guard_run_len());
+        assert_eq!(restored.clean_streak(), p.clean_streak());
+        // The full blob is still bit-stable across a save/restore/save.
+        assert_eq!(restored.to_bytes().unwrap(), p.to_bytes().unwrap());
     }
 
     #[test]

@@ -16,11 +16,12 @@
 
 use crate::centroid::CentroidSet;
 use crate::detector::{CentroidDetector, DetectorConfig, DetectorOutcome};
+use crate::guard::{GuardConfig, GuardCounters, GuardVerdict, SampleGuard};
 use crate::reconstruct::{ReconOutcome, ReconstructConfig, Reconstructor};
 use crate::threshold::{calibrate_drift_threshold, calibrate_error_threshold};
 use crate::{CoreError, Result};
 use seqdrift_linalg::Real;
-use seqdrift_oselm::MultiInstanceModel;
+use seqdrift_oselm::{ModelError, MultiInstanceModel};
 
 /// Pipeline configuration beyond the detector's own.
 #[derive(Debug, Clone)]
@@ -47,6 +48,8 @@ pub struct PipelineConfig {
     /// online learning from §3.1). The paper's evaluation keeps the model
     /// frozen between reconstructions, so this defaults to `false`.
     pub train_on_stable: bool,
+    /// Input-guard policy and thresholds (see [`crate::guard`]).
+    pub guard: GuardConfig,
 }
 
 impl PipelineConfig {
@@ -59,6 +62,7 @@ impl PipelineConfig {
             z: crate::threshold::DEFAULT_Z,
             detector,
             train_on_stable: false,
+            guard: GuardConfig::default(),
         }
     }
 
@@ -92,6 +96,12 @@ impl PipelineConfig {
         self.train_on_stable = yes;
         self
     }
+
+    /// Overrides the input-guard configuration.
+    pub fn with_guard(mut self, guard: GuardConfig) -> Self {
+        self.guard = guard;
+        self
+    }
 }
 
 /// Per-sample pipeline output.
@@ -108,6 +118,44 @@ pub struct PipelineOutput {
     /// Drift distance after this sample (diagnostics; the Figure-4-style
     /// traces plot this).
     pub drift_distance: Real,
+    /// True when the guard repaired this sample (clamped or imputed) before
+    /// processing; the pipeline is degraded until enough clean samples
+    /// follow.
+    pub sanitized: bool,
+}
+
+/// Why a pipeline left the `Healthy` state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradeReason {
+    /// The guard rejected or repaired input samples (non-finite, oversized,
+    /// stuck or mis-sized readings).
+    InputFault,
+    /// A sequential model update was rejected and rolled back by the
+    /// numerical-health layer.
+    NumericalFault,
+}
+
+impl std::fmt::Display for DegradeReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            DegradeReason::InputFault => "input-fault",
+            DegradeReason::NumericalFault => "numerical-fault",
+        })
+    }
+}
+
+/// Health state of a pipeline, driven by the guard and the transactional
+/// update layer: `Healthy → Degraded(reason) → Healthy` (the transition
+/// back is surfaced as [`PipelineEvent::Recovered`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PipelineHealth {
+    /// No recent faults.
+    #[default]
+    Healthy,
+    /// A fault was seen and fewer than `guard.recover_after` clean samples
+    /// have been processed since. The reason is the *first* fault of the
+    /// current degraded episode.
+    Degraded(DegradeReason),
 }
 
 /// Events the pipeline logs (drift detections and reconstruction
@@ -128,6 +176,19 @@ pub enum PipelineEvent {
         /// Recalibrated threshold now in force.
         new_theta_drift: Real,
     },
+    /// The pipeline left `Healthy` (first fault of a degraded episode).
+    Degraded {
+        /// Stream index of the faulting sample.
+        index: u64,
+        /// What went wrong.
+        reason: DegradeReason,
+    },
+    /// The pipeline returned to `Healthy` after `guard.recover_after`
+    /// consecutive clean samples.
+    Recovered {
+        /// Stream index of the sample that completed recovery.
+        index: u64,
+    },
 }
 
 /// The coupled model + detector + reconstructor.
@@ -139,6 +200,12 @@ pub struct DriftPipeline {
     cfg: PipelineConfig,
     samples_processed: u64,
     events: Vec<PipelineEvent>,
+    guard: SampleGuard,
+    /// Scratch for guard-sanitized samples (reused, never reallocated).
+    guard_buf: Vec<Real>,
+    health: PipelineHealth,
+    /// Consecutive clean samples since the last fault (recovery progress).
+    clean_streak: u64,
 }
 
 // The pipeline holds plain owned data with no interior mutability, so a
@@ -219,6 +286,7 @@ impl DriftPipeline {
 
         let detector = CentroidDetector::new(cfg.detector.clone(), trained)?;
         let reconstructor = Reconstructor::new(cfg.reconstruct, classes, dim)?;
+        let guard = SampleGuard::new(cfg.guard, dim)?;
         Ok(DriftPipeline {
             model,
             detector,
@@ -226,22 +294,31 @@ impl DriftPipeline {
             cfg,
             samples_processed: 0,
             events: Vec::new(),
+            guard,
+            guard_buf: Vec::with_capacity(dim),
+            health: PipelineHealth::Healthy,
+            clean_streak: 0,
         })
     }
 
     /// Rebuilds a pipeline from persisted parts (see `crate::persist`).
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn from_restored_parts(
         model: MultiInstanceModel,
         detector: CentroidDetector,
         reconstructor: Reconstructor,
         cfg: PipelineConfig,
         samples_processed: u64,
+        guard: SampleGuard,
+        health: PipelineHealth,
+        clean_streak: u64,
     ) -> Result<DriftPipeline> {
         if model.classes() != cfg.detector.classes || model.dim() != cfg.detector.dim {
             return Err(CoreError::InvalidConfig(
                 "restore: model shape does not match detector config",
             ));
         }
+        let dim = cfg.detector.dim;
         Ok(DriftPipeline {
             model,
             detector,
@@ -249,6 +326,10 @@ impl DriftPipeline {
             cfg,
             samples_processed,
             events: Vec::new(),
+            guard,
+            guard_buf: Vec::with_capacity(dim),
+            health,
+            clean_streak,
         })
     }
 
@@ -290,36 +371,149 @@ impl DriftPipeline {
         self.reconstructor.is_active()
     }
 
+    /// Current health state.
+    pub fn health(&self) -> PipelineHealth {
+        self.health
+    }
+
+    /// Lifetime guard tallies for this pipeline.
+    pub fn guard_counters(&self) -> GuardCounters {
+        self.guard.counters()
+    }
+
+    /// The active guard configuration.
+    pub fn guard_config(&self) -> &GuardConfig {
+        self.guard.config()
+    }
+
+    /// Replaces the guard configuration at runtime (counters, health and
+    /// imputation state are kept). Used to apply CLI overrides to a
+    /// restored pipeline.
+    pub fn set_guard_config(&mut self, guard: GuardConfig) -> Result<()> {
+        self.guard.set_config(guard)?;
+        self.cfg.guard = guard;
+        Ok(())
+    }
+
+    /// Recovery progress (persistence).
+    pub(crate) fn clean_streak(&self) -> u64 {
+        self.clean_streak
+    }
+
+    /// Guard imputation source (persistence).
+    pub(crate) fn guard_last_good(&self) -> &[Real] {
+        self.guard.last_good()
+    }
+
+    /// Guard stuck-run reference sample (persistence).
+    pub(crate) fn guard_last_raw(&self) -> &[Real] {
+        self.guard.last_raw()
+    }
+
+    /// Guard stuck-run length (persistence).
+    pub(crate) fn guard_run_len(&self) -> u64 {
+        self.guard.run_len()
+    }
+
+    /// Marks the pipeline degraded; emits the event only on the
+    /// `Healthy → Degraded` edge (the first fault of an episode keeps its
+    /// reason until recovery).
+    fn degrade(&mut self, reason: DegradeReason, index: u64) {
+        self.clean_streak = 0;
+        if self.health == PipelineHealth::Healthy {
+            self.health = PipelineHealth::Degraded(reason);
+            self.events.push(PipelineEvent::Degraded { index, reason });
+        }
+    }
+
+    /// Records a fault-free sample; after `guard.recover_after` of them in
+    /// a row a degraded pipeline transitions back to `Healthy`.
+    fn note_clean(&mut self, index: u64) {
+        if let PipelineHealth::Degraded(_) = self.health {
+            self.clean_streak += 1;
+            if self.clean_streak >= self.cfg.guard.recover_after {
+                self.health = PipelineHealth::Healthy;
+                self.clean_streak = 0;
+                self.events.push(PipelineEvent::Recovered { index });
+            }
+        }
+    }
+
     /// Processes one sample through the full loop.
     ///
-    /// Rejects non-finite inputs: a single NaN would otherwise poison the
-    /// running centroids and silently disable detection forever (see
-    /// [`CoreError::NonFiniteInput`]).
+    /// The sample first passes the input guard (see [`crate::guard`]):
+    /// under the default [`crate::GuardPolicy::Reject`] a non-finite,
+    /// oversized, mis-sized or stuck sample returns a typed error and
+    /// touches *no* state (a single NaN would otherwise poison the running
+    /// centroids and silently disable detection forever); under `Clamp` /
+    /// `ImputeLast` the sample is repaired and processed with
+    /// [`PipelineOutput::sanitized`] set. Sequential model updates rejected
+    /// by the numerical-health layer (see
+    /// [`seqdrift_oselm::ModelError::RejectedUpdate`]) are swallowed — the
+    /// update rolls back, the pipeline degrades and keeps running. Both
+    /// fault kinds drive the `Healthy → Degraded → Recovered` machine
+    /// surfaced through [`PipelineEvent`]s.
     pub fn process(&mut self, x: &[Real]) -> Result<PipelineOutput> {
-        if let Some(feature) = x.iter().position(|v| !v.is_finite()) {
-            return Err(CoreError::NonFiniteInput { feature });
-        }
         let index = self.samples_processed;
+        let mut buf = std::mem::take(&mut self.guard_buf);
+        let verdict = match self.guard.admit(x, &mut buf) {
+            Ok(v) => v,
+            Err(e) => {
+                self.guard_buf = buf;
+                self.degrade(DegradeReason::InputFault, index);
+                return Err(e);
+            }
+        };
+        let sanitized = verdict == GuardVerdict::Sanitized;
+        let result = self.process_admitted(if sanitized { &buf } else { x }, index, sanitized);
+        self.guard_buf = buf;
+        result
+    }
+
+    /// The post-guard pipeline loop; `x` is guaranteed finite and in-range.
+    fn process_admitted(
+        &mut self,
+        x: &[Real],
+        index: u64,
+        sanitized: bool,
+    ) -> Result<PipelineOutput> {
+        if sanitized {
+            self.degrade(DegradeReason::InputFault, index);
+        }
         self.samples_processed += 1;
+        // Tracks whether anything faulted on this sample, for recovery
+        // accounting (a repaired sample never counts as clean).
+        let mut faulted = sanitized;
 
         // Always predict: needed for accuracy reporting and as Algorithm 1
         // lines 6–7 (see lib.rs interpretation note 1).
         let prediction = self.model.predict(x)?;
 
         if self.reconstructor.is_active() {
-            let outcome = self.reconstructor.step(&mut self.model, x)?;
             let mut reconstructing = true;
-            if let ReconOutcome::Done {
-                new_trained,
-                theta_drift,
-            } = outcome
-            {
-                self.detector.rebase(new_trained, theta_drift)?;
-                self.events.push(PipelineEvent::Reconstructed {
-                    index,
-                    new_theta_drift: theta_drift,
-                });
-                reconstructing = false;
+            match self.reconstructor.step(&mut self.model, x) {
+                Ok(ReconOutcome::Done {
+                    new_trained,
+                    theta_drift,
+                }) => {
+                    self.detector.rebase(new_trained, theta_drift)?;
+                    self.events.push(PipelineEvent::Reconstructed {
+                        index,
+                        new_theta_drift: theta_drift,
+                    });
+                    reconstructing = false;
+                }
+                Ok(_) => {}
+                Err(CoreError::Model(ModelError::RejectedUpdate(_))) => {
+                    // The instance rolled back; the reconstruction schedule
+                    // self-heals one sample later. Degrade and keep going.
+                    self.degrade(DegradeReason::NumericalFault, index);
+                    faulted = true;
+                }
+                Err(e) => return Err(e),
+            }
+            if !faulted {
+                self.note_clean(index);
             }
             return Ok(PipelineOutput {
                 predicted_label: Some(prediction.label),
@@ -327,6 +521,7 @@ impl DriftPipeline {
                 drift_detected: false,
                 reconstructing,
                 drift_distance: self.detector.last_distance(),
+                sanitized,
             });
         }
 
@@ -343,7 +538,17 @@ impl DriftPipeline {
         } else if self.cfg.train_on_stable && outcome == DetectorOutcome::Idle {
             // Optional §3.1 behaviour: keep refining the winning instance
             // on in-distribution samples.
-            self.model.seq_train_label(prediction.label, x)?;
+            match self.model.seq_train_label(prediction.label, x) {
+                Ok(()) => {}
+                Err(ModelError::RejectedUpdate(_)) => {
+                    self.degrade(DegradeReason::NumericalFault, index);
+                    faulted = true;
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+        if !faulted {
+            self.note_clean(index);
         }
 
         Ok(PipelineOutput {
@@ -352,6 +557,7 @@ impl DriftPipeline {
             drift_detected,
             reconstructing: self.reconstructor.is_active() && drift_detected,
             drift_distance: self.detector.last_distance(),
+            sanitized,
         })
     }
 
@@ -526,6 +732,8 @@ mod tests {
             let idx = match e {
                 PipelineEvent::DriftDetected { index, .. } => *index,
                 PipelineEvent::Reconstructed { index, .. } => *index,
+                PipelineEvent::Degraded { index, .. } => *index,
+                PipelineEvent::Recovered { index } => *index,
             };
             assert!(idx >= last);
             last = idx;
@@ -581,6 +789,96 @@ mod tests {
         // And the pipeline keeps working afterwards.
         let out = p.process(&good).unwrap();
         assert_eq!(out.predicted_label, Some(0));
+    }
+
+    #[test]
+    fn rejection_degrades_then_clean_samples_recover() {
+        let (mut p, _, _) = build_pipeline(20);
+        let mut rng = Rng::seed_from(101);
+        let mut good = vec![0.0; 6];
+        rng.fill_normal(&mut good, 0.2, 0.05);
+        p.process(&good).unwrap();
+        assert_eq!(p.health(), PipelineHealth::Healthy);
+
+        let mut bad = good.clone();
+        bad[0] = Real::NAN;
+        assert!(p.process(&bad).is_err());
+        assert_eq!(
+            p.health(),
+            PipelineHealth::Degraded(DegradeReason::InputFault)
+        );
+        // A second fault while degraded emits no second event.
+        assert!(p.process(&bad).is_err());
+
+        let recover_after = p.guard_config().recover_after;
+        let mut recovered_at = None;
+        for i in 0..recover_after + 2 {
+            let mut x = vec![0.0; 6];
+            rng.fill_normal(&mut x, if i % 2 == 0 { 0.2 } else { 0.8 }, 0.05);
+            p.process(&x).unwrap();
+            if p.health() == PipelineHealth::Healthy && recovered_at.is_none() {
+                recovered_at = Some(i);
+            }
+        }
+        assert_eq!(recovered_at, Some(recover_after - 1));
+        let degraded: Vec<_> = p
+            .events()
+            .iter()
+            .filter(|e| matches!(e, PipelineEvent::Degraded { .. }))
+            .collect();
+        let recovered: Vec<_> = p
+            .events()
+            .iter()
+            .filter(|e| matches!(e, PipelineEvent::Recovered { .. }))
+            .collect();
+        assert_eq!(degraded.len(), 1);
+        assert_eq!(recovered.len(), 1);
+        assert_eq!(p.guard_counters().rejected, 2);
+    }
+
+    #[test]
+    fn clamp_policy_sanitizes_and_keeps_processing() {
+        let dim = 6;
+        let class0 = blob(150, dim, 0.2, 1);
+        let class1 = blob(150, dim, 0.8, 2);
+        let mut model = MultiInstanceModel::new(2, OsElmConfig::new(dim, 4).with_seed(7)).unwrap();
+        model.init_train_class(0, &class0).unwrap();
+        model.init_train_class(1, &class1).unwrap();
+        let train: Vec<(usize, &[Real])> = class0
+            .iter()
+            .map(|x| (0usize, x.as_slice()))
+            .chain(class1.iter().map(|x| (1usize, x.as_slice())))
+            .collect();
+        let det = DetectorConfig::new(2, dim).with_window(20);
+        let cfg = PipelineConfig::new(det.clone())
+            .with_guard(crate::GuardConfig::new().with_policy(crate::GuardPolicy::Clamp));
+        let mut p = DriftPipeline::calibrate_with(model, det, &train, Some(cfg)).unwrap();
+
+        let bad = [Real::NAN, Real::INFINITY, 0.2, 0.2, 0.2, 0.2];
+        let out = p.process(&bad).unwrap();
+        assert!(out.sanitized);
+        assert!(out.score.is_finite());
+        assert!(out.drift_distance.is_finite());
+        assert_eq!(p.samples_processed(), 1);
+        assert_eq!(p.guard_counters().sanitized, 1);
+        assert_eq!(
+            p.health(),
+            PipelineHealth::Degraded(DegradeReason::InputFault)
+        );
+    }
+
+    #[test]
+    fn guard_config_survives_override_on_live_pipeline() {
+        let (mut p, _, _) = build_pipeline(20);
+        let cfg = crate::GuardConfig::new()
+            .with_policy(crate::GuardPolicy::ImputeLast)
+            .with_stuck_threshold(5);
+        p.set_guard_config(cfg).unwrap();
+        assert_eq!(p.guard_config().policy, crate::GuardPolicy::ImputeLast);
+        assert_eq!(p.config().guard.stuck_threshold, 5);
+        assert!(p
+            .set_guard_config(crate::GuardConfig::new().with_magnitude_limit(-1.0))
+            .is_err());
     }
 
     #[test]

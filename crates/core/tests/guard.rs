@@ -1,0 +1,188 @@
+//! Boundary invariant (ISSUE 3 acceptance): under a hostile sensor stream
+//! — NaN, infinities, huge-but-finite magnitudes, stuck runs and mis-sized
+//! samples — no non-finite value ever crosses a public API boundary, under
+//! *every* guard policy. Outputs stay finite sample by sample, and the full
+//! model/detector state is finite when the stream ends.
+
+use seqdrift_core::{
+    CoreError, DetectorConfig, DriftPipeline, GuardConfig, GuardPolicy, PipelineConfig,
+    PipelineHealth,
+};
+use seqdrift_linalg::{Real, Rng};
+use seqdrift_oselm::{MultiInstanceModel, OsElmConfig};
+
+const DIM: usize = 4;
+const CLASSES: usize = 2;
+const ADVERSARIAL_SAMPLES: usize = 10_000;
+
+fn calibrated(guard: GuardConfig) -> DriftPipeline {
+    let mut rng = Rng::seed_from(42);
+    let mut train: Vec<(usize, Vec<Real>)> = Vec::new();
+    for i in 0..200 {
+        let label = i % CLASSES;
+        let mut x = vec![0.0; DIM];
+        rng.fill_normal(&mut x, if label == 0 { 0.2 } else { 0.8 }, 0.05);
+        train.push((label, x));
+    }
+    let mut model =
+        MultiInstanceModel::new(CLASSES, OsElmConfig::new(DIM, 6).with_seed(7)).unwrap();
+    for label in 0..CLASSES {
+        let bucket: Vec<Vec<Real>> = train
+            .iter()
+            .filter(|(l, _)| *l == label)
+            .map(|(_, x)| x.clone())
+            .collect();
+        model.init_train_class(label, &bucket).unwrap();
+    }
+    let pairs: Vec<(usize, &[Real])> = train.iter().map(|(l, x)| (*l, x.as_slice())).collect();
+    let det = DetectorConfig::new(CLASSES, DIM).with_window(20);
+    let cfg = PipelineConfig::new(det.clone()).with_guard(guard);
+    DriftPipeline::calibrate_with(model, det, &pairs, Some(cfg)).unwrap()
+}
+
+fn clean(rng: &mut Rng) -> Vec<Real> {
+    let mut x = vec![0.0; DIM];
+    let mean = if rng.uniform() < 0.5 { 0.2 } else { 0.8 };
+    rng.fill_normal(&mut x, mean, 0.05);
+    x
+}
+
+/// Seeded adversarial stream mixing every hostile shape the guard handles.
+/// The first sample is clean so `ImputeLast` always has a last-good sample.
+fn adversarial_stream(seed: u64) -> Vec<Vec<Real>> {
+    let mut rng = Rng::seed_from(seed);
+    let mut out: Vec<Vec<Real>> = vec![clean(&mut rng)];
+    while out.len() < ADVERSARIAL_SAMPLES {
+        match rng.below(12) {
+            6 => {
+                let mut x = clean(&mut rng);
+                x[rng.below(DIM as u64) as usize] = Real::NAN;
+                out.push(x);
+            }
+            7 => {
+                let mut x = clean(&mut rng);
+                let sign = if rng.uniform() < 0.5 { 1.0 } else { -1.0 };
+                x[rng.below(DIM as u64) as usize] = sign * Real::INFINITY;
+                out.push(x);
+            }
+            8 => {
+                // Huge but finite: would overflow the f32 squared distance
+                // if admitted unclamped.
+                out.push(vec![1e30; DIM]);
+            }
+            9 => {
+                // Stuck-sensor burst, longer than the threshold below.
+                for _ in 0..6 {
+                    out.push(vec![7.7; DIM]);
+                }
+            }
+            10 => out.push(vec![0.5; DIM - 1]),
+            11 => out.push(vec![0.5; DIM + 1]),
+            _ => out.push(clean(&mut rng)),
+        }
+    }
+    out.truncate(ADVERSARIAL_SAMPLES);
+    out
+}
+
+fn assert_state_finite(pipeline: &DriftPipeline, context: &str) {
+    for label in 0..CLASSES {
+        let net = pipeline.model().instance(label).unwrap().network();
+        for (name, values) in [
+            ("P", net.p().as_slice()),
+            ("beta", net.beta().as_slice()),
+            ("weights", net.weights().as_slice()),
+            ("biases", net.biases()),
+        ] {
+            assert!(
+                values.iter().all(|v| v.is_finite()),
+                "{context}: class {label} {name} went non-finite"
+            );
+        }
+        for (name, set) in [
+            ("trained", pipeline.detector().trained_centroids()),
+            ("test", pipeline.detector().test_centroids()),
+        ] {
+            assert!(
+                set.centroid(label).unwrap().iter().all(|v| v.is_finite()),
+                "{context}: class {label} {name} centroid went non-finite"
+            );
+        }
+    }
+    assert!(
+        pipeline.detector().last_distance().is_finite(),
+        "{context}: last_distance went non-finite"
+    );
+}
+
+/// The headline invariant, once per policy.
+#[test]
+fn no_non_finite_value_crosses_the_public_api() {
+    for policy in [
+        GuardPolicy::Reject,
+        GuardPolicy::Clamp,
+        GuardPolicy::ImputeLast,
+    ] {
+        let guard = GuardConfig::new()
+            .with_policy(policy)
+            .with_stuck_threshold(4);
+        let mut pipeline = calibrated(guard);
+        let stream = adversarial_stream(0xBAD5EED);
+
+        let mut rejected = 0u64;
+        for (i, x) in stream.iter().enumerate() {
+            match pipeline.process(x) {
+                Ok(o) => {
+                    assert!(
+                        o.score.is_finite() && o.drift_distance.is_finite(),
+                        "{policy:?}: non-finite output escaped at sample {i}"
+                    );
+                }
+                Err(
+                    CoreError::NonFiniteInput { .. }
+                    | CoreError::OversizedInput { .. }
+                    | CoreError::StuckSensor { .. }
+                    | CoreError::DimensionMismatch { .. },
+                ) => rejected += 1,
+                Err(e) => panic!("{policy:?}: unexpected error at sample {i}: {e}"),
+            }
+            assert!(
+                pipeline.detector().last_distance().is_finite(),
+                "{policy:?}: last_distance went non-finite at sample {i}"
+            );
+        }
+
+        // The stream genuinely exercised the guard...
+        let counters = pipeline.guard_counters();
+        assert!(rejected > 0, "{policy:?}: nothing was ever rejected");
+        assert!(counters.non_finite > 0, "{policy:?}: no non-finite inputs");
+        assert!(counters.oversized > 0, "{policy:?}: no oversized inputs");
+        assert!(counters.stuck > 0, "{policy:?}: no stuck runs");
+        assert!(counters.dim_mismatch > 0, "{policy:?}: no dim mismatches");
+        if policy != GuardPolicy::Reject {
+            assert!(counters.sanitized > 0, "{policy:?}: nothing was repaired");
+        }
+
+        // ...and the entire state survived it finite.
+        assert_state_finite(&pipeline, &format!("{policy:?} after hostile stream"));
+
+        // A clean tail recovers the pipeline and keeps producing finite,
+        // sane outputs.
+        let mut rng = Rng::seed_from(77);
+        for _ in 0..50 {
+            let o = pipeline.process(&clean(&mut rng)).unwrap();
+            assert!(o.score.is_finite() && o.drift_distance.is_finite());
+        }
+        assert_eq!(
+            pipeline.health(),
+            PipelineHealth::Healthy,
+            "{policy:?}: did not recover on a clean tail"
+        );
+        assert_state_finite(&pipeline, &format!("{policy:?} after clean tail"));
+
+        // And the finite state is still serialisable end to end.
+        let blob = pipeline.to_bytes().unwrap();
+        let restored = DriftPipeline::from_bytes(&blob).unwrap();
+        assert_eq!(restored.guard_counters(), pipeline.guard_counters());
+    }
+}

@@ -25,6 +25,18 @@ pub enum LoadError {
         /// Offending cell text.
         cell: String,
     },
+    /// A cell parsed as a number but is NaN or infinite. Such values are
+    /// rejected at the boundary so downstream consumers (training,
+    /// calibration) never see them; hostile *streams* are handled by the
+    /// pipeline's sample guard instead.
+    NonFinite {
+        /// 0-based row.
+        row: usize,
+        /// 0-based column.
+        col: usize,
+        /// Offending cell text.
+        cell: String,
+    },
     /// Rows have inconsistent widths.
     Ragged {
         /// 0-based row.
@@ -50,6 +62,9 @@ impl std::fmt::Display for LoadError {
             LoadError::Io(e) => write!(f, "io error: {e}"),
             LoadError::Parse { row, col, cell } => {
                 write!(f, "row {row} col {col}: cannot parse {cell:?}")
+            }
+            LoadError::NonFinite { row, col, cell } => {
+                write!(f, "row {row} col {col}: non-finite value {cell:?}")
             }
             LoadError::Ragged { row, got, expected } => {
                 write!(f, "row {row}: {got} columns, expected {expected}")
@@ -111,6 +126,13 @@ pub fn parse_csv(
                 col,
                 cell: (*cell).to_string(),
             })?;
+            if !v.is_finite() {
+                return Err(LoadError::NonFinite {
+                    row,
+                    col,
+                    cell: (*cell).to_string(),
+                });
+            }
             x.push(v as Real);
         }
         samples.push(Sample::new(x, label));
@@ -183,6 +205,20 @@ mod tests {
             parse_csv("1,abc\n", false, false),
             Err(LoadError::Parse { col: 1, .. })
         ));
+    }
+
+    #[test]
+    fn rejects_non_finite_values_with_position() {
+        for bad in ["NaN", "inf", "-inf", "1e999"] {
+            let text = format!("1,2\n3,{bad}\n");
+            match parse_csv(&text, false, false) {
+                Err(LoadError::NonFinite { row, col, cell }) => {
+                    assert_eq!((row, col), (1, 1), "{bad}");
+                    assert_eq!(cell, bad);
+                }
+                other => panic!("{bad}: expected NonFinite, got {other:?}"),
+            }
+        }
     }
 
     #[test]

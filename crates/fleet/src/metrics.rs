@@ -37,6 +37,13 @@ pub(crate) struct FleetMetrics {
     pub checkpoints_corrupted: AtomicU64,
     /// Blocking feeds that gave up after `FleetConfig::feed_timeout`.
     pub feed_timeouts: AtomicU64,
+    /// Pipelines that left `Healthy` (guard rejection/repair or a rolled-
+    /// back model update).
+    pub sessions_degraded: AtomicU64,
+    /// Degraded pipelines that returned to `Healthy`.
+    pub sessions_recovered: AtomicU64,
+    /// Samples repaired (clamped/imputed) by pipeline guards and processed.
+    pub samples_sanitized: AtomicU64,
 }
 
 /// Per-shard ingress-queue depth, incremented on enqueue and decremented
@@ -92,6 +99,12 @@ pub struct MetricsSnapshot {
     pub checkpoints_corrupted: u64,
     /// Blocking feeds that timed out under sustained backpressure.
     pub feed_timeouts: u64,
+    /// Pipelines that left `Healthy` (degraded-episode starts).
+    pub sessions_degraded: u64,
+    /// Degraded pipelines that returned to `Healthy`.
+    pub sessions_recovered: u64,
+    /// Samples repaired by pipeline guards and processed.
+    pub samples_sanitized: u64,
     /// Ingress-queue depth per shard at snapshot time.
     pub queue_depths: Vec<usize>,
 }
@@ -111,6 +124,9 @@ impl FleetMetrics {
             workers_respawned: self.workers_respawned.load(Ordering::Relaxed),
             checkpoints_corrupted: self.checkpoints_corrupted.load(Ordering::Relaxed),
             feed_timeouts: self.feed_timeouts.load(Ordering::Relaxed),
+            sessions_degraded: self.sessions_degraded.load(Ordering::Relaxed),
+            sessions_recovered: self.sessions_recovered.load(Ordering::Relaxed),
+            samples_sanitized: self.samples_sanitized.load(Ordering::Relaxed),
             queue_depths,
         }
     }

@@ -348,6 +348,41 @@ pub(crate) fn quarantine(ctx: &WorkerCtx, id: u64, reason: QuarantineReason) {
 /// One shard's event loop. Starts from `initial` sessions (empty on first
 /// spawn; the re-homed set after a respawn) and exits — after draining the
 /// queue — when the engine drops the sending side.
+/// Tallies freshly drained pipeline events into the fleet metrics and
+/// appends them to the shared event log.
+fn forward_pipeline_events(ctx: &WorkerCtx, id: u64, fresh: Vec<PipelineEvent>) {
+    if fresh.is_empty() {
+        return;
+    }
+    for e in &fresh {
+        match e {
+            PipelineEvent::DriftDetected { .. } => {
+                ctx.metrics.drifts_flagged.fetch_add(1, Ordering::Relaxed);
+            }
+            PipelineEvent::Reconstructed { .. } => {
+                ctx.metrics
+                    .reconstructions_completed
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            PipelineEvent::Degraded { .. } => {
+                ctx.metrics
+                    .sessions_degraded
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            PipelineEvent::Recovered { .. } => {
+                ctx.metrics
+                    .sessions_recovered
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+    let mut log = mutex_lock(&ctx.events);
+    log.extend(fresh.into_iter().map(|event| FleetEvent::Pipeline {
+        id: SessionId(id),
+        event,
+    }));
+}
+
 pub(crate) fn worker_loop(
     rx: Receiver<ShardMsg>,
     initial: Vec<(u64, SessionSlot)>,
@@ -402,39 +437,28 @@ pub(crate) fn worker_loop(
                     slot.pipeline.process(&sample)
                 }));
                 match stepped {
-                    Ok(Ok(_)) => {
+                    Ok(Ok(out)) => {
                         ctx.metrics
                             .samples_processed
                             .fetch_add(1, Ordering::Relaxed);
-                        slot.since_checkpoint += 1;
-                        let fresh = slot.pipeline.drain_events();
-                        if !fresh.is_empty() {
-                            for e in &fresh {
-                                match e {
-                                    PipelineEvent::DriftDetected { .. } => {
-                                        ctx.metrics.drifts_flagged.fetch_add(1, Ordering::Relaxed);
-                                    }
-                                    PipelineEvent::Reconstructed { .. } => {
-                                        ctx.metrics
-                                            .reconstructions_completed
-                                            .fetch_add(1, Ordering::Relaxed);
-                                    }
-                                }
-                            }
-                            let mut log = mutex_lock(&ctx.events);
-                            log.extend(fresh.into_iter().map(|event| FleetEvent::Pipeline {
-                                id: SessionId(id),
-                                event,
-                            }));
+                        if out.sanitized {
+                            ctx.metrics
+                                .samples_sanitized
+                                .fetch_add(1, Ordering::Relaxed);
                         }
+                        slot.since_checkpoint += 1;
+                        forward_pipeline_events(&ctx, id, slot.pipeline.drain_events());
                         if slot.since_checkpoint >= ctx.policy.checkpoint_interval {
                             take_checkpoint(&ctx, id, slot);
                         }
                     }
                     Ok(Err(_)) => {
                         // A bad sample (e.g. NaN from a faulty sensor)
-                        // drops; the session itself stays healthy.
+                        // drops; the session itself stays healthy. The guard
+                        // may have pushed a `Degraded` event — forward it now
+                        // rather than waiting for the next clean sample.
                         ctx.metrics.samples_dropped.fetch_add(1, Ordering::Relaxed);
+                        forward_pipeline_events(&ctx, id, slot.pipeline.drain_events());
                     }
                     Err(_) => {
                         // The pipeline is mid-mutation garbage: discard it

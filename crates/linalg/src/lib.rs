@@ -69,6 +69,10 @@ pub enum LinalgError {
     NotPositiveDefinite,
     /// An argument was out of its legal domain (e.g. empty input).
     InvalidArgument(&'static str),
+    /// A kernel produced a NaN/Inf entry; the result is unusable and the
+    /// in-place operand may be left corrupted (callers needing transactional
+    /// behaviour must keep their own backup).
+    NonFiniteResult,
 }
 
 impl core::fmt::Display for LinalgError {
@@ -82,6 +86,7 @@ impl core::fmt::Display for LinalgError {
             LinalgError::Singular => write!(f, "matrix is singular"),
             LinalgError::NotPositiveDefinite => write!(f, "matrix is not positive definite"),
             LinalgError::InvalidArgument(what) => write!(f, "invalid argument: {what}"),
+            LinalgError::NonFiniteResult => write!(f, "kernel produced a non-finite result"),
         }
     }
 }

@@ -40,6 +40,12 @@ impl Rank1Scratch {
 /// `h` is the hidden-layer activation row vector for the current sample.
 /// Returns the scalar gain denominator `1 + h P hᵀ` so callers can detect
 /// numerical trouble (it must stay positive for P to remain SPD).
+///
+/// Errors with [`LinalgError::NotPositiveDefinite`] before touching `P` when
+/// the gain denominator is non-positive or non-finite, and with
+/// [`LinalgError::NonFiniteResult`] when the updated `P` contains a NaN/Inf
+/// entry — in the latter case `P` is already corrupted; callers that need
+/// transactional behaviour must keep a backup to restore from.
 pub fn oselm_p_update(p: &mut Matrix, h: &[Real], scratch: &mut Rank1Scratch) -> Result<Real> {
     let n = p.rows();
     if !p.is_square() || h.len() != n || scratch.ph.len() != n || scratch.hp.len() != n {
@@ -62,14 +68,20 @@ pub fn oselm_p_update(p: &mut Matrix, h: &[Real], scratch: &mut Rank1Scratch) ->
     p.add_outer(-1.0 / denom, &ph, &hp)?;
     scratch.ph = ph;
     scratch.hp = hp;
+    if !p.as_slice().iter().all(|v| v.is_finite()) {
+        return Err(LinalgError::NonFiniteResult);
+    }
     Ok(denom)
 }
 
 /// General Sherman–Morrison update:
 /// given `P = A⁻¹`, transforms `P` into `(A + u vᵀ)⁻¹` in place.
 ///
-/// Returns an error when `1 + vᵀ P u` is (numerically) zero, i.e. the updated
-/// matrix is singular.
+/// Returns [`LinalgError::Singular`] when `1 + vᵀ P u` is (numerically)
+/// zero — i.e. the updated matrix is singular — and
+/// [`LinalgError::NonFiniteResult`] when the update produced a NaN/Inf
+/// entry (in that case `P` is left corrupted; keep a backup if you need to
+/// roll back).
 pub fn sherman_morrison(p: &mut Matrix, u: &[Real], v: &[Real]) -> Result<()> {
     let n = p.rows();
     if !p.is_square() || u.len() != n || v.len() != n {
@@ -87,6 +99,9 @@ pub fn sherman_morrison(p: &mut Matrix, u: &[Real], v: &[Real]) -> Result<()> {
         return Err(LinalgError::Singular);
     }
     p.add_outer(-1.0 / denom, &pu, &vp)?;
+    if !p.as_slice().iter().all(|x| x.is_finite()) {
+        return Err(LinalgError::NonFiniteResult);
+    }
     Ok(())
 }
 
@@ -178,5 +193,40 @@ mod tests {
         let mut p = Matrix::identity(2);
         let res = sherman_morrison(&mut p, &[1.0, 0.0], &[-1.0, 0.0]);
         assert_eq!(res.unwrap_err(), LinalgError::Singular);
+    }
+
+    #[test]
+    fn non_finite_p_is_reported_not_propagated() {
+        // Poison one entry of P: the kernel must flag the corrupted result
+        // instead of silently returning NaN-laced state.
+        let mut p = Matrix::identity(3);
+        p.set(0, 0, Real::NAN);
+        let h = [1.0, 0.5, -0.5];
+        let mut scratch = Rank1Scratch::new(3);
+        let res = oselm_p_update(&mut p, &h, &mut scratch);
+        assert!(matches!(
+            res.unwrap_err(),
+            LinalgError::NotPositiveDefinite | LinalgError::NonFiniteResult
+        ));
+    }
+
+    #[test]
+    #[cfg(not(feature = "f64"))]
+    fn oselm_update_detects_overflow_to_non_finite() {
+        // Huge P entries with a huge activation overflow f32 in add_outer:
+        // ph entries ~1e30, outer product ~1e60 → Inf. The denominator is
+        // positive-finite (dominated by 1e30-scale dot), so the pre-check
+        // passes and the post-update scan must catch it.
+        let n = 2;
+        let mut p = Matrix::identity(n);
+        p.set(0, 0, 1e30);
+        p.set(1, 1, 1e30);
+        let h = [1e30, 1e30];
+        let mut scratch = Rank1Scratch::new(n);
+        let res = oselm_p_update(&mut p, &h, &mut scratch);
+        assert!(matches!(
+            res.unwrap_err(),
+            LinalgError::NotPositiveDefinite | LinalgError::NonFiniteResult
+        ));
     }
 }

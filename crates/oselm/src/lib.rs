@@ -91,6 +91,10 @@ pub enum ModelError {
         /// Minimum required.
         need: usize,
     },
+    /// A sequential update produced numerically unusable state (non-finite
+    /// `P`/`β` or a `P`-trace blow-up) and was rolled back; the model is
+    /// unchanged and stays usable.
+    RejectedUpdate(&'static str),
 }
 
 impl From<LinalgError> for ModelError {
@@ -113,6 +117,9 @@ impl core::fmt::Display for ModelError {
             }
             ModelError::TooFewSamples { got, need } => {
                 write!(f, "initial training needs >= {need} samples, got {got}")
+            }
+            ModelError::RejectedUpdate(why) => {
+                write!(f, "sequential update rejected and rolled back: {why}")
             }
         }
     }

@@ -137,6 +137,12 @@ pub struct OsElm {
     scratch_hp: Vec<Real>,
     scratch_err: Vec<Real>,
     scratch_out: Vec<Real>,
+    // Transactional-update state (runtime only, never persisted): pre-update
+    // copies of P/β for rollback, and the consecutive-rejection counter that
+    // triggers plasticity re-seeding.
+    backup_p: Vec<Real>,
+    backup_beta: Vec<Real>,
+    rejected_updates: u32,
 }
 
 impl OsElm {
@@ -163,9 +169,23 @@ impl OsElm {
             scratch_hp: vec![0.0; cfg.hidden_dim],
             scratch_err: vec![0.0; cfg.output_dim],
             scratch_out: vec![0.0; cfg.output_dim],
+            backup_p: vec![0.0; cfg.hidden_dim * cfg.hidden_dim],
+            backup_beta: vec![0.0; cfg.hidden_dim * cfg.output_dim],
+            rejected_updates: 0,
             cfg,
         })
     }
+
+    /// Hard ceiling on `trace(P)` after a sequential update. A fresh
+    /// regularised `P = I/λ` with the workspace's defaults has trace
+    /// `H/λ ≈ 10³`; a healthy recursive update only *contracts* `P`, so a
+    /// trace beyond this bound means the rank-1 step has diverged.
+    pub const P_TRACE_BOUND: Real = 1e8;
+
+    /// Consecutive rejected sequential updates after which [`OsElm`] gives
+    /// up on the current `P` and re-seeds it via
+    /// [`OsElm::reset_plasticity`] (β keeps its warm start).
+    pub const MAX_REJECTED_UPDATES: u32 = 3;
 
     /// The configuration this network was built with.
     pub fn config(&self) -> &OsElmConfig {
@@ -291,6 +311,16 @@ impl OsElm {
     /// One sequential training step on `(x, t)` with batch size 1.
     ///
     /// Allocation-free; errors if the model has not been initially trained.
+    ///
+    /// The update is *transactional*: after the rank-1 step the new `P`/`β`
+    /// are validated (every entry finite, `trace(P)` within
+    /// [`OsElm::P_TRACE_BOUND`]). An update that fails validation — or whose
+    /// gain denominator was not positive-finite — is rolled back so the
+    /// model is bit-identical to its pre-call state, and
+    /// [`ModelError::RejectedUpdate`] is returned. After
+    /// [`OsElm::MAX_REJECTED_UPDATES`] *consecutive* rejections `P` is
+    /// re-seeded to `I/λ` (β keeps its warm start) so an ill-conditioned
+    /// inverse-Gram state cannot freeze the model forever.
     pub fn seq_train(&mut self, x: &[Real], t: &[Real]) -> Result<()> {
         if !self.initialized {
             return Err(ModelError::NotInitialized);
@@ -301,6 +331,13 @@ impl OsElm {
                 got: t.len(),
             });
         }
+        // Snapshot for rollback (plain copies into pre-sized buffers; no
+        // allocation on the hot path).
+        let mut backup_p = std::mem::take(&mut self.backup_p);
+        let mut backup_beta = std::mem::take(&mut self.backup_beta);
+        backup_p.copy_from_slice(self.p.as_slice());
+        backup_beta.copy_from_slice(self.beta.as_slice());
+        let seen_before = self.samples_seen;
         // Split scratch out of self so we can borrow immutably alongside.
         let mut h = std::mem::take(&mut self.scratch_h);
         let mut ph = std::mem::take(&mut self.scratch_ph);
@@ -349,7 +386,77 @@ impl OsElm {
         self.scratch_ph = ph;
         self.scratch_hp = hp;
         self.scratch_err = err;
+        let result = match result {
+            Ok(()) => {
+                if self.state_is_sane() {
+                    self.rejected_updates = 0;
+                    Ok(())
+                } else {
+                    self.reject_update(
+                        &backup_p,
+                        &backup_beta,
+                        seen_before,
+                        "update produced non-finite or divergent P/beta",
+                    )
+                }
+            }
+            Err(ModelError::Linalg(seqdrift_linalg::LinalgError::NotPositiveDefinite)) => self
+                .reject_update(
+                    &backup_p,
+                    &backup_beta,
+                    seen_before,
+                    "gain denominator not positive-finite",
+                ),
+            Err(ModelError::Linalg(seqdrift_linalg::LinalgError::NonFiniteResult)) => self
+                .reject_update(
+                    &backup_p,
+                    &backup_beta,
+                    seen_before,
+                    "rank-1 kernel produced a non-finite entry",
+                ),
+            Err(e) => Err(e),
+        };
+        self.backup_p = backup_p;
+        self.backup_beta = backup_beta;
         result
+    }
+
+    /// Whether the committed `P`/`β` state is numerically usable: every
+    /// entry finite and `trace(P)` finite within [`OsElm::P_TRACE_BOUND`].
+    fn state_is_sane(&self) -> bool {
+        let trace: Real = (0..self.cfg.hidden_dim).map(|i| self.p.get(i, i)).sum();
+        trace.is_finite()
+            && trace <= Self::P_TRACE_BOUND
+            && self.p.as_slice().iter().all(|v| v.is_finite())
+            && self.beta.as_slice().iter().all(|v| v.is_finite())
+    }
+
+    /// Rolls `P`/`β`/`samples_seen` back to their pre-update snapshot,
+    /// bumps the consecutive-rejection counter (re-seeding `P = I/λ` once
+    /// it reaches [`OsElm::MAX_REJECTED_UPDATES`]) and reports the
+    /// rejection.
+    fn reject_update(
+        &mut self,
+        backup_p: &[Real],
+        backup_beta: &[Real],
+        seen_before: u64,
+        why: &'static str,
+    ) -> Result<()> {
+        self.p.as_mut_slice().copy_from_slice(backup_p);
+        self.beta.as_mut_slice().copy_from_slice(backup_beta);
+        self.samples_seen = seen_before;
+        self.rejected_updates += 1;
+        if self.rejected_updates >= Self::MAX_REJECTED_UPDATES {
+            self.rejected_updates = 0;
+            self.reset_plasticity()?;
+        }
+        Err(ModelError::RejectedUpdate(why))
+    }
+
+    /// Consecutive sequential updates rejected since the last committed
+    /// update (resets to zero on commit or on plasticity re-seeding).
+    pub fn rejected_updates(&self) -> u32 {
+        self.rejected_updates
     }
 
     /// Sequential training on a *chunk* of `k` samples (Liang et al.'s
@@ -581,6 +688,9 @@ impl OsElm {
             scratch_hp: vec![0.0; hd],
             scratch_err: vec![0.0; od],
             scratch_out: vec![0.0; od],
+            backup_p: vec![0.0; p_len],
+            backup_beta: vec![0.0; beta_len],
+            rejected_updates: 0,
             cfg,
         })
     }
@@ -889,5 +999,54 @@ mod tests {
             m.predict_into(&xs[0], &mut out),
             Err(ModelError::DimensionMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn rejected_update_rolls_back_bit_identically() {
+        let xs = toy_data(30, 3, 60);
+        let mut m = OsElm::new(OsElmConfig::new(3, 4).with_seed(9)).unwrap();
+        m.init_train(&xs, &xs).unwrap();
+        let p_before = m.p().as_slice().to_vec();
+        let beta_before = m.beta().as_slice().to_vec();
+        let seen_before = m.samples_seen();
+        // A NaN input poisons h, err and the denominator; the transactional
+        // layer must reject and leave the model untouched.
+        let bad = vec![Real::NAN; 3];
+        let res = m.seq_train(&bad, &bad);
+        assert!(matches!(res, Err(ModelError::RejectedUpdate(_))), "{res:?}");
+        assert_eq!(m.p().as_slice(), &p_before[..]);
+        assert_eq!(m.beta().as_slice(), &beta_before[..]);
+        assert_eq!(m.samples_seen(), seen_before);
+        assert_eq!(m.rejected_updates(), 1);
+        // A clean sample afterwards trains normally and clears the counter.
+        m.seq_train(&xs[0], &xs[0]).unwrap();
+        assert_eq!(m.rejected_updates(), 0);
+        assert_eq!(m.samples_seen(), seen_before + 1);
+    }
+
+    #[test]
+    fn consecutive_rejections_reseed_plasticity() {
+        let xs = toy_data(30, 3, 61);
+        let mut m = OsElm::new(OsElmConfig::new(3, 4).with_seed(9)).unwrap();
+        m.init_train(&xs, &xs).unwrap();
+        let bad = vec![Real::INFINITY; 3];
+        for _ in 0..OsElm::MAX_REJECTED_UPDATES {
+            assert!(matches!(
+                m.seq_train(&bad, &bad),
+                Err(ModelError::RejectedUpdate(_))
+            ));
+        }
+        // The counter wrapped and P was re-seeded to I/λ.
+        assert_eq!(m.rejected_updates(), 0);
+        let lambda = m.config().lambda;
+        for i in 0..m.hidden_dim() {
+            for j in 0..m.hidden_dim() {
+                let expect = if i == j { 1.0 / lambda } else { 0.0 };
+                assert_eq!(m.p().get(i, j), expect);
+            }
+        }
+        // Still trainable after the re-seed.
+        m.seq_train(&xs[1], &xs[1]).unwrap();
+        assert!(m.p().as_slice().iter().all(|v| v.is_finite()));
     }
 }

@@ -84,6 +84,12 @@ fn main() {
             } => println!(
                 "event: model reconstructed at sample {index} (new theta_drift {new_theta_drift:.3})"
             ),
+            PipelineEvent::Degraded { index, reason } => {
+                println!("event: degraded at sample {index} ({reason})")
+            }
+            PipelineEvent::Recovered { index } => {
+                println!("event: recovered at sample {index}")
+            }
         }
     }
 }
