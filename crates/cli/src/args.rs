@@ -131,6 +131,13 @@ pub struct FleetArgs {
     pub guard_policy: Option<GuardPolicy>,
     /// Override every session's stuck-sensor threshold for this run.
     pub stuck_threshold: Option<u64>,
+    /// Root of the crash-safe durable state store: checkpoints and
+    /// quarantine verdicts survive power loss, and `--resume` re-homes
+    /// surviving sessions from it.
+    pub state_dir: Option<PathBuf>,
+    /// Resume surviving sessions from `--state-dir` before replaying
+    /// (requires `--state-dir`).
+    pub resume: bool,
 }
 
 /// Parse failures (each carries the message shown to the user).
@@ -163,6 +170,7 @@ USAGE:
                  [--queue 256] [--drift-at N] [--drift-step 25]
                  [--drift-shift 0.3] [--inject-faults SEED]
                  [--guard-policy reject|clamp|impute] [--stuck-threshold K]
+                 [--state-dir <dir>] [--resume]
                  [--no-header] [--label-last]
 ";
 
@@ -176,7 +184,7 @@ struct Flags {
     bools: std::collections::HashSet<String>,
 }
 
-const BOOL_FLAGS: [&str; 3] = ["--label-last", "--no-header", "--quick"];
+const BOOL_FLAGS: [&str; 4] = ["--label-last", "--no-header", "--quick", "--resume"];
 
 impl Flags {
     fn parse(argv: &[String]) -> Result<Flags, ParseError> {
@@ -309,9 +317,14 @@ impl Cli {
                     },
                     guard_policy: flags.optional("--guard-policy")?,
                     stuck_threshold: flags.optional("--stuck-threshold")?,
+                    state_dir: flags.take("--state-dir").map(Into::into),
+                    resume: flags.boolean("--resume"),
                 };
                 if a.sessions == 0 || a.workers == 0 || a.queue == 0 {
                     return Err(err("--sessions, --workers and --queue must be positive"));
+                }
+                if a.resume && a.state_dir.is_none() {
+                    return Err(err("--resume requires --state-dir"));
                 }
                 Command::Fleet(a)
             }
@@ -444,13 +457,15 @@ mod tests {
                 assert_eq!(a.inject_faults, None);
                 assert_eq!(a.guard_policy, None);
                 assert_eq!(a.stuck_threshold, None);
+                assert_eq!(a.state_dir, None);
+                assert!(!a.resume);
             }
             other => panic!("{other:?}"),
         }
         let cli = Cli::parse(&argv(
             "fleet --csv s.csv --model m.sqdm --sessions 32 --workers 2 --queue 16 \
              --drift-at 100 --drift-step 10 --drift-shift 0.5 --inject-faults 99 --no-header \
-             --guard-policy reject --stuck-threshold 8",
+             --guard-policy reject --stuck-threshold 8 --state-dir state --resume",
         ))
         .unwrap();
         match cli.command {
@@ -462,11 +477,15 @@ mod tests {
                 assert_eq!(a.inject_faults, Some(99));
                 assert_eq!(a.guard_policy, Some(GuardPolicy::Reject));
                 assert_eq!(a.stuck_threshold, Some(8));
+                assert_eq!(a.state_dir, Some(PathBuf::from("state")));
+                assert!(a.resume);
             }
             other => panic!("{other:?}"),
         }
         assert!(Cli::parse(&argv("fleet --csv s.csv --model m --workers 0")).is_err());
         assert!(Cli::parse(&argv("fleet --csv s.csv --model m --inject-faults x")).is_err());
+        // --resume without --state-dir is meaningless.
+        assert!(Cli::parse(&argv("fleet --csv s.csv --model m --resume")).is_err());
     }
 
     #[test]

@@ -92,7 +92,7 @@ pub fn train(a: &TrainArgs, out: Out<'_>) -> Result<(), String> {
     .ok();
 
     let bytes = pipeline.to_bytes().map_err(|e| fail("serialising", e))?;
-    std::fs::write(&a.out, &bytes).map_err(|e| fail("writing checkpoint", e))?;
+    seqdrift_store::atomic_write(&a.out, &bytes).map_err(|e| fail("writing checkpoint", e))?;
     writeln!(out, "wrote {} bytes to {}", bytes.len(), a.out.display()).ok();
     Ok(())
 }
@@ -216,7 +216,8 @@ pub fn run_stream(a: &RunArgs, out: Out<'_>) -> Result<(), String> {
                 }
             }
         }
-        std::fs::write(events_path, csv).map_err(|e| fail("writing events CSV", e))?;
+        seqdrift_store::atomic_write(events_path, csv.as_bytes())
+            .map_err(|e| fail("writing events CSV", e))?;
         writeln!(out, "events written to {}", events_path.display()).ok();
     }
 
@@ -230,7 +231,8 @@ pub fn run_stream(a: &RunArgs, out: Out<'_>) -> Result<(), String> {
             .ok();
         } else {
             let bytes = pipeline.to_bytes().map_err(|e| fail("serialising", e))?;
-            std::fs::write(out_path, &bytes).map_err(|e| fail("writing checkpoint", e))?;
+            seqdrift_store::atomic_write(out_path, &bytes)
+                .map_err(|e| fail("writing checkpoint", e))?;
             writeln!(out, "adapted checkpoint written to {}", out_path.display()).ok();
         }
     }
@@ -326,8 +328,46 @@ pub fn fleet(a: &FleetArgs, out: Out<'_>) -> Result<(), String> {
         }
         cfg = cfg.with_fault_injector(injector);
     }
+    if let Some(dir) = &a.state_dir {
+        cfg = cfg.with_state_dir(dir);
+        writeln!(out, "durable state store: {}", dir.display()).ok();
+    }
     let engine = FleetEngine::new(cfg).map_err(|e| fail("starting fleet", e))?;
+
+    // Sessions re-homed from the store (or still quarantined in its
+    // ledger) must not be re-created from the reference checkpoint: a
+    // fresh create() would discard the survivor — or lift the verdict.
+    let mut preexisting = std::collections::HashSet::new();
+    if a.resume {
+        let resumed = engine
+            .resume()
+            .map_err(|e| fail("resuming from state dir", e))?;
+        if resumed.is_empty() {
+            writeln!(out, "resume: no surviving sessions in the state dir").ok();
+        }
+        for &(id, samples_processed) in &resumed {
+            writeln!(
+                out,
+                "resumed device {} at its sample {samples_processed}",
+                id.0
+            )
+            .ok();
+            preexisting.insert(id.0);
+        }
+    }
+    for (id, reason) in engine.quarantined_sessions() {
+        writeln!(
+            out,
+            "device {}: quarantined by a previous run ({reason})",
+            id.0
+        )
+        .ok();
+        preexisting.insert(id.0);
+    }
     for d in 0..a.sessions {
+        if preexisting.contains(&(d as u64)) {
+            continue;
+        }
         engine
             .create_from_bytes(SessionId(d as u64), &blob)
             .map_err(|e| fail("creating session", e))?;
@@ -486,6 +526,14 @@ pub fn fleet(a: &FleetArgs, out: Out<'_>) -> Result<(), String> {
         )
         .ok();
     }
+    if a.state_dir.is_some() {
+        writeln!(
+            out,
+            "durability: {} checkpoint flush(es), {} flush failure(s)",
+            m.durable_flushes, m.durable_flush_failures
+        )
+        .ok();
+    }
     if !report.quarantined.is_empty() {
         for (id, reason) in &report.quarantined {
             writeln!(out, "quarantined at shutdown: device {} ({reason})", id.0).ok();
@@ -504,7 +552,7 @@ fn write_csv(path: &std::path::Path, samples: &[Sample], with_label: bool) -> Re
         }
         text.push('\n');
     }
-    std::fs::write(path, text).map_err(|e| fail("writing CSV", e))
+    seqdrift_store::atomic_write(path, text.as_bytes()).map_err(|e| fail("writing CSV", e))
 }
 
 /// `seqdrift synth`: export a synthetic dataset to CSV.
@@ -708,6 +756,51 @@ mod tests {
         for d in 0..4 {
             assert!(out.contains(&format!("device {d}: DRIFT")), "{out}");
         }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fleet_state_dir_persists_and_resumes_sessions() {
+        let dir = tmpdir("fleet-durable");
+        let train_csv = labelled_csv(&dir, 200, 0.0, 31);
+        let model = dir.join("model.sqdm");
+        exec(&format!(
+            "train --csv {} --out {} --label-last --hidden 6 --window 20",
+            train_csv.display(),
+            model.display()
+        ))
+        .unwrap();
+        let stream = stream_csv(&dir, 120, 0.0, 32);
+        let state = dir.join("state");
+
+        // First run populates the store (and reports the flushes).
+        let out = exec(&format!(
+            "fleet --csv {} --model {} --sessions 4 --workers 2 --no-header --state-dir {}",
+            stream.display(),
+            model.display(),
+            state.display()
+        ))
+        .unwrap();
+        assert!(out.contains("durable state store:"), "{out}");
+        assert!(!out.contains("durability: 0 checkpoint flush(es)"), "{out}");
+        assert!(out.contains("flush failure(s)"), "{out}");
+
+        // Second run resumes every device instead of re-creating it.
+        let out = exec(&format!(
+            "fleet --csv {} --model {} --sessions 4 --workers 2 --no-header \
+             --state-dir {} --resume",
+            stream.display(),
+            model.display(),
+            state.display()
+        ))
+        .unwrap();
+        for d in 0..4 {
+            assert!(
+                out.contains(&format!("resumed device {d} at its sample")),
+                "{out}"
+            );
+        }
+        assert!(out.contains("4 sessions over 2 workers"), "{out}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

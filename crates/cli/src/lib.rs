@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 //! # seqdrift-cli
 //!
@@ -23,7 +24,10 @@
 //!   inspection or replay;
 //! * `fleet` — replay one CSV across many simulated devices, each an
 //!   independent [`seqdrift_fleet::FleetEngine`] session restored from the
-//!   same checkpoint, with per-device staggered drift injection.
+//!   same checkpoint, with per-device staggered drift injection. With
+//!   `--state-dir` every rolling checkpoint is flushed to a crash-safe
+//!   on-disk store, and `--resume` re-homes the surviving sessions (and
+//!   re-applies persisted quarantine verdicts) after a crash.
 //!
 //! The argument parser and command implementations live here in the
 //! library so they are unit-testable; `main.rs` is a thin shim.

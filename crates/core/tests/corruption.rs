@@ -99,6 +99,38 @@ fn seeded_bit_flips_never_panic_or_succeed_silently() {
 }
 
 #[test]
+fn newer_wire_version_is_a_typed_error_not_a_parse_attempt() {
+    use seqdrift_core::CoreError;
+    use seqdrift_linalg::wire;
+
+    // A checkpoint written by a future library release: same magic, wire
+    // version bumped past what this build understands. Decoding must fail
+    // with the dedicated unsupported-version error — before any section
+    // parsing — so old firmware reports "upgrade needed", never "corrupt".
+    let blob = snapshot_blob();
+    assert_eq!(&blob[..4], wire::MAGIC, "wire layout changed under us");
+    for skew in [wire::VERSION + 1, wire::VERSION + 7, u16::MAX] {
+        let mut future = blob.clone();
+        future[4..6].copy_from_slice(&skew.to_le_bytes());
+        match DriftPipeline::from_bytes(&future) {
+            Err(CoreError::InvalidConfig(msg)) => {
+                assert_eq!(
+                    msg, "persist: unsupported version",
+                    "version {skew}: wrong error message"
+                );
+            }
+            Err(other) => panic!("version {skew}: wrong error type: {other}"),
+            Ok(_) => panic!("version {skew}: future blob decoded on old code"),
+        }
+    }
+    // Version 0 (never issued) is equally unsupported, not treated as "old
+    // and therefore fine".
+    let mut ancient = blob;
+    ancient[4..6].copy_from_slice(&0u16.to_le_bytes());
+    assert!(DriftPipeline::from_bytes(&ancient).is_err());
+}
+
+#[test]
 fn length_lying_fields_error_without_huge_allocation() {
     let blob = snapshot_blob();
     let mut rng = Rng::seed_from(0x11E5);

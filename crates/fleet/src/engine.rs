@@ -22,7 +22,9 @@ use crate::supervisor::{
 };
 use seqdrift_core::{CoreError, DriftPipeline};
 use seqdrift_linalg::Real;
+use seqdrift_store::{Store, StoreConfig, StoreError};
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::atomic::Ordering;
 use std::sync::mpsc::{channel, sync_channel, Sender, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex, RwLock};
@@ -57,6 +59,9 @@ pub enum FleetError {
     /// An error bubbled up from the pipeline (e.g. a mid-reconstruction
     /// snapshot refusal, or a corrupt restore blob).
     Core(CoreError),
+    /// The durable state store failed (opening the state dir, or a
+    /// resume-time read).
+    Store(StoreError),
     /// The engine's workers are gone (shutdown raced the call).
     Disconnected,
 }
@@ -70,6 +75,7 @@ impl std::fmt::Display for FleetError {
             FleetError::Timeout(id) => write!(f, "feed to {id} timed out under backpressure"),
             FleetError::InvalidConfig(msg) => write!(f, "invalid fleet config: {msg}"),
             FleetError::Core(e) => write!(f, "pipeline error: {e}"),
+            FleetError::Store(e) => write!(f, "state store error: {e}"),
             FleetError::Disconnected => write!(f, "fleet workers disconnected"),
         }
     }
@@ -80,6 +86,12 @@ impl std::error::Error for FleetError {}
 impl From<CoreError> for FleetError {
     fn from(e: CoreError) -> Self {
         FleetError::Core(e)
+    }
+}
+
+impl From<StoreError> for FleetError {
+    fn from(e: StoreError) -> Self {
+        FleetError::Store(e)
     }
 }
 
@@ -121,6 +133,16 @@ pub struct FleetConfig {
     /// Deterministic fault plan applied by the workers (tests and the
     /// CLI's `--inject-faults`); `None` in production.
     pub fault_injector: Option<Arc<FaultInjector>>,
+    /// Root of the crash-safe durable state store. When set, every
+    /// rolling checkpoint is also flushed to disk (atomic temp + fsync +
+    /// rename), quarantine decisions persist across restarts, and
+    /// [`FleetEngine::resume`] can re-home every surviving session after
+    /// a crash or power loss. `None` runs memory-only.
+    pub state_dir: Option<PathBuf>,
+    /// Checkpoint generations kept on disk per session (minimum 2, so a
+    /// torn newest write always leaves a fallback). Ignored without
+    /// `state_dir`.
+    pub state_keep_generations: usize,
 }
 
 impl FleetConfig {
@@ -136,6 +158,8 @@ impl FleetConfig {
             restart_window: 1024,
             feed_timeout: Duration::from_secs(10),
             fault_injector: None,
+            state_dir: None,
+            state_keep_generations: 2,
         }
     }
 
@@ -168,6 +192,19 @@ impl FleetConfig {
     /// Installs a deterministic fault plan (shared by every shard).
     pub fn with_fault_injector(mut self, injector: FaultInjector) -> Self {
         self.fault_injector = Some(Arc::new(injector));
+        self
+    }
+
+    /// Enables the crash-safe durable state store rooted at `dir`.
+    pub fn with_state_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.state_dir = Some(dir.into());
+        self
+    }
+
+    /// Overrides how many checkpoint generations the durable store keeps
+    /// per session (minimum 2).
+    pub fn with_state_keep_generations(mut self, keep: usize) -> Self {
+        self.state_keep_generations = keep;
         self
     }
 }
@@ -235,6 +272,9 @@ pub struct FleetEngine {
     registry: Arc<RwLock<HashMap<u64, SessionStatus>>>,
     /// Rolling checkpoints + restart history (survives worker death).
     store: Arc<CheckpointStore>,
+    /// Crash-safe on-disk store (survives process death); `None` when the
+    /// engine runs memory-only.
+    durable: Option<Arc<Store>>,
     metrics: Arc<FleetMetrics>,
     events: Arc<Mutex<Vec<FleetEvent>>>,
     cfg: FleetConfig,
@@ -260,14 +300,36 @@ impl FleetEngine {
         if cfg.feed_timeout.is_zero() {
             return Err(FleetError::InvalidConfig("feed_timeout must be positive"));
         }
+        // Opening the durable store runs its recovery scan: stale temps
+        // are swept and torn frames discarded before any worker writes.
+        let durable = match &cfg.state_dir {
+            Some(dir) => Some(Arc::new(Store::open_with(
+                dir,
+                StoreConfig::default().with_keep_generations(cfg.state_keep_generations),
+            )?)),
+            None => None,
+        };
+        let registry = HashMap::new();
         let mut engine = FleetEngine {
             shards: Vec::new(),
-            registry: Arc::new(RwLock::new(HashMap::new())),
+            registry: Arc::new(RwLock::new(registry)),
             store: Arc::new(CheckpointStore::default()),
+            durable,
             metrics: Arc::new(FleetMetrics::default()),
             events: Arc::new(Mutex::new(Vec::new())),
             cfg,
         };
+        // Quarantine is a durability fact: sessions the previous process
+        // quarantined stay quarantined in this one.
+        if let Some(durable) = &engine.durable {
+            let mut registry = write_lock(&engine.registry);
+            for (id, entry) in durable.ledger() {
+                registry.insert(
+                    id,
+                    SessionStatus::Quarantined(QuarantineReason::from_code(entry.reason_code)),
+                );
+            }
+        }
         for _ in 0..engine.cfg.workers {
             let depth = Arc::new(QueueDepth::default());
             let (tx, handle) = engine.spawn_worker(Arc::clone(&depth), Vec::new());
@@ -291,6 +353,7 @@ impl FleetEngine {
             events: Arc::clone(&self.events),
             registry: Arc::clone(&self.registry),
             store: Arc::clone(&self.store),
+            durable: self.durable.clone(),
             injector: self.cfg.fault_injector.clone(),
             policy: SupervisionPolicy {
                 checkpoint_interval: self.cfg.checkpoint_interval,
@@ -506,6 +569,11 @@ impl FleetEngine {
                 Some(SessionStatus::Quarantined(_)) => {
                     registry.remove(&id.0);
                     self.store.remove(id.0);
+                    // The replacement starts a fresh checkpoint lineage
+                    // and clears the persisted quarantine verdict.
+                    if let Some(durable) = &self.durable {
+                        durable.remove_session(id.0)?;
+                    }
                 }
                 None => {}
             }
@@ -659,7 +727,56 @@ impl FleetEngine {
         };
         write_lock(&self.registry).remove(&id.0);
         self.store.remove(id.0);
+        // Best-effort: the caller already holds the live pipeline; a disk
+        // hiccup here must not eat it. Leftover generations are harmless
+        // (resume skips ids the caller doesn't re-create) and visible in
+        // the failure counter.
+        if let Some(durable) = &self.durable {
+            if durable.remove_session(id.0).is_err() {
+                self.metrics
+                    .durable_flush_failures
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+        }
         Ok(*pipeline)
+    }
+
+    /// Re-homes every session that survived in the durable state store:
+    /// for each non-quarantined session directory, the newest checkpoint
+    /// generation that frames and decodes is installed as a live session.
+    /// Returns `(id, samples_processed)` for each resumed session, sorted
+    /// by id — the caller replays its stream from that offset, losing at
+    /// most one checkpoint interval to the crash. Sessions whose every
+    /// generation was destroyed are skipped (worst case is losing one
+    /// session's recent history, never the store). Requires
+    /// `FleetConfig::state_dir`.
+    pub fn resume(&self) -> Result<Vec<(SessionId, u64)>, FleetError> {
+        let Some(durable) = &self.durable else {
+            return Err(FleetError::InvalidConfig(
+                "resume requires FleetConfig::state_dir",
+            ));
+        };
+        let ledger = durable.ledger();
+        let mut resumed = Vec::new();
+        for id in durable.sessions() {
+            if ledger.contains_key(&id) {
+                continue; // stays quarantined
+            }
+            if matches!(
+                read_lock(&self.registry).get(&id),
+                Some(SessionStatus::Active)
+            ) {
+                continue; // already live in this engine
+            }
+            let Some((_, pipeline)) = durable.load_pipeline(id)? else {
+                continue; // every generation torn: session lost, store fine
+            };
+            let samples = pipeline.samples_processed();
+            self.create(SessionId(id), pipeline)?;
+            resumed.push((SessionId(id), samples));
+        }
+        resumed.sort_by_key(|(id, _)| *id);
+        Ok(resumed)
     }
 
     /// Point-in-time aggregate counters plus per-shard queue depths.

@@ -37,6 +37,14 @@
 //!   never notice. Dead worker threads are detected, respawned and their
 //!   shards re-homed. Every recovery path is reproducibly exercisable via
 //!   the seeded [`FaultInjector`]. [`FleetEngine::shutdown`] never panics.
+//! * **Durability** — with [`FleetConfig::state_dir`] set, every rolling
+//!   checkpoint is also flushed to a crash-safe on-disk store
+//!   (`seqdrift_store`: CRC-framed generations, atomic fsync'd writes)
+//!   and quarantine verdicts persist in a store manifest. After a crash
+//!   or power loss, [`FleetEngine::resume`] re-homes every surviving
+//!   session from its newest valid generation; the worst case is losing
+//!   one checkpoint interval of samples — never a model, and never a
+//!   quarantine decision.
 //! * **Observability** — [`FleetEngine::metrics`] reads lock-free aggregate
 //!   counters; [`FleetEngine::drain_events`] returns the [`FleetEvent`] log
 //!   so callers can see *which* device drifted, panicked, or recovered.
@@ -87,3 +95,6 @@ pub use engine::{FeedReply, FleetConfig, FleetEngine, FleetError, SessionId, Shu
 pub use fault::{Fault, FaultInjector};
 pub use metrics::MetricsSnapshot;
 pub use supervisor::{FleetEvent, LostSession, QuarantineReason, SessionStatus};
+// Carried in `FleetError::Store`; re-exported so callers can match on it
+// without naming the store crate.
+pub use seqdrift_store::StoreError;

@@ -44,6 +44,11 @@ pub(crate) struct FleetMetrics {
     pub sessions_recovered: AtomicU64,
     /// Samples repaired (clamped/imputed) by pipeline guards and processed.
     pub samples_sanitized: AtomicU64,
+    /// Checkpoints flushed to the durable state store.
+    pub durable_flushes: AtomicU64,
+    /// Durable-store writes (checkpoint or quarantine ledger) that failed;
+    /// the fleet keeps running memory-only when the disk misbehaves.
+    pub durable_flush_failures: AtomicU64,
 }
 
 /// Per-shard ingress-queue depth, incremented on enqueue and decremented
@@ -105,6 +110,10 @@ pub struct MetricsSnapshot {
     pub sessions_recovered: u64,
     /// Samples repaired by pipeline guards and processed.
     pub samples_sanitized: u64,
+    /// Checkpoints flushed to the durable state store.
+    pub durable_flushes: u64,
+    /// Durable-store writes that failed (fleet degraded to memory-only).
+    pub durable_flush_failures: u64,
     /// Ingress-queue depth per shard at snapshot time.
     pub queue_depths: Vec<usize>,
 }
@@ -127,6 +136,8 @@ impl FleetMetrics {
             sessions_degraded: self.sessions_degraded.load(Ordering::Relaxed),
             sessions_recovered: self.sessions_recovered.load(Ordering::Relaxed),
             samples_sanitized: self.samples_sanitized.load(Ordering::Relaxed),
+            durable_flushes: self.durable_flushes.load(Ordering::Relaxed),
+            durable_flush_failures: self.durable_flush_failures.load(Ordering::Relaxed),
             queue_depths,
         }
     }

@@ -27,6 +27,7 @@ use crate::fault::FaultInjector;
 use crate::metrics::{FleetMetrics, QueueDepth};
 use seqdrift_core::pipeline::PipelineEvent;
 use seqdrift_core::DriftPipeline;
+use seqdrift_store::{LedgerEntry, Store};
 use std::collections::{HashMap, VecDeque};
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::Ordering;
@@ -43,6 +44,29 @@ pub enum QuarantineReason {
     RestartBudgetExhausted,
     /// The last checkpoint blob failed to decode (e.g. corrupted bytes).
     CorruptCheckpoint,
+}
+
+impl QuarantineReason {
+    /// Stable on-disk code for the durable quarantine ledger. New variants
+    /// append new codes; existing codes never change meaning.
+    pub(crate) fn code(self) -> u8 {
+        match self {
+            QuarantineReason::NoCheckpoint => 1,
+            QuarantineReason::RestartBudgetExhausted => 2,
+            QuarantineReason::CorruptCheckpoint => 3,
+        }
+    }
+
+    /// Decodes a ledger code. Unknown codes (written by a newer fleet)
+    /// conservatively read as `CorruptCheckpoint`: the session stays
+    /// quarantined either way, which is the safe direction.
+    pub(crate) fn from_code(code: u8) -> QuarantineReason {
+        match code {
+            1 => QuarantineReason::NoCheckpoint,
+            2 => QuarantineReason::RestartBudgetExhausted,
+            _ => QuarantineReason::CorruptCheckpoint,
+        }
+    }
 }
 
 impl std::fmt::Display for QuarantineReason {
@@ -198,6 +222,9 @@ pub(crate) struct WorkerCtx {
     pub events: Arc<Mutex<Vec<FleetEvent>>>,
     pub registry: Arc<RwLock<HashMap<u64, SessionStatus>>>,
     pub store: Arc<CheckpointStore>,
+    /// Crash-safe on-disk store behind `FleetConfig::state_dir`; `None`
+    /// runs the fleet memory-only as before.
+    pub durable: Option<Arc<Store>>,
     pub injector: Option<Arc<FaultInjector>>,
     pub policy: SupervisionPolicy,
 }
@@ -249,8 +276,26 @@ fn take_checkpoint(ctx: &WorkerCtx, id: u64, slot: &mut SessionSlot) {
     entry.checkpoint_sample = slot.pipeline.samples_processed();
     entry.delivered = slot.delivered;
     entry.snapshots_taken += 1;
-    entry.blob = blob;
+    entry.blob = blob.clone();
     slot.since_checkpoint = 0;
+    // Flush to disk OUTSIDE the checkpoint-table lock: fsync latency must
+    // not serialise every other shard's checkpointing.
+    drop(store);
+    if let Some(durable) = &ctx.durable {
+        match durable.put(id, &blob) {
+            Ok(_) => {
+                ctx.metrics.durable_flushes.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {
+                // A failing disk must never take the session down; the
+                // in-memory checkpoint still protects against panics, and
+                // the failure is visible in the metrics.
+                ctx.metrics
+                    .durable_flush_failures
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
 }
 
 /// Restore-or-quarantine decision for a panicked session.
@@ -339,6 +384,25 @@ pub(crate) fn quarantine(ctx: &WorkerCtx, id: u64, reason: QuarantineReason) {
         .sessions_quarantined
         .fetch_add(1, Ordering::Relaxed);
     ctx.metrics.sessions.fetch_sub(1, Ordering::Relaxed);
+    // Persist the decision so a process restart cannot resurrect a
+    // poisoned session: quarantine is a durability fact, not a runtime
+    // mood. Failures degrade to in-memory-only quarantine (and count).
+    if let Some(durable) = &ctx.durable {
+        let restarts_spent = ctx
+            .store
+            .lock()
+            .get(&id)
+            .map_or(0, |e| e.restarts.len() as u64);
+        let entry = LedgerEntry {
+            reason_code: reason.code(),
+            restarts_spent,
+        };
+        if durable.set_quarantined(id, entry).is_err() {
+            ctx.metrics
+                .durable_flush_failures
+                .fetch_add(1, Ordering::Relaxed);
+        }
+    }
     ctx.log(FleetEvent::SessionQuarantined {
         id: SessionId(id),
         reason,

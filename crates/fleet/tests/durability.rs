@@ -1,0 +1,223 @@
+//! Kill-and-resume end-to-end: a fleet with a durable state store is
+//! killed mid-stream, reopened from `--state-dir`, and every resumed
+//! session must be bit-identical to an uninterrupted run — modulo the
+//! tail of samples after the last durable checkpoint, which the caller
+//! replays.
+
+use seqdrift_core::{DetectorConfig, DriftPipeline};
+use seqdrift_fleet::{Fault, FaultInjector};
+use seqdrift_fleet::{
+    FeedReply, FleetConfig, FleetEngine, FleetError, QuarantineReason, SessionId,
+};
+use seqdrift_linalg::{Real, Rng};
+use seqdrift_oselm::{MultiInstanceModel, OsElmConfig};
+use std::fs;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+const DIM: usize = 4;
+const INTERVAL: u64 = 64;
+
+fn calibrated_pipeline(seed: u64) -> DriftPipeline {
+    let mut rng = Rng::seed_from(seed);
+    let class0: Vec<Vec<Real>> = (0..80)
+        .map(|_| {
+            let mut x = vec![0.0; DIM];
+            rng.fill_normal(&mut x, 0.2, 0.05);
+            x
+        })
+        .collect();
+    let class1: Vec<Vec<Real>> = (0..80)
+        .map(|_| {
+            let mut x = vec![0.0; DIM];
+            rng.fill_normal(&mut x, 0.8, 0.05);
+            x
+        })
+        .collect();
+    let mut model = MultiInstanceModel::new(2, OsElmConfig::new(DIM, 3).with_seed(seed)).unwrap();
+    model.init_train_class(0, &class0).unwrap();
+    model.init_train_class(1, &class1).unwrap();
+    let train: Vec<(usize, &[Real])> = class0
+        .iter()
+        .map(|x| (0usize, x.as_slice()))
+        .chain(class1.iter().map(|x| (1usize, x.as_slice())))
+        .collect();
+    DriftPipeline::calibrate(model, DetectorConfig::new(2, DIM).with_window(16), &train).unwrap()
+}
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("seqdrift-durability-{name}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Deterministic per-session stream: each session gets its own RNG.
+fn stream(session: u64, len: usize) -> Vec<Vec<Real>> {
+    let mut rng = Rng::seed_from(1000 + session);
+    (0..len)
+        .map(|_| {
+            let mut x = vec![0.0; DIM];
+            rng.fill_normal(&mut x, 0.2, 0.05);
+            x
+        })
+        .collect()
+}
+
+fn durable_config(dir: &PathBuf) -> FleetConfig {
+    FleetConfig::new(2)
+        .with_checkpoint_interval(INTERVAL)
+        .with_state_dir(dir)
+}
+
+#[test]
+fn killed_engine_resumes_bit_identical_modulo_lost_tail() {
+    let dir = tmp_dir("kill-resume");
+    const SESSIONS: u64 = 5;
+    const CUT: usize = 150; // not a checkpoint boundary: a real tail is lost
+    const TOTAL: usize = 230;
+
+    // --- Reference: one uninterrupted run over the full streams. ---
+    let reference =
+        FleetEngine::new(FleetConfig::new(2).with_checkpoint_interval(INTERVAL)).unwrap();
+    for s in 0..SESSIONS {
+        reference
+            .create(SessionId(s), calibrated_pipeline(s))
+            .unwrap();
+        for x in stream(s, TOTAL) {
+            reference.feed_blocking(SessionId(s), &x).unwrap();
+        }
+    }
+    let mut expected = Vec::new();
+    for s in 0..SESSIONS {
+        expected.push(reference.snapshot(SessionId(s)).unwrap());
+    }
+    drop(reference);
+
+    // --- Victim: same streams, killed at sample CUT. ---
+    {
+        let victim = FleetEngine::new(durable_config(&dir)).unwrap();
+        for s in 0..SESSIONS {
+            victim.create(SessionId(s), calibrated_pipeline(s)).unwrap();
+            for x in stream(s, CUT) {
+                victim.feed_blocking(SessionId(s), &x).unwrap();
+            }
+        }
+        assert!(victim.metrics().durable_flushes > 0, "nothing reached disk");
+        // Simulated power loss: the engine dies here. Whatever is on disk
+        // is all the next process gets.
+        drop(victim);
+    }
+
+    // --- Resume from the state dir and replay each lost tail. ---
+    let revived = FleetEngine::new(durable_config(&dir)).unwrap();
+    let resumed = revived.resume().unwrap();
+    assert_eq!(resumed.len(), SESSIONS as usize, "{resumed:?}");
+    for &(id, samples_processed) in &resumed {
+        // The durable checkpoint can only lag by less than one interval.
+        assert!(
+            samples_processed <= CUT as u64,
+            "{id}: resumed ahead of the crash point"
+        );
+        assert!(
+            CUT as u64 - samples_processed < INTERVAL,
+            "{id}: lost more than one checkpoint interval ({samples_processed})"
+        );
+        let full = stream(id.0, TOTAL);
+        for x in &full[samples_processed as usize..] {
+            revived.feed_blocking(id, x).unwrap();
+        }
+    }
+    for s in 0..SESSIONS {
+        let got = revived.snapshot(SessionId(s)).unwrap();
+        assert_eq!(
+            got, expected[s as usize],
+            "session {s}: resumed state diverged from the uninterrupted run"
+        );
+    }
+    drop(revived);
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn resume_skips_sessions_with_no_surviving_checkpoint() {
+    let dir = tmp_dir("resume-torn");
+    {
+        let fleet = FleetEngine::new(durable_config(&dir)).unwrap();
+        fleet.create(SessionId(0), calibrated_pipeline(0)).unwrap();
+        fleet.create(SessionId(1), calibrated_pipeline(1)).unwrap();
+        drop(fleet);
+    }
+    // Destroy every generation of session 0 (as a crash storm might).
+    for entry in fs::read_dir(dir.join("0")).unwrap() {
+        fs::write(entry.unwrap().path(), b"torn to shreds").unwrap();
+    }
+    let revived = FleetEngine::new(durable_config(&dir)).unwrap();
+    let resumed = revived.resume().unwrap();
+    assert_eq!(
+        resumed.iter().map(|(id, _)| *id).collect::<Vec<_>>(),
+        vec![SessionId(1)]
+    );
+    drop(revived);
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn resume_without_state_dir_is_a_typed_error() {
+    let fleet = FleetEngine::new(FleetConfig::new(1)).unwrap();
+    assert!(matches!(fleet.resume(), Err(FleetError::InvalidConfig(_))));
+}
+
+#[test]
+fn quarantine_survives_process_restart() {
+    let dir = tmp_dir("quarantine-persists");
+    {
+        let injector = FaultInjector::new(vec![Fault::PanicOnSample { session: 0, nth: 5 }]);
+        let fleet = FleetEngine::new(
+            durable_config(&dir)
+                .with_restart_budget(0, 1024)
+                .with_fault_injector(injector),
+        )
+        .unwrap();
+        fleet.create(SessionId(0), calibrated_pipeline(0)).unwrap();
+        let mut rng = Rng::seed_from(3);
+        for _ in 0..10 {
+            let mut x = vec![0.0; DIM];
+            rng.fill_normal(&mut x, 0.2, 0.05);
+            match fleet.feed_blocking(SessionId(0), &x) {
+                Ok(()) | Err(FleetError::SessionQuarantined(_)) => {}
+                Err(other) => panic!("unexpected error: {other}"),
+            }
+        }
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while fleet.quarantined_sessions().is_empty() && Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        assert_eq!(
+            fleet.quarantined_sessions(),
+            vec![(SessionId(0), QuarantineReason::RestartBudgetExhausted)]
+        );
+        drop(fleet);
+    }
+    // A fresh process must inherit the verdict: no resume, no feeding.
+    let revived = FleetEngine::new(durable_config(&dir)).unwrap();
+    assert_eq!(
+        revived.quarantined_sessions(),
+        vec![(SessionId(0), QuarantineReason::RestartBudgetExhausted)]
+    );
+    assert!(revived.resume().unwrap().is_empty());
+    assert_eq!(
+        revived.feed(SessionId(0), &[0.2; DIM]),
+        FeedReply::Quarantined
+    );
+    // Re-creating the id lifts the quarantine — durably.
+    revived
+        .create(SessionId(0), calibrated_pipeline(9))
+        .unwrap();
+    drop(revived);
+    let third = FleetEngine::new(durable_config(&dir)).unwrap();
+    assert!(third.quarantined_sessions().is_empty());
+    assert_eq!(third.resume().unwrap().len(), 1);
+    drop(third);
+    fs::remove_dir_all(&dir).ok();
+}

@@ -119,7 +119,9 @@ impl<'a> Reader<'a> {
             return Err(WireError::BadMagic);
         }
         let version = r.u16()?;
-        if version > VERSION {
+        // Version 0 was never issued; anything above VERSION is from a
+        // newer library. Both are unsupported, not silently tolerated.
+        if version == 0 || version > VERSION {
             return Err(WireError::UnsupportedVersion(version));
         }
         let kind = r.u16()?;

@@ -1,0 +1,116 @@
+//! CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), implemented
+//! in-repo so the workspace keeps its zero-external-dependency property.
+//!
+//! The table is computed once at first use; a 256-entry table-driven CRC
+//! is fast enough for checkpoint-sized payloads (a few hundred kB at
+//! most) and byte-for-byte compatible with zlib's `crc32()`, so frames
+//! can be checked by standard tooling off-device.
+
+use std::sync::OnceLock;
+
+/// Reflected CRC-32 polynomial (IEEE 802.3 / zlib / PNG).
+const POLY: u32 = 0xEDB8_8320;
+
+fn table() -> &'static [u32; 256] {
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        let mut i = 0usize;
+        while i < 256 {
+            let mut crc = i as u32;
+            let mut bit = 0;
+            while bit < 8 {
+                crc = if crc & 1 != 0 {
+                    (crc >> 1) ^ POLY
+                } else {
+                    crc >> 1
+                };
+                bit += 1;
+            }
+            t[i] = crc;
+            i += 1;
+        }
+        t
+    })
+}
+
+/// CRC-32 of `data` (init `0xFFFF_FFFF`, final xor `0xFFFF_FFFF`).
+pub fn crc32(data: &[u8]) -> u32 {
+    let t = table();
+    let mut crc = u32::MAX;
+    for &b in data {
+        crc = (crc >> 8) ^ t[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// Incremental CRC-32 for callers that hash in chunks.
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Crc32::new()
+    }
+}
+
+impl Crc32 {
+    /// Fresh hasher.
+    pub fn new() -> Self {
+        Crc32 { state: u32::MAX }
+    }
+
+    /// Feeds more bytes.
+    pub fn update(&mut self, data: &[u8]) {
+        let t = table();
+        for &b in data {
+            self.state = (self.state >> 8) ^ t[((self.state ^ b as u32) & 0xFF) as usize];
+        }
+    }
+
+    /// Finishes and returns the checksum.
+    pub fn finish(&self) -> u32 {
+        !self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard zlib/PNG check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let data: Vec<u8> = (0u16..1024).map(|i| (i % 251) as u8).collect();
+        let mut h = Crc32::new();
+        for chunk in data.chunks(13) {
+            h.update(chunk);
+        }
+        assert_eq!(h.finish(), crc32(&data));
+    }
+
+    #[test]
+    fn single_bit_flip_changes_checksum() {
+        let data: Vec<u8> = (0u16..256).map(|i| i as u8).collect();
+        let base = crc32(&data);
+        for byte in 0..data.len() {
+            for bit in 0..8 {
+                let mut bad = data.clone();
+                bad[byte] ^= 1 << bit;
+                assert_ne!(crc32(&bad), base, "flip at {byte}:{bit} undetected");
+            }
+        }
+    }
+}

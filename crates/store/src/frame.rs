@@ -1,0 +1,228 @@
+//! The on-disk checkpoint frame: a self-validating envelope around one
+//! checkpoint payload.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! offset  size  field
+//!      0     4  magic  b"SQCK"
+//!      4     2  store format version (currently 1)
+//!      6     8  generation number
+//!     14     8  payload length in bytes
+//!     22     n  payload (an opaque checkpoint blob)
+//!  22 + n     4  CRC-32 over bytes [0, 22 + n)  — header AND payload
+//! ```
+//!
+//! The CRC covers everything before it, so a torn write (power loss mid
+//! `write(2)`), a truncated file, or a bit flip anywhere — header,
+//! payload or the checksum itself — fails validation. Decoding never
+//! trusts the length field beyond the bytes actually present, so a
+//! length-lying frame cannot drive an allocation.
+
+use crate::crc32::crc32;
+
+/// Frame magic: distinguishes checkpoint frames from raw pipeline blobs.
+pub const FRAME_MAGIC: &[u8; 4] = b"SQCK";
+/// Current store format version.
+pub const STORE_VERSION: u16 = 1;
+/// Bytes before the payload: magic + version + generation + length.
+pub const HEADER_LEN: usize = 4 + 2 + 8 + 8;
+/// Trailing checksum bytes.
+pub const CRC_LEN: usize = 4;
+
+/// Why a frame failed to validate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The bytes do not start with the frame magic.
+    BadMagic,
+    /// The frame was written by a newer store version; refusing to guess
+    /// at its layout. Carries the version found on disk.
+    NewerVersion(u16),
+    /// The file ended before the declared payload + CRC.
+    Truncated,
+    /// The declared payload length disagrees with the file size.
+    LengthMismatch {
+        /// Payload bytes the header claims.
+        declared: u64,
+        /// Payload bytes actually present.
+        present: u64,
+    },
+    /// The checksum over header + payload did not match: a torn write or
+    /// bit rot.
+    CrcMismatch,
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::BadMagic => write!(f, "not a checkpoint frame"),
+            FrameError::NewerVersion(v) => {
+                write!(f, "frame written by newer store version {v}")
+            }
+            FrameError::Truncated => write!(f, "frame truncated"),
+            FrameError::LengthMismatch { declared, present } => {
+                write!(
+                    f,
+                    "frame declares {declared} payload bytes but holds {present}"
+                )
+            }
+            FrameError::CrcMismatch => write!(f, "frame checksum mismatch (torn or corrupt)"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Encodes one checkpoint payload into a self-validating frame.
+pub fn encode(generation: u64, payload: &[u8]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(HEADER_LEN + payload.len() + CRC_LEN);
+    buf.extend_from_slice(FRAME_MAGIC);
+    buf.extend_from_slice(&STORE_VERSION.to_le_bytes());
+    buf.extend_from_slice(&generation.to_le_bytes());
+    buf.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    buf.extend_from_slice(payload);
+    let crc = crc32(&buf);
+    buf.extend_from_slice(&crc.to_le_bytes());
+    buf
+}
+
+/// Validates a frame and returns `(generation, payload)` borrowed from
+/// the input. Every failure mode of a crashed writer — truncation at any
+/// byte, bit flips in header, payload or checksum — returns a typed
+/// error; nothing panics and nothing allocates proportional to untrusted
+/// lengths.
+pub fn decode(bytes: &[u8]) -> Result<(u64, &[u8]), FrameError> {
+    if bytes.len() < 4 {
+        // Too short even for the magic: treat as torn.
+        return if bytes.starts_with(&FRAME_MAGIC[..bytes.len()]) {
+            Err(FrameError::Truncated)
+        } else {
+            Err(FrameError::BadMagic)
+        };
+    }
+    if &bytes[0..4] != FRAME_MAGIC {
+        return Err(FrameError::BadMagic);
+    }
+    if bytes.len() < HEADER_LEN {
+        return Err(FrameError::Truncated);
+    }
+    let version = u16::from_le_bytes([bytes[4], bytes[5]]);
+    let mut gen_bytes = [0u8; 8];
+    gen_bytes.copy_from_slice(&bytes[6..14]);
+    let generation = u64::from_le_bytes(gen_bytes);
+    let mut len_bytes = [0u8; 8];
+    len_bytes.copy_from_slice(&bytes[14..22]);
+    let declared = u64::from_le_bytes(len_bytes);
+    // Compare against the bytes on disk before doing anything else: a
+    // frame can never legitimately declare more payload than the file
+    // holds, and trailing garbage is as suspect as missing bytes.
+    let total_needed = ((HEADER_LEN + CRC_LEN) as u64)
+        .checked_add(declared)
+        .ok_or(FrameError::Truncated)?;
+    if (bytes.len() as u64) < total_needed {
+        return Err(FrameError::Truncated);
+    }
+    if (bytes.len() as u64) > total_needed {
+        return Err(FrameError::LengthMismatch {
+            declared,
+            present: (bytes.len() - HEADER_LEN - CRC_LEN) as u64,
+        });
+    }
+    let body_end = HEADER_LEN + declared as usize;
+    let mut crc_bytes = [0u8; CRC_LEN];
+    crc_bytes.copy_from_slice(&bytes[body_end..body_end + CRC_LEN]);
+    let stored_crc = u32::from_le_bytes(crc_bytes);
+    if crc32(&bytes[..body_end]) != stored_crc {
+        return Err(FrameError::CrcMismatch);
+    }
+    // Version skew is checked AFTER the checksum: a bit flip landing in
+    // the version field must read as corruption (fall back a generation),
+    // not as "data from the future" (which hard-stops recovery). Only a
+    // frame that checksums clean and still claims a newer version is
+    // genuinely from a newer writer.
+    if version > STORE_VERSION {
+        return Err(FrameError::NewerVersion(version));
+    }
+    Ok((generation, &bytes[HEADER_LEN..body_end]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let payload = b"checkpoint bytes".to_vec();
+        let frame = encode(42, &payload);
+        let (generation, got) = decode(&frame).unwrap();
+        assert_eq!(generation, 42);
+        assert_eq!(got, payload.as_slice());
+    }
+
+    #[test]
+    fn empty_payload_roundtrips() {
+        let frame = encode(0, &[]);
+        let (generation, got) = decode(&frame).unwrap();
+        assert_eq!(generation, 0);
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn every_truncation_point_is_rejected() {
+        let frame = encode(7, &[1, 2, 3, 4, 5, 6, 7, 8]);
+        for cut in 0..frame.len() {
+            assert!(
+                decode(&frame[..cut]).is_err(),
+                "truncation at byte {cut} went unnoticed"
+            );
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_rejected() {
+        let frame = encode(9, b"payload under test");
+        for byte in 0..frame.len() {
+            for bit in 0..8 {
+                let mut bad = frame.clone();
+                bad[byte] ^= 1 << bit;
+                assert!(
+                    decode(&bad).is_err(),
+                    "flip at byte {byte} bit {bit} went unnoticed"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut frame = encode(3, b"abc");
+        frame.push(0);
+        assert!(matches!(
+            decode(&frame),
+            Err(FrameError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn newer_version_is_a_typed_error() {
+        let mut frame = encode(1, b"future");
+        let future = (STORE_VERSION + 1).to_le_bytes();
+        frame[4..6].copy_from_slice(&future);
+        // Re-seal the CRC so version skew is the ONLY defect: the check
+        // must trip on the version field, not ride on a checksum failure.
+        let body_end = frame.len() - CRC_LEN;
+        let crc = crate::crc32::crc32(&frame[..body_end]).to_le_bytes();
+        frame[body_end..].copy_from_slice(&crc);
+        assert_eq!(
+            decode(&frame),
+            Err(FrameError::NewerVersion(STORE_VERSION + 1))
+        );
+    }
+
+    #[test]
+    fn length_lie_cannot_oversize() {
+        let mut frame = encode(1, b"tiny");
+        frame[14..22].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert_eq!(decode(&frame), Err(FrameError::Truncated));
+    }
+}

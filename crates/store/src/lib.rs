@@ -1,0 +1,35 @@
+//! Crash-safe durable state store for seqdrift pipelines and fleets.
+//!
+//! Edge deployments lose power mid-write: a checkpoint `std::fs::write`
+//! interrupted at the wrong instant leaves a torn file that silently
+//! destroys the model it was supposed to protect. This crate makes the
+//! persistence layer power-loss-tolerant with nothing beyond `std`:
+//!
+//! - **Self-validating frames** ([`frame`]): every checkpoint is wrapped
+//!   in a magic + version + generation + length envelope sealed by a
+//!   CRC-32 over header and payload, so torn writes, truncation and bit
+//!   rot are detected, never decoded.
+//! - **Atomic writes** ([`atomic_write`]): temp file + fsync + rename +
+//!   directory fsync. A crash at any instant leaves the previous file
+//!   intact.
+//! - **Generational slots** ([`Store`]): each session keeps the newest N
+//!   checkpoint generations; recovery falls back to the newest
+//!   generation that both frames *and* decodes, so the worst case after
+//!   any crash is losing one checkpoint interval — never the model.
+//! - **Durable quarantine ledger**: the fleet supervisor's quarantine
+//!   decisions persist in a store-level manifest (written through the
+//!   same machinery), so a poisoned session stays quarantined across
+//!   process restarts.
+//!
+//! The CRC-32 implementation ([`crc32`]) is in-repo and zlib-compatible,
+//! keeping the workspace dependency-free.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+#![deny(missing_docs)]
+
+pub mod crc32;
+pub mod frame;
+mod store;
+
+pub use frame::{FrameError, CRC_LEN, FRAME_MAGIC, HEADER_LEN, STORE_VERSION};
+pub use store::{atomic_write, LedgerEntry, Store, StoreConfig, StoreError};

@@ -1,0 +1,738 @@
+//! The generational on-disk store and its recovery scan.
+//!
+//! Layout under the store root:
+//!
+//! ```text
+//! <root>/
+//!   <session-id>/            one directory per session (decimal id)
+//!     1.ckpt  2.ckpt  ...    CRC-framed checkpoint generations
+//!   manifest/
+//!     1.ckpt  2.ckpt  ...    CRC-framed quarantine-ledger generations
+//! ```
+//!
+//! **Write path.** Every write — checkpoint or manifest — goes through
+//! [`atomic_write`]: the frame is written to a `*.tmp` sibling, fsynced,
+//! atomically renamed into place, and the directory fsynced so the rename
+//! itself survives power loss. Generations are append-only (a new file
+//! per write, never an in-place overwrite) and pruned to
+//! [`StoreConfig::keep_generations`] afterwards, so at every instant at
+//! least one fully-written previous generation exists on disk.
+//!
+//! **Recovery scan.** [`Store::open`] walks the tree: stale `*.tmp` files
+//! (a writer died mid-write) are deleted; frames that fail CRC
+//! validation (torn, truncated, bit-flipped) are deleted so they can
+//! never shadow a good older generation; each session's newest surviving
+//! generation is additionally decoded through
+//! [`DriftPipeline::from_bytes`], falling back to older generations until
+//! one decodes. The worst case after any crash is therefore the loss of
+//! one checkpoint interval — never the model.
+
+use crate::frame::{self, FrameError, STORE_VERSION};
+use seqdrift_core::DriftPipeline;
+use seqdrift_linalg::wire::{Reader, Writer, MAGIC as WIRE_MAGIC, VERSION as WIRE_VERSION};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::fs::{self, File};
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Directory name of the store-level manifest (quarantine ledger).
+const MANIFEST_DIR: &str = "manifest";
+/// Payload kind of a serialised manifest (the session checkpoints inside
+/// frames are `seqdrift_core::persist` blobs with their own kind).
+const KIND_MANIFEST: u16 = 32;
+
+/// Store-level failures.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An I/O operation failed; `context` names what was being attempted.
+    Io {
+        /// What the store was doing.
+        context: String,
+        /// The underlying error.
+        source: io::Error,
+    },
+    /// A frame on disk was written by a newer store (or wire) version.
+    /// Refusing to touch it: old code must not reinterpret or delete
+    /// newer data.
+    NewerVersion {
+        /// The offending file.
+        path: PathBuf,
+        /// The version found on disk.
+        found: u16,
+    },
+    /// Bad store configuration.
+    InvalidConfig(&'static str),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io { context, source } => write!(f, "{context}: {source}"),
+            StoreError::NewerVersion { path, found } => write!(
+                f,
+                "{} was written by newer store/wire version {found} (this build supports {})",
+                path.display(),
+                STORE_VERSION
+            ),
+            StoreError::InvalidConfig(msg) => write!(f, "invalid store config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+fn io_err(context: impl Into<String>) -> impl FnOnce(io::Error) -> StoreError {
+    let context = context.into();
+    move |source| StoreError::Io { context, source }
+}
+
+/// One quarantine-ledger entry, persisted in the store manifest so a
+/// permanently quarantined session stays quarantined across process
+/// restarts. The reason code is defined by the fleet layer
+/// (`seqdrift_fleet::QuarantineReason`); the store treats it opaquely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LedgerEntry {
+    /// Why the session was quarantined (fleet-defined code).
+    pub reason_code: u8,
+    /// Restart-budget restores consumed before quarantine.
+    pub restarts_spent: u64,
+}
+
+/// Store tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct StoreConfig {
+    /// Checkpoint generations kept per session (and for the manifest).
+    /// At least 2, so one fully-written fallback always survives the
+    /// newest write being torn by a crash.
+    pub keep_generations: usize,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            keep_generations: 2,
+        }
+    }
+}
+
+impl StoreConfig {
+    /// Overrides the per-session generation keep-count (minimum 2).
+    pub fn with_keep_generations(mut self, keep: usize) -> Self {
+        self.keep_generations = keep;
+        self
+    }
+}
+
+/// Per-session bookkeeping discovered by the recovery scan.
+#[derive(Debug, Default)]
+struct Slot {
+    /// Generation files present on disk (survivors of the scan).
+    gens: BTreeSet<u64>,
+    /// Newest generation that framed AND decoded at open (or was written
+    /// by this process). `None` until the first successful write/decode.
+    newest_valid: Option<u64>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    sessions: HashMap<u64, Slot>,
+    manifest_gens: BTreeSet<u64>,
+    ledger: BTreeMap<u64, LedgerEntry>,
+}
+
+/// The crash-safe checkpoint store. All methods take `&self`; internal
+/// state is mutex-guarded so worker threads can flush checkpoints
+/// concurrently.
+#[derive(Debug)]
+pub struct Store {
+    root: PathBuf,
+    keep: usize,
+    inner: Mutex<Inner>,
+}
+
+/// Fsyncs a directory so a rename inside it is durable. Directory
+/// handles are not fsyncable on all platforms; failures there are not
+/// actionable and are ignored on non-Unix targets.
+fn sync_dir(dir: &Path) -> io::Result<()> {
+    #[cfg(unix)]
+    {
+        File::open(dir)?.sync_all()
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = dir;
+        Ok(())
+    }
+}
+
+/// Writes `bytes` to `path` so that a crash at any instant leaves either
+/// the old file or the new file — never a torn mix: the bytes go to a
+/// `*.tmp` sibling first, are fsynced, renamed over the target, and the
+/// parent directory is fsynced so the rename itself is on stable storage.
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let file_name = path.file_name().ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "atomic_write: path has no file name",
+        )
+    })?;
+    let dir = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+        _ => PathBuf::from("."),
+    };
+    let mut tmp_name = file_name.to_os_string();
+    tmp_name.push(".tmp");
+    let tmp = dir.join(tmp_name);
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    if let Err(e) = fs::rename(&tmp, path) {
+        let _ = fs::remove_file(&tmp);
+        return Err(e);
+    }
+    sync_dir(&dir)
+}
+
+/// Returns the wire-format version claimed by a `seqdrift_core::persist`
+/// payload, when the payload carries the wire magic. Used by the
+/// recovery scan to distinguish "payload from a newer library" (a typed
+/// hard error) from "payload corrupted before framing" (fall back).
+fn payload_wire_version(payload: &[u8]) -> Option<u16> {
+    if payload.len() >= 6 && &payload[0..4] == WIRE_MAGIC {
+        Some(u16::from_le_bytes([payload[4], payload[5]]))
+    } else {
+        None
+    }
+}
+
+impl Store {
+    /// Opens (creating if absent) a store at `root` with default config
+    /// and runs the recovery scan.
+    pub fn open(root: impl AsRef<Path>) -> Result<Store, StoreError> {
+        Store::open_with(root, StoreConfig::default())
+    }
+
+    /// Opens a store with explicit configuration. See the module docs for
+    /// the recovery-scan contract.
+    pub fn open_with(root: impl AsRef<Path>, cfg: StoreConfig) -> Result<Store, StoreError> {
+        if cfg.keep_generations < 2 {
+            return Err(StoreError::InvalidConfig(
+                "keep_generations must be at least 2 (one fallback must survive a torn write)",
+            ));
+        }
+        let root = root.as_ref().to_path_buf();
+        fs::create_dir_all(&root)
+            .map_err(io_err(format!("creating store root {}", root.display())))?;
+        let store = Store {
+            root,
+            keep: cfg.keep_generations,
+            inner: Mutex::new(Inner::default()),
+        };
+        store.recover()?;
+        Ok(store)
+    }
+
+    /// Poison tolerance: the inner map holds plain bookkeeping whose
+    /// invariants never span a panic window.
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Root directory of the store.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn session_dir(&self, session: u64) -> PathBuf {
+        self.root.join(session.to_string())
+    }
+
+    fn frame_path(dir: &Path, generation: u64) -> PathBuf {
+        dir.join(format!("{generation}.ckpt"))
+    }
+
+    /// The recovery scan: delete stale temps, drop CRC-invalid frames,
+    /// and find each session's newest generation that frames and decodes.
+    fn recover(&self) -> Result<(), StoreError> {
+        let mut inner = self.lock();
+        *inner = Inner::default();
+        let entries = fs::read_dir(&self.root).map_err(io_err(format!(
+            "scanning store root {}",
+            self.root.display()
+        )))?;
+        for entry in entries {
+            let entry = entry.map_err(io_err("scanning store root"))?;
+            let path = entry.path();
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if path.is_file() {
+                // Only frames live in subdirectories; root-level files are
+                // either stale temps or foreign — delete temps, skip the rest.
+                if name.ends_with(".tmp") {
+                    fs::remove_file(&path)
+                        .map_err(io_err(format!("deleting stale temp {}", path.display())))?;
+                }
+                continue;
+            }
+            if name == MANIFEST_DIR {
+                let gens =
+                    self.scan_frame_dir(&path, |payload| decode_manifest(payload).is_some())?;
+                inner.manifest_gens = gens.0;
+                if let Some(newest) = gens.1 {
+                    let frame_path = Store::frame_path(&path, newest);
+                    let bytes = fs::read(&frame_path)
+                        .map_err(io_err(format!("reading manifest {}", frame_path.display())))?;
+                    if let Ok((_, payload)) = frame::decode(&bytes) {
+                        if let Some(ledger) = decode_manifest(payload) {
+                            inner.ledger = ledger;
+                        }
+                    }
+                }
+                continue;
+            }
+            let Ok(session) = name.parse::<u64>() else {
+                // Not a session directory; leave foreign data alone.
+                continue;
+            };
+            let (gens, newest_valid) =
+                self.scan_frame_dir(&path, |payload| DriftPipeline::from_bytes(payload).is_ok())?;
+            inner.sessions.insert(session, Slot { gens, newest_valid });
+        }
+        Ok(())
+    }
+
+    /// Scans one generation directory: deletes `*.tmp` and CRC-invalid
+    /// frames, and returns the surviving generation set plus the newest
+    /// generation whose payload passes `validate`. A frame claiming a
+    /// newer store version (with a clean checksum) or carrying a payload
+    /// with a newer wire version is a typed hard error — recovery must
+    /// not delete or reinterpret data from the future.
+    fn scan_frame_dir(
+        &self,
+        dir: &Path,
+        validate: impl Fn(&[u8]) -> bool,
+    ) -> Result<(BTreeSet<u64>, Option<u64>), StoreError> {
+        let mut gens: BTreeSet<u64> = BTreeSet::new();
+        let entries = fs::read_dir(dir).map_err(io_err(format!("scanning {}", dir.display())))?;
+        for entry in entries {
+            let entry = entry.map_err(io_err(format!("scanning {}", dir.display())))?;
+            let path = entry.path();
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if name.ends_with(".tmp") {
+                fs::remove_file(&path)
+                    .map_err(io_err(format!("deleting stale temp {}", path.display())))?;
+                continue;
+            }
+            let Some(stem) = name.strip_suffix(".ckpt") else {
+                continue;
+            };
+            let Ok(generation) = stem.parse::<u64>() else {
+                continue;
+            };
+            let bytes =
+                fs::read(&path).map_err(io_err(format!("reading frame {}", path.display())))?;
+            match frame::decode(&bytes) {
+                Ok((frame_gen, payload)) => {
+                    if let Some(v) = payload_wire_version(payload) {
+                        if v > WIRE_VERSION {
+                            return Err(StoreError::NewerVersion { path, found: v });
+                        }
+                    }
+                    // The generation in the frame header is authoritative;
+                    // a renamed file cannot smuggle an old payload forward.
+                    if frame_gen == generation {
+                        gens.insert(generation);
+                    } else {
+                        fs::remove_file(&path).map_err(io_err(format!(
+                            "deleting mislabelled frame {}",
+                            path.display()
+                        )))?;
+                    }
+                }
+                Err(FrameError::NewerVersion(found)) => {
+                    return Err(StoreError::NewerVersion { path, found });
+                }
+                Err(_) => {
+                    // Torn, truncated or bit-flipped: delete so it can
+                    // never shadow the good generation below it.
+                    fs::remove_file(&path)
+                        .map_err(io_err(format!("deleting corrupt frame {}", path.display())))?;
+                }
+            }
+        }
+        // Newest generation whose payload also validates (decodes).
+        let mut newest_valid = None;
+        for &generation in gens.iter().rev() {
+            let path = Store::frame_path(dir, generation);
+            let bytes =
+                fs::read(&path).map_err(io_err(format!("reading frame {}", path.display())))?;
+            if let Ok((_, payload)) = frame::decode(&bytes) {
+                if validate(payload) {
+                    newest_valid = Some(generation);
+                    break;
+                }
+            }
+        }
+        Ok((gens, newest_valid))
+    }
+
+    /// Writes one checkpoint payload for `session` as a new generation.
+    /// The write is atomic and durable (temp + fsync + rename + dir
+    /// fsync); older generations beyond the keep-count are pruned only
+    /// after the new one is safely in place. Returns the generation
+    /// number written.
+    pub fn put(&self, session: u64, payload: &[u8]) -> Result<u64, StoreError> {
+        let mut inner = self.lock();
+        let slot = inner.sessions.entry(session).or_default();
+        let generation = slot.gens.iter().next_back().copied().unwrap_or(0) + 1;
+        let dir = self.session_dir(session);
+        fs::create_dir_all(&dir)
+            .map_err(io_err(format!("creating session dir {}", dir.display())))?;
+        let path = Store::frame_path(&dir, generation);
+        atomic_write(&path, &frame::encode(generation, payload))
+            .map_err(io_err(format!("writing checkpoint {}", path.display())))?;
+        slot.gens.insert(generation);
+        slot.newest_valid = Some(generation);
+        let excess: Vec<u64> = {
+            let n = slot.gens.len().saturating_sub(self.keep);
+            slot.gens.iter().take(n).copied().collect()
+        };
+        for old in excess {
+            let old_path = Store::frame_path(&dir, old);
+            fs::remove_file(&old_path)
+                .map_err(io_err(format!("pruning {}", old_path.display())))?;
+            slot.gens.remove(&old);
+        }
+        Ok(generation)
+    }
+
+    /// Loads the newest frame-valid payload of `session`, walking older
+    /// generations if the preferred one fails validation at read time
+    /// (bit rot between open and load). `None` when the session has no
+    /// surviving checkpoint.
+    pub fn load(&self, session: u64) -> Result<Option<(u64, Vec<u8>)>, StoreError> {
+        self.load_validated(session, |_| true)
+    }
+
+    /// Loads the newest payload of `session` that both frames and passes
+    /// `validate`, walking generations newest to oldest.
+    pub fn load_validated(
+        &self,
+        session: u64,
+        validate: impl Fn(&[u8]) -> bool,
+    ) -> Result<Option<(u64, Vec<u8>)>, StoreError> {
+        let gens: Vec<u64> = {
+            let inner = self.lock();
+            match inner.sessions.get(&session) {
+                Some(slot) => slot.gens.iter().rev().copied().collect(),
+                None => return Ok(None),
+            }
+        };
+        let dir = self.session_dir(session);
+        for generation in gens {
+            let path = Store::frame_path(&dir, generation);
+            let bytes = match fs::read(&path) {
+                Ok(b) => b,
+                Err(_) => continue,
+            };
+            if let Ok((_, payload)) = frame::decode(&bytes) {
+                if validate(payload) {
+                    return Ok(Some((generation, payload.to_vec())));
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// Loads and decodes the newest generation of `session` that survives
+    /// both the CRC frame and `DriftPipeline::from_bytes` — the full
+    /// recovery contract in one call.
+    pub fn load_pipeline(&self, session: u64) -> Result<Option<(u64, DriftPipeline)>, StoreError> {
+        let loaded = self.load_validated(session, |payload| {
+            DriftPipeline::from_bytes(payload).is_ok()
+        })?;
+        Ok(loaded.and_then(|(generation, payload)| {
+            DriftPipeline::from_bytes(&payload)
+                .ok()
+                .map(|p| (generation, p))
+        }))
+    }
+
+    /// Sessions with at least one surviving checkpoint generation,
+    /// sorted ascending.
+    pub fn sessions(&self) -> Vec<u64> {
+        let inner = self.lock();
+        let mut out: Vec<u64> = inner
+            .sessions
+            .iter()
+            .filter(|(_, slot)| !slot.gens.is_empty())
+            .map(|(&id, _)| id)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Deletes every checkpoint generation of `session` and clears its
+    /// ledger entry, persisting the updated manifest.
+    pub fn remove_session(&self, session: u64) -> Result<(), StoreError> {
+        {
+            let mut inner = self.lock();
+            inner.sessions.remove(&session);
+            let dir = self.session_dir(session);
+            if dir.exists() {
+                fs::remove_dir_all(&dir)
+                    .map_err(io_err(format!("removing session dir {}", dir.display())))?;
+            }
+            if inner.ledger.remove(&session).is_none() {
+                return Ok(());
+            }
+        }
+        self.write_manifest()
+    }
+
+    /// The persisted quarantine ledger.
+    pub fn ledger(&self) -> BTreeMap<u64, LedgerEntry> {
+        self.lock().ledger.clone()
+    }
+
+    /// Records `session` as permanently quarantined and persists the
+    /// manifest through the same atomic generational path as checkpoints.
+    pub fn set_quarantined(&self, session: u64, entry: LedgerEntry) -> Result<(), StoreError> {
+        {
+            let mut inner = self.lock();
+            if inner.ledger.get(&session) == Some(&entry) {
+                return Ok(());
+            }
+            inner.ledger.insert(session, entry);
+        }
+        self.write_manifest()
+    }
+
+    /// Clears `session` from the quarantine ledger (the id was replaced
+    /// with a fresh session) and persists the manifest.
+    pub fn clear_quarantined(&self, session: u64) -> Result<(), StoreError> {
+        {
+            let mut inner = self.lock();
+            if inner.ledger.remove(&session).is_none() {
+                return Ok(());
+            }
+        }
+        self.write_manifest()
+    }
+
+    fn write_manifest(&self) -> Result<(), StoreError> {
+        let mut inner = self.lock();
+        let payload = encode_manifest(&inner.ledger);
+        let generation = inner.manifest_gens.iter().next_back().copied().unwrap_or(0) + 1;
+        let dir = self.root.join(MANIFEST_DIR);
+        fs::create_dir_all(&dir)
+            .map_err(io_err(format!("creating manifest dir {}", dir.display())))?;
+        let path = Store::frame_path(&dir, generation);
+        atomic_write(&path, &frame::encode(generation, &payload))
+            .map_err(io_err(format!("writing manifest {}", path.display())))?;
+        inner.manifest_gens.insert(generation);
+        let excess: Vec<u64> = {
+            let n = inner.manifest_gens.len().saturating_sub(self.keep);
+            inner.manifest_gens.iter().take(n).copied().collect()
+        };
+        for old in excess {
+            let old_path = Store::frame_path(&dir, old);
+            fs::remove_file(&old_path)
+                .map_err(io_err(format!("pruning {}", old_path.display())))?;
+            inner.manifest_gens.remove(&old);
+        }
+        Ok(())
+    }
+}
+
+fn encode_manifest(ledger: &BTreeMap<u64, LedgerEntry>) -> Vec<u8> {
+    let mut w = Writer::new(KIND_MANIFEST);
+    w.u64(ledger.len() as u64);
+    for (&session, entry) in ledger {
+        w.u64(session);
+        w.u8(entry.reason_code);
+        w.u64(entry.restarts_spent);
+    }
+    w.into_bytes()
+}
+
+fn decode_manifest(payload: &[u8]) -> Option<BTreeMap<u64, LedgerEntry>> {
+    let mut r = Reader::new(payload, KIND_MANIFEST).ok()?;
+    let count = r.u64().ok()?;
+    // Each entry is 17 bytes; reject length lies before looping.
+    if count > (payload.len() as u64) / 17 + 1 {
+        return None;
+    }
+    let mut ledger = BTreeMap::new();
+    for _ in 0..count {
+        let session = r.u64().ok()?;
+        let reason_code = r.u8().ok()?;
+        let restarts_spent = r.u64().ok()?;
+        ledger.insert(
+            session,
+            LedgerEntry {
+                reason_code,
+                restarts_spent,
+            },
+        );
+    }
+    r.finish().ok()?;
+    Some(ledger)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_root(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("seqdrift-store-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn put_load_roundtrip_and_generations() {
+        let root = tmp_root("roundtrip");
+        let store = Store::open(&root).unwrap();
+        assert_eq!(store.put(5, b"alpha").unwrap(), 1);
+        assert_eq!(store.put(5, b"beta").unwrap(), 2);
+        let (generation, payload) = store.load(5).unwrap().unwrap();
+        assert_eq!(generation, 2);
+        assert_eq!(payload, b"beta");
+        assert_eq!(store.sessions(), vec![5]);
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn pruning_keeps_configured_generations() {
+        let root = tmp_root("prune");
+        let store =
+            Store::open_with(&root, StoreConfig::default().with_keep_generations(3)).unwrap();
+        for i in 0..10u8 {
+            store.put(1, &[i]).unwrap();
+        }
+        let files: Vec<String> = fs::read_dir(root.join("1"))
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(files.len(), 3, "{files:?}");
+        // Reopen: the newest payload survives.
+        drop(store);
+        let store = Store::open(&root).unwrap();
+        let (generation, payload) = store.load(1).unwrap().unwrap();
+        assert_eq!(generation, 10);
+        assert_eq!(payload, vec![9]);
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn keep_count_below_two_is_rejected() {
+        let root = tmp_root("badkeep");
+        assert!(matches!(
+            Store::open_with(&root, StoreConfig::default().with_keep_generations(1)),
+            Err(StoreError::InvalidConfig(_))
+        ));
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn manifest_roundtrips_across_reopen() {
+        let root = tmp_root("manifest");
+        let store = Store::open(&root).unwrap();
+        store
+            .set_quarantined(
+                9,
+                LedgerEntry {
+                    reason_code: 1,
+                    restarts_spent: 3,
+                },
+            )
+            .unwrap();
+        store
+            .set_quarantined(
+                4,
+                LedgerEntry {
+                    reason_code: 2,
+                    restarts_spent: 0,
+                },
+            )
+            .unwrap();
+        drop(store);
+        let store = Store::open(&root).unwrap();
+        let ledger = store.ledger();
+        assert_eq!(ledger.len(), 2);
+        assert_eq!(
+            ledger[&9],
+            LedgerEntry {
+                reason_code: 1,
+                restarts_spent: 3
+            }
+        );
+        store.clear_quarantined(9).unwrap();
+        drop(store);
+        let store = Store::open(&root).unwrap();
+        assert_eq!(store.ledger().len(), 1);
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn atomic_write_replaces_existing_content() {
+        let root = tmp_root("atomic");
+        fs::create_dir_all(&root).unwrap();
+        let path = root.join("model.sqdm");
+        atomic_write(&path, b"first").unwrap();
+        atomic_write(&path, b"second").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"second");
+        // No temp residue.
+        let leftovers: Vec<_> = fs::read_dir(&root)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .filter(|n| n.ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn recovery_deletes_stale_temps_everywhere() {
+        let root = tmp_root("temps");
+        let store = Store::open(&root).unwrap();
+        store.put(3, b"good").unwrap();
+        drop(store);
+        fs::write(root.join("orphan.tmp"), b"garbage").unwrap();
+        fs::write(root.join("3").join("9.ckpt.tmp"), b"garbage").unwrap();
+        let store = Store::open(&root).unwrap();
+        assert!(!root.join("orphan.tmp").exists());
+        assert!(!root.join("3").join("9.ckpt.tmp").exists());
+        assert_eq!(store.load(3).unwrap().unwrap().1, b"good");
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn mislabelled_frame_is_dropped() {
+        let root = tmp_root("mislabel");
+        let store = Store::open(&root).unwrap();
+        store.put(2, b"one").unwrap();
+        store.put(2, b"two").unwrap();
+        drop(store);
+        // An attacker (or a confused backup tool) renames generation 1
+        // over a higher number; the frame header wins.
+        fs::copy(root.join("2").join("1.ckpt"), root.join("2").join("7.ckpt")).unwrap();
+        let store = Store::open(&root).unwrap();
+        let (generation, payload) = store.load(2).unwrap().unwrap();
+        assert_eq!(generation, 2);
+        assert_eq!(payload, b"two");
+        assert!(!root.join("2").join("7.ckpt").exists());
+        fs::remove_dir_all(&root).ok();
+    }
+}

@@ -25,7 +25,10 @@
 //! * [`fleet`] — the multi-tenant serving layer multiplexing many
 //!   independent pipeline sessions across a supervised worker pool with
 //!   panic isolation, checkpoint-based recovery and fault injection;
-//! * [`linalg`] — the shared dense/stack linear-algebra substrate.
+//! * [`linalg`] — the shared dense/stack linear-algebra substrate;
+//! * [`store`] — the crash-safe durable state store: CRC-framed
+//!   generational checkpoints written atomically (temp + fsync + rename),
+//!   recovery that survives torn writes, bit flips and power loss.
 //!
 //! ## Quickstart
 //!
@@ -72,6 +75,7 @@ pub use seqdrift_eval as eval;
 pub use seqdrift_fleet as fleet;
 pub use seqdrift_linalg as linalg;
 pub use seqdrift_oselm as oselm;
+pub use seqdrift_store as store;
 
 /// Convenient single-import surface for examples and quickstarts.
 pub mod prelude {
@@ -90,4 +94,5 @@ pub mod prelude {
         multi_instance::MultiInstanceModel,
         oselm::{OsElm, OsElmConfig},
     };
+    pub use seqdrift_store::{Store, StoreConfig, StoreError};
 }
