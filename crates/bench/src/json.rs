@@ -1,0 +1,286 @@
+//! Machine-readable benchmark results: a tiny hand-rolled JSON emitter
+//! and a restricted parser, so `seqdrift load` and the fleet throughput
+//! bench can both append to one `BENCH_ingest.json` and CI can track the
+//! perf trajectory across PRs without any external crates.
+//!
+//! The schema is deliberately flat:
+//!
+//! ```json
+//! {
+//!   "entries": {
+//!     "fleet_ingest_w4": { "samples_per_sec": 1234.5, "p50_us": 11.0,
+//!                          "p99_us": 42.0, "samples": 6400 }
+//!   }
+//! }
+//! ```
+//!
+//! [`merge_into_file`] re-reads an existing file so different producers
+//! update their own entries without clobbering each other; a file that
+//! fails the restricted parse is replaced rather than trusted.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
+
+/// One ingest measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IngestEntry {
+    /// Sustained throughput over the measured run.
+    pub samples_per_sec: f64,
+    /// Median per-batch round-trip latency, microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile per-batch round-trip latency, microseconds.
+    pub p99_us: f64,
+    /// Total sample rows measured.
+    pub samples: u64,
+}
+
+/// Serialises entries as the canonical `BENCH_ingest.json` document.
+/// Keys are emitted in sorted order so diffs are stable.
+pub fn render(entries: &BTreeMap<String, IngestEntry>) -> String {
+    let mut out = String::from("{\n  \"entries\": {\n");
+    let mut first = true;
+    for (name, e) in entries {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        out.push_str(&format!(
+            "    \"{}\": {{ \"samples_per_sec\": {:.1}, \"p50_us\": {:.2}, \"p99_us\": {:.2}, \"samples\": {} }}",
+            escape(name),
+            e.samples_per_sec,
+            e.p50_us,
+            e.p99_us,
+            e.samples
+        ));
+    }
+    out.push_str("\n  }\n}\n");
+    out
+}
+
+/// Merges `new_entries` into the file at `path` (replacing same-named
+/// entries, keeping the rest) and rewrites it. An unreadable or
+/// unparseable existing file is discarded and replaced.
+pub fn merge_into_file(
+    path: &Path,
+    new_entries: &[(String, IngestEntry)],
+) -> io::Result<BTreeMap<String, IngestEntry>> {
+    let mut entries = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|s| parse(&s))
+        .unwrap_or_default();
+    for (name, e) in new_entries {
+        entries.insert(name.clone(), *e);
+    }
+    std::fs::write(path, render(&entries))?;
+    Ok(entries)
+}
+
+/// Percentile helpers for latency series (sorts in place). Returns
+/// `(p50, p99)` in the same unit as the input; empty input gives zeros.
+pub fn latency_percentiles(latencies: &mut [f64]) -> (f64, f64) {
+    if latencies.is_empty() {
+        return (0.0, 0.0);
+    }
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    // Nearest-rank definition: the smallest value with at least q·N
+    // observations at or below it.
+    let pick = |q: f64| {
+        let rank = ((latencies.len() as f64 * q).ceil() as usize).max(1);
+        latencies[rank.min(latencies.len()) - 1]
+    };
+    (pick(0.50), pick(0.99))
+}
+
+fn escape(s: &str) -> String {
+    s.chars()
+        .map(|c| match c {
+            '"' => "\\\"".to_string(),
+            '\\' => "\\\\".to_string(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32),
+            c => c.to_string(),
+        })
+        .collect()
+}
+
+/// Restricted parser for exactly the document shape [`render`] emits
+/// (whitespace-insensitive). Anything else returns `None` and the caller
+/// starts a fresh file — the parser never needs to be general.
+pub fn parse(text: &str) -> Option<BTreeMap<String, IngestEntry>> {
+    let mut t = Tokens::new(text);
+    t.expect('{')?;
+    let key = t.string()?;
+    if key != "entries" {
+        return None;
+    }
+    t.expect(':')?;
+    t.expect('{')?;
+    let mut out = BTreeMap::new();
+    if t.peek() == Some('}') {
+        t.expect('}')?;
+        t.expect('}')?;
+        return Some(out);
+    }
+    loop {
+        let name = t.string()?;
+        t.expect(':')?;
+        t.expect('{')?;
+        let mut entry = IngestEntry {
+            samples_per_sec: 0.0,
+            p50_us: 0.0,
+            p99_us: 0.0,
+            samples: 0,
+        };
+        loop {
+            let field = t.string()?;
+            t.expect(':')?;
+            let value = t.number()?;
+            match field.as_str() {
+                "samples_per_sec" => entry.samples_per_sec = value,
+                "p50_us" => entry.p50_us = value,
+                "p99_us" => entry.p99_us = value,
+                "samples" => entry.samples = value as u64,
+                _ => return None,
+            }
+            match t.next_ch()? {
+                ',' => continue,
+                '}' => break,
+                _ => return None,
+            }
+        }
+        out.insert(name, entry);
+        match t.next_ch()? {
+            ',' => continue,
+            '}' => break,
+            _ => return None,
+        }
+    }
+    t.expect('}')?;
+    Some(out)
+}
+
+struct Tokens<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+}
+
+impl<'a> Tokens<'a> {
+    fn new(s: &'a str) -> Self {
+        Tokens {
+            chars: s.chars().peekable(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.chars.peek(), Some(c) if c.is_whitespace()) {
+            self.chars.next();
+        }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.skip_ws();
+        self.chars.peek().copied()
+    }
+
+    fn next_ch(&mut self) -> Option<char> {
+        self.skip_ws();
+        self.chars.next()
+    }
+
+    fn expect(&mut self, want: char) -> Option<()> {
+        (self.next_ch()? == want).then_some(())
+    }
+
+    fn string(&mut self) -> Option<String> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            match self.chars.next()? {
+                '"' => return Some(out),
+                '\\' => match self.chars.next()? {
+                    '"' => out.push('"'),
+                    '\\' => out.push('\\'),
+                    'u' => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            code = code * 16 + self.chars.next()?.to_digit(16)?;
+                        }
+                        out.push(char::from_u32(code)?);
+                    }
+                    _ => return None,
+                },
+                c => out.push(c),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Option<f64> {
+        self.skip_ws();
+        let mut buf = String::new();
+        while matches!(
+            self.chars.peek(),
+            Some(c) if c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')
+        ) {
+            buf.push(self.chars.next()?);
+        }
+        buf.parse().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(tput: f64) -> IngestEntry {
+        IngestEntry {
+            samples_per_sec: tput,
+            p50_us: 12.34,
+            p99_us: 99.9,
+            samples: 6400,
+        }
+    }
+
+    #[test]
+    fn render_parse_roundtrip() {
+        let mut entries = BTreeMap::new();
+        entries.insert("fleet_ingest_w4".to_string(), entry(1234.5));
+        entries.insert("load_s8".to_string(), entry(999.0));
+        let text = render(&entries);
+        assert_eq!(parse(&text).unwrap(), entries);
+    }
+
+    #[test]
+    fn empty_document_roundtrips() {
+        let entries = BTreeMap::new();
+        assert_eq!(parse(&render(&entries)).unwrap(), entries);
+    }
+
+    #[test]
+    fn merge_preserves_other_entries_and_replaces_same_named() {
+        let dir = std::env::temp_dir().join(format!("seqdrift-benchjson-{}", std::process::id()));
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("BENCH_ingest.json");
+        let _ = std::fs::remove_file(&path);
+
+        merge_into_file(&path, &[("a".into(), entry(1.0)), ("b".into(), entry(2.0))]).unwrap();
+        let merged = merge_into_file(&path, &[("b".into(), entry(3.0))]).unwrap();
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged["a"].samples_per_sec, 1.0);
+        assert_eq!(merged["b"].samples_per_sec, 3.0);
+
+        // A corrupt file is replaced, not trusted.
+        std::fs::write(&path, "{ not json").unwrap();
+        let merged = merge_into_file(&path, &[("c".into(), entry(4.0))]).unwrap();
+        assert_eq!(merged.len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn percentiles_pick_expected_ranks() {
+        let mut lat: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let (p50, p99) = latency_percentiles(&mut lat);
+        assert_eq!(p50, 50.0);
+        assert_eq!(p99, 99.0);
+        let (z50, z99) = latency_percentiles(&mut []);
+        assert_eq!((z50, z99), (0.0, 0.0));
+    }
+}

@@ -20,6 +20,7 @@
 //! bench constructs identical workloads.
 
 pub mod harness;
+pub mod json;
 
 use seqdrift_datasets::fan::{self, Environment, FanConfig, FanScenario};
 use seqdrift_datasets::DriftDataset;

@@ -28,6 +28,10 @@ pub enum Command {
     Synth(SynthArgs),
     /// Replay one CSV across many simulated devices through a fleet engine.
     Fleet(FleetArgs),
+    /// Serve a fleet over TCP (the `SQNP` network ingest protocol).
+    Serve(ServeArgs),
+    /// Multi-threaded load generator replaying a CSV against a server.
+    Load(LoadArgs),
 }
 
 /// Arguments of `seqdrift train`.
@@ -140,6 +144,58 @@ pub struct FleetArgs {
     pub resume: bool,
 }
 
+/// Arguments of `seqdrift serve`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeArgs {
+    /// Reference checkpoint: sessions HELLOed for the first time are
+    /// created from it. Omit to serve only sessions resumed from
+    /// `--state-dir` (at least one of the two is required).
+    pub model: Option<PathBuf>,
+    /// Listen address (`host:port`; port 0 picks an ephemeral port).
+    pub listen: String,
+    /// Worker threads (shards).
+    pub workers: usize,
+    /// Per-shard ingress queue capacity.
+    pub queue: usize,
+    /// Blocking-feed deadline in milliseconds before a BUSY reply.
+    pub feed_timeout_ms: u64,
+    /// Root of the crash-safe durable state store; a graceful drain
+    /// (Ctrl-C) flushes every session's final state here.
+    pub state_dir: Option<PathBuf>,
+    /// Idle-connection eviction timeout in milliseconds.
+    pub idle_timeout_ms: u64,
+    /// Write the bound address to this file once listening (atomic
+    /// write); lets scripts discover an ephemeral port.
+    pub port_file: Option<PathBuf>,
+}
+
+/// Arguments of `seqdrift load`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadArgs {
+    /// Stream CSV replayed by every simulated device.
+    pub csv: PathBuf,
+    /// Server address (`host:port`).
+    pub addr: String,
+    /// Simulated devices, one connection + session each.
+    pub sessions: usize,
+    /// Rows per SAMPLE frame.
+    pub batch: usize,
+    /// First session id (devices use `session0 .. session0+sessions`).
+    pub session0: u64,
+    /// Where to merge machine-readable results (samples/sec, p50/p99).
+    pub bench_json: Option<PathBuf>,
+    /// After the replay, fetch each session's snapshot over the wire and
+    /// check it is bit-identical to a local replay of the same stream
+    /// (requires `--model`, the same checkpoint the server serves).
+    pub verify: bool,
+    /// Reference checkpoint for `--verify`.
+    pub model: Option<PathBuf>,
+    /// Whether the CSV has a header row.
+    pub has_header: bool,
+    /// Strip a trailing label column before streaming.
+    pub label_last: bool,
+}
+
 /// Parse failures (each carries the message shown to the user).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseError(pub String);
@@ -172,6 +228,12 @@ USAGE:
                  [--guard-policy reject|clamp|impute] [--stuck-threshold K]
                  [--state-dir <dir>] [--resume]
                  [--no-header] [--label-last]
+  seqdrift serve [--model <model.sqdm>] [--listen 127.0.0.1:4747] [--workers 4]
+                 [--queue 256] [--feed-timeout-ms 10000] [--state-dir <dir>]
+                 [--idle-timeout-ms 30000] [--port-file <path>]
+  seqdrift load  --csv <file> --addr <host:port> [--sessions 4] [--batch 16]
+                 [--session0 0] [--bench-json BENCH_ingest.json]
+                 [--verify --model <model.sqdm>] [--no-header] [--label-last]
 ";
 
 fn err(msg: impl Into<String>) -> ParseError {
@@ -184,7 +246,13 @@ struct Flags {
     bools: std::collections::HashSet<String>,
 }
 
-const BOOL_FLAGS: [&str; 4] = ["--label-last", "--no-header", "--quick", "--resume"];
+const BOOL_FLAGS: [&str; 5] = [
+    "--label-last",
+    "--no-header",
+    "--quick",
+    "--resume",
+    "--verify",
+];
 
 impl Flags {
     fn parse(argv: &[String]) -> Result<Flags, ParseError> {
@@ -327,6 +395,48 @@ impl Cli {
                     return Err(err("--resume requires --state-dir"));
                 }
                 Command::Fleet(a)
+            }
+            "serve" => {
+                let a = ServeArgs {
+                    model: flags.take("--model").map(Into::into),
+                    listen: flags
+                        .take("--listen")
+                        .unwrap_or_else(|| "127.0.0.1:4747".to_string()),
+                    workers: flags.number("--workers", 4usize)?,
+                    queue: flags.number("--queue", 256usize)?,
+                    feed_timeout_ms: flags.number("--feed-timeout-ms", 10_000u64)?,
+                    state_dir: flags.take("--state-dir").map(Into::into),
+                    idle_timeout_ms: flags.number("--idle-timeout-ms", 30_000u64)?,
+                    port_file: flags.take("--port-file").map(Into::into),
+                };
+                if a.workers == 0 || a.queue == 0 {
+                    return Err(err("--workers and --queue must be positive"));
+                }
+                if a.model.is_none() && a.state_dir.is_none() {
+                    return Err(err("serve needs --model and/or --state-dir"));
+                }
+                Command::Serve(a)
+            }
+            "load" => {
+                let a = LoadArgs {
+                    csv: flags.required("--csv")?.into(),
+                    addr: flags.required("--addr")?,
+                    sessions: flags.number("--sessions", 4usize)?,
+                    batch: flags.number("--batch", 16usize)?,
+                    session0: flags.number("--session0", 0u64)?,
+                    bench_json: flags.take("--bench-json").map(Into::into),
+                    verify: flags.boolean("--verify"),
+                    model: flags.take("--model").map(Into::into),
+                    has_header: !flags.boolean("--no-header"),
+                    label_last: flags.boolean("--label-last"),
+                };
+                if a.sessions == 0 || a.batch == 0 {
+                    return Err(err("--sessions and --batch must be positive"));
+                }
+                if a.verify && a.model.is_none() {
+                    return Err(err("--verify requires --model"));
+                }
+                Command::Load(a)
             }
             "info" => Command::Info(InfoArgs {
                 model: flags.required("--model")?.into(),
@@ -486,6 +596,75 @@ mod tests {
         assert!(Cli::parse(&argv("fleet --csv s.csv --model m --inject-faults x")).is_err());
         // --resume without --state-dir is meaningless.
         assert!(Cli::parse(&argv("fleet --csv s.csv --model m --resume")).is_err());
+    }
+
+    #[test]
+    fn parses_serve() {
+        let cli = Cli::parse(&argv("serve --model m.sqdm")).unwrap();
+        match cli.command {
+            Command::Serve(a) => {
+                assert_eq!(a.model, Some(PathBuf::from("m.sqdm")));
+                assert_eq!(a.listen, "127.0.0.1:4747");
+                assert_eq!((a.workers, a.queue), (4, 256));
+                assert_eq!(a.feed_timeout_ms, 10_000);
+                assert_eq!(a.idle_timeout_ms, 30_000);
+                assert_eq!(a.state_dir, None);
+                assert_eq!(a.port_file, None);
+            }
+            other => panic!("{other:?}"),
+        }
+        let cli = Cli::parse(&argv(
+            "serve --state-dir state --listen 0.0.0.0:0 --workers 2 --queue 8 \
+             --feed-timeout-ms 50 --idle-timeout-ms 500 --port-file p.txt",
+        ))
+        .unwrap();
+        match cli.command {
+            Command::Serve(a) => {
+                assert_eq!(a.model, None);
+                assert_eq!(a.state_dir, Some(PathBuf::from("state")));
+                assert_eq!(a.listen, "0.0.0.0:0");
+                assert_eq!((a.workers, a.queue), (2, 8));
+                assert_eq!((a.feed_timeout_ms, a.idle_timeout_ms), (50, 500));
+                assert_eq!(a.port_file, Some(PathBuf::from("p.txt")));
+            }
+            other => panic!("{other:?}"),
+        }
+        // Neither a reference checkpoint nor resumable state: nothing to serve.
+        assert!(Cli::parse(&argv("serve")).is_err());
+        assert!(Cli::parse(&argv("serve --model m --workers 0")).is_err());
+    }
+
+    #[test]
+    fn parses_load() {
+        let cli = Cli::parse(&argv("load --csv s.csv --addr 127.0.0.1:4747")).unwrap();
+        match cli.command {
+            Command::Load(a) => {
+                assert_eq!(a.csv, PathBuf::from("s.csv"));
+                assert_eq!(a.addr, "127.0.0.1:4747");
+                assert_eq!((a.sessions, a.batch, a.session0), (4, 16, 0));
+                assert!(!a.verify);
+                assert_eq!(a.bench_json, None);
+                assert!(a.has_header);
+            }
+            other => panic!("{other:?}"),
+        }
+        let cli = Cli::parse(&argv(
+            "load --csv s.csv --addr h:1 --sessions 8 --batch 4 --session0 100 \
+             --bench-json B.json --verify --model m.sqdm --no-header --label-last",
+        ))
+        .unwrap();
+        match cli.command {
+            Command::Load(a) => {
+                assert_eq!((a.sessions, a.batch, a.session0), (8, 4, 100));
+                assert_eq!(a.bench_json, Some(PathBuf::from("B.json")));
+                assert!(a.verify && a.label_last && !a.has_header);
+                assert_eq!(a.model, Some(PathBuf::from("m.sqdm")));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(Cli::parse(&argv("load --csv s.csv")).is_err()); // missing --addr
+        assert!(Cli::parse(&argv("load --csv s --addr h:1 --verify")).is_err());
+        assert!(Cli::parse(&argv("load --csv s --addr h:1 --batch 0")).is_err());
     }
 
     #[test]

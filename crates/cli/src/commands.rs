@@ -1,6 +1,6 @@
 //! Subcommand implementations.
 
-use crate::args::{FleetArgs, InfoArgs, RunArgs, SynthArgs, TrainArgs};
+use crate::args::{FleetArgs, InfoArgs, LoadArgs, RunArgs, ServeArgs, SynthArgs, TrainArgs};
 use seqdrift_core::pipeline::PipelineEvent;
 use seqdrift_core::{
     CoreError, DetectorConfig, DriftPipeline, GuardConfig, GuardPolicy, PipelineConfig,
@@ -542,6 +542,332 @@ pub fn fleet(a: &FleetArgs, out: Out<'_>) -> Result<(), String> {
     Ok(())
 }
 
+/// Process-wide Ctrl-C flag: the handler only sets this; the accept loop
+/// polls it and performs the graceful drain on the main thread.
+static SIGINT_SEEN: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+/// Installs a SIGINT handler that flips [`SIGINT_SEEN`], using the libc
+/// `signal` entry point std already links — no new dependency. Returns
+/// whether installation succeeded.
+#[cfg(unix)]
+fn install_sigint_handler() -> bool {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    extern "C" fn on_sigint(_signum: i32) {
+        // Async-signal-safe: a single relaxed atomic store.
+        SIGINT_SEEN.store(true, std::sync::atomic::Ordering::Relaxed);
+    }
+    const SIGINT: i32 = 2;
+    const SIG_ERR: usize = usize::MAX;
+    // SAFETY: `signal` is the POSIX libc function; the handler does
+    // nothing beyond an atomic store, which is async-signal-safe.
+    unsafe { signal(SIGINT, on_sigint as *const () as usize) != SIG_ERR }
+}
+
+#[cfg(not(unix))]
+fn install_sigint_handler() -> bool {
+    false
+}
+
+/// `seqdrift serve`: run the TCP ingest server until Ctrl-C, then drain
+/// gracefully (flushing durable state when `--state-dir` is set).
+pub fn serve(a: &ServeArgs, out: Out<'_>) -> Result<(), String> {
+    if install_sigint_handler() {
+        writeln!(out, "press Ctrl-C to drain and exit").ok();
+    } else {
+        writeln!(
+            out,
+            "warning: no SIGINT handler on this platform; kill to stop"
+        )
+        .ok();
+    }
+    serve_with_stop(a, out, &SIGINT_SEEN)
+}
+
+/// The body of `serve`, stoppable through any flag — unit tests and the
+/// e2e suite drive it with their own `AtomicBool` instead of a signal.
+pub fn serve_with_stop(
+    a: &ServeArgs,
+    out: Out<'_>,
+    stop: &std::sync::atomic::AtomicBool,
+) -> Result<(), String> {
+    use seqdrift_server::{Server, ServerConfig};
+    use std::time::Duration;
+
+    let mut fleet_cfg = FleetConfig::new(a.workers)
+        .with_queue_capacity(a.queue)
+        .with_feed_timeout(Duration::from_millis(a.feed_timeout_ms));
+    if let Some(dir) = &a.state_dir {
+        fleet_cfg = fleet_cfg.with_state_dir(dir);
+        writeln!(out, "durable state store: {}", dir.display()).ok();
+    }
+    let mut cfg =
+        ServerConfig::new(fleet_cfg).with_idle_timeout(Duration::from_millis(a.idle_timeout_ms));
+    if let Some(model) = &a.model {
+        let blob = std::fs::read(model).map_err(|e| fail("reading checkpoint", e))?;
+        cfg = cfg.with_reference(blob);
+    }
+    let server = Server::bind(&a.listen, cfg).map_err(|e| fail("binding server", e))?;
+    let addr = server.local_addr();
+    writeln!(
+        out,
+        "listening on {addr} ({} workers, queue {}, idle timeout {} ms)",
+        a.workers, a.queue, a.idle_timeout_ms
+    )
+    .ok();
+    if let Some(port_file) = &a.port_file {
+        seqdrift_store::atomic_write(port_file, addr.to_string().as_bytes())
+            .map_err(|e| fail("writing port file", e))?;
+    }
+
+    let report = server.run(|| stop.load(std::sync::atomic::Ordering::Relaxed));
+
+    for &(id, samples) in &report.resumed {
+        writeln!(out, "resumed device {id} at its sample {samples}").ok();
+    }
+    let n = &report.net;
+    writeln!(
+        out,
+        "net: {} connection(s) accepted ({} idle-evicted, {} protocol-dropped), \
+         {} frame(s) in / {} out, {} NACK(s), {} BUSY repl(ies)",
+        n.connections_accepted,
+        n.connections_evicted_idle,
+        n.connections_dropped_protocol,
+        n.frames_rx,
+        n.frames_tx,
+        n.nacks_sent,
+        n.busy_replies
+    )
+    .ok();
+    let m = &report.fleet.metrics;
+    writeln!(
+        out,
+        "fleet: {} session(s) drained, {} sample(s) processed, {} drift(s), \
+         {} reconstruction(s)",
+        report.fleet.sessions.len(),
+        m.samples_processed,
+        m.drifts_flagged,
+        m.reconstructions_completed
+    )
+    .ok();
+    if a.state_dir.is_some() {
+        writeln!(
+            out,
+            "durability: {} checkpoint flush(es), {} flush failure(s)",
+            m.durable_flushes, m.durable_flush_failures
+        )
+        .ok();
+    }
+    for (id, reason) in &report.fleet.quarantined {
+        writeln!(out, "quarantined: device {} ({reason})", id.0).ok();
+    }
+    writeln!(out, "drained; bye").ok();
+    Ok(())
+}
+
+/// `seqdrift load`: multi-threaded load generator. Each simulated device
+/// opens one connection, HELLOs its own session, replays the CSV in
+/// batches, and records the round-trip latency of every batch.
+pub fn load(a: &LoadArgs, out: Out<'_>) -> Result<(), String> {
+    use seqdrift_bench::json::{latency_percentiles, merge_into_file, IngestEntry};
+    use seqdrift_server::Client;
+    use std::time::Instant;
+
+    let samples = loader::load_csv(&a.csv, a.has_header, a.label_last)
+        .map_err(|e| fail("reading stream CSV", e))?;
+    let dim = samples[0].dim();
+    let mut rows: Vec<Real> = Vec::with_capacity(samples.len() * dim);
+    for s in &samples {
+        if s.dim() != dim {
+            return Err(format!(
+                "ragged CSV: row with {} features after rows with {dim}",
+                s.dim()
+            ));
+        }
+        rows.extend_from_slice(&s.x);
+    }
+    let rows = std::sync::Arc::new(rows);
+    let n_rows = samples.len();
+    writeln!(
+        out,
+        "loaded {n_rows} rows x {dim} features; {} device(s), {} rows/frame, target {}",
+        a.sessions, a.batch, a.addr
+    )
+    .ok();
+
+    struct DeviceRun {
+        session: u64,
+        latencies_us: Vec<f64>,
+        busy_retries: u64,
+        resume_from: u64,
+        snapshot: Option<Vec<u8>>,
+    }
+
+    let wall = Instant::now();
+    let mut handles = Vec::new();
+    for d in 0..a.sessions {
+        let session = a.session0 + d as u64;
+        let addr = a.addr.clone();
+        let rows = std::sync::Arc::clone(&rows);
+        let batch_rows = a.batch;
+        let want_snapshot = a.verify;
+        handles.push(std::thread::spawn(move || -> Result<DeviceRun, String> {
+            let (mut client, hello) = Client::connect(&*addr, session, dim as u32)
+                .map_err(|e| format!("device {session}: connect: {e}"))?;
+            // After a server restart the session resumes mid-stream; skip
+            // the rows its durable state already reflects.
+            let start_row = (hello.resume_from as usize).min(rows.len() / dim);
+            let mut latencies_us = Vec::new();
+            for chunk in rows[start_row * dim..].chunks(batch_rows * dim) {
+                let t = Instant::now();
+                client
+                    .send_all(chunk)
+                    .map_err(|e| format!("device {session}: send: {e}"))?;
+                latencies_us.push(t.elapsed().as_secs_f64() * 1e6);
+            }
+            let snapshot = if want_snapshot {
+                Some(
+                    client
+                        .snapshot()
+                        .map_err(|e| format!("device {session}: snapshot: {e}"))?,
+                )
+            } else {
+                None
+            };
+            let busy_retries = client.busy_retries;
+            client
+                .bye()
+                .map_err(|e| format!("device {session}: bye: {e}"))?;
+            Ok(DeviceRun {
+                session,
+                latencies_us,
+                busy_retries,
+                resume_from: hello.resume_from,
+                snapshot,
+            })
+        }));
+    }
+    let mut runs = Vec::new();
+    for h in handles {
+        match h.join() {
+            Ok(Ok(run)) => runs.push(run),
+            Ok(Err(e)) => return Err(e),
+            Err(_) => return Err("device thread panicked".into()),
+        }
+    }
+    let elapsed = wall.elapsed().as_secs_f64();
+
+    let sent_rows: u64 = runs
+        .iter()
+        .map(|r| (n_rows as u64).saturating_sub(r.resume_from))
+        .sum();
+    let busy: u64 = runs.iter().map(|r| r.busy_retries).sum();
+    let mut latencies: Vec<f64> = runs.iter().flat_map(|r| r.latencies_us.clone()).collect();
+    let (p50_us, p99_us) = latency_percentiles(&mut latencies);
+    let samples_per_sec = if elapsed > 0.0 {
+        sent_rows as f64 / elapsed
+    } else {
+        0.0
+    };
+    for r in &runs {
+        if r.resume_from > 0 {
+            writeln!(
+                out,
+                "device {}: resumed at its sample {}, replayed the remaining {}",
+                r.session,
+                r.resume_from,
+                (n_rows as u64).saturating_sub(r.resume_from)
+            )
+            .ok();
+        }
+    }
+    writeln!(
+        out,
+        "sent {sent_rows} rows in {elapsed:.3} s: {samples_per_sec:.0} samples/sec, \
+         batch RTT p50 {p50_us:.1} us / p99 {p99_us:.1} us, {busy} BUSY retr(ies)",
+    )
+    .ok();
+
+    if let Some(json_path) = &a.bench_json {
+        let entry = (
+            format!("load_sessions_{}_batch_{}", a.sessions, a.batch),
+            IngestEntry {
+                samples_per_sec,
+                p50_us,
+                p99_us,
+                samples: sent_rows,
+            },
+        );
+        merge_into_file(json_path, &[entry]).map_err(|e| fail("writing bench JSON", e))?;
+        writeln!(out, "bench results merged into {}", json_path.display()).ok();
+    }
+
+    if a.verify {
+        let model = a.model.as_ref().ok_or("--verify requires --model")?;
+        let blob = std::fs::read(model).map_err(|e| fail("reading checkpoint", e))?;
+        // Replay the same stream through an in-process fleet and compare
+        // checkpoint blobs byte for byte: the networked path must be
+        // bit-identical to local execution.
+        let local = FleetEngine::new(FleetConfig::new(a.sessions.min(4)))
+            .map_err(|e| fail("starting verification fleet", e))?;
+        let mut verified = 0usize;
+        let mut skipped = 0usize;
+        for r in &runs {
+            if r.resume_from > 0 {
+                // The networked session started from durable state this
+                // replay cannot reconstruct from the reference alone.
+                skipped += 1;
+                continue;
+            }
+            local
+                .create_from_bytes(SessionId(r.session), &blob)
+                .map_err(|e| fail("creating verification session", e))?;
+        }
+        for row in rows.chunks_exact(dim) {
+            for r in &runs {
+                if r.resume_from > 0 {
+                    continue;
+                }
+                local
+                    .feed_blocking(SessionId(r.session), row)
+                    .map_err(|e| fail("verification replay", e))?;
+            }
+        }
+        for r in &runs {
+            if r.resume_from > 0 {
+                continue;
+            }
+            let local_blob = local
+                .snapshot(SessionId(r.session))
+                .map_err(|e| fail("verification snapshot", e))?;
+            match &r.snapshot {
+                Some(remote) if *remote == local_blob => verified += 1,
+                Some(_) => {
+                    return Err(format!(
+                        "device {}: networked state DIVERGED from local replay",
+                        r.session
+                    ))
+                }
+                None => return Err("verification snapshot missing".into()),
+            }
+        }
+        local.shutdown();
+        writeln!(
+            out,
+            "verify: {verified} device(s) bit-identical to local replay\
+             {}",
+            if skipped > 0 {
+                format!(" ({skipped} resumed device(s) skipped)")
+            } else {
+                String::new()
+            }
+        )
+        .ok();
+    }
+    Ok(())
+}
+
 fn write_csv(path: &std::path::Path, samples: &[Sample], with_label: bool) -> Result<(), String> {
     let mut text = String::new();
     for s in samples {
@@ -612,7 +938,7 @@ pub fn synth(a: &SynthArgs, out: Out<'_>) -> Result<(), String> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::args::Cli;
+    use crate::args::{Cli, Command};
 
     fn tmpdir(name: &str) -> std::path::PathBuf {
         let dir = std::env::temp_dir().join(format!("seqdrift-cli-{name}"));
@@ -924,6 +1250,85 @@ mod tests {
         let err = exec(&format!("synth --dataset mnist --out {}", dir.display())).unwrap_err();
         assert!(err.contains("unknown dataset"), "{err}");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_and_load_round_trip_with_verify() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+
+        let dir = tmpdir("serve-load");
+        let train_csv = labelled_csv(&dir, 200, 0.0, 41);
+        let model = dir.join("model.sqdm");
+        exec(&format!(
+            "train --csv {} --out {} --label-last --hidden 6 --window 20",
+            train_csv.display(),
+            model.display()
+        ))
+        .unwrap();
+        let stream = stream_csv(&dir, 60, 0.0, 42);
+        let port_file = dir.join("port.txt");
+        let bench_json = dir.join("BENCH_ingest.json");
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let server = {
+            let stop = Arc::clone(&stop);
+            let args = Cli::parse(&argv_vec(&format!(
+                "serve --model {} --listen 127.0.0.1:0 --workers 2 --port-file {}",
+                model.display(),
+                port_file.display()
+            )))
+            .unwrap();
+            std::thread::spawn(move || {
+                let Command::Serve(a) = args.command else {
+                    panic!("not serve")
+                };
+                let mut buf = Vec::new();
+                let r = serve_with_stop(&a, &mut buf, &stop);
+                (r, String::from_utf8(buf).unwrap())
+            })
+        };
+        let addr = wait_for_port_file(&port_file);
+
+        let out = exec(&format!(
+            "load --csv {} --addr {addr} --sessions 3 --batch 8 --no-header \
+             --bench-json {} --verify --model {}",
+            stream.display(),
+            bench_json.display(),
+            model.display()
+        ))
+        .unwrap();
+        assert!(out.contains("sent 180 rows"), "{out}");
+        assert!(
+            out.contains("verify: 3 device(s) bit-identical to local replay"),
+            "{out}"
+        );
+        let json = std::fs::read_to_string(&bench_json).unwrap();
+        assert!(json.contains("load_sessions_3_batch_8"), "{json}");
+
+        stop.store(true, Ordering::Relaxed);
+        let (result, served) = server.join().unwrap();
+        result.unwrap();
+        assert!(served.contains("listening on"), "{served}");
+        assert!(served.contains("180 sample(s) processed"), "{served}");
+        assert!(served.contains("drained; bye"), "{served}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    fn argv_vec(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    fn wait_for_port_file(path: &std::path::Path) -> String {
+        for _ in 0..400 {
+            if let Ok(addr) = std::fs::read_to_string(path) {
+                if !addr.is_empty() {
+                    return addr;
+                }
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        panic!("server never wrote {}", path.display());
     }
 
     #[test]

@@ -12,6 +12,8 @@
 //! seqdrift info  --model model.sqdm
 //! seqdrift synth --dataset fan-sudden --out data/
 //! seqdrift fleet --csv stream.csv --model model.sqdm --sessions 32 --drift-at 100
+//! seqdrift serve --model model.sqdm --listen 127.0.0.1:4747 --state-dir state/
+//! seqdrift load  --csv stream.csv --addr 127.0.0.1:4747 --sessions 8 --verify --model model.sqdm
 //! ```
 //!
 //! * `train` — calibrate a full [`seqdrift_core::DriftPipeline`] from a
@@ -27,7 +29,16 @@
 //!   same checkpoint, with per-device staggered drift injection. With
 //!   `--state-dir` every rolling checkpoint is flushed to a crash-safe
 //!   on-disk store, and `--resume` re-homes the surviving sessions (and
-//!   re-applies persisted quarantine verdicts) after a crash.
+//!   re-applies persisted quarantine verdicts) after a crash;
+//! * `serve` — run the [`seqdrift_server`] TCP ingest server: real
+//!   devices connect over the `SQNP` wire protocol and stream into one
+//!   fleet engine. Ctrl-C drains gracefully, flushing every session's
+//!   final state to `--state-dir`;
+//! * `load` — multi-threaded load generator: replay a CSV from N
+//!   simulated devices against a running server, report samples/sec and
+//!   batch round-trip percentiles (optionally merged into a machine-
+//!   readable `BENCH_ingest.json`), and `--verify` that the networked
+//!   state is bit-identical to a local replay.
 //!
 //! The argument parser and command implementations live here in the
 //! library so they are unit-testable; `main.rs` is a thin shim.
@@ -45,5 +56,7 @@ pub fn run(cli: &Cli, out: &mut dyn std::io::Write) -> Result<(), String> {
         Command::Info(a) => commands::info(a, out),
         Command::Synth(a) => commands::synth(a, out),
         Command::Fleet(a) => commands::fleet(a, out),
+        Command::Serve(a) => commands::serve(a, out),
+        Command::Load(a) => commands::load(a, out),
     }
 }

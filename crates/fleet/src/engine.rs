@@ -52,8 +52,15 @@ pub enum FleetError {
     /// until it is replaced via [`FleetEngine::create`].
     SessionQuarantined(SessionId),
     /// A blocking feed gave up after `FleetConfig::feed_timeout` of
-    /// sustained backpressure.
-    Timeout(SessionId),
+    /// sustained backpressure. Carries the culprit session and its
+    /// shard's queue depth at the deadline so callers (server BUSY
+    /// replies, logs) can name what was stuck and how deep.
+    Timeout {
+        /// The session whose shard stayed full past the deadline.
+        id: SessionId,
+        /// Depth of that shard's ingress queue when the deadline fired.
+        queue_depth: usize,
+    },
     /// Bad engine configuration.
     InvalidConfig(&'static str),
     /// An error bubbled up from the pipeline (e.g. a mid-reconstruction
@@ -72,7 +79,10 @@ impl std::fmt::Display for FleetError {
             FleetError::UnknownSession(id) => write!(f, "unknown {id}"),
             FleetError::DuplicateSession(id) => write!(f, "{id} already exists"),
             FleetError::SessionQuarantined(id) => write!(f, "{id} is quarantined"),
-            FleetError::Timeout(id) => write!(f, "feed to {id} timed out under backpressure"),
+            FleetError::Timeout { id, queue_depth } => write!(
+                f,
+                "feed to {id} timed out under backpressure (queue depth {queue_depth})"
+            ),
             FleetError::InvalidConfig(msg) => write!(f, "invalid fleet config: {msg}"),
             FleetError::Core(e) => write!(f, "pipeline error: {e}"),
             FleetError::Store(e) => write!(f, "state store error: {e}"),
@@ -415,6 +425,12 @@ impl FleetEngine {
         (id.0 % self.shards.len() as u64) as usize
     }
 
+    /// Current depth of the ingress queue of the shard `id` is pinned to.
+    /// Point-in-time and advisory: the worker drains concurrently.
+    pub fn queue_depth(&self, id: SessionId) -> usize {
+        self.shards[self.shard_index(id)].depth.get()
+    }
+
     /// Detects and replaces any dead worker threads, re-homing their
     /// shards from the checkpoint store. Returns how many workers were
     /// respawned. `feed`/`create` call this lazily on a disconnected
@@ -668,7 +684,10 @@ impl FleetEngine {
                     let at = *deadline.get_or_insert(now + self.cfg.feed_timeout);
                     if now >= at {
                         self.metrics.feed_timeouts.fetch_add(1, Ordering::Relaxed);
-                        return Err(FleetError::Timeout(id));
+                        return Err(FleetError::Timeout {
+                            id,
+                            queue_depth: self.queue_depth(id),
+                        });
                     }
                     if spins < 8 {
                         std::thread::yield_now();
@@ -834,6 +853,26 @@ impl FleetEngine {
         }
         sessions.sort_by_key(|(id, _)| *id);
         lost.sort_by_key(|s| s.id);
+        // Graceful shutdown is the one moment every survivor's full state
+        // is in hand: flush it durably so a drain leaves zero tail loss.
+        // Crash paths (plain drop, power cut) still lose at most one
+        // checkpoint interval. Mid-reconstruction pipelines refuse
+        // to_bytes by contract — their last rolling checkpoint is already
+        // on disk, so skip them without counting a flush failure.
+        if let Some(durable) = &self.durable {
+            for (id, pipeline) in &sessions {
+                let Ok(blob) = pipeline.to_bytes() else {
+                    continue;
+                };
+                if durable.put(id.0, &blob).is_ok() {
+                    self.metrics.durable_flushes.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    self.metrics
+                        .durable_flush_failures
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
         let quarantined = self.quarantined_sessions();
         let events = std::mem::take(&mut *mutex_lock(&self.events));
         let metrics = self
@@ -1113,8 +1152,10 @@ mod tests {
         for _ in 0..100 {
             match fleet.feed_blocking(SessionId(0), &sample(&mut rng, 0.2)) {
                 Ok(()) => {}
-                Err(FleetError::Timeout(id)) => {
+                Err(FleetError::Timeout { id, queue_depth }) => {
                     assert_eq!(id, SessionId(0));
+                    // The shard queue (capacity 1) was full at the deadline.
+                    assert!(queue_depth >= 1, "timeout should report a backed-up queue");
                     timed_out = true;
                     break;
                 }

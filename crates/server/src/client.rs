@@ -1,0 +1,260 @@
+//! The device-side protocol client: one TCP connection speaking `SQNP`
+//! for one session. Used by `seqdrift load`, the loopback tests, and any
+//! embedded caller that wants to stream samples to a fleet host.
+
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use seqdrift_linalg::Real;
+
+use crate::proto::{read_frame, Message, NackCode, ProtoError};
+
+/// Errors raised on the client side of a connection.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure (includes the server closing mid-exchange).
+    Io(std::io::Error),
+    /// The reply did not decode as a valid frame.
+    Proto(ProtoError),
+    /// The server rejected the request with a typed NACK.
+    Nack {
+        /// Why.
+        code: NackCode,
+        /// Server-provided detail.
+        detail: String,
+    },
+    /// The server replied with a frame type the request cannot produce.
+    Unexpected(&'static str),
+}
+
+impl core::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Proto(e) => write!(f, "protocol error: {e}"),
+            ClientError::Nack { code, detail } => write!(f, "server rejected: {code} ({detail})"),
+            ClientError::Unexpected(what) => write!(f, "unexpected reply: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<ProtoError> for ClientError {
+    fn from(e: ProtoError) -> Self {
+        match e {
+            ProtoError::Io(io) => ClientError::Io(io),
+            other => ClientError::Proto(other),
+        }
+    }
+}
+
+/// What the server said in the HELLO acknowledgement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HelloReply {
+    /// The session already existed (resumed from the durable store or
+    /// created by an earlier connection).
+    pub existing: bool,
+    /// `samples_processed` of the state the session resumed from; replay
+    /// the stream from this offset after a crash.
+    pub resume_from: u64,
+}
+
+/// Outcome of one `Sample` frame exchange.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BatchReply {
+    /// The whole batch was applied.
+    Ack {
+        /// Rows applied.
+        accepted: u32,
+        /// Drift/fault events pushed back for this session.
+        events: Vec<String>,
+        /// More events are queued server-side (`drain` to fetch).
+        events_pending: bool,
+    },
+    /// Backpressure: only a prefix was applied; retry the rest.
+    Busy {
+        /// Rows applied before the stall.
+        accepted: u32,
+        /// Depth of the stalled shard queue.
+        queue_depth: u32,
+    },
+}
+
+/// A connected, HELLOed protocol client for one session.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    session: u64,
+    dim: u32,
+    /// Cumulative BUSY replies absorbed by [`Client::send_all`].
+    pub busy_retries: u64,
+}
+
+impl Client {
+    /// Connects and performs the HELLO handshake for `session` with the
+    /// given feature dimension.
+    pub fn connect(
+        addr: impl ToSocketAddrs,
+        session: u64,
+        dim: u32,
+    ) -> Result<(Client, HelloReply), ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        // A generous timeout so a hung server surfaces as an error
+        // instead of a deadlock; normal replies arrive in microseconds.
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        stream.set_nodelay(true)?;
+        let mut client = Client {
+            stream,
+            session,
+            dim,
+            busy_retries: 0,
+        };
+        let reply = client.exchange(&Message::Hello {
+            dim,
+            scalar_width: core::mem::size_of::<Real>() as u8,
+        })?;
+        match reply.0 {
+            Message::HelloAck {
+                existing,
+                resume_from,
+            } => Ok((
+                client,
+                HelloReply {
+                    existing,
+                    resume_from,
+                },
+            )),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// The session this client speaks for.
+    pub fn session(&self) -> u64 {
+        self.session
+    }
+
+    /// Sends one batch (rows concatenated, `rows.len() % dim == 0`) and
+    /// returns the server's verdict without retrying on BUSY.
+    pub fn send_batch(&mut self, rows: &[Real]) -> Result<BatchReply, ClientError> {
+        let (reply, flags) = self.exchange(&Message::Sample {
+            dim: self.dim,
+            data: rows.to_vec(),
+        })?;
+        match reply {
+            Message::SampleAck { accepted, events } => Ok(BatchReply::Ack {
+                accepted,
+                events,
+                events_pending: flags & crate::proto::FLAG_EVENTS_PENDING != 0,
+            }),
+            Message::Busy {
+                accepted,
+                queue_depth,
+            } => Ok(BatchReply::Busy {
+                accepted,
+                queue_depth,
+            }),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Sends a batch to completion, absorbing BUSY replies with a short
+    /// doubling backoff and resending the unapplied suffix. Returns every
+    /// event pushed back along the way.
+    pub fn send_all(&mut self, rows: &[Real]) -> Result<Vec<String>, ClientError> {
+        let dim = self.dim as usize;
+        let mut offset = 0usize;
+        let mut events = Vec::new();
+        let mut backoff_us: u64 = 50;
+        while offset < rows.len() {
+            match self.send_batch(&rows[offset..])? {
+                BatchReply::Ack {
+                    accepted,
+                    events: mut e,
+                    ..
+                } => {
+                    offset += accepted as usize * dim;
+                    events.append(&mut e);
+                }
+                BatchReply::Busy { accepted, .. } => {
+                    self.busy_retries += 1;
+                    offset += accepted as usize * dim;
+                    std::thread::sleep(Duration::from_micros(backoff_us));
+                    backoff_us = (backoff_us * 2).min(2_000);
+                }
+            }
+        }
+        Ok(events)
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.exchange(&Message::Ping)?.0 {
+            Message::Pong => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Fetches the session's queued drift/fault events.
+    pub fn drain(&mut self) -> Result<Vec<String>, ClientError> {
+        match self.exchange(&Message::Drain)?.0 {
+            Message::DrainAck { events } => Ok(events),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Fetches the session's checkpoint blob (quiescent-point state; all
+    /// samples acknowledged before this call are reflected).
+    pub fn snapshot(&mut self) -> Result<Vec<u8>, ClientError> {
+        match self.exchange(&Message::Snapshot)?.0 {
+            Message::SnapshotAck { blob } => Ok(blob),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Orderly goodbye; consumes the client.
+    pub fn bye(mut self) -> Result<(), ClientError> {
+        self.write(&Message::Bye.encode(self.session))
+    }
+
+    fn write(&mut self, bytes: &[u8]) -> Result<(), ClientError> {
+        use std::io::Write;
+        self.stream.write_all(bytes)?;
+        Ok(())
+    }
+
+    /// One request/response turn. NACK replies become [`ClientError::Nack`].
+    fn exchange(&mut self, msg: &Message) -> Result<(Message, u8), ClientError> {
+        self.write(&msg.encode(self.session))?;
+        let frame = read_frame(&mut self.stream)?;
+        let flags = frame.flags;
+        match Message::decode(&frame)? {
+            Message::Nack { code, detail } => Err(ClientError::Nack { code, detail }),
+            reply => Ok((reply, flags)),
+        }
+    }
+}
+
+fn unexpected(msg: Message) -> ClientError {
+    ClientError::Unexpected(match msg {
+        Message::Hello { .. } => "Hello",
+        Message::Sample { .. } => "Sample",
+        Message::Ping => "Ping",
+        Message::Drain => "Drain",
+        Message::Snapshot => "Snapshot",
+        Message::Bye => "Bye",
+        Message::HelloAck { .. } => "HelloAck",
+        Message::SampleAck { .. } => "SampleAck",
+        Message::Pong => "Pong",
+        Message::DrainAck { .. } => "DrainAck",
+        Message::SnapshotAck { .. } => "SnapshotAck",
+        Message::Busy { .. } => "Busy",
+        Message::Nack { .. } => "Nack",
+    })
+}

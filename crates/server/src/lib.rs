@@ -1,0 +1,39 @@
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+#![deny(missing_docs)]
+
+//! # seqdrift-server
+//!
+//! The network ingest layer: a zero-external-dependency TCP server that
+//! multiplexes many device connections into one
+//! [`seqdrift_fleet::FleetEngine`], plus the matching protocol client.
+//!
+//! The paper's detector runs per device, but a deployed fleet needs a
+//! channel between the devices and the aggregating host. This crate
+//! provides that channel over plain `std::net`:
+//!
+//! * [`proto`] — the versioned, length-prefixed, CRC-sealed `SQNP` frame
+//!   format (HELLO handshake, SAMPLE batches, event push-backs,
+//!   PING/DRAIN/SNAPSHOT, typed NACKs). Every decode path bounds its
+//!   allocations against the bytes actually present, mirroring the
+//!   checkpoint hardening.
+//! * [`Server`] — accept loop + one reader thread per connection, feeding
+//!   `feed_blocking` so fleet backpressure surfaces to clients as `Busy`
+//!   replies naming the stalled queue's depth. Idle connections are
+//!   evicted; a graceful drain flushes every session's final state to the
+//!   durable store.
+//! * [`Client`] — the device side: connect, handshake, stream batches
+//!   (absorbing `Busy` with backoff), drain events, snapshot state.
+//!
+//! The protocol is strictly request/response per connection, so one
+//! hostile or stalled connection can never corrupt another's stream —
+//! the blast radius of any single client is exactly itself.
+
+pub mod client;
+pub mod metrics;
+pub mod proto;
+mod server;
+
+pub use client::{BatchReply, Client, ClientError, HelloReply};
+pub use metrics::{ServerMetrics, ServerMetricsSnapshot};
+pub use proto::{FrameType, Message, NackCode, ProtoError};
+pub use server::{Server, ServerConfig, ServerError, ServerReport};

@@ -1,0 +1,87 @@
+//! Lock-free ingest counters, aggregated across every connection and
+//! merged with the fleet's own [`seqdrift_fleet::MetricsSnapshot`] in the
+//! final [`crate::ServerReport`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Aggregate network-layer counters. Connection handler threads bump
+/// these with relaxed atomics; readers take a point-in-time
+/// [`ServerMetricsSnapshot`].
+#[derive(Debug, Default)]
+pub struct ServerMetrics {
+    /// Connections accepted since startup.
+    pub connections_accepted: AtomicU64,
+    /// Connections currently open.
+    pub connections_active: AtomicU64,
+    /// Connections dropped for exceeding the idle timeout.
+    pub connections_evicted_idle: AtomicU64,
+    /// Connections dropped after a fatal protocol error (corrupt or
+    /// hostile byte stream).
+    pub connections_dropped_protocol: AtomicU64,
+    /// Frames successfully decoded.
+    pub frames_rx: AtomicU64,
+    /// Frames written.
+    pub frames_tx: AtomicU64,
+    /// Bytes read off accepted connections.
+    pub bytes_rx: AtomicU64,
+    /// Bytes written to connections.
+    pub bytes_tx: AtomicU64,
+    /// Sample rows applied to the fleet.
+    pub samples_accepted: AtomicU64,
+    /// BUSY replies sent (feed deadline exceeded under backpressure).
+    pub busy_replies: AtomicU64,
+    /// NACK replies sent (fatal and non-fatal).
+    pub nacks_sent: AtomicU64,
+    /// Sessions auto-created from the reference model on HELLO.
+    pub sessions_created: AtomicU64,
+}
+
+impl ServerMetrics {
+    /// Point-in-time copy of every counter.
+    pub fn snapshot(&self) -> ServerMetricsSnapshot {
+        let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        ServerMetricsSnapshot {
+            connections_accepted: load(&self.connections_accepted),
+            connections_active: load(&self.connections_active),
+            connections_evicted_idle: load(&self.connections_evicted_idle),
+            connections_dropped_protocol: load(&self.connections_dropped_protocol),
+            frames_rx: load(&self.frames_rx),
+            frames_tx: load(&self.frames_tx),
+            bytes_rx: load(&self.bytes_rx),
+            bytes_tx: load(&self.bytes_tx),
+            samples_accepted: load(&self.samples_accepted),
+            busy_replies: load(&self.busy_replies),
+            nacks_sent: load(&self.nacks_sent),
+            sessions_created: load(&self.sessions_created),
+        }
+    }
+}
+
+/// Point-in-time copy of [`ServerMetrics`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServerMetricsSnapshot {
+    /// Connections accepted since startup.
+    pub connections_accepted: u64,
+    /// Connections currently open.
+    pub connections_active: u64,
+    /// Connections dropped for exceeding the idle timeout.
+    pub connections_evicted_idle: u64,
+    /// Connections dropped after a fatal protocol error.
+    pub connections_dropped_protocol: u64,
+    /// Frames successfully decoded.
+    pub frames_rx: u64,
+    /// Frames written.
+    pub frames_tx: u64,
+    /// Bytes read off accepted connections.
+    pub bytes_rx: u64,
+    /// Bytes written to connections.
+    pub bytes_tx: u64,
+    /// Sample rows applied to the fleet.
+    pub samples_accepted: u64,
+    /// BUSY replies sent.
+    pub busy_replies: u64,
+    /// NACK replies sent.
+    pub nacks_sent: u64,
+    /// Sessions auto-created from the reference model on HELLO.
+    pub sessions_created: u64,
+}

@@ -1,0 +1,769 @@
+//! The ingest server: a `std::net::TcpListener` accept loop spawning one
+//! reader thread per device connection, all feeding a single shared
+//! [`FleetEngine`].
+//!
+//! Lifecycle:
+//!
+//! 1. [`Server::bind`] opens the listener, builds the fleet (resuming
+//!    every surviving session from the durable store when
+//!    `FleetConfig::state_dir` is set), and decodes the reference model's
+//!    dimension once so HELLO handshakes can be validated cheaply.
+//! 2. [`Server::run`] accepts connections until the caller's stop
+//!    predicate fires (the CLI wires this to its SIGINT flag), then
+//!    drains: the listener stops accepting, every connection handler
+//!    notices the shared stop flag at its next read tick and closes, the
+//!    handlers are joined, and the fleet is shut down — which flushes
+//!    each surviving session's final state to the durable store, so a
+//!    graceful drain loses zero samples.
+//!
+//! Backpressure is end-to-end: connection handlers call
+//! [`FleetEngine::feed_blocking`], and a feed deadline exceeded under a
+//! full shard queue becomes a `Busy` reply naming the partial progress
+//! and the stalled queue's depth — the client retries the remainder.
+//! Slow or silent clients are evicted after `idle_timeout` without
+//! affecting any other connection.
+
+use std::collections::{HashMap, HashSet};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::{Duration, Instant};
+
+use seqdrift_core::DriftPipeline;
+use seqdrift_fleet::{
+    FleetConfig, FleetEngine, FleetError, FleetEvent, MetricsSnapshot, SessionId, ShutdownReport,
+};
+use seqdrift_linalg::Real;
+
+use crate::metrics::{ServerMetrics, ServerMetricsSnapshot};
+use crate::proto::{
+    decode_frame, header_payload_len, Message, NackCode, CRC_LEN, HEADER_LEN, MAGIC,
+};
+
+/// Session id key for events not attributable to any session (e.g. a
+/// worker respawn): delivered to whichever connection drains next.
+const GLOBAL_EVENTS: u64 = u64::MAX;
+
+/// Server construction parameters.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Fleet engine parameters (workers, queues, durability, ...).
+    pub fleet: FleetConfig,
+    /// Reference checkpoint blob: sessions HELLOed for the first time are
+    /// created from this calibrated state. `None` means only sessions
+    /// resumed from the durable store (or created in-process) exist, and
+    /// an unknown HELLO is NACKed.
+    pub reference: Option<Vec<u8>>,
+    /// Connections silent for longer than this are evicted.
+    pub idle_timeout: Duration,
+    /// Granularity of the handler read loop: how often a blocked read
+    /// wakes to check the stop flag and the idle deadline.
+    pub read_tick: Duration,
+}
+
+impl ServerConfig {
+    /// Defaults: the given fleet config, no reference model, 30-second
+    /// idle eviction, 25 ms read tick.
+    pub fn new(fleet: FleetConfig) -> Self {
+        ServerConfig {
+            fleet,
+            reference: None,
+            idle_timeout: Duration::from_secs(30),
+            read_tick: Duration::from_millis(25),
+        }
+    }
+
+    /// Installs the reference checkpoint blob for HELLO auto-creation.
+    pub fn with_reference(mut self, blob: Vec<u8>) -> Self {
+        self.reference = Some(blob);
+        self
+    }
+
+    /// Overrides the idle-eviction timeout.
+    pub fn with_idle_timeout(mut self, t: Duration) -> Self {
+        self.idle_timeout = t;
+        self
+    }
+}
+
+/// Errors raised while binding or running the server.
+#[derive(Debug)]
+pub enum ServerError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// Fleet construction or resume failure.
+    Fleet(FleetError),
+    /// The reference checkpoint blob did not decode.
+    BadReference(String),
+}
+
+impl core::fmt::Display for ServerError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ServerError::Io(e) => write!(f, "socket error: {e}"),
+            ServerError::Fleet(e) => write!(f, "fleet error: {e}"),
+            ServerError::BadReference(e) => write!(f, "reference checkpoint invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+impl From<std::io::Error> for ServerError {
+    fn from(e: std::io::Error) -> Self {
+        ServerError::Io(e)
+    }
+}
+
+impl From<FleetError> for ServerError {
+    fn from(e: FleetError) -> Self {
+        ServerError::Fleet(e)
+    }
+}
+
+/// Everything the server produced, returned by [`Server::run`] after the
+/// drain completes.
+#[derive(Debug)]
+pub struct ServerReport {
+    /// The fleet's own shutdown report (surviving sessions, quarantined,
+    /// lost, events, engine counters). On a graceful drain every
+    /// survivor's final state has been flushed to the durable store.
+    pub fleet: ShutdownReport,
+    /// Network-layer counters.
+    pub net: ServerMetricsSnapshot,
+    /// Sessions resumed from the durable store at bind time, as
+    /// `(session, samples_processed)`.
+    pub resumed: Vec<(u64, u64)>,
+}
+
+/// State shared between the accept loop and every connection handler.
+struct Shared {
+    fleet: FleetEngine,
+    reference: Option<Vec<u8>>,
+    /// Feature dimension of the reference model (decoded once at bind).
+    ref_dim: Option<u32>,
+    /// Sessions known to exist in the engine (resumed or created). HELLO
+    /// consults this before attempting creation.
+    known: RwLock<HashSet<u64>>,
+    /// `samples_processed` at resume, reported in `HelloAck::resume_from`.
+    resumed: HashMap<u64, u64>,
+    /// Per-session event buckets fed from `FleetEngine::drain_events`.
+    events: Mutex<HashMap<u64, Vec<String>>>,
+    metrics: ServerMetrics,
+    stop: AtomicBool,
+    idle_timeout: Duration,
+    read_tick: Duration,
+}
+
+impl Shared {
+    /// Moves newly logged fleet events into per-session buckets.
+    fn pump_events(&self) {
+        let drained = self.fleet.drain_events();
+        if drained.is_empty() {
+            return;
+        }
+        let mut buckets = match self.events.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        for event in drained {
+            let key = match &event {
+                FleetEvent::Pipeline { id, .. }
+                | FleetEvent::SessionPanicked { id, .. }
+                | FleetEvent::SessionRestored { id, .. }
+                | FleetEvent::SessionQuarantined { id, .. } => id.0,
+                _ => GLOBAL_EVENTS,
+            };
+            buckets.entry(key).or_default().push(format!("{event:?}"));
+        }
+    }
+
+    /// Takes the session's queued events plus any engine-wide events.
+    fn take_events(&self, session: u64) -> Vec<String> {
+        let mut buckets = match self.events.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let mut out = buckets.remove(&session).unwrap_or_default();
+        if let Some(global) = buckets.remove(&GLOBAL_EVENTS) {
+            out.extend(global);
+        }
+        out
+    }
+
+    /// Whether the session has more events queued after a take.
+    fn events_pending(&self, session: u64) -> bool {
+        match self.events.lock() {
+            Ok(g) => g.contains_key(&session),
+            Err(poisoned) => poisoned.into_inner().contains_key(&session),
+        }
+    }
+}
+
+/// The ingest server. Bind, then [`Server::run`] until stopped.
+pub struct Server {
+    listener: TcpListener,
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Binds the listener, builds the fleet engine, and — when the fleet
+    /// config carries a `state_dir` — resumes every surviving session
+    /// from the durable store.
+    pub fn bind(addr: &str, cfg: ServerConfig) -> Result<Server, ServerError> {
+        let ref_dim = match &cfg.reference {
+            Some(blob) => Some(
+                DriftPipeline::from_bytes(blob)
+                    .map_err(|e| ServerError::BadReference(e.to_string()))?
+                    .model()
+                    .dim() as u32,
+            ),
+            None => None,
+        };
+        let durable = cfg.fleet.state_dir.is_some();
+        let fleet = FleetEngine::new(cfg.fleet)?;
+        let mut resumed = HashMap::new();
+        if durable {
+            for (id, samples) in fleet.resume()? {
+                resumed.insert(id.0, samples);
+            }
+        }
+        let known: HashSet<u64> = resumed.keys().copied().collect();
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        Ok(Server {
+            listener,
+            local_addr,
+            shared: Arc::new(Shared {
+                fleet,
+                reference: cfg.reference,
+                ref_dim,
+                known: RwLock::new(known),
+                resumed,
+                events: Mutex::new(HashMap::new()),
+                metrics: ServerMetrics::default(),
+                stop: AtomicBool::new(false),
+                idle_timeout: cfg.idle_timeout,
+                read_tick: cfg.read_tick,
+            }),
+        })
+    }
+
+    /// The bound address (use with `127.0.0.1:0` to discover the
+    /// ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Point-in-time network counters (the fleet's own counters are in
+    /// the final report).
+    pub fn metrics(&self) -> ServerMetricsSnapshot {
+        self.shared.metrics.snapshot()
+    }
+
+    /// Point-in-time fleet counters.
+    pub fn fleet_metrics(&self) -> MetricsSnapshot {
+        self.shared.fleet.metrics()
+    }
+
+    /// Serves until `stop_requested` returns true, then drains: stops
+    /// accepting, signals every handler, joins them, and shuts the fleet
+    /// down (flushing durable state). Never panics on connection errors —
+    /// a failed accept is retried, a failed handler only loses its own
+    /// connection.
+    pub fn run<F: Fn() -> bool>(self, stop_requested: F) -> ServerReport {
+        // Non-blocking so the accept loop can poll the stop predicate.
+        let nonblocking_ok = self.listener.set_nonblocking(true).is_ok();
+        let mut handles: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        while !stop_requested() {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let shared = Arc::clone(&self.shared);
+                    shared
+                        .metrics
+                        .connections_accepted
+                        .fetch_add(1, Ordering::Relaxed);
+                    shared
+                        .metrics
+                        .connections_active
+                        .fetch_add(1, Ordering::Relaxed);
+                    handles.push(std::thread::spawn(move || {
+                        handle_connection(stream, &shared);
+                        shared
+                            .metrics
+                            .connections_active
+                            .fetch_sub(1, Ordering::Relaxed);
+                    }));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(_) => {
+                    // Transient accept failure (e.g. EMFILE): back off and
+                    // keep serving existing connections.
+                    std::thread::sleep(Duration::from_millis(50));
+                    if !nonblocking_ok {
+                        break;
+                    }
+                }
+            }
+            // Reap finished handlers so a long-lived server does not
+            // accumulate join handles.
+            if handles.iter().any(|h| h.is_finished()) {
+                handles = handles
+                    .into_iter()
+                    .filter_map(|h| {
+                        if h.is_finished() {
+                            let _ = h.join();
+                            None
+                        } else {
+                            Some(h)
+                        }
+                    })
+                    .collect();
+            }
+        }
+        // Drain: signal the handlers, join them, shut the fleet down.
+        self.shared.stop.store(true, Ordering::SeqCst);
+        for h in handles {
+            let _ = h.join();
+        }
+        let net = self.shared.metrics.snapshot();
+        let mut resumed: Vec<(u64, u64)> = self
+            .shared
+            .resumed
+            .iter()
+            .map(|(&id, &s)| (id, s))
+            .collect();
+        resumed.sort_unstable();
+        let fleet_report = match Arc::try_unwrap(self.shared) {
+            Ok(shared) => shared.fleet.shutdown(),
+            // Unreachable once every handler is joined; returning an
+            // empty report keeps this path panic-free regardless.
+            Err(shared) => ShutdownReport {
+                sessions: Vec::new(),
+                quarantined: shared.fleet.quarantined_sessions(),
+                lost: Vec::new(),
+                events: shared.fleet.drain_events(),
+                metrics: shared.fleet.metrics(),
+            },
+        };
+        ServerReport {
+            fleet: fleet_report,
+            net,
+            resumed,
+        }
+    }
+}
+
+/// Outcome of an interruptible exact read.
+enum Fill {
+    /// Buffer filled.
+    Done,
+    /// Peer closed the connection cleanly before the first byte.
+    Eof,
+    /// No bytes for longer than the idle timeout (or the peer trickled
+    /// and then stalled mid-frame).
+    Idle,
+    /// The server is draining.
+    Stopped,
+    /// Transport error.
+    Failed,
+}
+
+/// Reads exactly `buf.len()` bytes, waking every read tick to check the
+/// stop flag and the idle deadline. Partial progress is kept across
+/// ticks, so a slow-but-live client is fine as long as bytes keep
+/// arriving inside the idle window.
+fn fill(stream: &mut TcpStream, buf: &mut [u8], shared: &Shared) -> Fill {
+    let mut got = 0usize;
+    let mut last_byte = Instant::now();
+    while got < buf.len() {
+        if shared.stop.load(Ordering::Relaxed) {
+            return Fill::Stopped;
+        }
+        match stream.read(&mut buf[got..]) {
+            Ok(0) => return if got == 0 { Fill::Eof } else { Fill::Failed },
+            Ok(n) => {
+                got += n;
+                last_byte = Instant::now();
+                shared
+                    .metrics
+                    .bytes_rx
+                    .fetch_add(n as u64, Ordering::Relaxed);
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if last_byte.elapsed() >= shared.idle_timeout {
+                    return Fill::Idle;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return Fill::Failed,
+        }
+    }
+    Fill::Done
+}
+
+/// Writes a reply frame, counting it. Returns false when the transport
+/// failed (the caller drops the connection).
+fn send(stream: &mut TcpStream, shared: &Shared, bytes: &[u8]) -> bool {
+    if stream.write_all(bytes).is_err() {
+        return false;
+    }
+    shared.metrics.frames_tx.fetch_add(1, Ordering::Relaxed);
+    shared
+        .metrics
+        .bytes_tx
+        .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+    true
+}
+
+/// Sends a NACK; returns whether the connection should stay open.
+fn send_nack(
+    stream: &mut TcpStream,
+    shared: &Shared,
+    session: u64,
+    code: NackCode,
+    detail: String,
+) -> bool {
+    shared.metrics.nacks_sent.fetch_add(1, Ordering::Relaxed);
+    let ok = send(
+        stream,
+        shared,
+        &Message::Nack { code, detail }.encode(session),
+    );
+    if code.is_fatal() {
+        shared
+            .metrics
+            .connections_dropped_protocol
+            .fetch_add(1, Ordering::Relaxed);
+        return false;
+    }
+    ok
+}
+
+/// One connection's read-dispatch-reply loop. Strictly request/response:
+/// the handler owns both directions of the stream, so replies (including
+/// event push-backs riding on acks) never interleave.
+fn handle_connection(mut stream: TcpStream, shared: &Shared) {
+    // Short read timeout turns blocked reads into ticks of `fill`.
+    if stream.set_read_timeout(Some(shared.read_tick)).is_err() {
+        return;
+    }
+    let _ = stream.set_nodelay(true);
+    // Sessions HELLOed on this connection, with their declared dim.
+    let mut helloed: HashMap<u64, u32> = HashMap::new();
+    loop {
+        let mut header = [0u8; HEADER_LEN];
+        match fill(&mut stream, &mut header, shared) {
+            Fill::Done => {}
+            Fill::Idle => {
+                shared
+                    .metrics
+                    .connections_evicted_idle
+                    .fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            Fill::Eof | Fill::Stopped | Fill::Failed => return,
+        }
+        // Magic and length bound are checked before the payload buffer is
+        // allocated, so a hostile length prefix cannot balloon memory.
+        if &header[0..4] != MAGIC {
+            send_nack(
+                &mut stream,
+                shared,
+                0,
+                NackCode::BadMagic,
+                "not an SQNP frame".into(),
+            );
+            return;
+        }
+        let payload_len = match header_payload_len(&header) {
+            Ok(n) => n,
+            Err(e) => {
+                send_nack(&mut stream, shared, 0, e.nack_code(), e.to_string());
+                return;
+            }
+        };
+        let mut rest = vec![0u8; payload_len + CRC_LEN];
+        match fill(&mut stream, &mut rest, shared) {
+            Fill::Done => {}
+            Fill::Idle => {
+                shared
+                    .metrics
+                    .connections_evicted_idle
+                    .fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            Fill::Eof | Fill::Stopped | Fill::Failed => return,
+        }
+        let frame = match decode_frame(&header, &rest) {
+            Ok(f) => f,
+            Err(e) => {
+                // Framing errors are fatal (the stream cannot resync);
+                // send_nack drops the connection for those codes.
+                let stay = send_nack(&mut stream, shared, 0, e.nack_code(), e.to_string());
+                if stay {
+                    continue;
+                }
+                return;
+            }
+        };
+        shared.metrics.frames_rx.fetch_add(1, Ordering::Relaxed);
+        let session = frame.session;
+        let msg = match Message::decode(&frame) {
+            Ok(m) => m,
+            Err(e) => {
+                if send_nack(&mut stream, shared, session, e.nack_code(), e.to_string()) {
+                    continue;
+                }
+                return;
+            }
+        };
+        match msg {
+            Message::Hello { dim, scalar_width } => {
+                match handle_hello(shared, session, dim, scalar_width) {
+                    Ok(reply) => {
+                        helloed.insert(session, dim);
+                        if !send(&mut stream, shared, &reply.encode(session)) {
+                            return;
+                        }
+                    }
+                    Err((code, detail)) => {
+                        if !send_nack(&mut stream, shared, session, code, detail) {
+                            return;
+                        }
+                    }
+                }
+            }
+            Message::Sample { dim, data } => {
+                let reply = match helloed.get(&session) {
+                    None => Message::Nack {
+                        code: NackCode::NotHello,
+                        detail: format!("no HELLO for session {session} on this connection"),
+                    },
+                    Some(&hello_dim) if dim != hello_dim || dim == 0 => Message::Nack {
+                        code: NackCode::DimMismatch,
+                        detail: format!("batch dim {dim} != handshake dim {hello_dim}"),
+                    },
+                    Some(_) => handle_samples(shared, session, dim as usize, &data),
+                };
+                let is_nack = matches!(reply, Message::Nack { .. });
+                if is_nack {
+                    shared.metrics.nacks_sent.fetch_add(1, Ordering::Relaxed);
+                }
+                let flags = if matches!(reply, Message::SampleAck { .. })
+                    && shared.events_pending(session)
+                {
+                    crate::proto::FLAG_EVENTS_PENDING
+                } else {
+                    0
+                };
+                if !send(&mut stream, shared, &reply.encode_flagged(session, flags)) {
+                    return;
+                }
+            }
+            Message::Ping => {
+                if !send(&mut stream, shared, &Message::Pong.encode(session)) {
+                    return;
+                }
+            }
+            Message::Drain => {
+                shared.pump_events();
+                let events = shared.take_events(session);
+                if !send(
+                    &mut stream,
+                    shared,
+                    &Message::DrainAck { events }.encode(session),
+                ) {
+                    return;
+                }
+            }
+            Message::Snapshot => {
+                let reply = match shared.fleet.snapshot(SessionId(session)) {
+                    Ok(blob) if blob.len() as u32 > crate::proto::MAX_PAYLOAD - 64 => {
+                        Message::Nack {
+                            code: NackCode::Internal,
+                            detail: "snapshot exceeds frame limit".into(),
+                        }
+                    }
+                    Ok(blob) => Message::SnapshotAck { blob },
+                    Err(e) => Message::Nack {
+                        code: fleet_nack_code(&e),
+                        detail: e.to_string(),
+                    },
+                };
+                if matches!(reply, Message::Nack { .. }) {
+                    shared.metrics.nacks_sent.fetch_add(1, Ordering::Relaxed);
+                }
+                if !send(&mut stream, shared, &reply.encode(session)) {
+                    return;
+                }
+            }
+            Message::Bye => return,
+            // A client must not send server-side frame types; treat as a
+            // semantic error, not corruption.
+            Message::HelloAck { .. }
+            | Message::SampleAck { .. }
+            | Message::Pong
+            | Message::DrainAck { .. }
+            | Message::SnapshotAck { .. }
+            | Message::Busy { .. }
+            | Message::Nack { .. } => {
+                if !send_nack(
+                    &mut stream,
+                    shared,
+                    session,
+                    NackCode::BadPayload,
+                    "server-to-client frame type sent by client".into(),
+                ) {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// HELLO: validate scalar width and dimension, then find or create the
+/// session. Creation races between connections are benign: the loser's
+/// `DuplicateSession` is treated as "already exists".
+fn handle_hello(
+    shared: &Shared,
+    session: u64,
+    dim: u32,
+    scalar_width: u8,
+) -> Result<Message, (NackCode, String)> {
+    let width = core::mem::size_of::<Real>() as u8;
+    if scalar_width != width {
+        return Err((
+            NackCode::ScalarWidth,
+            format!("server scalars are {width} bytes, client sent {scalar_width}"),
+        ));
+    }
+    if let Some(ref_dim) = shared.ref_dim {
+        if dim != ref_dim {
+            return Err((
+                NackCode::DimMismatch,
+                format!("server model dim {ref_dim}, client declared {dim}"),
+            ));
+        }
+    }
+    if shared
+        .fleet
+        .quarantined_sessions()
+        .iter()
+        .any(|(id, _)| id.0 == session)
+    {
+        return Err((
+            NackCode::Quarantined,
+            format!("session {session} is quarantined"),
+        ));
+    }
+    let already_known = {
+        let known = match shared.known.read() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        known.contains(&session)
+    };
+    if already_known {
+        let resume_from = shared.resumed.get(&session).copied().unwrap_or(0);
+        return Ok(Message::HelloAck {
+            existing: true,
+            resume_from,
+        });
+    }
+    let Some(reference) = &shared.reference else {
+        return Err((
+            NackCode::UnknownSession,
+            format!("session {session} unknown and no reference model is loaded"),
+        ));
+    };
+    match shared
+        .fleet
+        .create_from_bytes(SessionId(session), reference)
+    {
+        Ok(()) => {
+            shared
+                .metrics
+                .sessions_created
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        Err(FleetError::DuplicateSession(_)) => {} // raced another conn
+        Err(e) => return Err((fleet_nack_code(&e), e.to_string())),
+    }
+    match shared.known.write() {
+        Ok(mut g) => {
+            g.insert(session);
+        }
+        Err(poisoned) => {
+            poisoned.into_inner().insert(session);
+        }
+    }
+    Ok(Message::HelloAck {
+        existing: false,
+        resume_from: 0,
+    })
+}
+
+/// Feeds a batch row by row through the blocking path. A timeout under
+/// backpressure becomes a `Busy` reply carrying the partial progress and
+/// the stalled queue's depth; other fleet errors become typed NACKs.
+fn handle_samples(shared: &Shared, session: u64, dim: usize, data: &[Real]) -> Message {
+    if dim == 0 || !data.len().is_multiple_of(dim) {
+        return Message::Nack {
+            code: NackCode::BadPayload,
+            detail: "sample data not a whole number of rows".into(),
+        };
+    }
+    let mut accepted: u32 = 0;
+    for row in data.chunks_exact(dim) {
+        match shared.fleet.feed_blocking(SessionId(session), row) {
+            Ok(()) => accepted += 1,
+            Err(FleetError::Timeout { queue_depth, .. }) => {
+                shared.metrics.busy_replies.fetch_add(1, Ordering::Relaxed);
+                shared
+                    .metrics
+                    .samples_accepted
+                    .fetch_add(u64::from(accepted), Ordering::Relaxed);
+                return Message::Busy {
+                    accepted,
+                    queue_depth: queue_depth as u32,
+                };
+            }
+            Err(e) => {
+                shared
+                    .metrics
+                    .samples_accepted
+                    .fetch_add(u64::from(accepted), Ordering::Relaxed);
+                return Message::Nack {
+                    code: fleet_nack_code(&e),
+                    detail: e.to_string(),
+                };
+            }
+        }
+    }
+    shared
+        .metrics
+        .samples_accepted
+        .fetch_add(u64::from(accepted), Ordering::Relaxed);
+    shared.pump_events();
+    Message::SampleAck {
+        accepted,
+        events: shared.take_events(session),
+    }
+}
+
+/// Maps fleet-side failures onto protocol NACK codes.
+fn fleet_nack_code(e: &FleetError) -> NackCode {
+    match e {
+        FleetError::UnknownSession(_) => NackCode::UnknownSession,
+        FleetError::SessionQuarantined(_) => NackCode::Quarantined,
+        _ => NackCode::Internal,
+    }
+}

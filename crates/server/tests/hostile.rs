@@ -1,0 +1,349 @@
+//! Hostile network input: seeded fuzz-style loops throwing truncated,
+//! oversized, bit-flipped, version-skewed and garbage frames at a live
+//! server. The server must answer with a typed NACK or drop the
+//! connection — never panic — and concurrent well-behaved connections
+//! must be completely unaffected (blast radius one), mirroring the fleet
+//! fault-injection suite.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use seqdrift_core::{DetectorConfig, DriftPipeline};
+use seqdrift_fleet::{FleetConfig, FleetEngine, SessionId};
+use seqdrift_linalg::{Real, Rng};
+use seqdrift_oselm::{MultiInstanceModel, OsElmConfig};
+use seqdrift_server::proto::{encode_frame, FrameType, Message, CRC_LEN};
+use seqdrift_server::{Client, ClientError, NackCode, Server, ServerConfig, ServerReport};
+use seqdrift_store::crc32::crc32;
+
+const DIM: usize = 4;
+
+fn checkpoint(seed: u64) -> Vec<u8> {
+    let mut rng = Rng::seed_from(seed);
+    let train: Vec<Vec<Real>> = (0..100)
+        .map(|_| {
+            let mut x = vec![0.0; DIM];
+            rng.fill_normal(&mut x, 0.3, 0.05);
+            x
+        })
+        .collect();
+    let mut model = MultiInstanceModel::new(1, OsElmConfig::new(DIM, 3).with_seed(seed)).unwrap();
+    model.init_train_class(0, &train).unwrap();
+    let pairs: Vec<(usize, &[Real])> = train.iter().map(|x| (0, x.as_slice())).collect();
+    DriftPipeline::calibrate(model, DetectorConfig::new(1, DIM).with_window(16), &pairs)
+        .unwrap()
+        .to_bytes()
+        .unwrap()
+}
+
+fn stream(session: u64, rows: usize) -> Vec<Real> {
+    let mut rng = Rng::seed_from(9000 + session);
+    let mut out = Vec::with_capacity(rows * DIM);
+    for _ in 0..rows {
+        let mut x = vec![0.0; DIM];
+        rng.fill_normal(&mut x, 0.3, 0.05);
+        out.extend_from_slice(&x);
+    }
+    out
+}
+
+fn spawn_server(
+    cfg: ServerConfig,
+) -> (
+    std::net::SocketAddr,
+    Arc<AtomicBool>,
+    std::thread::JoinHandle<ServerReport>,
+) {
+    let server = Server::bind("127.0.0.1:0", cfg).unwrap();
+    let addr = server.local_addr();
+    let stop = Arc::new(AtomicBool::new(false));
+    let flag = Arc::clone(&stop);
+    let handle = std::thread::spawn(move || server.run(move || flag.load(Ordering::Relaxed)));
+    (addr, stop, handle)
+}
+
+/// A legitimate frame to corrupt: rotates through the client-side types.
+fn template_frame(i: u64) -> Vec<u8> {
+    match i % 4 {
+        0 => Message::Hello {
+            dim: DIM as u32,
+            scalar_width: core::mem::size_of::<Real>() as u8,
+        }
+        .encode(i),
+        1 => Message::Sample {
+            dim: DIM as u32,
+            data: vec![0.25; DIM * 3],
+        }
+        .encode(i),
+        2 => Message::Ping.encode(i),
+        _ => Message::Drain.encode(i),
+    }
+}
+
+/// Fires one hostile byte string at the server on a fresh connection and
+/// reads whatever comes back until the server closes or 2 s pass. The
+/// assertion is simply that the transport round-trips — a panicking
+/// server would stop accepting entirely, which the caller checks after
+/// the loop.
+fn fire(addr: std::net::SocketAddr, bytes: &[u8]) {
+    let Ok(mut s) = TcpStream::connect(addr) else {
+        panic!("server stopped accepting connections");
+    };
+    let _ = s.set_read_timeout(Some(std::time::Duration::from_secs(2)));
+    let _ = s.write_all(bytes);
+    let _ = s.shutdown(std::net::Shutdown::Write);
+    let mut sink = Vec::new();
+    let _ = s.read_to_end(&mut sink);
+}
+
+/// The main seeded fuzz loop: five corruption families, many rounds
+/// each, against a server that is simultaneously serving a well-behaved
+/// client. The good session's final state must be bit-identical to an
+/// in-process run of the same stream.
+#[test]
+fn hostile_frames_never_panic_and_blast_radius_is_one() {
+    const GOOD_ROWS: usize = 80;
+    const ROUNDS: u64 = 60;
+    let blob = checkpoint(31);
+    let cfg = ServerConfig::new(FleetConfig::new(2)).with_reference(blob.clone());
+    let (addr, stop, handle) = spawn_server(cfg);
+
+    // Well-behaved client streaming concurrently with the attack.
+    let good = std::thread::spawn(move || {
+        let (mut c, _) = Client::connect(addr, 0, DIM as u32).unwrap();
+        let rows = stream(0, GOOD_ROWS);
+        for batch in rows.chunks(5 * DIM) {
+            c.send_all(batch).unwrap();
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let snap = c.snapshot().unwrap();
+        c.bye().unwrap();
+        snap
+    });
+
+    let mut rng = Rng::seed_from(4242);
+    let mut rand_u64 = move || {
+        let mut b = [0.0 as Real; 2];
+        rng.fill_normal(&mut b, 0.0, 1.0);
+        (b[0].to_bits() as u64) ^ ((b[1].to_bits() as u64) << 32)
+    };
+    for i in 0..ROUNDS {
+        let template = template_frame(i + 1);
+        let r = rand_u64();
+        match i % 5 {
+            // Truncation at a pseudo-random boundary (always at least one
+            // byte short).
+            0 => {
+                let cut = (r as usize) % template.len().max(1);
+                fire(addr, &template[..cut]);
+            }
+            // Oversized length field: must be rejected before allocation.
+            1 => {
+                let mut f = template;
+                let huge = (1u32 << 20) + 1 + (r as u32 % 1000);
+                f[16..20].copy_from_slice(&huge.to_le_bytes());
+                fire(addr, &f);
+            }
+            // Single bit flip anywhere in the frame.
+            2 => {
+                let mut f = template;
+                let bit = (r as usize) % (f.len() * 8);
+                f[bit / 8] ^= 1 << (bit % 8);
+                fire(addr, &f);
+            }
+            // Version skew with a *clean* CRC: a well-formed frame from a
+            // future protocol.
+            3 => {
+                let mut f = template;
+                let v = 2 + (r % 1000) as u16;
+                f[4..6].copy_from_slice(&v.to_le_bytes());
+                let n = f.len();
+                let crc = crc32(&f[..n - CRC_LEN]);
+                f[n - CRC_LEN..].copy_from_slice(&crc.to_le_bytes());
+                fire(addr, &f);
+            }
+            // Pure garbage of pseudo-random length.
+            _ => {
+                let len = 1 + (r as usize) % 256;
+                let garbage: Vec<u8> = (0..len)
+                    .map(|j| (r.rotate_left(j as u32) & 0xFF) as u8)
+                    .collect();
+                fire(addr, &garbage);
+            }
+        }
+    }
+
+    let net_snap = good.join().unwrap();
+
+    // The server is still fully alive: a fresh client round-trips.
+    let (mut probe, hello) = Client::connect(addr, 0, DIM as u32).unwrap();
+    assert!(hello.existing);
+    probe.ping().unwrap();
+    probe.bye().unwrap();
+
+    stop.store(true, Ordering::Relaxed);
+    let report = handle.join().unwrap();
+    assert!(
+        report.net.nacks_sent >= ROUNDS / 5,
+        "hostile frames must have produced NACKs (got {})",
+        report.net.nacks_sent
+    );
+    assert_eq!(
+        report.net.samples_accepted, GOOD_ROWS as u64,
+        "the good session must have landed every row exactly once"
+    );
+
+    // Blast radius one: the good session's state matches an in-process
+    // run bit for bit.
+    let fleet = FleetEngine::new(FleetConfig::new(2)).unwrap();
+    fleet.create_from_bytes(SessionId(0), &blob).unwrap();
+    for row in stream(0, GOOD_ROWS).chunks_exact(DIM) {
+        fleet.feed_blocking(SessionId(0), row).unwrap();
+    }
+    let local_snap = fleet.snapshot(SessionId(0)).unwrap();
+    assert_eq!(
+        local_snap, net_snap,
+        "hostile traffic leaked into the good session's state"
+    );
+    fleet.shutdown();
+}
+
+/// Semantic rejections keep the connection usable; framing corruption
+/// kills exactly that connection.
+#[test]
+fn nack_severity_matches_the_failure_class() {
+    let blob = checkpoint(37);
+    let cfg = ServerConfig::new(FleetConfig::new(1)).with_reference(blob);
+    let (addr, stop, handle) = spawn_server(cfg);
+
+    // Samples before HELLO: typed NACK, connection survives.
+    {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.set_read_timeout(Some(std::time::Duration::from_secs(5)))
+            .unwrap();
+        let frame = Message::Sample {
+            dim: DIM as u32,
+            data: vec![0.5; DIM],
+        }
+        .encode(3);
+        s.write_all(&frame).unwrap();
+        let reply = seqdrift_server::proto::read_frame(&mut s).unwrap();
+        match Message::decode(&reply).unwrap() {
+            Message::Nack { code, .. } => assert_eq!(code, NackCode::NotHello),
+            other => panic!("expected NotHello nack, got {other:?}"),
+        }
+        // Same connection still serves a valid handshake afterwards.
+        let hello = Message::Hello {
+            dim: DIM as u32,
+            scalar_width: core::mem::size_of::<Real>() as u8,
+        }
+        .encode(3);
+        s.write_all(&hello).unwrap();
+        let reply = seqdrift_server::proto::read_frame(&mut s).unwrap();
+        assert!(matches!(
+            Message::decode(&reply).unwrap(),
+            Message::HelloAck { .. }
+        ));
+    }
+
+    // A malformed payload inside a valid envelope: NACK, connection
+    // survives.
+    {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.set_read_timeout(Some(std::time::Duration::from_secs(5)))
+            .unwrap();
+        // Sample payload whose count*dim disagrees with the data length.
+        let mut p = Vec::new();
+        p.extend_from_slice(&100u32.to_le_bytes());
+        p.extend_from_slice(&(DIM as u32).to_le_bytes());
+        let bad = encode_frame(FrameType::Sample, 0, 3, &p);
+        s.write_all(&bad).unwrap();
+        let reply = seqdrift_server::proto::read_frame(&mut s).unwrap();
+        match Message::decode(&reply).unwrap() {
+            Message::Nack { code, .. } => assert_eq!(code, NackCode::BadPayload),
+            other => panic!("expected BadPayload nack, got {other:?}"),
+        }
+        let ping = Message::Ping.encode(3);
+        s.write_all(&ping).unwrap();
+        let reply = seqdrift_server::proto::read_frame(&mut s).unwrap();
+        assert!(matches!(Message::decode(&reply).unwrap(), Message::Pong));
+    }
+
+    // Bad CRC: fatal — NACK then the connection is closed.
+    {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.set_read_timeout(Some(std::time::Duration::from_secs(5)))
+            .unwrap();
+        let mut frame = Message::Ping.encode(3);
+        let n = frame.len();
+        frame[n - 1] ^= 0xFF;
+        s.write_all(&frame).unwrap();
+        let reply = seqdrift_server::proto::read_frame(&mut s).unwrap();
+        match Message::decode(&reply).unwrap() {
+            Message::Nack { code, .. } => assert_eq!(code, NackCode::BadCrc),
+            other => panic!("expected BadCrc nack, got {other:?}"),
+        }
+        // Connection is gone: the next request reads EOF.
+        let ping = Message::Ping.encode(3);
+        let _ = s.write_all(&ping);
+        let mut sink = Vec::new();
+        assert_eq!(s.read_to_end(&mut sink).unwrap_or(0), 0);
+    }
+
+    // A quarantine-free server end: the well-known client path still
+    // works after all of the above.
+    let (mut c, _) = Client::connect(addr, 7, DIM as u32).unwrap();
+    c.send_all(&stream(7, 10)).unwrap();
+    c.bye().unwrap();
+
+    stop.store(true, Ordering::Relaxed);
+    let report = handle.join().unwrap();
+    assert_eq!(report.net.samples_accepted, 10);
+    assert!(report.net.connections_dropped_protocol >= 1);
+}
+
+/// Scalar-width skew (an f64 client against an f32 server, or vice
+/// versa) is caught at the handshake, before any sample bytes are
+/// misinterpreted.
+#[test]
+fn scalar_width_mismatch_is_rejected_at_hello() {
+    let blob = checkpoint(41);
+    let cfg = ServerConfig::new(FleetConfig::new(1)).with_reference(blob);
+    let (addr, stop, handle) = spawn_server(cfg);
+
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.set_read_timeout(Some(std::time::Duration::from_secs(5)))
+        .unwrap();
+    let wrong_width = (core::mem::size_of::<Real>() as u8) ^ 0b1100; // 4<->8
+    let hello = Message::Hello {
+        dim: DIM as u32,
+        scalar_width: wrong_width,
+    }
+    .encode(1);
+    s.write_all(&hello).unwrap();
+    let reply = seqdrift_server::proto::read_frame(&mut s).unwrap();
+    match Message::decode(&reply).unwrap() {
+        Message::Nack { code, .. } => assert_eq!(code, NackCode::ScalarWidth),
+        other => panic!("expected ScalarWidth nack, got {other:?}"),
+    }
+
+    stop.store(true, Ordering::Relaxed);
+    handle.join().unwrap();
+}
+
+/// A client built for a different dimension is rejected by HELLO with a
+/// typed error, as seen through the `Client` API.
+#[test]
+fn client_surfaces_typed_nacks() {
+    let blob = checkpoint(43);
+    let cfg = ServerConfig::new(FleetConfig::new(1)).with_reference(blob);
+    let (addr, stop, handle) = spawn_server(cfg);
+    match Client::connect(addr, 1, (DIM * 2) as u32) {
+        Err(ClientError::Nack { code, .. }) => assert_eq!(code, NackCode::DimMismatch),
+        other => panic!("expected nack, got {other:?}"),
+    }
+    stop.store(true, Ordering::Relaxed);
+    handle.join().unwrap();
+}

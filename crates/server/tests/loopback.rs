@@ -1,0 +1,301 @@
+//! Client/server loopback end-to-end: streams ingested over TCP must
+//! leave the fleet in *bit-identical* state to the same streams fed
+//! in-process, backpressure must surface as BUSY and resolve, idle
+//! connections must be evicted, and a graceful drain must flush every
+//! session's final state to the durable store.
+
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use seqdrift_core::{DetectorConfig, DriftPipeline};
+use seqdrift_fleet::{Fault, FaultInjector, FleetConfig, FleetEngine, SessionId};
+use seqdrift_linalg::{Real, Rng};
+use seqdrift_oselm::{MultiInstanceModel, OsElmConfig};
+use seqdrift_server::{Client, ClientError, NackCode, Server, ServerConfig, ServerReport};
+
+const DIM: usize = 4;
+
+fn checkpoint(seed: u64) -> Vec<u8> {
+    let mut rng = Rng::seed_from(seed);
+    let train: Vec<Vec<Real>> = (0..100)
+        .map(|_| {
+            let mut x = vec![0.0; DIM];
+            rng.fill_normal(&mut x, 0.3, 0.05);
+            x
+        })
+        .collect();
+    let mut model = MultiInstanceModel::new(1, OsElmConfig::new(DIM, 3).with_seed(seed)).unwrap();
+    model.init_train_class(0, &train).unwrap();
+    let pairs: Vec<(usize, &[Real])> = train.iter().map(|x| (0, x.as_slice())).collect();
+    DriftPipeline::calibrate(model, DetectorConfig::new(1, DIM).with_window(16), &pairs)
+        .unwrap()
+        .to_bytes()
+        .unwrap()
+}
+
+/// Deterministic per-session stream, flattened row-major.
+fn stream(session: u64, rows: usize, mean: Real) -> Vec<Real> {
+    let mut rng = Rng::seed_from(5000 + session);
+    let mut out = Vec::with_capacity(rows * DIM);
+    for _ in 0..rows {
+        let mut x = vec![0.0; DIM];
+        rng.fill_normal(&mut x, mean, 0.05);
+        out.extend_from_slice(&x);
+    }
+    out
+}
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("seqdrift-server-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Starts a server on an ephemeral port; returns its address, the stop
+/// flag, and the join handle yielding the final report.
+fn spawn_server(
+    cfg: ServerConfig,
+) -> (
+    std::net::SocketAddr,
+    Arc<AtomicBool>,
+    std::thread::JoinHandle<ServerReport>,
+) {
+    let server = Server::bind("127.0.0.1:0", cfg).unwrap();
+    let addr = server.local_addr();
+    let stop = Arc::new(AtomicBool::new(false));
+    let flag = Arc::clone(&stop);
+    let handle = std::thread::spawn(move || server.run(move || flag.load(Ordering::Relaxed)));
+    (addr, stop, handle)
+}
+
+/// The tentpole acceptance test: the same streams produce bit-identical
+/// per-session checkpoints whether they travel over TCP or are fed
+/// directly into an in-process engine — including with one hostile
+/// connection poisoning the server mid-run (blast radius one).
+#[test]
+fn networked_run_is_bit_identical_to_in_process_run() {
+    const SESSIONS: u64 = 4;
+    const ROWS: usize = 120;
+    let blob = checkpoint(11);
+
+    let cfg = ServerConfig::new(FleetConfig::new(2)).with_reference(blob.clone());
+    let (addr, stop, handle) = spawn_server(cfg);
+
+    // One garbage connection mid-run: must be NACKed away without
+    // touching any session's stream.
+    let poison = std::thread::spawn(move || {
+        use std::io::Write;
+        let mut s = TcpStream::connect(addr).unwrap();
+        let _ = s.write_all(b"GET / HTTP/1.1\r\nHost: nope\r\n\r\n");
+        // Server answers with a fatal NACK and drops the connection.
+        let mut buf = Vec::new();
+        use std::io::Read;
+        let _ = s.read_to_end(&mut buf);
+    });
+
+    // Networked run: one client per session, batched sends.
+    let mut net_snapshots = Vec::new();
+    let mut clients: Vec<Client> = (0..SESSIONS)
+        .map(|dev| {
+            let (c, hello) = Client::connect(addr, dev, DIM as u32).unwrap();
+            assert!(!hello.existing);
+            assert_eq!(hello.resume_from, 0);
+            c
+        })
+        .collect();
+    for c in clients.iter_mut() {
+        let rows = stream(c.session(), ROWS, 0.3);
+        // Uneven batch sizes exercise re-framing.
+        for batch in rows.chunks(7 * DIM) {
+            c.send_all(batch).unwrap();
+        }
+    }
+    for mut c in clients {
+        let dev = c.session();
+        net_snapshots.push((dev, c.snapshot().unwrap()));
+        c.bye().unwrap();
+    }
+    poison.join().unwrap();
+
+    stop.store(true, Ordering::Relaxed);
+    let report = handle.join().unwrap();
+    assert_eq!(report.fleet.sessions.len(), SESSIONS as usize);
+    assert_eq!(
+        report.net.samples_accepted,
+        SESSIONS * ROWS as u64,
+        "every row must have been applied exactly once"
+    );
+    assert!(
+        report.net.nacks_sent >= 1,
+        "the poisoned connection must have been NACKed"
+    );
+
+    // In-process reference run over the identical streams.
+    let fleet = FleetEngine::new(FleetConfig::new(2)).unwrap();
+    for dev in 0..SESSIONS {
+        fleet.create_from_bytes(SessionId(dev), &blob).unwrap();
+    }
+    for dev in 0..SESSIONS {
+        let rows = stream(dev, ROWS, 0.3);
+        for row in rows.chunks_exact(DIM) {
+            fleet.feed_blocking(SessionId(dev), row).unwrap();
+        }
+    }
+    for (dev, net_blob) in &net_snapshots {
+        let local_blob = fleet.snapshot(SessionId(*dev)).unwrap();
+        assert_eq!(
+            &local_blob, net_blob,
+            "session {dev}: networked state diverged from in-process state"
+        );
+    }
+    fleet.shutdown();
+}
+
+/// A deliberately slow session builds real backpressure: the server's
+/// feed deadline fires, BUSY replies surface the stalled queue depth, and
+/// the client's retry loop still lands every sample exactly once.
+#[test]
+fn busy_backpressure_surfaces_and_retries_to_completion() {
+    const ROWS: usize = 30;
+    let blob = checkpoint(13);
+    let injector = FaultInjector::new(vec![Fault::SlowSession {
+        session: 0,
+        every: 1,
+        micros: 20_000,
+    }]);
+    let fleet_cfg = FleetConfig::new(1)
+        .with_queue_capacity(1)
+        .with_feed_timeout(Duration::from_millis(5))
+        .with_fault_injector(injector);
+    let cfg = ServerConfig::new(fleet_cfg).with_reference(blob);
+    let (addr, stop, handle) = spawn_server(cfg);
+
+    let (mut client, _) = Client::connect(addr, 0, DIM as u32).unwrap();
+    let rows = stream(0, ROWS, 0.3);
+    client.send_all(&rows).unwrap();
+    let busy_retries = client.busy_retries;
+    let snap = client.snapshot().unwrap();
+    client.bye().unwrap();
+
+    stop.store(true, Ordering::Relaxed);
+    let report = handle.join().unwrap();
+    assert!(
+        busy_retries > 0,
+        "a 20 ms/sample consumer behind a 1-deep queue and a 5 ms deadline must go BUSY"
+    );
+    assert_eq!(report.net.busy_replies, busy_retries);
+    assert_eq!(report.net.samples_accepted, ROWS as u64);
+    let pipeline = DriftPipeline::from_bytes(&snap).unwrap();
+    assert_eq!(pipeline.samples_processed(), ROWS as u64);
+}
+
+/// Silent connections are evicted after the idle timeout; live ones on
+/// the same server are untouched.
+#[test]
+fn idle_connection_is_evicted_without_collateral() {
+    let blob = checkpoint(17);
+    let cfg = ServerConfig::new(FleetConfig::new(1))
+        .with_reference(blob)
+        .with_idle_timeout(Duration::from_millis(150));
+    let (addr, stop, handle) = spawn_server(cfg);
+
+    let (mut idle, _) = Client::connect(addr, 1, DIM as u32).unwrap();
+    let (mut live, _) = Client::connect(addr, 2, DIM as u32).unwrap();
+
+    // Keep the live connection chatty across the idle window.
+    for _ in 0..6 {
+        std::thread::sleep(Duration::from_millis(60));
+        live.ping().unwrap();
+    }
+    // The idle connection is gone: its next request fails.
+    assert!(idle.ping().is_err(), "idle connection should have been cut");
+    live.send_all(&stream(2, 5, 0.3)).unwrap();
+    live.bye().unwrap();
+
+    stop.store(true, Ordering::Relaxed);
+    let report = handle.join().unwrap();
+    assert!(report.net.connections_evicted_idle >= 1);
+    assert_eq!(report.net.samples_accepted, 5);
+}
+
+/// Graceful drain must flush every session's *final* state durably: a
+/// fresh server over the same state dir resumes at exactly the sample
+/// count reached over the network, with zero tail loss — even though the
+/// rolling checkpoint cadence never covered the tail.
+#[test]
+fn graceful_drain_flushes_final_state_durably() {
+    const ROWS: usize = 37; // far below the 1000-sample rolling cadence
+    let dir = tmp_dir("drain-flush");
+    let blob = checkpoint(19);
+
+    let fleet_cfg = FleetConfig::new(1)
+        .with_checkpoint_interval(1000)
+        .with_state_dir(&dir);
+    let cfg = ServerConfig::new(fleet_cfg).with_reference(blob.clone());
+    let (addr, stop, handle) = spawn_server(cfg);
+    let (mut client, hello) = Client::connect(addr, 9, DIM as u32).unwrap();
+    assert!(!hello.existing);
+    client.send_all(&stream(9, ROWS, 0.3)).unwrap();
+    client.bye().unwrap();
+    stop.store(true, Ordering::Relaxed);
+    let report = handle.join().unwrap();
+    assert_eq!(report.fleet.sessions.len(), 1);
+
+    // Second server generation over the same state dir.
+    let fleet_cfg = FleetConfig::new(1)
+        .with_checkpoint_interval(1000)
+        .with_state_dir(&dir);
+    let cfg = ServerConfig::new(fleet_cfg).with_reference(blob);
+    let (addr, stop, handle) = spawn_server(cfg);
+    let (mut client, hello) = Client::connect(addr, 9, DIM as u32).unwrap();
+    assert!(hello.existing, "session must have been resumed from disk");
+    assert_eq!(
+        hello.resume_from, ROWS as u64,
+        "graceful drain must flush the tail: no samples may be lost"
+    );
+    let snap = client.snapshot().unwrap();
+    assert_eq!(
+        DriftPipeline::from_bytes(&snap)
+            .unwrap()
+            .samples_processed(),
+        ROWS as u64
+    );
+    client.bye().unwrap();
+    stop.store(true, Ordering::Relaxed);
+    handle.join().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Handshake rejections are typed: unknown session without a reference
+/// model, wrong dimension, wrong scalar width, and samples before HELLO.
+#[test]
+fn handshake_rejections_are_typed() {
+    let blob = checkpoint(23);
+
+    // No reference model: unknown sessions cannot be auto-created.
+    let (addr, stop, handle) = spawn_server(ServerConfig::new(FleetConfig::new(1)));
+    match Client::connect(addr, 1, DIM as u32) {
+        Err(ClientError::Nack { code, .. }) => assert_eq!(code, NackCode::UnknownSession),
+        other => panic!("expected UnknownSession nack, got {other:?}"),
+    }
+    stop.store(true, Ordering::Relaxed);
+    handle.join().unwrap();
+
+    // With a reference model: a dim mismatch is named as such.
+    let cfg = ServerConfig::new(FleetConfig::new(1)).with_reference(blob);
+    let (addr, stop, handle) = spawn_server(cfg);
+    match Client::connect(addr, 1, (DIM + 3) as u32) {
+        Err(ClientError::Nack { code, .. }) => assert_eq!(code, NackCode::DimMismatch),
+        other => panic!("expected DimMismatch nack, got {other:?}"),
+    }
+    // The connection itself survives a semantic NACK: a correct HELLO on
+    // a fresh client still works against the same server.
+    let (mut ok, _) = Client::connect(addr, 1, DIM as u32).unwrap();
+    ok.ping().unwrap();
+    ok.bye().unwrap();
+    stop.store(true, Ordering::Relaxed);
+    handle.join().unwrap();
+}

@@ -28,7 +28,10 @@
 //! * [`linalg`] — the shared dense/stack linear-algebra substrate;
 //! * [`store`] — the crash-safe durable state store: CRC-framed
 //!   generational checkpoints written atomically (temp + fsync + rename),
-//!   recovery that survives torn writes, bit flips and power loss.
+//!   recovery that survives torn writes, bit flips and power loss;
+//! * [`server`] — the network ingest layer: a std-only TCP server
+//!   multiplexing device connections into one fleet over the versioned,
+//!   CRC-sealed `SQNP` wire protocol, plus the matching client.
 //!
 //! ## Quickstart
 //!
@@ -75,6 +78,7 @@ pub use seqdrift_eval as eval;
 pub use seqdrift_fleet as fleet;
 pub use seqdrift_linalg as linalg;
 pub use seqdrift_oselm as oselm;
+pub use seqdrift_server as server;
 pub use seqdrift_store as store;
 
 /// Convenient single-import surface for examples and quickstarts.
@@ -94,5 +98,6 @@ pub mod prelude {
         multi_instance::MultiInstanceModel,
         oselm::{OsElm, OsElmConfig},
     };
+    pub use seqdrift_server::{Client, Server, ServerConfig};
     pub use seqdrift_store::{Store, StoreConfig, StoreError};
 }

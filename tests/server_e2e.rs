@@ -1,0 +1,207 @@
+//! End-to-end network ingest: the `seqdrift serve` / `seqdrift load` CLI
+//! pair over loopback TCP, spanning oselm -> core -> fleet -> server ->
+//! cli, plus a networked kill-and-resume cycle through the durable store.
+
+use seqdrift::core::{DetectorConfig, DriftPipeline};
+use seqdrift::prelude::*;
+use seqdrift_cli::{commands, Cli, Command};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+const DIM: usize = 6;
+
+fn sample(rng: &mut Rng, mean: Real) -> Vec<Real> {
+    let mut x = vec![0.0; DIM];
+    rng.fill_normal(&mut x, mean, 0.05);
+    x
+}
+
+/// Calibrate a single-class pipeline on a stable blob and serialise it.
+fn checkpoint() -> Vec<u8> {
+    let mut rng = Rng::seed_from(99);
+    let train: Vec<Vec<Real>> = (0..120).map(|_| sample(&mut rng, 0.3)).collect();
+    let mut model = MultiInstanceModel::new(1, OsElmConfig::new(DIM, 4).with_seed(3)).unwrap();
+    model.init_train_class(0, &train).unwrap();
+    let pairs: Vec<(usize, &[Real])> = train.iter().map(|x| (0, x.as_slice())).collect();
+    let cfg = DetectorConfig::new(1, DIM).with_window(20);
+    DriftPipeline::calibrate(model, cfg, &pairs)
+        .unwrap()
+        .to_bytes()
+        .unwrap()
+}
+
+fn tmp_dir(name: &str) -> std::path::PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("seqdrift-server-e2e-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Spawns `seqdrift serve` (via the library entry point) on an ephemeral
+/// port, returning the discovered address, the stop flag, and the join
+/// handle yielding the command's full output.
+fn spawn_serve(
+    extra: &str,
+    model: &std::path::Path,
+    port_file: &std::path::Path,
+) -> (String, Arc<AtomicBool>, std::thread::JoinHandle<String>) {
+    let line = format!(
+        "serve --model {} --listen 127.0.0.1:0 --workers 2 --port-file {} {extra}",
+        model.display(),
+        port_file.display()
+    );
+    let argv: Vec<String> = line.split_whitespace().map(String::from).collect();
+    let cli = Cli::parse(&argv).unwrap();
+    let Command::Serve(args) = cli.command else {
+        panic!("parsed something other than serve");
+    };
+    let stop = Arc::new(AtomicBool::new(false));
+    let handle = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut buf = Vec::new();
+            commands::serve_with_stop(&args, &mut buf, &stop).unwrap();
+            String::from_utf8(buf).unwrap()
+        })
+    };
+    let addr = wait_for_port_file(port_file);
+    (addr, stop, handle)
+}
+
+fn wait_for_port_file(path: &std::path::Path) -> String {
+    for _ in 0..500 {
+        if let Ok(addr) = std::fs::read_to_string(path) {
+            if !addr.is_empty() {
+                return addr;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    panic!("server never wrote {}", path.display());
+}
+
+/// The full CLI pair: `load --verify` proves the networked state of every
+/// device is bit-identical to a local replay of the same CSV.
+#[test]
+fn cli_serve_and_load_verify_bit_identity_over_loopback() {
+    let dir = tmp_dir("cli-pair");
+    let model = dir.join("model.sqdm");
+    std::fs::write(&model, checkpoint()).unwrap();
+
+    // A features-only CSV replayed by every simulated device.
+    let mut rng = Rng::seed_from(31);
+    let mut csv = String::new();
+    for _ in 0..80 {
+        let row: Vec<String> = sample(&mut rng, 0.3)
+            .iter()
+            .map(|v| v.to_string())
+            .collect();
+        csv.push_str(&row.join(","));
+        csv.push('\n');
+    }
+    let stream = dir.join("stream.csv");
+    std::fs::write(&stream, csv).unwrap();
+
+    let port_file = dir.join("port.txt");
+    let (addr, stop, server) = spawn_serve("", &model, &port_file);
+
+    let bench_json = dir.join("BENCH_ingest.json");
+    let line = format!(
+        "load --csv {} --addr {addr} --sessions 4 --batch 16 --no-header \
+         --verify --model {} --bench-json {}",
+        stream.display(),
+        model.display(),
+        bench_json.display()
+    );
+    let argv: Vec<String> = line.split_whitespace().map(String::from).collect();
+    let cli = Cli::parse(&argv).unwrap();
+    let mut buf = Vec::new();
+    seqdrift_cli::run(&cli, &mut buf).unwrap();
+    let out = String::from_utf8(buf).unwrap();
+    assert!(out.contains("sent 320 rows"), "{out}");
+    assert!(
+        out.contains("verify: 4 device(s) bit-identical to local replay"),
+        "{out}"
+    );
+    let json = std::fs::read_to_string(&bench_json).unwrap();
+    assert!(json.contains("load_sessions_4_batch_16"), "{json}");
+
+    stop.store(true, Ordering::Relaxed);
+    let served = server.join().unwrap();
+    assert!(served.contains("320 sample(s) processed"), "{served}");
+    assert!(served.contains("4 session(s) drained"), "{served}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Kill-and-resume over the network: stream part of the data, drain the
+/// server (Ctrl-C path — the same stop flag the SIGINT handler flips),
+/// restart it on the same state dir, and finish the stream. The final
+/// state must be bit-identical to a local replay that snapshots and
+/// restores at the same cut point.
+#[test]
+fn networked_kill_and_resume_is_bit_identical() {
+    let dir = tmp_dir("kill-resume");
+    let model = dir.join("model.sqdm");
+    let blob = checkpoint();
+    std::fs::write(&model, &blob).unwrap();
+    let state = dir.join("state");
+    let state_flag = format!("--state-dir {}", state.display());
+
+    let mut rng = Rng::seed_from(57);
+    let rows: Vec<Vec<Real>> = (0..100).map(|_| sample(&mut rng, 0.3)).collect();
+    let head: Vec<Real> = rows[..40].concat();
+    let tail: Vec<Real> = rows[40..].concat();
+
+    // Generation 1: stream the first 40 rows, then drain gracefully.
+    let port1 = dir.join("port1.txt");
+    let (addr, stop, server) = spawn_serve(&state_flag, &model, &port1);
+    let (mut client, hello) = Client::connect(&*addr, 9, DIM as u32).unwrap();
+    assert!(!hello.existing);
+    client.send_all(&head).unwrap();
+    client.bye().unwrap();
+    stop.store(true, Ordering::Relaxed);
+    let served = server.join().unwrap();
+    assert!(served.contains("40 sample(s) processed"), "{served}");
+    assert!(!served.contains("0 checkpoint flush(es)"), "{served}");
+
+    // Generation 2: the session resumes from the durable store exactly
+    // where the drain flushed it.
+    let port2 = dir.join("port2.txt");
+    let (addr, stop, server) = spawn_serve(&state_flag, &model, &port2);
+    let (mut client, hello) = Client::connect(&*addr, 9, DIM as u32).unwrap();
+    assert!(hello.existing, "session should have been resumed");
+    assert_eq!(
+        hello.resume_from, 40,
+        "graceful drain must lose zero samples"
+    );
+    client.send_all(&tail).unwrap();
+    let networked = client.snapshot().unwrap();
+    client.bye().unwrap();
+    stop.store(true, Ordering::Relaxed);
+    server.join().unwrap();
+
+    // Local mirror of the same lifecycle: 40 rows, serialise/restore at
+    // the cut, 60 more rows.
+    let gen1 = FleetEngine::new(FleetConfig::new(2)).unwrap();
+    gen1.create_from_bytes(SessionId(9), &blob).unwrap();
+    for row in head.chunks_exact(DIM) {
+        gen1.feed_blocking(SessionId(9), row).unwrap();
+    }
+    let cut = gen1.snapshot(SessionId(9)).unwrap();
+    gen1.shutdown();
+    let gen2 = FleetEngine::new(FleetConfig::new(2)).unwrap();
+    gen2.create_from_bytes(SessionId(9), &cut).unwrap();
+    for row in tail.chunks_exact(DIM) {
+        gen2.feed_blocking(SessionId(9), row).unwrap();
+    }
+    let local = gen2.snapshot(SessionId(9)).unwrap();
+    gen2.shutdown();
+
+    assert_eq!(
+        networked, local,
+        "networked kill-and-resume state diverged from the local mirror"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
