@@ -44,6 +44,9 @@ fn guard_override(
 pub fn train(a: &TrainArgs, out: Out<'_>) -> Result<(), String> {
     let samples = loader::load_csv(&a.csv, a.has_header, a.label_last)
         .map_err(|e| fail("reading training CSV", e))?;
+    if samples.is_empty() {
+        return Err("training CSV contains no rows".into());
+    }
     let classes = samples.iter().map(|s| s.label).max().unwrap_or(0) + 1;
     let dim = samples[0].dim();
     writeln!(
@@ -104,6 +107,9 @@ pub fn run_stream(a: &RunArgs, out: Out<'_>) -> Result<(), String> {
         DriftPipeline::from_bytes(&blob).map_err(|e| fail("decoding checkpoint", e))?;
     let samples = loader::load_csv(&a.csv, a.has_header, a.label_last)
         .map_err(|e| fail("reading stream CSV", e))?;
+    if samples.is_empty() {
+        return Err("stream CSV contains no rows".into());
+    }
     let expected = pipeline.detector().config().dim;
     if samples[0].dim() != expected {
         return Err(format!(
@@ -298,6 +304,9 @@ pub fn fleet(a: &FleetArgs, out: Out<'_>) -> Result<(), String> {
     let expected = reference.detector().config().dim;
     let samples = loader::load_csv(&a.csv, a.has_header, a.label_last)
         .map_err(|e| fail("reading stream CSV", e))?;
+    if samples.is_empty() {
+        return Err("stream CSV contains no rows".into());
+    }
     if samples[0].dim() != expected {
         return Err(format!(
             "stream has {} features but the checkpoint expects {expected}",
@@ -676,6 +685,9 @@ pub fn load(a: &LoadArgs, out: Out<'_>) -> Result<(), String> {
 
     let samples = loader::load_csv(&a.csv, a.has_header, a.label_last)
         .map_err(|e| fail("reading stream CSV", e))?;
+    if samples.is_empty() {
+        return Err("stream CSV contains no rows".into());
+    }
     let dim = samples[0].dim();
     let mut rows: Vec<Real> = Vec::with_capacity(samples.len() * dim);
     for s in &samples {

@@ -235,6 +235,10 @@ pub(crate) enum ShardMsg {
         id: u64,
         reply: Sender<Result<Vec<u8>, FleetError>>,
     },
+    SamplesProcessed {
+        id: u64,
+        reply: Sender<Result<u64, FleetError>>,
+    },
     Evict {
         id: u64,
         reply: Sender<Result<Box<DriftPipeline>, FleetError>>,
@@ -724,6 +728,27 @@ impl FleetEngine {
         }
         let (reply, rx) = channel();
         self.control_send(id, ShardMsg::Snapshot { id: id.0, reply })?;
+        match rx.recv().map_err(|_| FleetError::Disconnected)? {
+            Err(FleetError::UnknownSession(_)) => Err(self.refine_missing(id)),
+            other => other,
+        }
+    }
+
+    /// The session's live applied-sample count
+    /// (`DriftPipeline::samples_processed`). The request travels the same
+    /// FIFO as samples, so the count reflects every sample fed before
+    /// this call — this is the replay offset a reconnecting device should
+    /// resume its stream from. Cheaper than [`FleetEngine::snapshot`] (no
+    /// serialization) and available even when a mid-reconstruction
+    /// session would refuse to checkpoint.
+    pub fn samples_processed(&self, id: SessionId) -> Result<u64, FleetError> {
+        match read_lock(&self.registry).get(&id.0) {
+            None => return Err(FleetError::UnknownSession(id)),
+            Some(SessionStatus::Quarantined(_)) => return Err(FleetError::SessionQuarantined(id)),
+            Some(SessionStatus::Active) => {}
+        }
+        let (reply, rx) = channel();
+        self.control_send(id, ShardMsg::SamplesProcessed { id: id.0, reply })?;
         match rx.recv().map_err(|_| FleetError::Disconnected)? {
             Err(FleetError::UnknownSession(_)) => Err(self.refine_missing(id)),
             other => other,

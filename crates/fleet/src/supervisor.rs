@@ -542,6 +542,13 @@ pub(crate) fn worker_loop(
                 };
                 let _ = reply.send(result);
             }
+            ShardMsg::SamplesProcessed { id, reply } => {
+                let result = match slots.get(&id) {
+                    Some(slot) => Ok(slot.pipeline.samples_processed()),
+                    None => Err(crate::engine::FleetError::UnknownSession(SessionId(id))),
+                };
+                let _ = reply.send(result);
+            }
             ShardMsg::Evict { id, reply } => {
                 let result = match slots.remove(&id) {
                     Some(slot) => {

@@ -25,6 +25,25 @@ pub enum ClientError {
     },
     /// The server replied with a frame type the request cannot produce.
     Unexpected(&'static str),
+    /// The batch would not fit in one `Sample` frame ([`Client::send_batch`]
+    /// never sends it — the server would reject the frame as hostile and
+    /// drop the connection). [`Client::send_all`] splits automatically and
+    /// never raises this.
+    Oversized {
+        /// Rows in the rejected batch.
+        rows: usize,
+        /// Most rows one frame can carry at this client's dimension.
+        max_rows: usize,
+    },
+    /// [`Client::send_all`] saw only zero-progress BUSY replies for the
+    /// whole stall deadline: the target shard is not draining. Rows
+    /// already applied are reported so the caller can resume later.
+    Stalled {
+        /// Rows of the batch the server applied before the stall.
+        rows_sent: usize,
+        /// Depth of the stalled shard queue in the last BUSY reply.
+        queue_depth: u32,
+    },
 }
 
 impl core::fmt::Display for ClientError {
@@ -34,6 +53,19 @@ impl core::fmt::Display for ClientError {
             ClientError::Proto(e) => write!(f, "protocol error: {e}"),
             ClientError::Nack { code, detail } => write!(f, "server rejected: {code} ({detail})"),
             ClientError::Unexpected(what) => write!(f, "unexpected reply: {what}"),
+            ClientError::Oversized { rows, max_rows } => write!(
+                f,
+                "batch of {rows} rows exceeds the {max_rows}-row frame limit \
+                 (use send_all to split)"
+            ),
+            ClientError::Stalled {
+                rows_sent,
+                queue_depth,
+            } => write!(
+                f,
+                "server stayed BUSY past the stall deadline with no progress \
+                 ({rows_sent} row(s) applied, stalled queue depth {queue_depth})"
+            ),
         }
     }
 }
@@ -61,8 +93,9 @@ pub struct HelloReply {
     /// The session already existed (resumed from the durable store or
     /// created by an earlier connection).
     pub existing: bool,
-    /// `samples_processed` of the state the session resumed from; replay
-    /// the stream from this offset after a crash.
+    /// The session's live `samples_processed` at the handshake (0 for a
+    /// fresh session); replay the stream from this offset after any
+    /// reconnect — everything before it is already applied server-side.
     pub resume_from: u64,
 }
 
@@ -95,6 +128,11 @@ pub struct Client {
     dim: u32,
     /// Cumulative BUSY replies absorbed by [`Client::send_all`].
     pub busy_retries: u64,
+    /// How long [`Client::send_all`] keeps retrying BUSY replies that
+    /// make *zero* progress before giving up with
+    /// [`ClientError::Stalled`]. Any progress resets the clock, so a
+    /// slow-but-draining server is never abandoned. Default 30 s.
+    pub busy_stall_timeout: Duration,
 }
 
 impl Client {
@@ -115,6 +153,7 @@ impl Client {
             session,
             dim,
             busy_retries: 0,
+            busy_stall_timeout: Duration::from_secs(30),
         };
         let reply = client.exchange(&Message::Hello {
             dim,
@@ -140,9 +179,27 @@ impl Client {
         self.session
     }
 
+    /// Most rows one `Sample` frame can carry at this client's dimension.
+    /// Larger batches must go through [`Client::send_all`], which splits.
+    pub fn max_rows_per_frame(&self) -> usize {
+        crate::proto::max_sample_rows(self.dim)
+    }
+
     /// Sends one batch (rows concatenated, `rows.len() % dim == 0`) and
-    /// returns the server's verdict without retrying on BUSY.
+    /// returns the server's verdict without retrying on BUSY. A batch too
+    /// large for one frame is rejected client-side with
+    /// [`ClientError::Oversized`] before any bytes hit the wire — the
+    /// server would NACK the oversized length prefix as hostile and drop
+    /// the connection.
     pub fn send_batch(&mut self, rows: &[Real]) -> Result<BatchReply, ClientError> {
+        let max_rows = self.max_rows_per_frame();
+        let batch_rows = rows.len() / (self.dim.max(1) as usize);
+        if batch_rows > max_rows {
+            return Err(ClientError::Oversized {
+                rows: batch_rows,
+                max_rows,
+            });
+        }
         let (reply, flags) = self.exchange(&Message::Sample {
             dim: self.dim,
             data: rows.to_vec(),
@@ -164,16 +221,23 @@ impl Client {
         }
     }
 
-    /// Sends a batch to completion, absorbing BUSY replies with a short
-    /// doubling backoff and resending the unapplied suffix. Returns every
-    /// event pushed back along the way.
+    /// Sends a batch of any size to completion: splits it into
+    /// frame-sized chunks (see [`Client::max_rows_per_frame`]) and
+    /// absorbs BUSY replies with a short doubling backoff, resending the
+    /// unapplied suffix. Gives up with [`ClientError::Stalled`] — carrying
+    /// the rows already applied — once BUSY replies make zero progress
+    /// for [`Client::busy_stall_timeout`]. Returns every event pushed
+    /// back along the way.
     pub fn send_all(&mut self, rows: &[Real]) -> Result<Vec<String>, ClientError> {
         let dim = self.dim as usize;
+        let frame_scalars = self.max_rows_per_frame().max(1) * dim.max(1);
         let mut offset = 0usize;
         let mut events = Vec::new();
         let mut backoff_us: u64 = 50;
+        let mut last_progress = std::time::Instant::now();
         while offset < rows.len() {
-            match self.send_batch(&rows[offset..])? {
+            let chunk_end = (offset + frame_scalars).min(rows.len());
+            match self.send_batch(&rows[offset..chunk_end])? {
                 BatchReply::Ack {
                     accepted,
                     events: mut e,
@@ -181,10 +245,22 @@ impl Client {
                 } => {
                     offset += accepted as usize * dim;
                     events.append(&mut e);
+                    last_progress = std::time::Instant::now();
                 }
-                BatchReply::Busy { accepted, .. } => {
+                BatchReply::Busy {
+                    accepted,
+                    queue_depth,
+                } => {
                     self.busy_retries += 1;
                     offset += accepted as usize * dim;
+                    if accepted > 0 {
+                        last_progress = std::time::Instant::now();
+                    } else if last_progress.elapsed() >= self.busy_stall_timeout {
+                        return Err(ClientError::Stalled {
+                            rows_sent: offset / dim.max(1),
+                            queue_depth,
+                        });
+                    }
                     std::thread::sleep(Duration::from_micros(backoff_us));
                     backoff_us = (backoff_us * 2).min(2_000);
                 }

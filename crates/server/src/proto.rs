@@ -347,6 +347,17 @@ pub fn decode_frame(header: &[u8; HEADER_LEN], rest: &[u8]) -> Result<RawFrame, 
     })
 }
 
+/// The most `dim`-wide rows that fit in one `Sample` frame: the payload
+/// is an 8-byte count+dim prefix followed by the scalars, and must stay
+/// within [`MAX_PAYLOAD`]. Senders must split batches at this bound —
+/// the server rejects an oversized length prefix with a fatal NACK.
+pub fn max_sample_rows(dim: u32) -> usize {
+    if dim == 0 {
+        return 0;
+    }
+    (MAX_PAYLOAD as usize - 8) / (dim as usize * core::mem::size_of::<Real>())
+}
+
 /// Extracts and bounds the payload length from a header. The caller must
 /// reject [`ProtoError::Oversized`] *before* allocating a payload buffer.
 pub fn header_payload_len(header: &[u8; HEADER_LEN]) -> Result<usize, ProtoError> {
@@ -403,8 +414,9 @@ pub enum Message {
         /// True when the session already existed on the server (resumed
         /// from the durable store or created by an earlier connection).
         existing: bool,
-        /// `samples_processed` of the state the session resumed from; the
-        /// client replays its stream from this offset after a crash.
+        /// The session's live `samples_processed` at the handshake
+        /// (0 for a freshly created session); the client replays its
+        /// stream from this offset after any reconnect.
         resume_from: u64,
     },
     /// Batch fully applied.

@@ -401,6 +401,10 @@ fn fill(stream: &mut TcpStream, buf: &mut [u8], shared: &Shared) -> Fill {
                 if last_byte.elapsed() >= shared.idle_timeout {
                     return Fill::Idle;
                 }
+                // If the socket is secretly nonblocking (read timeout
+                // ineffective), the read returned instantly — sleep so
+                // an idle connection ticks instead of spinning a core.
+                std::thread::sleep(Duration::from_millis(1));
             }
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
             Err(_) => return Fill::Failed,
@@ -451,6 +455,10 @@ fn send_nack(
 /// the handler owns both directions of the stream, so replies (including
 /// event push-backs riding on acks) never interleave.
 fn handle_connection(mut stream: TcpStream, shared: &Shared) {
+    // On some platforms (notably Windows) accepted sockets inherit the
+    // listener's nonblocking flag, which would make the read timeout
+    // below ineffective; clear it explicitly.
+    let _ = stream.set_nonblocking(false);
     // Short read timeout turns blocked reads into ticks of `fill`.
     if stream.set_read_timeout(Some(shared.read_tick)).is_err() {
         return;
@@ -672,11 +680,25 @@ fn handle_hello(
         known.contains(&session)
     };
     if already_known {
-        let resume_from = shared.resumed.get(&session).copied().unwrap_or(0);
-        return Ok(Message::HelloAck {
-            existing: true,
-            resume_from,
-        });
+        // Report the session's *live* applied-sample count, not the
+        // bind-time resume offset: the session may have been fed since it
+        // was resumed (or created after bind). The query travels the
+        // shard FIFO, so every sample a previous connection fed is
+        // reflected — a reconnecting device replays exactly the tail the
+        // server has not seen, never re-applying samples.
+        match shared.fleet.samples_processed(SessionId(session)) {
+            Ok(resume_from) => {
+                return Ok(Message::HelloAck {
+                    existing: true,
+                    resume_from,
+                })
+            }
+            // The engine lost the session (worker died with no usable
+            // checkpoint): fall through and re-create from the reference
+            // as for a never-seen id, so the device can start over.
+            Err(FleetError::UnknownSession(_)) => {}
+            Err(e) => return Err((fleet_nack_code(&e), e.to_string())),
+        }
     }
     let Some(reference) = &shared.reference else {
         return Err((

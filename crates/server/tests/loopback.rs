@@ -18,22 +18,26 @@ use seqdrift_server::{Client, ClientError, NackCode, Server, ServerConfig, Serve
 
 const DIM: usize = 4;
 
-fn checkpoint(seed: u64) -> Vec<u8> {
+fn checkpoint_with_dim(seed: u64, dim: usize) -> Vec<u8> {
     let mut rng = Rng::seed_from(seed);
     let train: Vec<Vec<Real>> = (0..100)
         .map(|_| {
-            let mut x = vec![0.0; DIM];
+            let mut x = vec![0.0; dim];
             rng.fill_normal(&mut x, 0.3, 0.05);
             x
         })
         .collect();
-    let mut model = MultiInstanceModel::new(1, OsElmConfig::new(DIM, 3).with_seed(seed)).unwrap();
+    let mut model = MultiInstanceModel::new(1, OsElmConfig::new(dim, 3).with_seed(seed)).unwrap();
     model.init_train_class(0, &train).unwrap();
     let pairs: Vec<(usize, &[Real])> = train.iter().map(|x| (0, x.as_slice())).collect();
-    DriftPipeline::calibrate(model, DetectorConfig::new(1, DIM).with_window(16), &pairs)
+    DriftPipeline::calibrate(model, DetectorConfig::new(1, dim).with_window(16), &pairs)
         .unwrap()
         .to_bytes()
         .unwrap()
+}
+
+fn checkpoint(seed: u64) -> Vec<u8> {
+    checkpoint_with_dim(seed, DIM)
 }
 
 /// Deterministic per-session stream, flattened row-major.
@@ -267,6 +271,126 @@ fn graceful_drain_flushes_final_state_durably() {
     stop.store(true, Ordering::Relaxed);
     handle.join().unwrap();
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A reconnect mid-life must be told the session's *live* sample count:
+/// replaying the stream from the acked `resume_from` must never
+/// double-apply samples, whether the session was created after bind or
+/// fed since it was resumed.
+#[test]
+fn reconnect_reports_live_resume_offset() {
+    let blob = checkpoint(29);
+    let cfg = ServerConfig::new(FleetConfig::new(1)).with_reference(blob);
+    let (addr, stop, handle) = spawn_server(cfg);
+
+    let (mut first, hello) = Client::connect(addr, 3, DIM as u32).unwrap();
+    assert!(!hello.existing);
+    assert_eq!(hello.resume_from, 0);
+    first.send_all(&stream(3, 40, 0.3)).unwrap();
+    first.bye().unwrap();
+
+    // Reconnect (e.g. after a network blip): the ack must carry the 40
+    // samples already applied, not a frozen bind-time offset of 0.
+    let (mut second, hello) = Client::connect(addr, 3, DIM as u32).unwrap();
+    assert!(hello.existing);
+    assert_eq!(
+        hello.resume_from, 40,
+        "resume offset must track the live session, not bind-time state"
+    );
+    second.send_all(&stream(3, 25, 0.3)).unwrap();
+    second.bye().unwrap();
+
+    // And it keeps tracking as the session advances.
+    let (third, hello) = Client::connect(addr, 3, DIM as u32).unwrap();
+    assert!(hello.existing);
+    assert_eq!(hello.resume_from, 65);
+    third.bye().unwrap();
+
+    stop.store(true, Ordering::Relaxed);
+    let report = handle.join().unwrap();
+    assert_eq!(report.net.samples_accepted, 65);
+}
+
+/// Batches larger than one frame never produce an un-sendable request:
+/// `send_batch` rejects them client-side with a typed error before any
+/// bytes hit the wire, and `send_all` transparently splits them into
+/// frame-sized chunks that all land exactly once.
+#[test]
+fn oversized_batches_are_split_client_side() {
+    // A wide model keeps max_rows_per_frame (and so the test) small.
+    const WIDE: usize = 64;
+    let blob = checkpoint_with_dim(31, WIDE);
+    let cfg = ServerConfig::new(FleetConfig::new(1)).with_reference(blob);
+    let (addr, stop, handle) = spawn_server(cfg);
+
+    let (mut client, _) = Client::connect(addr, 1, WIDE as u32).unwrap();
+    let max_rows = client.max_rows_per_frame();
+    let rows = max_rows + 3; // one full frame plus a remainder
+    let big: Vec<Real> = {
+        let mut rng = Rng::seed_from(6001);
+        let mut out = vec![0.0; rows * WIDE];
+        rng.fill_normal(&mut out, 0.3, 0.05);
+        out
+    };
+    match client.send_batch(&big) {
+        Err(ClientError::Oversized {
+            rows: got,
+            max_rows: m,
+        }) => {
+            assert_eq!(got, rows);
+            assert_eq!(m, max_rows);
+        }
+        other => panic!("expected Oversized, got {other:?}"),
+    }
+    // Nothing was written, so the connection is still healthy — and
+    // send_all lands the whole batch by re-framing.
+    client.send_all(&big).unwrap();
+    let snap = client.snapshot().unwrap();
+    client.bye().unwrap();
+    stop.store(true, Ordering::Relaxed);
+    let report = handle.join().unwrap();
+    assert_eq!(report.net.samples_accepted, rows as u64);
+    assert!(
+        report.net.frames_rx > 2,
+        "the oversized batch must have travelled as multiple frames"
+    );
+    assert_eq!(
+        DriftPipeline::from_bytes(&snap)
+            .unwrap()
+            .samples_processed(),
+        rows as u64
+    );
+}
+
+/// A shard that stops draining must not spin `send_all` forever: once
+/// BUSY replies make zero progress past the stall deadline, the client
+/// gets a typed error carrying the rows already applied.
+#[test]
+fn send_all_surfaces_a_stalled_shard() {
+    let blob = checkpoint(37);
+    let injector = FaultInjector::new(vec![Fault::SlowSession {
+        session: 0,
+        every: 1,
+        micros: 400_000,
+    }]);
+    let fleet_cfg = FleetConfig::new(1)
+        .with_queue_capacity(1)
+        .with_feed_timeout(Duration::from_millis(2))
+        .with_fault_injector(injector);
+    let cfg = ServerConfig::new(fleet_cfg).with_reference(blob);
+    let (addr, stop, handle) = spawn_server(cfg);
+
+    let (mut client, _) = Client::connect(addr, 0, DIM as u32).unwrap();
+    client.busy_stall_timeout = Duration::from_millis(100);
+    match client.send_all(&stream(0, 50, 0.3)) {
+        Err(ClientError::Stalled { rows_sent, .. }) => {
+            assert!(rows_sent < 50, "the stall must interrupt the batch");
+        }
+        other => panic!("expected Stalled, got {other:?}"),
+    }
+    drop(client);
+    stop.store(true, Ordering::Relaxed);
+    handle.join().unwrap();
 }
 
 /// Handshake rejections are typed: unknown session without a reference
