@@ -142,6 +142,13 @@ pub struct FleetArgs {
     /// Resume surviving sessions from `--state-dir` before replaying
     /// (requires `--state-dir`).
     pub resume: bool,
+    /// Enable cooperative cross-session model merging: healthy sessions
+    /// whose models diverged from the fleet baseline (a reconstruction
+    /// after drift) are merged in closed form and the merged model is
+    /// redistributed to every healthy session.
+    pub federate: bool,
+    /// Fleet-wide processed-sample interval between merge rounds.
+    pub federate_interval: u64,
 }
 
 /// Arguments of `seqdrift serve`.
@@ -167,6 +174,11 @@ pub struct ServeArgs {
     /// Write the bound address to this file once listening (atomic
     /// write); lets scripts discover an ephemeral port.
     pub port_file: Option<PathBuf>,
+    /// Enable cooperative cross-session model merging (requires
+    /// `--model`, the fleet's reference checkpoint).
+    pub federate: bool,
+    /// Fleet-wide processed-sample interval between merge rounds.
+    pub federate_interval: u64,
 }
 
 /// Arguments of `seqdrift load`.
@@ -194,6 +206,9 @@ pub struct LoadArgs {
     pub has_header: bool,
     /// Strip a trailing label column before streaming.
     pub label_last: bool,
+    /// Seconds of zero-progress BUSY replies before a device gives up
+    /// (`Client::busy_stall_timeout`); omit for the client default.
+    pub busy_stall_timeout: Option<u64>,
 }
 
 /// Parse failures (each carries the message shown to the user).
@@ -227,13 +242,16 @@ USAGE:
                  [--drift-shift 0.3] [--inject-faults SEED]
                  [--guard-policy reject|clamp|impute] [--stuck-threshold K]
                  [--state-dir <dir>] [--resume]
+                 [--federate] [--federate-interval 2048]
                  [--no-header] [--label-last]
   seqdrift serve [--model <model.sqdm>] [--listen 127.0.0.1:4747] [--workers 4]
                  [--queue 256] [--feed-timeout-ms 10000] [--state-dir <dir>]
                  [--idle-timeout-ms 30000] [--port-file <path>]
+                 [--federate] [--federate-interval 2048]
   seqdrift load  --csv <file> --addr <host:port> [--sessions 4] [--batch 16]
                  [--session0 0] [--bench-json BENCH_ingest.json]
-                 [--verify --model <model.sqdm>] [--no-header] [--label-last]
+                 [--verify --model <model.sqdm>] [--busy-stall-timeout SECS]
+                 [--no-header] [--label-last]
 ";
 
 fn err(msg: impl Into<String>) -> ParseError {
@@ -246,7 +264,8 @@ struct Flags {
     bools: std::collections::HashSet<String>,
 }
 
-const BOOL_FLAGS: [&str; 5] = [
+const BOOL_FLAGS: [&str; 6] = [
+    "--federate",
     "--label-last",
     "--no-header",
     "--quick",
@@ -387,12 +406,17 @@ impl Cli {
                     stuck_threshold: flags.optional("--stuck-threshold")?,
                     state_dir: flags.take("--state-dir").map(Into::into),
                     resume: flags.boolean("--resume"),
+                    federate: flags.boolean("--federate"),
+                    federate_interval: flags.number("--federate-interval", 2048u64)?,
                 };
                 if a.sessions == 0 || a.workers == 0 || a.queue == 0 {
                     return Err(err("--sessions, --workers and --queue must be positive"));
                 }
                 if a.resume && a.state_dir.is_none() {
                     return Err(err("--resume requires --state-dir"));
+                }
+                if a.federate_interval == 0 {
+                    return Err(err("--federate-interval must be positive"));
                 }
                 Command::Fleet(a)
             }
@@ -408,12 +432,20 @@ impl Cli {
                     state_dir: flags.take("--state-dir").map(Into::into),
                     idle_timeout_ms: flags.number("--idle-timeout-ms", 30_000u64)?,
                     port_file: flags.take("--port-file").map(Into::into),
+                    federate: flags.boolean("--federate"),
+                    federate_interval: flags.number("--federate-interval", 2048u64)?,
                 };
                 if a.workers == 0 || a.queue == 0 {
                     return Err(err("--workers and --queue must be positive"));
                 }
                 if a.model.is_none() && a.state_dir.is_none() {
                     return Err(err("serve needs --model and/or --state-dir"));
+                }
+                if a.federate && a.model.is_none() {
+                    return Err(err("--federate requires --model (the fleet reference)"));
+                }
+                if a.federate_interval == 0 {
+                    return Err(err("--federate-interval must be positive"));
                 }
                 Command::Serve(a)
             }
@@ -429,12 +461,16 @@ impl Cli {
                     model: flags.take("--model").map(Into::into),
                     has_header: !flags.boolean("--no-header"),
                     label_last: flags.boolean("--label-last"),
+                    busy_stall_timeout: flags.optional("--busy-stall-timeout")?,
                 };
                 if a.sessions == 0 || a.batch == 0 {
                     return Err(err("--sessions and --batch must be positive"));
                 }
                 if a.verify && a.model.is_none() {
                     return Err(err("--verify requires --model"));
+                }
+                if a.busy_stall_timeout == Some(0) {
+                    return Err(err("--busy-stall-timeout must be positive"));
                 }
                 Command::Load(a)
             }
@@ -569,6 +605,8 @@ mod tests {
                 assert_eq!(a.stuck_threshold, None);
                 assert_eq!(a.state_dir, None);
                 assert!(!a.resume);
+                assert!(!a.federate);
+                assert_eq!(a.federate_interval, 2048);
             }
             other => panic!("{other:?}"),
         }
@@ -596,6 +634,33 @@ mod tests {
         assert!(Cli::parse(&argv("fleet --csv s.csv --model m --inject-faults x")).is_err());
         // --resume without --state-dir is meaningless.
         assert!(Cli::parse(&argv("fleet --csv s.csv --model m --resume")).is_err());
+    }
+
+    #[test]
+    fn parses_federation_flags() {
+        let cli = Cli::parse(&argv(
+            "fleet --csv s.csv --model m.sqdm --federate --federate-interval 64",
+        ))
+        .unwrap();
+        match cli.command {
+            Command::Fleet(a) => {
+                assert!(a.federate);
+                assert_eq!(a.federate_interval, 64);
+            }
+            other => panic!("{other:?}"),
+        }
+        let cli = Cli::parse(&argv("serve --model m.sqdm --federate")).unwrap();
+        match cli.command {
+            Command::Serve(a) => {
+                assert!(a.federate);
+                assert_eq!(a.federate_interval, 2048);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Federation needs the reference checkpoint to decode merged
+        // generations from; state-dir-only serving cannot enable it.
+        assert!(Cli::parse(&argv("serve --state-dir s --federate")).is_err());
+        assert!(Cli::parse(&argv("fleet --csv s --model m --federate-interval 0")).is_err());
     }
 
     #[test]
@@ -645,12 +710,14 @@ mod tests {
                 assert!(!a.verify);
                 assert_eq!(a.bench_json, None);
                 assert!(a.has_header);
+                assert_eq!(a.busy_stall_timeout, None);
             }
             other => panic!("{other:?}"),
         }
         let cli = Cli::parse(&argv(
             "load --csv s.csv --addr h:1 --sessions 8 --batch 4 --session0 100 \
-             --bench-json B.json --verify --model m.sqdm --no-header --label-last",
+             --bench-json B.json --verify --model m.sqdm --no-header --label-last \
+             --busy-stall-timeout 5",
         ))
         .unwrap();
         match cli.command {
@@ -659,12 +726,15 @@ mod tests {
                 assert_eq!(a.bench_json, Some(PathBuf::from("B.json")));
                 assert!(a.verify && a.label_last && !a.has_header);
                 assert_eq!(a.model, Some(PathBuf::from("m.sqdm")));
+                assert_eq!(a.busy_stall_timeout, Some(5));
             }
             other => panic!("{other:?}"),
         }
         assert!(Cli::parse(&argv("load --csv s.csv")).is_err()); // missing --addr
         assert!(Cli::parse(&argv("load --csv s --addr h:1 --verify")).is_err());
         assert!(Cli::parse(&argv("load --csv s --addr h:1 --batch 0")).is_err());
+        assert!(Cli::parse(&argv("load --csv s --addr h:1 --busy-stall-timeout 0")).is_err());
+        assert!(Cli::parse(&argv("load --csv s --addr h:1 --busy-stall-timeout x")).is_err());
     }
 
     #[test]

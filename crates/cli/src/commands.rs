@@ -9,7 +9,10 @@ use seqdrift_datasets::drift::DriftSchedule;
 use seqdrift_datasets::fan::{self, FanConfig, FanScenario};
 use seqdrift_datasets::nslkdd::{self, NslKddConfig};
 use seqdrift_datasets::{loader, DriftDataset, Sample};
-use seqdrift_fleet::{FaultInjector, FleetConfig, FleetEngine, FleetError, FleetEvent, SessionId};
+use seqdrift_federate::Federator;
+use seqdrift_fleet::{
+    FaultInjector, FederationConfig, FleetConfig, FleetEngine, FleetError, FleetEvent, SessionId,
+};
 use seqdrift_linalg::{Real, Rng};
 use seqdrift_oselm::{MultiInstanceModel, OsElmConfig};
 use std::io::Write;
@@ -341,6 +344,15 @@ pub fn fleet(a: &FleetArgs, out: Out<'_>) -> Result<(), String> {
         cfg = cfg.with_state_dir(dir);
         writeln!(out, "durable state store: {}", dir.display()).ok();
     }
+    if a.federate {
+        cfg = cfg.with_federation(FederationConfig::default().with_interval(a.federate_interval));
+        writeln!(
+            out,
+            "federation: merge round every {} fleet-wide samples",
+            a.federate_interval
+        )
+        .ok();
+    }
     let engine = FleetEngine::new(cfg).map_err(|e| fail("starting fleet", e))?;
 
     // Sessions re-homed from the store (or still quarantined in its
@@ -387,6 +399,11 @@ pub fn fleet(a: &FleetArgs, out: Out<'_>) -> Result<(), String> {
         a.sessions, a.workers, a.queue
     )
     .ok();
+    let mut federator = if a.federate {
+        Some(Federator::new(&engine, &blob).map_err(|e| fail("starting federation", e))?)
+    } else {
+        None
+    };
 
     // Device d's injected drift starts drift_step samples after device d-1's,
     // so detections should stagger the same way across the fleet.
@@ -418,6 +435,10 @@ pub fn fleet(a: &FleetArgs, out: Out<'_>) -> Result<(), String> {
                 Ok(()) | Err(FleetError::SessionQuarantined(_)) => {}
                 Err(e) => return Err(fail("feeding sample", e)),
             }
+        }
+        if let Some(f) = federator.as_mut() {
+            f.maybe_round(&engine)
+                .map_err(|e| fail("federation round", e))?;
         }
     }
 
@@ -517,6 +538,15 @@ pub fn fleet(a: &FleetArgs, out: Out<'_>) -> Result<(), String> {
         m.busy_rejections
     )
     .ok();
+    if a.federate {
+        writeln!(
+            out,
+            "federation: {} merge round(s), {} contribution(s) accepted, {} rejected, \
+             {} redistribution(s)",
+            m.merge_rounds, m.contributions_accepted, m.contributions_rejected, m.redistributions
+        )
+        .ok();
+    }
     if a.inject_faults.is_some() || m.panics_caught > 0 {
         writeln!(
             out,
@@ -611,6 +641,16 @@ pub fn serve_with_stop(
         fleet_cfg = fleet_cfg.with_state_dir(dir);
         writeln!(out, "durable state store: {}", dir.display()).ok();
     }
+    if a.federate {
+        fleet_cfg = fleet_cfg
+            .with_federation(FederationConfig::default().with_interval(a.federate_interval));
+        writeln!(
+            out,
+            "federation: merge round every {} fleet-wide samples",
+            a.federate_interval
+        )
+        .ok();
+    }
     let mut cfg =
         ServerConfig::new(fleet_cfg).with_idle_timeout(Duration::from_millis(a.idle_timeout_ms));
     if let Some(model) = &a.model {
@@ -660,6 +700,15 @@ pub fn serve_with_stop(
         m.reconstructions_completed
     )
     .ok();
+    if a.federate {
+        writeln!(
+            out,
+            "federation: {} merge round(s), {} contribution(s) accepted, {} rejected, \
+             {} redistribution(s)",
+            m.merge_rounds, m.contributions_accepted, m.contributions_rejected, m.redistributions
+        )
+        .ok();
+    }
     if a.state_dir.is_some() {
         writeln!(
             out,
@@ -724,9 +773,13 @@ pub fn load(a: &LoadArgs, out: Out<'_>) -> Result<(), String> {
         let rows = std::sync::Arc::clone(&rows);
         let batch_rows = a.batch;
         let want_snapshot = a.verify;
+        let stall_timeout = a.busy_stall_timeout;
         handles.push(std::thread::spawn(move || -> Result<DeviceRun, String> {
             let (mut client, hello) = Client::connect(&*addr, session, dim as u32)
                 .map_err(|e| format!("device {session}: connect: {e}"))?;
+            if let Some(secs) = stall_timeout {
+                client.busy_stall_timeout = std::time::Duration::from_secs(secs);
+            }
             // After a server restart the session resumes mid-stream; skip
             // the rows its durable state already reflects.
             let start_row = (hello.resume_from as usize).min(rows.len() / dim);

@@ -203,6 +203,54 @@ mod tests {
     }
 
     #[test]
+    fn staggered_window_closes_latch_votes_until_reset() {
+        // Three members with staggered windows: each flags at its own
+        // close (samples 4, 9, 19) and the earlier votes must stay
+        // latched while later members are still mid-window.
+        let mut e =
+            EnsembleDetector::new(base(), &[5, 10, 20], &trained(), VotePolicy::All).unwrap();
+        for i in 0..4 {
+            e.observe(0, &[4.0, 4.0], 1.0).unwrap();
+            assert_eq!(e.votes(), &[false, false, false], "sample {i}");
+        }
+        e.observe(0, &[4.0, 4.0], 1.0).unwrap();
+        assert_eq!(e.votes(), &[true, false, false]);
+        // Even if the stream goes quiet at the drifted location, the
+        // 5-window's vote must not decay while the 10-window closes.
+        for _ in 5..10 {
+            e.observe(0, &[4.0, 4.0], 1.0).unwrap();
+        }
+        assert_eq!(e.votes(), &[true, true, false]);
+        for _ in 10..19 {
+            assert!(!e.observe(0, &[4.0, 4.0], 1.0).unwrap());
+        }
+        // The slowest member closes: all latched, the All policy fires.
+        assert!(e.observe(0, &[4.0, 4.0], 1.0).unwrap());
+        assert_eq!(e.votes(), &[true, true, true]);
+    }
+
+    #[test]
+    fn rebase_clears_every_members_latched_flag() {
+        let mut e =
+            EnsembleDetector::new(base(), &[5, 10, 20], &trained(), VotePolicy::Any).unwrap();
+        for _ in 0..20 {
+            e.observe(0, &[4.0, 4.0], 1.0).unwrap();
+        }
+        assert_eq!(e.votes(), &[true, true, true]);
+        let mut new_set = CentroidSet::zeros(1, 2);
+        new_set.set_centroid(0, &[4.0, 4.0]).unwrap();
+        new_set.set_count(0, 10);
+        e.rebase(new_set, 0.5).unwrap();
+        assert_eq!(e.votes(), &[false, false, false]);
+        // Post-rebase, a stable stream at the new concept leaves all
+        // flags down — no stale latch survives the reset.
+        for _ in 0..25 {
+            assert!(!e.observe(0, &[4.0, 4.0], 1.0).unwrap());
+        }
+        assert_eq!(e.votes(), &[false, false, false]);
+    }
+
+    #[test]
     fn memory_scales_with_member_count() {
         let one = EnsembleDetector::new(base(), &[5], &trained(), VotePolicy::Any).unwrap();
         let three =

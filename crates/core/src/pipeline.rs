@@ -348,6 +348,35 @@ impl DriftPipeline {
         &self.detector
     }
 
+    /// Replaces the underlying model with a federated merged model.
+    ///
+    /// Only the model is swapped: the detector's centroids and
+    /// thresholds, guard counters, health state, event log and
+    /// `samples_processed` are all untouched, so durable resume offsets
+    /// and drift bookkeeping stay valid across the install. Refused while
+    /// a reconstruction is consuming samples — reconstruction owns the
+    /// model during its schedule, and installing over it would corrupt
+    /// the rebuild (callers skip the session and retry next round).
+    pub fn install_model(&mut self, model: MultiInstanceModel) -> Result<()> {
+        if self.reconstructor.is_active() {
+            return Err(CoreError::InvalidConfig(
+                "install_model: reconstruction in progress",
+            ));
+        }
+        if model.classes() != self.cfg.detector.classes || model.dim() != self.cfg.detector.dim {
+            return Err(CoreError::InvalidConfig(
+                "install_model: model shape does not match pipeline config",
+            ));
+        }
+        if !model.is_initialized() {
+            return Err(CoreError::InvalidConfig(
+                "install_model: model not initially trained",
+            ));
+        }
+        self.model = model;
+        Ok(())
+    }
+
     /// Logged events.
     pub fn events(&self) -> &[PipelineEvent] {
         &self.events
@@ -879,6 +908,58 @@ mod tests {
         assert!(p
             .set_guard_config(crate::GuardConfig::new().with_magnitude_limit(-1.0))
             .is_err());
+    }
+
+    #[test]
+    fn install_model_swaps_model_and_keeps_bookkeeping() {
+        let (mut p, class0, _) = build_pipeline(20);
+        for x in class0.iter().take(30) {
+            p.process(x).unwrap();
+        }
+        let seen = p.samples_processed();
+        // A compatible replacement: the same model, further adapted.
+        let mut replacement = p.model().clone();
+        for x in class0.iter().take(50) {
+            replacement.seq_train_label(0, x).unwrap();
+        }
+        let expect_seen = replacement.instance(0).unwrap().samples_seen();
+        p.install_model(replacement).unwrap();
+        assert_eq!(p.samples_processed(), seen);
+        assert_eq!(p.model().instance(0).unwrap().samples_seen(), expect_seen);
+        // Pipeline still processes normally with the installed model.
+        p.process(&class0[0]).unwrap();
+        assert_eq!(p.samples_processed(), seen + 1);
+    }
+
+    #[test]
+    fn install_model_rejects_incompatible_or_midreconstruction() {
+        let (mut p, _, _) = build_pipeline(10);
+        // Wrong shape: single-class model into a two-class pipeline.
+        let mut small = MultiInstanceModel::new(1, OsElmConfig::new(6, 4).with_seed(7)).unwrap();
+        small.init_train_class(0, &blob(60, 6, 0.2, 31)).unwrap();
+        assert!(matches!(
+            p.install_model(small),
+            Err(CoreError::InvalidConfig(_))
+        ));
+        // Uninitialised model.
+        let raw = MultiInstanceModel::new(2, OsElmConfig::new(6, 4).with_seed(7)).unwrap();
+        assert!(matches!(
+            p.install_model(raw),
+            Err(CoreError::InvalidConfig(_))
+        ));
+        // Drive the pipeline into reconstruction, then refuse the install.
+        let good = p.model().clone();
+        let drifted = blob(400, 6, 0.5, 32);
+        let mut i = 0;
+        while !p.is_reconstructing() && i < drifted.len() {
+            p.process(&drifted[i]).unwrap();
+            i += 1;
+        }
+        assert!(p.is_reconstructing(), "drift stream never opened a window");
+        assert!(matches!(
+            p.install_model(good),
+            Err(CoreError::InvalidConfig(_))
+        ));
     }
 
     #[test]

@@ -1,0 +1,400 @@
+#![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+//! # seqdrift-federate
+//!
+//! Cooperative cross-session model merging for the fleet — the
+//! fleet-level extension of the paper's on-device pipeline (ROADMAP open
+//! item 4). Because OS-ELM is linear in its sufficient statistics, model
+//! replicas that diverged by sequential training can be fused
+//! *analytically* (Ito et al., arXiv 2002.12301): no gradients, no
+//! retraining, one closed-form solve. A drift learned by one device
+//! (detected, reconstructed) is propagated to its peers before their own
+//! detectors have to fire, cutting the fleet-wide adaptation delay.
+//!
+//! A [`Federator`] drives rounds against a running
+//! [`seqdrift_fleet::FleetEngine`]:
+//!
+//! 1. **Collect** — snapshot every registered session through the shard
+//!    FIFOs (so each snapshot lands at a well-defined stream point) and
+//!    decode its model.
+//! 2. **Gate** — quarantined or `Degraded` sessions are rejected
+//!    (counted in `contributions_rejected`); mid-reconstruction sessions
+//!    are skipped for the round; sessions whose model still equals the
+//!    current fleet baseline have nothing to contribute and are skipped;
+//!    contributors lagging the freshest contributor by more than the
+//!    configured staleness bound are rejected.
+//! 3. **Merge** — the accepted models are fused with the baseline by
+//!    [`MultiInstanceModel::merge_with`], which validates
+//!    positive-definiteness and finiteness exactly like `seq_train`'s
+//!    transactional path; a merge that fails validation rejects the
+//!    whole round and leaves the baseline untouched (blast radius zero).
+//! 4. **Redistribute** — the merged model is installed into every
+//!    healthy session through the same FIFOs ([`FleetEngine`
+//!    `install_model`](seqdrift_fleet::FleetEngine::install_model)), and
+//!    becomes the new baseline.
+//! 5. **Persist** — the merged generation is flushed to the durable
+//!    store as a `SQCK` checkpoint, so a resume after power loss
+//!    restores the fleet-wide model, not just per-session state.
+//!
+//! Every step is observable through the fleet metrics
+//! (`merge_rounds`, `contributions_accepted`, `contributions_rejected`,
+//! `redistributions`).
+
+use seqdrift_core::{CoreError, DriftPipeline};
+use seqdrift_fleet::{FederationConfig, FleetEngine, FleetError, SessionId, SessionStatus};
+use seqdrift_oselm::{ModelError, MultiInstanceModel};
+
+/// Federation failures.
+#[derive(Debug)]
+pub enum FederateError {
+    /// The engine was built without `FleetConfig::federation`.
+    Disabled,
+    /// The reference model blob did not decode.
+    BadReference(CoreError),
+    /// A fleet control operation failed in a way that is not part of the
+    /// per-session gating contract (e.g. the engine is shutting down).
+    Fleet(FleetError),
+    /// Serialising the merged generation failed.
+    Persist(CoreError),
+}
+
+impl std::fmt::Display for FederateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FederateError::Disabled => {
+                write!(f, "federation is not enabled on this fleet engine")
+            }
+            FederateError::BadReference(e) => write!(f, "reference model rejected: {e}"),
+            FederateError::Fleet(e) => write!(f, "fleet operation failed: {e}"),
+            FederateError::Persist(e) => write!(f, "persisting merged model failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FederateError {}
+
+impl From<FleetError> for FederateError {
+    fn from(e: FleetError) -> Self {
+        FederateError::Fleet(e)
+    }
+}
+
+/// What one federation round did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RoundSummary {
+    /// A merged model was produced, redistributed and adopted as the new
+    /// baseline.
+    pub merged: bool,
+    /// Contributions accepted into the merge.
+    pub accepted: u64,
+    /// Contributions rejected by gating (quarantined, degraded, stale)
+    /// or discarded because the merge itself failed validation.
+    pub rejected: u64,
+    /// Sessions skipped without prejudice: mid-reconstruction, vanished
+    /// mid-round, or bit-identical to the baseline (nothing to
+    /// contribute).
+    pub skipped: u64,
+    /// Sessions the merged model was installed into.
+    pub redistributed: u64,
+    /// Durable federated generation written, when the engine has a state
+    /// dir and the write succeeded.
+    pub persisted_generation: Option<u64>,
+}
+
+/// Drives federation rounds against one [`FleetEngine`].
+///
+/// The federator owns the fleet-wide *baseline*: the model every healthy
+/// session is expected to hold between rounds. Sessions whose snapshot
+/// differs from the baseline have learned something (a reconstruction
+/// after drift) and become contributors; after a successful merge the
+/// merged model is the new baseline, so the next round starts from a
+/// clean slate and never double-counts a contribution.
+pub struct Federator {
+    cfg: FederationConfig,
+    /// Decoded reference pipeline, reused as the serialisation vehicle
+    /// for durable merged generations (model swapped in, then encoded).
+    reference: DriftPipeline,
+    /// The current fleet-wide model.
+    baseline: MultiInstanceModel,
+    /// Fleet-wide `samples_processed` at the last round, for
+    /// interval-based polling.
+    last_round_at: u64,
+    rounds_run: u64,
+}
+
+impl Federator {
+    /// Builds a federator for `engine` from the fleet's reference model
+    /// blob (the calibrated pipeline the sessions were created from).
+    /// When the engine's durable store holds a persisted federated
+    /// generation, its model is restored as the baseline — the
+    /// power-loss resume path for the fleet-wide model.
+    pub fn new(engine: &FleetEngine, reference_blob: &[u8]) -> Result<Federator, FederateError> {
+        let cfg = *engine.federation().ok_or(FederateError::Disabled)?;
+        let reference =
+            DriftPipeline::from_bytes(reference_blob).map_err(FederateError::BadReference)?;
+        let baseline = match engine.load_federated()? {
+            Some(blob) => DriftPipeline::from_bytes(&blob)
+                .map_err(FederateError::BadReference)?
+                .model()
+                .clone(),
+            None => reference.model().clone(),
+        };
+        Ok(Federator {
+            cfg,
+            reference,
+            baseline,
+            last_round_at: 0,
+            rounds_run: 0,
+        })
+    }
+
+    /// The active federation knobs.
+    pub fn config(&self) -> &FederationConfig {
+        &self.cfg
+    }
+
+    /// Rounds that produced a merged model so far.
+    pub fn rounds_run(&self) -> u64 {
+        self.rounds_run
+    }
+
+    /// The current fleet-wide baseline model.
+    pub fn baseline(&self) -> &MultiInstanceModel {
+        &self.baseline
+    }
+
+    /// Interval-gated round: runs [`Federator::run_round`] when at least
+    /// `FederationConfig::interval` fleet-wide samples were processed
+    /// since the last round (or since construction). Returns `None` when
+    /// the interval has not elapsed. This is what background pollers
+    /// call on a timer.
+    pub fn maybe_round(
+        &mut self,
+        engine: &FleetEngine,
+    ) -> Result<Option<RoundSummary>, FederateError> {
+        let processed = engine.metrics().samples_processed;
+        if processed.saturating_sub(self.last_round_at) < self.cfg.interval {
+            return Ok(None);
+        }
+        self.run_round(engine).map(Some)
+    }
+
+    /// Runs one federation round now: collect, gate, merge,
+    /// redistribute, persist. Infallible per-session outcomes (a session
+    /// quarantined mid-round, a reconstruction in progress) are absorbed
+    /// into the [`RoundSummary`] counts; only engine-level failures
+    /// (shutdown races, store decode of the federator's own state)
+    /// surface as errors.
+    pub fn run_round(&mut self, engine: &FleetEngine) -> Result<RoundSummary, FederateError> {
+        let mut summary = RoundSummary::default();
+        // Collect + health-gate. Quarantine verdicts come from the
+        // registry (pre-seeded from the store ledger at open), degraded
+        // health from the snapshot itself.
+        let mut candidates: Vec<(SessionId, MultiInstanceModel)> = Vec::new();
+        for (id, status) in engine.session_statuses() {
+            if matches!(status, SessionStatus::Quarantined(_)) {
+                summary.rejected += 1;
+                continue;
+            }
+            let blob = match engine.snapshot(id) {
+                Ok(blob) => blob,
+                // Quarantined between listing and snapshot.
+                Err(FleetError::SessionQuarantined(_)) => {
+                    summary.rejected += 1;
+                    continue;
+                }
+                // Mid-reconstruction sessions refuse to checkpoint; they
+                // get another chance next round.
+                Err(FleetError::Core(_)) => {
+                    summary.skipped += 1;
+                    continue;
+                }
+                // Evicted mid-round.
+                Err(FleetError::UnknownSession(_)) => {
+                    summary.skipped += 1;
+                    continue;
+                }
+                Err(e) => return Err(FederateError::Fleet(e)),
+            };
+            let pipeline = match DriftPipeline::from_bytes(&blob) {
+                Ok(p) => p,
+                // A snapshot that does not decode is a poisoned
+                // contribution, not a federator failure.
+                Err(_) => {
+                    summary.rejected += 1;
+                    continue;
+                }
+            };
+            if pipeline.health() != seqdrift_core::PipelineHealth::Healthy {
+                summary.rejected += 1;
+                continue;
+            }
+            let model = pipeline.model();
+            if models_equal(model, &self.baseline) {
+                // Still on the baseline: nothing learned, nothing to
+                // contribute, nothing to install later either (it
+                // already holds the model every session will converge
+                // to only if a merge happens this round).
+                summary.skipped += 1;
+                continue;
+            }
+            candidates.push((id, model.clone()));
+        }
+        // Staleness gate: contributors lagging the freshest candidate by
+        // more than the bound carry statistics too old to trust.
+        if let Some(freshest) = candidates.iter().map(|(_, m)| model_age(m)).max() {
+            candidates.retain(|(_, m)| {
+                let keep = freshest - model_age(m) <= self.cfg.staleness_bound;
+                if !keep {
+                    summary.rejected += 1;
+                }
+                keep
+            });
+        }
+        if candidates.len() < self.cfg.min_contributors {
+            summary.skipped += candidates.len() as u64;
+            engine.record_federation_round(false, 0, summary.rejected);
+            self.last_round_at = engine.metrics().samples_processed;
+            return Ok(summary);
+        }
+        // Closed-form merge, transactionally validated. A rejected merge
+        // discards the whole round: the baseline and every session stay
+        // exactly as they were.
+        let models: Vec<&MultiInstanceModel> = candidates.iter().map(|(_, m)| m).collect();
+        let merged = match self.baseline.merge_with(&models) {
+            Ok(m) => m,
+            Err(ModelError::RejectedUpdate(_)) | Err(ModelError::Linalg(_)) => {
+                summary.rejected += candidates.len() as u64;
+                engine.record_federation_round(false, 0, summary.rejected);
+                self.last_round_at = engine.metrics().samples_processed;
+                return Ok(summary);
+            }
+            // Shape/config mismatches mean the fleet was fed sessions
+            // from a different reference — a caller bug worth surfacing.
+            Err(e) => {
+                return Err(FederateError::Persist(CoreError::Model(e)));
+            }
+        };
+        summary.accepted = candidates.len() as u64;
+        summary.merged = true;
+        // Redistribute through the shard FIFOs: every healthy session —
+        // contributors included — adopts the merged model, so after the
+        // round the whole fleet sits on the new baseline. Sessions that
+        // refuse (reconstruction started since the snapshot) or vanished
+        // are left for the next round.
+        for (id, status) in engine.session_statuses() {
+            if matches!(status, SessionStatus::Quarantined(_)) {
+                continue;
+            }
+            match engine.install_model(id, merged.clone()) {
+                Ok(()) => summary.redistributed += 1,
+                Err(FleetError::Core(_))
+                | Err(FleetError::UnknownSession(_))
+                | Err(FleetError::SessionQuarantined(_)) => {}
+                Err(e) => return Err(FederateError::Fleet(e)),
+            }
+        }
+        // Durable merged generation: encode through the reference
+        // pipeline so the blob is a full, restorable checkpoint.
+        self.reference
+            .install_model(merged.clone())
+            .map_err(FederateError::Persist)?;
+        let blob = self.reference.to_bytes().map_err(FederateError::Persist)?;
+        summary.persisted_generation = engine.persist_federated(&blob);
+        self.baseline = merged;
+        self.rounds_run += 1;
+        engine.record_federation_round(true, summary.accepted, summary.rejected);
+        self.last_round_at = engine.metrics().samples_processed;
+        Ok(summary)
+    }
+}
+
+/// Bitwise model equality over the trained state: per-instance `β`, `P`
+/// and sample counts. The frozen hidden layers are identical by
+/// construction for sessions sharing a reference, so comparing the
+/// mutable state is exact — a session whose pipeline never trained
+/// between rounds (the paper's evaluation mode freezes the model outside
+/// reconstructions) compares equal to the baseline.
+fn models_equal(a: &MultiInstanceModel, b: &MultiInstanceModel) -> bool {
+    if a.classes() != b.classes() {
+        return false;
+    }
+    (0..a.classes()).all(|label| match (a.instance(label), b.instance(label)) {
+        (Ok(ia), Ok(ib)) => {
+            let (na, nb) = (ia.network(), ib.network());
+            na.samples_seen() == nb.samples_seen()
+                && na.beta().as_slice() == nb.beta().as_slice()
+                && na.p().as_slice() == nb.p().as_slice()
+        }
+        _ => false,
+    })
+}
+
+/// Total trained samples across a model's instances — the freshness
+/// measure for the staleness gate.
+fn model_age(m: &MultiInstanceModel) -> u64 {
+    (0..m.classes())
+        .filter_map(|label| m.instance(label).ok())
+        .map(|i| i.samples_seen())
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqdrift_linalg::{Real, Rng};
+    use seqdrift_oselm::OsElmConfig;
+
+    fn blob(n: usize, dim: usize, mean: Real, seed: u64) -> Vec<Vec<Real>> {
+        let mut rng = Rng::seed_from(seed);
+        (0..n)
+            .map(|_| {
+                let mut x = vec![0.0; dim];
+                rng.fill_normal(&mut x, mean, 0.05);
+                x
+            })
+            .collect()
+    }
+
+    fn trained_model(seed: u64) -> MultiInstanceModel {
+        let mut m = MultiInstanceModel::new(1, OsElmConfig::new(4, 3).with_seed(seed)).unwrap();
+        m.init_train_class(0, &blob(60, 4, 0.3, 5)).unwrap();
+        m
+    }
+
+    #[test]
+    fn models_equal_is_bitwise_on_trained_state() {
+        let a = trained_model(1);
+        let b = a.clone();
+        assert!(models_equal(&a, &b));
+        let mut c = a.clone();
+        c.seq_train_label(0, &blob(1, 4, 0.3, 6)[0]).unwrap();
+        assert!(!models_equal(&a, &c));
+        // Different class counts never compare equal.
+        let mut two = MultiInstanceModel::new(2, OsElmConfig::new(4, 3).with_seed(1)).unwrap();
+        two.init_train_class(0, &blob(60, 4, 0.3, 5)).unwrap();
+        two.init_train_class(1, &blob(60, 4, 0.7, 7)).unwrap();
+        assert!(!models_equal(&a, &two));
+    }
+
+    #[test]
+    fn model_age_sums_instance_sample_counts() {
+        let mut m = trained_model(2);
+        let before = model_age(&m);
+        for x in &blob(10, 4, 0.3, 8) {
+            m.seq_train_label(0, x).unwrap();
+        }
+        assert_eq!(model_age(&m), before + 10);
+    }
+
+    #[test]
+    fn federator_requires_federation_enabled() {
+        let engine = FleetEngine::new(seqdrift_fleet::FleetConfig::new(1)).unwrap();
+        assert!(matches!(
+            Federator::new(&engine, &[]),
+            Err(FederateError::Disabled)
+        ));
+        engine.shutdown();
+    }
+}

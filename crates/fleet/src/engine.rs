@@ -22,6 +22,7 @@ use crate::supervisor::{
 };
 use seqdrift_core::{CoreError, DriftPipeline};
 use seqdrift_linalg::Real;
+use seqdrift_oselm::MultiInstanceModel;
 use seqdrift_store::{Store, StoreConfig, StoreError};
 use std::collections::HashMap;
 use std::path::PathBuf;
@@ -119,6 +120,79 @@ pub enum FeedReply {
     Quarantined,
 }
 
+/// Federation (cooperative cross-session model merging) knobs.
+///
+/// The fleet's pipelines all descend from one reference model, so their
+/// OS-ELM sufficient statistics compose analytically (Ito et al.,
+/// arXiv 2002.12301). A federation round collects snapshots from healthy
+/// sessions whose models have diverged from the current fleet baseline
+/// (i.e. sessions that reconstructed after a drift), merges them in
+/// closed form, and redistributes the merged model so lagging sessions
+/// adapt before their own detector has to fire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FederationConfig {
+    /// Fleet-wide processed-sample interval between automatic merge
+    /// rounds (pollers call `Federator::maybe_round`; an explicit
+    /// `run_round` ignores this).
+    pub interval: u64,
+    /// Minimum accepted contributions before a merge happens; rounds
+    /// with fewer changed healthy sessions are skipped.
+    pub min_contributors: usize,
+    /// Maximum per-instance trained-sample lag (vs the freshest
+    /// contributor) a contribution may have; anything staler is rejected
+    /// for the round.
+    pub staleness_bound: u64,
+}
+
+impl Default for FederationConfig {
+    fn default() -> Self {
+        FederationConfig {
+            interval: 2048,
+            min_contributors: 1,
+            staleness_bound: 100_000,
+        }
+    }
+}
+
+impl FederationConfig {
+    /// Overrides the automatic-round sample interval.
+    pub fn with_interval(mut self, interval: u64) -> Self {
+        self.interval = interval;
+        self
+    }
+
+    /// Overrides the minimum accepted contributions per merge.
+    pub fn with_min_contributors(mut self, min: usize) -> Self {
+        self.min_contributors = min;
+        self
+    }
+
+    /// Overrides the contributor staleness bound (in trained samples).
+    pub fn with_staleness_bound(mut self, bound: u64) -> Self {
+        self.staleness_bound = bound;
+        self
+    }
+
+    pub(crate) fn validate(&self) -> Result<(), FleetError> {
+        if self.interval == 0 {
+            return Err(FleetError::InvalidConfig(
+                "federation interval must be positive",
+            ));
+        }
+        if self.min_contributors == 0 {
+            return Err(FleetError::InvalidConfig(
+                "federation min_contributors must be positive",
+            ));
+        }
+        if self.staleness_bound == 0 {
+            return Err(FleetError::InvalidConfig(
+                "federation staleness_bound must be positive",
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// Engine construction parameters.
 #[derive(Debug, Clone)]
 pub struct FleetConfig {
@@ -153,6 +227,9 @@ pub struct FleetConfig {
     /// torn newest write always leaves a fallback). Ignored without
     /// `state_dir`.
     pub state_keep_generations: usize,
+    /// Cooperative cross-session model merging. `None` (the default)
+    /// disables federation entirely.
+    pub federation: Option<FederationConfig>,
 }
 
 impl FleetConfig {
@@ -170,6 +247,7 @@ impl FleetConfig {
             fault_injector: None,
             state_dir: None,
             state_keep_generations: 2,
+            federation: None,
         }
     }
 
@@ -217,6 +295,12 @@ impl FleetConfig {
         self.state_keep_generations = keep;
         self
     }
+
+    /// Enables cooperative cross-session model merging.
+    pub fn with_federation(mut self, federation: FederationConfig) -> Self {
+        self.federation = Some(federation);
+        self
+    }
 }
 
 /// What a worker can be asked to do. Control messages carry a reply channel
@@ -238,6 +322,11 @@ pub(crate) enum ShardMsg {
     SamplesProcessed {
         id: u64,
         reply: Sender<Result<u64, FleetError>>,
+    },
+    InstallModel {
+        id: u64,
+        model: Box<MultiInstanceModel>,
+        reply: Sender<Result<(), FleetError>>,
     },
     Evict {
         id: u64,
@@ -313,6 +402,9 @@ impl FleetEngine {
         }
         if cfg.feed_timeout.is_zero() {
             return Err(FleetError::InvalidConfig("feed_timeout must be positive"));
+        }
+        if let Some(federation) = &cfg.federation {
+            federation.validate()?;
         }
         // Opening the durable store runs its recovery scan: stale temps
         // are swept and torn frames discarded before any worker writes.
@@ -753,6 +845,103 @@ impl FleetEngine {
             Err(FleetError::UnknownSession(_)) => Err(self.refine_missing(id)),
             other => other,
         }
+    }
+
+    /// Installs a federated merged model into a session through the same
+    /// FIFO as its samples, so the install lands at a well-defined point
+    /// in the session's stream. Only the model is replaced — the
+    /// session's detector state, counters and resume offsets are
+    /// untouched. A mid-reconstruction session refuses the install
+    /// (surfaced as [`FleetError::Core`]); callers skip it and retry next
+    /// round. Counted in `MetricsSnapshot::redistributions` on success.
+    pub fn install_model(
+        &self,
+        id: SessionId,
+        model: MultiInstanceModel,
+    ) -> Result<(), FleetError> {
+        match read_lock(&self.registry).get(&id.0) {
+            None => return Err(FleetError::UnknownSession(id)),
+            Some(SessionStatus::Quarantined(_)) => return Err(FleetError::SessionQuarantined(id)),
+            Some(SessionStatus::Active) => {}
+        }
+        let (reply, rx) = channel();
+        self.control_send(
+            id,
+            ShardMsg::InstallModel {
+                id: id.0,
+                model: Box::new(model),
+                reply,
+            },
+        )?;
+        match rx.recv().map_err(|_| FleetError::Disconnected)? {
+            Err(FleetError::UnknownSession(_)) => Err(self.refine_missing(id)),
+            Ok(()) => {
+                self.metrics.redistributions.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            other => other,
+        }
+    }
+
+    /// Registered sessions and their lifecycle status, sorted by id.
+    /// Federation uses this to enumerate candidates; quarantined entries
+    /// are listed so the caller can count them as rejected contributors.
+    pub fn session_statuses(&self) -> Vec<(SessionId, SessionStatus)> {
+        let mut out: Vec<(SessionId, SessionStatus)> = read_lock(&self.registry)
+            .iter()
+            .map(|(&id, &status)| (SessionId(id), status))
+            .collect();
+        out.sort_by_key(|(id, _)| *id);
+        out
+    }
+
+    /// The federation configuration, when merging is enabled.
+    pub fn federation(&self) -> Option<&FederationConfig> {
+        self.cfg.federation.as_ref()
+    }
+
+    /// Tallies one federation round into the fleet metrics:
+    /// `accepted`/`rejected` contribution counts always, `merge_rounds`
+    /// only when the round actually produced a merged model.
+    pub fn record_federation_round(&self, merged: bool, accepted: u64, rejected: u64) {
+        self.metrics
+            .contributions_accepted
+            .fetch_add(accepted, Ordering::Relaxed);
+        self.metrics
+            .contributions_rejected
+            .fetch_add(rejected, Ordering::Relaxed);
+        if merged {
+            self.metrics.merge_rounds.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Persists a merged-model pipeline blob as a durable federated
+    /// generation (`SQCK`-framed, atomic, generational). Returns the
+    /// generation written, or `None` when the engine runs memory-only.
+    /// Disk failure is absorbed into `durable_flush_failures` — exactly
+    /// like session checkpoint flushes, federation never takes the fleet
+    /// down with the disk.
+    pub fn persist_federated(&self, blob: &[u8]) -> Option<u64> {
+        let durable = self.durable.as_ref()?;
+        match durable.put_federated(blob) {
+            Ok(generation) => Some(generation),
+            Err(_) => {
+                self.metrics
+                    .durable_flush_failures
+                    .fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Loads the newest durable federated merged-model blob, when the
+    /// engine has a state dir and a generation survived. Resume path for
+    /// the fleet-wide model after power loss.
+    pub fn load_federated(&self) -> Result<Option<Vec<u8>>, FleetError> {
+        let Some(durable) = &self.durable else {
+            return Ok(None);
+        };
+        Ok(durable.load_federated()?.map(|(_, blob)| blob))
     }
 
     /// Removes a session and returns its live pipeline (with any samples

@@ -91,7 +91,9 @@ mod fault;
 mod metrics;
 mod supervisor;
 
-pub use engine::{FeedReply, FleetConfig, FleetEngine, FleetError, SessionId, ShutdownReport};
+pub use engine::{
+    FederationConfig, FeedReply, FleetConfig, FleetEngine, FleetError, SessionId, ShutdownReport,
+};
 pub use fault::{Fault, FaultInjector};
 pub use metrics::MetricsSnapshot;
 pub use supervisor::{FleetEvent, LostSession, QuarantineReason, SessionStatus};

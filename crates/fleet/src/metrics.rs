@@ -49,6 +49,17 @@ pub(crate) struct FleetMetrics {
     /// Durable-store writes (checkpoint or quarantine ledger) that failed;
     /// the fleet keeps running memory-only when the disk misbehaves.
     pub durable_flush_failures: AtomicU64,
+    /// Federation merge rounds that produced (and installed) a merged
+    /// model.
+    pub merge_rounds: AtomicU64,
+    /// Per-session contributions accepted into a federated merge.
+    pub contributions_accepted: AtomicU64,
+    /// Contributions rejected by health gating (quarantined or degraded
+    /// contributor, or stale beyond the staleness bound).
+    pub contributions_rejected: AtomicU64,
+    /// Merged-model installs delivered to sessions through the shard
+    /// FIFOs.
+    pub redistributions: AtomicU64,
 }
 
 /// Per-shard ingress-queue depth, incremented on enqueue and decremented
@@ -114,6 +125,14 @@ pub struct MetricsSnapshot {
     pub durable_flushes: u64,
     /// Durable-store writes that failed (fleet degraded to memory-only).
     pub durable_flush_failures: u64,
+    /// Federation merge rounds that produced a merged model.
+    pub merge_rounds: u64,
+    /// Contributions accepted into federated merges.
+    pub contributions_accepted: u64,
+    /// Contributions rejected by federation health gating.
+    pub contributions_rejected: u64,
+    /// Merged-model installs delivered to sessions.
+    pub redistributions: u64,
     /// Ingress-queue depth per shard at snapshot time.
     pub queue_depths: Vec<usize>,
 }
@@ -138,6 +157,10 @@ impl FleetMetrics {
             samples_sanitized: self.samples_sanitized.load(Ordering::Relaxed),
             durable_flushes: self.durable_flushes.load(Ordering::Relaxed),
             durable_flush_failures: self.durable_flush_failures.load(Ordering::Relaxed),
+            merge_rounds: self.merge_rounds.load(Ordering::Relaxed),
+            contributions_accepted: self.contributions_accepted.load(Ordering::Relaxed),
+            contributions_rejected: self.contributions_rejected.load(Ordering::Relaxed),
+            redistributions: self.redistributions.load(Ordering::Relaxed),
             queue_depths,
         }
     }

@@ -549,6 +549,16 @@ pub(crate) fn worker_loop(
                 };
                 let _ = reply.send(result);
             }
+            ShardMsg::InstallModel { id, model, reply } => {
+                let result = match slots.get_mut(&id) {
+                    Some(slot) => slot
+                        .pipeline
+                        .install_model(*model)
+                        .map_err(crate::engine::FleetError::Core),
+                    None => Err(crate::engine::FleetError::UnknownSession(SessionId(id))),
+                };
+                let _ = reply.send(result);
+            }
             ShardMsg::Evict { id, reply } => {
                 let result = match slots.remove(&id) {
                     Some(slot) => {

@@ -136,6 +136,49 @@ pub fn spd_inverse(a: &Matrix) -> Result<Matrix> {
     Cholesky::factor(a)?.inverse()
 }
 
+/// Fused block-merge kernel for federated Gram fusion: the element-wise
+/// mean of the SPD matrices in `mats`, validated by a Cholesky factor of
+/// the result. Averaging (rather than summing) keeps the merged Gram
+/// magnitude on the same scale as its inputs across repeated merge
+/// rounds. A mean of SPD matrices is SPD in exact arithmetic, so a
+/// factorisation failure here means an input was not actually SPD or a
+/// non-finite value crept in — both surface as
+/// [`LinalgError::NotPositiveDefinite`], mirroring `seq_train`'s
+/// transactional validation.
+pub fn spd_mean(mats: &[&Matrix]) -> Result<Matrix> {
+    let Some(first) = mats.first() else {
+        return Err(LinalgError::InvalidArgument("spd_mean: empty input"));
+    };
+    if !first.is_square() {
+        return Err(LinalgError::InvalidArgument("spd_mean: matrix not square"));
+    }
+    let n = first.rows();
+    let mut mean = Matrix::zeros(n, n);
+    let scale = 1.0 / mats.len() as Real;
+    for m in mats {
+        if m.shape() != (n, n) {
+            return Err(LinalgError::ShapeMismatch {
+                op: "spd_mean",
+                lhs: (n, n),
+                rhs: m.shape(),
+            });
+        }
+        for r in 0..n {
+            for c in 0..n {
+                let v = m.get(r, c);
+                if !v.is_finite() {
+                    return Err(LinalgError::NotPositiveDefinite);
+                }
+                mean.set(r, c, mean.get(r, c) + v * scale);
+            }
+        }
+    }
+    // Factorise the mean itself: validates positive-definiteness of the
+    // merged Gram before any caller commits to it.
+    Cholesky::factor(&mean)?;
+    Ok(mean)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -201,5 +244,49 @@ mod tests {
         let ch = Cholesky::factor(&Matrix::identity(4)).unwrap();
         assert!(ch.l().approx_eq(&Matrix::identity(4), 1e-6));
         assert_eq!(ch.log_determinant(), 0.0);
+    }
+
+    #[test]
+    fn spd_mean_averages_elementwise() {
+        let a = spd3();
+        let b = Matrix::identity(3);
+        let mean = spd_mean(&[&a, &b]).unwrap();
+        for r in 0..3 {
+            for c in 0..3 {
+                let want = (a.get(r, c) + b.get(r, c)) / 2.0;
+                assert!((mean.get(r, c) - want).abs() < 1e-6);
+            }
+        }
+        // Single input: mean is the input itself.
+        let same = spd_mean(&[&a]).unwrap();
+        assert!(same.approx_eq(&a, 1e-6));
+    }
+
+    #[test]
+    fn spd_mean_rejects_bad_inputs() {
+        let a = spd3();
+        assert!(matches!(
+            spd_mean(&[]),
+            Err(LinalgError::InvalidArgument(_))
+        ));
+        let wrong = Matrix::identity(2);
+        assert!(matches!(
+            spd_mean(&[&a, &wrong]),
+            Err(LinalgError::ShapeMismatch { .. })
+        ));
+        let mut poisoned = spd3();
+        poisoned.set(1, 1, Real::NAN);
+        assert_eq!(
+            spd_mean(&[&a, &poisoned]).unwrap_err(),
+            LinalgError::NotPositiveDefinite
+        );
+        // An indefinite input drags the mean off the SPD cone strongly
+        // enough that the validating factorisation rejects it.
+        let indefinite =
+            Matrix::from_vec(3, 3, vec![1.0, 0.0, 0.0, 0.0, -100.0, 0.0, 0.0, 0.0, 1.0]).unwrap();
+        assert_eq!(
+            spd_mean(&[&a, &indefinite]).unwrap_err(),
+            LinalgError::NotPositiveDefinite
+        );
     }
 }

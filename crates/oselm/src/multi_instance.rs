@@ -188,6 +188,35 @@ impl MultiInstanceModel {
             .map(|i| i.network().param_counts().total())
             .sum()
     }
+
+    /// Federated merge across model replicas: label-by-label
+    /// [`crate::oselm::OsElm::merge_with`] of this model with
+    /// `contributors` trained from the same reference. All models must
+    /// have the same class count; each per-label instance inherits its
+    /// base's score metric. Fails atomically — any per-instance rejection
+    /// (incompatible hidden layer, non-PD statistics, divergent merged
+    /// state) discards the whole merge and leaves every input untouched.
+    pub fn merge_with(&self, contributors: &[&MultiInstanceModel]) -> Result<MultiInstanceModel> {
+        if contributors.is_empty() {
+            return Err(ModelError::InvalidConfig("merge_with: no contributors"));
+        }
+        if let Some(c) = contributors.iter().find(|c| c.classes() != self.classes()) {
+            return Err(ModelError::BadLabel {
+                classes: self.classes(),
+                label: c.classes(),
+            });
+        }
+        let mut merged = Vec::with_capacity(self.instances.len());
+        for (label, inst) in self.instances.iter().enumerate() {
+            let nets: Vec<&crate::oselm::OsElm> = contributors
+                .iter()
+                .map(|c| c.instances[label].network())
+                .collect();
+            let net = inst.network().merge_with(&nets)?;
+            merged.push(Autoencoder::from_network(net, inst.metric())?);
+        }
+        MultiInstanceModel::from_instances(merged)
+    }
 }
 
 #[cfg(test)]
@@ -323,5 +352,52 @@ mod tests {
         let one = MultiInstanceModel::new(1, OsElmConfig::new(10, 4)).unwrap();
         let three = MultiInstanceModel::new(3, OsElmConfig::new(10, 4)).unwrap();
         assert_eq!(3 * one.total_param_scalars(), three.total_param_scalars());
+    }
+
+    #[test]
+    fn merge_with_fuses_per_label_instances() {
+        let base = trained_two_class();
+        // Two replicas of the same reference, each adapted to a shifted
+        // class-0 concept; class 1 untouched on both.
+        let shift = blob(100, 6, 0.5, 21);
+        let mut a = base.clone();
+        let mut b = base.clone();
+        for x in &shift {
+            a.seq_train_label(0, x).unwrap();
+            b.seq_train_label(0, x).unwrap();
+        }
+        let mut merged = base.merge_with(&[&a, &b]).unwrap();
+        assert_eq!(merged.classes(), 2);
+        assert!(merged.is_initialized());
+        // The merged class-0 instance absorbed the replicas' adaptation:
+        // it scores the shifted concept better than the stale base does.
+        let probe = blob(20, 6, 0.5, 22);
+        let mut stale = base.clone();
+        let merged_mean: Real = probe
+            .iter()
+            .map(|x| merged.instance_mut(0).unwrap().score(x).unwrap())
+            .sum::<Real>()
+            / probe.len() as Real;
+        let stale_mean: Real = probe
+            .iter()
+            .map(|x| stale.instance_mut(0).unwrap().score(x).unwrap())
+            .sum::<Real>()
+            / probe.len() as Real;
+        assert!(
+            merged_mean < stale_mean,
+            "merged {merged_mean} vs stale {stale_mean}"
+        );
+    }
+
+    #[test]
+    fn merge_with_rejects_class_count_mismatch() {
+        let base = trained_two_class();
+        let mut other = MultiInstanceModel::new(1, OsElmConfig::new(6, 4).with_seed(42)).unwrap();
+        other.init_train_class(0, &blob(80, 6, 0.2, 1)).unwrap();
+        assert!(matches!(
+            base.merge_with(&[&other]),
+            Err(ModelError::BadLabel { .. })
+        ));
+        assert!(base.merge_with(&[]).is_err());
     }
 }

@@ -23,7 +23,7 @@
 //! the struct.
 
 use crate::{Activation, ModelError, Result};
-use seqdrift_linalg::{vector, Matrix, Real};
+use seqdrift_linalg::{cholesky, vector, Matrix, Real};
 
 /// Configuration for an [`OsElm`] network.
 #[derive(Debug, Clone, PartialEq)]
@@ -694,6 +694,103 @@ impl OsElm {
             cfg,
         })
     }
+
+    /// Closed-form federated merge (Ito et al., arXiv 2002.12301, applied
+    /// to the recursive form the paper uses): fuses this network with
+    /// `contributors` trained from the *same* frozen hidden layer by
+    /// combining their sufficient statistics rather than their weights.
+    ///
+    /// For each network, `U = P⁻¹ = HᵀH + λI` is the regularised Gram
+    /// matrix of everything it has seen and `c = U β = HᵀT` the matching
+    /// normal-equation right-hand side. Both are additive across sample
+    /// sets, so the merge solves the pooled normal equations
+    /// `β* = (Σ U)⁻¹ (Σ c)` over base + contributors. Statistics the
+    /// participants share (the common reference they all started from)
+    /// are counted once per participant, which anchors the blend toward
+    /// the reference model — deliberate conservatism for a fleet merge,
+    /// where one eccentric contributor should pull, not teleport, the
+    /// merged model. The merged state stores the *mean* of the `U`s (and
+    /// of the `c`s) instead of the sum — `β*` is unchanged, but the
+    /// merged `P` keeps the same magnitude scale as its inputs, so
+    /// repeated merge rounds cannot drive `trace(P)` toward the
+    /// [`OsElm::P_TRACE_BOUND`] divergence guard from above or freeze the
+    /// model's plasticity from below.
+    ///
+    /// Validation mirrors `seq_train`'s transactional path: every `U_i`
+    /// must factor positive-definite, the merged Gram must factor
+    /// positive-definite, and the resulting `P`/`β` must be entirely
+    /// finite with `trace(P)` within [`OsElm::P_TRACE_BOUND`] — otherwise
+    /// the merge returns [`ModelError::RejectedUpdate`] and `self` is
+    /// untouched (the merge never mutates, it returns a new network).
+    ///
+    /// Requirements: all networks initialised, configs identical, and
+    /// bit-identical `W`/`b` (the statistics only compose against one
+    /// shared random hidden layer).
+    pub fn merge_with(&self, contributors: &[&OsElm]) -> Result<OsElm> {
+        if contributors.is_empty() {
+            return Err(ModelError::InvalidConfig("merge_with: no contributors"));
+        }
+        if !self.initialized {
+            return Err(ModelError::NotInitialized);
+        }
+        for c in contributors {
+            if !c.initialized {
+                return Err(ModelError::NotInitialized);
+            }
+            if c.cfg != self.cfg {
+                return Err(ModelError::InvalidConfig(
+                    "merge_with: contributor config differs from base",
+                ));
+            }
+            if c.w.as_slice() != self.w.as_slice() || c.b != self.b {
+                return Err(ModelError::InvalidConfig(
+                    "merge_with: contributor hidden layer differs from base",
+                ));
+            }
+        }
+        let (hd, od) = (self.cfg.hidden_dim, self.cfg.output_dim);
+        // U_i = P_i⁻¹ and c_i = U_i β_i for the base and every contributor.
+        // spd_inverse validates each P_i positive-definite on the way.
+        let mut grams: Vec<Matrix> = Vec::with_capacity(contributors.len() + 1);
+        let mut rhs_mean = Matrix::zeros(hd, od);
+        let scale = 1.0 / (contributors.len() + 1) as Real;
+        for net in std::iter::once(&self).chain(contributors.iter()) {
+            let u = cholesky::spd_inverse(&net.p)?;
+            let c = u.matmul(&net.beta)?;
+            for (acc, &v) in rhs_mean.as_mut_slice().iter_mut().zip(c.as_slice()) {
+                *acc += v * scale;
+            }
+            grams.push(u);
+        }
+        let gram_refs: Vec<&Matrix> = grams.iter().collect();
+        let u_merged = cholesky::spd_mean(&gram_refs)?;
+        let p = cholesky::spd_inverse(&u_merged)?;
+        let beta = p.matmul(&rhs_mean)?;
+        // Commit gate, exactly as seq_train's post-update validation.
+        let trace: Real = (0..hd).map(|i| p.get(i, i)).sum();
+        let sane = trace.is_finite()
+            && trace <= Self::P_TRACE_BOUND
+            && p.as_slice().iter().all(|v| v.is_finite())
+            && beta.as_slice().iter().all(|v| v.is_finite());
+        if !sane {
+            return Err(ModelError::RejectedUpdate(
+                "merge produced non-finite or divergent P/beta",
+            ));
+        }
+        let samples_seen = std::iter::once(self.samples_seen)
+            .chain(contributors.iter().map(|c| c.samples_seen))
+            .max()
+            .unwrap_or(self.samples_seen);
+        OsElm::from_parts(
+            self.cfg.clone(),
+            self.w.as_slice().to_vec(),
+            self.b.clone(),
+            p.as_slice().to_vec(),
+            beta.as_slice().to_vec(),
+            true,
+            samples_seen,
+        )
+    }
 }
 
 /// Scalar-count breakdown of an OS-ELM's buffers.
@@ -1048,5 +1145,128 @@ mod tests {
         // Still trainable after the re-seed.
         m.seq_train(&xs[1], &xs[1]).unwrap();
         assert!(m.p().as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    /// Builds sibling networks from one initial batch, then trains each
+    /// sibling sequentially on its own shard.
+    fn federated_siblings(shards: &[Vec<Vec<Real>>]) -> Vec<OsElm> {
+        let init = toy_data(40, 3, 70);
+        let base = {
+            let mut m = OsElm::new(OsElmConfig::new(3, 5).with_seed(11)).unwrap();
+            m.init_train(&init, &init).unwrap();
+            m
+        };
+        shards
+            .iter()
+            .map(|shard| {
+                let mut m = base.clone();
+                for x in shard {
+                    m.seq_train(x, x).unwrap();
+                }
+                m
+            })
+            .collect()
+    }
+
+    #[test]
+    fn merge_recovers_joint_training_solution() {
+        // Two siblings each see half the extra data; merging them must
+        // approximate one network that saw all of it sequentially.
+        let shard_a = toy_data(60, 3, 71);
+        let shard_b = toy_data(60, 3, 72);
+        let nets = federated_siblings(&[shard_a.clone(), shard_b.clone(), vec![]]);
+        let (a, b, base) = (&nets[0], &nets[1], &nets[2]);
+
+        let merged = base.merge_with(&[a, b]).unwrap();
+        assert!(merged.is_initialized());
+        assert_eq!(merged.samples_seen(), a.samples_seen());
+        assert_eq!(merged.weights().as_slice(), base.weights().as_slice());
+
+        let mut joint = base.clone();
+        for x in shard_a.iter().chain(shard_b.iter()) {
+            joint.seq_train(x, x).unwrap();
+        }
+        // The pooled normal equations count the shared initial batch once
+        // per participant, so the merge is an anchored blend rather than
+        // the exact joint solution — but it must land far closer to the
+        // joint solution than the stale base does.
+        let dist = |a: &OsElm, b: &OsElm| -> Real {
+            a.beta()
+                .as_slice()
+                .iter()
+                .zip(b.beta().as_slice())
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum::<Real>()
+                .sqrt()
+        };
+        let merged_err = dist(&merged, &joint);
+        let base_err = dist(base, &joint);
+        assert!(
+            merged_err < base_err * 0.5,
+            "merged {merged_err} vs base {base_err}"
+        );
+        // Averaged Gram fusion: the merged P stays on the inputs' scale.
+        let trace = |n: &OsElm| (0..n.hidden_dim()).map(|i| n.p().get(i, i)).sum::<Real>();
+        assert!(trace(&merged) <= trace(base) * 1.5 + 1.0);
+    }
+
+    #[test]
+    fn merge_is_deterministic_and_does_not_mutate_base() {
+        let nets = federated_siblings(&[toy_data(30, 3, 73), toy_data(30, 3, 74)]);
+        let (a, b) = (&nets[0], &nets[1]);
+        let a_p = a.p().as_slice().to_vec();
+        let m1 = a.merge_with(&[b]).unwrap();
+        let m2 = a.merge_with(&[b]).unwrap();
+        assert_eq!(m1.p().as_slice(), m2.p().as_slice());
+        assert_eq!(m1.beta().as_slice(), m2.beta().as_slice());
+        assert_eq!(a.p().as_slice(), &a_p[..]);
+    }
+
+    #[test]
+    fn merge_rejects_incompatible_contributors() {
+        let nets = federated_siblings(&[toy_data(20, 3, 75)]);
+        let base = &nets[0];
+        assert!(matches!(
+            base.merge_with(&[]),
+            Err(ModelError::InvalidConfig(_))
+        ));
+        // Different seed => different frozen hidden layer.
+        let xs = toy_data(40, 3, 76);
+        let mut other_layer = OsElm::new(OsElmConfig::new(3, 5).with_seed(12)).unwrap();
+        other_layer.init_train(&xs, &xs).unwrap();
+        assert!(matches!(
+            base.merge_with(&[&other_layer]),
+            Err(ModelError::InvalidConfig(_))
+        ));
+        // Uninitialised contributor.
+        let raw = OsElm::new(OsElmConfig::new(3, 5).with_seed(11)).unwrap();
+        assert!(matches!(
+            base.merge_with(&[&raw]),
+            Err(ModelError::NotInitialized)
+        ));
+    }
+
+    #[test]
+    fn merge_rejects_poisoned_contributor_statistics() {
+        let nets = federated_siblings(&[toy_data(20, 3, 77), toy_data(20, 3, 78)]);
+        let (base, clean) = (&nets[0], &nets[1]);
+        // Forge a contributor whose P carries a NaN: the PD validation in
+        // the Gram inversion must reject the merge outright.
+        let mut p = clean.p().as_slice().to_vec();
+        p[0] = Real::NAN;
+        let poisoned = OsElm::from_parts(
+            clean.config().clone(),
+            clean.weights().as_slice().to_vec(),
+            clean.biases().to_vec(),
+            p,
+            clean.beta().as_slice().to_vec(),
+            true,
+            clean.samples_seen(),
+        )
+        .unwrap();
+        assert!(matches!(
+            base.merge_with(&[&poisoned]),
+            Err(ModelError::Linalg(_))
+        ));
     }
 }

@@ -31,6 +31,7 @@ use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
 use seqdrift_core::DriftPipeline;
+use seqdrift_federate::Federator;
 use seqdrift_fleet::{
     FleetConfig, FleetEngine, FleetError, FleetEvent, MetricsSnapshot, SessionId, ShutdownReport,
 };
@@ -96,6 +97,9 @@ pub enum ServerError {
     Fleet(FleetError),
     /// The reference checkpoint blob did not decode.
     BadReference(String),
+    /// Federation was requested (the fleet config carries a
+    /// `FederationConfig`) but could not be set up.
+    Federation(String),
 }
 
 impl core::fmt::Display for ServerError {
@@ -104,6 +108,7 @@ impl core::fmt::Display for ServerError {
             ServerError::Io(e) => write!(f, "socket error: {e}"),
             ServerError::Fleet(e) => write!(f, "fleet error: {e}"),
             ServerError::BadReference(e) => write!(f, "reference checkpoint invalid: {e}"),
+            ServerError::Federation(e) => write!(f, "federation setup failed: {e}"),
         }
     }
 }
@@ -206,6 +211,10 @@ pub struct Server {
     listener: TcpListener,
     local_addr: SocketAddr,
     shared: Arc<Shared>,
+    /// Present when the fleet config carries a `FederationConfig`:
+    /// [`Server::run`] spawns a background thread driving merge rounds
+    /// against the shared fleet.
+    federator: Option<Federator>,
 }
 
 impl Server {
@@ -230,12 +239,24 @@ impl Server {
                 resumed.insert(id.0, samples);
             }
         }
+        let federator = match (fleet.federation().is_some(), &cfg.reference) {
+            (false, _) => None,
+            (true, None) => {
+                return Err(ServerError::Federation(
+                    "federation requires a reference checkpoint".into(),
+                ))
+            }
+            (true, Some(blob)) => Some(
+                Federator::new(&fleet, blob).map_err(|e| ServerError::Federation(e.to_string()))?,
+            ),
+        };
         let known: HashSet<u64> = resumed.keys().copied().collect();
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         Ok(Server {
             listener,
             local_addr,
+            federator,
             shared: Arc::new(Shared {
                 fleet,
                 reference: cfg.reference,
@@ -273,10 +294,28 @@ impl Server {
     /// down (flushing durable state). Never panics on connection errors —
     /// a failed accept is retried, a failed handler only loses its own
     /// connection.
-    pub fn run<F: Fn() -> bool>(self, stop_requested: F) -> ServerReport {
+    pub fn run<F: Fn() -> bool>(mut self, stop_requested: F) -> ServerReport {
         // Non-blocking so the accept loop can poll the stop predicate.
         let nonblocking_ok = self.listener.set_nonblocking(true).is_ok();
         let mut handles: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        // Federation poller: checks the sample interval every read tick
+        // and runs a merge round when it elapses. Holds its own clone of
+        // the shared state, so it MUST be joined before the drain's
+        // `Arc::try_unwrap` below.
+        let federation = self.federator.take().map(|mut federator| {
+            let shared = Arc::clone(&self.shared);
+            std::thread::spawn(move || {
+                while !shared.stop.load(Ordering::Relaxed) {
+                    // Engine-level failures (shutdown races) end polling;
+                    // per-session outcomes are absorbed into the fleet
+                    // counters by the federator itself.
+                    if federator.maybe_round(&shared.fleet).is_err() {
+                        break;
+                    }
+                    std::thread::sleep(shared.read_tick);
+                }
+            })
+        });
         while !stop_requested() {
             match self.listener.accept() {
                 Ok((stream, _peer)) => {
@@ -328,6 +367,9 @@ impl Server {
         // Drain: signal the handlers, join them, shut the fleet down.
         self.shared.stop.store(true, Ordering::SeqCst);
         for h in handles {
+            let _ = h.join();
+        }
+        if let Some(h) = federation {
             let _ = h.join();
         }
         let net = self.shared.metrics.snapshot();

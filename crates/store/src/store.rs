@@ -38,6 +38,10 @@ use std::sync::{Mutex, MutexGuard, PoisonError};
 
 /// Directory name of the store-level manifest (quarantine ledger).
 const MANIFEST_DIR: &str = "manifest";
+/// Directory name of the fleet-wide federated merged model. Non-numeric,
+/// so the per-session recovery/resume scans never mistake it for a
+/// session directory.
+const FEDERATED_DIR: &str = "federated";
 /// Payload kind of a serialised manifest (the session checkpoints inside
 /// frames are `seqdrift_core::persist` blobs with their own kind).
 const KIND_MANIFEST: u16 = 32;
@@ -146,6 +150,7 @@ struct Inner {
     sessions: HashMap<u64, Slot>,
     manifest_gens: BTreeSet<u64>,
     ledger: BTreeMap<u64, LedgerEntry>,
+    federated_gens: BTreeSet<u64>,
 }
 
 /// The crash-safe checkpoint store. All methods take `&self`; internal
@@ -297,6 +302,14 @@ impl Store {
                         }
                     }
                 }
+                continue;
+            }
+            if name == FEDERATED_DIR {
+                // Same payload contract as session checkpoints: the
+                // merged model is a full pipeline blob.
+                let (gens, _) = self
+                    .scan_frame_dir(&path, |payload| DriftPipeline::from_bytes(payload).is_ok())?;
+                inner.federated_gens = gens;
                 continue;
             }
             let Ok(session) = name.parse::<u64>() else {
@@ -527,6 +540,66 @@ impl Store {
             }
         }
         self.write_manifest()
+    }
+
+    /// Writes the fleet-wide federated merged model (a full pipeline
+    /// blob) as a new durable generation under the non-numeric
+    /// `federated/` directory, through the same atomic generational path
+    /// as session checkpoints. Returns the generation written.
+    pub fn put_federated(&self, payload: &[u8]) -> Result<u64, StoreError> {
+        let mut inner = self.lock();
+        let generation = inner
+            .federated_gens
+            .iter()
+            .next_back()
+            .copied()
+            .unwrap_or(0)
+            + 1;
+        let dir = self.root.join(FEDERATED_DIR);
+        fs::create_dir_all(&dir)
+            .map_err(io_err(format!("creating federated dir {}", dir.display())))?;
+        let path = Store::frame_path(&dir, generation);
+        atomic_write(&path, &frame::encode(generation, payload)).map_err(io_err(format!(
+            "writing federated model {}",
+            path.display()
+        )))?;
+        inner.federated_gens.insert(generation);
+        let excess: Vec<u64> = {
+            let n = inner.federated_gens.len().saturating_sub(self.keep);
+            inner.federated_gens.iter().take(n).copied().collect()
+        };
+        for old in excess {
+            let old_path = Store::frame_path(&dir, old);
+            fs::remove_file(&old_path)
+                .map_err(io_err(format!("pruning {}", old_path.display())))?;
+            inner.federated_gens.remove(&old);
+        }
+        Ok(generation)
+    }
+
+    /// Loads the newest federated merged-model payload that frames and
+    /// decodes as a pipeline, walking generations newest to oldest.
+    /// `None` when no merged model has ever been persisted (or none
+    /// survived).
+    pub fn load_federated(&self) -> Result<Option<(u64, Vec<u8>)>, StoreError> {
+        let gens: Vec<u64> = {
+            let inner = self.lock();
+            inner.federated_gens.iter().rev().copied().collect()
+        };
+        let dir = self.root.join(FEDERATED_DIR);
+        for generation in gens {
+            let path = Store::frame_path(&dir, generation);
+            let bytes = match fs::read(&path) {
+                Ok(b) => b,
+                Err(_) => continue,
+            };
+            if let Ok((_, payload)) = frame::decode(&bytes) {
+                if DriftPipeline::from_bytes(payload).is_ok() {
+                    return Ok(Some((generation, payload.to_vec())));
+                }
+            }
+        }
+        Ok(None)
     }
 
     fn write_manifest(&self) -> Result<(), StoreError> {

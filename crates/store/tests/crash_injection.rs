@@ -228,3 +228,48 @@ fn crash_during_prune_leaves_recoverable_state() {
     assert_eq!(got.to_bytes().unwrap(), blob);
     fs::remove_dir_all(&root).ok();
 }
+
+#[test]
+fn federated_model_roundtrips_and_survives_reopen() {
+    let root = tmp_root("federated");
+    let store = Store::open(&root).unwrap();
+    let blob = calibrated_pipeline(13).to_bytes().unwrap();
+    assert!(store.load_federated().unwrap().is_none());
+    assert_eq!(store.put_federated(&blob).unwrap(), 1);
+    let blob2 = calibrated_pipeline(14).to_bytes().unwrap();
+    assert_eq!(store.put_federated(&blob2).unwrap(), 2);
+    let (generation, got) = store.load_federated().unwrap().unwrap();
+    assert_eq!(generation, 2);
+    assert_eq!(got, blob2);
+    // The federated directory is not a session: the per-session scan and
+    // resume paths must never see it.
+    assert!(store.sessions().is_empty());
+    drop(store);
+    // Power loss + restart: the newest valid generation is restored.
+    let store = Store::open(&root).unwrap();
+    let (generation, got) = store.load_federated().unwrap().unwrap();
+    assert_eq!(generation, 2);
+    assert_eq!(got, blob2);
+    assert!(store.sessions().is_empty());
+    fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn torn_federated_generation_falls_back_to_previous() {
+    let root = tmp_root("federated-torn");
+    let store = Store::open(&root).unwrap();
+    let blob = calibrated_pipeline(15).to_bytes().unwrap();
+    store.put_federated(&blob).unwrap();
+    let blob2 = calibrated_pipeline(16).to_bytes().unwrap();
+    store.put_federated(&blob2).unwrap();
+    drop(store);
+    // Truncate the newest federated generation mid-frame (torn write).
+    let newest = root.join("federated").join("2.ckpt");
+    let bytes = fs::read(&newest).unwrap();
+    fs::write(&newest, &bytes[..bytes.len() / 2]).unwrap();
+    let store = Store::open(&root).unwrap();
+    let (generation, got) = store.load_federated().unwrap().unwrap();
+    assert_eq!(generation, 1);
+    assert_eq!(got, blob);
+    fs::remove_dir_all(&root).ok();
+}

@@ -25,6 +25,9 @@
 //! * [`fleet`] — the multi-tenant serving layer multiplexing many
 //!   independent pipeline sessions across a supervised worker pool with
 //!   panic isolation, checkpoint-based recovery and fault injection;
+//! * [`federate`] — cooperative cross-session model merging: closed-form
+//!   federated OS-ELM aggregation with health gating, transactional
+//!   validation and durable merged generations;
 //! * [`linalg`] — the shared dense/stack linear-algebra substrate;
 //! * [`store`] — the crash-safe durable state store: CRC-framed
 //!   generational checkpoints written atomically (temp + fsync + rename),
@@ -75,6 +78,7 @@ pub use seqdrift_core as core;
 pub use seqdrift_datasets as datasets;
 pub use seqdrift_edgesim as edgesim;
 pub use seqdrift_eval as eval;
+pub use seqdrift_federate as federate;
 pub use seqdrift_fleet as fleet;
 pub use seqdrift_linalg as linalg;
 pub use seqdrift_oselm as oselm;
@@ -88,9 +92,10 @@ pub mod prelude {
         pipeline::{DriftPipeline, PipelineOutput},
         threshold::calibrate_drift_threshold,
     };
+    pub use seqdrift_federate::{FederateError, Federator, RoundSummary};
     pub use seqdrift_fleet::{
-        Fault, FaultInjector, FeedReply, FleetConfig, FleetEngine, FleetError, FleetEvent,
-        QuarantineReason, SessionId, SessionStatus,
+        Fault, FaultInjector, FederationConfig, FeedReply, FleetConfig, FleetEngine, FleetError,
+        FleetEvent, QuarantineReason, SessionId, SessionStatus,
     };
     pub use seqdrift_linalg::{Matrix, Real, Rng};
     pub use seqdrift_oselm::{
