@@ -92,6 +92,7 @@ fn main() {
                 p50_us: stats.median_ns / total as f64 / 1e3,
                 p99_us: stats.max_ns / total as f64 / 1e3,
                 samples: total,
+                unit: None,
             },
         ));
     }

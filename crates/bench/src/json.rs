@@ -23,7 +23,7 @@ use std::io;
 use std::path::Path;
 
 /// One ingest measurement.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct IngestEntry {
     /// Sustained throughput over the measured run.
     pub samples_per_sec: f64,
@@ -33,6 +33,14 @@ pub struct IngestEntry {
     pub p99_us: f64,
     /// Total sample rows measured.
     pub samples: u64,
+    /// What the three value fields measure when they are *not* the
+    /// default throughput/latency: e.g. the federation delay entries set
+    /// `unit: Some("samples")` because they carry adaptation delays in
+    /// samples through the same schema. `None` means the canonical
+    /// samples/sec + microsecond semantics. Files written before this
+    /// field existed parse as `None`, and entries with `None` render
+    /// without the field, so old and new files interoperate.
+    pub unit: Option<String>,
 }
 
 /// Serialises entries as the canonical `BENCH_ingest.json` document.
@@ -45,13 +53,18 @@ pub fn render(entries: &BTreeMap<String, IngestEntry>) -> String {
             out.push_str(",\n");
         }
         first = false;
+        let unit = match &e.unit {
+            Some(u) => format!(", \"unit\": \"{}\"", escape(u)),
+            None => String::new(),
+        };
         out.push_str(&format!(
-            "    \"{}\": {{ \"samples_per_sec\": {:.1}, \"p50_us\": {:.2}, \"p99_us\": {:.2}, \"samples\": {} }}",
+            "    \"{}\": {{ \"samples_per_sec\": {:.1}, \"p50_us\": {:.2}, \"p99_us\": {:.2}, \"samples\": {}{} }}",
             escape(name),
             e.samples_per_sec,
             e.p50_us,
             e.p99_us,
-            e.samples
+            e.samples,
+            unit
         ));
     }
     out.push_str("\n  }\n}\n");
@@ -70,7 +83,7 @@ pub fn merge_into_file(
         .and_then(|s| parse(&s))
         .unwrap_or_default();
     for (name, e) in new_entries {
-        entries.insert(name.clone(), *e);
+        entries.insert(name.clone(), e.clone());
     }
     std::fs::write(path, render(&entries))?;
     Ok(entries)
@@ -125,21 +138,16 @@ pub fn parse(text: &str) -> Option<BTreeMap<String, IngestEntry>> {
         let name = t.string()?;
         t.expect(':')?;
         t.expect('{')?;
-        let mut entry = IngestEntry {
-            samples_per_sec: 0.0,
-            p50_us: 0.0,
-            p99_us: 0.0,
-            samples: 0,
-        };
+        let mut entry = IngestEntry::default();
         loop {
             let field = t.string()?;
             t.expect(':')?;
-            let value = t.number()?;
             match field.as_str() {
-                "samples_per_sec" => entry.samples_per_sec = value,
-                "p50_us" => entry.p50_us = value,
-                "p99_us" => entry.p99_us = value,
-                "samples" => entry.samples = value as u64,
+                "samples_per_sec" => entry.samples_per_sec = t.number()?,
+                "p50_us" => entry.p50_us = t.number()?,
+                "p99_us" => entry.p99_us = t.number()?,
+                "samples" => entry.samples = t.number()? as u64,
+                "unit" => entry.unit = Some(t.string()?),
                 _ => return None,
             }
             match t.next_ch()? {
@@ -236,6 +244,7 @@ mod tests {
             p50_us: 12.34,
             p99_us: 99.9,
             samples: 6400,
+            unit: None,
         }
     }
 
@@ -252,6 +261,26 @@ mod tests {
     fn empty_document_roundtrips() {
         let entries = BTreeMap::new();
         assert_eq!(parse(&render(&entries)).unwrap(), entries);
+    }
+
+    #[test]
+    fn unit_field_roundtrips_and_old_files_still_parse() {
+        let mut entries = BTreeMap::new();
+        let mut delay = entry(219.0);
+        delay.unit = Some("samples".to_string());
+        entries.insert("federate50_delay_merge_off".to_string(), delay);
+        entries.insert("load_s8".to_string(), entry(999.0));
+        let text = render(&entries);
+        assert!(text.contains("\"unit\": \"samples\""), "{text}");
+        assert_eq!(parse(&text).unwrap(), entries);
+
+        // A document written before the unit field existed parses with
+        // `unit: None` for every entry.
+        let legacy = "{ \"entries\": { \"a\": { \"samples_per_sec\": 1.0, \
+                      \"p50_us\": 2.00, \"p99_us\": 3.00, \"samples\": 4 } } }";
+        let parsed = parse(legacy).unwrap();
+        assert_eq!(parsed["a"].unit, None);
+        assert_eq!(parsed["a"].samples, 4);
     }
 
     #[test]

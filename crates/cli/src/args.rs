@@ -179,6 +179,17 @@ pub struct ServeArgs {
     pub federate: bool,
     /// Fleet-wide processed-sample interval between merge rounds.
     pub federate_interval: u64,
+    /// Admission: cap on concurrently open connections (0 = unlimited).
+    pub max_conns: usize,
+    /// Admission: sustained accepts/sec tolerated per source IP
+    /// (0 = unlimited).
+    pub accept_rate: f64,
+    /// Admission: cap on sample bytes concurrently in flight across all
+    /// connections (0 = unlimited).
+    pub inflight_cap: u64,
+    /// Admission: a connection must complete its first HELLO within this
+    /// many milliseconds (0 disables the deadline).
+    pub handshake_timeout_ms: u64,
 }
 
 /// Arguments of `seqdrift load`.
@@ -209,6 +220,15 @@ pub struct LoadArgs {
     /// Seconds of zero-progress BUSY replies before a device gives up
     /// (`Client::busy_stall_timeout`); omit for the client default.
     pub busy_stall_timeout: Option<u64>,
+    /// Route a subset of devices through an in-process fault-injection
+    /// proxy (`ChaosProxy`) and report healthy/victim latency separately.
+    pub chaos: bool,
+    /// Seed for the deterministic chaos fault schedule: the same seed
+    /// replays the same faults against the same connections.
+    pub chaos_seed: u64,
+    /// How many devices are routed through the proxy (the rest connect
+    /// directly); omit for half the fleet.
+    pub chaos_victims: Option<usize>,
 }
 
 /// Parse failures (each carries the message shown to the user).
@@ -248,9 +268,12 @@ USAGE:
                  [--queue 256] [--feed-timeout-ms 10000] [--state-dir <dir>]
                  [--idle-timeout-ms 30000] [--port-file <path>]
                  [--federate] [--federate-interval 2048]
+                 [--max-conns 1024] [--accept-rate PER_IP_PER_SEC]
+                 [--inflight-cap BYTES] [--handshake-timeout-ms 10000]
   seqdrift load  --csv <file> --addr <host:port> [--sessions 4] [--batch 16]
                  [--session0 0] [--bench-json BENCH_ingest.json]
                  [--verify --model <model.sqdm>] [--busy-stall-timeout SECS]
+                 [--chaos] [--chaos-seed 42] [--chaos-victims N]
                  [--no-header] [--label-last]
 ";
 
@@ -264,7 +287,8 @@ struct Flags {
     bools: std::collections::HashSet<String>,
 }
 
-const BOOL_FLAGS: [&str; 6] = [
+const BOOL_FLAGS: [&str; 7] = [
+    "--chaos",
     "--federate",
     "--label-last",
     "--no-header",
@@ -434,9 +458,16 @@ impl Cli {
                     port_file: flags.take("--port-file").map(Into::into),
                     federate: flags.boolean("--federate"),
                     federate_interval: flags.number("--federate-interval", 2048u64)?,
+                    max_conns: flags.number("--max-conns", 1024usize)?,
+                    accept_rate: flags.number("--accept-rate", 0.0f64)?,
+                    inflight_cap: flags.number("--inflight-cap", 256u64 << 20)?,
+                    handshake_timeout_ms: flags.number("--handshake-timeout-ms", 10_000u64)?,
                 };
                 if a.workers == 0 || a.queue == 0 {
                     return Err(err("--workers and --queue must be positive"));
+                }
+                if a.accept_rate < 0.0 || !a.accept_rate.is_finite() {
+                    return Err(err("--accept-rate must be a finite non-negative number"));
                 }
                 if a.model.is_none() && a.state_dir.is_none() {
                     return Err(err("serve needs --model and/or --state-dir"));
@@ -462,6 +493,9 @@ impl Cli {
                     has_header: !flags.boolean("--no-header"),
                     label_last: flags.boolean("--label-last"),
                     busy_stall_timeout: flags.optional("--busy-stall-timeout")?,
+                    chaos: flags.boolean("--chaos"),
+                    chaos_seed: flags.number("--chaos-seed", 42u64)?,
+                    chaos_victims: flags.optional("--chaos-victims")?,
                 };
                 if a.sessions == 0 || a.batch == 0 {
                     return Err(err("--sessions and --batch must be positive"));
@@ -471,6 +505,12 @@ impl Cli {
                 }
                 if a.busy_stall_timeout == Some(0) {
                     return Err(err("--busy-stall-timeout must be positive"));
+                }
+                if !a.chaos && a.chaos_victims.is_some() {
+                    return Err(err("--chaos-victims requires --chaos"));
+                }
+                if a.chaos_victims.is_some_and(|v| v == 0 || v > a.sessions) {
+                    return Err(err("--chaos-victims must be in 1..=sessions"));
                 }
                 Command::Load(a)
             }
@@ -675,12 +715,18 @@ mod tests {
                 assert_eq!(a.idle_timeout_ms, 30_000);
                 assert_eq!(a.state_dir, None);
                 assert_eq!(a.port_file, None);
+                assert_eq!(a.max_conns, 1024);
+                assert_eq!(a.accept_rate, 0.0);
+                assert_eq!(a.inflight_cap, 256 << 20);
+                assert_eq!(a.handshake_timeout_ms, 10_000);
             }
             other => panic!("{other:?}"),
         }
         let cli = Cli::parse(&argv(
             "serve --state-dir state --listen 0.0.0.0:0 --workers 2 --queue 8 \
-             --feed-timeout-ms 50 --idle-timeout-ms 500 --port-file p.txt",
+             --feed-timeout-ms 50 --idle-timeout-ms 500 --port-file p.txt \
+             --max-conns 3 --accept-rate 2.5 --inflight-cap 65536 \
+             --handshake-timeout-ms 250",
         ))
         .unwrap();
         match cli.command {
@@ -691,12 +737,18 @@ mod tests {
                 assert_eq!((a.workers, a.queue), (2, 8));
                 assert_eq!((a.feed_timeout_ms, a.idle_timeout_ms), (50, 500));
                 assert_eq!(a.port_file, Some(PathBuf::from("p.txt")));
+                assert_eq!(a.max_conns, 3);
+                assert_eq!(a.accept_rate, 2.5);
+                assert_eq!(a.inflight_cap, 65_536);
+                assert_eq!(a.handshake_timeout_ms, 250);
             }
             other => panic!("{other:?}"),
         }
         // Neither a reference checkpoint nor resumable state: nothing to serve.
         assert!(Cli::parse(&argv("serve")).is_err());
         assert!(Cli::parse(&argv("serve --model m --workers 0")).is_err());
+        assert!(Cli::parse(&argv("serve --model m --accept-rate -1")).is_err());
+        assert!(Cli::parse(&argv("serve --model m --accept-rate nan")).is_err());
     }
 
     #[test]
@@ -711,6 +763,9 @@ mod tests {
                 assert_eq!(a.bench_json, None);
                 assert!(a.has_header);
                 assert_eq!(a.busy_stall_timeout, None);
+                assert!(!a.chaos);
+                assert_eq!(a.chaos_seed, 42);
+                assert_eq!(a.chaos_victims, None);
             }
             other => panic!("{other:?}"),
         }
@@ -735,6 +790,29 @@ mod tests {
         assert!(Cli::parse(&argv("load --csv s --addr h:1 --batch 0")).is_err());
         assert!(Cli::parse(&argv("load --csv s --addr h:1 --busy-stall-timeout 0")).is_err());
         assert!(Cli::parse(&argv("load --csv s --addr h:1 --busy-stall-timeout x")).is_err());
+    }
+
+    #[test]
+    fn parses_chaos_flags() {
+        let cli = Cli::parse(&argv(
+            "load --csv s.csv --addr h:1 --sessions 8 --chaos --chaos-seed 7 --chaos-victims 3",
+        ))
+        .unwrap();
+        match cli.command {
+            Command::Load(a) => {
+                assert!(a.chaos);
+                assert_eq!(a.chaos_seed, 7);
+                assert_eq!(a.chaos_victims, Some(3));
+            }
+            other => panic!("{other:?}"),
+        }
+        // Victim count without the mode, or out of range, is rejected.
+        assert!(Cli::parse(&argv("load --csv s --addr h:1 --chaos-victims 2")).is_err());
+        assert!(Cli::parse(&argv(
+            "load --csv s --addr h:1 --sessions 2 --chaos --chaos-victims 3"
+        ))
+        .is_err());
+        assert!(Cli::parse(&argv("load --csv s --addr h:1 --chaos --chaos-victims 0")).is_err());
     }
 
     #[test]

@@ -631,7 +631,7 @@ pub fn serve_with_stop(
     out: Out<'_>,
     stop: &std::sync::atomic::AtomicBool,
 ) -> Result<(), String> {
-    use seqdrift_server::{Server, ServerConfig};
+    use seqdrift_server::{AdmissionConfig, Server, ServerConfig};
     use std::time::Duration;
 
     let mut fleet_cfg = FleetConfig::new(a.workers)
@@ -651,8 +651,15 @@ pub fn serve_with_stop(
         )
         .ok();
     }
-    let mut cfg =
-        ServerConfig::new(fleet_cfg).with_idle_timeout(Duration::from_millis(a.idle_timeout_ms));
+    let mut cfg = ServerConfig::new(fleet_cfg)
+        .with_idle_timeout(Duration::from_millis(a.idle_timeout_ms))
+        .with_admission(AdmissionConfig {
+            max_connections: a.max_conns,
+            per_ip_accepts_per_sec: a.accept_rate,
+            max_bytes_in_flight: a.inflight_cap,
+            handshake_timeout: Duration::from_millis(a.handshake_timeout_ms),
+            ..AdmissionConfig::default()
+        });
     if let Some(model) = &a.model {
         let blob = std::fs::read(model).map_err(|e| fail("reading checkpoint", e))?;
         cfg = cfg.with_reference(blob);
@@ -687,6 +694,13 @@ pub fn serve_with_stop(
         n.frames_tx,
         n.nacks_sent,
         n.busy_replies
+    )
+    .ok();
+    writeln!(
+        out,
+        "resilience: {} reconnect(s) resumed {} sample(s); admission shed {} \
+         connection(s)/frame(s), {} handshake timeout(s)",
+        n.reconnects, n.resumed_samples, n.admission_rejections, n.handshake_timeouts
     )
     .ok();
     let m = &report.fleet.metrics;
@@ -729,7 +743,7 @@ pub fn serve_with_stop(
 /// batches, and records the round-trip latency of every batch.
 pub fn load(a: &LoadArgs, out: Out<'_>) -> Result<(), String> {
     use seqdrift_bench::json::{latency_percentiles, merge_into_file, IngestEntry};
-    use seqdrift_server::Client;
+    use seqdrift_server::{ChaosConfig, ChaosProxy, Client, ReconnectPolicy, ResilientClient};
     use std::time::Instant;
 
     let samples = loader::load_csv(&a.csv, a.has_header, a.label_last)
@@ -761,19 +775,106 @@ pub fn load(a: &LoadArgs, out: Out<'_>) -> Result<(), String> {
         session: u64,
         latencies_us: Vec<f64>,
         busy_retries: u64,
+        reconnects: u64,
+        replayed_rows: u64,
+        recovered_rows: u64,
         resume_from: u64,
         snapshot: Option<Vec<u8>>,
+        victim: bool,
+    }
+
+    // Chaos mode: a deterministic fault-injection proxy sits in front of
+    // the server, and the first `victims` devices are routed through it
+    // (with reconnect-capable clients); the rest connect directly so the
+    // run also measures collateral damage on healthy traffic.
+    let chaos_proxy = if a.chaos {
+        use std::net::ToSocketAddrs;
+        let upstream = a
+            .addr
+            .to_socket_addrs()
+            .map_err(|e| fail("resolving server address", e))?
+            .next()
+            .ok_or("server address resolved to nothing")?;
+        let proxy = ChaosProxy::spawn(upstream, ChaosConfig::all_faults(a.chaos_seed))
+            .map_err(|e| fail("starting chaos proxy", e))?;
+        Some(proxy)
+    } else {
+        None
+    };
+    let victims = if a.chaos {
+        a.chaos_victims.unwrap_or(a.sessions.div_ceil(2))
+    } else {
+        0
+    };
+    if let Some(proxy) = &chaos_proxy {
+        writeln!(
+            out,
+            "chaos: seed {}, every fault family armed; {victims} victim device(s) via {}",
+            a.chaos_seed,
+            proxy.local_addr()
+        )
+        .ok();
     }
 
     let wall = Instant::now();
     let mut handles = Vec::new();
     for d in 0..a.sessions {
         let session = a.session0 + d as u64;
-        let addr = a.addr.clone();
         let rows = std::sync::Arc::clone(&rows);
         let batch_rows = a.batch;
         let want_snapshot = a.verify;
         let stall_timeout = a.busy_stall_timeout;
+        if d < victims {
+            let proxy_addr = match &chaos_proxy {
+                Some(p) => p.local_addr(),
+                None => continue,
+            };
+            let chaos_seed = a.chaos_seed;
+            handles.push(std::thread::spawn(move || -> Result<DeviceRun, String> {
+                let policy = ReconnectPolicy {
+                    max_attempts: 12,
+                    base: std::time::Duration::from_millis(5),
+                    cap: std::time::Duration::from_millis(500),
+                    seed: chaos_seed ^ session.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                };
+                let mut rc = ResilientClient::new(proxy_addr, session, dim as u32, policy)
+                    .map_err(|e| format!("device {session}: chaos client: {e}"))?;
+                // Short read timeout so a blackholed reply surfaces as a
+                // reconnect instead of a long hang.
+                rc.read_timeout = Some(std::time::Duration::from_secs(2));
+                if let Some(secs) = stall_timeout {
+                    rc.busy_stall_timeout = std::time::Duration::from_secs(secs);
+                }
+                let resume_from = rc
+                    .hello()
+                    .map_err(|e| format!("device {session}: hello: {e}"))?;
+                let report = rc
+                    .run_stream(&rows, batch_rows)
+                    .map_err(|e| format!("device {session}: stream: {e}"))?;
+                let snapshot = want_snapshot
+                    .then(|| {
+                        rc.snapshot()
+                            .map_err(|e| format!("device {session}: snapshot: {e}"))
+                    })
+                    .transpose()?;
+                let reconnects = rc.total_reconnects;
+                rc.bye()
+                    .map_err(|e| format!("device {session}: bye: {e}"))?;
+                Ok(DeviceRun {
+                    session,
+                    latencies_us: report.latencies_us.iter().map(|&us| us as f64).collect(),
+                    busy_retries: report.busy_retries,
+                    reconnects,
+                    replayed_rows: report.replayed_rows,
+                    recovered_rows: report.recovered_rows,
+                    resume_from,
+                    snapshot,
+                    victim: true,
+                })
+            }));
+            continue;
+        }
+        let addr = a.addr.clone();
         handles.push(std::thread::spawn(move || -> Result<DeviceRun, String> {
             let (mut client, hello) = Client::connect(&*addr, session, dim as u32)
                 .map_err(|e| format!("device {session}: connect: {e}"))?;
@@ -808,20 +909,31 @@ pub fn load(a: &LoadArgs, out: Out<'_>) -> Result<(), String> {
                 session,
                 latencies_us,
                 busy_retries,
+                reconnects: 0,
+                replayed_rows: 0,
+                recovered_rows: 0,
                 resume_from: hello.resume_from,
                 snapshot,
+                victim: false,
             })
         }));
     }
+    // Join every device and keep going on failure: a crashed device must
+    // not hide the other devices' outcomes — each failure is surfaced in
+    // the final summary, and the run as a whole errors at the end.
     let mut runs = Vec::new();
+    let mut failures: Vec<String> = Vec::new();
     for h in handles {
         match h.join() {
             Ok(Ok(run)) => runs.push(run),
-            Ok(Err(e)) => return Err(e),
-            Err(_) => return Err("device thread panicked".into()),
+            Ok(Err(e)) => failures.push(e),
+            Err(_) => failures.push("device thread panicked".into()),
         }
     }
     let elapsed = wall.elapsed().as_secs_f64();
+    for f in &failures {
+        writeln!(out, "device FAILED: {f}").ok();
+    }
 
     let sent_rows: u64 = runs
         .iter()
@@ -854,18 +966,91 @@ pub fn load(a: &LoadArgs, out: Out<'_>) -> Result<(), String> {
     )
     .ok();
 
+    // Per-group stats (healthy vs victim) for chaos runs.
+    let group_stats = |victim: bool| -> Option<(u64, f64, f64, f64)> {
+        let subset: Vec<&DeviceRun> = runs.iter().filter(|r| r.victim == victim).collect();
+        if subset.is_empty() {
+            return None;
+        }
+        let sent: u64 = subset
+            .iter()
+            .map(|r| (n_rows as u64).saturating_sub(r.resume_from))
+            .sum();
+        let mut lat: Vec<f64> = subset.iter().flat_map(|r| r.latencies_us.clone()).collect();
+        let (p50, p99) = latency_percentiles(&mut lat);
+        let rate = if elapsed > 0.0 {
+            sent as f64 / elapsed
+        } else {
+            0.0
+        };
+        Some((sent, rate, p50, p99))
+    };
+    if a.chaos {
+        let reconnects: u64 = runs.iter().map(|r| r.reconnects).sum();
+        let replayed: u64 = runs.iter().map(|r| r.replayed_rows).sum();
+        let recovered: u64 = runs.iter().map(|r| r.recovered_rows).sum();
+        let (faults, conns) = chaos_proxy
+            .as_ref()
+            .map(|p| (p.events().len(), p.connections()))
+            .unwrap_or((0, 0));
+        writeln!(
+            out,
+            "chaos: {faults} fault(s) injected over {conns} proxied connection(s); \
+             {reconnects} reconnect(s), {replayed} row(s) replayed, \
+             {recovered} acked-but-unseen row(s) recovered via resume offsets"
+        )
+        .ok();
+        for (tag, victim) in [("healthy", false), ("victim", true)] {
+            if let Some((sent, _, p50, p99)) = group_stats(victim) {
+                writeln!(
+                    out,
+                    "chaos {tag}: {sent} row(s), batch RTT p50 {p50:.1} us / p99 {p99:.1} us"
+                )
+                .ok();
+            }
+        }
+    }
+
     if let Some(json_path) = &a.bench_json {
-        let entry = (
-            format!("load_sessions_{}_batch_{}", a.sessions, a.batch),
-            IngestEntry {
-                samples_per_sec,
-                p50_us,
-                p99_us,
-                samples: sent_rows,
-            },
-        );
-        merge_into_file(json_path, &[entry]).map_err(|e| fail("writing bench JSON", e))?;
+        let mut entries: Vec<(String, IngestEntry)> = Vec::new();
+        if a.chaos {
+            for (tag, victim) in [("healthy", false), ("victim", true)] {
+                if let Some((sent, rate, p50, p99)) = group_stats(victim) {
+                    entries.push((
+                        format!("chaos_{tag}_sessions_{}_batch_{}", a.sessions, a.batch),
+                        IngestEntry {
+                            samples_per_sec: rate,
+                            p50_us: p50,
+                            p99_us: p99,
+                            samples: sent,
+                            unit: None,
+                        },
+                    ));
+                }
+            }
+        } else {
+            entries.push((
+                format!("load_sessions_{}_batch_{}", a.sessions, a.batch),
+                IngestEntry {
+                    samples_per_sec,
+                    p50_us,
+                    p99_us,
+                    samples: sent_rows,
+                    unit: None,
+                },
+            ));
+        }
+        merge_into_file(json_path, &entries).map_err(|e| fail("writing bench JSON", e))?;
         writeln!(out, "bench results merged into {}", json_path.display()).ok();
+    }
+
+    if !failures.is_empty() {
+        return Err(format!(
+            "{} of {} device(s) failed; first failure: {}",
+            failures.len(),
+            a.sessions,
+            failures[0]
+        ));
     }
 
     if a.verify {

@@ -847,6 +847,40 @@ impl FleetEngine {
         }
     }
 
+    /// [`FleetEngine::samples_processed`] with a deadline. The query
+    /// travels the shard FIFO behind every queued sample, so against a
+    /// stalled shard the unbounded variant would block its caller for the
+    /// whole backlog — a reconnect storm after a network partition would
+    /// pin one server thread per re-HELLO. This variant gives up with
+    /// [`FleetError::Timeout`] (carrying the stalled queue's depth) once
+    /// `timeout` elapses; the reply channel outlives the call, so a late
+    /// answer is harmlessly dropped with it.
+    pub fn samples_processed_within(
+        &self,
+        id: SessionId,
+        timeout: Duration,
+    ) -> Result<u64, FleetError> {
+        match read_lock(&self.registry).get(&id.0) {
+            None => return Err(FleetError::UnknownSession(id)),
+            Some(SessionStatus::Quarantined(_)) => return Err(FleetError::SessionQuarantined(id)),
+            Some(SessionStatus::Active) => {}
+        }
+        let (reply, rx) = channel();
+        self.control_send(id, ShardMsg::SamplesProcessed { id: id.0, reply })?;
+        match rx.recv_timeout(timeout) {
+            Ok(Err(FleetError::UnknownSession(_))) => Err(self.refine_missing(id)),
+            Ok(other) => other,
+            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+                self.metrics.feed_timeouts.fetch_add(1, Ordering::Relaxed);
+                Err(FleetError::Timeout {
+                    id,
+                    queue_depth: self.queue_depth(id),
+                })
+            }
+            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => Err(FleetError::Disconnected),
+        }
+    }
+
     /// Installs a federated merged model into a session through the same
     /// FIFO as its samples, so the install lands at a well-defined point
     /// in the session's stream. Only the model is replaced — the

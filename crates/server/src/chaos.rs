@@ -1,0 +1,643 @@
+//! `ChaosProxy`: a std-only, in-process TCP fault-injection proxy for
+//! attacking the *connection* between device clients and the ingest
+//! server — not just the bytes on it (the hostile suite already covers
+//! those).
+//!
+//! The proxy sits between a client and an upstream server, forwarding
+//! both directions through per-connection pump threads that inject a
+//! **seeded, deterministic schedule** of network faults:
+//!
+//! * **connection resets** — the connection is cut abruptly (both
+//!   sockets shut down) after a scheduled number of client→server bytes,
+//!   which lands mid-frame more often than not;
+//! * **short writes** — forwarded bytes are re-chunked into tiny writes,
+//!   so the receiver sees every possible partial-read boundary;
+//! * **byte stalls** (slow-loris, both directions) — forwarding pauses at
+//!   scheduled byte offsets for scheduled durations;
+//! * **latency jitter** — every forwarded chunk is delayed by a small
+//!   seeded amount;
+//! * **blackhole windows** — at a scheduled byte offset the stream is
+//!   held (no bytes, no FIN, no RST) for a scheduled duration, then
+//!   released.
+//!
+//! Every schedule is a pure function of `(seed, connection index,
+//! direction)` — see [`ConnPlan::derive`] — so a failing run is
+//! replayable from a single `--chaos-seed`, and two proxies with the
+//! same seed attack connection *n* identically. Byte-indexed triggers
+//! (rather than timer-based ones) are what make the schedule independent
+//! of scheduler timing; only the wall-clock interleaving varies between
+//! runs, never which faults hit which bytes.
+//!
+//! The proxy never parses `SQNP` — it is protocol-blind, which is the
+//! point: the endpoints must survive arbitrary cut points, not just
+//! frame-aligned ones.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use seqdrift_linalg::Rng;
+
+/// Which half of the connection a plan or event belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Client → server bytes.
+    ClientToServer,
+    /// Server → client bytes.
+    ServerToClient,
+}
+
+impl core::fmt::Display for Direction {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(match self {
+            Direction::ClientToServer => "c2s",
+            Direction::ServerToClient => "s2c",
+        })
+    }
+}
+
+/// Fault families and their schedule parameters. A `None` family is
+/// disabled; ranges are sampled per connection from the seeded RNG.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosConfig {
+    /// Master seed: the single number that replays every failure.
+    pub seed: u64,
+    /// Probability a connection is reset, and the client→server byte
+    /// offset range the cut is drawn from.
+    pub reset: Option<(f64, (u64, u64))>,
+    /// Cap on bytes per forwarded write (short/partial writes). The cap
+    /// itself is drawn from the range per connection.
+    pub short_write_cap: Option<(usize, usize)>,
+    /// Byte stalls: `(interval range, duration range ms)` — forwarding
+    /// pauses every `interval` bytes for `duration`, both directions.
+    pub stall: Option<((u64, u64), (u64, u64))>,
+    /// Latency jitter range in microseconds added to every forwarded
+    /// chunk.
+    pub jitter_us: Option<(u64, u64)>,
+    /// Blackhole windows: `(probability, byte offset range, duration
+    /// range ms)` — the stream is held silently, then released.
+    #[allow(clippy::type_complexity)]
+    pub blackhole: Option<(f64, (u64, u64), (u64, u64))>,
+}
+
+impl ChaosConfig {
+    /// No faults: the proxy is a transparent forwarder.
+    pub fn quiet(seed: u64) -> ChaosConfig {
+        ChaosConfig {
+            seed,
+            reset: None,
+            short_write_cap: None,
+            stall: None,
+            jitter_us: None,
+            blackhole: None,
+        }
+    }
+
+    /// Every fault family at once, tuned so a reconnect-capable client
+    /// still finishes: frequent mid-frame resets, 1–16-byte writes,
+    /// short stalls, sub-millisecond jitter, and sub-second blackholes.
+    pub fn all_faults(seed: u64) -> ChaosConfig {
+        ChaosConfig {
+            seed,
+            reset: Some((0.5, (200, 4_000))),
+            short_write_cap: Some((1, 16)),
+            stall: Some(((512, 2_048), (5, 40))),
+            jitter_us: Some((0, 500)),
+            blackhole: Some((0.3, (100, 2_000), (50, 300))),
+        }
+    }
+
+    /// Enables connection resets.
+    pub fn with_resets(mut self, prob: f64, after_bytes: (u64, u64)) -> Self {
+        self.reset = Some((prob, after_bytes));
+        self
+    }
+
+    /// Enables short writes with a per-connection cap from the range.
+    pub fn with_short_writes(mut self, cap: (usize, usize)) -> Self {
+        self.short_write_cap = Some(cap);
+        self
+    }
+
+    /// Enables byte stalls (slow-loris) in both directions.
+    pub fn with_stalls(mut self, every_bytes: (u64, u64), ms: (u64, u64)) -> Self {
+        self.stall = Some((every_bytes, ms));
+        self
+    }
+
+    /// Enables per-chunk latency jitter.
+    pub fn with_jitter_us(mut self, us: (u64, u64)) -> Self {
+        self.jitter_us = Some(us);
+        self
+    }
+
+    /// Enables blackhole windows.
+    pub fn with_blackholes(mut self, prob: f64, after_bytes: (u64, u64), ms: (u64, u64)) -> Self {
+        self.blackhole = Some((prob, after_bytes, ms));
+        self
+    }
+}
+
+/// The deterministic fault schedule for one direction of one connection.
+/// Everything observable about the injected faults is decided here, up
+/// front, from the seed — the pump threads only execute the plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConnPlan {
+    /// Connection index (accept order, starting at 0).
+    pub conn: u64,
+    /// Direction this plan drives.
+    pub dir: Direction,
+    /// Cut the whole connection once this many client→server bytes have
+    /// been forwarded (present on the client→server plan only).
+    pub cut_after: Option<u64>,
+    /// Hold the stream for `.1` once `.0` bytes have been forwarded.
+    pub blackhole: Option<(u64, Duration)>,
+    /// Max bytes per forwarded write (`usize::MAX` = unchunked).
+    pub short_write_cap: usize,
+    /// Stall generator parameters: `(interval range, ms range)`.
+    stall: Option<((u64, u64), (u64, u64))>,
+    /// Jitter range in microseconds.
+    jitter_us: Option<(u64, u64)>,
+    /// Seed for the plan's own draw stream (stall points, jitter).
+    stream_seed: u64,
+}
+
+/// Mixes the master seed with a connection index and direction into an
+/// independent, well-distributed sub-seed (SplitMix64 constant).
+fn sub_seed(seed: u64, conn: u64, dir: Direction) -> u64 {
+    let dir_salt: u64 = match dir {
+        Direction::ClientToServer => 0x00C2_5000,
+        Direction::ServerToClient => 0x0052_C000,
+    };
+    seed ^ conn
+        .wrapping_add(1)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(dir_salt)
+}
+
+impl ConnPlan {
+    /// Derives the schedule for `(cfg.seed, conn, dir)`. Pure: the same
+    /// inputs always yield the same plan, which is what makes a chaos
+    /// run replayable from its seed alone.
+    pub fn derive(cfg: &ChaosConfig, conn: u64, dir: Direction) -> ConnPlan {
+        let mut rng = Rng::seed_from(sub_seed(cfg.seed, conn, dir));
+        // Connection-scoped decision (reset) is drawn only on the c2s
+        // side so the two directions cannot disagree about it.
+        let cut_after = match (dir, cfg.reset) {
+            (Direction::ClientToServer, Some((prob, (lo, hi)))) if coin(&mut rng, prob) => {
+                Some(range_u64(&mut rng, lo, hi))
+            }
+            _ => {
+                if matches!(dir, Direction::ClientToServer) && cfg.reset.is_some() {
+                    // Burn the offset draw so enabling/disabling one
+                    // connection's reset never shifts later draws.
+                    let _ = rng.next_u64();
+                }
+                None
+            }
+        };
+        let blackhole = match cfg.blackhole {
+            Some((prob, (lo, hi), (ms_lo, ms_hi))) => {
+                let hit = coin(&mut rng, prob);
+                let at = range_u64(&mut rng, lo, hi);
+                let ms = range_u64(&mut rng, ms_lo, ms_hi);
+                hit.then_some((at, Duration::from_millis(ms)))
+            }
+            None => None,
+        };
+        let short_write_cap = match cfg.short_write_cap {
+            Some((lo, hi)) => range_u64(&mut rng, lo as u64, hi as u64) as usize,
+            None => usize::MAX,
+        };
+        ConnPlan {
+            conn,
+            dir,
+            cut_after,
+            blackhole,
+            short_write_cap: short_write_cap.max(1),
+            stall: cfg.stall,
+            jitter_us: cfg.jitter_us,
+            stream_seed: rng.next_u64(),
+        }
+    }
+
+    /// The first `n` scheduled stall points as `(byte offset, pause)` —
+    /// the same sequence the pump will execute. Exposed so tests (and
+    /// humans debugging a seed) can inspect the schedule without running
+    /// any traffic.
+    pub fn stall_preview(&self, n: usize) -> Vec<(u64, Duration)> {
+        let mut seq = StallSeq::new(self);
+        (0..n).filter_map(|_| seq.next_point()).collect()
+    }
+}
+
+/// `true` with probability `p`, from one RNG draw.
+fn coin(rng: &mut Rng, p: f64) -> bool {
+    (rng.uniform() as f64) < p
+}
+
+/// Uniform in `[lo, hi]` (handles `lo == hi` and swapped bounds).
+fn range_u64(rng: &mut Rng, lo: u64, hi: u64) -> u64 {
+    let (lo, hi) = if lo <= hi { (lo, hi) } else { (hi, lo) };
+    lo + rng.below(hi - lo + 1)
+}
+
+/// Lazy deterministic generator of stall points for one plan.
+struct StallSeq {
+    rng: Rng,
+    params: Option<((u64, u64), (u64, u64))>,
+    next_at: u64,
+}
+
+impl StallSeq {
+    fn new(plan: &ConnPlan) -> StallSeq {
+        StallSeq {
+            rng: Rng::seed_from(plan.stream_seed),
+            params: plan.stall,
+            next_at: 0,
+        }
+    }
+
+    fn next_point(&mut self) -> Option<(u64, Duration)> {
+        let ((int_lo, int_hi), (ms_lo, ms_hi)) = self.params?;
+        self.next_at =
+            self.next_at
+                .saturating_add(range_u64(&mut self.rng, int_lo.max(1), int_hi.max(1)));
+        let ms = range_u64(&mut self.rng, ms_lo, ms_hi);
+        Some((self.next_at, Duration::from_millis(ms)))
+    }
+}
+
+/// One injected fault, for the observability log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaosEvent {
+    /// Connection index.
+    pub conn: u64,
+    /// Direction the fault hit.
+    pub dir: Direction,
+    /// Byte offset in that direction's stream.
+    pub at_byte: u64,
+    /// What was injected.
+    pub kind: FaultKind,
+}
+
+/// The injected fault family.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Connection cut (both sockets shut down).
+    Reset,
+    /// Forwarding paused for the given duration.
+    Stall(Duration),
+    /// Stream held silently for the given duration.
+    Blackhole(Duration),
+}
+
+struct ProxyShared {
+    cfg: ChaosConfig,
+    upstream: SocketAddr,
+    stop: AtomicBool,
+    conns: AtomicU64,
+    events: Mutex<Vec<ChaosEvent>>,
+    pumps: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+/// The running proxy. Point clients at [`ChaosProxy::local_addr`];
+/// traffic is forwarded to the upstream address through the fault
+/// schedule. Dropping the proxy (or calling [`ChaosProxy::shutdown`])
+/// cuts every live connection and joins the pump threads.
+pub struct ChaosProxy {
+    local_addr: SocketAddr,
+    shared: Arc<ProxyShared>,
+    accept: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ChaosProxy {
+    /// Binds an ephemeral loopback port and starts proxying to
+    /// `upstream` under `cfg`'s fault schedule.
+    pub fn spawn(upstream: SocketAddr, cfg: ChaosConfig) -> std::io::Result<ChaosProxy> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let shared = Arc::new(ProxyShared {
+            cfg,
+            upstream,
+            stop: AtomicBool::new(false),
+            conns: AtomicU64::new(0),
+            events: Mutex::new(Vec::new()),
+            pumps: Mutex::new(Vec::new()),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept = std::thread::spawn(move || accept_loop(listener, &accept_shared));
+        Ok(ChaosProxy {
+            local_addr,
+            shared,
+            accept: Some(accept),
+        })
+    }
+
+    /// The address clients should connect to.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Connections accepted so far.
+    pub fn connections(&self) -> u64 {
+        self.shared.conns.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of every fault injected so far, in injection order per
+    /// connection (cross-connection order depends on scheduling).
+    pub fn events(&self) -> Vec<ChaosEvent> {
+        match self.shared.events.lock() {
+            Ok(g) => g.clone(),
+            Err(poisoned) => poisoned.into_inner().clone(),
+        }
+    }
+
+    /// Stops accepting, cuts every live connection, joins all threads.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        let pumps = {
+            let mut guard = match self.shared.pumps.lock() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            std::mem::take(&mut *guard)
+        };
+        for h in pumps {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ChaosProxy {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: &Arc<ProxyShared>) {
+    while !shared.stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((client, _)) => {
+                let conn = shared.conns.fetch_add(1, Ordering::Relaxed);
+                let upstream = match TcpStream::connect(shared.upstream) {
+                    Ok(s) => s,
+                    Err(_) => continue, // upstream down: drop the client
+                };
+                start_pumps(client, upstream, conn, shared);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+}
+
+/// Spawns the two directional pumps for one proxied connection. Both
+/// pumps hold handles to *both* sockets so a scheduled reset can cut the
+/// connection whole, exactly like a middlebox dropping the flow.
+fn start_pumps(client: TcpStream, upstream: TcpStream, conn: u64, shared: &Arc<ProxyShared>) {
+    let pairs = match (client.try_clone(), upstream.try_clone()) {
+        (Ok(c2), Ok(u2)) => [(client, upstream), (c2, u2)],
+        _ => return, // clone failed: drop the connection
+    };
+    let [(c_read, u_write), (c_write, u_read)] = pairs;
+    let plans = [
+        (
+            ConnPlan::derive(&shared.cfg, conn, Direction::ClientToServer),
+            c_read,
+            u_write,
+        ),
+        (
+            ConnPlan::derive(&shared.cfg, conn, Direction::ServerToClient),
+            u_read,
+            c_write,
+        ),
+    ];
+    let mut guard = match shared.pumps.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    for (plan, src, dst) in plans {
+        let shared = Arc::clone(shared);
+        guard.push(std::thread::spawn(move || pump(plan, src, dst, &shared)));
+    }
+}
+
+/// Sleeps in short slices so a proxy shutdown never waits out a long
+/// scheduled stall or blackhole.
+fn interruptible_sleep(total: Duration, shared: &ProxyShared) {
+    let deadline = std::time::Instant::now() + total;
+    while std::time::Instant::now() < deadline {
+        if shared.stop.load(Ordering::Relaxed) {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(10).min(total));
+    }
+}
+
+fn log_event(shared: &ProxyShared, event: ChaosEvent) {
+    match shared.events.lock() {
+        Ok(mut g) => g.push(event),
+        Err(poisoned) => poisoned.into_inner().push(event),
+    }
+}
+
+/// Forwards one direction, executing the plan's fault schedule. Returns
+/// when the source closes, a fault cuts the connection, the transport
+/// fails, or the proxy stops.
+fn pump(plan: ConnPlan, mut src: TcpStream, mut dst: TcpStream, shared: &ProxyShared) {
+    // Read in ticks so the stop flag is honoured on silent links.
+    if src
+        .set_read_timeout(Some(Duration::from_millis(20)))
+        .is_err()
+    {
+        return;
+    }
+    let _ = dst.set_nodelay(true);
+    let mut stalls = StallSeq::new(&plan);
+    let mut next_stall = stalls.next_point();
+    let mut jitter_rng = Rng::seed_from(plan.stream_seed ^ 0x4A17);
+    let mut forwarded: u64 = 0;
+    let mut buf = [0u8; 4096];
+    let cut_both = |src: &TcpStream, dst: &TcpStream| {
+        let _ = src.shutdown(Shutdown::Both);
+        let _ = dst.shutdown(Shutdown::Both);
+    };
+    loop {
+        if shared.stop.load(Ordering::Relaxed) {
+            cut_both(&src, &dst);
+            return;
+        }
+        let n = match src.read(&mut buf) {
+            Ok(0) => {
+                // Propagate the half-close; the peer's pump keeps running
+                // until its own side closes.
+                let _ = dst.shutdown(Shutdown::Write);
+                return;
+            }
+            Ok(n) => n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                cut_both(&src, &dst);
+                return;
+            }
+        };
+        let mut rest = &buf[..n];
+        while !rest.is_empty() {
+            if shared.stop.load(Ordering::Relaxed) {
+                cut_both(&src, &dst);
+                return;
+            }
+            // Next byte-indexed fault boundary within this chunk.
+            let mut limit = rest.len();
+            if let Some(cut_at) = plan.cut_after {
+                if forwarded >= cut_at {
+                    log_event(
+                        shared,
+                        ChaosEvent {
+                            conn: plan.conn,
+                            dir: plan.dir,
+                            at_byte: forwarded,
+                            kind: FaultKind::Reset,
+                        },
+                    );
+                    cut_both(&src, &dst);
+                    return;
+                }
+                limit = limit.min((cut_at - forwarded) as usize);
+            }
+            if let Some((at, hold)) = plan.blackhole {
+                if forwarded == at {
+                    log_event(
+                        shared,
+                        ChaosEvent {
+                            conn: plan.conn,
+                            dir: plan.dir,
+                            at_byte: forwarded,
+                            kind: FaultKind::Blackhole(hold),
+                        },
+                    );
+                    interruptible_sleep(hold, shared);
+                } else if forwarded < at {
+                    limit = limit.min((at - forwarded) as usize);
+                }
+            }
+            while let Some((at, pause)) = next_stall {
+                if forwarded == at {
+                    log_event(
+                        shared,
+                        ChaosEvent {
+                            conn: plan.conn,
+                            dir: plan.dir,
+                            at_byte: forwarded,
+                            kind: FaultKind::Stall(pause),
+                        },
+                    );
+                    interruptible_sleep(pause, shared);
+                    next_stall = stalls.next_point();
+                } else {
+                    if forwarded < at {
+                        limit = limit.min((at - forwarded) as usize);
+                    } else {
+                        // Overshot (stall interval shorter than one
+                        // chunk step): skip to the next point.
+                        next_stall = stalls.next_point();
+                        continue;
+                    }
+                    break;
+                }
+            }
+            if let Some((lo, hi)) = plan.jitter_us {
+                let us = range_u64(&mut jitter_rng, lo, hi);
+                if us > 0 {
+                    std::thread::sleep(Duration::from_micros(us));
+                }
+            }
+            let take = limit.min(plan.short_write_cap).max(1);
+            match dst.write_all(&rest[..take]) {
+                Ok(()) => {}
+                Err(_) => {
+                    cut_both(&src, &dst);
+                    return;
+                }
+            }
+            forwarded += take as u64;
+            rest = &rest[take..];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_are_pure_functions_of_seed_conn_and_dir() {
+        let cfg = ChaosConfig::all_faults(1234);
+        for conn in 0..32 {
+            for dir in [Direction::ClientToServer, Direction::ServerToClient] {
+                let a = ConnPlan::derive(&cfg, conn, dir);
+                let b = ConnPlan::derive(&cfg, conn, dir);
+                assert_eq!(a, b, "conn {conn} {dir}");
+                assert_eq!(a.stall_preview(16), b.stall_preview(16));
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_and_connections_get_different_schedules() {
+        let a = ChaosConfig::all_faults(1);
+        let b = ChaosConfig::all_faults(2);
+        let plans_a: Vec<ConnPlan> = (0..16)
+            .map(|c| ConnPlan::derive(&a, c, Direction::ClientToServer))
+            .collect();
+        let plans_b: Vec<ConnPlan> = (0..16)
+            .map(|c| ConnPlan::derive(&b, c, Direction::ClientToServer))
+            .collect();
+        assert_ne!(plans_a, plans_b, "seeds must decorrelate schedules");
+        // Connections within one seed differ too (with 16 draws the odds
+        // of a collision across every field are negligible).
+        let distinct: std::collections::HashSet<String> =
+            plans_a.iter().map(|p| format!("{p:?}")).collect();
+        assert!(distinct.len() > 1, "per-connection schedules must vary");
+    }
+
+    #[test]
+    fn quiet_config_disables_every_family() {
+        let cfg = ChaosConfig::quiet(7);
+        let plan = ConnPlan::derive(&cfg, 0, Direction::ClientToServer);
+        assert_eq!(plan.cut_after, None);
+        assert_eq!(plan.blackhole, None);
+        assert_eq!(plan.short_write_cap, usize::MAX);
+        assert!(plan.stall_preview(4).is_empty());
+    }
+
+    #[test]
+    fn stall_points_are_strictly_increasing() {
+        let cfg = ChaosConfig::quiet(9).with_stalls((64, 256), (1, 5));
+        let plan = ConnPlan::derive(&cfg, 3, Direction::ServerToClient);
+        let points = plan.stall_preview(64);
+        assert_eq!(points.len(), 64);
+        for w in points.windows(2) {
+            assert!(w[0].0 < w[1].0, "{:?}", &points[..8]);
+        }
+    }
+}

@@ -44,6 +44,14 @@ pub enum ClientError {
         /// Depth of the stalled shard queue in the last BUSY reply.
         queue_depth: u32,
     },
+    /// [`crate::ResilientClient`] exhausted its reconnect budget without
+    /// reaching a healthy connection. Carries the terminal failure.
+    ReconnectExhausted {
+        /// Consecutive failed connection attempts.
+        attempts: u32,
+        /// The error from the final attempt.
+        last: Box<ClientError>,
+    },
 }
 
 impl core::fmt::Display for ClientError {
@@ -65,6 +73,10 @@ impl core::fmt::Display for ClientError {
                 f,
                 "server stayed BUSY past the stall deadline with no progress \
                  ({rows_sent} row(s) applied, stalled queue depth {queue_depth})"
+            ),
+            ClientError::ReconnectExhausted { attempts, last } => write!(
+                f,
+                "gave up after {attempts} consecutive failed reconnect attempt(s): {last}"
             ),
         }
     }
@@ -133,6 +145,12 @@ pub struct Client {
     /// [`ClientError::Stalled`]. Any progress resets the clock, so a
     /// slow-but-draining server is never abandoned. Default 30 s.
     pub busy_stall_timeout: Duration,
+    /// PING when this long has passed since the last exchange (see
+    /// [`Client::keepalive_tick`]). `None` (the default) disables
+    /// keepalives.
+    keepalive_interval: Option<Duration>,
+    /// When the last request/response turn completed.
+    last_exchange: std::time::Instant,
 }
 
 impl Client {
@@ -154,6 +172,8 @@ impl Client {
             dim,
             busy_retries: 0,
             busy_stall_timeout: Duration::from_secs(30),
+            keepalive_interval: None,
+            last_exchange: std::time::Instant::now(),
         };
         let reply = client.exchange(&Message::Hello {
             dim,
@@ -177,6 +197,37 @@ impl Client {
     /// The session this client speaks for.
     pub fn session(&self) -> u64 {
         self.session
+    }
+
+    /// Caps how long a read blocks waiting for a reply (default 30 s).
+    /// Chaos/reconnect callers shrink this so a blackholed link surfaces
+    /// as a timed-out [`ClientError::Io`] instead of a long hang.
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> Result<(), ClientError> {
+        self.stream.set_read_timeout(timeout)?;
+        Ok(())
+    }
+
+    /// Arms the application-level keepalive: [`Client::keepalive_tick`]
+    /// PINGs whenever `interval` has passed since the last exchange.
+    /// Devices with bursty send gaps set this to half the server's idle
+    /// eviction timeout so a quiet-but-healthy connection is never
+    /// evicted as dead.
+    pub fn set_keepalive_interval(&mut self, interval: Option<Duration>) {
+        self.keepalive_interval = interval;
+    }
+
+    /// PINGs if the keepalive interval has elapsed since the last
+    /// exchange; a no-op otherwise (and always a no-op when no interval
+    /// is armed). Call this from the device's idle loop during send
+    /// gaps. Returns `true` when a PING was actually sent.
+    pub fn keepalive_tick(&mut self) -> Result<bool, ClientError> {
+        match self.keepalive_interval {
+            Some(interval) if self.last_exchange.elapsed() >= interval => {
+                self.ping()?;
+                Ok(true)
+            }
+            _ => Ok(false),
+        }
     }
 
     /// Most rows one `Sample` frame can carry at this client's dimension.
@@ -310,6 +361,7 @@ impl Client {
         self.write(&msg.encode(self.session))?;
         let frame = read_frame(&mut self.stream)?;
         let flags = frame.flags;
+        self.last_exchange = std::time::Instant::now();
         match Message::decode(&frame)? {
             Message::Nack { code, detail } => Err(ClientError::Nack { code, detail }),
             reply => Ok((reply, flags)),

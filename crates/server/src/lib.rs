@@ -27,13 +27,24 @@
 //! The protocol is strictly request/response per connection, so one
 //! hostile or stalled connection can never corrupt another's stream —
 //! the blast radius of any single client is exactly itself.
+//!
+//! Robustness is proven, not assumed: [`chaos`] ships a deterministic
+//! in-process fault-injection proxy (resets, short writes, slow-loris
+//! stalls, jitter, blackholes — all replayable from one seed), and
+//! [`reconnect`] the client-side recovery state machine (decorrelated-
+//! jitter backoff, re-HELLO with live resume offsets, idempotent tail
+//! replay) that the chaos suites drive to exactly-once delivery.
 
+pub mod chaos;
 pub mod client;
 pub mod metrics;
 pub mod proto;
+pub mod reconnect;
 mod server;
 
+pub use chaos::{ChaosConfig, ChaosEvent, ChaosProxy, ConnPlan, Direction, FaultKind};
 pub use client::{BatchReply, Client, ClientError, HelloReply};
 pub use metrics::{ServerMetrics, ServerMetricsSnapshot};
 pub use proto::{FrameType, Message, NackCode, ProtoError};
-pub use server::{Server, ServerConfig, ServerError, ServerReport};
+pub use reconnect::{ReconnectPolicy, ResilientClient, StreamReport};
+pub use server::{AdmissionConfig, Server, ServerConfig, ServerError, ServerReport};

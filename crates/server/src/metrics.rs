@@ -34,6 +34,19 @@ pub struct ServerMetrics {
     pub nacks_sent: AtomicU64,
     /// Sessions auto-created from the reference model on HELLO.
     pub sessions_created: AtomicU64,
+    /// HELLOs for a session the server already knew: each one is a device
+    /// reconnecting after a blip, an eviction, or a server restart.
+    pub reconnects: AtomicU64,
+    /// Sum of the live `resume_from` offsets acked on those reconnect
+    /// HELLOs — samples the devices did *not* have to replay because the
+    /// server's durable/live state already reflected them.
+    pub resumed_samples: AtomicU64,
+    /// Connections or frames refused by admission control (connection
+    /// cap, per-IP accept-rate limit, bytes-in-flight cap).
+    pub admission_rejections: AtomicU64,
+    /// Connections dropped for not completing a HELLO inside the
+    /// handshake deadline (half-open or deliberately trickling sockets).
+    pub handshake_timeouts: AtomicU64,
 }
 
 impl ServerMetrics {
@@ -53,6 +66,10 @@ impl ServerMetrics {
             busy_replies: load(&self.busy_replies),
             nacks_sent: load(&self.nacks_sent),
             sessions_created: load(&self.sessions_created),
+            reconnects: load(&self.reconnects),
+            resumed_samples: load(&self.resumed_samples),
+            admission_rejections: load(&self.admission_rejections),
+            handshake_timeouts: load(&self.handshake_timeouts),
         }
     }
 }
@@ -84,4 +101,13 @@ pub struct ServerMetricsSnapshot {
     pub nacks_sent: u64,
     /// Sessions auto-created from the reference model on HELLO.
     pub sessions_created: u64,
+    /// HELLOs for an already-known session (device reconnects).
+    pub reconnects: u64,
+    /// Samples skipped by reconnecting devices thanks to acked
+    /// `resume_from` offsets.
+    pub resumed_samples: u64,
+    /// Connections or frames refused by admission control.
+    pub admission_rejections: u64,
+    /// Connections dropped at the handshake deadline.
+    pub handshake_timeouts: u64,
 }

@@ -149,6 +149,19 @@ pub enum NackCode {
     Draining = 12,
     /// Internal server error (details in the message).
     Internal = 13,
+    /// Transient overload: the server could not serve the request inside
+    /// its deadline (e.g. a HELLO resume-offset query stuck behind a
+    /// stalled shard queue). Non-fatal — retry with backoff.
+    Busy = 14,
+    /// Admission control rejected the connection (connection cap or
+    /// per-IP accept-rate limit). Fatal for this connection; reconnect
+    /// with backoff.
+    AdmissionLimit = 15,
+    /// A newer connection has HELLOed this session, fencing this one:
+    /// late sample frames from the superseded connection are rejected so
+    /// a reconnect can never double-apply in-flight rows. Fatal for this
+    /// connection — the client that owns the session is elsewhere now.
+    Superseded = 16,
 }
 
 impl NackCode {
@@ -164,6 +177,8 @@ impl NackCode {
                 | NackCode::Oversized
                 | NackCode::UnknownType
                 | NackCode::Draining
+                | NackCode::AdmissionLimit
+                | NackCode::Superseded
         )
     }
 
@@ -183,6 +198,9 @@ impl NackCode {
             11 => NackCode::ScalarWidth,
             12 => NackCode::Draining,
             13 => NackCode::Internal,
+            14 => NackCode::Busy,
+            15 => NackCode::AdmissionLimit,
+            16 => NackCode::Superseded,
             _ => return None,
         })
     }
@@ -204,6 +222,9 @@ impl core::fmt::Display for NackCode {
             NackCode::ScalarWidth => "scalar width mismatch",
             NackCode::Draining => "server draining",
             NackCode::Internal => "internal error",
+            NackCode::Busy => "server busy, retry",
+            NackCode::AdmissionLimit => "admission limit",
+            NackCode::Superseded => "superseded by newer connection",
         };
         f.write_str(s)
     }

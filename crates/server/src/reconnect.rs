@@ -1,0 +1,423 @@
+//! The device-side reconnect state machine: wraps [`Client`] with
+//! automatic recovery so a sample stream survives resets, blackholes,
+//! server restarts, and admission pushback — delivering every row
+//! **exactly once** from the fleet's point of view.
+//!
+//! The invariant that makes this safe is the server's live resume
+//! offset: every HELLO is acknowledged with the session's authoritative
+//! `samples_processed`. After any connection loss the client re-HELLOs
+//! and restarts the stream from that offset, which handles both failure
+//! shapes of an in-flight batch:
+//!
+//! * **sent-but-unapplied** — the cut landed before the server fed the
+//!   rows; the offset has not moved, so the rows are resent (replayed);
+//! * **acked-but-unseen** — the server applied the rows but the ACK died
+//!   on the wire; the offset *has* moved, so the client skips forward
+//!   and the rows are never double-applied.
+//!
+//! Reconnect attempts back off with **decorrelated jitter**
+//! (`delay = min(cap, uniform(base, prev * 3))`), seeded so a fleet of
+//! clients never stampedes the listener in lockstep after a shared
+//! outage, and capped by [`ReconnectPolicy::max_attempts`] consecutive
+//! failures before [`ClientError::ReconnectExhausted`].
+
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+use seqdrift_linalg::{Real, Rng};
+
+use crate::client::{BatchReply, Client, ClientError};
+use crate::proto::NackCode;
+
+/// Knobs for the reconnect loop. The seed makes every backoff sequence
+/// deterministic for a given `(seed)` — two clients with different
+/// seeds jitter apart, one client replays identically.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReconnectPolicy {
+    /// Consecutive failed connection attempts tolerated before giving
+    /// up with [`ClientError::ReconnectExhausted`]. A successful
+    /// exchange resets the count.
+    pub max_attempts: u32,
+    /// Backoff floor: the first retry waits at least this long.
+    pub base: Duration,
+    /// Backoff ceiling.
+    pub cap: Duration,
+    /// Seed for the decorrelated jitter draws.
+    pub seed: u64,
+}
+
+impl Default for ReconnectPolicy {
+    fn default() -> Self {
+        ReconnectPolicy {
+            max_attempts: 8,
+            base: Duration::from_millis(10),
+            cap: Duration::from_secs(2),
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// Decorrelated-jitter backoff sequence: each delay is drawn uniformly
+/// from `[base, prev * 3]` and clamped to `cap`, so consecutive delays
+/// decorrelate instead of marching through the same exponential rungs
+/// as every other client.
+#[derive(Debug)]
+pub struct Backoff {
+    rng: Rng,
+    base: Duration,
+    cap: Duration,
+    prev: Duration,
+}
+
+impl Backoff {
+    /// A fresh sequence under `policy`.
+    pub fn new(policy: &ReconnectPolicy) -> Backoff {
+        Backoff {
+            rng: Rng::seed_from(policy.seed),
+            base: policy.base.max(Duration::from_micros(1)),
+            cap: policy.cap.max(policy.base),
+            prev: policy.base,
+        }
+    }
+
+    /// The next delay in the sequence.
+    pub fn next_delay(&mut self) -> Duration {
+        let lo = self.base.as_micros() as u64;
+        let hi = (self.prev.as_micros() as u64).saturating_mul(3).max(lo + 1);
+        let span = hi - lo;
+        let drawn = lo + self.rng.below(span + 1);
+        let delay = Duration::from_micros(drawn).min(self.cap);
+        self.prev = delay;
+        delay
+    }
+
+    /// Back to the floor (call after a healthy exchange).
+    pub fn reset(&mut self) {
+        self.prev = self.base;
+    }
+}
+
+/// What happened while streaming one sample block through
+/// [`ResilientClient::run_stream`].
+#[derive(Debug, Default, Clone)]
+pub struct StreamReport {
+    /// Per-exchange round-trip latencies (successful ACKs only), µs.
+    pub latencies_us: Vec<u64>,
+    /// Drift/fault events the server pushed back.
+    pub events: Vec<String>,
+    /// Connections re-established mid-stream.
+    pub reconnects: u64,
+    /// Rows retransmitted after a connection loss (sent-but-unapplied).
+    pub replayed_rows: u64,
+    /// Rows the resume offset proved already applied, skipped without
+    /// retransmission (acked-but-unseen).
+    pub recovered_rows: u64,
+    /// BUSY backpressure replies absorbed.
+    pub busy_retries: u64,
+}
+
+/// A [`Client`] wrapped in the reconnect state machine. All streaming
+/// goes through [`ResilientClient::run_stream`], which owns the resume
+/// bookkeeping; direct protocol access is deliberately not exposed so
+/// the exactly-once invariant cannot be bypassed by accident.
+#[derive(Debug)]
+pub struct ResilientClient {
+    addr: SocketAddr,
+    session: u64,
+    dim: u32,
+    policy: ReconnectPolicy,
+    backoff: Backoff,
+    inner: Option<Client>,
+    /// Rows of this session's stream the server has acknowledged
+    /// (authoritative after every HELLO).
+    acked_rows: u64,
+    /// Highest row offset ever handed to a `send_batch` call.
+    attempted_rows: u64,
+    /// True once the first successful HELLO has completed (so later
+    /// successes count as reconnects).
+    connected_once: bool,
+    /// Read timeout applied to every (re)connection. Shrink it in chaos
+    /// runs so blackholes surface quickly.
+    pub read_timeout: Option<Duration>,
+    /// Keepalive interval applied to every (re)connection.
+    pub keepalive_interval: Option<Duration>,
+    /// Zero-progress BUSY budget, mirroring [`Client::busy_stall_timeout`].
+    pub busy_stall_timeout: Duration,
+    /// Total reconnects over the client's lifetime.
+    pub total_reconnects: u64,
+}
+
+impl ResilientClient {
+    /// Creates the wrapper without touching the network; the first
+    /// [`ResilientClient::run_stream`] (or [`ResilientClient::hello`])
+    /// connects. `addr` must resolve now so later reconnects cannot fail
+    /// on name resolution.
+    pub fn new(
+        addr: impl ToSocketAddrs,
+        session: u64,
+        dim: u32,
+        policy: ReconnectPolicy,
+    ) -> Result<ResilientClient, ClientError> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| ClientError::Io(std::io::Error::other("address resolved to nothing")))?;
+        let backoff = Backoff::new(&policy);
+        Ok(ResilientClient {
+            addr,
+            session,
+            dim,
+            policy,
+            backoff,
+            inner: None,
+            acked_rows: 0,
+            attempted_rows: 0,
+            connected_once: false,
+            read_timeout: Some(Duration::from_secs(30)),
+            keepalive_interval: None,
+            busy_stall_timeout: Duration::from_secs(30),
+            total_reconnects: 0,
+        })
+    }
+
+    /// The session this client speaks for.
+    pub fn session(&self) -> u64 {
+        self.session
+    }
+
+    /// Rows the server has acknowledged for this session.
+    pub fn acked_rows(&self) -> u64 {
+        self.acked_rows
+    }
+
+    /// Forces the handshake now (connecting if needed) and returns the
+    /// server's live resume offset.
+    pub fn hello(&mut self) -> Result<u64, ClientError> {
+        self.ensure_connected(&mut StreamReport::default())?;
+        Ok(self.acked_rows)
+    }
+
+    /// Streams `rows` (concatenated `dim`-wide rows) to completion in
+    /// batches of `batch_rows`, surviving any number of connection
+    /// losses within the policy's budget. The stream is addressed
+    /// absolutely: row `i` of `rows` is row `i` of the session, so a
+    /// resume offset from *any* HELLO maps directly onto it and rows
+    /// already applied in earlier calls or connections are skipped, not
+    /// re-fed.
+    pub fn run_stream(
+        &mut self,
+        rows: &[Real],
+        batch_rows: usize,
+    ) -> Result<StreamReport, ClientError> {
+        let dim = (self.dim as usize).max(1);
+        let total_rows = (rows.len() / dim) as u64;
+        let batch_rows = batch_rows.max(1);
+        let mut report = StreamReport::default();
+        let mut last_progress = Instant::now();
+        while self.acked_rows < total_rows {
+            self.ensure_connected(&mut report)?;
+            let start_row = self.acked_rows;
+            let start = start_row as usize * dim;
+            let end = (start + batch_rows * dim).min(rows.len());
+            let batch_end_row = (end / dim) as u64;
+            let replay = self.attempted_rows.saturating_sub(start_row);
+            let sent_at = Instant::now();
+            let outcome = match self.inner.as_mut() {
+                Some(client) => client.send_batch(&rows[start..end]),
+                None => continue,
+            };
+            self.attempted_rows = self.attempted_rows.max(batch_end_row);
+            match outcome {
+                Ok(BatchReply::Ack {
+                    accepted, events, ..
+                }) => {
+                    report
+                        .latencies_us
+                        .push(sent_at.elapsed().as_micros() as u64);
+                    report.events.extend(events);
+                    // Rows below the old attempt high-water were on the
+                    // wire before; acking them again is a replay.
+                    report.replayed_rows += replay.min(accepted as u64);
+                    self.acked_rows += accepted as u64;
+                    self.backoff.reset();
+                    last_progress = Instant::now();
+                }
+                Ok(BatchReply::Busy { accepted, .. }) => {
+                    report.busy_retries += 1;
+                    report.replayed_rows += replay.min(accepted as u64);
+                    self.acked_rows += accepted as u64;
+                    if accepted > 0 {
+                        last_progress = Instant::now();
+                    } else if last_progress.elapsed() >= self.busy_stall_timeout {
+                        return Err(ClientError::Stalled {
+                            rows_sent: self.acked_rows as usize,
+                            queue_depth: 0,
+                        });
+                    }
+                    std::thread::sleep(self.backoff.next_delay());
+                }
+                Err(e) => {
+                    if !self.recoverable(&e) {
+                        return Err(e);
+                    }
+                    // Connection is gone (or the server shed us):
+                    // reconnect and let the resume offset say where the
+                    // stream really stands.
+                    self.inner = None;
+                    std::thread::sleep(self.backoff.next_delay());
+                }
+            }
+        }
+        Ok(report)
+    }
+
+    /// Fetches the session's checkpoint blob, reconnecting if the
+    /// connection died since the last exchange.
+    pub fn snapshot(&mut self) -> Result<Vec<u8>, ClientError> {
+        let mut report = StreamReport::default();
+        let mut attempts: u32 = 0;
+        loop {
+            self.ensure_connected(&mut report)?;
+            let outcome = match self.inner.as_mut() {
+                Some(client) => client.snapshot(),
+                None => continue,
+            };
+            match outcome {
+                Ok(blob) => return Ok(blob),
+                Err(e) if self.recoverable(&e) && attempts < self.policy.max_attempts => {
+                    attempts += 1;
+                    self.inner = None;
+                    std::thread::sleep(self.backoff.next_delay());
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Orderly goodbye; consumes the client. A dead connection is fine —
+    /// the point of BYE is courtesy, not correctness.
+    pub fn bye(mut self) -> Result<(), ClientError> {
+        match self.inner.take() {
+            Some(client) => client.bye(),
+            None => Ok(()),
+        }
+    }
+
+    /// Whether an error is worth a reconnect: transport failures,
+    /// garbled replies (the proxy may cut a frame in half), transient
+    /// admission pushback. Semantic rejections (bad dimension, quarantine,
+    /// protocol violations the *server* attributes to us) are not.
+    fn recoverable(&self, e: &ClientError) -> bool {
+        match e {
+            ClientError::Io(_) | ClientError::Proto(_) | ClientError::Unexpected(_) => true,
+            ClientError::Nack { code, .. } => {
+                matches!(code, NackCode::Busy | NackCode::AdmissionLimit)
+            }
+            _ => false,
+        }
+    }
+
+    /// Connects + re-HELLOs until healthy or the attempt budget is
+    /// spent. On success, adopts the server's resume offset as the
+    /// authoritative acked-row count.
+    fn ensure_connected(&mut self, report: &mut StreamReport) -> Result<(), ClientError> {
+        if self.inner.is_some() {
+            return Ok(());
+        }
+        let mut attempts: u32 = 0;
+        loop {
+            match Client::connect(self.addr, self.session, self.dim) {
+                Ok((mut client, hello)) => {
+                    client.set_read_timeout(self.read_timeout)?;
+                    client.set_keepalive_interval(self.keepalive_interval);
+                    client.busy_stall_timeout = self.busy_stall_timeout;
+                    if self.connected_once {
+                        report.reconnects += 1;
+                        self.total_reconnects += 1;
+                    }
+                    self.connected_once = true;
+                    // The server's offset is the truth. Ahead of our
+                    // belief means ACKs died on the wire after the rows
+                    // were applied — skip forward, never double-apply.
+                    if hello.resume_from > self.acked_rows {
+                        report.recovered_rows += hello.resume_from - self.acked_rows;
+                    }
+                    self.acked_rows = hello.resume_from;
+                    self.inner = Some(client);
+                    return Ok(());
+                }
+                Err(e) => {
+                    attempts += 1;
+                    if attempts >= self.policy.max_attempts {
+                        return Err(ClientError::ReconnectExhausted {
+                            attempts,
+                            last: Box::new(e),
+                        });
+                    }
+                    if !self.recoverable(&e) {
+                        return Err(e);
+                    }
+                    std::thread::sleep(self.backoff.next_delay());
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_per_seed_and_bounded() {
+        let policy = ReconnectPolicy {
+            seed: 99,
+            ..ReconnectPolicy::default()
+        };
+        let seq = |p: &ReconnectPolicy| {
+            let mut b = Backoff::new(p);
+            (0..32).map(|_| b.next_delay()).collect::<Vec<_>>()
+        };
+        let a = seq(&policy);
+        let b = seq(&policy);
+        assert_eq!(a, b, "same seed must replay the same delays");
+        for d in &a {
+            assert!(*d >= policy.base && *d <= policy.cap, "{d:?} out of bounds");
+        }
+        let other = seq(&ReconnectPolicy {
+            seed: 100,
+            ..policy
+        });
+        assert_ne!(a, other, "different seeds must jitter apart");
+    }
+
+    #[test]
+    fn backoff_reset_returns_to_the_floor() {
+        let policy = ReconnectPolicy::default();
+        let mut b = Backoff::new(&policy);
+        for _ in 0..16 {
+            let _ = b.next_delay();
+        }
+        b.reset();
+        // After reset the next draw is from [base, base*3].
+        let d = b.next_delay();
+        assert!(d <= policy.base * 3, "{d:?} should be near the floor");
+    }
+
+    #[test]
+    fn exhaustion_surfaces_the_terminal_error() {
+        // Nothing listens on a reserved port of the discard block.
+        let policy = ReconnectPolicy {
+            max_attempts: 3,
+            base: Duration::from_micros(100),
+            cap: Duration::from_millis(1),
+            seed: 7,
+        };
+        let mut rc =
+            ResilientClient::new("127.0.0.1:9", 1, 4, policy).expect("loopback addr resolves");
+        match rc.run_stream(&[0.0; 8], 2) {
+            Err(ClientError::ReconnectExhausted { attempts, .. }) => assert_eq!(attempts, 3),
+            other => panic!("expected exhaustion, got {other:?}"),
+        }
+    }
+}

@@ -22,11 +22,31 @@
 //! and the stalled queue's depth — the client retries the remainder.
 //! Slow or silent clients are evicted after `idle_timeout` without
 //! affecting any other connection.
+//!
+//! Admission control guards the front door ([`AdmissionConfig`]): a
+//! connection cap and a per-IP accept-rate token bucket shed reconnect
+//! storms at accept time with a typed `AdmissionLimit` NACK (cheap: no
+//! handler thread is ever spawned for a shed connection); a
+//! bytes-in-flight cap turns aggregate memory pressure into `Busy`
+//! replies before buffers balloon; and a handshake deadline drops
+//! sockets that connect but never complete a HELLO, so half-open or
+//! deliberately trickling clients cannot pin reader threads.
+//!
+//! Reconnects are fenced per session: each successful HELLO bumps the
+//! session's epoch after waiting out any batch mid-apply, and sample
+//! frames carry their connection's epoch implicitly (via the handler's
+//! handshake record). A zombie handler — one whose client already
+//! re-HELLOed elsewhere after a network fault — that later tries to feed
+//! a delayed frame is rejected with a fatal `Superseded` NACK instead of
+//! double-applying rows the new connection is about to replay. Combined
+//! with the live resume offset in `HelloAck`, this makes delivery
+//! exactly-once across arbitrary connection failures: one live
+//! connection feeds a session at a time.
 
 use std::collections::{HashMap, HashSet};
 use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::net::{IpAddr, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
@@ -46,6 +66,43 @@ use crate::proto::{
 /// worker respawn): delivered to whichever connection drains next.
 const GLOBAL_EVENTS: u64 = u64::MAX;
 
+/// Front-door limits. Defaults are generous enough that well-behaved
+/// fleets never notice them; zero disables an individual limit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdmissionConfig {
+    /// Hard cap on concurrently open connections; further accepts are
+    /// shed with an `AdmissionLimit` NACK before a handler thread is
+    /// spawned. 0 = unlimited.
+    pub max_connections: usize,
+    /// Sustained accepts per second tolerated from one source IP (token
+    /// bucket refill rate). 0 = unlimited.
+    pub per_ip_accepts_per_sec: f64,
+    /// Token bucket capacity: the burst of accepts one IP may spend at
+    /// once before the sustained rate applies.
+    pub per_ip_accept_burst: u32,
+    /// Cap on sample payload bytes concurrently buffered across all
+    /// connections (read off the wire, not yet acknowledged). Frames over
+    /// the cap get a zero-progress `Busy` reply — except that a frame
+    /// arriving when nothing is in flight is always admitted, so the cap
+    /// can shed load but never livelock. 0 = unlimited.
+    pub max_bytes_in_flight: u64,
+    /// A new connection must complete its first HELLO within this window
+    /// or it is dropped (counted in `handshake_timeouts`).
+    pub handshake_timeout: Duration,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            max_connections: 1024,
+            per_ip_accepts_per_sec: 0.0,
+            per_ip_accept_burst: 64,
+            max_bytes_in_flight: 256 << 20,
+            handshake_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
 /// Server construction parameters.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
@@ -61,6 +118,8 @@ pub struct ServerConfig {
     /// Granularity of the handler read loop: how often a blocked read
     /// wakes to check the stop flag and the idle deadline.
     pub read_tick: Duration,
+    /// Front-door admission limits.
+    pub admission: AdmissionConfig,
 }
 
 impl ServerConfig {
@@ -72,6 +131,7 @@ impl ServerConfig {
             reference: None,
             idle_timeout: Duration::from_secs(30),
             read_tick: Duration::from_millis(25),
+            admission: AdmissionConfig::default(),
         }
     }
 
@@ -84,6 +144,12 @@ impl ServerConfig {
     /// Overrides the idle-eviction timeout.
     pub fn with_idle_timeout(mut self, t: Duration) -> Self {
         self.idle_timeout = t;
+        self
+    }
+
+    /// Overrides the front-door admission limits.
+    pub fn with_admission(mut self, admission: AdmissionConfig) -> Self {
+        self.admission = admission;
         self
     }
 }
@@ -159,6 +225,21 @@ struct Shared {
     stop: AtomicBool,
     idle_timeout: Duration,
     read_tick: Duration,
+    admission: AdmissionConfig,
+    /// Sample payload bytes read off the wire and not yet acknowledged,
+    /// across all connections (the bytes-in-flight admission gauge).
+    bytes_in_flight: AtomicU64,
+    /// Per-session connection fences (see [`SessionGate`]).
+    gates: Mutex<HashMap<u64, SessionGate>>,
+}
+
+/// Per-session connection fence. `epoch` names the connection most
+/// recently granted the session by a HELLO; `feeding` counts batches
+/// currently mid-apply, so a fence can wait for in-flight rows to land
+/// before the new connection queries its resume offset.
+struct SessionGate {
+    feeding: u32,
+    epoch: u64,
 }
 
 impl Shared {
@@ -202,6 +283,61 @@ impl Shared {
         match self.events.lock() {
             Ok(g) => g.contains_key(&session),
             Err(poisoned) => poisoned.into_inner().contains_key(&session),
+        }
+    }
+
+    fn lock_gates(&self) -> std::sync::MutexGuard<'_, HashMap<u64, SessionGate>> {
+        match self.gates.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Claims the session for a new connection: waits (up to `deadline`)
+    /// for any batch mid-apply on an older connection to finish, then
+    /// bumps the epoch. Frames still buffered on older connections are
+    /// rejected by [`Shared::begin_feed`] from this point on. `Err` means
+    /// an older handler held the feed past the deadline (it is stuck in
+    /// backpressure); the caller turns that into a retryable BUSY.
+    fn fence_session(&self, session: u64, deadline: Instant) -> Result<u64, ()> {
+        loop {
+            {
+                let mut gates = self.lock_gates();
+                let gate = gates.entry(session).or_insert(SessionGate {
+                    feeding: 0,
+                    epoch: 0,
+                });
+                if gate.feeding == 0 {
+                    gate.epoch += 1;
+                    return Ok(gate.epoch);
+                }
+            }
+            if Instant::now() >= deadline {
+                return Err(());
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    /// Enters a feed for the given connection epoch. `false` means a
+    /// newer connection has fenced this one; the caller must NOT apply
+    /// the batch (and must not call [`Shared::end_feed`]).
+    fn begin_feed(&self, session: u64, epoch: u64) -> bool {
+        let mut gates = self.lock_gates();
+        match gates.get_mut(&session) {
+            Some(gate) if gate.epoch == epoch => {
+                gate.feeding += 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Leaves a feed entered by [`Shared::begin_feed`].
+    fn end_feed(&self, session: u64) {
+        let mut gates = self.lock_gates();
+        if let Some(gate) = gates.get_mut(&session) {
+            gate.feeding = gate.feeding.saturating_sub(1);
         }
     }
 }
@@ -268,6 +404,9 @@ impl Server {
                 stop: AtomicBool::new(false),
                 idle_timeout: cfg.idle_timeout,
                 read_tick: cfg.read_tick,
+                admission: cfg.admission,
+                bytes_in_flight: AtomicU64::new(0),
+                gates: Mutex::new(HashMap::new()),
             }),
         })
     }
@@ -316,14 +455,21 @@ impl Server {
                 }
             })
         });
+        // Per-IP accept-rate token buckets. The accept loop is single-
+        // threaded, so plain HashMap state suffices — no lock, no atomics.
+        let mut buckets: HashMap<IpAddr, TokenBucket> = HashMap::new();
         while !stop_requested() {
             match self.listener.accept() {
-                Ok((stream, _peer)) => {
+                Ok((stream, peer)) => {
                     let shared = Arc::clone(&self.shared);
                     shared
                         .metrics
                         .connections_accepted
                         .fetch_add(1, Ordering::Relaxed);
+                    if let Some(detail) = admission_verdict(&shared, peer.ip(), &mut buckets) {
+                        shed_connection(stream, &shared, &detail);
+                        continue;
+                    }
                     shared
                         .metrics
                         .connections_active
@@ -400,6 +546,75 @@ impl Server {
     }
 }
 
+/// Token bucket for one source IP's accept rate.
+struct TokenBucket {
+    tokens: f64,
+    last_refill: Instant,
+}
+
+/// Checks the connection cap and the per-IP accept rate. Returns the
+/// rejection detail when the connection must be shed, `None` to admit.
+fn admission_verdict(
+    shared: &Shared,
+    peer: IpAddr,
+    buckets: &mut HashMap<IpAddr, TokenBucket>,
+) -> Option<String> {
+    let adm = &shared.admission;
+    if adm.max_connections > 0 {
+        let active = shared.metrics.connections_active.load(Ordering::Relaxed);
+        if active >= adm.max_connections as u64 {
+            return Some(format!("connection limit {} reached", adm.max_connections));
+        }
+    }
+    if adm.per_ip_accepts_per_sec > 0.0 {
+        let burst = f64::from(adm.per_ip_accept_burst.max(1));
+        let now = Instant::now();
+        // Bound the map against address-hopping sources: drop buckets
+        // that have refilled to full (they carry no history worth keeping).
+        if buckets.len() > 4096 {
+            let rate = adm.per_ip_accepts_per_sec;
+            buckets.retain(|_, b| {
+                (b.tokens + now.duration_since(b.last_refill).as_secs_f64() * rate) < burst
+            });
+        }
+        let bucket = buckets.entry(peer).or_insert(TokenBucket {
+            tokens: burst,
+            last_refill: now,
+        });
+        bucket.tokens = (bucket.tokens
+            + now.duration_since(bucket.last_refill).as_secs_f64() * adm.per_ip_accepts_per_sec)
+            .min(burst);
+        bucket.last_refill = now;
+        if bucket.tokens < 1.0 {
+            return Some(format!(
+                "accept rate limit for {peer} ({}/s, burst {})",
+                adm.per_ip_accepts_per_sec, adm.per_ip_accept_burst
+            ));
+        }
+        bucket.tokens -= 1.0;
+    }
+    None
+}
+
+/// Rejects a connection at the front door: best-effort `AdmissionLimit`
+/// NACK (short write timeout so a hostile receiver cannot stall the
+/// accept loop), then drop. No handler thread is ever spawned.
+fn shed_connection(mut stream: TcpStream, shared: &Shared, detail: &str) {
+    shared
+        .metrics
+        .admission_rejections
+        .fetch_add(1, Ordering::Relaxed);
+    shared.metrics.nacks_sent.fetch_add(1, Ordering::Relaxed);
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(100)));
+    let _ = stream.write_all(
+        &Message::Nack {
+            code: NackCode::AdmissionLimit,
+            detail: detail.into(),
+        }
+        .encode(0),
+    );
+}
+
 /// Outcome of an interruptible exact read.
 enum Fill {
     /// Buffer filled.
@@ -409,6 +624,8 @@ enum Fill {
     /// No bytes for longer than the idle timeout (or the peer trickled
     /// and then stalled mid-frame).
     Idle,
+    /// The handshake deadline passed before the first HELLO completed.
+    Expired,
     /// The server is draining.
     Stopped,
     /// Transport error.
@@ -418,13 +635,24 @@ enum Fill {
 /// Reads exactly `buf.len()` bytes, waking every read tick to check the
 /// stop flag and the idle deadline. Partial progress is kept across
 /// ticks, so a slow-but-live client is fine as long as bytes keep
-/// arriving inside the idle window.
-fn fill(stream: &mut TcpStream, buf: &mut [u8], shared: &Shared) -> Fill {
+/// arriving inside the idle window. `deadline` is the absolute handshake
+/// deadline: unlike the idle window it does NOT reset on progress, so a
+/// client trickling one byte per tick cannot hold a pre-HELLO connection
+/// open indefinitely.
+fn fill(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    shared: &Shared,
+    deadline: Option<Instant>,
+) -> Fill {
     let mut got = 0usize;
     let mut last_byte = Instant::now();
     while got < buf.len() {
         if shared.stop.load(Ordering::Relaxed) {
             return Fill::Stopped;
+        }
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            return Fill::Expired;
         }
         match stream.read(&mut buf[got..]) {
             Ok(0) => return if got == 0 { Fill::Eof } else { Fill::Failed },
@@ -506,16 +734,29 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
         return;
     }
     let _ = stream.set_nodelay(true);
-    // Sessions HELLOed on this connection, with their declared dim.
-    let mut helloed: HashMap<u64, u32> = HashMap::new();
+    // Sessions HELLOed on this connection: declared dim plus the fence
+    // epoch granted by the handshake (stale after the session re-HELLOs
+    // on another connection).
+    let mut helloed: HashMap<u64, (u32, u64)> = HashMap::new();
+    // Until the first HELLO completes, every read races this absolute
+    // deadline; a half-open or trickling socket is dropped at it.
+    let mut handshake_deadline = (shared.admission.handshake_timeout > Duration::ZERO)
+        .then(|| Instant::now() + shared.admission.handshake_timeout);
     loop {
         let mut header = [0u8; HEADER_LEN];
-        match fill(&mut stream, &mut header, shared) {
+        match fill(&mut stream, &mut header, shared, handshake_deadline) {
             Fill::Done => {}
             Fill::Idle => {
                 shared
                     .metrics
                     .connections_evicted_idle
+                    .fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            Fill::Expired => {
+                shared
+                    .metrics
+                    .handshake_timeouts
                     .fetch_add(1, Ordering::Relaxed);
                 return;
             }
@@ -541,12 +782,19 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
             }
         };
         let mut rest = vec![0u8; payload_len + CRC_LEN];
-        match fill(&mut stream, &mut rest, shared) {
+        match fill(&mut stream, &mut rest, shared, handshake_deadline) {
             Fill::Done => {}
             Fill::Idle => {
                 shared
                     .metrics
                     .connections_evicted_idle
+                    .fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            Fill::Expired => {
+                shared
+                    .metrics
+                    .handshake_timeouts
                     .fetch_add(1, Ordering::Relaxed);
                 return;
             }
@@ -578,8 +826,11 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
         match msg {
             Message::Hello { dim, scalar_width } => {
                 match handle_hello(shared, session, dim, scalar_width) {
-                    Ok(reply) => {
-                        helloed.insert(session, dim);
+                    Ok((reply, epoch)) => {
+                        helloed.insert(session, (dim, epoch));
+                        // Handshake complete: from here the idle window
+                        // alone governs the connection's lifetime.
+                        handshake_deadline = None;
                         if !send(&mut stream, shared, &reply.encode(session)) {
                             return;
                         }
@@ -592,20 +843,61 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
                 }
             }
             Message::Sample { dim, data } => {
-                let reply = match helloed.get(&session) {
-                    None => Message::Nack {
-                        code: NackCode::NotHello,
-                        detail: format!("no HELLO for session {session} on this connection"),
-                    },
-                    Some(&hello_dim) if dim != hello_dim || dim == 0 => Message::Nack {
-                        code: NackCode::DimMismatch,
-                        detail: format!("batch dim {dim} != handshake dim {hello_dim}"),
-                    },
-                    Some(_) => handle_samples(shared, session, dim as usize, &data),
+                // Bytes-in-flight admission: the frame's payload counts
+                // against the aggregate cap from decode until the reply
+                // is on the wire. A frame arriving when nothing is in
+                // flight is always admitted (progress guarantee), so the
+                // cap sheds load without ever livelocking a lone client.
+                let frame_bytes = payload_len as u64;
+                let cap = shared.admission.max_bytes_in_flight;
+                let prior = shared
+                    .bytes_in_flight
+                    .fetch_add(frame_bytes, Ordering::Relaxed);
+                let over_cap = cap > 0 && prior > 0 && prior + frame_bytes > cap;
+                let reply = if over_cap {
+                    shared
+                        .metrics
+                        .admission_rejections
+                        .fetch_add(1, Ordering::Relaxed);
+                    shared.metrics.busy_replies.fetch_add(1, Ordering::Relaxed);
+                    Message::Busy {
+                        accepted: 0,
+                        queue_depth: 0,
+                    }
+                } else {
+                    match helloed.get(&session) {
+                        None => Message::Nack {
+                            code: NackCode::NotHello,
+                            detail: format!("no HELLO for session {session} on this connection"),
+                        },
+                        Some(&(hello_dim, _)) if dim != hello_dim || dim == 0 => Message::Nack {
+                            code: NackCode::DimMismatch,
+                            detail: format!("batch dim {dim} != handshake dim {hello_dim}"),
+                        },
+                        // The fence: a delayed frame from a connection the
+                        // session has since re-HELLOed away from must not
+                        // be applied — the new connection is replaying the
+                        // unacked tail, so applying here would double-feed.
+                        Some(&(_, epoch)) => {
+                            if shared.begin_feed(session, epoch) {
+                                let r = handle_samples(shared, session, dim as usize, &data);
+                                shared.end_feed(session);
+                                r
+                            } else {
+                                Message::Nack {
+                                    code: NackCode::Superseded,
+                                    detail: format!(
+                                        "session {session} re-HELLOed on a newer connection"
+                                    ),
+                                }
+                            }
+                        }
+                    }
                 };
-                let is_nack = matches!(reply, Message::Nack { .. });
-                if is_nack {
+                let mut fatal_nack = false;
+                if let Message::Nack { code, .. } = &reply {
                     shared.metrics.nacks_sent.fetch_add(1, Ordering::Relaxed);
+                    fatal_nack = code.is_fatal();
                 }
                 let flags = if matches!(reply, Message::SampleAck { .. })
                     && shared.events_pending(session)
@@ -614,7 +906,18 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
                 } else {
                     0
                 };
-                if !send(&mut stream, shared, &reply.encode_flagged(session, flags)) {
+                let sent = send(&mut stream, shared, &reply.encode_flagged(session, flags));
+                shared
+                    .bytes_in_flight
+                    .fetch_sub(frame_bytes, Ordering::Relaxed);
+                if fatal_nack {
+                    shared
+                        .metrics
+                        .connections_dropped_protocol
+                        .fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+                if !sent {
                     return;
                 }
             }
@@ -679,15 +982,17 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
     }
 }
 
-/// HELLO: validate scalar width and dimension, then find or create the
-/// session. Creation races between connections are benign: the loser's
-/// `DuplicateSession` is treated as "already exists".
+/// HELLO: validate scalar width and dimension, fence the session to this
+/// connection, then find or create it. Creation races between
+/// connections are benign: the loser's `DuplicateSession` is treated as
+/// "already exists". On success returns the reply plus the fence epoch
+/// the connection feeds under.
 fn handle_hello(
     shared: &Shared,
     session: u64,
     dim: u32,
     scalar_width: u8,
-) -> Result<Message, (NackCode, String)> {
+) -> Result<(Message, u64), (NackCode, String)> {
     let width = core::mem::size_of::<Real>() as u8;
     if scalar_width != width {
         return Err((
@@ -714,6 +1019,20 @@ fn handle_hello(
             format!("session {session} is quarantined"),
         ));
     }
+    let query_timeout = shared
+        .admission
+        .handshake_timeout
+        .max(Duration::from_secs(1));
+    // Fence BEFORE the resume query: any batch an older connection has
+    // mid-apply lands first, so the offset reported below reflects every
+    // row the server will ever apply from that connection — and the fence
+    // epoch guarantees no later frame from it can be applied afterwards.
+    let Ok(epoch) = shared.fence_session(session, Instant::now() + query_timeout) else {
+        return Err((
+            NackCode::Busy,
+            format!("session {session} busy mid-batch; retry handshake"),
+        ));
+    };
     let already_known = {
         let known = match shared.known.read() {
             Ok(g) => g,
@@ -727,18 +1046,39 @@ fn handle_hello(
         // was resumed (or created after bind). The query travels the
         // shard FIFO, so every sample a previous connection fed is
         // reflected — a reconnecting device replays exactly the tail the
-        // server has not seen, never re-applying samples.
-        match shared.fleet.samples_processed(SessionId(session)) {
+        // server has not seen, never re-applying samples. The query is
+        // deadline-bounded: during a reconnect storm against a stalled
+        // shard, an unbounded wait here would pin one handler thread per
+        // re-HELLO; a timeout becomes a non-fatal BUSY NACK instead, and
+        // the client retries the handshake with backoff.
+        match shared
+            .fleet
+            .samples_processed_within(SessionId(session), query_timeout)
+        {
             Ok(resume_from) => {
-                return Ok(Message::HelloAck {
-                    existing: true,
-                    resume_from,
-                })
+                shared.metrics.reconnects.fetch_add(1, Ordering::Relaxed);
+                shared
+                    .metrics
+                    .resumed_samples
+                    .fetch_add(resume_from, Ordering::Relaxed);
+                return Ok((
+                    Message::HelloAck {
+                        existing: true,
+                        resume_from,
+                    },
+                    epoch,
+                ));
             }
             // The engine lost the session (worker died with no usable
             // checkpoint): fall through and re-create from the reference
             // as for a never-seen id, so the device can start over.
             Err(FleetError::UnknownSession(_)) => {}
+            Err(FleetError::Timeout { queue_depth, .. }) => {
+                return Err((
+                    NackCode::Busy,
+                    format!("resume offset query timed out (queue depth {queue_depth})"),
+                ))
+            }
             Err(e) => return Err((fleet_nack_code(&e), e.to_string())),
         }
     }
@@ -769,10 +1109,13 @@ fn handle_hello(
             poisoned.into_inner().insert(session);
         }
     }
-    Ok(Message::HelloAck {
-        existing: false,
-        resume_from: 0,
-    })
+    Ok((
+        Message::HelloAck {
+            existing: false,
+            resume_from: 0,
+        },
+        epoch,
+    ))
 }
 
 /// Feeds a batch row by row through the blocking path. A timeout under

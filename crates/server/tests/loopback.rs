@@ -393,6 +393,102 @@ fn send_all_surfaces_a_stalled_shard() {
     handle.join().unwrap();
 }
 
+/// A device with bursty send gaps arms the application-level keepalive
+/// at half the server's idle-eviction window: its quiet-but-healthy
+/// connection survives a gap several windows long, while an identical
+/// client without keepalives is evicted.
+#[test]
+fn keepalive_outlives_idle_eviction() {
+    let blob = checkpoint(41);
+    let cfg = ServerConfig::new(FleetConfig::new(1))
+        .with_reference(blob)
+        .with_idle_timeout(Duration::from_millis(150));
+    let (addr, stop, handle) = spawn_server(cfg);
+
+    let (mut kept, _) = Client::connect(addr, 1, DIM as u32).unwrap();
+    kept.set_keepalive_interval(Some(Duration::from_millis(75)));
+    let (mut dropped, _) = Client::connect(addr, 2, DIM as u32).unwrap();
+
+    // A 500 ms send gap: > 3 idle windows. The armed client ticks its
+    // keepalive from its idle loop; the other stays silent.
+    let mut pings = 0u32;
+    for _ in 0..10 {
+        std::thread::sleep(Duration::from_millis(50));
+        if kept.keepalive_tick().unwrap() {
+            pings += 1;
+        }
+    }
+    assert!(pings >= 2, "the gap spans several keepalive intervals");
+    // The armed connection still works; the silent one was evicted.
+    kept.send_all(&stream(1, 5, 0.3)).unwrap();
+    kept.bye().unwrap();
+    assert!(
+        dropped.ping().is_err(),
+        "the silent connection should have been evicted"
+    );
+
+    stop.store(true, Ordering::Relaxed);
+    let report = handle.join().unwrap();
+    assert!(report.net.connections_evicted_idle >= 1);
+    assert_eq!(report.net.samples_accepted, 5);
+}
+
+/// `Stalled` carries the partial progress, and a fresh `send_all` from
+/// that offset finishes the stream with zero duplicated and zero lost
+/// rows once the shard drains again.
+#[test]
+fn stalled_send_resumes_from_reported_offset_exactly_once() {
+    const ROWS: usize = 50;
+    let blob = checkpoint(43);
+    // Every 10th sample of session 0 takes 400 ms; the rest are fast. A
+    // 100 ms zero-progress budget trips on the first long pause, and the
+    // resumed send (with a patient budget) rides out the remaining ones.
+    let injector = FaultInjector::new(vec![Fault::SlowSession {
+        session: 0,
+        every: 10,
+        micros: 400_000,
+    }]);
+    let fleet_cfg = FleetConfig::new(1)
+        .with_queue_capacity(1)
+        .with_feed_timeout(Duration::from_millis(2))
+        .with_fault_injector(injector);
+    let cfg = ServerConfig::new(fleet_cfg).with_reference(blob);
+    let (addr, stop, handle) = spawn_server(cfg);
+
+    let (mut client, _) = Client::connect(addr, 0, DIM as u32).unwrap();
+    client.busy_stall_timeout = Duration::from_millis(100);
+    let rows = stream(0, ROWS, 0.3);
+    let rows_sent = match client.send_all(&rows) {
+        Err(ClientError::Stalled { rows_sent, .. }) => {
+            assert!(
+                rows_sent > 0 && rows_sent < ROWS,
+                "the stall must interrupt mid-stream, got {rows_sent}"
+            );
+            rows_sent
+        }
+        other => panic!("expected Stalled, got {other:?}"),
+    };
+    // The connection survived the typed error: resume the tail from the
+    // reported offset on the same client, now with a patient budget.
+    client.busy_stall_timeout = Duration::from_secs(10);
+    client.send_all(&rows[rows_sent * DIM..]).unwrap();
+    let snap = client.snapshot().unwrap();
+    client.bye().unwrap();
+
+    stop.store(true, Ordering::Relaxed);
+    let report = handle.join().unwrap();
+    assert_eq!(
+        report.net.samples_accepted, ROWS as u64,
+        "resume must neither duplicate nor lose rows"
+    );
+    assert_eq!(
+        DriftPipeline::from_bytes(&snap)
+            .unwrap()
+            .samples_processed(),
+        ROWS as u64
+    );
+}
+
 /// Handshake rejections are typed: unknown session without a reference
 /// model, wrong dimension, wrong scalar width, and samples before HELLO.
 #[test]

@@ -103,6 +103,9 @@ pub mod prelude {
         multi_instance::MultiInstanceModel,
         oselm::{OsElm, OsElmConfig},
     };
-    pub use seqdrift_server::{Client, Server, ServerConfig};
+    pub use seqdrift_server::{
+        AdmissionConfig, ChaosConfig, ChaosProxy, Client, ReconnectPolicy, ResilientClient, Server,
+        ServerConfig,
+    };
     pub use seqdrift_store::{Store, StoreConfig, StoreError};
 }

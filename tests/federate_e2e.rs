@@ -144,9 +144,10 @@ fn run_scenario(merge: bool) -> Vec<f64> {
 
 /// The acceptance scenario: with merging on, the mean adaptation delay
 /// across the uninjected 90% of the fleet is strictly lower than the
-/// merge-off baseline. Both runs land in `BENCH_ingest.json` (delay
-/// stats expressed through the ingest schema: `samples_per_sec` carries
-/// the mean delay in samples, `p50_us`/`p99_us` the delay percentiles).
+/// merge-off baseline. Both runs land in `BENCH_ingest.json` through the
+/// ingest schema with `unit: "samples"` declaring the honest semantics:
+/// `samples_per_sec` carries the mean adaptation delay *in samples*, and
+/// `p50_us`/`p99_us` the delay percentiles in the same unit.
 #[test]
 fn federated_merging_cuts_reconstruction_delay_for_the_fleet() {
     let mut off = run_scenario(false);
@@ -179,6 +180,7 @@ fn federated_merging_cuts_reconstruction_delay_for_the_fleet() {
                     p50_us: off_p50,
                     p99_us: off_p99,
                     samples: SESSIONS - VANGUARDS,
+                    unit: Some("samples".to_string()),
                 },
             ),
             (
@@ -188,6 +190,7 @@ fn federated_merging_cuts_reconstruction_delay_for_the_fleet() {
                     p50_us: on_p50,
                     p99_us: on_p99,
                     samples: SESSIONS - VANGUARDS,
+                    unit: Some("samples".to_string()),
                 },
             ),
         ],
