@@ -11,7 +11,8 @@ use seqdrift_datasets::nslkdd::{self, NslKddConfig};
 use seqdrift_datasets::{loader, DriftDataset, Sample};
 use seqdrift_federate::Federator;
 use seqdrift_fleet::{
-    FaultInjector, FederationConfig, FleetConfig, FleetEngine, FleetError, FleetEvent, SessionId,
+    FaultInjector, FederationConfig, FleetConfig, FleetEngine, FleetError, FleetEvent,
+    MetricsSnapshot, SessionId,
 };
 use seqdrift_linalg::{Real, Rng};
 use seqdrift_oselm::{MultiInstanceModel, OsElmConfig};
@@ -21,6 +22,27 @@ type Out<'a> = &'a mut dyn Write;
 
 fn fail(context: &str, e: impl std::fmt::Display) -> String {
     format!("{context}: {e}")
+}
+
+/// One-line durability health summary for `fleet`/`serve` shutdown output.
+/// Degrade/recover transitions strictly alternate, so a surplus of
+/// degrades means the run ended still degraded.
+fn durability_health_line(m: &MetricsSnapshot, out: Out<'_>) {
+    let health = if m.durability_degraded > m.durability_recovered {
+        "DEGRADED"
+    } else {
+        "DURABLE"
+    };
+    writeln!(
+        out,
+        "durability health: {health} ({} degrade(s), {} recovery(ies), \
+         {} write(s) buffered, {} retry attempt(s))",
+        m.durability_degraded,
+        m.durability_recovered,
+        m.durable_flushes_buffered,
+        m.durable_flush_retries
+    )
+    .ok();
 }
 
 /// Merges the `--guard-policy` / `--stuck-threshold` flags into `base`;
@@ -354,6 +376,18 @@ pub fn fleet(a: &FleetArgs, out: Out<'_>) -> Result<(), String> {
         .ok();
     }
     let engine = FleetEngine::new(cfg).map_err(|e| fail("starting fleet", e))?;
+    if let Some(rec) = engine.recovery_report() {
+        writeln!(
+            out,
+            "state recovery: {} session(s) restored ({} generation(s) kept, \
+             {} corrupt frame(s) dropped, {} stale temp(s) swept)",
+            rec.sessions_recovered,
+            rec.generations_kept,
+            rec.corrupt_frames_dropped,
+            rec.stale_temps_deleted
+        )
+        .ok();
+    }
 
     // Sessions re-homed from the store (or still quarantined in its
     // ledger) must not be re-created from the reference checkpoint: a
@@ -524,6 +558,20 @@ pub fn fleet(a: &FleetArgs, out: Out<'_>) -> Result<(), String> {
                 )
                 .ok();
             }
+            FleetEvent::DurabilityDegraded { reason } => {
+                writeln!(out, "durability: DEGRADED ({reason})").ok();
+            }
+            FleetEvent::DurabilityRestored {
+                flushed_checkpoints,
+                drained_ledger_writes,
+            } => {
+                writeln!(
+                    out,
+                    "durability: restored ({flushed_checkpoints} buffered checkpoint(s) \
+                     flushed, {drained_ledger_writes} ledger write(s) drained)"
+                )
+                .ok();
+            }
         }
     }
     let m = &report.metrics;
@@ -572,6 +620,7 @@ pub fn fleet(a: &FleetArgs, out: Out<'_>) -> Result<(), String> {
             m.durable_flushes, m.durable_flush_failures
         )
         .ok();
+        durability_health_line(m, out);
     }
     if !report.quarantined.is_empty() {
         for (id, reason) in &report.quarantined {
@@ -665,6 +714,18 @@ pub fn serve_with_stop(
         cfg = cfg.with_reference(blob);
     }
     let server = Server::bind(&a.listen, cfg).map_err(|e| fail("binding server", e))?;
+    if let Some(rec) = server.recovery_report() {
+        writeln!(
+            out,
+            "state recovery: {} session(s) restored ({} generation(s) kept, \
+             {} corrupt frame(s) dropped, {} stale temp(s) swept)",
+            rec.sessions_recovered,
+            rec.generations_kept,
+            rec.corrupt_frames_dropped,
+            rec.stale_temps_deleted
+        )
+        .ok();
+    }
     let addr = server.local_addr();
     writeln!(
         out,
@@ -730,6 +791,7 @@ pub fn serve_with_stop(
             m.durable_flushes, m.durable_flush_failures
         )
         .ok();
+        durability_health_line(m, out);
     }
     for (id, reason) in &report.fleet.quarantined {
         writeln!(out, "quarantined: device {} ({reason})", id.0).ok();

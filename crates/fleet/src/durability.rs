@@ -1,0 +1,516 @@
+//! The durability health machine: `Durable → DegradedDurability(reason)
+//! → Durable`.
+//!
+//! PR 4 made checkpoint flushes crash-safe; this module makes them
+//! *disk-failure*-safe. Before it, a failed durable write bumped a
+//! counter and was forgotten: a fleet whose disk failed for ten minutes
+//! silently lost durability forever. Now the first failure flips the
+//! fleet into **degraded durability**; while degraded, workers stop
+//! touching the disk and instead buffer the *newest* pending checkpoint
+//! per session (plus quarantine-ledger writes and the federated model)
+//! in memory, and a background retry thread — decorrelated-jitter
+//! backoff, the same shape as the server's reconnect `Backoff` —
+//! re-attempts the buffered work until the disk heals. When everything
+//! buffered has drained, the fleet transitions back to `Durable` and
+//! says so: both transitions are [`FleetEvent`]s, counted in the fleet
+//! metrics, and surfaced in `seqdrift fleet`/`serve` output.
+//!
+//! **Ordering invariant.** While degraded, the retry thread is the only
+//! durable-store writer; workers buffer instead of writing. The
+//! transition back to `Durable` happens only after the pending set is
+//! empty, and each session's checkpoints are produced by its single
+//! shard worker in stream order — so a stale blob can never be flushed
+//! *after* a newer one and shadow it under a higher generation.
+//! Buffered state is bounded: one blob per session (newer supersedes
+//! older), the ledger ops, and one federated blob.
+
+use crate::metrics::FleetMetrics;
+use crate::supervisor::{mutex_lock, FleetEvent};
+use seqdrift_linalg::Rng;
+use seqdrift_store::{LedgerEntry, Store};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+/// Which durable write first failed (the reason the fleet degraded).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradedReason {
+    /// A session-checkpoint flush failed.
+    CheckpointFlush,
+    /// A quarantine-ledger (manifest) write failed.
+    LedgerWrite,
+    /// A federated merged-model write failed.
+    FederatedWrite,
+}
+
+impl std::fmt::Display for DegradedReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DegradedReason::CheckpointFlush => write!(f, "checkpoint flush failed"),
+            DegradedReason::LedgerWrite => write!(f, "quarantine-ledger write failed"),
+            DegradedReason::FederatedWrite => write!(f, "federated-model write failed"),
+        }
+    }
+}
+
+/// The fleet's durability state. Memory-only fleets (no
+/// `FleetConfig::state_dir`) are always reported `Durable` — there is no
+/// disk to degrade.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DurabilityHealth {
+    /// Durable writes are landing on disk.
+    Durable,
+    /// The disk is failing; checkpoints are buffered in memory and
+    /// retried in the background until it heals.
+    DegradedDurability(DegradedReason),
+}
+
+impl std::fmt::Display for DurabilityHealth {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DurabilityHealth::Durable => write!(f, "DURABLE"),
+            DurabilityHealth::DegradedDurability(reason) => write!(f, "DEGRADED ({reason})"),
+        }
+    }
+}
+
+/// A buffered quarantine-ledger mutation, replayed in order on recovery.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum LedgerOp {
+    /// `Store::set_quarantined(session, entry)`.
+    Set(u64, LedgerEntry),
+    /// `Store::remove_session(session)` (evict under a failing disk).
+    Remove(u64),
+}
+
+#[derive(Debug, Default)]
+struct MonitorState {
+    degraded: Option<DegradedReason>,
+    /// Newest pending checkpoint per session: `(sequence, blob)`. The
+    /// sequence guards the snapshot/drain race — a drain only retires
+    /// the exact blob it flushed.
+    pending: HashMap<u64, (u64, Vec<u8>)>,
+    /// Ledger mutations in arrival order (order matters: a `Set` then
+    /// `Remove` of the same session must not replay reversed).
+    pending_ledger: Vec<LedgerOp>,
+    /// Newest pending federated merged model.
+    pending_federated: Option<(u64, Vec<u8>)>,
+    seq: u64,
+    /// Work flushed during the current degraded episode, reported in the
+    /// `DurabilityRestored` event.
+    episode_checkpoints: u32,
+    episode_ledger: u32,
+}
+
+/// Shared between the workers (who report failures and buffer while
+/// degraded), the engine (who reads health), and the background retry
+/// thread (who drains).
+#[derive(Debug)]
+pub(crate) struct DurabilityMonitor {
+    state: Mutex<MonitorState>,
+    wake: Condvar,
+    stopped: AtomicBool,
+    metrics: Arc<FleetMetrics>,
+    events: Arc<Mutex<Vec<FleetEvent>>>,
+}
+
+impl DurabilityMonitor {
+    pub fn new(metrics: Arc<FleetMetrics>, events: Arc<Mutex<Vec<FleetEvent>>>) -> Self {
+        DurabilityMonitor {
+            state: Mutex::new(MonitorState::default()),
+            wake: Condvar::new(),
+            stopped: AtomicBool::new(false),
+            metrics,
+            events,
+        }
+    }
+
+    /// Poison tolerance: the state is plain buffers; no invariant spans
+    /// a panic window.
+    fn lock(&self) -> MutexGuard<'_, MonitorState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    pub fn health(&self) -> DurabilityHealth {
+        match self.lock().degraded {
+            None => DurabilityHealth::Durable,
+            Some(reason) => DurabilityHealth::DegradedDurability(reason),
+        }
+    }
+
+    /// Enters degraded mode (no-op if already degraded: the *first*
+    /// failure names the episode). Must be called with the state lock
+    /// held.
+    fn degrade_locked(&self, st: &mut MonitorState, reason: DegradedReason) {
+        if st.degraded.is_some() {
+            return;
+        }
+        st.degraded = Some(reason);
+        st.episode_checkpoints = 0;
+        st.episode_ledger = 0;
+        self.metrics
+            .durability_degraded
+            .fetch_add(1, Ordering::Relaxed);
+        mutex_lock(&self.events).push(FleetEvent::DurabilityDegraded { reason });
+        self.wake.notify_all();
+    }
+
+    /// Worker path, before a checkpoint flush: while degraded, buffers
+    /// the blob (superseding any older pending one for the session) and
+    /// returns `true` — the retry thread owns the disk until recovery.
+    pub fn buffer_checkpoint_if_degraded(&self, id: u64, blob: &[u8]) -> bool {
+        let mut st = self.lock();
+        if st.degraded.is_none() {
+            return false;
+        }
+        st.seq += 1;
+        let seq = st.seq;
+        st.pending.insert(id, (seq, blob.to_vec()));
+        self.metrics
+            .durable_flushes_buffered
+            .fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Worker path, after a checkpoint flush failed: buffer the blob and
+    /// enter degraded mode.
+    pub fn checkpoint_failed(&self, id: u64, blob: Vec<u8>) {
+        let mut st = self.lock();
+        st.seq += 1;
+        let seq = st.seq;
+        st.pending.insert(id, (seq, blob));
+        self.metrics
+            .durable_flushes_buffered
+            .fetch_add(1, Ordering::Relaxed);
+        self.degrade_locked(&mut st, DegradedReason::CheckpointFlush);
+    }
+
+    /// Worker path, before a ledger write: while degraded, buffers the
+    /// op and returns `true`.
+    pub fn buffer_ledger_if_degraded(&self, op: LedgerOp) -> bool {
+        let mut st = self.lock();
+        if st.degraded.is_none() {
+            return false;
+        }
+        st.pending_ledger.push(op);
+        self.metrics
+            .durable_flushes_buffered
+            .fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Worker path, after a ledger write failed: buffer and degrade.
+    pub fn ledger_failed(&self, op: LedgerOp) {
+        let mut st = self.lock();
+        st.pending_ledger.push(op);
+        self.metrics
+            .durable_flushes_buffered
+            .fetch_add(1, Ordering::Relaxed);
+        self.degrade_locked(&mut st, DegradedReason::LedgerWrite);
+    }
+
+    /// Engine path, before a federated-model write: while degraded,
+    /// buffers the blob (newest supersedes) and returns `true`.
+    pub fn buffer_federated_if_degraded(&self, blob: &[u8]) -> bool {
+        let mut st = self.lock();
+        if st.degraded.is_none() {
+            return false;
+        }
+        st.seq += 1;
+        let seq = st.seq;
+        st.pending_federated = Some((seq, blob.to_vec()));
+        self.metrics
+            .durable_flushes_buffered
+            .fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Engine path, after a federated write failed: buffer and degrade.
+    pub fn federated_failed(&self, blob: Vec<u8>) {
+        let mut st = self.lock();
+        st.seq += 1;
+        let seq = st.seq;
+        st.pending_federated = Some((seq, blob));
+        self.metrics
+            .durable_flushes_buffered
+            .fetch_add(1, Ordering::Relaxed);
+        self.degrade_locked(&mut st, DegradedReason::FederatedWrite);
+    }
+
+    /// One drain attempt: re-flush every buffered checkpoint, replay
+    /// ledger ops in order, and re-write the federated model. Retires
+    /// only what it actually flushed (by sequence, so a blob buffered
+    /// mid-drain survives for the next pass). When the buffers empty,
+    /// transitions back to `Durable` and emits `DurabilityRestored`.
+    /// Returns whether the fleet is durable again.
+    pub fn try_drain(&self, store: &Store) -> bool {
+        let (checkpoints, ledger_ops, federated) = {
+            let st = self.lock();
+            if st.degraded.is_none() {
+                return true;
+            }
+            let ckpts: Vec<(u64, u64, Vec<u8>)> = st
+                .pending
+                .iter()
+                .map(|(&id, (seq, blob))| (id, *seq, blob.clone()))
+                .collect();
+            (
+                ckpts,
+                st.pending_ledger.clone(),
+                st.pending_federated.clone(),
+            )
+        };
+        let mut clean = true;
+        for (id, seq, blob) in checkpoints {
+            self.metrics
+                .durable_flush_retries
+                .fetch_add(1, Ordering::Relaxed);
+            if store.put(id, &blob).is_ok() {
+                self.metrics.durable_flushes.fetch_add(1, Ordering::Relaxed);
+                let mut st = self.lock();
+                st.episode_checkpoints += 1;
+                if st.pending.get(&id).is_some_and(|(s, _)| *s == seq) {
+                    st.pending.remove(&id);
+                }
+            } else {
+                clean = false;
+            }
+        }
+        // Ledger ops replay strictly in order; stop at the first failure
+        // so a later op can never leapfrog an earlier one.
+        let mut applied = 0usize;
+        for op in &ledger_ops {
+            self.metrics
+                .durable_flush_retries
+                .fetch_add(1, Ordering::Relaxed);
+            let ok = match op {
+                LedgerOp::Set(id, entry) => store.set_quarantined(*id, *entry).is_ok(),
+                LedgerOp::Remove(id) => store.remove_session(*id).is_ok(),
+            };
+            if ok {
+                applied += 1;
+            } else {
+                clean = false;
+                break;
+            }
+        }
+        if applied > 0 {
+            let mut st = self.lock();
+            // Ops are append-only, so the first `applied` entries are
+            // exactly the ones replayed above.
+            let n = applied.min(st.pending_ledger.len());
+            st.pending_ledger.drain(..n);
+            st.episode_ledger += applied as u32;
+        }
+        if let Some((seq, blob)) = federated {
+            self.metrics
+                .durable_flush_retries
+                .fetch_add(1, Ordering::Relaxed);
+            if store.put_federated(&blob).is_ok() {
+                let mut st = self.lock();
+                if st
+                    .pending_federated
+                    .as_ref()
+                    .is_some_and(|(s, _)| *s == seq)
+                {
+                    st.pending_federated = None;
+                }
+            } else {
+                clean = false;
+            }
+        }
+        let mut st = self.lock();
+        if clean
+            && st.pending.is_empty()
+            && st.pending_ledger.is_empty()
+            && st.pending_federated.is_none()
+            && st.degraded.is_some()
+        {
+            st.degraded = None;
+            self.metrics
+                .durability_recovered
+                .fetch_add(1, Ordering::Relaxed);
+            mutex_lock(&self.events).push(FleetEvent::DurabilityRestored {
+                flushed_checkpoints: st.episode_checkpoints,
+                drained_ledger_writes: st.episode_ledger,
+            });
+        }
+        st.degraded.is_none()
+    }
+
+    /// Signals the retry thread to make one final drain attempt and exit.
+    pub fn stop(&self) {
+        self.stopped.store(true, Ordering::SeqCst);
+        self.wake.notify_all();
+    }
+
+    fn is_stopped(&self) -> bool {
+        self.stopped.load(Ordering::SeqCst)
+    }
+}
+
+/// Decorrelated-jitter backoff (same shape as the server crate's
+/// reconnect `Backoff`): each delay is uniform in `[base, prev * 3]`,
+/// clamped to `cap`. Spreads many degraded fleets' retry attempts so a
+/// shared storage backend that just healed is not thundering-herded.
+struct Backoff {
+    rng: Rng,
+    base: Duration,
+    cap: Duration,
+    prev: Duration,
+}
+
+impl Backoff {
+    fn new(base: Duration, cap: Duration, seed: u64) -> Backoff {
+        Backoff {
+            rng: Rng::seed_from(seed),
+            base,
+            cap,
+            prev: base,
+        }
+    }
+
+    fn next_delay(&mut self) -> Duration {
+        let lo = self.base.as_micros() as u64;
+        let hi = (self.prev.as_micros() as u64).saturating_mul(3).max(lo + 1);
+        let span = hi - lo;
+        let drawn = lo + self.rng.below(span + 1);
+        let delay = Duration::from_micros(drawn).min(self.cap);
+        self.prev = delay;
+        delay
+    }
+
+    fn reset(&mut self) {
+        self.prev = self.base;
+    }
+}
+
+/// The background retry loop. Sleeps while the fleet is durable; once
+/// degraded, drains with decorrelated-jitter backoff until the disk
+/// heals, then goes back to sleep. On `stop()`, makes one final
+/// best-effort drain and exits.
+pub(crate) fn retry_loop(
+    monitor: Arc<DurabilityMonitor>,
+    store: Arc<Store>,
+    base: Duration,
+    cap: Duration,
+) {
+    let mut backoff = Backoff::new(base, cap, 0xD15C_FA11);
+    loop {
+        // Park until degraded or stopped.
+        {
+            let mut st = monitor.lock();
+            while st.degraded.is_none() && !monitor.is_stopped() {
+                st = monitor
+                    .wake
+                    .wait(st)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+        if monitor.is_stopped() {
+            monitor.try_drain(&store);
+            return;
+        }
+        // Degraded: wait out the backoff (waking early on stop), then
+        // attempt a drain.
+        let delay = backoff.next_delay();
+        {
+            let st = monitor.lock();
+            let _ = monitor
+                .wake
+                .wait_timeout(st, delay)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        if monitor.is_stopped() {
+            monitor.try_drain(&store);
+            return;
+        }
+        if monitor.try_drain(&store) {
+            backoff.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn monitor() -> DurabilityMonitor {
+        DurabilityMonitor::new(
+            Arc::new(FleetMetrics::default()),
+            Arc::new(Mutex::new(Vec::new())),
+        )
+    }
+
+    #[test]
+    fn starts_durable_and_degrades_once_per_episode() {
+        let m = monitor();
+        assert_eq!(m.health(), DurabilityHealth::Durable);
+        assert!(!m.buffer_checkpoint_if_degraded(1, b"x"));
+        m.checkpoint_failed(1, b"x".to_vec());
+        assert_eq!(
+            m.health(),
+            DurabilityHealth::DegradedDurability(DegradedReason::CheckpointFlush)
+        );
+        // A second failure does not re-enter (or re-label) the episode.
+        m.federated_failed(b"y".to_vec());
+        assert_eq!(
+            m.health(),
+            DurabilityHealth::DegradedDurability(DegradedReason::CheckpointFlush)
+        );
+        assert_eq!(m.metrics.durability_degraded.load(Ordering::Relaxed), 1);
+        // While degraded, workers buffer instead of writing.
+        assert!(m.buffer_checkpoint_if_degraded(1, b"newer"));
+        let st = m.lock();
+        assert_eq!(st.pending[&1].1, b"newer");
+    }
+
+    #[test]
+    fn drain_recovers_and_emits_restored() {
+        let dir = std::env::temp_dir().join(format!("seqdrift-durmon-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = Store::open(&dir).unwrap();
+        let m = monitor();
+        m.checkpoint_failed(3, b"blob".to_vec());
+        m.ledger_failed(LedgerOp::Set(
+            9,
+            LedgerEntry {
+                reason_code: 1,
+                restarts_spent: 2,
+            },
+        ));
+        assert!(m.try_drain(&store));
+        assert_eq!(m.health(), DurabilityHealth::Durable);
+        assert_eq!(store.load(3).unwrap().unwrap().1, b"blob");
+        assert_eq!(store.ledger().len(), 1);
+        let events = m.events.lock().unwrap();
+        assert!(events.iter().any(|e| matches!(
+            e,
+            FleetEvent::DurabilityRestored {
+                flushed_checkpoints: 1,
+                drained_ledger_writes: 1
+            }
+        )));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn backoff_grows_and_respects_cap() {
+        let mut b = Backoff::new(Duration::from_millis(10), Duration::from_millis(200), 42);
+        let mut prev = Duration::ZERO;
+        let mut grew = false;
+        for _ in 0..32 {
+            let d = b.next_delay();
+            assert!(d >= Duration::from_millis(10));
+            assert!(d <= Duration::from_millis(200));
+            if d > prev {
+                grew = true;
+            }
+            prev = d;
+        }
+        assert!(grew);
+        b.reset();
+        assert!(b.next_delay() <= Duration::from_millis(30));
+    }
+}

@@ -13,6 +13,7 @@
 //! budget, or permanently quarantined; a dead worker thread is respawned
 //! and its shard re-homed; `shutdown` never panics.
 
+use crate::durability::{retry_loop, DurabilityHealth, DurabilityMonitor, LedgerOp};
 use crate::fault::FaultInjector;
 use crate::metrics::{FleetMetrics, MetricsSnapshot, QueueDepth};
 use crate::supervisor::{
@@ -23,7 +24,7 @@ use crate::supervisor::{
 use seqdrift_core::{CoreError, DriftPipeline};
 use seqdrift_linalg::Real;
 use seqdrift_oselm::MultiInstanceModel;
-use seqdrift_store::{Store, StoreConfig, StoreError};
+use seqdrift_store::{RecoveryReport, Store, StoreConfig, StoreError, Vfs};
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::atomic::Ordering;
@@ -227,6 +228,15 @@ pub struct FleetConfig {
     /// torn newest write always leaves a fallback). Ignored without
     /// `state_dir`.
     pub state_keep_generations: usize,
+    /// Filesystem the durable store writes through. `None` uses the real
+    /// filesystem; storage-chaos tests inject a
+    /// `seqdrift_store::FaultVfs` here. Ignored without `state_dir`.
+    pub state_vfs: Option<Arc<dyn Vfs>>,
+    /// Base delay of the degraded-durability retry loop's decorrelated-
+    /// jitter backoff.
+    pub flush_retry_base: Duration,
+    /// Delay ceiling of the degraded-durability retry backoff.
+    pub flush_retry_cap: Duration,
     /// Cooperative cross-session model merging. `None` (the default)
     /// disables federation entirely.
     pub federation: Option<FederationConfig>,
@@ -247,6 +257,9 @@ impl FleetConfig {
             fault_injector: None,
             state_dir: None,
             state_keep_generations: 2,
+            state_vfs: None,
+            flush_retry_base: Duration::from_millis(50),
+            flush_retry_cap: Duration::from_secs(2),
             federation: None,
         }
     }
@@ -293,6 +306,21 @@ impl FleetConfig {
     /// per session (minimum 2).
     pub fn with_state_keep_generations(mut self, keep: usize) -> Self {
         self.state_keep_generations = keep;
+        self
+    }
+
+    /// Routes every durable-store disk operation through `vfs` — the
+    /// storage-chaos injection point (`seqdrift_store::FaultVfs`).
+    pub fn with_state_vfs(mut self, vfs: Arc<dyn Vfs>) -> Self {
+        self.state_vfs = Some(vfs);
+        self
+    }
+
+    /// Overrides the degraded-durability retry backoff (base delay and
+    /// ceiling of the decorrelated jitter).
+    pub fn with_flush_retry(mut self, base: Duration, cap: Duration) -> Self {
+        self.flush_retry_base = base;
+        self.flush_retry_cap = cap;
         self
     }
 
@@ -378,6 +406,11 @@ pub struct FleetEngine {
     /// Crash-safe on-disk store (survives process death); `None` when the
     /// engine runs memory-only.
     durable: Option<Arc<Store>>,
+    /// Durability health machine paired with `durable`; `None` when the
+    /// engine runs memory-only.
+    durability: Option<Arc<DurabilityMonitor>>,
+    /// The background flush-retry thread, joined on drop.
+    retry_thread: Mutex<Option<JoinHandle<()>>>,
     metrics: Arc<FleetMetrics>,
     events: Arc<Mutex<Vec<FleetEvent>>>,
     cfg: FleetConfig,
@@ -406,13 +439,23 @@ impl FleetEngine {
         if let Some(federation) = &cfg.federation {
             federation.validate()?;
         }
+        if cfg.flush_retry_base.is_zero() {
+            return Err(FleetError::InvalidConfig(
+                "flush_retry_base must be positive",
+            ));
+        }
         // Opening the durable store runs its recovery scan: stale temps
         // are swept and torn frames discarded before any worker writes.
         let durable = match &cfg.state_dir {
-            Some(dir) => Some(Arc::new(Store::open_with(
-                dir,
-                StoreConfig::default().with_keep_generations(cfg.state_keep_generations),
-            )?)),
+            Some(dir) => {
+                let store_cfg =
+                    StoreConfig::default().with_keep_generations(cfg.state_keep_generations);
+                let store = match &cfg.state_vfs {
+                    Some(vfs) => Store::open_with_vfs(dir, store_cfg, Arc::clone(vfs))?,
+                    None => Store::open_with(dir, store_cfg)?,
+                };
+                Some(Arc::new(store))
+            }
             None => None,
         };
         let registry = HashMap::new();
@@ -421,10 +464,27 @@ impl FleetEngine {
             registry: Arc::new(RwLock::new(registry)),
             store: Arc::new(CheckpointStore::default()),
             durable,
+            durability: None,
+            retry_thread: Mutex::new(None),
             metrics: Arc::new(FleetMetrics::default()),
             events: Arc::new(Mutex::new(Vec::new())),
             cfg,
         };
+        // A durable fleet gets the health machine and its background
+        // flush-retry thread.
+        if let Some(durable) = &engine.durable {
+            let monitor = Arc::new(DurabilityMonitor::new(
+                Arc::clone(&engine.metrics),
+                Arc::clone(&engine.events),
+            ));
+            let thread_monitor = Arc::clone(&monitor);
+            let thread_store = Arc::clone(durable);
+            let (base, cap) = (engine.cfg.flush_retry_base, engine.cfg.flush_retry_cap);
+            let handle =
+                std::thread::spawn(move || retry_loop(thread_monitor, thread_store, base, cap));
+            engine.durability = Some(monitor);
+            *mutex_lock(&engine.retry_thread) = Some(handle);
+        }
         // Quarantine is a durability fact: sessions the previous process
         // quarantined stay quarantined in this one.
         if let Some(durable) = &engine.durable {
@@ -460,6 +520,7 @@ impl FleetEngine {
             registry: Arc::clone(&self.registry),
             store: Arc::clone(&self.store),
             durable: self.durable.clone(),
+            monitor: self.durability.clone(),
             injector: self.cfg.fault_injector.clone(),
             policy: SupervisionPolicy {
                 checkpoint_interval: self.cfg.checkpoint_interval,
@@ -957,12 +1018,24 @@ impl FleetEngine {
     /// down with the disk.
     pub fn persist_federated(&self, blob: &[u8]) -> Option<u64> {
         let durable = self.durable.as_ref()?;
+        if self
+            .durability
+            .as_ref()
+            .is_some_and(|m| m.buffer_federated_if_degraded(blob))
+        {
+            // Degraded: the retry loop writes the newest buffered model
+            // once the disk heals.
+            return None;
+        }
         match durable.put_federated(blob) {
             Ok(generation) => Some(generation),
             Err(_) => {
                 self.metrics
                     .durable_flush_failures
                     .fetch_add(1, Ordering::Relaxed);
+                if let Some(monitor) = &self.durability {
+                    monitor.federated_failed(blob.to_vec());
+                }
                 None
             }
         }
@@ -999,10 +1072,19 @@ impl FleetEngine {
         // (resume skips ids the caller doesn't re-create) and visible in
         // the failure counter.
         if let Some(durable) = &self.durable {
-            if durable.remove_session(id.0).is_err() {
+            if self
+                .durability
+                .as_ref()
+                .is_some_and(|m| m.buffer_ledger_if_degraded(LedgerOp::Remove(id.0)))
+            {
+                // Degraded: the removal replays from the buffer in order.
+            } else if durable.remove_session(id.0).is_err() {
                 self.metrics
                     .durable_flush_failures
                     .fetch_add(1, Ordering::Relaxed);
+                if let Some(monitor) = &self.durability {
+                    monitor.ledger_failed(LedgerOp::Remove(id.0));
+                }
             }
         }
         Ok(*pipeline)
@@ -1044,6 +1126,22 @@ impl FleetEngine {
         }
         resumed.sort_by_key(|(id, _)| *id);
         Ok(resumed)
+    }
+
+    /// The fleet's current durability health. Memory-only fleets are
+    /// always `Durable`; a durable fleet reports
+    /// [`DurabilityHealth::DegradedDurability`] from the first failed
+    /// flush until the background retry loop drains every buffered write.
+    pub fn durability_health(&self) -> DurabilityHealth {
+        self.durability
+            .as_ref()
+            .map_or(DurabilityHealth::Durable, |m| m.health())
+    }
+
+    /// What the durable store's open-time recovery scan found and
+    /// repaired; `None` for a memory-only fleet.
+    pub fn recovery_report(&self) -> Option<RecoveryReport> {
+        self.durable.as_ref().map(|d| d.recovery_report())
     }
 
     /// Point-in-time aggregate counters plus per-shard queue depths.
@@ -1108,6 +1206,13 @@ impl FleetEngine {
         // to_bytes by contract — their last rolling checkpoint is already
         // on disk, so skip them without counting a flush failure.
         if let Some(durable) = &self.durable {
+            // Give anything buffered during a degraded episode one final
+            // drain before the survivor flush (whose newer generations
+            // would shadow it anyway — this matters for sessions that are
+            // NOT survivors, e.g. quarantine verdicts).
+            if let Some(monitor) = &self.durability {
+                monitor.try_drain(durable);
+            }
             for (id, pipeline) in &sessions {
                 let Ok(blob) = pipeline.to_bytes() else {
                     continue;
@@ -1148,6 +1253,14 @@ impl Drop for FleetEngine {
             if let Some(handle) = handle {
                 let _ = handle.join();
             }
+        }
+        // Stop the flush-retry thread (it makes one final best-effort
+        // drain on the way out) and join it.
+        if let Some(monitor) = &self.durability {
+            monitor.stop();
+        }
+        if let Some(handle) = mutex_lock(&self.retry_thread).take() {
+            let _ = handle.join();
         }
     }
 }

@@ -86,11 +86,13 @@
 //! assert_eq!(report.metrics.samples_processed, 1);
 //! ```
 
+mod durability;
 mod engine;
 mod fault;
 mod metrics;
 mod supervisor;
 
+pub use durability::{DegradedReason, DurabilityHealth};
 pub use engine::{
     FederationConfig, FeedReply, FleetConfig, FleetEngine, FleetError, SessionId, ShutdownReport,
 };
@@ -100,3 +102,6 @@ pub use supervisor::{FleetEvent, LostSession, QuarantineReason, SessionStatus};
 // Carried in `FleetError::Store`; re-exported so callers can match on it
 // without naming the store crate.
 pub use seqdrift_store::StoreError;
+// Surfaced by `FleetEngine::recovery_report`; re-exported so callers can
+// print it without naming the store crate.
+pub use seqdrift_store::RecoveryReport;

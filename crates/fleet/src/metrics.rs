@@ -49,6 +49,16 @@ pub(crate) struct FleetMetrics {
     /// Durable-store writes (checkpoint or quarantine ledger) that failed;
     /// the fleet keeps running memory-only when the disk misbehaves.
     pub durable_flush_failures: AtomicU64,
+    /// Transitions into degraded durability (first flush failure of an
+    /// episode).
+    pub durability_degraded: AtomicU64,
+    /// Transitions back to durable (every buffered write drained).
+    pub durability_recovered: AtomicU64,
+    /// Background re-attempts of buffered durable writes.
+    pub durable_flush_retries: AtomicU64,
+    /// Durable writes buffered in memory while degraded instead of
+    /// hitting the failing disk.
+    pub durable_flushes_buffered: AtomicU64,
     /// Federation merge rounds that produced (and installed) a merged
     /// model.
     pub merge_rounds: AtomicU64,
@@ -125,6 +135,14 @@ pub struct MetricsSnapshot {
     pub durable_flushes: u64,
     /// Durable-store writes that failed (fleet degraded to memory-only).
     pub durable_flush_failures: u64,
+    /// Transitions into degraded durability.
+    pub durability_degraded: u64,
+    /// Transitions back to durable.
+    pub durability_recovered: u64,
+    /// Background re-attempts of buffered durable writes.
+    pub durable_flush_retries: u64,
+    /// Durable writes buffered in memory while degraded.
+    pub durable_flushes_buffered: u64,
     /// Federation merge rounds that produced a merged model.
     pub merge_rounds: u64,
     /// Contributions accepted into federated merges.
@@ -157,6 +175,10 @@ impl FleetMetrics {
             samples_sanitized: self.samples_sanitized.load(Ordering::Relaxed),
             durable_flushes: self.durable_flushes.load(Ordering::Relaxed),
             durable_flush_failures: self.durable_flush_failures.load(Ordering::Relaxed),
+            durability_degraded: self.durability_degraded.load(Ordering::Relaxed),
+            durability_recovered: self.durability_recovered.load(Ordering::Relaxed),
+            durable_flush_retries: self.durable_flush_retries.load(Ordering::Relaxed),
+            durable_flushes_buffered: self.durable_flushes_buffered.load(Ordering::Relaxed),
             merge_rounds: self.merge_rounds.load(Ordering::Relaxed),
             contributions_accepted: self.contributions_accepted.load(Ordering::Relaxed),
             contributions_rejected: self.contributions_rejected.load(Ordering::Relaxed),

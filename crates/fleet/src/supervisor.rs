@@ -22,6 +22,7 @@
 //! restart history, session status) lives in shared structures owned by
 //! the engine, so a respawned worker can re-home its shard's sessions.
 
+use crate::durability::{DurabilityMonitor, LedgerOp};
 use crate::engine::{SessionId, ShardMsg};
 use crate::fault::FaultInjector;
 use crate::metrics::{FleetMetrics, QueueDepth};
@@ -134,6 +135,21 @@ pub enum FleetEvent {
         /// Sessions quarantined because no usable checkpoint existed.
         lost: u32,
     },
+    /// A durable write failed and the fleet entered degraded durability:
+    /// checkpoints buffer in memory while a background retry loop
+    /// re-attempts the disk.
+    DurabilityDegraded {
+        /// The write that first failed.
+        reason: crate::durability::DegradedReason,
+    },
+    /// The disk healed: every buffered write drained and the fleet is
+    /// durable again.
+    DurabilityRestored {
+        /// Buffered checkpoints flushed during the degraded episode.
+        flushed_checkpoints: u32,
+        /// Buffered quarantine-ledger writes drained during the episode.
+        drained_ledger_writes: u32,
+    },
 }
 
 /// A session lost with its worker at shutdown (the worker died and its
@@ -225,6 +241,9 @@ pub(crate) struct WorkerCtx {
     /// Crash-safe on-disk store behind `FleetConfig::state_dir`; `None`
     /// runs the fleet memory-only as before.
     pub durable: Option<Arc<Store>>,
+    /// Durability health machine paired with `durable`: flush failures
+    /// degrade the fleet, buffered writes drain in the background.
+    pub monitor: Option<Arc<DurabilityMonitor>>,
     pub injector: Option<Arc<FaultInjector>>,
     pub policy: SupervisionPolicy,
 }
@@ -282,17 +301,31 @@ fn take_checkpoint(ctx: &WorkerCtx, id: u64, slot: &mut SessionSlot) {
     // not serialise every other shard's checkpointing.
     drop(store);
     if let Some(durable) = &ctx.durable {
+        // While degraded, the retry thread owns the disk: buffer the
+        // newest blob and let it drain in the background instead of
+        // hammering a failing device from every shard.
+        if ctx
+            .monitor
+            .as_ref()
+            .is_some_and(|m| m.buffer_checkpoint_if_degraded(id, &blob))
+        {
+            return;
+        }
         match durable.put(id, &blob) {
             Ok(_) => {
                 ctx.metrics.durable_flushes.fetch_add(1, Ordering::Relaxed);
             }
             Err(_) => {
                 // A failing disk must never take the session down; the
-                // in-memory checkpoint still protects against panics, and
-                // the failure is visible in the metrics.
+                // in-memory checkpoint still protects against panics, the
+                // failure is visible in the metrics, and the health
+                // machine keeps the blob for the background retry loop.
                 ctx.metrics
                     .durable_flush_failures
                     .fetch_add(1, Ordering::Relaxed);
+                if let Some(monitor) = &ctx.monitor {
+                    monitor.checkpoint_failed(id, blob);
+                }
             }
         }
     }
@@ -397,10 +430,21 @@ pub(crate) fn quarantine(ctx: &WorkerCtx, id: u64, reason: QuarantineReason) {
             reason_code: reason.code(),
             restarts_spent,
         };
-        if durable.set_quarantined(id, entry).is_err() {
+        if ctx
+            .monitor
+            .as_ref()
+            .is_some_and(|m| m.buffer_ledger_if_degraded(LedgerOp::Set(id, entry)))
+        {
+            // Buffered: the retry loop will persist the verdict when the
+            // disk heals. Until then it holds in memory, exactly like
+            // the pre-durable fleet.
+        } else if durable.set_quarantined(id, entry).is_err() {
             ctx.metrics
                 .durable_flush_failures
                 .fetch_add(1, Ordering::Relaxed);
+            if let Some(monitor) = &ctx.monitor {
+                monitor.ledger_failed(LedgerOp::Set(id, entry));
+            }
         }
     }
     ctx.log(FleetEvent::SessionQuarantined {

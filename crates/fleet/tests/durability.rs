@@ -5,14 +5,16 @@
 //! replays.
 
 use seqdrift_core::{DetectorConfig, DriftPipeline};
-use seqdrift_fleet::{Fault, FaultInjector};
+use seqdrift_fleet::{DegradedReason, DurabilityHealth, Fault, FaultInjector, FleetEvent};
 use seqdrift_fleet::{
     FeedReply, FleetConfig, FleetEngine, FleetError, QuarantineReason, SessionId,
 };
 use seqdrift_linalg::{Real, Rng};
 use seqdrift_oselm::{MultiInstanceModel, OsElmConfig};
+use seqdrift_store::{FaultPlan, FaultVfs, Vfs};
 use std::fs;
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 const DIM: usize = 4;
@@ -166,6 +168,59 @@ fn resume_skips_sessions_with_no_surviving_checkpoint() {
 fn resume_without_state_dir_is_a_typed_error() {
     let fleet = FleetEngine::new(FleetConfig::new(1)).unwrap();
     assert!(matches!(fleet.resume(), Err(FleetError::InvalidConfig(_))));
+}
+
+#[test]
+fn federated_write_under_disk_failure_degrades_then_recovers() {
+    let dir = tmp_dir("federated-fault");
+    let vfs = Arc::new(FaultVfs::new(FaultPlan::new(41).with_enospc(1024)).with_base(&dir));
+    let fleet = FleetEngine::new(
+        durable_config(&dir)
+            .with_state_vfs(Arc::clone(&vfs) as Arc<dyn Vfs>)
+            .with_flush_retry(Duration::from_millis(2), Duration::from_millis(20)),
+    )
+    .unwrap();
+    assert_eq!(fleet.durability_health(), DurabilityHealth::Durable);
+
+    // Disk down: the write is absorbed (never a panic, never an Err to
+    // the federation path), the fleet degrades, the blob is buffered.
+    let blob = calibrated_pipeline(21).to_bytes().unwrap();
+    assert_eq!(fleet.persist_federated(&blob), None);
+    assert_eq!(
+        fleet.durability_health(),
+        DurabilityHealth::DegradedDurability(DegradedReason::FederatedWrite)
+    );
+    // A newer merged model supersedes the buffered one while degraded.
+    let blob2 = calibrated_pipeline(22).to_bytes().unwrap();
+    assert_eq!(fleet.persist_federated(&blob2), None);
+
+    // Disk heals: the background retry loop drains the newest buffered
+    // model and the fleet transitions back to Durable on its own.
+    vfs.set_active(false);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while fleet.durability_health() != DurabilityHealth::Durable && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    assert_eq!(fleet.durability_health(), DurabilityHealth::Durable);
+    assert_eq!(fleet.load_federated().unwrap(), Some(blob2));
+
+    let m = fleet.metrics();
+    assert_eq!(m.durability_degraded, 1);
+    assert_eq!(m.durability_recovered, 1);
+    assert!(m.durable_flushes_buffered >= 2, "{m:?}");
+    assert!(m.durable_flush_retries >= 1, "{m:?}");
+    let report = fleet.shutdown();
+    assert!(report.events.iter().any(|e| matches!(
+        e,
+        FleetEvent::DurabilityDegraded {
+            reason: DegradedReason::FederatedWrite
+        }
+    )));
+    assert!(report
+        .events
+        .iter()
+        .any(|e| matches!(e, FleetEvent::DurabilityRestored { .. })));
+    fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

@@ -53,7 +53,8 @@ use std::time::{Duration, Instant};
 use seqdrift_core::DriftPipeline;
 use seqdrift_federate::Federator;
 use seqdrift_fleet::{
-    FleetConfig, FleetEngine, FleetError, FleetEvent, MetricsSnapshot, SessionId, ShutdownReport,
+    DurabilityHealth, FleetConfig, FleetEngine, FleetError, FleetEvent, MetricsSnapshot,
+    RecoveryReport, SessionId, ShutdownReport,
 };
 use seqdrift_linalg::Real;
 
@@ -426,6 +427,18 @@ impl Server {
     /// Point-in-time fleet counters.
     pub fn fleet_metrics(&self) -> MetricsSnapshot {
         self.shared.fleet.metrics()
+    }
+
+    /// What the durable store's bind-time recovery scan found and
+    /// repaired; `None` when the fleet runs memory-only.
+    pub fn recovery_report(&self) -> Option<RecoveryReport> {
+        self.shared.fleet.recovery_report()
+    }
+
+    /// The fleet's current durability health (always `Durable` for a
+    /// memory-only fleet).
+    pub fn durability_health(&self) -> DurabilityHealth {
+        self.shared.fleet.durability_health()
     }
 
     /// Serves until `stop_requested` returns true, then drains: stops

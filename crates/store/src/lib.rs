@@ -20,6 +20,10 @@
 //!   decisions persist in a store-level manifest (written through the
 //!   same machinery), so a poisoned session stays quarantined across
 //!   process restarts.
+//! - **Injectable filesystem** ([`vfs`]): every disk operation goes
+//!   through the [`Vfs`] trait — [`RealVfs`] in production, the seeded
+//!   deterministic [`FaultVfs`] under storage-chaos tests — so ENOSPC,
+//!   EIO, lying fsyncs and rename failures are reproducible from a seed.
 //!
 //! The CRC-32 implementation ([`crc32`]) is in-repo and zlib-compatible,
 //! keeping the workspace dependency-free.
@@ -30,6 +34,10 @@
 pub mod crc32;
 pub mod frame;
 mod store;
+pub mod vfs;
 
 pub use frame::{FrameError, CRC_LEN, FRAME_MAGIC, HEADER_LEN, STORE_VERSION};
-pub use store::{atomic_write, LedgerEntry, Store, StoreConfig, StoreError};
+pub use store::{
+    atomic_write, atomic_write_with, LedgerEntry, RecoveryReport, Store, StoreConfig, StoreError,
+};
+pub use vfs::{FaultPlan, FaultVfs, RealVfs, Vfs};

@@ -25,16 +25,23 @@
 //! generation is additionally decoded through
 //! [`DriftPipeline::from_bytes`], falling back to older generations until
 //! one decodes. The worst case after any crash is therefore the loss of
-//! one checkpoint interval — never the model.
+//! one checkpoint interval — never the model. What the scan found and
+//! repaired is tallied in a [`RecoveryReport`] so callers can surface
+//! disk trouble instead of hiding it.
+//!
+//! **Fault boundary.** Every filesystem operation goes through the
+//! [`Vfs`] trait — [`crate::vfs::RealVfs`] in production,
+//! [`crate::vfs::FaultVfs`] under storage-chaos tests — so a failing
+//! disk is injectable at any single operation.
 
 use crate::frame::{self, FrameError, STORE_VERSION};
+use crate::vfs::{RealVfs, Vfs};
 use seqdrift_core::DriftPipeline;
 use seqdrift_linalg::wire::{Reader, Writer, MAGIC as WIRE_MAGIC, VERSION as WIRE_VERSION};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
-use std::fs::{self, File};
-use std::io::{self, Write as _};
+use std::io;
 use std::path::{Path, PathBuf};
-use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 /// Directory name of the store-level manifest (quarantine ledger).
 const MANIFEST_DIR: &str = "manifest";
@@ -135,6 +142,29 @@ impl StoreConfig {
     }
 }
 
+/// What the [`Store::open`] recovery scan found and repaired. All zeros
+/// after a clean shutdown on a healthy disk; anything else is real disk
+/// trouble that the caller should surface, not hide.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Sessions with at least one surviving, decodable checkpoint.
+    pub sessions_recovered: usize,
+    /// Frame generations that survived the scan (sessions + manifest +
+    /// federated).
+    pub generations_kept: usize,
+    /// Torn/truncated/bit-flipped/mislabelled frames deleted.
+    pub corrupt_frames_dropped: usize,
+    /// Stale `*.tmp` files (writer died mid-write) deleted.
+    pub stale_temps_deleted: usize,
+}
+
+impl RecoveryReport {
+    /// Whether the scan had to repair anything.
+    pub fn repaired_anything(&self) -> bool {
+        self.corrupt_frames_dropped > 0 || self.stale_temps_deleted > 0
+    }
+}
+
 /// Per-session bookkeeping discovered by the recovery scan.
 #[derive(Debug, Default)]
 struct Slot {
@@ -151,6 +181,7 @@ struct Inner {
     manifest_gens: BTreeSet<u64>,
     ledger: BTreeMap<u64, LedgerEntry>,
     federated_gens: BTreeSet<u64>,
+    recovery: RecoveryReport,
 }
 
 /// The crash-safe checkpoint store. All methods take `&self`; internal
@@ -160,29 +191,23 @@ struct Inner {
 pub struct Store {
     root: PathBuf,
     keep: usize,
+    vfs: Arc<dyn Vfs>,
     inner: Mutex<Inner>,
 }
 
-/// Fsyncs a directory so a rename inside it is durable. Directory
-/// handles are not fsyncable on all platforms; failures there are not
-/// actionable and are ignored on non-Unix targets.
-fn sync_dir(dir: &Path) -> io::Result<()> {
-    #[cfg(unix)]
-    {
-        File::open(dir)?.sync_all()
-    }
-    #[cfg(not(unix))]
-    {
-        let _ = dir;
-        Ok(())
-    }
+/// Writes `bytes` to `path` through the real filesystem. See
+/// [`atomic_write_with`] for the contract.
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    atomic_write_with(&RealVfs, path, bytes)
 }
 
 /// Writes `bytes` to `path` so that a crash at any instant leaves either
 /// the old file or the new file — never a torn mix: the bytes go to a
 /// `*.tmp` sibling first, are fsynced, renamed over the target, and the
 /// parent directory is fsynced so the rename itself is on stable storage.
-pub fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
+/// On any failure the temp sibling is removed before returning, so an
+/// error never leaves an orphan behind.
+pub fn atomic_write_with(vfs: &dyn Vfs, path: &Path, bytes: &[u8]) -> io::Result<()> {
     let file_name = path.file_name().ok_or_else(|| {
         io::Error::new(
             io::ErrorKind::InvalidInput,
@@ -196,16 +221,15 @@ pub fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
     let mut tmp_name = file_name.to_os_string();
     tmp_name.push(".tmp");
     let tmp = dir.join(tmp_name);
-    {
-        let mut f = File::create(&tmp)?;
-        f.write_all(bytes)?;
-        f.sync_all()?;
-    }
-    if let Err(e) = fs::rename(&tmp, path) {
-        let _ = fs::remove_file(&tmp);
+    if let Err(e) = vfs.write(&tmp, bytes).and_then(|()| vfs.fsync(&tmp)) {
+        let _ = vfs.remove_file(&tmp);
         return Err(e);
     }
-    sync_dir(&dir)
+    if let Err(e) = vfs.rename(&tmp, path) {
+        let _ = vfs.remove_file(&tmp);
+        return Err(e);
+    }
+    vfs.fsync_dir(&dir)
 }
 
 /// Returns the wire-format version claimed by a `seqdrift_core::persist`
@@ -230,17 +254,28 @@ impl Store {
     /// Opens a store with explicit configuration. See the module docs for
     /// the recovery-scan contract.
     pub fn open_with(root: impl AsRef<Path>, cfg: StoreConfig) -> Result<Store, StoreError> {
+        Store::open_with_vfs(root, cfg, Arc::new(RealVfs))
+    }
+
+    /// Opens a store with an explicit filesystem — the injection point
+    /// for storage-chaos testing with [`crate::vfs::FaultVfs`].
+    pub fn open_with_vfs(
+        root: impl AsRef<Path>,
+        cfg: StoreConfig,
+        vfs: Arc<dyn Vfs>,
+    ) -> Result<Store, StoreError> {
         if cfg.keep_generations < 2 {
             return Err(StoreError::InvalidConfig(
                 "keep_generations must be at least 2 (one fallback must survive a torn write)",
             ));
         }
         let root = root.as_ref().to_path_buf();
-        fs::create_dir_all(&root)
+        vfs.create_dir_all(&root)
             .map_err(io_err(format!("creating store root {}", root.display())))?;
         let store = Store {
             root,
             keep: cfg.keep_generations,
+            vfs,
             inner: Mutex::new(Inner::default()),
         };
         store.recover()?;
@@ -258,6 +293,11 @@ impl Store {
         &self.root
     }
 
+    /// What the open-time recovery scan found and repaired.
+    pub fn recovery_report(&self) -> RecoveryReport {
+        self.lock().recovery
+    }
+
     fn session_dir(&self, session: u64) -> PathBuf {
         self.root.join(session.to_string())
     }
@@ -271,30 +311,41 @@ impl Store {
     fn recover(&self) -> Result<(), StoreError> {
         let mut inner = self.lock();
         *inner = Inner::default();
-        let entries = fs::read_dir(&self.root).map_err(io_err(format!(
+        let mut report = RecoveryReport::default();
+        let entries = self.vfs.read_dir(&self.root).map_err(io_err(format!(
             "scanning store root {}",
             self.root.display()
         )))?;
         for entry in entries {
-            let entry = entry.map_err(io_err("scanning store root"))?;
-            let path = entry.path();
-            let name = entry.file_name().to_string_lossy().into_owned();
-            if path.is_file() {
+            let path = entry.path;
+            let name = match path.file_name() {
+                Some(n) => n.to_string_lossy().into_owned(),
+                None => continue,
+            };
+            if entry.is_file {
                 // Only frames live in subdirectories; root-level files are
                 // either stale temps or foreign — delete temps, skip the rest.
                 if name.ends_with(".tmp") {
-                    fs::remove_file(&path)
+                    self.vfs
+                        .remove_file(&path)
                         .map_err(io_err(format!("deleting stale temp {}", path.display())))?;
+                    report.stale_temps_deleted += 1;
                 }
                 continue;
             }
             if name == MANIFEST_DIR {
-                let gens =
-                    self.scan_frame_dir(&path, |payload| decode_manifest(payload).is_some())?;
+                let gens = self.scan_frame_dir(
+                    &path,
+                    |payload| decode_manifest(payload).is_some(),
+                    &mut report,
+                )?;
+                report.generations_kept += gens.0.len();
                 inner.manifest_gens = gens.0;
                 if let Some(newest) = gens.1 {
                     let frame_path = Store::frame_path(&path, newest);
-                    let bytes = fs::read(&frame_path)
+                    let bytes = self
+                        .vfs
+                        .read(&frame_path)
                         .map_err(io_err(format!("reading manifest {}", frame_path.display())))?;
                     if let Ok((_, payload)) = frame::decode(&bytes) {
                         if let Some(ledger) = decode_manifest(payload) {
@@ -307,8 +358,12 @@ impl Store {
             if name == FEDERATED_DIR {
                 // Same payload contract as session checkpoints: the
                 // merged model is a full pipeline blob.
-                let (gens, _) = self
-                    .scan_frame_dir(&path, |payload| DriftPipeline::from_bytes(payload).is_ok())?;
+                let (gens, _) = self.scan_frame_dir(
+                    &path,
+                    |payload| DriftPipeline::from_bytes(payload).is_ok(),
+                    &mut report,
+                )?;
+                report.generations_kept += gens.len();
                 inner.federated_gens = gens;
                 continue;
             }
@@ -316,10 +371,18 @@ impl Store {
                 // Not a session directory; leave foreign data alone.
                 continue;
             };
-            let (gens, newest_valid) =
-                self.scan_frame_dir(&path, |payload| DriftPipeline::from_bytes(payload).is_ok())?;
+            let (gens, newest_valid) = self.scan_frame_dir(
+                &path,
+                |payload| DriftPipeline::from_bytes(payload).is_ok(),
+                &mut report,
+            )?;
+            report.generations_kept += gens.len();
+            if newest_valid.is_some() {
+                report.sessions_recovered += 1;
+            }
             inner.sessions.insert(session, Slot { gens, newest_valid });
         }
+        inner.recovery = report;
         Ok(())
     }
 
@@ -333,16 +396,24 @@ impl Store {
         &self,
         dir: &Path,
         validate: impl Fn(&[u8]) -> bool,
+        report: &mut RecoveryReport,
     ) -> Result<(BTreeSet<u64>, Option<u64>), StoreError> {
         let mut gens: BTreeSet<u64> = BTreeSet::new();
-        let entries = fs::read_dir(dir).map_err(io_err(format!("scanning {}", dir.display())))?;
+        let entries = self
+            .vfs
+            .read_dir(dir)
+            .map_err(io_err(format!("scanning {}", dir.display())))?;
         for entry in entries {
-            let entry = entry.map_err(io_err(format!("scanning {}", dir.display())))?;
-            let path = entry.path();
-            let name = entry.file_name().to_string_lossy().into_owned();
+            let path = entry.path;
+            let name = match path.file_name() {
+                Some(n) => n.to_string_lossy().into_owned(),
+                None => continue,
+            };
             if name.ends_with(".tmp") {
-                fs::remove_file(&path)
+                self.vfs
+                    .remove_file(&path)
                     .map_err(io_err(format!("deleting stale temp {}", path.display())))?;
+                report.stale_temps_deleted += 1;
                 continue;
             }
             let Some(stem) = name.strip_suffix(".ckpt") else {
@@ -351,8 +422,10 @@ impl Store {
             let Ok(generation) = stem.parse::<u64>() else {
                 continue;
             };
-            let bytes =
-                fs::read(&path).map_err(io_err(format!("reading frame {}", path.display())))?;
+            let bytes = self
+                .vfs
+                .read(&path)
+                .map_err(io_err(format!("reading frame {}", path.display())))?;
             match frame::decode(&bytes) {
                 Ok((frame_gen, payload)) => {
                     if let Some(v) = payload_wire_version(payload) {
@@ -365,10 +438,11 @@ impl Store {
                     if frame_gen == generation {
                         gens.insert(generation);
                     } else {
-                        fs::remove_file(&path).map_err(io_err(format!(
+                        self.vfs.remove_file(&path).map_err(io_err(format!(
                             "deleting mislabelled frame {}",
                             path.display()
                         )))?;
+                        report.corrupt_frames_dropped += 1;
                     }
                 }
                 Err(FrameError::NewerVersion(found)) => {
@@ -377,8 +451,10 @@ impl Store {
                 Err(_) => {
                     // Torn, truncated or bit-flipped: delete so it can
                     // never shadow the good generation below it.
-                    fs::remove_file(&path)
+                    self.vfs
+                        .remove_file(&path)
                         .map_err(io_err(format!("deleting corrupt frame {}", path.display())))?;
+                    report.corrupt_frames_dropped += 1;
                 }
             }
         }
@@ -386,8 +462,10 @@ impl Store {
         let mut newest_valid = None;
         for &generation in gens.iter().rev() {
             let path = Store::frame_path(dir, generation);
-            let bytes =
-                fs::read(&path).map_err(io_err(format!("reading frame {}", path.display())))?;
+            let bytes = self
+                .vfs
+                .read(&path)
+                .map_err(io_err(format!("reading frame {}", path.display())))?;
             if let Ok((_, payload)) = frame::decode(&bytes) {
                 if validate(payload) {
                     newest_valid = Some(generation);
@@ -408,10 +486,11 @@ impl Store {
         let slot = inner.sessions.entry(session).or_default();
         let generation = slot.gens.iter().next_back().copied().unwrap_or(0) + 1;
         let dir = self.session_dir(session);
-        fs::create_dir_all(&dir)
+        self.vfs
+            .create_dir_all(&dir)
             .map_err(io_err(format!("creating session dir {}", dir.display())))?;
         let path = Store::frame_path(&dir, generation);
-        atomic_write(&path, &frame::encode(generation, payload))
+        atomic_write_with(&*self.vfs, &path, &frame::encode(generation, payload))
             .map_err(io_err(format!("writing checkpoint {}", path.display())))?;
         slot.gens.insert(generation);
         slot.newest_valid = Some(generation);
@@ -421,7 +500,8 @@ impl Store {
         };
         for old in excess {
             let old_path = Store::frame_path(&dir, old);
-            fs::remove_file(&old_path)
+            self.vfs
+                .remove_file(&old_path)
                 .map_err(io_err(format!("pruning {}", old_path.display())))?;
             slot.gens.remove(&old);
         }
@@ -453,7 +533,7 @@ impl Store {
         let dir = self.session_dir(session);
         for generation in gens {
             let path = Store::frame_path(&dir, generation);
-            let bytes = match fs::read(&path) {
+            let bytes = match self.vfs.read(&path) {
                 Ok(b) => b,
                 Err(_) => continue,
             };
@@ -497,19 +577,30 @@ impl Store {
     /// Deletes every checkpoint generation of `session` and clears its
     /// ledger entry, persisting the updated manifest.
     pub fn remove_session(&self, session: u64) -> Result<(), StoreError> {
-        {
+        let removed = {
             let mut inner = self.lock();
             inner.sessions.remove(&session);
             let dir = self.session_dir(session);
-            if dir.exists() {
-                fs::remove_dir_all(&dir)
-                    .map_err(io_err(format!("removing session dir {}", dir.display())))?;
+            match self.vfs.remove_dir_all(&dir) {
+                Ok(()) => {}
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                Err(e) => {
+                    return Err(io_err(format!("removing session dir {}", dir.display()))(e));
+                }
             }
-            if inner.ledger.remove(&session).is_none() {
-                return Ok(());
-            }
+            inner.ledger.remove(&session)
+        };
+        let Some(removed) = removed else {
+            return Ok(());
+        };
+        let result = self.write_manifest();
+        if result.is_err() {
+            // Keep memory consistent with disk, so a later retry of this
+            // call re-attempts the manifest write instead of no-opping on
+            // the "already absent" fast path.
+            self.lock().ledger.insert(session, removed);
         }
-        self.write_manifest()
+        result
     }
 
     /// The persisted quarantine ledger.
@@ -520,26 +611,41 @@ impl Store {
     /// Records `session` as permanently quarantined and persists the
     /// manifest through the same atomic generational path as checkpoints.
     pub fn set_quarantined(&self, session: u64, entry: LedgerEntry) -> Result<(), StoreError> {
-        {
+        let prev = {
             let mut inner = self.lock();
             if inner.ledger.get(&session) == Some(&entry) {
                 return Ok(());
             }
-            inner.ledger.insert(session, entry);
+            inner.ledger.insert(session, entry)
+        };
+        let result = self.write_manifest();
+        if result.is_err() {
+            // Roll back so a retry of the same entry is not swallowed by
+            // the dedup fast path above while the disk copy still lacks it.
+            let mut inner = self.lock();
+            match prev {
+                Some(p) => inner.ledger.insert(session, p),
+                None => inner.ledger.remove(&session),
+            };
         }
-        self.write_manifest()
+        result
     }
 
     /// Clears `session` from the quarantine ledger (the id was replaced
     /// with a fresh session) and persists the manifest.
     pub fn clear_quarantined(&self, session: u64) -> Result<(), StoreError> {
-        {
+        let removed = {
             let mut inner = self.lock();
-            if inner.ledger.remove(&session).is_none() {
-                return Ok(());
-            }
+            inner.ledger.remove(&session)
+        };
+        let Some(removed) = removed else {
+            return Ok(());
+        };
+        let result = self.write_manifest();
+        if result.is_err() {
+            self.lock().ledger.insert(session, removed);
         }
-        self.write_manifest()
+        result
     }
 
     /// Writes the fleet-wide federated merged model (a full pipeline
@@ -556,13 +662,13 @@ impl Store {
             .unwrap_or(0)
             + 1;
         let dir = self.root.join(FEDERATED_DIR);
-        fs::create_dir_all(&dir)
+        self.vfs
+            .create_dir_all(&dir)
             .map_err(io_err(format!("creating federated dir {}", dir.display())))?;
         let path = Store::frame_path(&dir, generation);
-        atomic_write(&path, &frame::encode(generation, payload)).map_err(io_err(format!(
-            "writing federated model {}",
-            path.display()
-        )))?;
+        atomic_write_with(&*self.vfs, &path, &frame::encode(generation, payload)).map_err(
+            io_err(format!("writing federated model {}", path.display())),
+        )?;
         inner.federated_gens.insert(generation);
         let excess: Vec<u64> = {
             let n = inner.federated_gens.len().saturating_sub(self.keep);
@@ -570,7 +676,8 @@ impl Store {
         };
         for old in excess {
             let old_path = Store::frame_path(&dir, old);
-            fs::remove_file(&old_path)
+            self.vfs
+                .remove_file(&old_path)
                 .map_err(io_err(format!("pruning {}", old_path.display())))?;
             inner.federated_gens.remove(&old);
         }
@@ -589,7 +696,7 @@ impl Store {
         let dir = self.root.join(FEDERATED_DIR);
         for generation in gens {
             let path = Store::frame_path(&dir, generation);
-            let bytes = match fs::read(&path) {
+            let bytes = match self.vfs.read(&path) {
                 Ok(b) => b,
                 Err(_) => continue,
             };
@@ -607,10 +714,11 @@ impl Store {
         let payload = encode_manifest(&inner.ledger);
         let generation = inner.manifest_gens.iter().next_back().copied().unwrap_or(0) + 1;
         let dir = self.root.join(MANIFEST_DIR);
-        fs::create_dir_all(&dir)
+        self.vfs
+            .create_dir_all(&dir)
             .map_err(io_err(format!("creating manifest dir {}", dir.display())))?;
         let path = Store::frame_path(&dir, generation);
-        atomic_write(&path, &frame::encode(generation, &payload))
+        atomic_write_with(&*self.vfs, &path, &frame::encode(generation, &payload))
             .map_err(io_err(format!("writing manifest {}", path.display())))?;
         inner.manifest_gens.insert(generation);
         let excess: Vec<u64> = {
@@ -619,7 +727,8 @@ impl Store {
         };
         for old in excess {
             let old_path = Store::frame_path(&dir, old);
-            fs::remove_file(&old_path)
+            self.vfs
+                .remove_file(&old_path)
                 .map_err(io_err(format!("pruning {}", old_path.display())))?;
             inner.manifest_gens.remove(&old);
         }
@@ -665,6 +774,7 @@ fn decode_manifest(payload: &[u8]) -> Option<BTreeMap<u64, LedgerEntry>> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::fs;
 
     fn tmp_root(name: &str) -> PathBuf {
         let dir =
@@ -788,6 +898,10 @@ mod tests {
         assert!(!root.join("orphan.tmp").exists());
         assert!(!root.join("3").join("9.ckpt.tmp").exists());
         assert_eq!(store.load(3).unwrap().unwrap().1, b"good");
+        // The scan tallied what it swept.
+        let report = store.recovery_report();
+        assert_eq!(report.stale_temps_deleted, 2);
+        assert!(report.repaired_anything());
         fs::remove_dir_all(&root).ok();
     }
 
@@ -806,6 +920,20 @@ mod tests {
         assert_eq!(generation, 2);
         assert_eq!(payload, b"two");
         assert!(!root.join("2").join("7.ckpt").exists());
+        assert_eq!(store.recovery_report().corrupt_frames_dropped, 1);
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn clean_open_reports_nothing_repaired() {
+        let root = tmp_root("cleanreport");
+        let store = Store::open(&root).unwrap();
+        store.put(1, b"x").unwrap();
+        drop(store);
+        let store = Store::open(&root).unwrap();
+        let report = store.recovery_report();
+        assert!(!report.repaired_anything(), "{report:?}");
+        assert_eq!(report.generations_kept, 1);
         fs::remove_dir_all(&root).ok();
     }
 }

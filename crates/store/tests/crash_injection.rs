@@ -229,6 +229,93 @@ fn crash_during_prune_leaves_recoverable_state() {
     fs::remove_dir_all(&root).ok();
 }
 
+/// Seeds a store with two manifest generations (one, then two ledger
+/// entries) and returns the root plus the two entries.
+fn seeded_manifest(
+    name: &str,
+) -> (
+    PathBuf,
+    seqdrift_store::LedgerEntry,
+    seqdrift_store::LedgerEntry,
+) {
+    use seqdrift_store::LedgerEntry;
+    let root = tmp_root(name);
+    let store = Store::open(&root).unwrap();
+    let first = LedgerEntry {
+        reason_code: 1,
+        restarts_spent: 3,
+    };
+    let second = LedgerEntry {
+        reason_code: 2,
+        restarts_spent: 0,
+    };
+    store.set_quarantined(6, first).unwrap();
+    store.set_quarantined(8, second).unwrap();
+    assert!(root.join("manifest").join("2.ckpt").exists());
+    (root, first, second)
+}
+
+#[test]
+fn torn_manifest_generation_falls_back_to_previous_ledger() {
+    let (root, first, _) = seeded_manifest("manifest-torn");
+    // Truncate the newest manifest generation mid-frame; recovery must
+    // fall back to generation 1 (only the first verdict), not lose the
+    // ledger or resurrect garbage.
+    let newest = root.join("manifest").join("2.ckpt");
+    let bytes = fs::read(&newest).unwrap();
+    fs::write(&newest, &bytes[..bytes.len() / 2]).unwrap();
+    let store = Store::open(&root).unwrap();
+    let ledger = store.ledger();
+    assert_eq!(ledger.len(), 1);
+    assert_eq!(ledger.get(&6), Some(&first));
+    assert!(store.recovery_report().corrupt_frames_dropped >= 1);
+    fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn bit_flipped_manifest_generation_falls_back() {
+    let (root, first, _) = seeded_manifest("manifest-flip");
+    let newest = root.join("manifest").join("2.ckpt");
+    let mut bytes = fs::read(&newest).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x10;
+    fs::write(&newest, &bytes).unwrap();
+    let store = Store::open(&root).unwrap();
+    assert_eq!(store.ledger().get(&6), Some(&first));
+    assert_eq!(store.ledger().len(), 1);
+    fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn manifest_orphan_temps_are_swept() {
+    let (root, first, second) = seeded_manifest("manifest-orphans");
+    fs::write(root.join("manifest").join("3.ckpt.tmp"), b"died mid-write").unwrap();
+    let store = Store::open(&root).unwrap();
+    assert!(!root.join("manifest").join("3.ckpt.tmp").exists());
+    assert!(store.recovery_report().stale_temps_deleted >= 1);
+    // The intact ledger is untouched by the sweep.
+    let ledger = store.ledger();
+    assert_eq!(ledger.get(&6), Some(&first));
+    assert_eq!(ledger.get(&8), Some(&second));
+    fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn all_manifest_generations_torn_loses_ledger_not_store() {
+    let (root, _, second) = seeded_manifest("manifest-total-loss");
+    fs::write(root.join("manifest").join("1.ckpt"), b"garbage").unwrap();
+    fs::write(root.join("manifest").join("2.ckpt"), b"more garbage").unwrap();
+    let store = Store::open(&root).unwrap();
+    // Every verdict is gone (empty ledger), but the store is fully
+    // usable: new verdicts persist and survive the next reopen.
+    assert!(store.ledger().is_empty());
+    store.set_quarantined(8, second).unwrap();
+    drop(store);
+    let store = Store::open(&root).unwrap();
+    assert_eq!(store.ledger().get(&8), Some(&second));
+    fs::remove_dir_all(&root).ok();
+}
+
 #[test]
 fn federated_model_roundtrips_and_survives_reopen() {
     let root = tmp_root("federated");

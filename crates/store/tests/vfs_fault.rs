@@ -1,0 +1,214 @@
+//! Operation-level storage-fault matrix: the store under a seeded
+//! [`FaultVfs`], one fault family at a time.
+//!
+//! The crash_injection suite proves recovery from what a power loss
+//! leaves *on disk*; this suite proves the store's behaviour *at the
+//! moment the disk misbehaves* — a failed write surfaces as a typed
+//! error without orphaning temps or corrupting older generations, a
+//! transient error clears on retry, a lying fsync is caught by the next
+//! recovery scan, and the whole schedule replays from a single seed.
+
+use seqdrift_store::{FaultPlan, FaultVfs, LedgerEntry, Store, StoreConfig, StoreError, Vfs};
+use std::fs;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn tmp_root(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("seqdrift-vfsfault-{name}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Opens a store over a `FaultVfs`, returning both handles (the store
+/// holds an `Arc` clone, so the test can keep flipping the fault window).
+fn faulty_store(root: &PathBuf, plan: FaultPlan) -> (Store, Arc<FaultVfs>) {
+    let vfs = Arc::new(FaultVfs::new(plan).with_base(root));
+    let store = Store::open_with_vfs(
+        root,
+        StoreConfig::default(),
+        Arc::clone(&vfs) as Arc<dyn Vfs>,
+    )
+    .unwrap();
+    (store, vfs)
+}
+
+/// No `*.tmp` residue anywhere under `root`.
+fn assert_no_temps(root: &std::path::Path) {
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = fs::read_dir(&dir) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else {
+                let name = path.file_name().unwrap_or_default().to_string_lossy();
+                assert!(!name.ends_with(".tmp"), "orphan temp left behind: {name}");
+            }
+        }
+    }
+}
+
+#[test]
+fn enospc_fails_put_cleanly_and_store_survives() {
+    let root = tmp_root("enospc");
+    let (store, vfs) = faulty_store(&root, FaultPlan::new(21).with_enospc(1024));
+    let err = store.put(1, b"payload").unwrap_err();
+    assert!(matches!(err, StoreError::Io { .. }), "{err:?}");
+    assert!(err.to_string().contains("injected fault"), "{err}");
+    assert_no_temps(&root);
+    assert!(vfs.fault_count() > 0);
+    // The disk "heals": the same store handle writes and reads fine.
+    vfs.set_active(false);
+    assert_eq!(store.put(1, b"payload").unwrap(), 1);
+    assert_eq!(store.load(1).unwrap().unwrap().1, b"payload");
+    fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn transient_eio_clears_on_retry() {
+    let root = tmp_root("eio-transient");
+    // streak_max 1: every injected EIO is purely transient — an index
+    // inside a streak never forces the next one to fail (though a fresh
+    // draw can still hit, so retries are bounded-loop, not one-shot).
+    let (store, vfs) = faulty_store(&root, FaultPlan::new(9).with_eio(400, 1));
+    let mut failures = 0;
+    let mut last_good: Vec<u8> = Vec::new();
+    for i in 0..40u8 {
+        let payload = vec![i];
+        match store.put(7, &payload) {
+            Ok(_) => last_good = payload,
+            Err(StoreError::Io { .. }) => {
+                failures += 1;
+                assert_no_temps(&root);
+                let retried = (0..8).any(|_| store.put(7, &payload).is_ok());
+                assert!(retried, "8 retries all failed with streak_max 1");
+                last_good = payload;
+            }
+            Err(other) => panic!("unexpected error class: {other:?}"),
+        }
+    }
+    assert!(failures > 0, "seed 9 at 400/1024 never injected an EIO");
+    vfs.set_active(false);
+    assert_eq!(store.load(7).unwrap().unwrap().1, last_good);
+    fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn persistent_eio_streaks_never_corrupt_survivors() {
+    let root = tmp_root("eio-streak");
+    let (store, vfs) = faulty_store(&root, FaultPlan::new(5).with_eio(300, 4));
+    let mut goods: Vec<Vec<u8>> = Vec::new();
+    for i in 0..60u8 {
+        let payload = vec![i];
+        if store.put(3, &payload).is_ok() {
+            goods.push(payload);
+        }
+        // Reads are faulted too: a load may fall back to an older
+        // surviving generation (or find none readable), but must never
+        // surface bytes that were not durably written.
+        if let Some((_, p)) = store.load(3).unwrap() {
+            assert!(goods.contains(&p), "load returned non-durable bytes");
+        }
+    }
+    assert!(vfs.fault_count() > 0);
+    assert_no_temps(&root);
+    // Disk heals: the newest successful write is exactly what loads.
+    vfs.set_active(false);
+    assert_eq!(
+        store.load(3).unwrap().map(|(_, p)| p).as_ref(),
+        goods.last()
+    );
+    fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn rename_failure_cleans_temp_and_keeps_old_generation() {
+    let root = tmp_root("rename");
+    let (store, vfs) = faulty_store(&root, FaultPlan::new(13).with_rename_fail(1024));
+    vfs.set_active(false);
+    store.put(2, b"old").unwrap();
+    vfs.set_active(true);
+    // The commit step of the atomic write fails: the temp is cleaned up
+    // and the previous generation is untouched.
+    assert!(matches!(
+        store.put(2, b"new").unwrap_err(),
+        StoreError::Io { .. }
+    ));
+    assert_no_temps(&root);
+    assert_eq!(store.load(2).unwrap().unwrap(), (1, b"old".to_vec()));
+    fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn lying_fsync_torn_write_is_caught_by_next_recovery_scan() {
+    let root = tmp_root("lying-fsync");
+    let (store, vfs) = faulty_store(&root, FaultPlan::new(17).with_lying_fsync(1024));
+    vfs.set_active(false);
+    store.put(4, b"durable generation one").unwrap();
+    vfs.set_active(true);
+    // The lie: put reports success, but the frame never fully reached
+    // stable storage. Nothing at write time can detect this.
+    assert_eq!(store.put(4, b"generation two, torn").unwrap(), 2);
+    drop(store);
+    // Power loss + restart: the CRC recovery scan drops the torn frame
+    // and falls back to the last honestly-fsynced generation.
+    let store = Store::open(&root).unwrap();
+    assert_eq!(
+        store.load(4).unwrap().unwrap(),
+        (1, b"durable generation one".to_vec())
+    );
+    assert!(store.recovery_report().corrupt_frames_dropped >= 1);
+    fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn manifest_write_failure_rolls_back_so_retry_persists() {
+    let root = tmp_root("manifest-enospc");
+    let (store, vfs) = faulty_store(&root, FaultPlan::new(29).with_enospc(1024));
+    let entry = LedgerEntry {
+        reason_code: 2,
+        restarts_spent: 1,
+    };
+    assert!(store.set_quarantined(11, entry).is_err());
+    assert_no_temps(&root);
+    // The failed write must not linger in the in-memory ledger, or the
+    // retry below would dedup against it and never reach the disk.
+    vfs.set_active(false);
+    store.set_quarantined(11, entry).unwrap();
+    drop(store);
+    let store = Store::open(&root).unwrap();
+    assert_eq!(store.ledger().get(&11), Some(&entry));
+    fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn same_seed_replays_identical_fault_schedule() {
+    let drive = |root: &PathBuf| {
+        let (store, vfs) = faulty_store(
+            root,
+            FaultPlan::new(33)
+                .with_enospc(200)
+                .with_eio(200, 3)
+                .with_rename_fail(100),
+        );
+        for i in 0..48u8 {
+            let _ = store.put(u64::from(i % 4), &[i]);
+            let _ = store.load(u64::from(i % 4));
+        }
+        drop(store);
+        vfs.take_events()
+    };
+    let root_a = tmp_root("replay-a");
+    let root_b = tmp_root("replay-b");
+    let events_a = drive(&root_a);
+    let events_b = drive(&root_b);
+    assert!(!events_a.is_empty(), "seed 33 injected nothing");
+    // `with_base` keys the schedule on store-relative paths, so two runs
+    // in different directories inject byte-for-byte the same faults.
+    assert_eq!(events_a, events_b);
+    fs::remove_dir_all(&root_a).ok();
+    fs::remove_dir_all(&root_b).ok();
+}

@@ -94,8 +94,9 @@ pub mod prelude {
     };
     pub use seqdrift_federate::{FederateError, Federator, RoundSummary};
     pub use seqdrift_fleet::{
-        Fault, FaultInjector, FederationConfig, FeedReply, FleetConfig, FleetEngine, FleetError,
-        FleetEvent, QuarantineReason, SessionId, SessionStatus,
+        DegradedReason, DurabilityHealth, Fault, FaultInjector, FederationConfig, FeedReply,
+        FleetConfig, FleetEngine, FleetError, FleetEvent, QuarantineReason, RecoveryReport,
+        SessionId, SessionStatus,
     };
     pub use seqdrift_linalg::{Matrix, Real, Rng};
     pub use seqdrift_oselm::{
@@ -107,5 +108,5 @@ pub mod prelude {
         AdmissionConfig, ChaosConfig, ChaosProxy, Client, ReconnectPolicy, ResilientClient, Server,
         ServerConfig,
     };
-    pub use seqdrift_store::{Store, StoreConfig, StoreError};
+    pub use seqdrift_store::{FaultPlan, FaultVfs, RealVfs, Store, StoreConfig, StoreError, Vfs};
 }

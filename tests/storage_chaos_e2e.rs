@@ -1,0 +1,237 @@
+//! Storage-chaos end-to-end: a 16-session fleet ingesting under a
+//! sustained ENOSPC + EIO + lying-fsync storm.
+//!
+//! The network sibling of `chaos_e2e.rs`: where that suite corrupts the
+//! wire under a healthy server, this one corrupts the *disk* under a
+//! healthy fleet. The invariants proved here:
+//!
+//! * **Zero sample loss, zero panics** — every `feed_blocking` during
+//!   the storm returns `Ok`; the fleet never lets a failing disk touch
+//!   the in-memory models.
+//! * **Degrade, then recover** — durability health flips to degraded on
+//!   the first failed flush and returns to durable on its own once the
+//!   fault window closes (the background retry loop drains every
+//!   buffered write).
+//! * **Kill-and-resume bit-identity** — after the storm heals and the
+//!   process dies, a fresh engine on a healthy disk resumes from
+//!   whatever survived (torn frames from lying fsyncs fall back through
+//!   older generations) and, with the lost tails replayed, every
+//!   session matches an uninterrupted memory-only run bit-for-bit.
+//! * **Seeded replay** — the same seed drives byte-for-byte the same
+//!   fault schedule, so any failing storm reproduces from one number.
+
+use seqdrift::core::{DetectorConfig, DriftPipeline};
+use seqdrift::prelude::*;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const DIM: usize = 5;
+const SESSIONS: u64 = 16;
+const INTERVAL: u64 = 32;
+const CUT: usize = 192; // samples fed under the storm (before the "kill")
+const TOTAL: usize = 256; // full stream length for the reference run
+
+fn checkpoint() -> Vec<u8> {
+    let mut rng = Rng::seed_from(77);
+    let train: Vec<Vec<Real>> = (0..120)
+        .map(|_| {
+            let mut x = vec![0.0; DIM];
+            rng.fill_normal(&mut x, 0.3, 0.05);
+            x
+        })
+        .collect();
+    let mut model = MultiInstanceModel::new(1, OsElmConfig::new(DIM, 4).with_seed(7)).unwrap();
+    model.init_train_class(0, &train).unwrap();
+    let pairs: Vec<(usize, &[Real])> = train.iter().map(|x| (0, x.as_slice())).collect();
+    DriftPipeline::calibrate(model, DetectorConfig::new(1, DIM).with_window(20), &pairs)
+        .unwrap()
+        .to_bytes()
+        .unwrap()
+}
+
+/// Deterministic per-session stream.
+fn stream(session: u64, len: usize) -> Vec<Vec<Real>> {
+    let mut rng = Rng::seed_from(4000 + session);
+    (0..len)
+        .map(|_| {
+            let mut x = vec![0.0; DIM];
+            rng.fill_normal(&mut x, 0.3, 0.05);
+            x
+        })
+        .collect()
+}
+
+fn tmp_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "seqdrift-storagechaos-{name}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn storm_plan(seed: u64) -> FaultPlan {
+    FaultPlan::new(seed)
+        .with_enospc(300)
+        .with_eio(200, 3)
+        .with_lying_fsync(300)
+}
+
+#[test]
+fn fleet_survives_storage_storm_and_resumes_bit_identical() {
+    let blob = checkpoint();
+    let dir = tmp_dir("storm");
+
+    // --- Reference: uninterrupted, memory-only, full streams. ---
+    let reference = FleetEngine::new(FleetConfig::new(4)).unwrap();
+    let mut expected = Vec::new();
+    for s in 0..SESSIONS {
+        reference.create_from_bytes(SessionId(s), &blob).unwrap();
+        for x in stream(s, TOTAL) {
+            reference.feed_blocking(SessionId(s), &x).unwrap();
+        }
+        expected.push(reference.snapshot(SessionId(s)).unwrap());
+    }
+    drop(reference);
+
+    // --- Victim: same streams, durable store on a failing disk. ---
+    let vfs = Arc::new(FaultVfs::new(storm_plan(0xBAD_D15C)).with_base(&dir));
+    {
+        let victim = FleetEngine::new(
+            FleetConfig::new(4)
+                .with_checkpoint_interval(INTERVAL)
+                .with_state_dir(&dir)
+                .with_state_keep_generations(4)
+                .with_state_vfs(Arc::clone(&vfs) as Arc<dyn Vfs>)
+                .with_flush_retry(Duration::from_millis(2), Duration::from_millis(50)),
+        )
+        .unwrap();
+        for s in 0..SESSIONS {
+            victim.create_from_bytes(SessionId(s), &blob).unwrap();
+        }
+        // Zero sample loss: every feed is accepted while the disk burns.
+        for t in 0..CUT {
+            for s in 0..SESSIONS {
+                victim
+                    .feed_blocking(SessionId(s), &stream(s, CUT)[t])
+                    .unwrap();
+            }
+        }
+        // Wait until every sample is actually processed, then check the
+        // storm really bit (this seed injects plenty of faults) and the
+        // fleet degraded without a single panic or dropped sample.
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while victim.metrics().samples_processed < SESSIONS * CUT as u64
+            && Instant::now() < deadline
+        {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let m = victim.metrics();
+        assert_eq!(m.samples_processed, SESSIONS * CUT as u64);
+        assert_eq!(m.panics_caught, 0);
+        assert_eq!(m.samples_dropped, 0);
+        assert!(vfs.fault_count() > 0, "the storm never injected a fault");
+        assert!(
+            m.durability_degraded >= 1,
+            "sustained ENOSPC/EIO never degraded durability: {m:?}"
+        );
+
+        // The fault window closes; the retry loop must drain every
+        // buffered write and report durable again on its own.
+        vfs.set_active(false);
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while victim.durability_health() != DurabilityHealth::Durable && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(victim.durability_health(), DurabilityHealth::Durable);
+        let m = victim.metrics();
+        assert!(m.durability_recovered >= 1, "{m:?}");
+        // Kill: whatever reached stable storage is all the next process
+        // gets. (Lying fsyncs mean some newest generations are torn.)
+        drop(victim);
+    }
+
+    // --- Resume on a healthy disk, replay each lost tail. ---
+    let revived = FleetEngine::new(
+        FleetConfig::new(4)
+            .with_checkpoint_interval(INTERVAL)
+            .with_state_dir(&dir)
+            .with_state_keep_generations(4),
+    )
+    .unwrap();
+    let resumed = revived.resume().unwrap();
+    assert!(!resumed.is_empty(), "nothing survived the storm");
+    let mut seen = std::collections::HashSet::new();
+    for &(id, samples_processed) in &resumed {
+        assert!(
+            samples_processed <= CUT as u64,
+            "{id}: resumed ahead of the kill point"
+        );
+        seen.insert(id.0);
+        for x in &stream(id.0, TOTAL)[samples_processed as usize..] {
+            revived.feed_blocking(id, x).unwrap();
+        }
+    }
+    // A session whose every on-disk generation was torn by lying fsyncs
+    // is not resumed; it restarts from the reference checkpoint — lost
+    // progress, never a wrong model.
+    for s in 0..SESSIONS {
+        if seen.contains(&s) {
+            continue;
+        }
+        revived.create_from_bytes(SessionId(s), &blob).unwrap();
+        for x in stream(s, TOTAL) {
+            revived.feed_blocking(SessionId(s), &x).unwrap();
+        }
+    }
+    for s in 0..SESSIONS {
+        let got = revived.snapshot(SessionId(s)).unwrap();
+        assert_eq!(
+            got, expected[s as usize],
+            "session {s}: post-storm state diverged from the uninterrupted run"
+        );
+    }
+    drop(revived);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn same_seed_replays_the_same_storm() {
+    // Two stores in different directories, identical op sequences (real
+    // pipeline checkpoints + quarantine verdicts), same seed: the
+    // injected fault logs must match byte for byte. `with_base` keys the
+    // schedule on store-relative paths, so location does not matter.
+    let blob = checkpoint();
+    let drive = |dir: &std::path::PathBuf| {
+        let vfs = Arc::new(FaultVfs::new(storm_plan(0x5EED)).with_base(dir));
+        let store = Store::open_with_vfs(
+            dir,
+            StoreConfig::default().with_keep_generations(4),
+            Arc::clone(&vfs) as Arc<dyn Vfs>,
+        )
+        .unwrap();
+        for round in 0..12u64 {
+            for s in 0..4u64 {
+                let _ = store.put(s, &blob);
+            }
+            let _ = store.set_quarantined(
+                round % 4,
+                seqdrift::store::LedgerEntry {
+                    reason_code: 1,
+                    restarts_spent: round,
+                },
+            );
+            let _ = store.load(round % 4);
+        }
+        drop(store);
+        vfs.take_events()
+    };
+    let dir_a = tmp_dir("replay-a");
+    let dir_b = tmp_dir("replay-b");
+    let events_a = drive(&dir_a);
+    let events_b = drive(&dir_b);
+    assert!(!events_a.is_empty(), "the replay seed injected nothing");
+    assert_eq!(events_a, events_b, "same seed produced different storms");
+    std::fs::remove_dir_all(&dir_a).ok();
+    std::fs::remove_dir_all(&dir_b).ok();
+}
