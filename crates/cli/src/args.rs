@@ -149,6 +149,11 @@ pub struct FleetArgs {
     pub federate: bool,
     /// Fleet-wide processed-sample interval between merge rounds.
     pub federate_interval: u64,
+    /// Seed for a deterministic model-poisoning plan: a seeded fraction
+    /// of the sessions submit corrupted contributions every merge round
+    /// (scaled β, rotated Gram, slow bias ramp, colluding group). Chaos
+    /// testing for the Byzantine-robust merge; requires `--federate`.
+    pub poison: Option<u64>,
 }
 
 /// Arguments of `seqdrift serve`.
@@ -262,7 +267,7 @@ USAGE:
                  [--drift-shift 0.3] [--inject-faults SEED]
                  [--guard-policy reject|clamp|impute] [--stuck-threshold K]
                  [--state-dir <dir>] [--resume]
-                 [--federate] [--federate-interval 2048]
+                 [--federate] [--federate-interval 2048] [--poison SEED]
                  [--no-header] [--label-last]
   seqdrift serve [--model <model.sqdm>] [--listen 127.0.0.1:4747] [--workers 4]
                  [--queue 256] [--feed-timeout-ms 10000] [--state-dir <dir>]
@@ -432,6 +437,13 @@ impl Cli {
                     resume: flags.boolean("--resume"),
                     federate: flags.boolean("--federate"),
                     federate_interval: flags.number("--federate-interval", 2048u64)?,
+                    poison: match flags.take("--poison") {
+                        None => None,
+                        Some(v) => Some(
+                            v.parse()
+                                .map_err(|_| err(format!("--poison: cannot parse {v:?}")))?,
+                        ),
+                    },
                 };
                 if a.sessions == 0 || a.workers == 0 || a.queue == 0 {
                     return Err(err("--sessions, --workers and --queue must be positive"));
@@ -441,6 +453,9 @@ impl Cli {
                 }
                 if a.federate_interval == 0 {
                     return Err(err("--federate-interval must be positive"));
+                }
+                if a.poison.is_some() && !a.federate {
+                    return Err(err("--poison requires --federate"));
                 }
                 Command::Fleet(a)
             }
@@ -686,9 +701,24 @@ mod tests {
             Command::Fleet(a) => {
                 assert!(a.federate);
                 assert_eq!(a.federate_interval, 64);
+                assert_eq!(a.poison, None);
             }
             other => panic!("{other:?}"),
         }
+        let cli = Cli::parse(&argv(
+            "fleet --csv s.csv --model m.sqdm --federate --poison 7",
+        ))
+        .unwrap();
+        match cli.command {
+            Command::Fleet(a) => {
+                assert_eq!(a.poison, Some(7));
+            }
+            other => panic!("{other:?}"),
+        }
+        // Poisoning corrupts merge contributions; without merging there
+        // is nothing to poison.
+        assert!(Cli::parse(&argv("fleet --csv s --model m --poison 7")).is_err());
+        assert!(Cli::parse(&argv("fleet --csv s --model m --federate --poison x")).is_err());
         let cli = Cli::parse(&argv("serve --model m.sqdm --federate")).unwrap();
         match cli.command {
             Command::Serve(a) => {

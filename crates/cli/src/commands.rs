@@ -9,7 +9,7 @@ use seqdrift_datasets::drift::DriftSchedule;
 use seqdrift_datasets::fan::{self, FanConfig, FanScenario};
 use seqdrift_datasets::nslkdd::{self, NslKddConfig};
 use seqdrift_datasets::{loader, DriftDataset, Sample};
-use seqdrift_federate::Federator;
+use seqdrift_federate::{Federator, PoisonInjector};
 use seqdrift_fleet::{
     FaultInjector, FederationConfig, FleetConfig, FleetEngine, FleetError, FleetEvent,
     MetricsSnapshot, SessionId,
@@ -438,6 +438,17 @@ pub fn fleet(a: &FleetArgs, out: Out<'_>) -> Result<(), String> {
     } else {
         None
     };
+    if let Some(seed) = a.poison {
+        if let Some(f) = federator.take() {
+            let ids: Vec<u64> = (0..a.sessions as u64).collect();
+            let injector = PoisonInjector::from_seed(seed, &ids);
+            writeln!(out, "poison plan (seed {seed}):").ok();
+            for line in injector.describe().lines() {
+                writeln!(out, "  {line}").ok();
+            }
+            federator = Some(f.with_poison(injector));
+        }
+    }
 
     // Device d's injected drift starts drift_step samples after device d-1's,
     // so detections should stagger the same way across the fleet.
@@ -449,6 +460,13 @@ pub fn fleet(a: &FleetArgs, out: Out<'_>) -> Result<(), String> {
         .collect();
     let mut rng = Rng::seed_from(0xF1EE7);
     let mut shifted = vec![0.0 as Real; expected];
+    // Federation rounds trigger at deterministic stream positions: this
+    // feeder-side counter of delivered rows decides the boundaries, not
+    // the worker-side `samples_processed` gauge (which races with the
+    // shards and made `--federate --inject-faults` replays diverge).
+    // Snapshots travel through the shard FIFOs behind every sample and
+    // fault already enqueued, so a fixed boundary sees a fixed model.
+    let mut fed_since_round: u64 = 0;
     for (t, s) in samples.iter().enumerate() {
         for (d, schedule) in schedules.iter().enumerate() {
             let use_new = schedule
@@ -464,15 +482,21 @@ pub fn fleet(a: &FleetArgs, out: Out<'_>) -> Result<(), String> {
                 &s.x
             };
             // A quarantined device stays quarantined for the rest of the
-            // replay; the fleet keeps serving every other device.
+            // replay; the fleet keeps serving every other device. The
+            // attempt still counts towards the round boundary: attempts
+            // are deterministic, outcomes race with the verdict.
             match engine.feed_blocking(SessionId(d as u64), x) {
                 Ok(()) | Err(FleetError::SessionQuarantined(_)) => {}
                 Err(e) => return Err(fail("feeding sample", e)),
             }
+            fed_since_round += 1;
         }
         if let Some(f) = federator.as_mut() {
-            f.maybe_round(&engine)
-                .map_err(|e| fail("federation round", e))?;
+            if fed_since_round >= f.config().interval {
+                fed_since_round = 0;
+                f.run_round(&engine)
+                    .map_err(|e| fail("federation round", e))?;
+            }
         }
     }
 
@@ -572,6 +596,21 @@ pub fn fleet(a: &FleetArgs, out: Out<'_>) -> Result<(), String> {
                 )
                 .ok();
             }
+            FleetEvent::MergeRoundRejected { candidates, reason } => {
+                writeln!(
+                    out,
+                    "federation: merge round REJECTED ({candidates} candidate(s), {reason})"
+                )
+                .ok();
+            }
+            FleetEvent::SessionExcludedLowTrust { id, trust } => {
+                writeln!(
+                    out,
+                    "device {}: excluded from merging (trust {trust:.3} below floor)",
+                    id.0
+                )
+                .ok();
+            }
         }
     }
     let m = &report.metrics;
@@ -589,9 +628,19 @@ pub fn fleet(a: &FleetArgs, out: Out<'_>) -> Result<(), String> {
     if a.federate {
         writeln!(
             out,
-            "federation: {} merge round(s), {} contribution(s) accepted, {} rejected, \
-             {} redistribution(s)",
-            m.merge_rounds, m.contributions_accepted, m.contributions_rejected, m.redistributions
+            "federation: {} merge round(s) ({} rejected wholesale), {} contribution(s) \
+             accepted, {} rejected ({} health, {} stale, {} non-PD, {} outlier, \
+             {} low-trust), {} redistribution(s)",
+            m.merge_rounds,
+            m.merge_rounds_rejected,
+            m.contributions_accepted,
+            m.contributions_rejected,
+            m.rejected_health,
+            m.rejected_staleness,
+            m.rejected_non_pd,
+            m.rejected_deviation,
+            m.rejected_low_trust,
+            m.redistributions
         )
         .ok();
     }
@@ -778,9 +827,19 @@ pub fn serve_with_stop(
     if a.federate {
         writeln!(
             out,
-            "federation: {} merge round(s), {} contribution(s) accepted, {} rejected, \
-             {} redistribution(s)",
-            m.merge_rounds, m.contributions_accepted, m.contributions_rejected, m.redistributions
+            "federation: {} merge round(s) ({} rejected wholesale), {} contribution(s) \
+             accepted, {} rejected ({} health, {} stale, {} non-PD, {} outlier, \
+             {} low-trust), {} redistribution(s)",
+            m.merge_rounds,
+            m.merge_rounds_rejected,
+            m.contributions_accepted,
+            m.contributions_rejected,
+            m.rejected_health,
+            m.rejected_staleness,
+            m.rejected_non_pd,
+            m.rejected_deviation,
+            m.rejected_low_trust,
+            m.redistributions
         )
         .ok();
     }
@@ -1394,6 +1453,73 @@ mod tests {
         for d in 0..4 {
             assert!(out.contains(&format!("device {d}: DRIFT")), "{out}");
         }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn federate_with_fault_injection_replays_identically() {
+        let dir = tmpdir("fleet-fed-faults");
+        let train_csv = labelled_csv(&dir, 200, 0.0, 41);
+        let model = dir.join("model.sqdm");
+        exec(&format!(
+            "train --csv {} --out {} --label-last --hidden 6 --window 20",
+            train_csv.display(),
+            model.display()
+        ))
+        .unwrap();
+        let stream = stream_csv(&dir, 400, 0.0, 42);
+        // Drift makes sessions contribute, faults make sessions fail, and
+        // federation rounds interleave with both. Round boundaries come
+        // from the feeder-side counter, so the same seed must replay the
+        // same rounds against the same models — the whole run is
+        // line-for-line reproducible (only event interleaving may vary).
+        let line = format!(
+            "fleet --csv {} --model {} --sessions 6 --workers 3 --no-header \
+             --drift-at 60 --drift-step 20 --drift-shift 0.4 \
+             --inject-faults 7 --federate --federate-interval 300",
+            stream.display(),
+            model.display()
+        );
+        let sorted = |out: &str| {
+            let mut lines: Vec<&str> = out.lines().collect();
+            lines.sort_unstable();
+            lines.join("\n")
+        };
+        let first = exec(&line).unwrap();
+        let second = exec(&line).unwrap();
+        assert!(first.contains("federation:"), "{first}");
+        assert!(first.contains("fault plan (seed 7):"), "{first}");
+        assert_eq!(
+            sorted(&first),
+            sorted(&second),
+            "a seeded --federate --inject-faults replay must be deterministic"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fleet_poison_flag_reports_the_plan_and_survives_the_attack() {
+        let dir = tmpdir("fleet-poison");
+        let train_csv = labelled_csv(&dir, 200, 0.0, 51);
+        let model = dir.join("model.sqdm");
+        exec(&format!(
+            "train --csv {} --out {} --label-last --hidden 6 --window 20",
+            train_csv.display(),
+            model.display()
+        ))
+        .unwrap();
+        let stream = stream_csv(&dir, 300, 0.0, 52);
+        let out = exec(&format!(
+            "fleet --csv {} --model {} --sessions 8 --workers 2 --no-header \
+             --drift-at 50 --drift-step 10 --drift-shift 0.4 \
+             --federate --federate-interval 400 --poison 99",
+            stream.display(),
+            model.display()
+        ))
+        .unwrap();
+        assert!(out.contains("poison plan (seed 99):"), "{out}");
+        assert!(out.contains("session "), "{out}");
+        assert!(out.contains("federation:"), "{out}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -24,25 +24,55 @@
 //!    current fleet baseline have nothing to contribute and are skipped;
 //!    contributors lagging the freshest contributor by more than the
 //!    configured staleness bound are rejected.
-//! 3. **Merge** — the accepted models are fused with the baseline by
+//! 3. **Score (Byzantine-robust two-pass)** — with
+//!    `FederationConfig::robust` on, each surviving contributor's
+//!    stacked (U, c) sufficient statistics are scored against the
+//!    iteratively-reweighted geometric-median robust centre
+//!    ([`seqdrift_linalg::robust`]); only contributors within the
+//!    deviation bound are re-admitted. Outlier verdicts feed a durable
+//!    per-session [`ReputationBook`] (exponential trust decay, clean-
+//!    round recovery); sessions below the trust floor are excluded from
+//!    merging — but still scored, so a repaired device recovers. On
+//!    outlier-free rounds every contributor is re-admitted and the merge
+//!    below is **bit-identical** to the plain path: robustness costs
+//!    nothing when nobody is lying.
+//! 4. **Merge** — the admitted models are fused with the baseline by
 //!    [`MultiInstanceModel::merge_with`], which validates
 //!    positive-definiteness and finiteness exactly like `seq_train`'s
 //!    transactional path; a merge that fails validation rejects the
-//!    whole round and leaves the baseline untouched (blast radius zero).
-//! 4. **Redistribute** — the merged model is installed into every
+//!    whole round, emits `FleetEvent::MergeRoundRejected`, and leaves
+//!    the baseline untouched (blast radius zero).
+//! 5. **Redistribute** — the merged model is installed into every
 //!    healthy session through the same FIFOs ([`FleetEngine`
 //!    `install_model`](seqdrift_fleet::FleetEngine::install_model)), and
 //!    becomes the new baseline.
-//! 5. **Persist** — the merged generation is flushed to the durable
-//!    store as a `SQCK` checkpoint, so a resume after power loss
-//!    restores the fleet-wide model, not just per-session state.
+//! 6. **Persist** — the merged generation and the updated reputation
+//!    book are flushed to the durable store, so a resume after power
+//!    loss restores the fleet-wide model *and* the fleet's memory of who
+//!    not to trust.
 //!
-//! Every step is observable through the fleet metrics
-//! (`merge_rounds`, `contributions_accepted`, `contributions_rejected`,
-//! `redistributions`).
+//! Every step is observable through the fleet metrics (`merge_rounds`,
+//! `contributions_accepted`, the per-reason `rejected_*` counters,
+//! `redistributions`) and the fleet event log.
+//!
+//! The [`PoisonInjector`] is the proof harness: seeded, deterministic
+//! model corruption that passes every overt gate and is caught only by
+//! the robust pass. `seqdrift fleet --poison SEED` wires it in.
+
+mod poison;
+mod reputation;
+
+pub use poison::{PoisonInjector, PoisonMode};
+pub use reputation::ReputationBook;
 
 use seqdrift_core::{CoreError, DriftPipeline};
-use seqdrift_fleet::{FederationConfig, FleetEngine, FleetError, SessionId, SessionStatus};
+use seqdrift_fleet::{
+    FederationConfig, FleetEngine, FleetError, MergeRejectReason, RejectReasons, SessionId,
+    SessionStatus,
+};
+use seqdrift_linalg::cholesky::spd_inverse;
+use seqdrift_linalg::robust::{deviation_scores, geometric_median};
+use seqdrift_linalg::Matrix;
 use seqdrift_oselm::{ModelError, MultiInstanceModel};
 
 /// Federation failures.
@@ -88,9 +118,12 @@ pub struct RoundSummary {
     pub merged: bool,
     /// Contributions accepted into the merge.
     pub accepted: u64,
-    /// Contributions rejected by gating (quarantined, degraded, stale)
-    /// or discarded because the merge itself failed validation.
+    /// Contributions rejected by gating (quarantined, degraded, stale,
+    /// outlier, distrusted) or discarded because the merge itself failed
+    /// validation. Always equals `reject_reasons.total()`.
     pub rejected: u64,
+    /// Per-reason breakdown of `rejected`.
+    pub reject_reasons: RejectReasons,
     /// Sessions skipped without prejudice: mid-reconstruction, vanished
     /// mid-round, or bit-identical to the baseline (nothing to
     /// contribute).
@@ -121,6 +154,13 @@ pub struct Federator {
     /// interval-based polling.
     last_round_at: u64,
     rounds_run: u64,
+    /// Rounds attempted (successful or not) — the `round` coordinate the
+    /// poison injector's deterministic corruption keys on.
+    rounds_attempted: u64,
+    /// Durable per-session trust, restored from the store at build.
+    reputation: ReputationBook,
+    /// Seeded deterministic model poisoning, for chaos testing only.
+    poison: Option<PoisonInjector>,
 }
 
 impl Federator {
@@ -146,7 +186,18 @@ impl Federator {
             baseline,
             last_round_at: 0,
             rounds_run: 0,
+            rounds_attempted: 0,
+            reputation: ReputationBook::from_entries(engine.load_reputations()),
+            poison: None,
         })
+    }
+
+    /// Arms a seeded deterministic [`PoisonInjector`]: victim sessions'
+    /// contributions are corrupted before gating each round, exactly as
+    /// an adversarial device would submit them. Chaos testing only.
+    pub fn with_poison(mut self, injector: PoisonInjector) -> Self {
+        self.poison = Some(injector);
+        self
     }
 
     /// The active federation knobs.
@@ -157,6 +208,11 @@ impl Federator {
     /// Rounds that produced a merged model so far.
     pub fn rounds_run(&self) -> u64 {
         self.rounds_run
+    }
+
+    /// The durable per-session trust book.
+    pub fn reputation(&self) -> &ReputationBook {
+        &self.reputation
     }
 
     /// The current fleet-wide baseline model.
@@ -187,21 +243,24 @@ impl Federator {
     /// (shutdown races, store decode of the federator's own state)
     /// surface as errors.
     pub fn run_round(&mut self, engine: &FleetEngine) -> Result<RoundSummary, FederateError> {
+        let round_index = self.rounds_attempted;
+        self.rounds_attempted += 1;
         let mut summary = RoundSummary::default();
+        let mut rejects = RejectReasons::default();
         // Collect + health-gate. Quarantine verdicts come from the
         // registry (pre-seeded from the store ledger at open), degraded
         // health from the snapshot itself.
         let mut candidates: Vec<(SessionId, MultiInstanceModel)> = Vec::new();
         for (id, status) in engine.session_statuses() {
             if matches!(status, SessionStatus::Quarantined(_)) {
-                summary.rejected += 1;
+                rejects.health += 1;
                 continue;
             }
             let blob = match engine.snapshot(id) {
                 Ok(blob) => blob,
                 // Quarantined between listing and snapshot.
                 Err(FleetError::SessionQuarantined(_)) => {
-                    summary.rejected += 1;
+                    rejects.health += 1;
                     continue;
                 }
                 // Mid-reconstruction sessions refuse to checkpoint; they
@@ -222,16 +281,26 @@ impl Federator {
                 // A snapshot that does not decode is a poisoned
                 // contribution, not a federator failure.
                 Err(_) => {
-                    summary.rejected += 1;
+                    rejects.health += 1;
                     continue;
                 }
             };
             if pipeline.health() != seqdrift_core::PipelineHealth::Healthy {
-                summary.rejected += 1;
+                rejects.health += 1;
                 continue;
             }
-            let model = pipeline.model();
-            if models_equal(model, &self.baseline) {
+            let mut model = pipeline.model().clone();
+            // Poison injection point: an armed injector replaces a victim
+            // session's contribution *after* the health gates — exactly
+            // what an adversarial device that keeps its pipeline healthy
+            // would submit — and before the baseline-equality check, so a
+            // poisoned session always presents as a contributor.
+            if let Some(injector) = &self.poison {
+                if let Some(poisoned) = injector.corrupt(id.0, round_index, &model) {
+                    model = poisoned;
+                }
+            }
+            if models_equal(&model, &self.baseline) {
                 // Still on the baseline: nothing learned, nothing to
                 // contribute, nothing to install later either (it
                 // already holds the model every session will converge
@@ -239,7 +308,7 @@ impl Federator {
                 summary.skipped += 1;
                 continue;
             }
-            candidates.push((id, model.clone()));
+            candidates.push((id, model));
         }
         // Staleness gate: contributors lagging the freshest candidate by
         // more than the bound carry statistics too old to trust.
@@ -247,14 +316,31 @@ impl Federator {
             candidates.retain(|(_, m)| {
                 let keep = freshest - model_age(m) <= self.cfg.staleness_bound;
                 if !keep {
-                    summary.rejected += 1;
+                    rejects.staleness += 1;
                 }
                 keep
             });
         }
+        // Contributors that cleared every overt gate — the candidate
+        // count reported when the round is rejected wholesale.
+        let considered = candidates.len() as u64;
+        // Robust two-pass: score against the geometric-median centre,
+        // re-admit only contributors within the deviation bound, and
+        // settle trust. On outlier-free rounds every candidate survives
+        // and the merge below is bit-identical to the plain path.
+        if self.cfg.robust && !candidates.is_empty() {
+            candidates = self.robust_admit(engine, candidates, &mut rejects);
+        }
         if candidates.len() < self.cfg.min_contributors {
             summary.skipped += candidates.len() as u64;
-            engine.record_federation_round(false, 0, summary.rejected);
+            summary.rejected = rejects.total();
+            summary.reject_reasons = rejects;
+            engine.record_federation_round(false, 0, rejects);
+            if considered > 0 {
+                engine
+                    .record_merge_round_rejected(considered, MergeRejectReason::TooFewContributors);
+            }
+            self.persist_reputation(engine);
             self.last_round_at = engine.metrics().samples_processed;
             return Ok(summary);
         }
@@ -265,8 +351,12 @@ impl Federator {
         let merged = match self.baseline.merge_with(&models) {
             Ok(m) => m,
             Err(ModelError::RejectedUpdate(_)) | Err(ModelError::Linalg(_)) => {
-                summary.rejected += candidates.len() as u64;
-                engine.record_federation_round(false, 0, summary.rejected);
+                rejects.non_pd += candidates.len() as u64;
+                summary.rejected = rejects.total();
+                summary.reject_reasons = rejects;
+                engine.record_federation_round(false, 0, rejects);
+                engine.record_merge_round_rejected(considered, MergeRejectReason::FailedValidation);
+                self.persist_reputation(engine);
                 self.last_round_at = engine.metrics().samples_processed;
                 return Ok(summary);
             }
@@ -304,10 +394,171 @@ impl Federator {
         summary.persisted_generation = engine.persist_federated(&blob);
         self.baseline = merged;
         self.rounds_run += 1;
-        engine.record_federation_round(true, summary.accepted, summary.rejected);
+        summary.rejected = rejects.total();
+        summary.reject_reasons = rejects;
+        engine.record_federation_round(true, summary.accepted, rejects);
+        self.persist_reputation(engine);
         self.last_round_at = engine.metrics().samples_processed;
         Ok(summary)
     }
+
+    /// Two-pass Byzantine-robust admission. Pass one computes the robust
+    /// centre — the iteratively-reweighted geometric median of every
+    /// scoreable contributor's stacked `[U | c]` sufficient statistics,
+    /// anchored by the current baseline. Pass two re-admits only the
+    /// trusted contributors whose deviation score clears the configured
+    /// bound. Verdicts feed the reputation book: outliers decay, clean
+    /// contributors recover, and sessions below the trust floor are
+    /// excluded from the merge but still scored so they can earn their
+    /// way back in.
+    ///
+    /// The centre is used only for scoring — the merge itself always runs
+    /// the unchanged `merge_with` path over the admitted set, so an
+    /// outlier-free round is bit-identical to the non-robust path.
+    fn robust_admit(
+        &mut self,
+        engine: &FleetEngine,
+        candidates: Vec<(SessionId, MultiInstanceModel)>,
+        rejects: &mut RejectReasons,
+    ) -> Vec<(SessionId, MultiInstanceModel)> {
+        // Trust gate: distrusted sessions never reach the merge, but keep
+        // their models around so the round can still score them.
+        let mut trusted: Vec<(SessionId, MultiInstanceModel)> = Vec::new();
+        let mut excluded: Vec<(SessionId, MultiInstanceModel)> = Vec::new();
+        for (id, model) in candidates {
+            if self.reputation.is_trusted(id.0, &self.cfg) {
+                trusted.push((id, model));
+            } else {
+                rejects.low_trust += 1;
+                engine.record_low_trust_exclusion(id, self.reputation.trust(id.0));
+                excluded.push((id, model));
+            }
+        }
+        let Ok(base_stats) = stacked_stats(&self.baseline) else {
+            // The baseline's own statistics failing to invert would mean
+            // a corrupt fleet model; `merge_with`'s validation is the
+            // authority on that — admit everything and let it decide.
+            return trusted;
+        };
+        // Stats matrix per scoreable model: baseline anchor at index 0,
+        // then the trusted candidates, then the excluded ones.
+        let mut stats: Vec<Matrix> = vec![base_stats];
+        let mut keep: Vec<(SessionId, MultiInstanceModel)> = Vec::new();
+        for (id, model) in trusted {
+            match stacked_stats(&model) {
+                Ok(s) => {
+                    stats.push(s);
+                    keep.push((id, model));
+                }
+                // Statistics that do not invert are overtly broken, not
+                // merely suspicious.
+                Err(()) => {
+                    rejects.non_pd += 1;
+                    self.reputation.record_outlier(id.0, &self.cfg);
+                }
+            }
+        }
+        let mut excluded_idx: Vec<(SessionId, Option<usize>)> = Vec::new();
+        for (id, model) in &excluded {
+            match stacked_stats(model) {
+                Ok(s) => {
+                    stats.push(s);
+                    excluded_idx.push((*id, Some(stats.len() - 1)));
+                }
+                Err(()) => excluded_idx.push((*id, None)),
+            }
+        }
+        let refs: Vec<&Matrix> = stats.iter().collect();
+        let scores = match geometric_median(&refs, 128)
+            .and_then(|centre| deviation_scores(&refs, &centre))
+        {
+            Ok(scores) => scores,
+            // Robustness is best-effort: every input here is finite, so a
+            // kernel failure is effectively unreachable — fall back to
+            // the plain admission set rather than stalling the fleet.
+            Err(_) => return keep,
+        };
+        let mut admitted = Vec::with_capacity(keep.len());
+        for (i, (id, model)) in keep.into_iter().enumerate() {
+            // Index 0 is the baseline anchor; candidate i sits at i + 1.
+            if scores[i + 1] <= self.cfg.deviation_bound {
+                self.reputation.record_clean(id.0, &self.cfg);
+                admitted.push((id, model));
+            } else {
+                rejects.deviation += 1;
+                self.reputation.record_outlier(id.0, &self.cfg);
+            }
+        }
+        // Excluded sessions are scored for trust recovery only.
+        for (id, idx) in excluded_idx {
+            match idx {
+                Some(i) if scores[i] <= self.cfg.deviation_bound => {
+                    self.reputation.record_clean(id.0, &self.cfg);
+                }
+                _ => self.reputation.record_outlier(id.0, &self.cfg),
+            }
+        }
+        admitted
+    }
+
+    /// Flushes the reputation book when it changed. A write that was
+    /// buffered (degraded durability) or failed leaves the book dirty, so
+    /// the next round retries; an engine without a durable store keeps
+    /// the book in memory only.
+    fn persist_reputation(&mut self, engine: &FleetEngine) {
+        if !self.reputation.is_dirty() {
+            return;
+        }
+        if engine
+            .persist_reputations(self.reputation.entries())
+            .is_some()
+        {
+            self.reputation.mark_persisted();
+        }
+    }
+}
+
+/// Stacked sufficient statistics `[U | c]` of a model: per label,
+/// `U = P⁻¹` (the regularised Gram matrix) and `c = U·β` (the
+/// normal-equation right-hand side), stacked vertically across labels
+/// into one `(classes·hidden) × (hidden + output)` matrix. One matrix
+/// per contributor lets the robust kernels score a contribution
+/// atomically across all of its class instances — and because
+/// `merge_with` averages exactly these statistics, distance in this
+/// space is distance in what the merge actually consumes.
+fn stacked_stats(model: &MultiInstanceModel) -> Result<Matrix, ()> {
+    let classes = model.classes();
+    if classes == 0 {
+        return Err(());
+    }
+    let (hd, od) = {
+        let net_ref = model.instance(0).map_err(|_| ())?.network();
+        (net_ref.p().shape().0, net_ref.beta().shape().1)
+    };
+    let mut out = Matrix::zeros(classes * hd, hd + od);
+    for label in 0..classes {
+        let instance = model.instance(label).map_err(|_| ())?;
+        let net = instance.network();
+        let u = spd_inverse(net.p()).map_err(|_| ())?;
+        let c = u.matmul(net.beta()).map_err(|_| ())?;
+        if u.shape() != (hd, hd) || c.shape() != (hd, od) {
+            return Err(());
+        }
+        for r in 0..hd {
+            for col in 0..hd {
+                out.set(label * hd + r, col, u.get(r, col));
+            }
+            for col in 0..od {
+                out.set(label * hd + r, hd + col, c.get(r, col));
+            }
+        }
+    }
+    // Non-finite statistics would poison the geometric median for every
+    // honest contributor; reject them here so only their owner pays.
+    if out.as_slice().iter().any(|v| !v.is_finite()) {
+        return Err(());
+    }
+    Ok(out)
 }
 
 /// Bitwise model equality over the trained state: per-instance `β`, `P`

@@ -1,0 +1,154 @@
+//! Per-session contributor reputation, mirroring the quarantine-ledger
+//! pattern at the learning layer.
+//!
+//! Health gating catches contributors that are *overtly* broken
+//! (quarantined, degraded, stale, non-PD). The robust two-pass merge
+//! catches statistically plausible but wrong deltas — but a device that
+//! poisons every round should not get a fresh hearing every round. The
+//! [`ReputationBook`] turns per-round outlier verdicts into persistent
+//! trust: exponential decay on outlier rounds, partial recovery on clean
+//! rounds, and a trust floor below which a session is excluded from
+//! merging entirely. Excluded sessions are still *scored* each round, so
+//! a repaired device earns its way back in — exclusion is reversible,
+//! unlike quarantine.
+//!
+//! The book is durable: it persists through the store's reserved
+//! `reputation/` manifest (atomic, generational, buffered under
+//! `DegradedDurability`) and is restored by `Store::open`'s recovery
+//! scan, so an adversarial device cannot launder its history through a
+//! process restart.
+
+use seqdrift_fleet::{FederationConfig, ReputationEntry};
+use seqdrift_linalg::Real;
+use std::collections::BTreeMap;
+
+/// The federation trust ledger: one [`ReputationEntry`] per session that
+/// has ever contributed to a merge round. Sessions without an entry are
+/// fully trusted (trust 1.0) — reputation is earned downward.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ReputationBook {
+    entries: BTreeMap<u64, ReputationEntry>,
+    /// Whether the book changed since the last persist.
+    dirty: bool,
+}
+
+impl ReputationBook {
+    /// An empty, fully-trusting book.
+    pub fn new() -> Self {
+        ReputationBook::default()
+    }
+
+    /// Restores a book from persisted entries (the durable manifest).
+    pub fn from_entries(entries: BTreeMap<u64, ReputationEntry>) -> Self {
+        ReputationBook {
+            entries,
+            dirty: false,
+        }
+    }
+
+    /// The persistable entries.
+    pub fn entries(&self) -> &BTreeMap<u64, ReputationEntry> {
+        &self.entries
+    }
+
+    /// Current trust of a session (1.0 when never flagged).
+    pub fn trust(&self, session: u64) -> Real {
+        self.entries.get(&session).map(|e| e.trust).unwrap_or(1.0)
+    }
+
+    /// Whether the session's trust clears the configured floor.
+    pub fn is_trusted(&self, session: u64, cfg: &FederationConfig) -> bool {
+        self.trust(session) >= cfg.trust_floor
+    }
+
+    /// Records an outlier round: trust decays multiplicatively.
+    pub fn record_outlier(&mut self, session: u64, cfg: &FederationConfig) {
+        let entry = self.entries.entry(session).or_default();
+        entry.trust = (entry.trust * cfg.trust_decay).clamp(0.0, 1.0);
+        entry.outlier_rounds += 1;
+        self.dirty = true;
+    }
+
+    /// Records a clean round: trust recovers a fraction of the gap to 1.
+    /// Sessions already at full trust stay untouched (and the book stays
+    /// clean), so an honest fleet never churns the durable manifest.
+    pub fn record_clean(&mut self, session: u64, cfg: &FederationConfig) {
+        let Some(entry) = self.entries.get_mut(&session) else {
+            return;
+        };
+        if entry.trust >= 1.0 {
+            entry.clean_rounds += 1;
+            self.dirty = true;
+            return;
+        }
+        entry.trust = (entry.trust + (1.0 - entry.trust) * cfg.trust_recovery).clamp(0.0, 1.0);
+        entry.clean_rounds += 1;
+        self.dirty = true;
+    }
+
+    /// Whether the book changed since the last [`ReputationBook::mark_persisted`].
+    pub fn is_dirty(&self) -> bool {
+        self.dirty
+    }
+
+    /// Marks the current state as persisted.
+    pub fn mark_persisted(&mut self) {
+        self.dirty = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> FederationConfig {
+        FederationConfig::default()
+            .with_trust_decay(0.5)
+            .with_trust_recovery(0.25)
+            .with_trust_floor(0.3)
+    }
+
+    #[test]
+    fn trust_decays_below_floor_and_recovers_above() {
+        let cfg = cfg();
+        let mut book = ReputationBook::new();
+        assert!(book.is_trusted(7, &cfg));
+        book.record_outlier(7, &cfg);
+        assert_eq!(book.trust(7), 0.5);
+        assert!(book.is_trusted(7, &cfg));
+        book.record_outlier(7, &cfg);
+        assert_eq!(book.trust(7), 0.25);
+        assert!(!book.is_trusted(7, &cfg), "below the 0.3 floor");
+        // Clean rounds close a quarter of the gap to 1 each time.
+        book.record_clean(7, &cfg);
+        assert!((book.trust(7) - 0.4375).abs() < 1e-6);
+        assert!(book.is_trusted(7, &cfg), "recovered past the floor");
+        let entry = book.entries()[&7];
+        assert_eq!(entry.outlier_rounds, 2);
+        assert_eq!(entry.clean_rounds, 1);
+    }
+
+    #[test]
+    fn clean_rounds_for_unflagged_sessions_do_not_dirty_the_book() {
+        let cfg = cfg();
+        let mut book = ReputationBook::new();
+        book.record_clean(3, &cfg);
+        assert!(!book.is_dirty());
+        assert!(book.entries().is_empty());
+        book.record_outlier(3, &cfg);
+        assert!(book.is_dirty());
+        book.mark_persisted();
+        assert!(!book.is_dirty());
+    }
+
+    #[test]
+    fn roundtrips_through_entries() {
+        let cfg = cfg();
+        let mut book = ReputationBook::new();
+        book.record_outlier(1, &cfg);
+        book.record_clean(1, &cfg);
+        let restored = ReputationBook::from_entries(book.entries().clone());
+        assert_eq!(restored.trust(1), book.trust(1));
+        assert!(!restored.is_dirty());
+    }
+}

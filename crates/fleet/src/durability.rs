@@ -27,8 +27,8 @@
 use crate::metrics::FleetMetrics;
 use crate::supervisor::{mutex_lock, FleetEvent};
 use seqdrift_linalg::Rng;
-use seqdrift_store::{LedgerEntry, Store};
-use std::collections::HashMap;
+use seqdrift_store::{LedgerEntry, ReputationEntry, Store};
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::Duration;
@@ -42,6 +42,8 @@ pub enum DegradedReason {
     LedgerWrite,
     /// A federated merged-model write failed.
     FederatedWrite,
+    /// A federation reputation-book write failed.
+    ReputationWrite,
 }
 
 impl std::fmt::Display for DegradedReason {
@@ -50,6 +52,7 @@ impl std::fmt::Display for DegradedReason {
             DegradedReason::CheckpointFlush => write!(f, "checkpoint flush failed"),
             DegradedReason::LedgerWrite => write!(f, "quarantine-ledger write failed"),
             DegradedReason::FederatedWrite => write!(f, "federated-model write failed"),
+            DegradedReason::ReputationWrite => write!(f, "reputation-book write failed"),
         }
     }
 }
@@ -96,6 +99,9 @@ struct MonitorState {
     pending_ledger: Vec<LedgerOp>,
     /// Newest pending federated merged model.
     pending_federated: Option<(u64, Vec<u8>)>,
+    /// Newest pending federation reputation book (full-book snapshot;
+    /// newer supersedes like the federated model).
+    pending_reputation: Option<(u64, BTreeMap<u64, ReputationEntry>)>,
     seq: u64,
     /// Work flushed during the current degraded episode, reported in the
     /// `DurabilityRestored` event.
@@ -238,6 +244,35 @@ impl DurabilityMonitor {
         self.degrade_locked(&mut st, DegradedReason::FederatedWrite);
     }
 
+    /// Engine path, before a reputation-book write: while degraded,
+    /// buffers the full book (newest supersedes) and returns `true`.
+    pub fn buffer_reputation_if_degraded(&self, book: &BTreeMap<u64, ReputationEntry>) -> bool {
+        let mut st = self.lock();
+        if st.degraded.is_none() {
+            return false;
+        }
+        st.seq += 1;
+        let seq = st.seq;
+        st.pending_reputation = Some((seq, book.clone()));
+        self.metrics
+            .durable_flushes_buffered
+            .fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Engine path, after a reputation-book write failed: buffer and
+    /// degrade.
+    pub fn reputation_failed(&self, book: BTreeMap<u64, ReputationEntry>) {
+        let mut st = self.lock();
+        st.seq += 1;
+        let seq = st.seq;
+        st.pending_reputation = Some((seq, book));
+        self.metrics
+            .durable_flushes_buffered
+            .fetch_add(1, Ordering::Relaxed);
+        self.degrade_locked(&mut st, DegradedReason::ReputationWrite);
+    }
+
     /// One drain attempt: re-flush every buffered checkpoint, replay
     /// ledger ops in order, and re-write the federated model. Retires
     /// only what it actually flushed (by sequence, so a blob buffered
@@ -245,7 +280,7 @@ impl DurabilityMonitor {
     /// transitions back to `Durable` and emits `DurabilityRestored`.
     /// Returns whether the fleet is durable again.
     pub fn try_drain(&self, store: &Store) -> bool {
-        let (checkpoints, ledger_ops, federated) = {
+        let (checkpoints, ledger_ops, federated, reputation) = {
             let st = self.lock();
             if st.degraded.is_none() {
                 return true;
@@ -259,6 +294,7 @@ impl DurabilityMonitor {
                 ckpts,
                 st.pending_ledger.clone(),
                 st.pending_federated.clone(),
+                st.pending_reputation.clone(),
             )
         };
         let mut clean = true;
@@ -320,11 +356,29 @@ impl DurabilityMonitor {
                 clean = false;
             }
         }
+        if let Some((seq, book)) = reputation {
+            self.metrics
+                .durable_flush_retries
+                .fetch_add(1, Ordering::Relaxed);
+            if store.put_reputations(&book).is_ok() {
+                let mut st = self.lock();
+                if st
+                    .pending_reputation
+                    .as_ref()
+                    .is_some_and(|(s, _)| *s == seq)
+                {
+                    st.pending_reputation = None;
+                }
+            } else {
+                clean = false;
+            }
+        }
         let mut st = self.lock();
         if clean
             && st.pending.is_empty()
             && st.pending_ledger.is_empty()
             && st.pending_federated.is_none()
+            && st.pending_reputation.is_none()
             && st.degraded.is_some()
         {
             st.degraded = None;
@@ -492,6 +546,38 @@ mod tests {
                 drained_ledger_writes: 1
             }
         )));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn reputation_buffers_while_degraded_and_drains() {
+        let dir = std::env::temp_dir().join(format!("seqdrift-durmon-rep-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = Store::open(&dir).unwrap();
+        let m = monitor();
+        // Durable: nothing buffers.
+        let mut book = BTreeMap::new();
+        book.insert(1, ReputationEntry::default());
+        assert!(!m.buffer_reputation_if_degraded(&book));
+        // A failed write degrades with the reputation reason.
+        m.reputation_failed(book.clone());
+        assert_eq!(
+            m.health(),
+            DurabilityHealth::DegradedDurability(DegradedReason::ReputationWrite)
+        );
+        // A newer book supersedes the buffered one.
+        book.insert(
+            2,
+            ReputationEntry {
+                trust: 0.5,
+                outlier_rounds: 1,
+                clean_rounds: 0,
+            },
+        );
+        assert!(m.buffer_reputation_if_degraded(&book));
+        assert!(m.try_drain(&store));
+        assert_eq!(m.health(), DurabilityHealth::Durable);
+        assert_eq!(store.reputations(), book);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -15,17 +15,17 @@
 
 use crate::durability::{retry_loop, DurabilityHealth, DurabilityMonitor, LedgerOp};
 use crate::fault::FaultInjector;
-use crate::metrics::{FleetMetrics, MetricsSnapshot, QueueDepth};
+use crate::metrics::{FleetMetrics, MetricsSnapshot, QueueDepth, RejectReasons};
 use crate::supervisor::{
     decide_recovery, mutex_lock, quarantine, read_lock, worker_loop, write_lock, CheckpointStore,
-    FleetEvent, LostSession, QuarantineReason, Recovery, SessionSlot, SessionStatus,
-    SupervisionPolicy, WorkerCtx,
+    FleetEvent, LostSession, MergeRejectReason, QuarantineReason, Recovery, SessionSlot,
+    SessionStatus, SupervisionPolicy, WorkerCtx,
 };
 use seqdrift_core::{CoreError, DriftPipeline};
 use seqdrift_linalg::Real;
 use seqdrift_oselm::MultiInstanceModel;
-use seqdrift_store::{RecoveryReport, Store, StoreConfig, StoreError, Vfs};
-use std::collections::HashMap;
+use seqdrift_store::{RecoveryReport, ReputationEntry, Store, StoreConfig, StoreError, Vfs};
+use std::collections::{BTreeMap, HashMap};
 use std::path::PathBuf;
 use std::sync::atomic::Ordering;
 use std::sync::mpsc::{channel, sync_channel, Sender, SyncSender, TrySendError};
@@ -130,7 +130,7 @@ pub enum FeedReply {
 /// (i.e. sessions that reconstructed after a drift), merges them in
 /// closed form, and redistributes the merged model so lagging sessions
 /// adapt before their own detector has to fire.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FederationConfig {
     /// Fleet-wide processed-sample interval between automatic merge
     /// rounds (pollers call `Federator::maybe_round`; an explicit
@@ -143,6 +143,25 @@ pub struct FederationConfig {
     /// contributor) a contribution may have; anything staler is rejected
     /// for the round.
     pub staleness_bound: u64,
+    /// Byzantine-robust two-pass merging: score each contributor's
+    /// (U, c) statistics against the geometric-median robust centre and
+    /// re-admit only those within [`FederationConfig::deviation_bound`].
+    /// On outlier-free rounds the admitted set is everyone and the merge
+    /// is bit-identical to the plain path, so this defaults to on.
+    pub robust: bool,
+    /// Deviation-score bound (normalized Frobenius distance from the
+    /// robust centre; honest contributors cluster near 1) above which a
+    /// contribution is rejected as an outlier.
+    pub deviation_bound: Real,
+    /// Multiplicative trust decay applied to a session's reputation on
+    /// each round it scores as an outlier.
+    pub trust_decay: Real,
+    /// Fraction of the gap to full trust recovered on each clean round:
+    /// `trust += (1 - trust) * trust_recovery`.
+    pub trust_recovery: Real,
+    /// Reputation floor: sessions whose trust sits below this are
+    /// excluded from merging (still scored, so they can recover).
+    pub trust_floor: Real,
 }
 
 impl Default for FederationConfig {
@@ -151,6 +170,11 @@ impl Default for FederationConfig {
             interval: 2048,
             min_contributors: 1,
             staleness_bound: 100_000,
+            robust: true,
+            deviation_bound: 8.0,
+            trust_decay: 0.5,
+            trust_recovery: 0.25,
+            trust_floor: 0.3,
         }
     }
 }
@@ -174,6 +198,36 @@ impl FederationConfig {
         self
     }
 
+    /// Enables or disables Byzantine-robust two-pass merging.
+    pub fn with_robust(mut self, robust: bool) -> Self {
+        self.robust = robust;
+        self
+    }
+
+    /// Overrides the robust deviation-score bound.
+    pub fn with_deviation_bound(mut self, bound: Real) -> Self {
+        self.deviation_bound = bound;
+        self
+    }
+
+    /// Overrides the outlier-round trust decay factor.
+    pub fn with_trust_decay(mut self, decay: Real) -> Self {
+        self.trust_decay = decay;
+        self
+    }
+
+    /// Overrides the clean-round trust recovery rate.
+    pub fn with_trust_recovery(mut self, recovery: Real) -> Self {
+        self.trust_recovery = recovery;
+        self
+    }
+
+    /// Overrides the reputation trust floor.
+    pub fn with_trust_floor(mut self, floor: Real) -> Self {
+        self.trust_floor = floor;
+        self
+    }
+
     pub(crate) fn validate(&self) -> Result<(), FleetError> {
         if self.interval == 0 {
             return Err(FleetError::InvalidConfig(
@@ -188,6 +242,26 @@ impl FederationConfig {
         if self.staleness_bound == 0 {
             return Err(FleetError::InvalidConfig(
                 "federation staleness_bound must be positive",
+            ));
+        }
+        if !(self.deviation_bound.is_finite() && self.deviation_bound > 1.0) {
+            return Err(FleetError::InvalidConfig(
+                "federation deviation_bound must be finite and above 1",
+            ));
+        }
+        if !(self.trust_decay > 0.0 && self.trust_decay < 1.0) {
+            return Err(FleetError::InvalidConfig(
+                "federation trust_decay must be in (0, 1)",
+            ));
+        }
+        if !(self.trust_recovery > 0.0 && self.trust_recovery <= 1.0) {
+            return Err(FleetError::InvalidConfig(
+                "federation trust_recovery must be in (0, 1]",
+            ));
+        }
+        if !(self.trust_floor >= 0.0 && self.trust_floor < 1.0) {
+            return Err(FleetError::InvalidConfig(
+                "federation trust_floor must be in [0, 1)",
             ));
         }
         Ok(())
@@ -996,18 +1070,53 @@ impl FleetEngine {
     }
 
     /// Tallies one federation round into the fleet metrics:
-    /// `accepted`/`rejected` contribution counts always, `merge_rounds`
-    /// only when the round actually produced a merged model.
-    pub fn record_federation_round(&self, merged: bool, accepted: u64, rejected: u64) {
+    /// `accepted` and the per-reason reject breakdown always,
+    /// `merge_rounds` only when the round actually produced a merged
+    /// model.
+    pub fn record_federation_round(&self, merged: bool, accepted: u64, rejects: RejectReasons) {
         self.metrics
             .contributions_accepted
             .fetch_add(accepted, Ordering::Relaxed);
         self.metrics
             .contributions_rejected
-            .fetch_add(rejected, Ordering::Relaxed);
+            .fetch_add(rejects.total(), Ordering::Relaxed);
+        self.metrics
+            .rejected_health
+            .fetch_add(rejects.health, Ordering::Relaxed);
+        self.metrics
+            .rejected_staleness
+            .fetch_add(rejects.staleness, Ordering::Relaxed);
+        self.metrics
+            .rejected_non_pd
+            .fetch_add(rejects.non_pd, Ordering::Relaxed);
+        self.metrics
+            .rejected_deviation
+            .fetch_add(rejects.deviation, Ordering::Relaxed);
+        self.metrics
+            .rejected_low_trust
+            .fetch_add(rejects.low_trust, Ordering::Relaxed);
         if merged {
             self.metrics.merge_rounds.fetch_add(1, Ordering::Relaxed);
         }
+    }
+
+    /// Records a merge round rejected wholesale: bumps the metric and
+    /// emits [`FleetEvent::MergeRoundRejected`] so operators see the
+    /// round fail instead of it dissolving silently into the next
+    /// interval.
+    pub fn record_merge_round_rejected(&self, candidates: u64, reason: MergeRejectReason) {
+        self.metrics
+            .merge_rounds_rejected
+            .fetch_add(1, Ordering::Relaxed);
+        mutex_lock(&self.events).push(FleetEvent::MergeRoundRejected { candidates, reason });
+    }
+
+    /// Records a session excluded from merging for low reputation,
+    /// emitting [`FleetEvent::SessionExcludedLowTrust`]. (The
+    /// contribution itself is tallied under `rejected_low_trust` by
+    /// [`FleetEngine::record_federation_round`].)
+    pub fn record_low_trust_exclusion(&self, id: SessionId, trust: Real) {
+        mutex_lock(&self.events).push(FleetEvent::SessionExcludedLowTrust { id, trust });
     }
 
     /// Persists a merged-model pipeline blob as a durable federated
@@ -1049,6 +1158,45 @@ impl FleetEngine {
             return Ok(None);
         };
         Ok(durable.load_federated()?.map(|(_, blob)| blob))
+    }
+
+    /// Persists the full federation reputation book through the reserved
+    /// store manifest (atomic, generational — the quarantine-ledger
+    /// path). Returns the generation written, or `None` when the engine
+    /// runs memory-only or the book was buffered under degraded
+    /// durability (the retry loop writes the newest buffered book once
+    /// the disk heals).
+    pub fn persist_reputations(&self, book: &BTreeMap<u64, ReputationEntry>) -> Option<u64> {
+        let durable = self.durable.as_ref()?;
+        if self
+            .durability
+            .as_ref()
+            .is_some_and(|m| m.buffer_reputation_if_degraded(book))
+        {
+            return None;
+        }
+        match durable.put_reputations(book) {
+            Ok(generation) => Some(generation),
+            Err(_) => {
+                self.metrics
+                    .durable_flush_failures
+                    .fetch_add(1, Ordering::Relaxed);
+                if let Some(monitor) = &self.durability {
+                    monitor.reputation_failed(book.clone());
+                }
+                None
+            }
+        }
+    }
+
+    /// The durable federation reputation book restored by the store's
+    /// recovery scan (empty for memory-only engines or before the first
+    /// persisted round).
+    pub fn load_reputations(&self) -> BTreeMap<u64, ReputationEntry> {
+        self.durable
+            .as_ref()
+            .map(|d| d.reputations())
+            .unwrap_or_default()
     }
 
     /// Removes a session and returns its live pipeline (with any samples

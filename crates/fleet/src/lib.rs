@@ -97,11 +97,14 @@ pub use engine::{
     FederationConfig, FeedReply, FleetConfig, FleetEngine, FleetError, SessionId, ShutdownReport,
 };
 pub use fault::{Fault, FaultInjector};
-pub use metrics::MetricsSnapshot;
-pub use supervisor::{FleetEvent, LostSession, QuarantineReason, SessionStatus};
+pub use metrics::{MetricsSnapshot, RejectReasons};
+pub use supervisor::{FleetEvent, LostSession, MergeRejectReason, QuarantineReason, SessionStatus};
 // Carried in `FleetError::Store`; re-exported so callers can match on it
 // without naming the store crate.
 pub use seqdrift_store::StoreError;
 // Surfaced by `FleetEngine::recovery_report`; re-exported so callers can
 // print it without naming the store crate.
 pub use seqdrift_store::RecoveryReport;
+// Persisted by `FleetEngine::persist_reputations`; re-exported so the
+// federation layer can keep its book without naming the store crate.
+pub use seqdrift_store::ReputationEntry;

@@ -65,11 +65,54 @@ pub(crate) struct FleetMetrics {
     /// Per-session contributions accepted into a federated merge.
     pub contributions_accepted: AtomicU64,
     /// Contributions rejected by health gating (quarantined or degraded
-    /// contributor, or stale beyond the staleness bound).
+    /// contributor, or stale beyond the staleness bound). Total across
+    /// every reason; the per-reason split follows.
     pub contributions_rejected: AtomicU64,
+    /// Contributions rejected because the contributor's pipeline was
+    /// quarantined, degraded, or its snapshot undecodable.
+    pub rejected_health: AtomicU64,
+    /// Contributions rejected for staleness beyond the staleness bound.
+    pub rejected_staleness: AtomicU64,
+    /// Contributions whose statistics were non-finite / non-positive-
+    /// definite (the merge validation path).
+    pub rejected_non_pd: AtomicU64,
+    /// Contributions scored outside the robust deviation bound by the
+    /// two-pass merge (statistically plausible but wrong — the poisoning
+    /// signature).
+    pub rejected_deviation: AtomicU64,
+    /// Contributions excluded because the session's reputation sat below
+    /// the trust floor at round time.
+    pub rejected_low_trust: AtomicU64,
+    /// Merge rounds rejected wholesale (too few contributors survived
+    /// gating, or merge validation failed); the baseline stayed put.
+    pub merge_rounds_rejected: AtomicU64,
     /// Merged-model installs delivered to sessions through the shard
     /// FIFOs.
     pub redistributions: AtomicU64,
+}
+
+/// Per-reason breakdown of federation contribution rejections, bumped
+/// alongside the `contributions_rejected` total so operators can tell
+/// poisoning (deviation/low-trust) from flakiness (health/staleness).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct RejectReasons {
+    /// Quarantined/degraded contributor or undecodable snapshot.
+    pub health: u64,
+    /// Stale beyond the staleness bound.
+    pub staleness: u64,
+    /// Non-finite or non-positive-definite statistics.
+    pub non_pd: u64,
+    /// Outside the robust deviation bound.
+    pub deviation: u64,
+    /// Below the reputation trust floor.
+    pub low_trust: u64,
+}
+
+impl RejectReasons {
+    /// Sum across every reason.
+    pub fn total(&self) -> u64 {
+        self.health + self.staleness + self.non_pd + self.deviation + self.low_trust
+    }
 }
 
 /// Per-shard ingress-queue depth, incremented on enqueue and decremented
@@ -147,8 +190,20 @@ pub struct MetricsSnapshot {
     pub merge_rounds: u64,
     /// Contributions accepted into federated merges.
     pub contributions_accepted: u64,
-    /// Contributions rejected by federation health gating.
+    /// Contributions rejected by federation gating (all reasons).
     pub contributions_rejected: u64,
+    /// Rejections: quarantined/degraded contributor or bad snapshot.
+    pub rejected_health: u64,
+    /// Rejections: stale beyond the staleness bound.
+    pub rejected_staleness: u64,
+    /// Rejections: non-finite / non-positive-definite statistics.
+    pub rejected_non_pd: u64,
+    /// Rejections: outside the robust deviation bound.
+    pub rejected_deviation: u64,
+    /// Rejections: below the reputation trust floor.
+    pub rejected_low_trust: u64,
+    /// Merge rounds rejected wholesale (baseline left untouched).
+    pub merge_rounds_rejected: u64,
     /// Merged-model installs delivered to sessions.
     pub redistributions: u64,
     /// Ingress-queue depth per shard at snapshot time.
@@ -182,6 +237,12 @@ impl FleetMetrics {
             merge_rounds: self.merge_rounds.load(Ordering::Relaxed),
             contributions_accepted: self.contributions_accepted.load(Ordering::Relaxed),
             contributions_rejected: self.contributions_rejected.load(Ordering::Relaxed),
+            rejected_health: self.rejected_health.load(Ordering::Relaxed),
+            rejected_staleness: self.rejected_staleness.load(Ordering::Relaxed),
+            rejected_non_pd: self.rejected_non_pd.load(Ordering::Relaxed),
+            rejected_deviation: self.rejected_deviation.load(Ordering::Relaxed),
+            rejected_low_trust: self.rejected_low_trust.load(Ordering::Relaxed),
+            merge_rounds_rejected: self.merge_rounds_rejected.load(Ordering::Relaxed),
             redistributions: self.redistributions.load(Ordering::Relaxed),
             queue_depths,
         }

@@ -150,6 +150,45 @@ pub enum FleetEvent {
         /// Buffered quarantine-ledger writes drained during the episode.
         drained_ledger_writes: u32,
     },
+    /// A federation merge round was rejected wholesale: candidates were
+    /// gathered but no merged model was produced, and the baseline was
+    /// left untouched. Without this event a poisoned or flaky fleet fails
+    /// silently into the next interval.
+    MergeRoundRejected {
+        /// Contributor snapshots considered this round.
+        candidates: u64,
+        /// Why the round produced nothing.
+        reason: MergeRejectReason,
+    },
+    /// A session's federation reputation fell below the trust floor; its
+    /// contributions are excluded from merges until trust recovers. The
+    /// learning-layer sibling of `SessionQuarantined`.
+    SessionExcludedLowTrust {
+        /// The distrusted session.
+        id: SessionId,
+        /// Its trust score at round time.
+        trust: seqdrift_linalg::Real,
+    },
+}
+
+/// Why a federation merge round was rejected wholesale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MergeRejectReason {
+    /// Fewer contributors than `FederationConfig::min_contributors`
+    /// survived gating.
+    TooFewContributors,
+    /// The merge computed but failed transactional validation
+    /// (non-finite or non-positive-definite combined statistics).
+    FailedValidation,
+}
+
+impl std::fmt::Display for MergeRejectReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MergeRejectReason::TooFewContributors => write!(f, "too few contributors"),
+            MergeRejectReason::FailedValidation => write!(f, "merge failed validation"),
+        }
+    }
 }
 
 /// A session lost with its worker at shutdown (the worker died and its

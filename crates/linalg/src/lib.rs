@@ -32,6 +32,7 @@ pub mod cholesky;
 pub mod fixed;
 pub mod matrix;
 pub mod rng;
+pub mod robust;
 pub mod sherman;
 pub mod solve;
 pub mod stats;

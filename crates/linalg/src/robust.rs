@@ -1,0 +1,476 @@
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+//! Byzantine-robust aggregation kernels for federated merging.
+//!
+//! [`crate::cholesky::spd_mean`] is the right fusion kernel when every
+//! contributor is honest: it is exact for pooled normal equations. But a
+//! mean has breakdown point zero — one adversarial (or merely broken)
+//! contributor moves it arbitrarily far. The kernels here trade a little
+//! arithmetic for a breakdown point of ⌊(K−1)/2⌋: as long as a strict
+//! majority of the K inputs is honest, the aggregate stays within a
+//! bounded distance of the honest centre no matter what the minority
+//! submits.
+//!
+//! * [`trimmed_mean`] — coordinate-wise trimmed mean: per entry, the
+//!   `trim` smallest and `trim` largest values are dropped and the rest
+//!   averaged. With `trim == 0` the arithmetic (accumulation order and
+//!   scaling included) is exactly [`crate::cholesky::spd_mean`]'s, so an
+//!   outlier-free robust merge is bit-identical to the plain merge.
+//! * [`geometric_median`] — the iteratively-reweighted (Weiszfeld)
+//!   geometric median under the Frobenius metric: the point minimising
+//!   the sum of distances to the inputs. This is the robust *centre*
+//!   used to score contributors.
+//! * [`deviation_scores`] — per-input normalized distance from a centre
+//!   (Frobenius distance over the median distance), the outlier test a
+//!   two-pass robust merge gates re-admission on.
+//!
+//! SPD-validated variants ([`spd_trimmed_mean`], [`spd_geometric_median`])
+//! factor the aggregate through Cholesky before returning, mirroring
+//! `spd_mean`'s transactional contract.
+
+use crate::cholesky::Cholesky;
+use crate::{LinalgError, Matrix, Real, Result};
+
+/// Checks that every input matrix matches the first one's shape and is
+/// entirely finite. Returns the common shape.
+fn check_inputs(mats: &[&Matrix], op: &'static str) -> Result<(usize, usize)> {
+    let Some(first) = mats.first() else {
+        return Err(LinalgError::InvalidArgument("robust: empty input"));
+    };
+    let shape = first.shape();
+    for m in mats {
+        if m.shape() != shape {
+            return Err(LinalgError::ShapeMismatch {
+                op,
+                lhs: shape,
+                rhs: m.shape(),
+            });
+        }
+        if !m.as_slice().iter().all(|v| v.is_finite()) {
+            return Err(LinalgError::NonFiniteResult);
+        }
+    }
+    Ok(shape)
+}
+
+/// Coordinate-wise trimmed mean: per entry, the `trim` smallest and
+/// `trim` largest of the K values are dropped and the survivors
+/// averaged. Requires `2 * trim < mats.len()` so at least one value
+/// survives per coordinate.
+///
+/// Surviving values accumulate in input order with the same
+/// multiply-by-scale arithmetic as [`crate::cholesky::spd_mean`], so
+/// `trimmed_mean(mats, 0)` is bit-identical to the element-wise mean —
+/// robust merging costs nothing on honest rounds.
+pub fn trimmed_mean(mats: &[&Matrix], trim: usize) -> Result<Matrix> {
+    let (rows, cols) = check_inputs(mats, "trimmed_mean")?;
+    let k = mats.len();
+    if 2 * trim >= k {
+        return Err(LinalgError::InvalidArgument(
+            "trimmed_mean: trim must satisfy 2*trim < inputs",
+        ));
+    }
+    let keep = k - 2 * trim;
+    let scale = 1.0 / keep as Real;
+    let mut out = Matrix::zeros(rows, cols);
+    let mut vals: Vec<Real> = vec![0.0; k];
+    let mut order: Vec<usize> = vec![0; k];
+    let mut dropped: Vec<bool> = vec![false; k];
+    for r in 0..rows {
+        for c in 0..cols {
+            for (i, m) in mats.iter().enumerate() {
+                vals[i] = m.get(r, c);
+                order[i] = i;
+                dropped[i] = false;
+            }
+            if trim > 0 {
+                // Finiteness was validated up front, so the comparator
+                // never sees NaN; ties keep input order (stable sort) so
+                // equal values drop deterministically.
+                order.sort_by(|&a, &b| {
+                    vals[a]
+                        .partial_cmp(&vals[b])
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                });
+                for &i in order.iter().take(trim) {
+                    dropped[i] = true;
+                }
+                for &i in order.iter().rev().take(trim) {
+                    dropped[i] = true;
+                }
+            }
+            let mut acc = 0.0;
+            for i in 0..k {
+                if !dropped[i] {
+                    acc += vals[i] * scale;
+                }
+            }
+            out.set(r, c, acc);
+        }
+    }
+    Ok(out)
+}
+
+/// [`trimmed_mean`] with the aggregate validated positive-definite by a
+/// Cholesky factorisation, mirroring [`crate::cholesky::spd_mean`]'s
+/// contract. Non-finite inputs surface as
+/// [`LinalgError::NotPositiveDefinite`], exactly like `spd_mean`.
+pub fn spd_trimmed_mean(mats: &[&Matrix], trim: usize) -> Result<Matrix> {
+    if let Some(first) = mats.first() {
+        if !first.is_square() {
+            return Err(LinalgError::InvalidArgument(
+                "spd_trimmed_mean: matrix not square",
+            ));
+        }
+    }
+    let mean = trimmed_mean(mats, trim).map_err(|e| match e {
+        LinalgError::NonFiniteResult => LinalgError::NotPositiveDefinite,
+        other => other,
+    })?;
+    Cholesky::factor(&mean)?;
+    Ok(mean)
+}
+
+/// Frobenius distance `‖a − b‖_F` between two equal-shaped matrices.
+pub fn frobenius_distance(a: &Matrix, b: &Matrix) -> Result<Real> {
+    if a.shape() != b.shape() {
+        return Err(LinalgError::ShapeMismatch {
+            op: "frobenius_distance",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    let mut acc = 0.0;
+    for (&x, &y) in a.as_slice().iter().zip(b.as_slice()) {
+        let d = x - y;
+        acc += d * d;
+    }
+    Ok(acc.sqrt())
+}
+
+/// Iteratively-reweighted geometric median (Weiszfeld iteration) of the
+/// inputs under the Frobenius metric: the matrix minimising
+/// `Σᵢ ‖Xᵢ − Y‖_F`. Starts at the coordinate-wise mean and reweights by
+/// inverse distance until the update falls below a relative tolerance or
+/// `max_iters` passes. When the iterate lands on an input point the
+/// point itself is returned (the Weiszfeld weights would divide by
+/// zero there).
+///
+/// The geometric median has breakdown point ⌊(K−1)/2⌋: any strict
+/// minority of adversarial inputs, placed anywhere, moves it only by a
+/// bounded multiple of the honest inputs' spread.
+pub fn geometric_median(mats: &[&Matrix], max_iters: usize) -> Result<Matrix> {
+    let (rows, cols) = check_inputs(mats, "geometric_median")?;
+    let k = mats.len();
+    // Coordinate-wise mean as the starting iterate.
+    let mut y = Matrix::zeros(rows, cols);
+    let scale = 1.0 / k as Real;
+    for m in mats {
+        for (acc, &v) in y.as_mut_slice().iter_mut().zip(m.as_slice()) {
+            *acc += v * scale;
+        }
+    }
+    if k == 1 {
+        return Ok(y);
+    }
+    // Singularity guard and convergence tolerance, both relative to the
+    // data scale so the kernel behaves identically across magnitudes.
+    let data_scale = mats
+        .iter()
+        .map(|m| m.as_slice().iter().map(|v| v * v).sum::<Real>().sqrt())
+        .fold(0.0 as Real, Real::max)
+        .max(1.0);
+    let eps = data_scale * 1e-7;
+    let tol = data_scale * 1e-6;
+    let mut next = Matrix::zeros(rows, cols);
+    for _ in 0..max_iters {
+        let mut weight_sum = 0.0;
+        next.fill_zero();
+        let mut coincident: Option<usize> = None;
+        for (i, m) in mats.iter().enumerate() {
+            let d = frobenius_distance(m, &y)?;
+            if d <= eps {
+                coincident = Some(i);
+                break;
+            }
+            let w = 1.0 / d;
+            weight_sum += w;
+            for (acc, &v) in next.as_mut_slice().iter_mut().zip(m.as_slice()) {
+                *acc += v * w;
+            }
+        }
+        if let Some(i) = coincident {
+            // The iterate reached a data point; with a strict-majority
+            // honest cluster this is (at worst) within the cluster.
+            return Ok(mats[i].clone());
+        }
+        if !weight_sum.is_finite() || weight_sum <= 0.0 {
+            return Err(LinalgError::NonFiniteResult);
+        }
+        let inv = 1.0 / weight_sum;
+        for v in next.as_mut_slice() {
+            *v *= inv;
+        }
+        let moved = frobenius_distance(&next, &y)?;
+        std::mem::swap(&mut y, &mut next);
+        if moved <= tol {
+            break;
+        }
+    }
+    if !y.as_slice().iter().all(|v| v.is_finite()) {
+        return Err(LinalgError::NonFiniteResult);
+    }
+    Ok(y)
+}
+
+/// [`geometric_median`] validated positive-definite by a Cholesky
+/// factorisation of the result — the SPD companion of
+/// [`crate::cholesky::spd_mean`] for adversarial rounds.
+pub fn spd_geometric_median(mats: &[&Matrix], max_iters: usize) -> Result<Matrix> {
+    if let Some(first) = mats.first() {
+        if !first.is_square() {
+            return Err(LinalgError::InvalidArgument(
+                "spd_geometric_median: matrix not square",
+            ));
+        }
+    }
+    let median = geometric_median(mats, max_iters).map_err(|e| match e {
+        LinalgError::NonFiniteResult => LinalgError::NotPositiveDefinite,
+        other => other,
+    })?;
+    Cholesky::factor(&median)?;
+    Ok(median)
+}
+
+/// Per-input deviation scores against a (robust) centre: the Frobenius
+/// distance of each input from `center`, normalized by the median of
+/// those distances. Honest inputs cluster near score ≈ 1; an outlier's
+/// score grows with how far it sits outside the honest spread. When the
+/// distances collapse to ~0 (all inputs at the centre) every score is 0.
+///
+/// The normalizer is floored at a small multiple of the centre's own
+/// magnitude so a fleet of near-identical honest contributors cannot
+/// amplify femtoscale jitter into spurious outlier verdicts.
+pub fn deviation_scores(mats: &[&Matrix], center: &Matrix) -> Result<Vec<Real>> {
+    check_inputs(mats, "deviation_scores")?;
+    if !center.as_slice().iter().all(|v| v.is_finite()) {
+        return Err(LinalgError::NonFiniteResult);
+    }
+    let mut dists = Vec::with_capacity(mats.len());
+    for m in mats {
+        dists.push(frobenius_distance(m, center)?);
+    }
+    let mut sorted = dists.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let median = sorted[sorted.len() / 2];
+    let center_norm = center.as_slice().iter().map(|v| v * v).sum::<Real>().sqrt();
+    let floor = (center_norm * 1e-4).max(Real::MIN_POSITIVE);
+    let scale = median.max(floor);
+    Ok(dists.into_iter().map(|d| d / scale).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cholesky::spd_mean;
+    use crate::Rng;
+
+    /// A random SPD matrix `BᵀB + I` jittered around a seed-dependent base.
+    fn random_spd(rng: &mut Rng, n: usize, spread: Real) -> Matrix {
+        let mut b = Matrix::zeros(n, n);
+        for r in 0..n {
+            for c in 0..n {
+                b.set(r, c, rng.normal(0.0, spread));
+            }
+        }
+        let bt = b.transpose();
+        let mut m = bt.matmul(&b).unwrap();
+        for i in 0..n {
+            m.set(i, i, m.get(i, i) + 1.0);
+        }
+        m
+    }
+
+    #[test]
+    fn trimmed_mean_with_zero_trim_is_bitwise_spd_mean() {
+        // Property loop: across seeds, dims and input counts, the
+        // outlier-free robust kernel reproduces spd_mean exactly —
+        // accumulation order, scaling and all.
+        for seed in 0..40u64 {
+            let mut rng = Rng::seed_from(seed);
+            let n = 2 + (seed as usize % 5);
+            let k = 2 + (seed as usize % 6);
+            let mats: Vec<Matrix> = (0..k).map(|_| random_spd(&mut rng, n, 0.3)).collect();
+            let refs: Vec<&Matrix> = mats.iter().collect();
+            let plain = spd_mean(&refs).unwrap();
+            let robust = spd_trimmed_mean(&refs, 0).unwrap();
+            assert_eq!(
+                plain.as_slice(),
+                robust.as_slice(),
+                "seed {seed}: trim=0 must be bit-identical to spd_mean"
+            );
+        }
+    }
+
+    #[test]
+    fn trimmed_mean_shrugs_off_minority_adversaries() {
+        // Up to ⌊(K−1)/2⌋ adversarial matrices (huge scale, flipped sign
+        // structure) leave the trimmed mean within a bounded distance of
+        // the clean centre, while the plain mean is dragged far away.
+        for seed in 0..30u64 {
+            let mut rng = Rng::seed_from(1000 + seed);
+            let n = 3;
+            let honest = 3 + (seed as usize % 3); // 3..=5 honest
+            let adversaries = (honest - 1) / 2; // floor((K-1)/2) w.r.t. honest+adv? see below
+            let mut mats: Vec<Matrix> = (0..honest).map(|_| random_spd(&mut rng, n, 0.2)).collect();
+            let refs: Vec<&Matrix> = mats.iter().collect();
+            let clean = spd_mean(&refs).unwrap();
+            // Adversaries: honest-looking shape, scaled by 1e3.
+            for _ in 0..adversaries {
+                let mut bad = random_spd(&mut rng, n, 0.2);
+                for v in bad.as_mut_slice() {
+                    *v *= 1e3;
+                }
+                mats.push(bad);
+            }
+            let k = mats.len();
+            assert!(2 * adversaries < k, "adversaries must be a strict minority");
+            let refs: Vec<&Matrix> = mats.iter().collect();
+            let robust = trimmed_mean(&refs, adversaries).unwrap();
+            let polluted = spd_mean(&refs).unwrap();
+            let honest_spread = (0..honest)
+                .map(|i| frobenius_distance(refs[i], &clean).unwrap())
+                .fold(0.0 as Real, Real::max)
+                .max(1e-3);
+            let robust_err = frobenius_distance(&robust, &clean).unwrap();
+            let polluted_err = frobenius_distance(&polluted, &clean).unwrap();
+            assert!(
+                robust_err <= 4.0 * honest_spread,
+                "seed {seed}: robust centre drifted {robust_err} (spread {honest_spread})"
+            );
+            assert!(
+                polluted_err > 10.0 * honest_spread,
+                "seed {seed}: adversaries too weak to prove anything ({polluted_err})"
+            );
+        }
+    }
+
+    #[test]
+    fn geometric_median_stays_near_honest_cluster() {
+        for seed in 0..30u64 {
+            let mut rng = Rng::seed_from(2000 + seed);
+            let n = 3 + (seed as usize % 3);
+            let honest = 3 + (seed as usize % 4); // 3..=6
+            let mut mats: Vec<Matrix> = (0..honest).map(|_| random_spd(&mut rng, n, 0.2)).collect();
+            let refs: Vec<&Matrix> = mats.iter().collect();
+            let clean = spd_mean(&refs).unwrap();
+            let honest_spread = refs
+                .iter()
+                .map(|m| frobenius_distance(m, &clean).unwrap())
+                .fold(0.0 as Real, Real::max)
+                .max(1e-3);
+            // floor((K-1)/2) adversaries of the final input set.
+            let adversaries = (honest - 1) / 2;
+            for _ in 0..adversaries {
+                let mut bad = random_spd(&mut rng, n, 0.2);
+                for v in bad.as_mut_slice() {
+                    *v = *v * 500.0 + 100.0;
+                }
+                mats.push(bad);
+            }
+            let refs: Vec<&Matrix> = mats.iter().collect();
+            let median = geometric_median(&refs, 200).unwrap();
+            let err = frobenius_distance(&median, &clean).unwrap();
+            assert!(
+                err <= 6.0 * honest_spread,
+                "seed {seed}: geometric median drifted {err} (spread {honest_spread})"
+            );
+        }
+    }
+
+    #[test]
+    fn geometric_median_of_identical_inputs_is_the_input() {
+        let mut rng = Rng::seed_from(7);
+        let a = random_spd(&mut rng, 4, 0.5);
+        let refs = vec![&a, &a, &a];
+        let median = geometric_median(&refs, 64).unwrap();
+        assert_eq!(median.as_slice(), a.as_slice());
+        // SPD variant factors it too.
+        let spd = spd_geometric_median(&refs, 64).unwrap();
+        assert_eq!(spd.as_slice(), a.as_slice());
+    }
+
+    #[test]
+    fn deviation_scores_flag_the_outlier() {
+        for seed in 0..20u64 {
+            let mut rng = Rng::seed_from(3000 + seed);
+            let n = 3;
+            let mut mats: Vec<Matrix> = (0..5).map(|_| random_spd(&mut rng, n, 0.2)).collect();
+            let mut bad = random_spd(&mut rng, n, 0.2);
+            for v in bad.as_mut_slice() {
+                *v *= 1e3;
+            }
+            mats.push(bad);
+            let refs: Vec<&Matrix> = mats.iter().collect();
+            let center = geometric_median(&refs, 200).unwrap();
+            let scores = deviation_scores(&refs, &center).unwrap();
+            let honest_max = scores[..5].iter().cloned().fold(0.0 as Real, Real::max);
+            assert!(
+                scores[5] > 20.0 * honest_max.max(1.0),
+                "seed {seed}: outlier score {} vs honest max {honest_max}",
+                scores[5]
+            );
+        }
+    }
+
+    #[test]
+    fn deviation_scores_of_identical_inputs_are_zero() {
+        let a = Matrix::identity(3);
+        let refs = vec![&a, &a, &a];
+        let scores = deviation_scores(&refs, &a).unwrap();
+        assert!(scores.iter().all(|&s| s == 0.0), "{scores:?}");
+    }
+
+    #[test]
+    fn robust_kernels_reject_bad_inputs() {
+        let a = Matrix::identity(3);
+        let wrong = Matrix::identity(2);
+        assert!(matches!(
+            trimmed_mean(&[], 0),
+            Err(LinalgError::InvalidArgument(_))
+        ));
+        assert!(matches!(
+            trimmed_mean(&[&a, &wrong], 0),
+            Err(LinalgError::ShapeMismatch { .. })
+        ));
+        assert!(matches!(
+            trimmed_mean(&[&a, &a], 1),
+            Err(LinalgError::InvalidArgument(_))
+        ));
+        let mut nan = Matrix::identity(3);
+        nan.set(0, 0, Real::NAN);
+        assert_eq!(
+            trimmed_mean(&[&a, &nan], 0).unwrap_err(),
+            LinalgError::NonFiniteResult
+        );
+        assert_eq!(
+            spd_trimmed_mean(&[&a, &nan], 0).unwrap_err(),
+            LinalgError::NotPositiveDefinite
+        );
+        assert!(geometric_median(&[], 10).is_err());
+        assert!(matches!(
+            spd_geometric_median(&[&Matrix::zeros(2, 3)], 10),
+            Err(LinalgError::InvalidArgument(_))
+        ));
+        assert!(deviation_scores(&[&a, &wrong], &a).is_err());
+    }
+
+    #[test]
+    fn trimmed_mean_drops_extremes_per_coordinate() {
+        let lo = Matrix::from_vec(1, 1, vec![-100.0]).unwrap();
+        let mid1 = Matrix::from_vec(1, 1, vec![2.0]).unwrap();
+        let mid2 = Matrix::from_vec(1, 1, vec![4.0]).unwrap();
+        let hi = Matrix::from_vec(1, 1, vec![100.0]).unwrap();
+        let mean = trimmed_mean(&[&lo, &mid1, &hi, &mid2], 1).unwrap();
+        assert!((mean.get(0, 0) - 3.0).abs() < 1e-6);
+    }
+}

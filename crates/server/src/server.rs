@@ -259,7 +259,8 @@ impl Shared {
                 FleetEvent::Pipeline { id, .. }
                 | FleetEvent::SessionPanicked { id, .. }
                 | FleetEvent::SessionRestored { id, .. }
-                | FleetEvent::SessionQuarantined { id, .. } => id.0,
+                | FleetEvent::SessionQuarantined { id, .. }
+                | FleetEvent::SessionExcludedLowTrust { id, .. } => id.0,
                 _ => GLOBAL_EVENTS,
             };
             buckets.entry(key).or_default().push(format!("{event:?}"));

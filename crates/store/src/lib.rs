@@ -38,6 +38,7 @@ pub mod vfs;
 
 pub use frame::{FrameError, CRC_LEN, FRAME_MAGIC, HEADER_LEN, STORE_VERSION};
 pub use store::{
-    atomic_write, atomic_write_with, LedgerEntry, RecoveryReport, Store, StoreConfig, StoreError,
+    atomic_write, atomic_write_with, LedgerEntry, RecoveryReport, ReputationEntry, Store,
+    StoreConfig, StoreError,
 };
 pub use vfs::{FaultPlan, FaultVfs, RealVfs, Vfs};

@@ -38,6 +38,7 @@ use crate::frame::{self, FrameError, STORE_VERSION};
 use crate::vfs::{RealVfs, Vfs};
 use seqdrift_core::DriftPipeline;
 use seqdrift_linalg::wire::{Reader, Writer, MAGIC as WIRE_MAGIC, VERSION as WIRE_VERSION};
+use seqdrift_linalg::Real;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::io;
 use std::path::{Path, PathBuf};
@@ -49,9 +50,14 @@ const MANIFEST_DIR: &str = "manifest";
 /// so the per-session recovery/resume scans never mistake it for a
 /// session directory.
 const FEDERATED_DIR: &str = "federated";
+/// Directory name of the per-session federation reputation book. Like
+/// `federated/`, non-numeric so session scans skip it.
+const REPUTATION_DIR: &str = "reputation";
 /// Payload kind of a serialised manifest (the session checkpoints inside
 /// frames are `seqdrift_core::persist` blobs with their own kind).
 const KIND_MANIFEST: u16 = 32;
+/// Payload kind of a serialised reputation book.
+const KIND_REPUTATION: u16 = 33;
 
 /// Store-level failures.
 #[derive(Debug)]
@@ -115,6 +121,31 @@ pub struct LedgerEntry {
     pub reason_code: u8,
     /// Restart-budget restores consumed before quarantine.
     pub restarts_spent: u64,
+}
+
+/// One federation-reputation entry, persisted in a reserved store
+/// manifest so contributor trust survives process restarts. The
+/// semantics of `trust` (decay/recovery/floor) are defined by the
+/// federation layer; the store persists it opaquely.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReputationEntry {
+    /// Trust score in `[0, 1]`; 1.0 is a contributor that has never been
+    /// flagged as an outlier.
+    pub trust: Real,
+    /// Merge rounds in which this session was scored an outlier.
+    pub outlier_rounds: u64,
+    /// Merge rounds in which this session contributed cleanly.
+    pub clean_rounds: u64,
+}
+
+impl Default for ReputationEntry {
+    fn default() -> Self {
+        ReputationEntry {
+            trust: 1.0,
+            outlier_rounds: 0,
+            clean_rounds: 0,
+        }
+    }
 }
 
 /// Store tuning knobs.
@@ -181,6 +212,8 @@ struct Inner {
     manifest_gens: BTreeSet<u64>,
     ledger: BTreeMap<u64, LedgerEntry>,
     federated_gens: BTreeSet<u64>,
+    reputation_gens: BTreeSet<u64>,
+    reputations: BTreeMap<u64, ReputationEntry>,
     recovery: RecoveryReport,
 }
 
@@ -350,6 +383,28 @@ impl Store {
                     if let Ok((_, payload)) = frame::decode(&bytes) {
                         if let Some(ledger) = decode_manifest(payload) {
                             inner.ledger = ledger;
+                        }
+                    }
+                }
+                continue;
+            }
+            if name == REPUTATION_DIR {
+                let gens = self.scan_frame_dir(
+                    &path,
+                    |payload| decode_reputations(payload).is_some(),
+                    &mut report,
+                )?;
+                report.generations_kept += gens.0.len();
+                inner.reputation_gens = gens.0;
+                if let Some(newest) = gens.1 {
+                    let frame_path = Store::frame_path(&path, newest);
+                    let bytes = self.vfs.read(&frame_path).map_err(io_err(format!(
+                        "reading reputation book {}",
+                        frame_path.display()
+                    )))?;
+                    if let Ok((_, payload)) = frame::decode(&bytes) {
+                        if let Some(book) = decode_reputations(payload) {
+                            inner.reputations = book;
                         }
                     }
                 }
@@ -709,6 +764,55 @@ impl Store {
         Ok(None)
     }
 
+    /// Persists the full federation reputation book as a new durable
+    /// generation under the reserved `reputation/` directory — the same
+    /// atomic generational path as the quarantine manifest. In-memory
+    /// state is updated only after the write lands, so a failed write
+    /// leaves the last durable book authoritative and a retry is never
+    /// swallowed by a stale cache. Returns the generation written.
+    pub fn put_reputations(
+        &self,
+        book: &BTreeMap<u64, ReputationEntry>,
+    ) -> Result<u64, StoreError> {
+        let mut inner = self.lock();
+        let payload = encode_reputations(book);
+        let generation = inner
+            .reputation_gens
+            .iter()
+            .next_back()
+            .copied()
+            .unwrap_or(0)
+            + 1;
+        let dir = self.root.join(REPUTATION_DIR);
+        self.vfs
+            .create_dir_all(&dir)
+            .map_err(io_err(format!("creating reputation dir {}", dir.display())))?;
+        let path = Store::frame_path(&dir, generation);
+        atomic_write_with(&*self.vfs, &path, &frame::encode(generation, &payload)).map_err(
+            io_err(format!("writing reputation book {}", path.display())),
+        )?;
+        inner.reputations = book.clone();
+        inner.reputation_gens.insert(generation);
+        let excess: Vec<u64> = {
+            let n = inner.reputation_gens.len().saturating_sub(self.keep);
+            inner.reputation_gens.iter().take(n).copied().collect()
+        };
+        for old in excess {
+            let old_path = Store::frame_path(&dir, old);
+            self.vfs
+                .remove_file(&old_path)
+                .map_err(io_err(format!("pruning {}", old_path.display())))?;
+            inner.reputation_gens.remove(&old);
+        }
+        Ok(generation)
+    }
+
+    /// The persisted federation reputation book (restored by the
+    /// [`Store::open`] recovery scan; empty when never written).
+    pub fn reputations(&self) -> BTreeMap<u64, ReputationEntry> {
+        self.lock().reputations.clone()
+    }
+
     fn write_manifest(&self) -> Result<(), StoreError> {
         let mut inner = self.lock();
         let payload = encode_manifest(&inner.ledger);
@@ -769,6 +873,48 @@ fn decode_manifest(payload: &[u8]) -> Option<BTreeMap<u64, LedgerEntry>> {
     }
     r.finish().ok()?;
     Some(ledger)
+}
+
+fn encode_reputations(book: &BTreeMap<u64, ReputationEntry>) -> Vec<u8> {
+    let mut w = Writer::new(KIND_REPUTATION);
+    w.u64(book.len() as u64);
+    for (&session, entry) in book {
+        w.u64(session);
+        w.real(entry.trust);
+        w.u64(entry.outlier_rounds);
+        w.u64(entry.clean_rounds);
+    }
+    w.into_bytes()
+}
+
+fn decode_reputations(payload: &[u8]) -> Option<BTreeMap<u64, ReputationEntry>> {
+    let mut r = Reader::new(payload, KIND_REPUTATION).ok()?;
+    let count = r.u64().ok()?;
+    // Each entry is at least 28 bytes (8 + 4 + 8 + 8 with f32 Real);
+    // reject length lies before looping.
+    if count > (payload.len() as u64) / 28 + 1 {
+        return None;
+    }
+    let mut book = BTreeMap::new();
+    for _ in 0..count {
+        let session = r.u64().ok()?;
+        let trust = r.real().ok()?;
+        let outlier_rounds = r.u64().ok()?;
+        let clean_rounds = r.u64().ok()?;
+        if !(0.0..=1.0).contains(&trust) {
+            return None;
+        }
+        book.insert(
+            session,
+            ReputationEntry {
+                trust,
+                outlier_rounds,
+                clean_rounds,
+            },
+        );
+    }
+    r.finish().ok()?;
+    Some(book)
 }
 
 #[cfg(test)]
@@ -865,6 +1011,61 @@ mod tests {
         drop(store);
         let store = Store::open(&root).unwrap();
         assert_eq!(store.ledger().len(), 1);
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn reputation_book_roundtrips_across_reopen() {
+        let root = tmp_root("reputation");
+        let store = Store::open(&root).unwrap();
+        assert!(store.reputations().is_empty());
+        let mut book = BTreeMap::new();
+        book.insert(
+            3,
+            ReputationEntry {
+                trust: 0.25,
+                outlier_rounds: 4,
+                clean_rounds: 1,
+            },
+        );
+        book.insert(7, ReputationEntry::default());
+        assert_eq!(store.put_reputations(&book).unwrap(), 1);
+        // Overwrite with an updated book: new generation, same contract.
+        book.get_mut(&3).unwrap().clean_rounds = 2;
+        assert_eq!(store.put_reputations(&book).unwrap(), 2);
+        drop(store);
+        let store = Store::open(&root).unwrap();
+        let restored = store.reputations();
+        assert_eq!(restored, book);
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn corrupt_reputation_generation_falls_back_to_older() {
+        let root = tmp_root("reputation-corrupt");
+        let store = Store::open(&root).unwrap();
+        let mut book = BTreeMap::new();
+        book.insert(1, ReputationEntry::default());
+        store.put_reputations(&book).unwrap();
+        book.insert(
+            2,
+            ReputationEntry {
+                trust: 0.5,
+                outlier_rounds: 1,
+                clean_rounds: 0,
+            },
+        );
+        store.put_reputations(&book).unwrap();
+        drop(store);
+        // Tear the newest generation; recovery must fall back to gen 1.
+        let newest = root.join(REPUTATION_DIR).join("2.ckpt");
+        let bytes = fs::read(&newest).unwrap();
+        fs::write(&newest, &bytes[..bytes.len() / 2]).unwrap();
+        let store = Store::open(&root).unwrap();
+        let restored = store.reputations();
+        assert_eq!(restored.len(), 1);
+        assert!(restored.contains_key(&1));
+        assert!(store.recovery_report().corrupt_frames_dropped >= 1);
         fs::remove_dir_all(&root).ok();
     }
 

@@ -92,11 +92,13 @@ pub mod prelude {
         pipeline::{DriftPipeline, PipelineOutput},
         threshold::calibrate_drift_threshold,
     };
-    pub use seqdrift_federate::{FederateError, Federator, RoundSummary};
+    pub use seqdrift_federate::{
+        FederateError, Federator, PoisonInjector, PoisonMode, ReputationBook, RoundSummary,
+    };
     pub use seqdrift_fleet::{
         DegradedReason, DurabilityHealth, Fault, FaultInjector, FederationConfig, FeedReply,
-        FleetConfig, FleetEngine, FleetError, FleetEvent, QuarantineReason, RecoveryReport,
-        SessionId, SessionStatus,
+        FleetConfig, FleetEngine, FleetError, FleetEvent, MergeRejectReason, QuarantineReason,
+        RecoveryReport, RejectReasons, ReputationEntry, SessionId, SessionStatus,
     };
     pub use seqdrift_linalg::{Matrix, Real, Rng};
     pub use seqdrift_oselm::{

@@ -262,6 +262,72 @@ fn degraded_contributor_is_rejected_and_cannot_perturb_the_merge() {
     );
 }
 
+/// A merge round rejected wholesale must be loud: `run_round` emits
+/// `FleetEvent::MergeRoundRejected` (and bumps `merge_rounds_rejected`)
+/// instead of failing silently, both when the merged result fails
+/// validation and when the robust pass leaves too few contributors.
+#[test]
+fn wholesale_merge_rejection_emits_a_fleet_event() {
+    let run = |robust: bool| -> (RoundSummary, Vec<FleetEvent>, u64) {
+        let blob = checkpoint();
+        let fleet = FleetEngine::new(
+            FleetConfig::new(1).with_federation(FederationConfig::default().with_robust(robust)),
+        )
+        .unwrap();
+        fleet.create_from_bytes(SessionId(0), &blob).unwrap();
+        adapt_session(&fleet, 0);
+        // A NaN-beta contribution passes every health gate (the pipeline
+        // itself is untouched) but can never merge.
+        let mut federator =
+            Federator::new(&fleet, &blob)
+                .unwrap()
+                .with_poison(PoisonInjector::new(
+                    1,
+                    vec![(0, PoisonMode::ScaledBeta(Real::NAN))],
+                ));
+        let round = federator.run_round(&fleet).unwrap();
+        let events = fleet.drain_events();
+        let rejected_rounds = fleet.metrics().merge_rounds_rejected;
+        fleet.shutdown();
+        (round, events, rejected_rounds)
+    };
+
+    // Robust off: the poison reaches the merge, whose validation rejects
+    // the whole round.
+    let (round, events, rejected_rounds) = run(false);
+    assert!(!round.merged, "{round:?}");
+    assert_eq!(round.reject_reasons.non_pd, 1, "{round:?}");
+    assert_eq!(rejected_rounds, 1);
+    assert!(
+        events.iter().any(|e| matches!(
+            e,
+            FleetEvent::MergeRoundRejected {
+                candidates: 1,
+                reason: MergeRejectReason::FailedValidation,
+            }
+        )),
+        "validation failure must surface as an event: {events:?}"
+    );
+
+    // Robust on: the same contribution is caught individually by the
+    // scoring pass, leaving too few contributors — still a wholesale
+    // rejection, still surfaced.
+    let (round, events, rejected_rounds) = run(true);
+    assert!(!round.merged, "{round:?}");
+    assert_eq!(round.reject_reasons.non_pd, 1, "{round:?}");
+    assert_eq!(rejected_rounds, 1);
+    assert!(
+        events.iter().any(|e| matches!(
+            e,
+            FleetEvent::MergeRoundRejected {
+                candidates: 1,
+                reason: MergeRejectReason::TooFewContributors,
+            }
+        )),
+        "an emptied round must surface as an event: {events:?}"
+    );
+}
+
 /// Durable merged generations: a federator built against a resumed
 /// engine restores the last merged model as its baseline, so a power
 /// loss never regresses the fleet-wide model.
