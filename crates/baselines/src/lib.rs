@@ -16,6 +16,9 @@
 //!   they are provided for completeness and used in the extension ablations.
 //! * [`page_hinkley`] / [`cusum`] — classic sequential change detectors on
 //!   univariate statistics, extension baselines.
+//! * [`ar`] — AR(p)-residual detector (cf. arXiv 2203.04769): least-squares
+//!   autoregressive fit on a rolling window with Page–Hinkley on the
+//!   one-step-ahead residuals; the modern lightweight baseline row.
 //! * [`kmeans`] — Lloyd's algorithm with k-means++ seeding and a sequential
 //!   (streaming) variant; substrate for SPLL and for unsupervised labelling
 //!   of initial training data (§3.2).
@@ -54,6 +57,7 @@
 //! ```
 
 pub mod adwin;
+pub mod ar;
 pub mod cusum;
 pub mod ddm;
 pub mod gmm;
@@ -63,6 +67,7 @@ pub mod quanttree;
 pub mod spll;
 
 pub use adwin::Adwin;
+pub use ar::{ArResidual, ArResidualConfig};
 pub use cusum::Cusum;
 pub use ddm::Ddm;
 pub use gmm::DiagonalGmm;

@@ -93,6 +93,7 @@ fn main() {
                 p99_us: stats.max_ns / total as f64 / 1e3,
                 samples: total,
                 unit: None,
+                scenario: None,
             },
         ));
     }

@@ -41,6 +41,10 @@ pub struct IngestEntry {
     /// field existed parse as `None`, and entries with `None` render
     /// without the field, so old and new files interoperate.
     pub unit: Option<String>,
+    /// Name of the `.sqsc` scenario that produced this entry, when the run
+    /// was scenario-driven (`seqdrift load --scenario`). `None` for ad-hoc
+    /// runs; absent-field files parse as `None`, same as `unit`.
+    pub scenario: Option<String>,
 }
 
 /// Serialises entries as the canonical `BENCH_ingest.json` document.
@@ -57,14 +61,19 @@ pub fn render(entries: &BTreeMap<String, IngestEntry>) -> String {
             Some(u) => format!(", \"unit\": \"{}\"", escape(u)),
             None => String::new(),
         };
+        let scenario = match &e.scenario {
+            Some(s) => format!(", \"scenario\": \"{}\"", escape(s)),
+            None => String::new(),
+        };
         out.push_str(&format!(
-            "    \"{}\": {{ \"samples_per_sec\": {:.1}, \"p50_us\": {:.2}, \"p99_us\": {:.2}, \"samples\": {}{} }}",
+            "    \"{}\": {{ \"samples_per_sec\": {:.1}, \"p50_us\": {:.2}, \"p99_us\": {:.2}, \"samples\": {}{}{} }}",
             escape(name),
             e.samples_per_sec,
             e.p50_us,
             e.p99_us,
             e.samples,
-            unit
+            unit,
+            scenario
         ));
     }
     out.push_str("\n  }\n}\n");
@@ -148,6 +157,7 @@ pub fn parse(text: &str) -> Option<BTreeMap<String, IngestEntry>> {
                 "p99_us" => entry.p99_us = t.number()?,
                 "samples" => entry.samples = t.number()? as u64,
                 "unit" => entry.unit = Some(t.string()?),
+                "scenario" => entry.scenario = Some(t.string()?),
                 _ => return None,
             }
             match t.next_ch()? {
@@ -245,6 +255,7 @@ mod tests {
             p99_us: 99.9,
             samples: 6400,
             unit: None,
+            scenario: None,
         }
     }
 
@@ -281,6 +292,31 @@ mod tests {
         let parsed = parse(legacy).unwrap();
         assert_eq!(parsed["a"].unit, None);
         assert_eq!(parsed["a"].samples, 4);
+    }
+
+    #[test]
+    fn scenario_field_roundtrips_and_old_files_still_parse() {
+        let mut entries = BTreeMap::new();
+        let mut attributed = entry(512.0);
+        attributed.scenario = Some("gradual-wave".to_string());
+        entries.insert("scenario_gradual-wave_sessions_4".to_string(), attributed);
+        entries.insert("load_s8".to_string(), entry(999.0));
+        let text = render(&entries);
+        assert!(text.contains("\"scenario\": \"gradual-wave\""), "{text}");
+        assert_eq!(parse(&text).unwrap(), entries);
+
+        // Entries can carry both unit and scenario.
+        let mut both = entry(7.0);
+        both.unit = Some("samples".to_string());
+        both.scenario = Some("s1".to_string());
+        let mut m = BTreeMap::new();
+        m.insert("x".to_string(), both);
+        assert_eq!(parse(&render(&m)).unwrap(), m);
+
+        // Pre-scenario documents parse with `scenario: None`.
+        let legacy = "{ \"entries\": { \"a\": { \"samples_per_sec\": 1.0, \
+                      \"p50_us\": 2.00, \"p99_us\": 3.00, \"samples\": 4 } } }";
+        assert_eq!(parse(legacy).unwrap()["a"].scenario, None);
     }
 
     #[test]

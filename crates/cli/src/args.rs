@@ -105,10 +105,18 @@ pub struct SynthArgs {
 /// Arguments of `seqdrift fleet`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FleetArgs {
-    /// Stream CSV replayed to every simulated device.
-    pub csv: PathBuf,
-    /// Checkpoint cloned into every session.
-    pub model: PathBuf,
+    /// Stream CSV replayed to every simulated device (exactly one of
+    /// `--csv` and `--scenario` is required).
+    pub csv: Option<PathBuf>,
+    /// Declarative `.sqsc` scenario driving per-session streams, session
+    /// count, guard, faults, and federation (synthetic or a recorded
+    /// bundle manifest).
+    pub scenario: Option<PathBuf>,
+    /// Checkpoint cloned into every session. Required with `--csv`;
+    /// optional with `--scenario` (synthetic scenarios calibrate a
+    /// reference from their own training split, recorded bundles carry
+    /// the blob they were served from).
+    pub model: Option<PathBuf>,
     /// Number of simulated devices (sessions).
     pub sessions: usize,
     /// Worker threads (shards).
@@ -195,13 +203,22 @@ pub struct ServeArgs {
     /// Admission: a connection must complete its first HELLO within this
     /// many milliseconds (0 disables the deadline).
     pub handshake_timeout_ms: u64,
+    /// Record live ingest into this directory: every accepted sample row
+    /// plus connection events, written at drain as a replayable `.sqsc`
+    /// bundle (`seqdrift fleet --scenario <dir>/scenario.sqsc`).
+    pub record: Option<PathBuf>,
 }
 
 /// Arguments of `seqdrift load`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LoadArgs {
-    /// Stream CSV replayed by every simulated device.
-    pub csv: PathBuf,
+    /// Stream CSV replayed by every simulated device (exactly one of
+    /// `--csv` and `--scenario` is required).
+    pub csv: Option<PathBuf>,
+    /// Declarative `.sqsc` scenario: each device streams its own
+    /// per-session synthesized stream and the bench entry is named after
+    /// the scenario.
+    pub scenario: Option<PathBuf>,
     /// Server address (`host:port`).
     pub addr: String,
     /// Simulated devices, one connection + session each.
@@ -262,7 +279,8 @@ USAGE:
   seqdrift info  --model <model.sqdm>
   seqdrift synth --dataset <nslkdd|fan-sudden|fan-gradual|fan-reoccurring>
                  --out <dir> [--seed N] [--quick]
-  seqdrift fleet --csv <file> --model <model.sqdm> [--sessions 8] [--workers 4]
+  seqdrift fleet (--csv <file> --model <model.sqdm> | --scenario <file.sqsc>)
+                 [--model <model.sqdm>] [--sessions 8] [--workers 4]
                  [--queue 256] [--drift-at N] [--drift-step 25]
                  [--drift-shift 0.3] [--inject-faults SEED]
                  [--guard-policy reject|clamp|impute] [--stuck-threshold K]
@@ -275,7 +293,9 @@ USAGE:
                  [--federate] [--federate-interval 2048]
                  [--max-conns 1024] [--accept-rate PER_IP_PER_SEC]
                  [--inflight-cap BYTES] [--handshake-timeout-ms 10000]
-  seqdrift load  --csv <file> --addr <host:port> [--sessions 4] [--batch 16]
+                 [--record <dir>]
+  seqdrift load  (--csv <file> | --scenario <file.sqsc>) --addr <host:port>
+                 [--sessions 4] [--batch 16]
                  [--session0 0] [--bench-json BENCH_ingest.json]
                  [--verify --model <model.sqdm>] [--busy-stall-timeout SECS]
                  [--chaos] [--chaos-seed 42] [--chaos-victims N]
@@ -408,8 +428,9 @@ impl Cli {
             }),
             "fleet" => {
                 let a = FleetArgs {
-                    csv: flags.required("--csv")?.into(),
-                    model: flags.required("--model")?.into(),
+                    csv: flags.take("--csv").map(Into::into),
+                    scenario: flags.take("--scenario").map(Into::into),
+                    model: flags.take("--model").map(Into::into),
                     sessions: flags.number("--sessions", 8usize)?,
                     workers: flags.number("--workers", 4usize)?,
                     queue: flags.number("--queue", 256usize)?,
@@ -448,6 +469,26 @@ impl Cli {
                 if a.sessions == 0 || a.workers == 0 || a.queue == 0 {
                     return Err(err("--sessions, --workers and --queue must be positive"));
                 }
+                match (&a.csv, &a.scenario) {
+                    (None, None) => return Err(err("fleet needs --csv or --scenario")),
+                    (Some(_), Some(_)) => {
+                        return Err(err("--csv and --scenario are mutually exclusive"));
+                    }
+                    (Some(_), None) if a.model.is_none() => {
+                        return Err(err("--csv requires --model (the session checkpoint)"));
+                    }
+                    _ => {}
+                }
+                if a.scenario.is_some() && a.drift_at.is_some() {
+                    return Err(err(
+                        "--drift-at conflicts with --scenario (the scenario owns the drift plan)",
+                    ));
+                }
+                if a.scenario.is_some() && a.inject_faults.is_some() {
+                    return Err(err(
+                        "--inject-faults conflicts with --scenario (use a 'faults fleet SEED' line)",
+                    ));
+                }
                 if a.resume && a.state_dir.is_none() {
                     return Err(err("--resume requires --state-dir"));
                 }
@@ -477,6 +518,7 @@ impl Cli {
                     accept_rate: flags.number("--accept-rate", 0.0f64)?,
                     inflight_cap: flags.number("--inflight-cap", 256u64 << 20)?,
                     handshake_timeout_ms: flags.number("--handshake-timeout-ms", 10_000u64)?,
+                    record: flags.take("--record").map(Into::into),
                 };
                 if a.workers == 0 || a.queue == 0 {
                     return Err(err("--workers and --queue must be positive"));
@@ -497,7 +539,8 @@ impl Cli {
             }
             "load" => {
                 let a = LoadArgs {
-                    csv: flags.required("--csv")?.into(),
+                    csv: flags.take("--csv").map(Into::into),
+                    scenario: flags.take("--scenario").map(Into::into),
                     addr: flags.required("--addr")?,
                     sessions: flags.number("--sessions", 4usize)?,
                     batch: flags.number("--batch", 16usize)?,
@@ -514,6 +557,18 @@ impl Cli {
                 };
                 if a.sessions == 0 || a.batch == 0 {
                     return Err(err("--sessions and --batch must be positive"));
+                }
+                match (&a.csv, &a.scenario) {
+                    (None, None) => return Err(err("load needs --csv or --scenario")),
+                    (Some(_), Some(_)) => {
+                        return Err(err("--csv and --scenario are mutually exclusive"));
+                    }
+                    _ => {}
+                }
+                if a.scenario.is_some() && a.chaos {
+                    return Err(err(
+                        "--chaos conflicts with --scenario (use a 'faults chaos SEED' line)",
+                    ));
                 }
                 if a.verify && a.model.is_none() {
                     return Err(err("--verify requires --model"));
@@ -651,6 +706,9 @@ mod tests {
         let cli = Cli::parse(&argv("fleet --csv s.csv --model m.sqdm")).unwrap();
         match cli.command {
             Command::Fleet(a) => {
+                assert_eq!(a.csv, Some(PathBuf::from("s.csv")));
+                assert_eq!(a.scenario, None);
+                assert_eq!(a.model, Some(PathBuf::from("m.sqdm")));
                 assert_eq!((a.sessions, a.workers, a.queue), (8, 4, 256));
                 assert_eq!(a.drift_at, None);
                 assert_eq!(a.drift_step, 25);
@@ -786,7 +844,8 @@ mod tests {
         let cli = Cli::parse(&argv("load --csv s.csv --addr 127.0.0.1:4747")).unwrap();
         match cli.command {
             Command::Load(a) => {
-                assert_eq!(a.csv, PathBuf::from("s.csv"));
+                assert_eq!(a.csv, Some(PathBuf::from("s.csv")));
+                assert_eq!(a.scenario, None);
                 assert_eq!(a.addr, "127.0.0.1:4747");
                 assert_eq!((a.sessions, a.batch, a.session0), (4, 16, 0));
                 assert!(!a.verify);
@@ -820,6 +879,46 @@ mod tests {
         assert!(Cli::parse(&argv("load --csv s --addr h:1 --batch 0")).is_err());
         assert!(Cli::parse(&argv("load --csv s --addr h:1 --busy-stall-timeout 0")).is_err());
         assert!(Cli::parse(&argv("load --csv s --addr h:1 --busy-stall-timeout x")).is_err());
+    }
+
+    #[test]
+    fn parses_scenario_flags() {
+        let cli = Cli::parse(&argv("fleet --scenario drill.sqsc")).unwrap();
+        match cli.command {
+            Command::Fleet(a) => {
+                assert_eq!(a.scenario, Some(PathBuf::from("drill.sqsc")));
+                assert_eq!(a.csv, None);
+                assert_eq!(a.model, None);
+            }
+            other => panic!("{other:?}"),
+        }
+        let cli = Cli::parse(&argv("load --scenario drill.sqsc --addr h:1")).unwrap();
+        match cli.command {
+            Command::Load(a) => {
+                assert_eq!(a.scenario, Some(PathBuf::from("drill.sqsc")));
+                assert_eq!(a.csv, None);
+            }
+            other => panic!("{other:?}"),
+        }
+        let cli = Cli::parse(&argv("serve --model m.sqdm --record out/dir")).unwrap();
+        match cli.command {
+            Command::Serve(a) => assert_eq!(a.record, Some(PathBuf::from("out/dir"))),
+            other => panic!("{other:?}"),
+        }
+        // Exactly one stream source; the scenario owns drift/fault plans.
+        assert!(Cli::parse(&argv("fleet")).is_err());
+        assert!(Cli::parse(&argv("fleet --csv s.csv")).is_err()); // csv needs --model
+        assert!(Cli::parse(&argv("fleet --csv s.csv --model m --scenario d.sqsc")).is_err());
+        assert!(Cli::parse(&argv("fleet --scenario d.sqsc --drift-at 5")).is_err());
+        assert!(Cli::parse(&argv("fleet --scenario d.sqsc --inject-faults 1")).is_err());
+        assert!(Cli::parse(&argv("load --addr h:1")).is_err());
+        assert!(Cli::parse(&argv("load --csv s --scenario d.sqsc --addr h:1")).is_err());
+        assert!(Cli::parse(&argv("load --scenario d.sqsc --addr h:1 --chaos")).is_err());
+        // Scenario-mode overrides that stay legal: guard and federation.
+        assert!(Cli::parse(&argv(
+            "fleet --scenario d.sqsc --guard-policy clamp --federate"
+        ))
+        .is_ok());
     }
 
     #[test]

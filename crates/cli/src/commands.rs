@@ -12,10 +12,11 @@ use seqdrift_datasets::{loader, DriftDataset, Sample};
 use seqdrift_federate::{Federator, PoisonInjector};
 use seqdrift_fleet::{
     FaultInjector, FederationConfig, FleetConfig, FleetEngine, FleetError, FleetEvent,
-    MetricsSnapshot, SessionId,
+    MetricsSnapshot, SessionId, ShutdownReport,
 };
 use seqdrift_linalg::{Real, Rng};
 use seqdrift_oselm::{MultiInstanceModel, OsElmConfig};
+use seqdrift_scenario::{GuardMode, ScenarioPlayer};
 use std::io::Write;
 
 type Out<'a> = &'a mut dyn Write;
@@ -322,12 +323,21 @@ pub fn info(a: &InfoArgs, out: Out<'_>) -> Result<(), String> {
 /// `seqdrift fleet`: replay one CSV across S simulated devices, each a
 /// session restored from the same checkpoint, with per-device staggered
 /// drift injection so devices flag drift at different stream positions.
+/// With `--scenario`, the `.sqsc` file owns the streams, session roster,
+/// guard, fault, and federation plan instead.
 pub fn fleet(a: &FleetArgs, out: Out<'_>) -> Result<(), String> {
-    let mut blob = std::fs::read(&a.model).map_err(|e| fail("reading checkpoint", e))?;
+    if a.scenario.is_some() {
+        return fleet_scenario(a, out);
+    }
+    let (csv, model) = match (&a.csv, &a.model) {
+        (Some(c), Some(m)) => (c, m),
+        _ => return Err("fleet needs --csv with --model, or --scenario".into()),
+    };
+    let mut blob = std::fs::read(model).map_err(|e| fail("reading checkpoint", e))?;
     let mut reference =
         DriftPipeline::from_bytes(&blob).map_err(|e| fail("decoding checkpoint", e))?;
     let expected = reference.detector().config().dim;
-    let samples = loader::load_csv(&a.csv, a.has_header, a.label_last)
+    let samples = loader::load_csv(csv, a.has_header, a.label_last)
         .map_err(|e| fail("reading stream CSV", e))?;
     if samples.is_empty() {
         return Err("stream CSV contains no rows".into());
@@ -501,6 +511,26 @@ pub fn fleet(a: &FleetArgs, out: Out<'_>) -> Result<(), String> {
     }
 
     let report = engine.shutdown();
+    report_fleet_shutdown(
+        &report,
+        a.federate,
+        a.inject_faults.is_some(),
+        a.state_dir.is_some(),
+        out,
+    );
+    Ok(())
+}
+
+/// Prints a fleet [`ShutdownReport`]: drained events, aggregate metrics,
+/// and the federation / fault-tolerance / durability summaries the run's
+/// flags make relevant. Shared by the CSV and scenario replay paths.
+fn report_fleet_shutdown(
+    report: &ShutdownReport,
+    federate: bool,
+    faults: bool,
+    durable: bool,
+    out: Out<'_>,
+) {
     for event in &report.events {
         match event {
             FleetEvent::Pipeline {
@@ -625,7 +655,7 @@ pub fn fleet(a: &FleetArgs, out: Out<'_>) -> Result<(), String> {
         m.busy_rejections
     )
     .ok();
-    if a.federate {
+    if federate {
         writeln!(
             out,
             "federation: {} merge round(s) ({} rejected wholesale), {} contribution(s) \
@@ -644,7 +674,7 @@ pub fn fleet(a: &FleetArgs, out: Out<'_>) -> Result<(), String> {
         )
         .ok();
     }
-    if a.inject_faults.is_some() || m.panics_caught > 0 {
+    if faults || m.panics_caught > 0 {
         writeln!(
             out,
             "fault tolerance: {} panic(s) caught, {} restore(s), {} quarantined, \
@@ -662,7 +692,7 @@ pub fn fleet(a: &FleetArgs, out: Out<'_>) -> Result<(), String> {
         )
         .ok();
     }
-    if a.state_dir.is_some() {
+    if durable {
         writeln!(
             out,
             "durability: {} checkpoint flush(es), {} flush failure(s)",
@@ -676,6 +706,210 @@ pub fn fleet(a: &FleetArgs, out: Out<'_>) -> Result<(), String> {
             writeln!(out, "quarantined at shutdown: device {} ({reason})", id.0).ok();
         }
     }
+}
+
+/// Maps a scenario guard mode onto the core guard policy.
+fn guard_mode_to_policy(mode: GuardMode) -> GuardPolicy {
+    match mode {
+        GuardMode::Reject => GuardPolicy::Reject,
+        GuardMode::Clamp => GuardPolicy::Clamp,
+        GuardMode::ImputeLast => GuardPolicy::ImputeLast,
+    }
+}
+
+/// Calibrates a reference pipeline from a synthetic scenario's own
+/// training split: the same deterministic samples every consumer (eval,
+/// fleet, load `--verify`) derives from the scenario seed.
+fn scenario_reference(player: &ScenarioPlayer) -> Result<Vec<u8>, String> {
+    let s = player
+        .scenario()
+        .synthetic()
+        .map_err(|e| fail("deriving a reference model", e))?;
+    let pairs = player
+        .train_pairs()
+        .map_err(|e| fail("synthesizing training data", e))?;
+    let mut model = MultiInstanceModel::new(
+        s.classes,
+        OsElmConfig::new(s.dim, 22.min(s.train.max(4))).with_seed(s.seed),
+    )
+    .map_err(|e| fail("building reference model", e))?;
+    let mut buckets: Vec<Vec<Vec<Real>>> = vec![Vec::new(); s.classes];
+    for (label, x) in &pairs {
+        buckets[*label].push(x.clone());
+    }
+    for (label, bucket) in buckets.iter().enumerate() {
+        model
+            .init_train_class(label, bucket)
+            .map_err(|e| fail("training reference model", e))?;
+    }
+    let refs: Vec<(usize, &[Real])> = pairs.iter().map(|(l, x)| (*l, x.as_slice())).collect();
+    let det = DetectorConfig::new(s.classes, s.dim).with_window(100);
+    let pipeline = DriftPipeline::calibrate_with(model, det, &refs, None)
+        .map_err(|e| fail("calibrating reference model", e))?;
+    pipeline
+        .to_bytes()
+        .map_err(|e| fail("serialising reference model", e))
+}
+
+/// `seqdrift fleet --scenario`: replay a declarative `.sqsc` scenario —
+/// synthetic streams synthesized from the scenario seed, or a recorded
+/// bundle captured off a live server — through an in-process fleet. The
+/// scenario supplies the session roster, per-session streams, guard
+/// policy, fleet fault plan, and federation cadence; `--guard-policy` /
+/// `--stuck-threshold` / `--federate` flags override it.
+fn fleet_scenario(a: &FleetArgs, out: Out<'_>) -> Result<(), String> {
+    let path = a
+        .scenario
+        .as_deref()
+        .ok_or("fleet_scenario without --scenario")?;
+    let player = ScenarioPlayer::from_file(path).map_err(|e| fail("loading scenario", e))?;
+    let sessions = player.sessions();
+    if sessions.is_empty() {
+        return Err(format!("scenario '{}' has no sessions", player.name()));
+    }
+    let synth = player.scenario().synthetic().ok().cloned();
+
+    // Reference checkpoint: an explicit --model wins; recorded bundles
+    // carry the blob they were served from; synthetic scenarios calibrate
+    // one from their own deterministic training split.
+    let mut blob = match &a.model {
+        Some(m) => std::fs::read(m).map_err(|e| fail("reading checkpoint", e))?,
+        None => match player.reference_model() {
+            Some(b) => b.to_vec(),
+            None => scenario_reference(&player)?,
+        },
+    };
+    let mut reference =
+        DriftPipeline::from_bytes(&blob).map_err(|e| fail("decoding checkpoint", e))?;
+    let expected = reference.detector().config().dim;
+    if expected != player.dim() {
+        return Err(format!(
+            "scenario streams {} features but the checkpoint expects {expected}",
+            player.dim()
+        ));
+    }
+
+    // Guard plan: CLI flags override the scenario's guard line per field.
+    let spec_guard = synth.as_ref().and_then(|s| s.guard.clone());
+    let policy = a
+        .guard_policy
+        .or(spec_guard.as_ref().map(|g| guard_mode_to_policy(g.mode)));
+    let stuck = a
+        .stuck_threshold
+        .or(spec_guard.as_ref().and_then(|g| g.stuck.map(|k| k as u64)));
+    if let Some(g) = guard_override(*reference.guard_config(), policy, stuck) {
+        reference
+            .set_guard_config(g)
+            .map_err(|e| fail("applying guard policy", e))?;
+        blob = reference.to_bytes().map_err(|e| fail("serialising", e))?;
+        writeln!(
+            out,
+            "guard: policy {}, stuck threshold {}",
+            g.policy, g.stuck_threshold
+        )
+        .ok();
+    }
+
+    let mut cfg = FleetConfig::new(a.workers).with_queue_capacity(a.queue);
+    let fault_seed = synth.as_ref().and_then(|s| s.faults.fleet);
+    if let Some(seed) = fault_seed {
+        let injector = FaultInjector::from_seed(seed, sessions.len() as u64);
+        writeln!(out, "fault plan (seed {seed}):").ok();
+        for line in injector.describe().lines() {
+            writeln!(out, "  {line}").ok();
+        }
+        cfg = cfg.with_fault_injector(injector);
+    }
+    if let Some(dir) = &a.state_dir {
+        cfg = cfg.with_state_dir(dir);
+        writeln!(out, "durable state store: {}", dir.display()).ok();
+    }
+    // Federation cadence: an explicit --federate wins; otherwise the
+    // scenario's `federate N` line arms it at the scenario's interval.
+    let fed_interval = if a.federate {
+        Some(a.federate_interval)
+    } else {
+        synth.as_ref().and_then(|s| s.federate)
+    };
+    if let Some(interval) = fed_interval {
+        cfg = cfg.with_federation(FederationConfig::default().with_interval(interval));
+        writeln!(
+            out,
+            "federation: merge round every {interval} fleet-wide samples"
+        )
+        .ok();
+    }
+    let engine = FleetEngine::new(cfg).map_err(|e| fail("starting fleet", e))?;
+    for &id in &sessions {
+        engine
+            .create_from_bytes(SessionId(id), &blob)
+            .map_err(|e| fail("creating session", e))?;
+    }
+    let mut federator = if fed_interval.is_some() {
+        Some(Federator::new(&engine, &blob).map_err(|e| fail("starting federation", e))?)
+    } else {
+        None
+    };
+    if let Some(seed) = a.poison.or(synth.as_ref().and_then(|s| s.faults.poison)) {
+        if let Some(f) = federator.take() {
+            let injector = PoisonInjector::from_seed(seed, &sessions);
+            writeln!(out, "poison plan (seed {seed}):").ok();
+            for line in injector.describe().lines() {
+                writeln!(out, "  {line}").ok();
+            }
+            federator = Some(f.with_poison(injector));
+        }
+    }
+
+    // Synthesize (or load) every per-session stream up front, then feed
+    // t-major so hot sessions interleave the way live ingest would.
+    let mut streams = Vec::with_capacity(sessions.len());
+    for &id in &sessions {
+        streams.push(
+            player
+                .stream(id)
+                .map_err(|e| fail("synthesizing stream", e))?,
+        );
+    }
+    let total: usize = streams.iter().map(Vec::len).sum();
+    writeln!(
+        out,
+        "scenario '{}': {} session(s) over {} workers, {total} total samples",
+        player.name(),
+        sessions.len(),
+        a.workers
+    )
+    .ok();
+    let max_len = streams.iter().map(Vec::len).max().unwrap_or(0);
+    let mut fed_since_round: u64 = 0;
+    for t in 0..max_len {
+        for (i, &id) in sessions.iter().enumerate() {
+            let Some(row) = streams[i].get(t) else {
+                continue;
+            };
+            match engine.feed_blocking(SessionId(id), row) {
+                Ok(()) | Err(FleetError::SessionQuarantined(_)) => {}
+                Err(e) => return Err(fail("feeding sample", e)),
+            }
+            fed_since_round += 1;
+        }
+        if let Some(f) = federator.as_mut() {
+            if fed_since_round >= f.config().interval {
+                fed_since_round = 0;
+                f.run_round(&engine)
+                    .map_err(|e| fail("federation round", e))?;
+            }
+        }
+    }
+
+    let report = engine.shutdown();
+    report_fleet_shutdown(
+        &report,
+        fed_interval.is_some(),
+        fault_seed.is_some(),
+        a.state_dir.is_some(),
+        out,
+    );
     Ok(())
 }
 
@@ -761,6 +995,10 @@ pub fn serve_with_stop(
     if let Some(model) = &a.model {
         let blob = std::fs::read(model).map_err(|e| fail("reading checkpoint", e))?;
         cfg = cfg.with_reference(blob);
+    }
+    if let Some(dir) = &a.record {
+        cfg = cfg.with_record(dir.clone());
+        writeln!(out, "recording ingest to {}", dir.display()).ok();
     }
     let server = Server::bind(&a.listen, cfg).map_err(|e| fail("binding server", e))?;
     if let Some(rec) = server.recovery_report() {
@@ -855,6 +1093,15 @@ pub fn serve_with_stop(
     for (id, reason) in &report.fleet.quarantined {
         writeln!(out, "quarantined: device {} ({reason})", id.0).ok();
     }
+    match &report.recording {
+        Some(Ok(manifest)) => {
+            writeln!(out, "recorded scenario bundle: {}", manifest.display()).ok();
+        }
+        Some(Err(e)) => {
+            writeln!(out, "recording FAILED: {e}").ok();
+        }
+        None => {}
+    }
     writeln!(out, "drained; bye").ok();
     Ok(())
 }
@@ -867,33 +1114,81 @@ pub fn load(a: &LoadArgs, out: Out<'_>) -> Result<(), String> {
     use seqdrift_server::{ChaosConfig, ChaosProxy, Client, ReconnectPolicy, ResilientClient};
     use std::time::Instant;
 
-    let samples = loader::load_csv(&a.csv, a.has_header, a.label_last)
-        .map_err(|e| fail("reading stream CSV", e))?;
-    if samples.is_empty() {
-        return Err("stream CSV contains no rows".into());
-    }
-    let dim = samples[0].dim();
-    let mut rows: Vec<Real> = Vec::with_capacity(samples.len() * dim);
-    for s in &samples {
-        if s.dim() != dim {
-            return Err(format!(
-                "ragged CSV: row with {} features after rows with {dim}",
-                s.dim()
-            ));
+    // Device roster: `(session id, flattened rows)`. With `--csv` every
+    // device replays the same stream; with `--scenario` each device
+    // streams its own deterministic per-session stream and the bench
+    // entry is attributed to the scenario.
+    type Roster = Vec<(u64, std::sync::Arc<Vec<Real>>)>;
+    let (dim, devices, scenario_name): (usize, Roster, Option<String>) = if let Some(path) =
+        &a.scenario
+    {
+        let player = ScenarioPlayer::from_file(path).map_err(|e| fail("loading scenario", e))?;
+        let sessions = player.sessions();
+        if sessions.is_empty() {
+            return Err(format!("scenario '{}' has no sessions", player.name()));
         }
-        rows.extend_from_slice(&s.x);
-    }
-    let rows = std::sync::Arc::new(rows);
-    let n_rows = samples.len();
-    writeln!(
-        out,
-        "loaded {n_rows} rows x {dim} features; {} device(s), {} rows/frame, target {}",
-        a.sessions, a.batch, a.addr
-    )
-    .ok();
+        if player.dim() == 0 {
+            return Err(format!("scenario '{}' has dimension 0", player.name()));
+        }
+        let mut devices = Vec::with_capacity(sessions.len());
+        for &id in &sessions {
+            let stream = player
+                .stream(id)
+                .map_err(|e| fail("synthesizing stream", e))?;
+            let mut flat = Vec::with_capacity(stream.len() * player.dim());
+            for row in &stream {
+                flat.extend_from_slice(row);
+            }
+            devices.push((id, std::sync::Arc::new(flat)));
+        }
+        (player.dim(), devices, Some(player.name().to_string()))
+    } else {
+        let csv = a.csv.as_ref().ok_or("load needs --csv or --scenario")?;
+        let samples = loader::load_csv(csv, a.has_header, a.label_last)
+            .map_err(|e| fail("reading stream CSV", e))?;
+        if samples.is_empty() {
+            return Err("stream CSV contains no rows".into());
+        }
+        let dim = samples[0].dim();
+        let mut rows: Vec<Real> = Vec::with_capacity(samples.len() * dim);
+        for s in &samples {
+            if s.dim() != dim {
+                return Err(format!(
+                    "ragged CSV: row with {} features after rows with {dim}",
+                    s.dim()
+                ));
+            }
+            rows.extend_from_slice(&s.x);
+        }
+        let rows = std::sync::Arc::new(rows);
+        let devices = (0..a.sessions)
+            .map(|d| (a.session0 + d as u64, std::sync::Arc::clone(&rows)))
+            .collect();
+        (dim, devices, None)
+    };
+    let n_devices = devices.len();
+    let total_rows_all: usize = devices.iter().map(|(_, r)| r.len() / dim).sum();
+    match &scenario_name {
+        Some(name) => writeln!(
+            out,
+            "scenario '{name}': {total_rows_all} rows x {dim} features over {n_devices} \
+             device(s), {} rows/frame, target {}",
+            a.batch, a.addr
+        )
+        .ok(),
+        None => writeln!(
+            out,
+            "loaded {} rows x {dim} features; {n_devices} device(s), {} rows/frame, target {}",
+            total_rows_all / n_devices.max(1),
+            a.batch,
+            a.addr
+        )
+        .ok(),
+    };
 
     struct DeviceRun {
         session: u64,
+        total_rows: u64,
         latencies_us: Vec<f64>,
         busy_retries: u64,
         reconnects: u64,
@@ -923,7 +1218,7 @@ pub fn load(a: &LoadArgs, out: Out<'_>) -> Result<(), String> {
         None
     };
     let victims = if a.chaos {
-        a.chaos_victims.unwrap_or(a.sessions.div_ceil(2))
+        a.chaos_victims.unwrap_or(n_devices.div_ceil(2))
     } else {
         0
     };
@@ -939,9 +1234,10 @@ pub fn load(a: &LoadArgs, out: Out<'_>) -> Result<(), String> {
 
     let wall = Instant::now();
     let mut handles = Vec::new();
-    for d in 0..a.sessions {
-        let session = a.session0 + d as u64;
-        let rows = std::sync::Arc::clone(&rows);
+    for (d, (session, rows)) in devices.iter().enumerate() {
+        let session = *session;
+        let rows = std::sync::Arc::clone(rows);
+        let total_rows = (rows.len() / dim) as u64;
         let batch_rows = a.batch;
         let want_snapshot = a.verify;
         let stall_timeout = a.busy_stall_timeout;
@@ -983,6 +1279,7 @@ pub fn load(a: &LoadArgs, out: Out<'_>) -> Result<(), String> {
                     .map_err(|e| format!("device {session}: bye: {e}"))?;
                 Ok(DeviceRun {
                     session,
+                    total_rows,
                     latencies_us: report.latencies_us.iter().map(|&us| us as f64).collect(),
                     busy_retries: report.busy_retries,
                     reconnects,
@@ -1028,6 +1325,7 @@ pub fn load(a: &LoadArgs, out: Out<'_>) -> Result<(), String> {
                 .map_err(|e| format!("device {session}: bye: {e}"))?;
             Ok(DeviceRun {
                 session,
+                total_rows,
                 latencies_us,
                 busy_retries,
                 reconnects: 0,
@@ -1058,7 +1356,7 @@ pub fn load(a: &LoadArgs, out: Out<'_>) -> Result<(), String> {
 
     let sent_rows: u64 = runs
         .iter()
-        .map(|r| (n_rows as u64).saturating_sub(r.resume_from))
+        .map(|r| r.total_rows.saturating_sub(r.resume_from))
         .sum();
     let busy: u64 = runs.iter().map(|r| r.busy_retries).sum();
     let mut latencies: Vec<f64> = runs.iter().flat_map(|r| r.latencies_us.clone()).collect();
@@ -1075,7 +1373,7 @@ pub fn load(a: &LoadArgs, out: Out<'_>) -> Result<(), String> {
                 "device {}: resumed at its sample {}, replayed the remaining {}",
                 r.session,
                 r.resume_from,
-                (n_rows as u64).saturating_sub(r.resume_from)
+                r.total_rows.saturating_sub(r.resume_from)
             )
             .ok();
         }
@@ -1095,7 +1393,7 @@ pub fn load(a: &LoadArgs, out: Out<'_>) -> Result<(), String> {
         }
         let sent: u64 = subset
             .iter()
-            .map(|r| (n_rows as u64).saturating_sub(r.resume_from))
+            .map(|r| r.total_rows.saturating_sub(r.resume_from))
             .sum();
         let mut lat: Vec<f64> = subset.iter().flat_map(|r| r.latencies_us.clone()).collect();
         let (p50, p99) = latency_percentiles(&mut lat);
@@ -1145,19 +1443,33 @@ pub fn load(a: &LoadArgs, out: Out<'_>) -> Result<(), String> {
                             p99_us: p99,
                             samples: sent,
                             unit: None,
+                            scenario: None,
                         },
                     ));
                 }
             }
-        } else {
+        } else if let Some(name) = &scenario_name {
             entries.push((
-                format!("load_sessions_{}_batch_{}", a.sessions, a.batch),
+                format!("scenario_{name}_sessions_{n_devices}_batch_{}", a.batch),
                 IngestEntry {
                     samples_per_sec,
                     p50_us,
                     p99_us,
                     samples: sent_rows,
                     unit: None,
+                    scenario: Some(name.clone()),
+                },
+            ));
+        } else {
+            entries.push((
+                format!("load_sessions_{n_devices}_batch_{}", a.batch),
+                IngestEntry {
+                    samples_per_sec,
+                    p50_us,
+                    p99_us,
+                    samples: sent_rows,
+                    unit: None,
+                    scenario: None,
                 },
             ));
         }
@@ -1167,9 +1479,8 @@ pub fn load(a: &LoadArgs, out: Out<'_>) -> Result<(), String> {
 
     if !failures.is_empty() {
         return Err(format!(
-            "{} of {} device(s) failed; first failure: {}",
+            "{} of {n_devices} device(s) failed; first failure: {}",
             failures.len(),
-            a.sessions,
             failures[0]
         ));
     }
@@ -1180,7 +1491,9 @@ pub fn load(a: &LoadArgs, out: Out<'_>) -> Result<(), String> {
         // Replay the same stream through an in-process fleet and compare
         // checkpoint blobs byte for byte: the networked path must be
         // bit-identical to local execution.
-        let local = FleetEngine::new(FleetConfig::new(a.sessions.min(4)))
+        let device_rows: std::collections::HashMap<u64, &std::sync::Arc<Vec<Real>>> =
+            devices.iter().map(|(id, rows)| (*id, rows)).collect();
+        let local = FleetEngine::new(FleetConfig::new(n_devices.min(4)))
             .map_err(|e| fail("starting verification fleet", e))?;
         let mut verified = 0usize;
         let mut skipped = 0usize;
@@ -1195,11 +1508,14 @@ pub fn load(a: &LoadArgs, out: Out<'_>) -> Result<(), String> {
                 .create_from_bytes(SessionId(r.session), &blob)
                 .map_err(|e| fail("creating verification session", e))?;
         }
-        for row in rows.chunks_exact(dim) {
-            for r in &runs {
-                if r.resume_from > 0 {
-                    continue;
-                }
+        for r in &runs {
+            if r.resume_from > 0 {
+                continue;
+            }
+            let Some(rows) = device_rows.get(&r.session) else {
+                continue;
+            };
+            for row in rows.chunks_exact(dim) {
                 local
                     .feed_blocking(SessionId(r.session), row)
                     .map_err(|e| fail("verification replay", e))?;
@@ -1750,6 +2066,96 @@ mod tests {
         assert!(served.contains("listening on"), "{served}");
         assert!(served.contains("180 sample(s) processed"), "{served}");
         assert!(served.contains("drained; bye"), "{served}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fleet_scenario_is_deterministic() {
+        let dir = tmpdir("fleet-scn");
+        let sqsc = dir.join("drill.sqsc");
+        std::fs::write(
+            &sqsc,
+            "sqsc 1\nname drill\nkind synthetic\nseed 9\nsessions 3\ndim 4\nclasses 2\n\
+             train 40\nsamples 160\nnoise 0.05\ndrift sudden start 80 magnitude 0.8\n\
+             stagger 10\n",
+        )
+        .unwrap();
+        let line = format!("fleet --scenario {} --workers 2", sqsc.display());
+        let sorted = |out: &str| {
+            let mut lines: Vec<&str> = out.lines().collect();
+            lines.sort_unstable();
+            lines.join("\n")
+        };
+        let first = exec(&line).unwrap();
+        let second = exec(&line).unwrap();
+        assert!(
+            first.contains("scenario 'drill': 3 session(s) over 2 workers, 480 total samples"),
+            "{first}"
+        );
+        assert!(first.contains("480 samples processed"), "{first}");
+        assert_eq!(
+            sorted(&first),
+            sorted(&second),
+            "same .sqsc must replay identically"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_records_a_replayable_bundle() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+
+        let dir = tmpdir("serve-record");
+        let train_csv = labelled_csv(&dir, 200, 0.0, 61);
+        let model = dir.join("model.sqdm");
+        exec(&format!(
+            "train --csv {} --out {} --label-last --hidden 6 --window 20",
+            train_csv.display(),
+            model.display()
+        ))
+        .unwrap();
+        let stream = stream_csv(&dir, 60, 0.0, 62);
+        let port_file = dir.join("port.txt");
+        let rec_dir = dir.join("incident-7");
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let server = {
+            let stop = Arc::clone(&stop);
+            let args = Cli::parse(&argv_vec(&format!(
+                "serve --model {} --listen 127.0.0.1:0 --workers 2 --port-file {} --record {}",
+                model.display(),
+                port_file.display(),
+                rec_dir.display()
+            )))
+            .unwrap();
+            std::thread::spawn(move || {
+                let Command::Serve(a) = args.command else {
+                    panic!("not serve")
+                };
+                let mut buf = Vec::new();
+                let r = serve_with_stop(&a, &mut buf, &stop);
+                (r, String::from_utf8(buf).unwrap())
+            })
+        };
+        let addr = wait_for_port_file(&port_file);
+        exec(&format!(
+            "load --csv {} --addr {addr} --sessions 2 --batch 8 --no-header",
+            stream.display()
+        ))
+        .unwrap();
+        stop.store(true, Ordering::Relaxed);
+        let (result, served) = server.join().unwrap();
+        result.unwrap();
+        assert!(served.contains("recorded scenario bundle:"), "{served}");
+
+        // The bundle replays through the scenario fleet path: the
+        // recorded reference model is embedded, so no --model is needed.
+        let manifest = rec_dir.join("scenario.sqsc");
+        assert!(manifest.exists(), "bundle manifest missing");
+        let out = exec(&format!("fleet --scenario {}", manifest.display())).unwrap();
+        assert!(out.contains("scenario 'incident-7': 2 session(s)"), "{out}");
+        assert!(out.contains("120 samples processed"), "{out}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

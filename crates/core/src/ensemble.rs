@@ -22,6 +22,12 @@ pub enum VotePolicy {
     Majority,
     /// Drift only when every member flags (slow, conservative).
     All,
+    /// Drift when the *weighted* flagged mass exceeds half the total
+    /// weight. Weights come from [`EnsembleDetector::with_calibrated_weights`]
+    /// (derived from per-member false-positive rates) or
+    /// [`EnsembleDetector::with_weights`]; with uniform weights this is
+    /// exactly [`VotePolicy::Majority`].
+    Weighted,
 }
 
 /// Ensemble of centroid detectors with different window sizes.
@@ -32,6 +38,9 @@ pub struct EnsembleDetector {
     /// different sizes close at different samples, so votes latch.
     flagged: Vec<bool>,
     policy: VotePolicy,
+    /// Per-member vote weights (uniform unless calibrated); only consulted
+    /// by [`VotePolicy::Weighted`].
+    weights: Vec<Real>,
 }
 
 impl EnsembleDetector {
@@ -53,9 +62,60 @@ impl EnsembleDetector {
         }
         Ok(EnsembleDetector {
             flagged: vec![false; members.len()],
+            weights: vec![1.0; members.len()],
             members,
             policy,
         })
+    }
+
+    /// Sets explicit per-member vote weights (must match the member count,
+    /// be finite, and be positive). Consulted by [`VotePolicy::Weighted`].
+    pub fn with_weights(mut self, weights: Vec<Real>) -> Result<Self> {
+        if weights.len() != self.members.len() {
+            return Err(CoreError::InvalidConfig(
+                "one weight per ensemble member required",
+            ));
+        }
+        if weights.iter().any(|w| !w.is_finite() || *w <= 0.0) {
+            return Err(CoreError::InvalidConfig(
+                "ensemble weights must be finite and positive",
+            ));
+        }
+        self.weights = weights;
+        Ok(self)
+    }
+
+    /// Derives vote weights from calibrated per-member false-positive rates
+    /// (measured on drift-free validation streams): a member that cries
+    /// wolf with probability `p` gets the boosting-style weight
+    /// `ln((1 - p) / p)`, clamped to `[0.05, 10]` so a perfectly silent or
+    /// hopeless member can neither dominate nor vanish entirely. Chattery
+    /// small windows are thus down-weighted instead of excluded, keeping
+    /// their fast reaction available when the reliable members agree.
+    pub fn with_calibrated_weights(self, fp_rates: &[Real]) -> Result<Self> {
+        if fp_rates.len() != self.members.len() {
+            return Err(CoreError::InvalidConfig(
+                "one false-positive rate per ensemble member required",
+            ));
+        }
+        if fp_rates
+            .iter()
+            .any(|p| !p.is_finite() || *p <= 0.0 || *p >= 1.0)
+        {
+            return Err(CoreError::InvalidConfig(
+                "false-positive rates must lie strictly between 0 and 1",
+            ));
+        }
+        let weights = fp_rates
+            .iter()
+            .map(|&p| ((1.0 - p) / p).ln().clamp(0.05, 10.0))
+            .collect();
+        self.with_weights(weights)
+    }
+
+    /// Current per-member vote weights.
+    pub fn weights(&self) -> &[Real] {
+        &self.weights
     }
 
     /// Member count.
@@ -91,6 +151,17 @@ impl EnsembleDetector {
             VotePolicy::Any => yes >= 1,
             VotePolicy::Majority => 2 * yes > self.members.len(),
             VotePolicy::All => yes == self.members.len(),
+            VotePolicy::Weighted => {
+                let total: Real = self.weights.iter().sum();
+                let flagged: Real = self
+                    .flagged
+                    .iter()
+                    .zip(self.weights.iter())
+                    .filter(|(f, _)| **f)
+                    .map(|(_, w)| *w)
+                    .sum();
+                2.0 * flagged > total
+            }
         };
         Ok(fired)
     }
@@ -248,6 +319,105 @@ mod tests {
             assert!(!e.observe(0, &[4.0, 4.0], 1.0).unwrap());
         }
         assert_eq!(e.votes(), &[false, false, false]);
+    }
+
+    #[test]
+    fn weighted_rejects_bad_calibration() {
+        let e = || EnsembleDetector::new(base(), &[5, 40], &trained(), VotePolicy::Weighted);
+        assert!(e().unwrap().with_weights(vec![1.0]).is_err());
+        assert!(e().unwrap().with_weights(vec![1.0, -1.0]).is_err());
+        assert!(e().unwrap().with_weights(vec![1.0, Real::NAN]).is_err());
+        assert!(e().unwrap().with_calibrated_weights(&[0.0, 0.1]).is_err());
+        assert!(e().unwrap().with_calibrated_weights(&[0.5, 1.0]).is_err());
+        let ok = e().unwrap().with_calibrated_weights(&[0.4, 0.02]).unwrap();
+        // The chattery member's weight is a fraction of the reliable one's.
+        assert!(
+            ok.weights()[0] < ok.weights()[1] / 3.0,
+            "{:?}",
+            ok.weights()
+        );
+    }
+
+    #[test]
+    fn weighted_with_uniform_weights_matches_majority() {
+        let run = |policy: VotePolicy| -> Option<usize> {
+            let mut e = EnsembleDetector::new(base(), &[5, 10, 40], &trained(), policy).unwrap();
+            (0..60).find(|_| e.observe(0, &[4.0, 4.0], 1.0).unwrap())
+        };
+        assert_eq!(run(VotePolicy::Weighted), run(VotePolicy::Majority));
+    }
+
+    /// Regression test for the window-size dilemma on *reoccurring* +
+    /// *gradual* scenarios (Table 3): a chattery 5-sample window latches on
+    /// a brief reoccurring excursion that the 40-sample window correctly
+    /// averages away. `Any` fires on the blip; `Weighted` with calibrated
+    /// false-positive rates holds — yet still fires on a genuine gradual
+    /// drift once the reliable member agrees.
+    #[test]
+    fn weighted_vote_survives_reoccurring_blip_but_fires_on_gradual() {
+        use seqdrift_datasets::synth::ClassConcept;
+        use seqdrift_datasets::DriftSchedule;
+
+        let old = ClassConcept::isotropic(vec![0.0, 0.0], 0.05);
+        let new = ClassConcept::isotropic(vec![1.5, 1.5], 0.05);
+        let stream = |schedule: DriftSchedule, n: usize, seed: u64| -> Vec<[Real; 2]> {
+            let mut rng = seqdrift_linalg::Rng::seed_from(seed);
+            (0..n)
+                .map(|t| {
+                    let (use_new, _) = schedule.resolve(t, &mut rng);
+                    let x = if use_new {
+                        new.sample(&mut rng)
+                    } else {
+                        old.sample(&mut rng)
+                    };
+                    [x[0], x[1]]
+                })
+                .collect()
+        };
+        // EWMA recency makes the test centroid track recent samples, so the
+        // window size is the *check cadence*: a 5-window closes mid-blip and
+        // sees the excursion, a 40-window closes after it has decayed away.
+        let cfg = base().with_recency(crate::centroid::Recency::Ewma(0.3));
+        let build = move |policy: VotePolicy| {
+            let e = EnsembleDetector::new(cfg.clone(), &[5, 40], &trained(), policy).unwrap();
+            // Calibrated on drift-free validation streams: the 5-window
+            // chatters (p = 0.4), the 40-window is reliable (p = 0.02).
+            e.with_calibrated_weights(&[0.4, 0.02]).unwrap()
+        };
+        let first_fire = |e: &mut EnsembleDetector, stream: &[[Real; 2]]| -> Option<usize> {
+            stream.iter().position(|x| e.observe(0, x, 1.0).unwrap())
+        };
+
+        // Reoccurring blip: 8 drifted samples out of 400 (samples 100..108).
+        // The 5-window flags; the 40-window sees 8/40 of the shift (0.42 <
+        // theta 0.5) and stays quiet.
+        let blip = stream(DriftSchedule::reoccurring(100, 108), 400, 21);
+        let mut weighted = build(VotePolicy::Weighted);
+        assert_eq!(
+            first_fire(&mut weighted, &blip),
+            None,
+            "weighted vote fired on a transient reoccurring blip"
+        );
+        assert_eq!(
+            weighted.votes(),
+            &[true, false],
+            "the chattery member should have latched on the blip"
+        );
+        let mut any = build(VotePolicy::Any);
+        assert!(
+            first_fire(&mut any, &blip).is_some(),
+            "Any should chatter on the blip (that is the dilemma)"
+        );
+
+        // Gradual drift to a persistent new concept: the reliable member
+        // flags once its window fills with drifted data and the weighted
+        // vote fires.
+        let gradual = stream(DriftSchedule::gradual(100, 200), 400, 22);
+        let mut weighted = build(VotePolicy::Weighted);
+        let fired = first_fire(&mut weighted, &gradual)
+            .expect("weighted vote never fired on a genuine gradual drift");
+        assert!(fired >= 100, "fired before drift onset: {fired}");
+        assert!(fired < 300, "fired too late: {fired}");
     }
 
     #[test]

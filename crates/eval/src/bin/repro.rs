@@ -4,6 +4,7 @@
 //! cargo run --release -p seqdrift-eval --bin repro -- all
 //! cargo run --release -p seqdrift-eval --bin repro -- table2
 //! cargo run --release -p seqdrift-eval --bin repro -- fig4 --quick
+//! cargo run --release -p seqdrift-eval --bin repro -- --scenario drills/sudden.sqsc
 //! ```
 //!
 //! Results print as markdown and are written under `results/` (markdown +
@@ -67,6 +68,36 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .map(PathBuf::from)
         .unwrap_or_else(|| PathBuf::from("results"));
+    let scenario_file: Option<PathBuf> = args
+        .iter()
+        .position(|a| a == "--scenario")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from);
+
+    if let Some(path) = scenario_file {
+        let opts = seqdrift_eval::RunOptions::default();
+        match seqdrift_eval::scenario::run_scenario_file(&path, &opts) {
+            Ok(table) => {
+                println!("{}", table.to_markdown());
+                let stem = format!(
+                    "scenario-{}",
+                    path.file_stem()
+                        .map(|s| s.to_string_lossy().into_owned())
+                        .unwrap_or_else(|| "run".to_string())
+                );
+                if let Err(e) = table.write_to(&out_dir, &stem) {
+                    eprintln!("warning: could not write {stem}: {e}");
+                }
+                eprintln!("results written under {}", out_dir.display());
+                return;
+            }
+            Err(e) => {
+                eprintln!("scenario {} failed: {e}", path.display());
+                std::process::exit(2);
+            }
+        }
+    }
+
     let targets: Vec<&str> = {
         let named: Vec<&str> = args
             .iter()

@@ -17,6 +17,9 @@
 //! * [`sweep`] — thread-parallel parameter sweeps (windows x scenarios x
 //!   seeds);
 //! * [`report`] — markdown / CSV rendering of result tables;
+//! * [`scenario`] — scenario-driven experiment rows: runs the method roster
+//!   over the per-session streams of a declarative `.sqsc` scenario file
+//!   (`cargo run --release -p seqdrift-eval --bin repro -- --scenario f.sqsc`);
 //! * [`experiments`] — one module per paper artefact (fig1, fig4,
 //!   table2–table6, ablations), each runnable via the `repro` binary:
 //!   `cargo run --release -p seqdrift-eval --bin repro -- table2`.
@@ -27,6 +30,7 @@ pub mod metrics;
 pub mod par;
 pub mod report;
 pub mod runner;
+pub mod scenario;
 pub mod sweep;
 
 pub use methods::{MethodSpec, OnlineMethod, StepOutput};

@@ -16,6 +16,7 @@
 //! of the proposed method's sequential reconstruction — both are
 //! label-free.
 
+use seqdrift_baselines::ar::{ArResidual, ArResidualConfig};
 use seqdrift_baselines::kmeans::KMeans;
 use seqdrift_baselines::quanttree::{QuantTree, QuantTreeConfig};
 use seqdrift_baselines::spll::{Spll, SpllConfig};
@@ -25,7 +26,7 @@ use seqdrift_core::reconstruct::ReconstructConfig;
 use seqdrift_core::DetectorConfig;
 use seqdrift_datasets::DriftDataset;
 use seqdrift_linalg::{vector, Real, Rng};
-use seqdrift_oselm::{MultiInstanceModel, Onlad, OsElmConfig};
+use seqdrift_oselm::{ModelError, MultiInstanceModel, Onlad, OsElmConfig};
 
 /// Per-sample output of any method.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -81,6 +82,15 @@ pub enum MethodSpec {
         /// Forgetting factor `α`.
         forgetting: Real,
     },
+    /// AR(p)-residual detector on the model's anomaly score
+    /// (arXiv 2203.04769): least-squares autoregressive fit on a rolling
+    /// window, Page–Hinkley on the one-step-ahead residuals.
+    ArResidual {
+        /// Autoregressive order `p`.
+        order: usize,
+        /// Rolling fit window (also the retraining buffer length).
+        window: usize,
+    },
 }
 
 impl MethodSpec {
@@ -92,6 +102,7 @@ impl MethodSpec {
             MethodSpec::QuantTree { .. } => "Quant Tree".into(),
             MethodSpec::Spll { .. } => "SPLL".into(),
             MethodSpec::Onlad { .. } => "ONLAD".into(),
+            MethodSpec::ArResidual { order, .. } => format!("AR({order}) residual"),
         }
     }
 
@@ -197,6 +208,29 @@ impl MethodSpec {
                 Box::new(OnladMethod {
                     name: self.name(),
                     onlad,
+                })
+            }
+            MethodSpec::ArResidual { order, window } => {
+                let mut model = make_model(&cfg);
+                let mut detector = ArResidual::new(
+                    ArResidualConfig::new(*order, *window).with_thresholds(0.01, 2.0),
+                );
+                // Warm the residual model on the training split's anomaly
+                // scores so the stream starts with a calibrated baseline.
+                for x in &train_rows {
+                    let p = model.predict(x).expect("prediction");
+                    detector.push(p.score);
+                }
+                Box::new(ArMethod {
+                    name: self.name(),
+                    model,
+                    detector,
+                    buffer: Vec::with_capacity(*window),
+                    window: *window,
+                    trained_centroids: class_centroids(dataset),
+                    retraining_points: Vec::new(),
+                    index: 0,
+                    rng: Rng::seed_from(seed ^ 0xA12),
                 })
             }
         }
@@ -465,6 +499,83 @@ fn permute(items: &mut Vec<usize>, k: usize, visit: &mut impl FnMut(&[usize])) {
 }
 
 // ---------------------------------------------------------------------------
+// Extension method: AR(p)-residual detector on the anomaly score.
+
+struct ArMethod {
+    name: String,
+    model: MultiInstanceModel,
+    detector: ArResidual,
+    /// Rolling copy of the last `window` samples, reused for label-free
+    /// retraining on detection (same recipe as the batch methods).
+    buffer: Vec<Vec<Real>>,
+    window: usize,
+    trained_centroids: Vec<Vec<Real>>,
+    retraining_points: Vec<usize>,
+    index: usize,
+    rng: Rng,
+}
+
+impl ArMethod {
+    fn retrain(&mut self) {
+        let classes = self.model.classes();
+        if self.buffer.len() < 4 * classes {
+            return;
+        }
+        let km = KMeans::fit(&self.buffer, classes, 100, &mut self.rng);
+        let mapping = match_clusters(&km.centroids, &self.trained_centroids);
+        let mut buckets: Vec<Vec<Vec<Real>>> = vec![Vec::new(); classes];
+        for (x, &cluster) in self.buffer.iter().zip(km.assignments.iter()) {
+            buckets[mapping[cluster]].push(x.clone());
+        }
+        for (label, bucket) in buckets.iter().enumerate() {
+            if bucket.len() >= 4 {
+                self.model
+                    .init_train_class(label, bucket)
+                    .expect("AR retraining");
+                self.trained_centroids[label] = mean_of(bucket);
+            }
+        }
+        self.retraining_points.push(self.index);
+    }
+}
+
+impl OnlineMethod for ArMethod {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn process(&mut self, x: &[Real]) -> StepOutput {
+        let p = self.model.predict(x).expect("prediction");
+        self.buffer.push(x.to_vec());
+        if self.buffer.len() > self.window {
+            self.buffer.remove(0);
+        }
+        let drift = self.detector.push(p.score);
+        if drift {
+            self.retrain();
+            self.buffer.clear();
+            self.detector.reset();
+        }
+        self.index += 1;
+        StepOutput {
+            predicted_label: p.label,
+            drift_detected: drift,
+        }
+    }
+
+    fn detector_memory_scalars(&self) -> usize {
+        // The residual model's own state plus the retraining buffer it
+        // obliges us to keep (charged the same way the batch methods are
+        // charged for their batch).
+        self.detector.memory_scalars() + self.window * self.trained_centroids[0].len()
+    }
+
+    fn retraining_points(&self) -> &[usize] {
+        &self.retraining_points
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Method 5: ONLAD (passive).
 
 struct OnladMethod {
@@ -478,9 +589,22 @@ impl OnlineMethod for OnladMethod {
     }
 
     fn process(&mut self, x: &[Real]) -> StepOutput {
-        let p = self.onlad.process(x).expect("onlad step");
+        // Forgetting-factor updates are transactional: on a hostile sample
+        // the OS-ELM guard rejects and rolls back, so the prediction is
+        // still valid — re-read it from the untouched model and move on.
+        let label = match self.onlad.process(x) {
+            Ok(p) => p.label,
+            Err(ModelError::RejectedUpdate(_)) => {
+                self.onlad
+                    .model_mut()
+                    .predict(x)
+                    .expect("onlad predict")
+                    .label
+            }
+            Err(e) => panic!("onlad step: {e:?}"),
+        };
         StepOutput {
-            predicted_label: p.label,
+            predicted_label: label,
             drift_detected: false,
         }
     }
@@ -534,6 +658,10 @@ mod tests {
             MethodSpec::QuantTree { batch: 60, bins: 8 },
             MethodSpec::Spll { batch: 60 },
             MethodSpec::Onlad { forgetting: 0.97 },
+            MethodSpec::ArResidual {
+                order: 3,
+                window: 60,
+            },
         ];
         for spec in &specs {
             let mut m = spec.build(&d, 10, 42);
@@ -573,6 +701,37 @@ mod tests {
         // at this toy batch size (60) the gap is ~10x, at the paper's 235+
         // it is the 88.9-96.4% of Table 4.
         assert!(proposed.detector_memory_scalars() < qt.detector_memory_scalars() / 5);
+    }
+
+    #[test]
+    fn ar_method_detects_and_retrains_on_sudden_drift() {
+        let d = tiny_dataset();
+        let mut m = MethodSpec::ArResidual {
+            order: 3,
+            window: 100,
+        }
+        .build(&d, 10, 7);
+        let mut detected_at = None;
+        for (i, s) in d.test.iter().enumerate() {
+            if m.process(&s.x).drift_detected && detected_at.is_none() {
+                detected_at = Some(i);
+            }
+        }
+        let at = detected_at.expect("AR method never detected the sudden drift");
+        assert!(
+            at >= d.drift_start,
+            "false positive before drift: detected at {at}, drift at {}",
+            d.drift_start
+        );
+        assert!(
+            at < d.drift_start + 250,
+            "detection too slow: {at} vs drift at {}",
+            d.drift_start
+        );
+        assert!(
+            !m.retraining_points().is_empty(),
+            "detection did not trigger retraining"
+        );
     }
 
     #[test]

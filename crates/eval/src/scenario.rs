@@ -1,0 +1,173 @@
+//! Scenario-driven experiment rows: run the method roster over the
+//! per-session streams of a declarative `.sqsc` scenario.
+//!
+//! Every consumer of a scenario sees bit-identical streams (the player
+//! derives them purely from the scenario seed), so a row produced here is
+//! directly comparable with a `seqdrift fleet --scenario` run of the same
+//! file: same samples, same order, same drift schedule per session.
+
+use std::path::Path;
+
+use crate::methods::MethodSpec;
+use crate::report::{fmt_delay, Table};
+use crate::runner::{run_method, RunOptions};
+use seqdrift_scenario::ScenarioPlayer;
+
+/// The default method roster for scenario tables: the paper's five methods
+/// plus the AR(p)-residual extension baseline, with batch sizes scaled to
+/// the scenario's stream length.
+pub fn default_methods(samples: usize) -> Vec<MethodSpec> {
+    let batch = (samples / 6).clamp(24, 480);
+    vec![
+        MethodSpec::Proposed { window: 100 },
+        MethodSpec::BaselineNoDetect,
+        MethodSpec::QuantTree { batch, bins: 16 },
+        MethodSpec::Spll { batch },
+        MethodSpec::Onlad { forgetting: 0.97 },
+        MethodSpec::ArResidual {
+            order: 3,
+            window: batch.max(100),
+        },
+    ]
+}
+
+/// Runs `specs` over every *hot* session of the scenario and returns one
+/// row per (session, method). Recorded scenarios carry no ground-truth
+/// labels and are rejected.
+pub fn run_scenario(
+    player: &ScenarioPlayer,
+    specs: &[MethodSpec],
+    opts: &RunOptions,
+) -> Result<Table, String> {
+    let spec = player
+        .scenario()
+        .synthetic()
+        .map_err(|e| e.to_string())?
+        .clone();
+    let mut table = Table::new(
+        format!(
+            "Scenario '{}': {} drift, {} session(s), stagger {}",
+            player.name(),
+            spec.drift.kind.keyword(),
+            spec.sessions,
+            spec.stagger
+        ),
+        &[
+            "Session",
+            "Method",
+            "Accuracy (%)",
+            "Detections",
+            "Delay",
+            "FP",
+            "Detector memory (scalars)",
+        ],
+    );
+    for session in player.sessions() {
+        if player.stream_len(session) == 0 {
+            continue; // idle session under the traffic mix
+        }
+        let dataset = player.dataset(session).map_err(|e| e.to_string())?;
+        for m in specs {
+            let r = run_method(m, &dataset, opts);
+            table.push_row(vec![
+                session.to_string(),
+                r.method.clone(),
+                format!("{:.1}", r.accuracy_pct()),
+                r.detections.len().to_string(),
+                fmt_delay(r.delay),
+                r.false_positives.to_string(),
+                r.detector_memory_scalars.to_string(),
+            ]);
+        }
+    }
+    if table.is_empty() {
+        return Err(format!(
+            "scenario '{}' has no hot sessions to evaluate",
+            player.name()
+        ));
+    }
+    Ok(table)
+}
+
+/// Convenience wrapper: load a `.sqsc` file and run the default roster.
+pub fn run_scenario_file(path: &Path, opts: &RunOptions) -> Result<Table, String> {
+    let player = ScenarioPlayer::from_file(path).map_err(|e| e.to_string())?;
+    let samples = player
+        .sessions()
+        .iter()
+        .map(|&s| player.stream_len(s))
+        .max()
+        .unwrap_or(0);
+    let specs = default_methods(samples);
+    run_scenario(&player, &specs, opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqdrift_scenario::Scenario;
+
+    fn player() -> ScenarioPlayer {
+        let text = "sqsc 1\nname eval-demo\nkind synthetic\nseed 5\nsessions 2\ndim 6\nclasses 2\ntrain 80\nsamples 400\nnoise 0.05\ndrift sudden start 150 magnitude 1.0\nstagger 50\ntraffic hot 1 idle 0\n";
+        ScenarioPlayer::new(Scenario::parse(text).unwrap(), None).unwrap()
+    }
+
+    #[test]
+    fn scenario_rows_cover_hot_sessions_and_methods() {
+        let p = player();
+        let specs = [
+            MethodSpec::BaselineNoDetect,
+            MethodSpec::Proposed { window: 60 },
+        ];
+        let opts = RunOptions {
+            hidden: 10,
+            seed: 9,
+            accuracy_window: 200,
+        };
+        let t = run_scenario(&p, &specs, &opts).unwrap();
+        // 1 hot session x 2 methods (session 1 is idle with 0 samples).
+        assert_eq!(t.len(), 2);
+        assert!(t.title.contains("eval-demo"));
+    }
+
+    #[test]
+    fn scenario_rows_are_deterministic() {
+        let p = player();
+        let specs = [MethodSpec::BaselineNoDetect];
+        let opts = RunOptions {
+            hidden: 8,
+            seed: 3,
+            accuracy_window: 200,
+        };
+        let a = run_scenario(&p, &specs, &opts).unwrap();
+        let b = run_scenario(&p, &specs, &opts).unwrap();
+        assert_eq!(a.to_csv(), b.to_csv());
+    }
+
+    #[test]
+    fn onlad_survives_rejected_forgetting_updates() {
+        // Post-drift samples far from the training concepts can make the
+        // forgetting-factor OS-ELM update reject transactionally; the
+        // method must keep serving predictions instead of panicking.
+        let text = "sqsc 1\nname onlad-reject\nkind synthetic\nseed 42\nsessions 1\ndim 6\nclasses 2\ntrain 40\nsamples 400\ndrift sudden start 80 magnitude 0.8\n";
+        let p = ScenarioPlayer::new(Scenario::parse(text).unwrap(), None).unwrap();
+        let specs = [MethodSpec::Onlad { forgetting: 0.97 }];
+        let t = run_scenario(&p, &specs, &RunOptions::default()).unwrap();
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn default_roster_scales_batches() {
+        let specs = default_methods(600);
+        assert!(specs.len() >= 6);
+        assert!(specs
+            .iter()
+            .any(|s| matches!(s, MethodSpec::ArResidual { .. })));
+        if let Some(MethodSpec::QuantTree { batch, .. }) = specs
+            .iter()
+            .find(|s| matches!(s, MethodSpec::QuantTree { .. }))
+        {
+            assert_eq!(*batch, 100);
+        }
+    }
+}

@@ -42,6 +42,12 @@ impl Onlad {
         &self.model
     }
 
+    /// Mutable access to the underlying model (prediction needs `&mut`
+    /// for its internal scratch buffers).
+    pub fn model_mut(&mut self) -> &mut MultiInstanceModel {
+        &mut self.model
+    }
+
     /// Initially trains the per-class instances.
     pub fn init_train_class(&mut self, label: usize, xs: &[Vec<Real>]) -> Result<()> {
         self.model.init_train_class(label, xs)

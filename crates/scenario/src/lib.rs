@@ -1,0 +1,95 @@
+//! Declarative stream scenarios for seqdrift (`.sqsc` files).
+//!
+//! A *scenario* is a small, versioned, human-writable text file that pins
+//! down an entire fleet workload: drift type × magnitude × schedule,
+//! per-session stagger, traffic mix (hot vs. idle sessions), fault-injection
+//! seeds, guard policy, and federation cadence. The same file drives three
+//! consumers with **bit-identical** per-session streams:
+//!
+//! * `crates/eval` — scenario-driven experiment rows,
+//! * `seqdrift fleet --scenario FILE` — the in-process fleet harness,
+//! * `seqdrift load --scenario FILE` — the network load generator.
+//!
+//! Scenarios come in two kinds:
+//!
+//! * **synthetic** — streams are synthesized deterministically from a seed;
+//!   every sample is a pure function of `(scenario, session, index)` and is
+//!   therefore independent of worker count, feed order, and consumer.
+//! * **recorded** — a bundle captured from a live `seqdrift serve` session
+//!   (per-session rows + reference model + ingest event log) that replays
+//!   the exact ingested bytes, turning any incident into a regression test.
+//!
+//! The format is hand-rolled (no external dependencies), line-oriented, and
+//! versioned: the first meaningful line must be `sqsc 1`. Parse errors carry
+//! the offending line number. [`Scenario::render`] emits a canonical form
+//! whose re-parse compares equal (`parse(render(s)) == s`).
+//!
+//! ```text
+//! sqsc 1
+//! name gradual-wave
+//! kind synthetic
+//! seed 42
+//! sessions 4
+//! dim 8
+//! classes 2
+//! train 120
+//! samples 600
+//! drift gradual start 200 end 400 magnitude 0.8
+//! stagger 25
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod model;
+pub mod parse;
+pub mod player;
+pub mod record;
+
+pub use model::{
+    DriftKind, DriftSpec, FaultsSpec, GuardMode, GuardSpec, RecordedSession, RecordedSpec,
+    Scenario, ScenarioBody, SynthSpec, TrafficSpec, FORMAT_VERSION,
+};
+pub use player::ScenarioPlayer;
+pub use record::{RecordEvent, Recording};
+
+use std::fmt;
+
+/// Errors produced while parsing, validating, or playing a scenario.
+#[derive(Debug)]
+pub enum ScenarioError {
+    /// The scenario text is malformed; `line` is 1-based.
+    Parse {
+        /// 1-based line number of the offending (or last meaningful) line.
+        line: usize,
+        /// Human-readable description.
+        msg: String,
+    },
+    /// The scenario is well-formed but semantically unusable for the
+    /// requested operation (e.g. asking a recorded scenario for labels).
+    Invalid(String),
+    /// An I/O failure while reading or writing scenario files or bundles.
+    Io(String),
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::Parse { line, msg } => write!(f, "line {line}: {msg}"),
+            ScenarioError::Invalid(msg) => write!(f, "invalid scenario: {msg}"),
+            ScenarioError::Io(msg) => write!(f, "scenario io: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+impl From<std::io::Error> for ScenarioError {
+    fn from(e: std::io::Error) -> Self {
+        ScenarioError::Io(e.to_string())
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, ScenarioError>;

@@ -1,0 +1,200 @@
+//! Recorded ingest bundles: accumulate live per-session rows + connection
+//! events, then write a replayable `.sqsc` + data bundle.
+//!
+//! The writer emits:
+//!
+//! * `scenario.sqsc` — a `kind recorded` manifest,
+//! * `reference.sqdm` — the reference model blob sessions were created from,
+//! * `session_<id>.csv` — one file per session, rows in applied order,
+//!   floats in Rust's shortest round-trip formatting (replay is bit-exact),
+//! * `ingest.log` — timing + connection events (informational).
+//!
+//! All files are written via `seqdrift_store::atomic_write` so a crashed
+//! recorder never leaves a half-written bundle entry.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use seqdrift_linalg::Real;
+
+use crate::model::{RecordedSession, RecordedSpec, Scenario, ScenarioBody};
+use crate::{Result, ScenarioError};
+
+/// One timestamped ingest event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecordEvent {
+    /// Microseconds since the recording started.
+    pub t_us: u64,
+    /// Wire session id.
+    pub session: u64,
+    /// Event kind: `hello`, `samples`, `bye`, `disconnect`, ...
+    pub kind: String,
+    /// Rows involved (for `samples`; zero otherwise).
+    pub rows: usize,
+}
+
+/// An in-memory recording being accumulated from a live tap.
+#[derive(Debug, Clone)]
+pub struct Recording {
+    name: String,
+    dim: usize,
+    reference: Option<Vec<u8>>,
+    /// Applied rows per session, flattened, in applied order.
+    rows: BTreeMap<u64, Vec<Real>>,
+    events: Vec<RecordEvent>,
+}
+
+impl Recording {
+    /// Starts an empty recording. `dim` may be zero until the first rows
+    /// arrive (set via [`Recording::set_dim`]).
+    pub fn new(name: impl Into<String>) -> Recording {
+        Recording {
+            name: sanitize_name(&name.into()),
+            dim: 0,
+            reference: None,
+            rows: BTreeMap::new(),
+            events: Vec::new(),
+        }
+    }
+
+    /// Sets the feature dimensionality (first writer wins).
+    pub fn set_dim(&mut self, dim: usize) {
+        if self.dim == 0 {
+            self.dim = dim;
+        }
+    }
+
+    /// Attaches the reference model blob sessions are created from.
+    pub fn set_reference(&mut self, blob: Vec<u8>) {
+        if self.reference.is_none() {
+            self.reference = Some(blob);
+        }
+    }
+
+    /// Appends applied rows (flattened, length a multiple of `dim`) for a
+    /// session.
+    pub fn push_rows(&mut self, session: u64, rows: &[Real]) {
+        self.rows
+            .entry(session)
+            .or_default()
+            .extend_from_slice(rows);
+    }
+
+    /// Appends a timestamped event to the ingest log.
+    pub fn push_event(&mut self, t_us: u64, session: u64, kind: impl Into<String>, rows: usize) {
+        self.events.push(RecordEvent {
+            t_us,
+            session,
+            kind: kind.into(),
+            rows,
+        });
+    }
+
+    /// Total applied rows across all sessions.
+    pub fn total_rows(&self) -> usize {
+        if self.dim == 0 {
+            return 0;
+        }
+        self.rows.values().map(|v| v.len() / self.dim).sum()
+    }
+
+    /// Sessions that have applied rows.
+    pub fn session_count(&self) -> usize {
+        self.rows.values().filter(|v| !v.is_empty()).count()
+    }
+
+    /// Writes the bundle into `dir` (created if missing) and returns the
+    /// path of the `.sqsc` manifest. Fails if no rows were recorded or the
+    /// dimensionality was never set.
+    pub fn write_bundle(&self, dir: &Path) -> Result<PathBuf> {
+        if self.dim == 0 || self.rows.values().all(|v| v.is_empty()) {
+            return Err(ScenarioError::Invalid(
+                "nothing recorded: no session rows were applied".into(),
+            ));
+        }
+        std::fs::create_dir_all(dir)
+            .map_err(|e| ScenarioError::Io(format!("{}: {e}", dir.display())))?;
+
+        let write = |rel: &str, bytes: &[u8]| -> Result<()> {
+            let p = dir.join(rel);
+            seqdrift_store::atomic_write(&p, bytes)
+                .map_err(|e| ScenarioError::Io(format!("{}: {e}", p.display())))
+        };
+
+        let reference = match &self.reference {
+            Some(blob) => {
+                write("reference.sqdm", blob)?;
+                Some("reference.sqdm".to_string())
+            }
+            None => None,
+        };
+
+        let log = if self.events.is_empty() {
+            None
+        } else {
+            let mut text = String::from("t_us,session,event,rows\n");
+            for e in &self.events {
+                text.push_str(&format!("{},{},{},{}\n", e.t_us, e.session, e.kind, e.rows));
+            }
+            write("ingest.log", text.as_bytes())?;
+            Some("ingest.log".to_string())
+        };
+
+        let mut sessions = Vec::new();
+        for (&id, flat) in &self.rows {
+            if flat.is_empty() {
+                continue;
+            }
+            let rows = flat.len() / self.dim;
+            let file = format!("session_{id}.csv");
+            let mut text = String::new();
+            for row in flat.chunks_exact(self.dim) {
+                let mut first = true;
+                for v in row {
+                    if !first {
+                        text.push(',');
+                    }
+                    first = false;
+                    text.push_str(&format!("{v}"));
+                }
+                text.push('\n');
+            }
+            write(&file, text.as_bytes())?;
+            sessions.push(RecordedSession { id, rows, file });
+        }
+
+        let scenario = Scenario {
+            name: self.name.clone(),
+            body: ScenarioBody::Recorded(RecordedSpec {
+                dim: self.dim,
+                reference,
+                log,
+                sessions,
+            }),
+        };
+        let manifest = dir.join("scenario.sqsc");
+        seqdrift_store::atomic_write(&manifest, scenario.render().as_bytes())
+            .map_err(|e| ScenarioError::Io(format!("{}: {e}", manifest.display())))?;
+        Ok(manifest)
+    }
+}
+
+/// Scenario names are single tokens; replace anything else so recorded
+/// names always parse back.
+fn sanitize_name(raw: &str) -> String {
+    let cleaned: String = raw
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' || c == '.' {
+                c
+            } else {
+                '-'
+            }
+        })
+        .collect();
+    if cleaned.is_empty() {
+        "recorded".to_string()
+    } else {
+        cleaned
+    }
+}

@@ -28,6 +28,11 @@
 //! hostile or stalled connection can never corrupt another's stream —
 //! the blast radius of any single client is exactly itself.
 //!
+//! Live ingest can be captured for replay: [`recorder`] taps every
+//! accepted sample row (plus hello/bye/disconnect events and timing) into
+//! a `seqdrift-scenario` recording, and the drain path writes it out as a
+//! replayable `.sqsc` bundle — any incident becomes a regression test.
+//!
 //! Robustness is proven, not assumed: [`chaos`] ships a deterministic
 //! in-process fault-injection proxy (resets, short writes, slow-loris
 //! stalls, jitter, blackholes — all replayable from one seed), and
@@ -40,6 +45,7 @@ pub mod client;
 pub mod metrics;
 pub mod proto;
 pub mod reconnect;
+pub mod recorder;
 mod server;
 
 pub use chaos::{ChaosConfig, ChaosEvent, ChaosProxy, ConnPlan, Direction, FaultKind};
@@ -47,4 +53,5 @@ pub use client::{BatchReply, Client, ClientError, HelloReply};
 pub use metrics::{ServerMetrics, ServerMetricsSnapshot};
 pub use proto::{FrameType, Message, NackCode, ProtoError};
 pub use reconnect::{ReconnectPolicy, ResilientClient, StreamReport};
+pub use recorder::ScenarioRecorder;
 pub use server::{AdmissionConfig, Server, ServerConfig, ServerError, ServerReport};

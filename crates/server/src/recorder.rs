@@ -1,0 +1,103 @@
+//! Live-ingest scenario recording: taps every *accepted* sample row (and
+//! the connection events around them) into a
+//! [`seqdrift_scenario::Recording`], which the drain path writes out as a
+//! replayable `.sqsc` + data bundle.
+//!
+//! Only rows the fleet actually applied are recorded — a batch that hit
+//! backpressure records its accepted prefix, a NACKed batch records the
+//! rows applied before the error — so replaying the bundle through
+//! `seqdrift fleet --scenario` reproduces the exact per-session streams
+//! the live fleet consumed, bit for bit.
+
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use seqdrift_linalg::Real;
+use seqdrift_scenario::Recording;
+
+/// Thread-safe recording tap shared by every connection handler.
+pub struct ScenarioRecorder {
+    dir: PathBuf,
+    started: Instant,
+    inner: Mutex<Recording>,
+}
+
+impl ScenarioRecorder {
+    /// Starts a recorder that will write its bundle into `dir`. The
+    /// scenario is named after the directory's final component.
+    pub fn new(dir: &Path) -> ScenarioRecorder {
+        let name = dir
+            .file_name()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "recorded".to_string());
+        ScenarioRecorder {
+            dir: dir.to_path_buf(),
+            started: Instant::now(),
+            inner: Mutex::new(Recording::new(name)),
+        }
+    }
+
+    /// The bundle output directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn t_us(&self) -> u64 {
+        u64::try_from(self.started.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Recording> {
+        match self.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Attaches the reference model blob sessions are created from.
+    pub fn set_reference(&self, blob: &[u8]) {
+        self.lock().set_reference(blob.to_vec());
+    }
+
+    /// A HELLO completed for `session` with the declared dimension.
+    pub fn on_hello(&self, session: u64, dim: u32) {
+        let t = self.t_us();
+        let mut rec = self.lock();
+        rec.set_dim(dim as usize);
+        rec.push_event(t, session, "hello", 0);
+    }
+
+    /// `accepted` rows of a batch were applied by the fleet; `data` is the
+    /// full flattened batch, of which only the accepted prefix is kept.
+    pub fn on_rows(&self, session: u64, dim: usize, data: &[Real], accepted: usize) {
+        if accepted == 0 || dim == 0 {
+            return;
+        }
+        let keep = (accepted * dim).min(data.len());
+        let t = self.t_us();
+        let mut rec = self.lock();
+        rec.set_dim(dim);
+        rec.push_rows(session, &data[..keep]);
+        rec.push_event(t, session, "samples", accepted);
+    }
+
+    /// The client said goodbye on `session`'s connection.
+    pub fn on_bye(&self, session: u64) {
+        let t = self.t_us();
+        self.lock().push_event(t, session, "bye", 0);
+    }
+
+    /// `session`'s connection ended without a BYE (eviction, fault, drain).
+    pub fn on_disconnect(&self, session: u64) {
+        let t = self.t_us();
+        self.lock().push_event(t, session, "disconnect", 0);
+    }
+
+    /// Writes the bundle; returns the `.sqsc` manifest path. Fails when
+    /// nothing was recorded.
+    pub fn finish(&self) -> Result<PathBuf, String> {
+        self.lock()
+            .write_bundle(&self.dir)
+            .map_err(|e| e.to_string())
+    }
+}

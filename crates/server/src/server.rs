@@ -62,6 +62,7 @@ use crate::metrics::{ServerMetrics, ServerMetricsSnapshot};
 use crate::proto::{
     decode_frame, header_payload_len, Message, NackCode, CRC_LEN, HEADER_LEN, MAGIC,
 };
+use crate::recorder::ScenarioRecorder;
 
 /// Session id key for events not attributable to any session (e.g. a
 /// worker respawn): delivered to whichever connection drains next.
@@ -121,6 +122,10 @@ pub struct ServerConfig {
     pub read_tick: Duration,
     /// Front-door admission limits.
     pub admission: AdmissionConfig,
+    /// When set, every accepted sample row (plus connection events) is
+    /// recorded and written into this directory at drain time as a
+    /// replayable `.sqsc` scenario bundle.
+    pub record: Option<std::path::PathBuf>,
 }
 
 impl ServerConfig {
@@ -133,6 +138,7 @@ impl ServerConfig {
             idle_timeout: Duration::from_secs(30),
             read_tick: Duration::from_millis(25),
             admission: AdmissionConfig::default(),
+            record: None,
         }
     }
 
@@ -151,6 +157,12 @@ impl ServerConfig {
     /// Overrides the front-door admission limits.
     pub fn with_admission(mut self, admission: AdmissionConfig) -> Self {
         self.admission = admission;
+        self
+    }
+
+    /// Records live ingest into `dir` as a replayable scenario bundle.
+    pub fn with_record(mut self, dir: std::path::PathBuf) -> Self {
+        self.record = Some(dir);
         self
     }
 }
@@ -207,6 +219,10 @@ pub struct ServerReport {
     /// Sessions resumed from the durable store at bind time, as
     /// `(session, samples_processed)`.
     pub resumed: Vec<(u64, u64)>,
+    /// Outcome of the ingest recording, when one was requested: the path
+    /// of the written `.sqsc` manifest, or why the bundle write failed
+    /// (e.g. nothing was recorded).
+    pub recording: Option<std::result::Result<std::path::PathBuf, String>>,
 }
 
 /// State shared between the accept loop and every connection handler.
@@ -227,6 +243,8 @@ struct Shared {
     idle_timeout: Duration,
     read_tick: Duration,
     admission: AdmissionConfig,
+    /// Live-ingest tap writing a replayable scenario bundle at drain.
+    recorder: Option<ScenarioRecorder>,
     /// Sample payload bytes read off the wire and not yet acknowledged,
     /// across all connections (the bytes-in-flight admission gauge).
     bytes_in_flight: AtomicU64,
@@ -389,6 +407,13 @@ impl Server {
             ),
         };
         let known: HashSet<u64> = resumed.keys().copied().collect();
+        let recorder = cfg.record.as_deref().map(|dir| {
+            let rec = ScenarioRecorder::new(dir);
+            if let Some(blob) = &cfg.reference {
+                rec.set_reference(blob);
+            }
+            rec
+        });
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         Ok(Server {
@@ -407,6 +432,7 @@ impl Server {
                 idle_timeout: cfg.idle_timeout,
                 read_tick: cfg.read_tick,
                 admission: cfg.admission,
+                recorder,
                 bytes_in_flight: AtomicU64::new(0),
                 gates: Mutex::new(HashMap::new()),
             }),
@@ -540,22 +566,31 @@ impl Server {
             .map(|(&id, &s)| (id, s))
             .collect();
         resumed.sort_unstable();
-        let fleet_report = match Arc::try_unwrap(self.shared) {
-            Ok(shared) => shared.fleet.shutdown(),
+        let (fleet_report, recording) = match Arc::try_unwrap(self.shared) {
+            Ok(shared) => {
+                // The bundle is written before the fleet shuts down so a
+                // shutdown panic cannot lose the captured streams.
+                let recording = shared.recorder.as_ref().map(ScenarioRecorder::finish);
+                (shared.fleet.shutdown(), recording)
+            }
             // Unreachable once every handler is joined; returning an
             // empty report keeps this path panic-free regardless.
-            Err(shared) => ShutdownReport {
-                sessions: Vec::new(),
-                quarantined: shared.fleet.quarantined_sessions(),
-                lost: Vec::new(),
-                events: shared.fleet.drain_events(),
-                metrics: shared.fleet.metrics(),
-            },
+            Err(shared) => (
+                ShutdownReport {
+                    sessions: Vec::new(),
+                    quarantined: shared.fleet.quarantined_sessions(),
+                    lost: Vec::new(),
+                    events: shared.fleet.drain_events(),
+                    metrics: shared.fleet.metrics(),
+                },
+                None,
+            ),
         };
         ServerReport {
             fleet: fleet_report,
             net,
             resumed,
+            recording,
         }
     }
 }
@@ -735,10 +770,24 @@ fn send_nack(
     ok
 }
 
+/// One connection's lifecycle: runs the read-dispatch-reply loop, then —
+/// when a recorder is attached — logs a `disconnect` event for every
+/// session that was still live on the connection when it ended (an
+/// orderly BYE removes the session from the map first).
+fn handle_connection(stream: TcpStream, shared: &Shared) {
+    let mut helloed: HashMap<u64, (u32, u64)> = HashMap::new();
+    connection_loop(stream, shared, &mut helloed);
+    if let Some(rec) = &shared.recorder {
+        for &session in helloed.keys() {
+            rec.on_disconnect(session);
+        }
+    }
+}
+
 /// One connection's read-dispatch-reply loop. Strictly request/response:
 /// the handler owns both directions of the stream, so replies (including
 /// event push-backs riding on acks) never interleave.
-fn handle_connection(mut stream: TcpStream, shared: &Shared) {
+fn connection_loop(mut stream: TcpStream, shared: &Shared, helloed: &mut HashMap<u64, (u32, u64)>) {
     // On some platforms (notably Windows) accepted sockets inherit the
     // listener's nonblocking flag, which would make the read timeout
     // below ineffective; clear it explicitly.
@@ -748,10 +797,6 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
         return;
     }
     let _ = stream.set_nodelay(true);
-    // Sessions HELLOed on this connection: declared dim plus the fence
-    // epoch granted by the handshake (stale after the session re-HELLOs
-    // on another connection).
-    let mut helloed: HashMap<u64, (u32, u64)> = HashMap::new();
     // Until the first HELLO completes, every read races this absolute
     // deadline; a half-open or trickling socket is dropped at it.
     let mut handshake_deadline = (shared.admission.handshake_timeout > Duration::ZERO)
@@ -842,6 +887,9 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
                 match handle_hello(shared, session, dim, scalar_width) {
                     Ok((reply, epoch)) => {
                         helloed.insert(session, (dim, epoch));
+                        if let Some(rec) = &shared.recorder {
+                            rec.on_hello(session, dim);
+                        }
                         // Handshake complete: from here the idle window
                         // alone governs the connection's lifetime.
                         handshake_deadline = None;
@@ -972,7 +1020,14 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
                     return;
                 }
             }
-            Message::Bye => return,
+            Message::Bye => {
+                if let Some(rec) = &shared.recorder {
+                    rec.on_bye(session);
+                    // An orderly goodbye is not a disconnect.
+                    helloed.remove(&session);
+                }
+                return;
+            }
             // A client must not send server-side frame types; treat as a
             // semantic error, not corruption.
             Message::HelloAck { .. }
@@ -1135,6 +1190,9 @@ fn handle_hello(
 /// Feeds a batch row by row through the blocking path. A timeout under
 /// backpressure becomes a `Busy` reply carrying the partial progress and
 /// the stalled queue's depth; other fleet errors become typed NACKs.
+/// Every exit records its accepted prefix with the ingest recorder (when
+/// one is attached), so a recorded bundle holds exactly the rows the
+/// fleet applied — partial batches included.
 fn handle_samples(shared: &Shared, session: u64, dim: usize, data: &[Real]) -> Message {
     if dim == 0 || !data.len().is_multiple_of(dim) {
         return Message::Nack {
@@ -1142,6 +1200,11 @@ fn handle_samples(shared: &Shared, session: u64, dim: usize, data: &[Real]) -> M
             detail: "sample data not a whole number of rows".into(),
         };
     }
+    let record = |accepted: u32| {
+        if let Some(rec) = &shared.recorder {
+            rec.on_rows(session, dim, data, accepted as usize);
+        }
+    };
     let mut accepted: u32 = 0;
     for row in data.chunks_exact(dim) {
         match shared.fleet.feed_blocking(SessionId(session), row) {
@@ -1152,6 +1215,7 @@ fn handle_samples(shared: &Shared, session: u64, dim: usize, data: &[Real]) -> M
                     .metrics
                     .samples_accepted
                     .fetch_add(u64::from(accepted), Ordering::Relaxed);
+                record(accepted);
                 return Message::Busy {
                     accepted,
                     queue_depth: queue_depth as u32,
@@ -1162,6 +1226,7 @@ fn handle_samples(shared: &Shared, session: u64, dim: usize, data: &[Real]) -> M
                     .metrics
                     .samples_accepted
                     .fetch_add(u64::from(accepted), Ordering::Relaxed);
+                record(accepted);
                 return Message::Nack {
                     code: fleet_nack_code(&e),
                     detail: e.to_string(),
@@ -1173,6 +1238,7 @@ fn handle_samples(shared: &Shared, session: u64, dim: usize, data: &[Real]) -> M
         .metrics
         .samples_accepted
         .fetch_add(u64::from(accepted), Ordering::Relaxed);
+    record(accepted);
     shared.pump_events();
     Message::SampleAck {
         accepted,

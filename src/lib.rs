@@ -34,7 +34,11 @@
 //!   recovery that survives torn writes, bit flips and power loss;
 //! * [`server`] — the network ingest layer: a std-only TCP server
 //!   multiplexing device connections into one fleet over the versioned,
-//!   CRC-sealed `SQNP` wire protocol, plus the matching client.
+//!   CRC-sealed `SQNP` wire protocol, plus the matching client;
+//! * [`scenario`] — declarative `.sqsc` stream scenarios: drift shape ×
+//!   schedule × per-session stagger × fault seeds, synthesized
+//!   deterministically for eval/fleet/load, plus live-ingest recording
+//!   into replayable bundles.
 //!
 //! ## Quickstart
 //!
@@ -82,6 +86,7 @@ pub use seqdrift_federate as federate;
 pub use seqdrift_fleet as fleet;
 pub use seqdrift_linalg as linalg;
 pub use seqdrift_oselm as oselm;
+pub use seqdrift_scenario as scenario;
 pub use seqdrift_server as server;
 pub use seqdrift_store as store;
 
@@ -106,6 +111,7 @@ pub mod prelude {
         multi_instance::MultiInstanceModel,
         oselm::{OsElm, OsElmConfig},
     };
+    pub use seqdrift_scenario::{Recording, Scenario, ScenarioPlayer};
     pub use seqdrift_server::{
         AdmissionConfig, ChaosConfig, ChaosProxy, Client, ReconnectPolicy, ResilientClient, Server,
         ServerConfig,

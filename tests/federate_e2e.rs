@@ -181,6 +181,7 @@ fn federated_merging_cuts_reconstruction_delay_for_the_fleet() {
                     p99_us: off_p99,
                     samples: SESSIONS - VANGUARDS,
                     unit: Some("samples".to_string()),
+                    scenario: None,
                 },
             ),
             (
@@ -191,6 +192,7 @@ fn federated_merging_cuts_reconstruction_delay_for_the_fleet() {
                     p99_us: on_p99,
                     samples: SESSIONS - VANGUARDS,
                     unit: Some("samples".to_string()),
+                    scenario: None,
                 },
             ),
         ],

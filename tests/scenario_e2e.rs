@@ -1,0 +1,128 @@
+//! Scenario determinism end-to-end: one `.sqsc` file must drive every
+//! consumer — eval datasets, fleet replays, load streams — with
+//! bit-identical per-session streams, and the resulting fleet state must
+//! not depend on how many workers the engine shards sessions across.
+
+use seqdrift::core::{DetectorConfig, DriftPipeline};
+use seqdrift::prelude::*;
+use seqdrift::scenario::ScenarioPlayer;
+
+const SCENARIO: &str = "\
+sqsc 1
+name workers-drill
+kind synthetic
+seed 5
+sessions 4
+dim 6
+classes 2
+train 30
+samples 300
+noise 0.05
+drift sudden start 50 magnitude 0.5
+stagger 10
+";
+
+fn player() -> ScenarioPlayer {
+    let scenario = Scenario::parse(SCENARIO).unwrap();
+    ScenarioPlayer::new(scenario, None).unwrap()
+}
+
+/// Calibrate a reference checkpoint from the scenario's own deterministic
+/// training split; every worker-count run starts from this same blob.
+fn reference(p: &ScenarioPlayer) -> Vec<u8> {
+    let pairs = p.train_pairs().unwrap();
+    let mut model = MultiInstanceModel::new(2, OsElmConfig::new(6, 4).with_seed(5)).unwrap();
+    let mut buckets: Vec<Vec<Vec<Real>>> = vec![Vec::new(); 2];
+    for (label, x) in &pairs {
+        buckets[*label].push(x.clone());
+    }
+    for (label, bucket) in buckets.iter().enumerate() {
+        model.init_train_class(label, bucket).unwrap();
+    }
+    let refs: Vec<(usize, &[Real])> = pairs.iter().map(|(l, x)| (*l, x.as_slice())).collect();
+    let det = DetectorConfig::new(2, 6).with_window(20);
+    DriftPipeline::calibrate(model, det, &refs)
+        .unwrap()
+        .to_bytes()
+        .unwrap()
+}
+
+/// Replays the scenario through a fleet with the given worker count and
+/// returns every session's final snapshot blob.
+fn final_states(workers: usize) -> Vec<(u64, Vec<u8>)> {
+    let p = player();
+    let blob = reference(&p);
+    let sessions = p.sessions();
+    let engine = FleetEngine::new(FleetConfig::new(workers)).unwrap();
+    for &id in &sessions {
+        engine.create_from_bytes(SessionId(id), &blob).unwrap();
+    }
+    let streams: Vec<Vec<Vec<Real>>> = sessions.iter().map(|&id| p.stream(id).unwrap()).collect();
+    let max_len = streams.iter().map(Vec::len).max().unwrap_or(0);
+    for t in 0..max_len {
+        for (i, &id) in sessions.iter().enumerate() {
+            if let Some(row) = streams[i].get(t) {
+                engine.feed_blocking(SessionId(id), row).unwrap();
+            }
+        }
+    }
+    let out = sessions
+        .iter()
+        .map(|&id| (id, engine.snapshot(SessionId(id)).unwrap()))
+        .collect();
+    engine.shutdown();
+    out
+}
+
+#[test]
+fn same_seed_synthesis_is_identical_across_worker_counts() {
+    let one = final_states(1);
+    let two = final_states(2);
+    let eight = final_states(8);
+    assert_eq!(one.len(), 4);
+    for ((a, b), c) in one.iter().zip(&two).zip(&eight) {
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1, b.1, "session {} diverged between 1 and 2 workers", a.0);
+        assert_eq!(a.1, c.1, "session {} diverged between 1 and 8 workers", a.0);
+    }
+}
+
+#[test]
+fn one_sqsc_drives_every_consumer_with_identical_streams() {
+    let p = player();
+    // A second, independently-constructed player (as eval / fleet / load
+    // would each build) must synthesize the same bits.
+    let q = player();
+    for &id in &p.sessions() {
+        let fleet_stream = p.stream(id).unwrap();
+        let load_stream = q.stream(id).unwrap();
+        assert_eq!(fleet_stream, load_stream, "session {id} streams diverged");
+        // The eval dataset's test features are the same stream, labelled.
+        let dataset = p.dataset(id).unwrap();
+        assert_eq!(dataset.test.len(), fleet_stream.len());
+        for (sample, row) in dataset.test.iter().zip(&fleet_stream) {
+            assert_eq!(&sample.x, row, "eval features diverged in session {id}");
+        }
+    }
+}
+
+#[test]
+fn canonical_round_trip_preserves_streams() {
+    let scenario = Scenario::parse(SCENARIO).unwrap();
+    let reparsed = Scenario::parse(&scenario.render()).unwrap();
+    assert_eq!(scenario, reparsed);
+    let p = ScenarioPlayer::new(scenario, None).unwrap();
+    let q = ScenarioPlayer::new(reparsed, None).unwrap();
+    for &id in &p.sessions() {
+        assert_eq!(p.stream(id).unwrap(), q.stream(id).unwrap());
+    }
+}
+
+#[test]
+fn stagger_shifts_each_sessions_drift_onset() {
+    let p = player();
+    for (s, off) in [(0u64, 0usize), (1, 10), (2, 20), (3, 30)] {
+        let d = p.dataset(s).unwrap();
+        assert_eq!(d.drift_start, 50 + off, "session {s}");
+    }
+}

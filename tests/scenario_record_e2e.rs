@@ -1,0 +1,109 @@
+//! Record-then-replay end-to-end: a live `serve --record`-style session's
+//! captured bundle must replay through the scenario player to
+//! bit-identical final model state — any production incident becomes a
+//! deterministic regression test.
+
+use seqdrift::core::{DetectorConfig, DriftPipeline};
+use seqdrift::prelude::*;
+use seqdrift::scenario::ScenarioPlayer;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+const DIM: usize = 6;
+
+fn sample(rng: &mut Rng, mean: Real) -> Vec<Real> {
+    let mut x = vec![0.0; DIM];
+    rng.fill_normal(&mut x, mean, 0.05);
+    x
+}
+
+fn checkpoint() -> Vec<u8> {
+    let mut rng = Rng::seed_from(99);
+    let train: Vec<Vec<Real>> = (0..120).map(|_| sample(&mut rng, 0.3)).collect();
+    let mut model = MultiInstanceModel::new(1, OsElmConfig::new(DIM, 4).with_seed(3)).unwrap();
+    model.init_train_class(0, &train).unwrap();
+    let pairs: Vec<(usize, &[Real])> = train.iter().map(|x| (0, x.as_slice())).collect();
+    let cfg = DetectorConfig::new(1, DIM).with_window(20);
+    DriftPipeline::calibrate(model, cfg, &pairs)
+        .unwrap()
+        .to_bytes()
+        .unwrap()
+}
+
+#[test]
+fn recorded_bundle_replays_to_bit_identical_state() {
+    let dir = std::env::temp_dir().join(format!("seqdrift-scn-rec-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let rec_dir = dir.join("captured");
+
+    // Live side: a recording server fed by two sessions over real TCP,
+    // with each session's final state snapshotted over the wire.
+    let blob = checkpoint();
+    let cfg = ServerConfig::new(FleetConfig::new(2))
+        .with_reference(blob.clone())
+        .with_record(rec_dir.clone());
+    let server = Server::bind("127.0.0.1:0", cfg).unwrap();
+    let addr = server.local_addr().to_string();
+    let stop = Arc::new(AtomicBool::new(false));
+    let handle = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || server.run(|| stop.load(Ordering::Relaxed)))
+    };
+
+    let mut rng = Rng::seed_from(7);
+    let mut live: Vec<(u64, Vec<u8>)> = Vec::new();
+    for session in 0..2u64 {
+        let (mut client, _) = Client::connect(addr.as_str(), session, DIM as u32).unwrap();
+        let mut rows = Vec::new();
+        for i in 0..40 {
+            let mean = if i < 25 { 0.3 } else { 0.7 };
+            rows.extend_from_slice(&sample(&mut rng, mean));
+        }
+        client.send_all(&rows).unwrap();
+        let snap = client.snapshot().unwrap();
+        client.bye().unwrap();
+        live.push((session, snap));
+    }
+    stop.store(true, Ordering::Relaxed);
+    let report = handle.join().unwrap();
+    let manifest = report
+        .recording
+        .expect("server was recording")
+        .expect("bundle write failed");
+    assert!(
+        manifest.ends_with("scenario.sqsc"),
+        "{}",
+        manifest.display()
+    );
+
+    // Replay side: the bundle alone (rows + embedded reference) must
+    // reproduce every live snapshot bit for bit.
+    let player = ScenarioPlayer::from_file(&manifest).unwrap();
+    assert_eq!(player.dim(), DIM);
+    let reference = player
+        .reference_model()
+        .expect("bundle carries the reference blob")
+        .to_vec();
+    assert_eq!(reference, blob);
+    let engine = FleetEngine::new(FleetConfig::new(2)).unwrap();
+    for &(session, _) in &live {
+        engine
+            .create_from_bytes(SessionId(session), &reference)
+            .unwrap();
+        let stream = player.stream(session).unwrap();
+        assert_eq!(stream.len(), 40, "session {session} row count");
+        for row in &stream {
+            engine.feed_blocking(SessionId(session), row).unwrap();
+        }
+    }
+    for (session, snap) in &live {
+        let replayed = engine.snapshot(SessionId(*session)).unwrap();
+        assert_eq!(
+            &replayed, snap,
+            "session {session}: replayed state diverged from the live fleet"
+        );
+    }
+    engine.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
